@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark module regenerates one of the paper's tables or figures
+(see ``DESIGN.md`` §3 for the experiment index).  Alongside the
+pytest-benchmark timings, each module prints the reproduced rows/series via
+the ``record_report`` fixture so that running
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows the paper-style output that ``EXPERIMENTS.md`` summarizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def record_report(request):
+    """Collect experiment reports and print them at the end of the session."""
+    reports: list[str] = []
+
+    def _record(title: str, text: str) -> None:
+        reports.append(f"\n===== {title} =====\n{text}")
+
+    yield _record
+
+    def _emit() -> None:
+        for report in reports:
+            print(report)
+
+    request.addfinalizer(_emit)

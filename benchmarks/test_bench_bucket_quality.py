@@ -1,0 +1,28 @@
+"""Ablation A4: rule quality versus number of buckets (empirical §3.4).
+
+Not a table in the paper, but the quantitative form of its §3.4 guidance
+("the number of buckets should be much larger than ``1/supp_opt``"): mine a
+planted relation with the sampled bucketizer at increasing bucket counts and
+measure how quickly the optimized-confidence rule approaches the
+finest-bucket optimum.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_bucket_quality_sweep
+
+
+def test_bench_bucket_quality_sweep(benchmark, record_report) -> None:
+    result = benchmark.pedantic(
+        lambda: run_bucket_quality_sweep(
+            bucket_counts=(10, 20, 50, 100, 200, 500, 1000), num_tuples=60_000, seed=37
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_report("Ablation A4 - rule quality vs bucket count", result.report())
+
+    shortfalls = {row.num_buckets: row.relative_shortfall for row in result.rows}
+    # Coarse bucketing hurts; by a few hundred buckets the loss is negligible.
+    assert shortfalls[1000] < 0.02
+    assert shortfalls[10] >= shortfalls[1000] - 1e-9

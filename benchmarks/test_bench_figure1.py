@@ -1,0 +1,43 @@
+"""Benchmark + reproduction of Figure 1 (sample size vs. error probability).
+
+Paper reference: §3.2, Figure 1.  The curves plot the probability that a
+bucket built from an ``S``-point sample deviates from its target size by more
+than 50 %, for M ∈ {5, 10, 10000}.  The claim reproduced here: the curve
+drops sharply until ``S/M ≈ 40`` (below 0.3 %) and flattens afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bucketing import deviation_probability, recommended_sample_factor
+from repro.experiments import run_figure1
+
+
+@pytest.mark.parametrize("num_buckets", [5, 10, 10_000])
+def test_bench_exact_tail_probability(benchmark, num_buckets: int) -> None:
+    """Time the exact binomial-tail computation at the paper's operating point."""
+    result = benchmark(deviation_probability, 40 * num_buckets, num_buckets, 0.5)
+    assert 0.0 <= result <= 0.02
+
+
+def test_bench_figure1_curves(benchmark, record_report) -> None:
+    """Regenerate the three Figure 1 curves (analytic + Monte-Carlo check)."""
+    result = benchmark.pedantic(
+        lambda: run_figure1(simulate=True, simulation_trials=2000, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_report("Figure 1 - sample size vs bucket error probability", result.report())
+    # Paper-shape assertions: sharp drop before S/M = 40, flat afterwards.
+    for bucket_count in result.bucket_counts:
+        curve = dict(zip(result.factors, result.analytic[bucket_count]))
+        assert curve[1] > 0.5
+        assert curve[40] < 0.02
+        assert curve[40] - curve[100] < 0.02
+
+
+def test_bench_recommended_sample_factor(benchmark) -> None:
+    """The smallest factor reaching the 0.3% target is ~40, as the paper picks."""
+    factor = benchmark(recommended_sample_factor, 1000, 0.5, 0.003)
+    assert 30 <= factor <= 60

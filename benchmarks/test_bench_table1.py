@@ -1,0 +1,70 @@
+"""Benchmark + reproduction of Table I (bucket-granularity error).
+
+Paper reference: §3.4, Table I.  For an optimal range with support 30 % and
+confidence 70 %, the table lists the worst-case support and confidence of the
+best bucket-aligned approximation at 10 / 50 / 100 / 500 / 1000 buckets.  The
+reproduction checks the analytic rows against the paper's values and verifies
+empirically (on a planted relation) that the mined rule stays within the
+bounds at every bucket count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bucketing import confidence_interval, granularity_error_table, support_interval
+from repro.experiments import run_table1
+
+#: (buckets, support_low%, support_high%, confidence_low%, confidence_high%)
+#: as printed in the paper's Table I (the confidence columns of the coarse
+#: rows follow the direct worst-case construction; see EXPERIMENTS.md).
+PAPER_ROWS = [
+    (10, 10.0, 50.0, 42.0, 100.0),
+    (50, 26.0, 34.0, 59.2, 80.8),
+    (100, 28.0, 32.0, 65.6, 75.0),
+    (500, 29.6, 30.4, 69.1, 70.9),
+    (1000, 29.8, 30.2, 69.5, 70.5),
+]
+
+
+def test_bench_analytic_table(benchmark, record_report) -> None:
+    """Regenerate the analytic Table I rows and compare them to the paper."""
+    rows = benchmark(granularity_error_table, (10, 50, 100, 500, 1000), 0.30, 0.70)
+    lines = []
+    for row, paper in zip(rows, PAPER_ROWS):
+        measured = row.as_percentages()
+        lines.append(f"buckets={measured[0]:>5}  measured={measured[1:]}  paper={paper[1:]}")
+        # Support columns match the paper exactly.
+        assert measured[1] == pytest.approx(paper[1], abs=0.01)
+        assert measured[2] == pytest.approx(paper[2], abs=0.01)
+        # Confidence columns match within a couple of percentage points (the
+        # paper mixes the bound formula and the direct construction; see
+        # EXPERIMENTS.md for the row-by-row discussion).
+        assert measured[3] == pytest.approx(paper[3], abs=3.0)
+        assert measured[4] == pytest.approx(paper[4], abs=3.0)
+    record_report("Table I - analytic error ranges (measured vs paper)", "\n".join(lines))
+
+
+def test_bench_empirical_table(benchmark, record_report) -> None:
+    """Mine a planted relation at every Table I bucket count and check the bounds."""
+    result = benchmark.pedantic(
+        lambda: run_table1(num_tuples=60_000, seed=11), rounds=1, iterations=1
+    )
+    record_report("Table I - empirical check", result.report())
+    for row in result.empirical_rows:
+        assert row.support_within_bound
+        assert row.confidence_within_bound
+
+
+@pytest.mark.parametrize("num_buckets", [10, 100, 1000])
+def test_bench_interval_formulas(benchmark, num_buckets: int) -> None:
+    """Time the closed-form interval computation (and sanity-check nesting)."""
+    def compute():
+        return (
+            support_interval(num_buckets, 0.30),
+            confidence_interval(num_buckets, 0.30, 0.70),
+        )
+
+    (support_low, support_high), (confidence_low, confidence_high) = benchmark(compute)
+    assert support_low <= 0.30 <= support_high
+    assert confidence_low <= 0.70 <= confidence_high

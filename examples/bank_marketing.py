@@ -1,0 +1,91 @@
+"""Bank-marketing scenario: who should receive the card-loan mailing?
+
+The paper motivates the optimized-support rule with exactly this question
+(§1.2): a bank wants to promote credit-card loans by direct mail to a limited
+number of customers, so it needs the balance range that captures as many
+likely borrowers as possible while keeping the response probability above a
+floor.  The optimized-confidence rule answers the complementary question:
+among sufficiently large customer segments, which one has the highest
+response probability?
+
+This example also demonstrates the §4.3 generalization — adding a Boolean
+conjunct (``auto_withdrawal = yes``) to the presumptive condition — and
+compares the optimized ranges against the fixed-range baselines of §1.5.
+
+Run with:  python examples/bank_marketing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OptimizedRuleMiner, datasets
+from repro.bucketing import SortingEquiDepthBucketizer
+from repro.extensions import mine_conjunctive_rules
+from repro.mining import piatetsky_shapiro_rules, srikant_agrawal_best_range
+from repro.relation import BooleanIs
+
+
+def main() -> None:
+    relation, truth = datasets.bank_customers(150_000, seed=11)
+    objective = BooleanIs("card_loan", True)
+    base_rate = relation.support(objective)
+    print(f"customers: {relation.num_tuples}, overall card-loan rate {base_rate:.1%}\n")
+
+    miner = OptimizedRuleMiner(relation, num_buckets=1000, rng=np.random.default_rng(1))
+
+    # -- campaign planning -------------------------------------------------------
+    print("=== Whom to mail? ===")
+    for min_confidence in (0.40, 0.50, 0.60):
+        rule = miner.optimized_support_rule("balance", objective, min_confidence=min_confidence)
+        if rule is None:
+            print(f"  confidence >= {min_confidence:.0%}: no qualifying balance range")
+            continue
+        reached = int(rule.support * relation.num_tuples)
+        print(
+            f"  confidence >= {min_confidence:.0%}: mail customers with balance in "
+            f"[{rule.low:,.0f}, {rule.high:,.0f}] "
+            f"-> {reached:,} customers, expected response {rule.confidence:.1%}"
+        )
+
+    print("\n=== Best niche segments (support >= 5%) ===")
+    confidence_rule = miner.optimized_confidence_rule("balance", objective, min_support=0.05)
+    print(f"  {confidence_rule}")
+    print(f"  lift over base rate: {confidence_rule.confidence / base_rate:.2f}x")
+
+    # -- conjunctive refinement (Section 4.3) -------------------------------------
+    print("\n=== Refinement with a Boolean conjunct (Section 4.3) ===")
+    refined = mine_conjunctive_rules(
+        relation,
+        "balance",
+        "card_loan",
+        min_support=0.03,
+        num_buckets=500,
+        rng=np.random.default_rng(2),
+    )
+    for result in refined[:3]:
+        print(f"  {result.rule}")
+        print(f"    confidence gain over the plain rule: {result.confidence_gain:+.1%}")
+
+    # -- comparison with fixed-range baselines (Section 1.5) ----------------------
+    print("\n=== Fixed-range baselines (Section 1.5) ===")
+    bucketing = SortingEquiDepthBucketizer().build(relation.numeric_column("balance"), 20)
+    fixed = piatetsky_shapiro_rules(relation, "balance", objective, bucketing, min_confidence=0.4)
+    best_fixed = max(fixed, key=lambda rule: rule.support, default=None)
+    if best_fixed is not None:
+        print(f"  best single fixed range   : {best_fixed}")
+    capped = srikant_agrawal_best_range(
+        relation, "balance", objective, bucketing, max_support=0.15, min_confidence=0.4
+    )
+    if capped is not None:
+        print(f"  best capped combination   : {capped}")
+    optimized = miner.optimized_support_rule("balance", objective, min_confidence=0.4)
+    print(f"  optimized-support rule     : {optimized}")
+    print(
+        "  -> the optimized rule dominates both baselines because it searches "
+        "every combination of consecutive buckets with no support cap."
+    )
+
+
+if __name__ == "__main__":
+    main()

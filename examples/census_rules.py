@@ -1,0 +1,78 @@
+"""Census scenario: mine a complete catalog of optimized rules.
+
+The paper's §1.3 claim is that the linear-time algorithms make it feasible to
+compute optimized rules for *every* combination of numeric and Boolean
+attributes.  This example runs that workflow on a census-like relation
+(ages, education, working hours, capital gains vs. income/marital/
+self-employment flags), ranks the resulting rules by lift, and drills into
+the age/income interrelation with both optimized rule kinds and a
+two-dimensional rectangle rule (§1.4 extension).
+
+Run with:  python examples/census_rules.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OptimizedRuleMiner, datasets
+from repro.core import RuleKind
+from repro.extensions import optimized_rectangle
+from repro.mining import mine_rule_catalog
+from repro.relation import BooleanIs
+
+
+def main() -> None:
+    relation, truth = datasets.census_like(80_000, seed=17)
+    print(
+        f"census relation: {relation.num_tuples} tuples, "
+        f"{len(relation.schema.numeric_names())} numeric x "
+        f"{len(relation.schema.boolean_names())} boolean attributes\n"
+    )
+
+    # -- the all-combinations catalog -------------------------------------------
+    catalog = mine_rule_catalog(
+        relation,
+        min_support=0.10,
+        min_confidence=0.30,
+        num_buckets=400,
+        rng=np.random.default_rng(3),
+    )
+    print(f"mined {len(catalog)} rules over {catalog.num_pairs} attribute pairs")
+    print("top rules by lift:")
+    for entry in catalog.top(6, by="lift"):
+        print(f"  [{entry.lift:4.2f}x] {entry.rule}")
+
+    # -- focus on the age / income interrelation ----------------------------------
+    print("\n=== age vs high_income ===")
+    miner = OptimizedRuleMiner(relation, num_buckets=400, rng=np.random.default_rng(4))
+    objective = BooleanIs("high_income", True)
+    base_rate = relation.support(objective)
+    print(f"  base rate: {base_rate:.1%}")
+
+    confidence_rule = miner.optimized_confidence_rule("age", objective, min_support=0.20)
+    print(f"  optimized confidence (support >= 20%): {confidence_rule}")
+    support_rule = miner.optimized_support_rule("age", objective, min_confidence=0.30)
+    print(f"  optimized support (confidence >= 30%): {support_rule}")
+    print(f"  planted prime-age band: [{truth.low:g}, {truth.high:g}]")
+
+    # -- two-dimensional extension -------------------------------------------------
+    print("\n=== two-dimensional rule: (age, education_years) ===")
+    rectangle = optimized_rectangle(
+        relation,
+        "age",
+        "education_years",
+        objective,
+        kind=RuleKind.OPTIMIZED_CONFIDENCE,
+        min_support=0.05,
+        grid=(30, 15),
+    )
+    print(f"  {rectangle}")
+    print(
+        "  -> conditioning on both age and education isolates a denser segment "
+        f"than age alone ({rectangle.confidence:.1%} vs {confidence_rule.confidence:.1%})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Decision trees with optimized range splits (the reference [10] extension).
+
+The paper positions optimized ranges as a substitute for the binary point
+splits classical decision trees use on numeric attributes.  This example
+builds two trees on a censuslike relation — one restricted to point
+("guillotine") splits and one allowed to test range membership — and shows
+that the range-split tree describes band-shaped structure (prime-age earners)
+with fewer nodes and higher accuracy.
+
+Run with:  python examples/decision_tree_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import datasets
+from repro.extensions import RangeSplitDecisionTree
+
+
+def main() -> None:
+    relation, truth = datasets.census_like(60_000, seed=31)
+    holdout, _ = datasets.census_like(20_000, seed=32)
+    label = "high_income"
+    attributes = ["age", "education_years", "hours_per_week"]
+    print(
+        f"training on {relation.num_tuples} tuples, evaluating on {holdout.num_tuples}; "
+        f"label = {label}, planted band: age in [{truth.low:g}, {truth.high:g}]\n"
+    )
+
+    range_tree = RangeSplitDecisionTree(max_depth=3, num_buckets=32).fit(
+        relation, label, attributes=attributes
+    )
+    point_tree = RangeSplitDecisionTree(max_depth=3, num_buckets=32, guillotine=True).fit(
+        relation, label, attributes=attributes
+    )
+
+    print("=== range-split tree ===")
+    print(range_tree.describe())
+    print(
+        f"\nnodes: {range_tree.root.count_nodes()}, "
+        f"train accuracy: {range_tree.accuracy(relation, label):.1%}, "
+        f"holdout accuracy: {range_tree.accuracy(holdout, label):.1%}"
+    )
+
+    print("\n=== guillotine (point-split) tree ===")
+    print(point_tree.describe())
+    print(
+        f"\nnodes: {point_tree.root.count_nodes()}, "
+        f"train accuracy: {point_tree.accuracy(relation, label):.1%}, "
+        f"holdout accuracy: {point_tree.accuracy(holdout, label):.1%}"
+    )
+
+    root_split = range_tree.root.split
+    if root_split is not None:
+        print(
+            f"\nThe range tree's root split tests {root_split.attribute} in "
+            f"[{root_split.low:g}, {root_split.high:g}] — essentially the planted "
+            "prime-age band — which a single threshold split cannot express."
+        )
+
+
+if __name__ == "__main__":
+    main()

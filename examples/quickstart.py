@@ -1,0 +1,57 @@
+"""Quickstart: mine optimized association rules from a synthetic bank relation.
+
+This walks through the complete pipeline of the paper in ~40 lines:
+
+1. generate a bank-customer relation with a planted Balance -> CardLoan
+   correlation (a stand-in for the paper's motivating example);
+2. build almost equi-depth buckets with the randomized Algorithm 3.1;
+3. mine the optimized-confidence rule (maximize confidence subject to a
+   minimum support) and the optimized-support rule (maximize support subject
+   to a minimum confidence);
+4. compare against the overall base rate to see why the ranges are interesting.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OptimizedRuleMiner, datasets
+from repro.relation import BooleanIs
+
+
+def main() -> None:
+    # 1. A 100k-tuple bank relation; `truth` records the planted range.
+    relation, truth = datasets.bank_customers(100_000, seed=7)
+    print(f"relation: {relation.num_tuples} tuples, attributes {relation.schema.names()}")
+    base_rate = relation.support(BooleanIs("card_loan"))
+    print(f"overall card-loan rate: {base_rate:.1%}")
+    print(f"planted range: balance in [{truth.low:g}, {truth.high:g}] "
+          f"with {truth.inside_probability:.0%} card-loan probability\n")
+
+    # 2./3. The miner buckets `balance` on demand (Algorithm 3.1) and runs the
+    # linear-time optimizers of Section 4.
+    miner = OptimizedRuleMiner(relation, num_buckets=1000, rng=np.random.default_rng(0))
+
+    confidence_rule = miner.optimized_confidence_rule(
+        "balance", "card_loan", min_support=0.10
+    )
+    print("optimized-confidence rule (support >= 10%):")
+    print(f"  {confidence_rule}")
+
+    support_rule = miner.optimized_support_rule(
+        "balance", "card_loan", min_confidence=0.50
+    )
+    print("optimized-support rule (confidence >= 50%):")
+    print(f"  {support_rule}")
+
+    # 4. Lift over the base rate shows why the mined ranges are interesting.
+    print(f"\nconfidence-rule lift over base rate: "
+          f"{confidence_rule.confidence / base_rate:.2f}x")
+    print(f"support-rule captures {support_rule.support:.1%} of all customers "
+          f"at {support_rule.confidence:.1%} confidence")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Run every paper-reproduction experiment and print the reports.
+
+This is the convenience driver behind ``EXPERIMENTS.md``: it regenerates
+Figure 1, Table I, Figure 9, Figure 10, Figure 11 and the all-combinations
+catalog claim in one go (scaled-down sweep sizes; pass ``--full`` for larger
+sweeps closer to the paper's).
+
+Run with:  python examples/reproduce_paper.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    run_catalog_experiment,
+    run_figure1,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_table1,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use larger sweeps (minutes instead of seconds)",
+    )
+    arguments = parser.parse_args()
+
+    if arguments.full:
+        figure9_sizes = (50_000, 100_000, 200_000, 500_000, 1_000_000)
+        solver_sweep = (100, 1_000, 10_000, 50_000, 100_000)
+        catalog_attributes = 32
+    else:
+        figure9_sizes = (20_000, 50_000, 100_000, 200_000)
+        solver_sweep = (100, 500, 1_000, 5_000, 10_000)
+        catalog_attributes = 16
+
+    sections = [
+        ("Figure 1 — sample size vs bucket error probability", run_figure1()),
+        ("Table I — bucket-granularity error", run_table1()),
+        (
+            "Figure 9 — bucketing performance",
+            run_figure9(sizes=figure9_sizes, num_buckets=1000),
+        ),
+        (
+            "Figure 10 — optimized confidence rule performance",
+            run_figure10(bucket_counts=solver_sweep),
+        ),
+        (
+            "Figure 11 — optimized support rule performance",
+            run_figure11(bucket_counts=solver_sweep),
+        ),
+        (
+            "§1.3 claim — all-combinations catalog",
+            run_catalog_experiment(
+                num_numeric=catalog_attributes, num_boolean=catalog_attributes
+            ),
+        ),
+    ]
+
+    for title, result in sections:
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+        print(result.report())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,275 @@
+"""Bucket model shared by every bucketizer.
+
+The paper (Definition 2.5) describes buckets of the domain of a numeric
+attribute ``A`` as a sequence of disjoint ranges ``B_1, ..., B_M`` that cover
+every value of ``A``.  In this implementation a bucketing is represented by
+its *cut points*: a sorted array ``cuts`` of ``M - 1`` values such that
+
+* bucket ``0`` holds values ``x`` with ``x <= cuts[0]``,
+* bucket ``i`` (``0 < i < M-1``) holds values with ``cuts[i-1] < x <= cuts[i]``,
+* bucket ``M-1`` holds values with ``x > cuts[M-2]``.
+
+i.e. half-open intervals ``(p_{i-1}, p_i]`` with ``p_0 = -∞`` and
+``p_M = +∞``, exactly the convention of Algorithm 3.1.  The closed data
+ranges ``[x_i, y_i]`` used when *reporting* rules are recovered from actual
+data via :meth:`Bucketing.data_bounds`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import BucketingError
+
+__all__ = ["Bucket", "Bucketing", "Bucketizer"]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A single bucket with its assignment interval and observed statistics.
+
+    Attributes
+    ----------
+    index:
+        Zero-based bucket position.
+    lower:
+        Exclusive lower assignment boundary (``-inf`` for the first bucket).
+    upper:
+        Inclusive upper assignment boundary (``+inf`` for the last bucket).
+    count:
+        Number of tuples assigned to the bucket (``u_i`` in the paper).
+    data_low:
+        Smallest attribute value observed in the bucket (``x_i``), ``nan``
+        when the bucket is empty.
+    data_high:
+        Largest attribute value observed in the bucket (``y_i``), ``nan``
+        when the bucket is empty.
+    """
+
+    index: int
+    lower: float
+    upper: float
+    count: int = 0
+    data_low: float = float("nan")
+    data_high: float = float("nan")
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no tuple was assigned to this bucket."""
+        return self.count == 0
+
+
+class Bucketing:
+    """An immutable bucketing of a numeric domain defined by its cut points."""
+
+    def __init__(self, cuts: Sequence[float] | np.ndarray) -> None:
+        array = np.asarray(cuts, dtype=np.float64)
+        if array.ndim != 1:
+            raise BucketingError("cut points must form a one-dimensional array")
+        if array.size and not np.all(np.isfinite(array)):
+            raise BucketingError("cut points must be finite")
+        if array.size > 1 and not np.all(np.diff(array) >= 0):
+            raise BucketingError("cut points must be sorted in non-decreasing order")
+        self._cuts = array
+        self._cuts.flags.writeable = False
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def single_bucket() -> "Bucketing":
+        """The trivial bucketing that places every value in one bucket."""
+        return Bucketing(np.empty(0, dtype=np.float64))
+
+    @staticmethod
+    def from_cuts(cuts: Sequence[float] | np.ndarray) -> "Bucketing":
+        """Build a bucketing from explicit cut points."""
+        return Bucketing(cuts)
+
+    def deduplicated(self) -> "Bucketing":
+        """Return a bucketing with duplicate cut points removed.
+
+        Duplicate cuts produce buckets that can never receive a value; the
+        paper assumes ``u_i >= 1`` so solvers prefer deduplicated cuts.
+        """
+        if self._cuts.size == 0:
+            return self
+        return Bucketing(np.unique(self._cuts))
+
+    # -- basic properties --------------------------------------------------------
+
+    @property
+    def cuts(self) -> np.ndarray:
+        """The sorted inner cut points (length ``num_buckets - 1``)."""
+        return self._cuts
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets ``M``."""
+        return int(self._cuts.size) + 1
+
+    def __len__(self) -> int:
+        return self.num_buckets
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bucketing):
+            return NotImplemented
+        return np.array_equal(self._cuts, other._cuts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Bucketing(num_buckets={self.num_buckets})"
+
+    # -- assignment ---------------------------------------------------------------
+
+    def assign(self, values: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Return the bucket index of every value.
+
+        Equivalent to the binary-search step of Algorithm 3.1 step 4: find
+        ``i`` such that ``p_{i-1} < x <= p_i``.
+        """
+        array = np.asarray(values, dtype=np.float64)
+        return np.searchsorted(self._cuts, array, side="left")
+
+    def counts(self, values: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Per-bucket tuple counts ``u_i`` for ``values``."""
+        indices = self.assign(values)
+        return np.bincount(indices, minlength=self.num_buckets).astype(np.int64)
+
+    def conditional_counts(
+        self,
+        values: Sequence[float] | np.ndarray,
+        mask: Sequence[bool] | np.ndarray,
+    ) -> np.ndarray:
+        """Per-bucket counts ``v_i`` of values whose ``mask`` entry is true."""
+        array = np.asarray(values, dtype=np.float64)
+        flags = np.asarray(mask, dtype=bool)
+        if flags.shape != array.shape:
+            raise BucketingError(
+                f"mask shape {flags.shape} does not match values shape {array.shape}"
+            )
+        indices = self.assign(array[flags])
+        return np.bincount(indices, minlength=self.num_buckets).astype(np.int64)
+
+    def weighted_sums(
+        self,
+        values: Sequence[float] | np.ndarray,
+        weights: Sequence[float] | np.ndarray,
+    ) -> np.ndarray:
+        """Per-bucket sums of ``weights`` grouped by the bucket of ``values``.
+
+        Used by the §5 average-operator ranges where ``v_i`` is the sum of a
+        target attribute ``B`` over the tuples falling in bucket ``i``.
+        """
+        array = np.asarray(values, dtype=np.float64)
+        weight_array = np.asarray(weights, dtype=np.float64)
+        if weight_array.shape != array.shape:
+            raise BucketingError(
+                f"weights shape {weight_array.shape} does not match values shape "
+                f"{array.shape}"
+            )
+        indices = self.assign(array)
+        return np.bincount(
+            indices, weights=weight_array, minlength=self.num_buckets
+        ).astype(np.float64)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def assignment_bounds(self, index: int) -> tuple[float, float]:
+        """``(lower, upper)`` assignment interval of bucket ``index``.
+
+        The interval is exclusive below and inclusive above; the first and
+        last buckets extend to ``-inf`` / ``+inf``.
+        """
+        self._check_index(index)
+        lower = float("-inf") if index == 0 else float(self._cuts[index - 1])
+        upper = float("inf") if index == self.num_buckets - 1 else float(self._cuts[index])
+        return lower, upper
+
+    def range_bounds(self, start: int, end: int) -> tuple[float, float]:
+        """Assignment interval covered by consecutive buckets ``start..end``."""
+        self._check_index(start)
+        self._check_index(end)
+        if start > end:
+            raise BucketingError(f"invalid bucket range: start {start} > end {end}")
+        return self.assignment_bounds(start)[0], self.assignment_bounds(end)[1]
+
+    def data_bounds(
+        self, values: Sequence[float] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-bucket observed minimum (``x_i``) and maximum (``y_i``) values.
+
+        Empty buckets receive ``nan`` for both bounds.
+        """
+        array = np.asarray(values, dtype=np.float64)
+        indices = self.assign(array)
+        lows = np.full(self.num_buckets, np.nan)
+        highs = np.full(self.num_buckets, np.nan)
+        if array.size:
+            order = np.argsort(indices, kind="stable")
+            sorted_indices = indices[order]
+            sorted_values = array[order]
+            boundaries = np.searchsorted(
+                sorted_indices, np.arange(self.num_buckets + 1), side="left"
+            )
+            for bucket in range(self.num_buckets):
+                start, stop = boundaries[bucket], boundaries[bucket + 1]
+                if stop > start:
+                    segment = sorted_values[start:stop]
+                    lows[bucket] = segment.min()
+                    highs[bucket] = segment.max()
+        return lows, highs
+
+    def buckets(self, values: Sequence[float] | np.ndarray) -> list[Bucket]:
+        """Materialize :class:`Bucket` descriptors with counts and data bounds."""
+        counts = self.counts(values)
+        lows, highs = self.data_bounds(values)
+        result = []
+        for index in range(self.num_buckets):
+            lower, upper = self.assignment_bounds(index)
+            result.append(
+                Bucket(
+                    index=index,
+                    lower=lower,
+                    upper=upper,
+                    count=int(counts[index]),
+                    data_low=float(lows[index]),
+                    data_high=float(highs[index]),
+                )
+            )
+        return result
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.num_buckets:
+            raise BucketingError(
+                f"bucket index {index} out of range for {self.num_buckets} buckets"
+            )
+
+
+class Bucketizer(ABC):
+    """Strategy interface: build a :class:`Bucketing` for a value array."""
+
+    @abstractmethod
+    def build(
+        self,
+        values: Sequence[float] | np.ndarray,
+        num_buckets: int,
+        rng: np.random.Generator | None = None,
+    ) -> Bucketing:
+        """Construct a bucketing of ``values`` with (at most) ``num_buckets`` buckets."""
+
+    @staticmethod
+    def _validate(values: np.ndarray, num_buckets: int) -> np.ndarray:
+        """Shared argument validation for concrete bucketizers."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise BucketingError("values must form a one-dimensional array")
+        if array.size == 0:
+            raise BucketingError("cannot bucket an empty value array")
+        if not np.all(np.isfinite(array)):
+            raise BucketingError("values must be finite")
+        if num_buckets <= 0:
+            raise BucketingError("num_buckets must be positive")
+        return array

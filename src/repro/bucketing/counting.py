@@ -1,0 +1,132 @@
+"""Relation-level bucket counting.
+
+The experiments of §6.1 bucket a relation on each numeric attribute and, in
+the same scan, count for every Boolean attribute how many tuples of each
+bucket satisfy it (these are the ``u_i`` / ``v_i`` inputs of the rule
+optimizers).  This module provides that combined counting step on top of the
+value-level :class:`repro.bucketing.Bucketing` primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.bucketing.base import Bucketing
+from repro.exceptions import BucketingError
+from repro.relation.conditions import Condition
+from repro.relation.relation import Relation
+
+__all__ = ["BucketCounts", "count_relation_buckets", "count_conditions"]
+
+
+@dataclass(frozen=True)
+class BucketCounts:
+    """Counts of a relation over one numeric attribute's bucketing.
+
+    Attributes
+    ----------
+    attribute:
+        The numeric attribute that was bucketed.
+    bucketing:
+        The bucketing used for assignment.
+    sizes:
+        Per-bucket tuple counts ``u_i``.
+    conditional:
+        For every counted objective (keyed by label), the per-bucket counts
+        ``v_i`` of tuples that also satisfy the objective.
+    data_low / data_high:
+        Observed minimum / maximum attribute value per bucket (``x_i`` and
+        ``y_i``), ``nan`` for empty buckets.
+    """
+
+    attribute: str
+    bucketing: Bucketing
+    sizes: np.ndarray
+    conditional: Mapping[str, np.ndarray]
+    data_low: np.ndarray
+    data_high: np.ndarray
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets counted."""
+        return self.bucketing.num_buckets
+
+    @property
+    def total(self) -> int:
+        """Total number of tuples counted."""
+        return int(self.sizes.sum())
+
+    def evenness(self) -> float:
+        """Max bucket size divided by the ideal ``N/M`` size.
+
+        A value of 1.0 means perfectly equi-depth buckets; the sampling
+        bucketizer targets values close to 1 with high probability.
+        """
+        if self.total == 0 or self.num_buckets == 0:
+            return 0.0
+        ideal = self.total / self.num_buckets
+        return float(self.sizes.max() / ideal)
+
+
+def count_relation_buckets(
+    relation: Relation,
+    attribute: str,
+    bucketing: Bucketing,
+    objectives: Mapping[str, Condition] | None = None,
+) -> BucketCounts:
+    """Count ``relation``'s tuples per bucket of ``attribute``.
+
+    Parameters
+    ----------
+    relation:
+        The relation to scan.
+    attribute:
+        Numeric attribute whose values choose the bucket.
+    bucketing:
+        Bucket boundaries (typically from a bucketizer).
+    objectives:
+        Optional mapping from a label to an objective condition; for every
+        entry the per-bucket conditional counts ``v_i`` are produced.
+    """
+    values = relation.numeric_column(attribute)
+    sizes = bucketing.counts(values)
+    conditional: dict[str, np.ndarray] = {}
+    for label, condition in (objectives or {}).items():
+        mask = condition.mask(relation)
+        conditional[label] = bucketing.conditional_counts(values, mask)
+    low, high = bucketing.data_bounds(values)
+    return BucketCounts(
+        attribute=attribute,
+        bucketing=bucketing,
+        sizes=sizes,
+        conditional=conditional,
+        data_low=low,
+        data_high=high,
+    )
+
+
+def count_conditions(
+    relation: Relation,
+    attribute: str,
+    bucketing: Bucketing,
+    conditions: Sequence[Condition],
+) -> list[np.ndarray]:
+    """Per-bucket conditional counts for several objective conditions.
+
+    Convenience wrapper used by the all-combinations catalog miner: the
+    bucket assignment of the numeric attribute is computed once and reused
+    for every objective condition.
+    """
+    values = relation.numeric_column(attribute)
+    indices = bucketing.assign(values)
+    results = []
+    for condition in conditions:
+        mask = np.asarray(condition.mask(relation), dtype=bool)
+        if mask.shape != values.shape:
+            raise BucketingError("condition mask length does not match relation size")
+        counts = np.bincount(indices[mask], minlength=bucketing.num_buckets)
+        results.append(counts.astype(np.int64))
+    return results

@@ -1,0 +1,157 @@
+"""Approximation error induced by bucket granularity (§3.4, Table I).
+
+When the optimal range does not align with bucket boundaries, the best range
+made of whole consecutive buckets differs from it by at most one bucket on
+each side (Figure 2 of the paper shows the four possible approximations).
+With ``M`` equi-depth buckets each bucket holds a ``1/M`` fraction of the
+tuples, so:
+
+* the support of the approximation differs from the optimal support by at
+  most ``2/M`` in absolute terms, i.e.
+  ``|supp_app − supp_opt| / supp_opt ≤ 2 / (M · supp_opt)``;
+* the confidence differs by at most
+  ``|conf_app − conf_opt| / conf_opt ≤ 2 / (M · supp_opt − 2)``
+  (meaningful once ``M · supp_opt > 2``).
+
+Table I of the paper instantiates these bounds for ``supp_opt = 30 %`` and
+``conf_opt = 70 %``.  This module provides both the relative bounds exactly
+as stated and the direct worst-case interval computation (adding or removing
+two boundary buckets that are entirely negative or entirely positive), which
+is what the extreme Table I entries for very small ``M`` correspond to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import BucketingError
+
+__all__ = [
+    "support_error_bound",
+    "confidence_error_bound",
+    "support_interval",
+    "confidence_interval",
+    "GranularityErrorRow",
+    "granularity_error_table",
+]
+
+
+def _validate_fraction(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 < value <= 1.0:
+        raise BucketingError(f"{name} must lie in (0, 1], got {value}")
+    return value
+
+
+def support_error_bound(num_buckets: int, optimal_support: float) -> float:
+    """Relative support error bound ``2 / (M · supp_opt)`` from §3.4."""
+    if num_buckets <= 0:
+        raise BucketingError("num_buckets must be positive")
+    optimal_support = _validate_fraction("optimal_support", optimal_support)
+    return 2.0 / (num_buckets * optimal_support)
+
+
+def confidence_error_bound(num_buckets: int, optimal_support: float) -> float:
+    """Relative confidence error bound ``2 / (M · supp_opt − 2)`` from §3.4.
+
+    Returns ``inf`` when ``M · supp_opt ≤ 2`` — with so few buckets inside
+    the optimal range the bound is vacuous, which is exactly the paper's
+    point that "the number of buckets should be much larger than
+    ``1 / supp_opt``".
+    """
+    if num_buckets <= 0:
+        raise BucketingError("num_buckets must be positive")
+    optimal_support = _validate_fraction("optimal_support", optimal_support)
+    denominator = num_buckets * optimal_support - 2.0
+    if denominator <= 0.0:
+        return float("inf")
+    return 2.0 / denominator
+
+
+def support_interval(num_buckets: int, optimal_support: float) -> tuple[float, float]:
+    """Worst-case support of the bucket approximation, clipped to ``[0, 1]``.
+
+    The approximation can miss or add at most one bucket (``1/M`` of the
+    tuples) on each side of the optimal range.
+    """
+    optimal_support = _validate_fraction("optimal_support", optimal_support)
+    if num_buckets <= 0:
+        raise BucketingError("num_buckets must be positive")
+    slack = 2.0 / num_buckets
+    return max(0.0, optimal_support - slack), min(1.0, optimal_support + slack)
+
+
+def confidence_interval(
+    num_buckets: int, optimal_support: float, optimal_confidence: float
+) -> tuple[float, float]:
+    """Worst-case confidence of the bucket approximation, clipped to ``[0, 1]``.
+
+    Lower end: the approximation adds two boundary buckets containing no
+    tuple that meets the objective condition, diluting the confidence to
+    ``conf·supp / (supp + 2/M)``.  Upper end: the approximation sheds two
+    boundary buckets containing only non-matching tuples, concentrating the
+    confidence to ``conf·supp / (supp − 2/M)`` (or 100 % when the optimal
+    range spans at most two buckets).
+    """
+    optimal_support = _validate_fraction("optimal_support", optimal_support)
+    optimal_confidence = _validate_fraction("optimal_confidence", optimal_confidence)
+    if num_buckets <= 0:
+        raise BucketingError("num_buckets must be positive")
+    slack = 2.0 / num_buckets
+    matched = optimal_confidence * optimal_support
+    lower = matched / (optimal_support + slack)
+    if optimal_support - slack <= 0.0:
+        upper = 1.0
+    else:
+        upper = min(1.0, matched / (optimal_support - slack))
+    return max(0.0, lower), upper
+
+
+@dataclass(frozen=True)
+class GranularityErrorRow:
+    """One row of the Table I reproduction."""
+
+    num_buckets: int
+    support_low: float
+    support_high: float
+    confidence_low: float
+    confidence_high: float
+    support_bound: float
+    confidence_bound: float
+
+    def as_percentages(self) -> tuple[int, float, float, float, float]:
+        """Row formatted the way Table I prints it (percentages)."""
+        return (
+            self.num_buckets,
+            round(self.support_low * 100.0, 2),
+            round(self.support_high * 100.0, 2),
+            round(self.confidence_low * 100.0, 2),
+            round(self.confidence_high * 100.0, 2),
+        )
+
+
+def granularity_error_table(
+    bucket_counts: Sequence[int] = (10, 50, 100, 500, 1000),
+    optimal_support: float = 0.30,
+    optimal_confidence: float = 0.70,
+) -> list[GranularityErrorRow]:
+    """Reproduce Table I: error ranges for a sweep of bucket counts."""
+    rows = []
+    for num_buckets in bucket_counts:
+        support_low, support_high = support_interval(num_buckets, optimal_support)
+        confidence_low, confidence_high = confidence_interval(
+            num_buckets, optimal_support, optimal_confidence
+        )
+        rows.append(
+            GranularityErrorRow(
+                num_buckets=int(num_buckets),
+                support_low=support_low,
+                support_high=support_high,
+                confidence_low=confidence_low,
+                confidence_high=confidence_high,
+                support_bound=support_error_bound(num_buckets, optimal_support),
+                confidence_bound=confidence_error_bound(num_buckets, optimal_support),
+            )
+        )
+    return rows

@@ -1,0 +1,56 @@
+"""Finest buckets: one bucket per distinct attribute value.
+
+Definition 2.5 calls a bucket *finest* when it covers a single value
+``[x, x]``.  With finest buckets, every possible range of the attribute can
+be expressed as a combination of consecutive buckets, so the optimized rules
+computed over them are exact rather than approximate.  The catch (discussed
+in §2.3) is that the number of finest buckets can be as large as the number
+of distinct values — millions for an attribute such as an account balance —
+which is why the randomized equi-depth bucketizer exists.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bucketing.base import Bucketing, Bucketizer
+
+__all__ = ["FinestBucketizer", "finest_bucketing"]
+
+
+class FinestBucketizer(Bucketizer):
+    """Create one bucket per distinct value.
+
+    The ``num_buckets`` argument of :meth:`build` is interpreted as an upper
+    limit: if the data has more distinct values than ``num_buckets`` a
+    :class:`~repro.exceptions.BucketingError` is *not* raised — the limit is
+    simply ignored, because finest buckets are by definition one per distinct
+    value.  Pass ``num_buckets=None``-like large values when the distinct
+    count is unknown.
+    """
+
+    def build(
+        self,
+        values: Sequence[float] | np.ndarray,
+        num_buckets: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> Bucketing:
+        array = np.asarray(values, dtype=np.float64)
+        limit = num_buckets if num_buckets > 0 else array.size
+        array = self._validate(array, max(limit, 1))
+        return finest_bucketing(array)
+
+
+def finest_bucketing(values: Sequence[float] | np.ndarray) -> Bucketing:
+    """Return the finest bucketing of ``values``.
+
+    The cut points are the distinct values except the largest, so bucket ``i``
+    contains exactly the tuples whose value equals the ``i``-th distinct value.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    distinct = np.unique(array)
+    if distinct.size <= 1:
+        return Bucketing.single_bucket()
+    return Bucketing(distinct[:-1])

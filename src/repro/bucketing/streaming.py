@@ -1,0 +1,226 @@
+"""Out-of-core flavoured bucketing: reservoir sampling and chunked counting.
+
+The whole point of Algorithm 3.1 is that the relation is too large to sort —
+in the paper it lives on disk and is only ever *scanned*.  This module
+provides the streaming counterpart of the in-memory bucketizer so the same
+pipeline can run over data that arrives in chunks (an iterator of numpy
+arrays, e.g. produced by reading a CSV in blocks):
+
+* :class:`ReservoirSampler` — a classic reservoir sampler that maintains a
+  uniform random sample of a stream without knowing its length; it replaces
+  the "S-sized random sample" step when the data cannot be indexed.
+* :class:`StreamingBucketCounter` — accumulates per-bucket tuple counts and
+  per-objective conditional counts chunk by chunk (the same merge-by-summing
+  structure as the parallel Algorithm 3.2).
+* :func:`build_streaming_profile` — two passes over a chunk iterator factory:
+  pass 1 draws the sample and derives the bucket boundaries, pass 2 counts;
+  the result is a regular :class:`~repro.core.BucketProfile`, so every solver
+  works unchanged on out-of-core data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.bucketing.base import Bucketing
+from repro.bucketing.equidepth_sort import equidepth_cuts_from_sorted
+from repro.core.profile import BucketProfile
+from repro.exceptions import BucketingError
+
+__all__ = [
+    "ReservoirSampler",
+    "StreamingBucketCounter",
+    "streaming_equidepth_bucketing",
+    "build_streaming_profile",
+]
+
+
+class ReservoirSampler:
+    """Uniform random sample of a stream of unknown length (Algorithm R).
+
+    Every element seen so far has the same probability ``k / n`` of being in
+    the reservoir of size ``k`` after ``n`` elements, which is exactly the
+    uniformity Algorithm 3.1's analysis needs.  Feeding numpy chunks is
+    vectorized: the acceptance test for a whole chunk is drawn at once.
+    """
+
+    def __init__(self, capacity: int, rng: np.random.Generator | None = None) -> None:
+        if capacity <= 0:
+            raise BucketingError("reservoir capacity must be positive")
+        self._capacity = int(capacity)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._reservoir = np.empty(self._capacity, dtype=np.float64)
+        self._seen = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained sample points."""
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Number of stream elements observed so far."""
+        return self._seen
+
+    def extend(self, values: Iterable[float] | np.ndarray) -> None:
+        """Feed a chunk of values into the reservoir."""
+        chunk = np.asarray(values, dtype=np.float64).ravel()
+        if chunk.size == 0:
+            return
+        position = 0
+        # Fill the reservoir first.
+        if self._seen < self._capacity:
+            take = min(self._capacity - self._seen, chunk.size)
+            self._reservoir[self._seen : self._seen + take] = chunk[:take]
+            self._seen += take
+            position = take
+        if position >= chunk.size:
+            return
+        # Vectorized Algorithm R for the remainder of the chunk: element i of
+        # the stream (1-based index) replaces a random reservoir slot with
+        # probability capacity / i.
+        remainder = chunk[position:]
+        indices = self._seen + 1 + np.arange(remainder.size)
+        accept = self._rng.random(remainder.size) < (self._capacity / indices)
+        slots = self._rng.integers(0, self._capacity, size=remainder.size)
+        for value, keep, slot in zip(remainder, accept, slots):
+            if keep:
+                self._reservoir[slot] = value
+        self._seen += remainder.size
+
+    def sample(self) -> np.ndarray:
+        """The current sample (a copy; at most ``capacity`` values)."""
+        return self._reservoir[: min(self._seen, self._capacity)].copy()
+
+
+class StreamingBucketCounter:
+    """Accumulate bucket counts over a stream of (values, masks) chunks."""
+
+    def __init__(self, bucketing: Bucketing, objective_labels: list[str] | None = None) -> None:
+        self._bucketing = bucketing
+        self._labels = list(objective_labels or [])
+        self._sizes = np.zeros(bucketing.num_buckets, dtype=np.int64)
+        self._conditional = {
+            label: np.zeros(bucketing.num_buckets, dtype=np.int64) for label in self._labels
+        }
+        self._lows = np.full(bucketing.num_buckets, np.inf)
+        self._highs = np.full(bucketing.num_buckets, -np.inf)
+        self._total = 0
+
+    @property
+    def bucketing(self) -> Bucketing:
+        """The bucket boundaries being counted against."""
+        return self._bucketing
+
+    @property
+    def total(self) -> int:
+        """Number of tuples counted so far."""
+        return self._total
+
+    def update(
+        self,
+        values: np.ndarray,
+        masks: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        """Add one chunk of attribute values (and objective masks) to the counts."""
+        chunk = np.asarray(values, dtype=np.float64).ravel()
+        if chunk.size == 0:
+            return
+        self._sizes += self._bucketing.counts(chunk)
+        lows, highs = self._bucketing.data_bounds(chunk)
+        observed = ~np.isnan(lows)
+        self._lows[observed] = np.minimum(self._lows[observed], lows[observed])
+        self._highs[observed] = np.maximum(self._highs[observed], highs[observed])
+        for label in self._labels:
+            if masks is None or label not in masks:
+                raise BucketingError(f"chunk is missing the mask for objective {label!r}")
+            mask = np.asarray(masks[label], dtype=bool).ravel()
+            if mask.shape != chunk.shape:
+                raise BucketingError(
+                    f"mask for {label!r} has shape {mask.shape}, expected {chunk.shape}"
+                )
+            self._conditional[label] += self._bucketing.conditional_counts(chunk, mask)
+        self._total += chunk.size
+
+    def sizes(self) -> np.ndarray:
+        """Accumulated per-bucket tuple counts."""
+        return self._sizes.copy()
+
+    def conditional(self, label: str) -> np.ndarray:
+        """Accumulated per-bucket counts for one objective."""
+        if label not in self._conditional:
+            raise BucketingError(f"unknown objective label {label!r}")
+        return self._conditional[label].copy()
+
+    def to_profile(self, label: str, attribute: str = "A") -> BucketProfile:
+        """Materialize a :class:`BucketProfile` for one objective.
+
+        Empty buckets are dropped (as the in-memory profile builder does), so
+        the result feeds straight into the solvers.
+        """
+        sizes = self._sizes.astype(np.float64)
+        values = self.conditional(label).astype(np.float64)
+        keep = sizes > 0
+        if not np.any(keep):
+            raise BucketingError("no tuples have been counted yet")
+        return BucketProfile(
+            attribute=attribute,
+            objective_label=label,
+            sizes=sizes[keep],
+            values=values[keep],
+            lows=self._lows[keep],
+            highs=self._highs[keep],
+            total=float(self._total),
+        )
+
+
+def streaming_equidepth_bucketing(
+    chunks: Iterable[np.ndarray],
+    num_buckets: int,
+    sample_factor: int = 40,
+    rng: np.random.Generator | None = None,
+    deduplicate: bool = True,
+) -> Bucketing:
+    """Algorithm 3.1 step 1–3 over a stream: reservoir sample, sort, cut."""
+    if num_buckets <= 0:
+        raise BucketingError("num_buckets must be positive")
+    if num_buckets == 1:
+        # Still consume the stream so callers can reuse exhausted iterators safely.
+        for _ in chunks:
+            pass
+        return Bucketing.single_bucket()
+    sampler = ReservoirSampler(sample_factor * num_buckets, rng=rng)
+    for chunk in chunks:
+        sampler.extend(chunk)
+    sample = sampler.sample()
+    if sample.size == 0:
+        raise BucketingError("the stream contained no values")
+    sample.sort(kind="stable")
+    bucketing = equidepth_cuts_from_sorted(sample, num_buckets)
+    return bucketing.deduplicated() if deduplicate else bucketing
+
+
+def build_streaming_profile(
+    chunk_factory: Callable[[], Iterator[tuple[np.ndarray, np.ndarray]]],
+    num_buckets: int,
+    attribute: str = "A",
+    objective_label: str = "C",
+    sample_factor: int = 40,
+    rng: np.random.Generator | None = None,
+) -> BucketProfile:
+    """Two-pass profile construction over chunked ``(values, objective_mask)`` data.
+
+    ``chunk_factory`` must return a *fresh* iterator each time it is called
+    (the first pass draws the sample, the second pass counts) — exactly the
+    two sequential scans the paper's system performs over the database file.
+    """
+    first_pass = (values for values, _ in chunk_factory())
+    bucketing = streaming_equidepth_bucketing(
+        first_pass, num_buckets, sample_factor=sample_factor, rng=rng
+    )
+    counter = StreamingBucketCounter(bucketing, objective_labels=[objective_label])
+    for values, mask in chunk_factory():
+        counter.update(values, {objective_label: mask})
+    return counter.to_profile(objective_label, attribute=attribute)

@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+Three groups of subcommands mirror how the paper's system would be used:
+
+* ``dataset``    — materialize one of the bundled synthetic datasets as CSV;
+* ``mine``       — mine optimized rules from a CSV file (confidence, support,
+  or the §5 average-operator variants);
+* ``experiment`` — run one of the figure/table reproductions and print its
+  report.
+
+Examples
+--------
+::
+
+    python -m repro dataset bank --rows 50000 --out bank.csv
+    python -m repro mine bank.csv --attribute balance --objective card_loan \
+        --kind confidence --min-support 0.1
+    python -m repro experiment figure10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.miner import OptimizedRuleMiner
+from repro.datasets.loaders import DATASET_NAMES, generate_named_dataset, load_dataset, save_dataset
+from repro.exceptions import ReproError
+from repro.experiments import (
+    run_bucket_quality_sweep,
+    run_catalog_experiment,
+    run_figure1,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_table1,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "figure1": lambda: run_figure1(),
+    "table1": lambda: run_table1(),
+    "figure9": lambda: run_figure9(),
+    "figure10": lambda: run_figure10(),
+    "figure11": lambda: run_figure11(),
+    "catalog": lambda: run_catalog_experiment(),
+    "bucket-quality": lambda: run_bucket_quality_sweep(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mine optimized association rules for numeric attributes "
+        "(Fukuda et al., PODS 1996).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    dataset_parser = subparsers.add_parser(
+        "dataset", help="generate a bundled synthetic dataset as CSV"
+    )
+    dataset_parser.add_argument("name", choices=sorted(DATASET_NAMES))
+    dataset_parser.add_argument("--rows", type=int, default=10_000)
+    dataset_parser.add_argument("--seed", type=int, default=0)
+    dataset_parser.add_argument("--out", required=True, help="output CSV path")
+
+    mine_parser = subparsers.add_parser("mine", help="mine optimized rules from a CSV file")
+    mine_parser.add_argument("csv", help="input CSV file with a header row")
+    mine_parser.add_argument("--attribute", required=True, help="numeric attribute to range over")
+    mine_parser.add_argument(
+        "--objective",
+        required=True,
+        help="Boolean objective attribute (confidence/support rules) or numeric "
+        "target attribute (average rules)",
+    )
+    mine_parser.add_argument(
+        "--kind",
+        choices=("confidence", "support", "max-average", "max-support-average"),
+        default="confidence",
+    )
+    mine_parser.add_argument("--min-support", type=float, default=0.10)
+    mine_parser.add_argument("--min-confidence", type=float, default=0.50)
+    mine_parser.add_argument("--min-average", type=float, default=0.0)
+    mine_parser.add_argument("--buckets", type=int, default=500)
+    mine_parser.add_argument("--seed", type=int, default=0)
+
+    catalog_parser = subparsers.add_parser(
+        "catalog", help="mine optimized rules for every numeric/Boolean attribute pair"
+    )
+    catalog_parser.add_argument("csv", help="input CSV file with a header row")
+    catalog_parser.add_argument("--min-support", type=float, default=0.10)
+    catalog_parser.add_argument("--min-confidence", type=float, default=0.50)
+    catalog_parser.add_argument("--buckets", type=int, default=200)
+    catalog_parser.add_argument("--top", type=int, default=10, help="rules to print")
+    catalog_parser.add_argument("--rank-by", choices=("lift", "confidence", "support"), default="lift")
+    catalog_parser.add_argument("--out-csv", default=None, help="also export the catalog as CSV")
+    catalog_parser.add_argument(
+        "--out-markdown", default=None, help="also export the top rules as a Markdown table"
+    )
+    catalog_parser.add_argument("--seed", type=int, default=0)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run one of the paper-reproduction experiments"
+    )
+    experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS))
+    return parser
+
+
+def _run_dataset(args: argparse.Namespace) -> int:
+    relation = generate_named_dataset(args.name, args.rows, seed=args.seed)
+    path = save_dataset(relation, args.out)
+    print(f"wrote {relation.num_tuples} tuples x {relation.num_attributes} attributes to {path}")
+    return 0
+
+
+def _run_mine(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    relation = load_dataset(args.csv)
+    miner = OptimizedRuleMiner(
+        relation, num_buckets=args.buckets, rng=np.random.default_rng(args.seed)
+    )
+    if args.kind == "confidence":
+        rule = miner.optimized_confidence_rule(
+            args.attribute, args.objective, min_support=args.min_support
+        )
+    elif args.kind == "support":
+        rule = miner.optimized_support_rule(
+            args.attribute, args.objective, min_confidence=args.min_confidence
+        )
+    elif args.kind == "max-average":
+        rule = miner.maximum_average_rule(
+            args.attribute, args.objective, min_support=args.min_support
+        )
+    else:
+        rule = miner.maximum_support_average_rule(
+            args.attribute, args.objective, min_average=args.min_average
+        )
+    if rule is None:
+        print("no rule satisfies the requested thresholds")
+        return 1
+    print(rule)
+    return 0
+
+
+def _run_catalog(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.mining import mine_rule_catalog
+    from repro.reporting import catalog_to_csv, catalog_to_markdown
+
+    relation = load_dataset(args.csv)
+    catalog = mine_rule_catalog(
+        relation,
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        num_buckets=args.buckets,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(
+        f"mined {len(catalog)} rules over {catalog.num_pairs} attribute pairs "
+        f"(support >= {args.min_support:.0%} / confidence >= {args.min_confidence:.0%})"
+    )
+    for entry in catalog.top(args.top, by=args.rank_by):
+        print(f"  [{entry.lift:5.2f}x] {entry.rule}")
+    if args.out_csv:
+        path = catalog_to_csv(catalog, Path(args.out_csv))
+        print(f"wrote full catalog to {path}")
+    if args.out_markdown:
+        Path(args.out_markdown).write_text(
+            catalog_to_markdown(catalog, limit=args.top, by=args.rank_by), encoding="utf-8"
+        )
+        print(f"wrote Markdown summary to {args.out_markdown}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    result = _EXPERIMENTS[args.name]()
+    print(result.report())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "dataset":
+            return _run_dataset(args)
+        if args.command == "mine":
+            return _run_mine(args)
+        if args.command == "catalog":
+            return _run_catalog(args)
+        if args.command == "experiment":
+            return _run_experiment(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Core optimized-rule algorithms (§4 and §5 of the paper).
+
+Exports the bucket profile, the two linear-time solvers (optimized
+confidence via the convex-hull tangent sweep, optimized support via the
+effective-index scan), their quadratic reference implementations, the
+Kadane maximum-gain baseline, the §5 average-operator ranges, the rule data
+model, and the high-level :class:`OptimizedRuleMiner` facade.
+"""
+
+from repro.core.average import (
+    maximum_average_range,
+    maximum_average_rule,
+    maximum_support_average_rule,
+    maximum_support_range,
+)
+from repro.core.kadane import gain_of_range, maximum_gain_range
+from repro.core.miner import MiningSettings, OptimizedRuleMiner
+from repro.core.naive import naive_maximize_ratio, naive_maximize_support
+from repro.core.optimized_confidence import (
+    maximize_ratio,
+    optimized_confidence_from_profile,
+    solve_optimized_confidence,
+)
+from repro.core.optimized_support import (
+    effective_indices,
+    maximize_support,
+    optimized_support_from_profile,
+    solve_optimized_support,
+)
+from repro.core.profile import BucketProfile
+from repro.core.rules import (
+    OptimizedAverageRule,
+    OptimizedRangeRule,
+    RangeSelection,
+    RuleKind,
+)
+
+__all__ = [
+    "BucketProfile",
+    "RangeSelection",
+    "RuleKind",
+    "OptimizedRangeRule",
+    "OptimizedAverageRule",
+    "maximize_ratio",
+    "solve_optimized_confidence",
+    "optimized_confidence_from_profile",
+    "maximize_support",
+    "effective_indices",
+    "solve_optimized_support",
+    "optimized_support_from_profile",
+    "naive_maximize_ratio",
+    "naive_maximize_support",
+    "maximum_gain_range",
+    "gain_of_range",
+    "maximum_average_range",
+    "maximum_support_range",
+    "maximum_average_rule",
+    "maximum_support_average_rule",
+    "OptimizedRuleMiner",
+    "MiningSettings",
+]

@@ -1,0 +1,107 @@
+"""Optimized ranges for the average operator (§5).
+
+Decision-support queries often aggregate one numeric attribute over a range
+of another, e.g. *"the average saving-account balance of customers whose
+checking-account balance lies in [v1, v2]"*.  §5 observes that both
+optimized variants of that question reduce to the §4 algorithms by setting
+``v_i`` to the per-bucket *sum* of the target attribute ``B`` instead of a
+tuple count:
+
+* **maximum-average range** — among ranges of the grouping attribute with
+  support at least a threshold, maximize ``avg_B``; this is the optimal
+  slope pair problem solved by :func:`repro.core.maximize_ratio`.
+* **maximum-support range** — among ranges whose ``avg_B`` is at least a
+  threshold (necessarily above the global average for the problem to be
+  non-trivial), maximize the support; this is the effective-index problem
+  solved by :func:`repro.core.maximize_support`.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimized_confidence import maximize_ratio
+from repro.core.optimized_support import maximize_support
+from repro.core.profile import BucketProfile
+from repro.core.rules import OptimizedAverageRule, RangeSelection, RuleKind
+from repro.core.validation import validate_fraction, validate_threshold
+
+__all__ = [
+    "maximum_average_range",
+    "maximum_support_range",
+    "maximum_average_rule",
+    "maximum_support_average_rule",
+]
+
+
+def maximum_average_range(
+    profile: BucketProfile, min_support: float
+) -> RangeSelection | None:
+    """Range of the grouping attribute maximizing the target average.
+
+    ``profile`` must have been built with
+    :meth:`BucketProfile.from_relation_average` (``v_i`` holds per-bucket
+    sums of the target attribute); ``min_support`` is the minimum fraction of
+    tuples the range must contain.
+    """
+    min_support = validate_fraction("min_support", min_support, allow_zero=True)
+    return maximize_ratio(
+        profile.sizes,
+        profile.values,
+        min_support_count=min_support * profile.total,
+        total=profile.total,
+    )
+
+
+def maximum_support_range(
+    profile: BucketProfile, min_average: float
+) -> RangeSelection | None:
+    """Range of the grouping attribute maximizing support under an average floor.
+
+    When ``min_average`` is at or below the global average of the target the
+    whole domain trivially qualifies (the paper notes this case); the solver
+    naturally returns the full range then.
+    """
+    min_average = validate_threshold("min_average", min_average)
+    return maximize_support(
+        profile.sizes,
+        profile.values,
+        min_ratio=min_average,
+        total=profile.total,
+    )
+
+
+def maximum_average_rule(
+    profile: BucketProfile, target: str, min_support: float
+) -> OptimizedAverageRule | None:
+    """Wrap :func:`maximum_average_range` into a presentation object."""
+    selection = maximum_average_range(profile, min_support)
+    if selection is None:
+        return None
+    low, high = profile.range_bounds(selection.start, selection.end)
+    return OptimizedAverageRule(
+        attribute=profile.attribute,
+        target=target,
+        low=low,
+        high=high,
+        selection=selection,
+        kind=RuleKind.MAXIMUM_AVERAGE,
+        threshold=min_support,
+    )
+
+
+def maximum_support_average_rule(
+    profile: BucketProfile, target: str, min_average: float
+) -> OptimizedAverageRule | None:
+    """Wrap :func:`maximum_support_range` into a presentation object."""
+    selection = maximum_support_range(profile, min_average)
+    if selection is None:
+        return None
+    low, high = profile.range_bounds(selection.start, selection.end)
+    return OptimizedAverageRule(
+        attribute=profile.attribute,
+        target=target,
+        low=low,
+        high=high,
+        selection=selection,
+        kind=RuleKind.MAXIMUM_SUPPORT_AVERAGE,
+        threshold=min_average,
+    )

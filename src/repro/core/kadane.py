@@ -1,0 +1,93 @@
+"""Kadane's maximum-gain range (and why it is *not* the optimized-support rule).
+
+§4.2 discusses Bentley's linear-time maximum-subarray algorithm: defining the
+*gain* of a range ``I`` as ``Σ_{i∈I} (v_i − θ·u_i)``, Kadane's algorithm
+finds the range with maximal gain in one pass.  Any range with non-negative
+gain has confidence at least ``θ``, so it is tempting to use the maximum-gain
+range as the optimized-support rule — but the paper points out this is wrong:
+the maximum-gain range may be strictly contained in a *larger* confident
+range whose gain is smaller (extra buckets with confidence just below 100 %
+reduce the gain while keeping the ratio above ``θ`` and increasing the
+support).
+
+This module implements the gain formulation faithfully so the ablation
+benchmark and the unit tests can demonstrate the discrepancy on concrete
+profiles (see ``tests/core/test_kadane.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rules import RangeSelection
+from repro.core.validation import validate_bucket_arrays, validate_threshold
+
+__all__ = ["maximum_gain_range", "gain_of_range"]
+
+
+def gain_of_range(
+    sizes: Sequence[float] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    min_ratio: float,
+    start: int,
+    end: int,
+) -> float:
+    """Gain ``Σ (v_i − θ·u_i)`` of the bucket range ``start..end`` (inclusive)."""
+    sizes, values = validate_bucket_arrays(sizes, values)
+    min_ratio = validate_threshold("min_ratio", min_ratio)
+    if not (0 <= start <= end < sizes.shape[0]):
+        raise IndexError(f"invalid bucket range [{start}, {end}]")
+    gains = values - min_ratio * sizes
+    return float(gains[start : end + 1].sum())
+
+
+def maximum_gain_range(
+    sizes: Sequence[float] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    min_ratio: float,
+    total: float | None = None,
+) -> RangeSelection | None:
+    """Kadane's algorithm over the per-bucket gains ``v_i − θ·u_i``.
+
+    Returns the contiguous bucket range with the maximal total gain, or
+    ``None`` when every range has negative gain (equivalently, no confident
+    range exists).  Note that when a confident range exists, this range is
+    confident too — but it does **not** in general maximize the support,
+    which is exactly the paper's argument for needing Algorithms 4.3/4.4.
+    """
+    sizes, values = validate_bucket_arrays(sizes, values)
+    min_ratio = validate_threshold("min_ratio", min_ratio)
+    num_buckets = sizes.shape[0]
+    total = float(sizes.sum()) if total is None else float(total)
+
+    gains = values - min_ratio * sizes
+
+    best_gain = -np.inf
+    best_start = -1
+    best_end = -1
+    running_gain = 0.0
+    running_start = 0
+    for index in range(num_buckets):
+        if running_gain <= 0.0:
+            running_gain = float(gains[index])
+            running_start = index
+        else:
+            running_gain += float(gains[index])
+        if running_gain > best_gain:
+            best_gain = running_gain
+            best_start = running_start
+            best_end = index
+
+    if best_start < 0 or best_gain < 0.0:
+        return None
+    support_count = float(sizes[best_start : best_end + 1].sum())
+    objective_value = float(values[best_start : best_end + 1].sum())
+    return RangeSelection(
+        start=best_start,
+        end=best_end,
+        support_count=support_count,
+        objective_value=objective_value,
+        total_count=total,
+    )

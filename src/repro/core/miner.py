@@ -1,0 +1,258 @@
+"""High-level facade: mine optimized rules directly from a relation.
+
+:class:`OptimizedRuleMiner` ties the pieces together the way the paper's
+system does end to end:
+
+1. bucket the chosen numeric attribute (by default with the randomized
+   almost-equi-depth bucketizer of Algorithm 3.1, §3);
+2. count the per-bucket tuple totals ``u_i`` and objective matches ``v_i``;
+3. run the linear-time optimizers of §4 (or the §5 average-operator
+   variants);
+4. instantiate the winning bucket range into a concrete value range and
+   return a printable rule object.
+
+The miner caches bucketings and profiles keyed by the attribute and the
+objective so that mining many rules over the same relation (the
+"all combinations of hundreds of numeric and Boolean attributes" scenario of
+§1.3) does not repeat the bucketing scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bucketing.base import Bucketing, Bucketizer
+from repro.bucketing.equidepth_sample import SampledEquiDepthBucketizer
+from repro.core.average import maximum_average_rule, maximum_support_average_rule
+from repro.core.optimized_confidence import solve_optimized_confidence
+from repro.core.optimized_support import solve_optimized_support
+from repro.core.profile import BucketProfile
+from repro.core.rules import OptimizedAverageRule, OptimizedRangeRule, RuleKind
+from repro.exceptions import OptimizationError, SchemaError
+from repro.relation.conditions import BooleanIs, Condition
+from repro.relation.relation import Relation
+
+__all__ = ["OptimizedRuleMiner", "MiningSettings"]
+
+
+@dataclass(frozen=True)
+class MiningSettings:
+    """Default thresholds used by bulk mining helpers."""
+
+    min_support: float = 0.10
+    min_confidence: float = 0.50
+    num_buckets: int = 1000
+
+
+class OptimizedRuleMiner:
+    """Mine optimized association rules for numeric attributes of a relation.
+
+    Parameters
+    ----------
+    relation:
+        The relation to mine.
+    num_buckets:
+        Number of buckets to aim for on each numeric attribute.
+    bucketizer:
+        Strategy that builds the buckets; defaults to the paper's randomized
+        sampling bucketizer (Algorithm 3.1).
+    rng:
+        Random generator forwarded to the bucketizer so that experiments can
+        be reproduced exactly.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        num_buckets: int = 1000,
+        bucketizer: Bucketizer | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_buckets <= 0:
+            raise OptimizationError("num_buckets must be positive")
+        self._relation = relation
+        self._num_buckets = int(num_buckets)
+        self._bucketizer = bucketizer if bucketizer is not None else SampledEquiDepthBucketizer()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._bucketings: dict[str, Bucketing] = {}
+        self._profiles: dict[tuple[str, str, str], BucketProfile] = {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    @property
+    def relation(self) -> Relation:
+        """The relation being mined."""
+        return self._relation
+
+    @property
+    def num_buckets(self) -> int:
+        """Requested number of buckets per numeric attribute."""
+        return self._num_buckets
+
+    def bucketing_for(self, attribute: str) -> Bucketing:
+        """The (cached) bucketing of a numeric attribute."""
+        if attribute not in self._bucketings:
+            schema_attribute = self._relation.schema.attribute(attribute)
+            if not schema_attribute.is_numeric:
+                raise SchemaError(f"attribute {attribute!r} is not numeric")
+            values = self._relation.numeric_column(attribute)
+            requested = min(self._num_buckets, int(np.unique(values).size))
+            requested = max(requested, 1)
+            self._bucketings[attribute] = self._bucketizer.build(
+                values, requested, rng=self._rng
+            )
+        return self._bucketings[attribute]
+
+    def profile_for(
+        self,
+        attribute: str,
+        objective: Condition,
+        presumptive: Condition | None = None,
+    ) -> BucketProfile:
+        """The (cached) bucket profile of an attribute/objective pair."""
+        key = (attribute, str(objective), str(presumptive) if presumptive else "")
+        if key not in self._profiles:
+            self._profiles[key] = BucketProfile.from_relation(
+                self._relation,
+                attribute,
+                objective,
+                self.bucketing_for(attribute),
+                presumptive=presumptive,
+            )
+        return self._profiles[key]
+
+    def average_profile_for(self, attribute: str, target: str) -> BucketProfile:
+        """The (cached) average-operator profile of a grouping/target pair."""
+        key = (attribute, f"avg({target})", "")
+        if key not in self._profiles:
+            self._profiles[key] = BucketProfile.from_relation_average(
+                self._relation, attribute, target, self.bucketing_for(attribute)
+            )
+        return self._profiles[key]
+
+    @staticmethod
+    def _as_condition(objective: Condition | str) -> Condition:
+        """Allow objectives to be given as a Boolean attribute name."""
+        if isinstance(objective, str):
+            return BooleanIs(objective, True)
+        return objective
+
+    # -- single-rule mining -------------------------------------------------------
+
+    def optimized_confidence_rule(
+        self,
+        attribute: str,
+        objective: Condition | str,
+        min_support: float,
+        presumptive: Condition | None = None,
+    ) -> OptimizedRangeRule | None:
+        """The optimized-confidence rule for one attribute/objective pair.
+
+        Returns ``None`` when no range of the attribute reaches the minimum
+        support (for example because the presumptive conjunct is too rare).
+        """
+        objective = self._as_condition(objective)
+        profile = self.profile_for(attribute, objective, presumptive)
+        selection = solve_optimized_confidence(profile, min_support)
+        if selection is None:
+            return None
+        low, high = profile.range_bounds(selection.start, selection.end)
+        return OptimizedRangeRule(
+            attribute=attribute,
+            objective=objective,
+            low=low,
+            high=high,
+            selection=selection,
+            kind=RuleKind.OPTIMIZED_CONFIDENCE,
+            threshold=float(min_support),
+            presumptive=presumptive,
+        )
+
+    def optimized_support_rule(
+        self,
+        attribute: str,
+        objective: Condition | str,
+        min_confidence: float,
+        presumptive: Condition | None = None,
+    ) -> OptimizedRangeRule | None:
+        """The optimized-support rule for one attribute/objective pair.
+
+        Returns ``None`` when no range of the attribute reaches the minimum
+        confidence.
+        """
+        objective = self._as_condition(objective)
+        profile = self.profile_for(attribute, objective, presumptive)
+        selection = solve_optimized_support(profile, min_confidence)
+        if selection is None:
+            return None
+        low, high = profile.range_bounds(selection.start, selection.end)
+        return OptimizedRangeRule(
+            attribute=attribute,
+            objective=objective,
+            low=low,
+            high=high,
+            selection=selection,
+            kind=RuleKind.OPTIMIZED_SUPPORT,
+            threshold=float(min_confidence),
+            presumptive=presumptive,
+        )
+
+    def maximum_average_rule(
+        self, attribute: str, target: str, min_support: float
+    ) -> OptimizedAverageRule | None:
+        """§5 maximum-average range of ``target`` grouped by ``attribute``."""
+        profile = self.average_profile_for(attribute, target)
+        return maximum_average_rule(profile, target, min_support)
+
+    def maximum_support_average_rule(
+        self, attribute: str, target: str, min_average: float
+    ) -> OptimizedAverageRule | None:
+        """§5 maximum-support range of ``attribute`` with an average floor on ``target``."""
+        profile = self.average_profile_for(attribute, target)
+        return maximum_support_average_rule(profile, target, min_average)
+
+    # -- bulk mining ---------------------------------------------------------------
+
+    def mine_all_pairs(
+        self,
+        settings: MiningSettings | None = None,
+        numeric_attributes: list[str] | None = None,
+        objectives: list[Condition | str] | None = None,
+        kind: RuleKind = RuleKind.OPTIMIZED_CONFIDENCE,
+    ) -> list[OptimizedRangeRule]:
+        """Mine one optimized rule per (numeric attribute, objective) pair.
+
+        This is the "complete set of optimized rules for all combinations of
+        hundreds of numeric and Boolean attributes" use case of §1.3.  Pairs
+        with no feasible range are silently skipped.
+        """
+        settings = settings if settings is not None else MiningSettings()
+        schema = self._relation.schema
+        if numeric_attributes is None:
+            numeric_attributes = schema.numeric_names()
+        if objectives is None:
+            objectives = list(schema.boolean_names())
+
+        rules: list[OptimizedRangeRule] = []
+        for attribute in numeric_attributes:
+            for objective in objectives:
+                condition = self._as_condition(objective)
+                if attribute in condition.attribute_names():
+                    continue
+                if kind is RuleKind.OPTIMIZED_CONFIDENCE:
+                    rule = self.optimized_confidence_rule(
+                        attribute, condition, settings.min_support
+                    )
+                elif kind is RuleKind.OPTIMIZED_SUPPORT:
+                    rule = self.optimized_support_rule(
+                        attribute, condition, settings.min_confidence
+                    )
+                else:
+                    raise OptimizationError(
+                        f"mine_all_pairs supports confidence/support rules, got {kind}"
+                    )
+                if rule is not None:
+                    rules.append(rule)
+        return rules

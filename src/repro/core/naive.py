@@ -1,0 +1,112 @@
+"""Quadratic-time reference solvers.
+
+§1.3 notes there are "trivial ways of computing optimized support rules and
+optimized confidence rules in O(N²) time"; these are those baselines, used
+both as the comparison subject of the Figure 10 / Figure 11 experiments and
+as ground truth in the differential tests of the linear-time solvers.
+
+Both functions enumerate every pair of bucket indices ``s <= t``.  The work
+per starting index is vectorized with numpy prefix sums, so the running time
+is quadratic in the number of buckets (as the paper's naive method is) while
+remaining practical for differential testing at a few thousand buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rules import RangeSelection
+from repro.core.validation import validate_bucket_arrays
+
+__all__ = ["naive_maximize_ratio", "naive_maximize_support"]
+
+
+def naive_maximize_ratio(
+    sizes: Sequence[float] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    min_support_count: float,
+    total: float | None = None,
+) -> RangeSelection | None:
+    """Optimized-confidence rule by exhaustive enumeration.
+
+    Among all ranges of consecutive buckets whose tuple count is at least
+    ``min_support_count``, return the one maximizing ``Σv / Σu``; ties are
+    broken towards the larger tuple count (as Definition 4.2 requires), then
+    the smaller starting index.  Returns ``None`` when no range is ample.
+    """
+    sizes, values = validate_bucket_arrays(sizes, values)
+    num_buckets = sizes.shape[0]
+    total = float(sizes.sum()) if total is None else float(total)
+    prefix_sizes = np.concatenate(([0.0], np.cumsum(sizes)))
+    prefix_values = np.concatenate(([0.0], np.cumsum(values)))
+
+    best_key: tuple[float, float] | None = None
+    best_selection: RangeSelection | None = None
+    for start in range(num_buckets):
+        counts = prefix_sizes[start + 1 :] - prefix_sizes[start]
+        sums = prefix_values[start + 1 :] - prefix_values[start]
+        ample = counts >= min_support_count
+        if not np.any(ample):
+            continue
+        ratios = np.where(ample, sums / counts, -np.inf)
+        top_ratio = float(ratios.max())
+        # Among the ends achieving the top ratio for this start, prefer the
+        # largest tuple count; counts grow with the end index, so take the
+        # last tied position.
+        tied = np.nonzero(ratios == top_ratio)[0]
+        offset = int(tied[-1])
+        key = (top_ratio, float(counts[offset]))
+        if best_key is None or key > best_key:
+            best_key = key
+            best_selection = RangeSelection(
+                start=start,
+                end=start + offset,
+                support_count=float(counts[offset]),
+                objective_value=float(sums[offset]),
+                total_count=total,
+            )
+    return best_selection
+
+
+def naive_maximize_support(
+    sizes: Sequence[float] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    min_ratio: float,
+    total: float | None = None,
+) -> RangeSelection | None:
+    """Optimized-support rule by exhaustive enumeration.
+
+    Among all ranges of consecutive buckets whose confidence (or average)
+    ``Σv / Σu`` is at least ``min_ratio``, return the one maximizing the
+    tuple count ``Σu``; ties are broken towards the smaller starting index.
+    Returns ``None`` when no range is confident.
+    """
+    sizes, values = validate_bucket_arrays(sizes, values)
+    num_buckets = sizes.shape[0]
+    total = float(sizes.sum()) if total is None else float(total)
+    prefix_sizes = np.concatenate(([0.0], np.cumsum(sizes)))
+    prefix_values = np.concatenate(([0.0], np.cumsum(values)))
+
+    best_count = -np.inf
+    best_selection: RangeSelection | None = None
+    for start in range(num_buckets):
+        counts = prefix_sizes[start + 1 :] - prefix_sizes[start]
+        sums = prefix_values[start + 1 :] - prefix_values[start]
+        confident = sums >= min_ratio * counts
+        if not np.any(confident):
+            continue
+        # Tuple counts grow with the end index, so the best confident end for
+        # this start is simply the last confident position.
+        offset = int(np.nonzero(confident)[0][-1])
+        if counts[offset] > best_count:
+            best_count = float(counts[offset])
+            best_selection = RangeSelection(
+                start=start,
+                end=start + offset,
+                support_count=float(counts[offset]),
+                objective_value=float(sums[offset]),
+                total_count=total,
+            )
+    return best_selection

@@ -1,0 +1,175 @@
+"""Linear-time optimized-support solver (Algorithms 4.3 and 4.4).
+
+Problem (Definition 4.4): given per-bucket tuple counts ``u_1..u_M`` and
+objective values ``v_1..v_M`` and a minimum ratio ``θ`` (the minimum
+confidence for rules, or the minimum average for the §5 operator), find the
+range of consecutive buckets ``s..t`` whose ratio ``Σv / Σu`` is at least
+``θ`` and whose tuple count ``Σu`` is maximal.
+
+The solver runs in two linear passes over the buckets:
+
+* **Effective indices** (Algorithm 4.3).  An index ``s`` is *effective* when
+  every prefix ending just before ``s`` has ratio below ``θ`` — formally
+  ``avg(j, s-1) < θ`` for every ``j < s``.  Lemma 4.1 shows the optimal
+  range must start at an effective index (otherwise extending it to the left
+  would keep the constraint and increase the support).  Defining the *gain*
+  of a bucket as ``v_i − θ·u_i``, ``s`` is effective exactly when the maximal
+  gain of a range ending at ``s-1`` is negative, which the forward recurrence
+  ``w ← gain_{s-1} + max(0, w)`` tracks in constant time per index.
+* **Backward sweep** (Algorithm 4.4).  For an effective ``s`` let ``top(s)``
+  be the largest ``t ≥ s`` with ``avg(s, t) ≥ θ``.  Lemma 4.2 shows ``top``
+  is non-decreasing over effective indices, so scanning the effective indices
+  from right to left while a single pointer ``t`` moves only leftwards finds
+  every ``top(s)`` in linear total time.  The constraint check uses the
+  cumulative gain table ``F`` so each check is O(1).
+
+The best range is then the ``(s, top(s))`` pair with the largest tuple count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.profile import BucketProfile
+from repro.core.rules import RangeSelection
+from repro.core.validation import (
+    validate_bucket_arrays,
+    validate_fraction,
+    validate_threshold,
+)
+from repro.exceptions import NoFeasibleRangeError
+
+__all__ = [
+    "effective_indices",
+    "maximize_support",
+    "solve_optimized_support",
+    "optimized_support_from_profile",
+]
+
+
+def effective_indices(
+    sizes: Sequence[float] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    min_ratio: float,
+) -> list[int]:
+    """Algorithm 4.3: the effective starting indices for threshold ``min_ratio``.
+
+    Index 0 is always effective; index ``s > 0`` is effective when
+    ``max_{j<s} Σ_{i=j..s-1} (v_i − θ·u_i) < 0``.
+    """
+    sizes, values = validate_bucket_arrays(sizes, values)
+    min_ratio = validate_threshold("min_ratio", min_ratio)
+    gains = values - min_ratio * sizes
+    effective = [0]
+    running = 0.0
+    for index in range(1, sizes.shape[0]):
+        running = gains[index - 1] + max(0.0, running)
+        if running < 0.0:
+            effective.append(index)
+    return effective
+
+
+def maximize_support(
+    sizes: Sequence[float] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    min_ratio: float,
+    total: float | None = None,
+) -> RangeSelection | None:
+    """Find the confident range of consecutive buckets with maximal tuple count.
+
+    Parameters
+    ----------
+    sizes:
+        Per-bucket tuple counts ``u_i`` (all positive).
+    values:
+        Per-bucket objective values ``v_i``.
+    min_ratio:
+        Minimum ratio ``θ`` the selected range must reach.
+    total:
+        Tuple count ``N`` used to express supports; defaults to ``Σ u_i``.
+
+    Returns
+    -------
+    RangeSelection or None
+        The range with maximal ``Σ u_i`` among those with ``Σv/Σu ≥ θ``, or
+        ``None`` when no such range exists.  Ties are broken towards the
+        smaller starting index.
+    """
+    sizes, values = validate_bucket_arrays(sizes, values)
+    min_ratio = validate_threshold("min_ratio", min_ratio)
+    num_buckets = sizes.shape[0]
+    total = float(sizes.sum()) if total is None else float(total)
+
+    gains = values - min_ratio * sizes
+    cumulative_gain = np.concatenate(([0.0], np.cumsum(gains)))
+    prefix_sizes = np.concatenate(([0.0], np.cumsum(sizes)))
+    prefix_values = np.concatenate(([0.0], np.cumsum(values)))
+
+    starts = effective_indices(sizes, values, min_ratio)
+
+    best_start = -1
+    best_end = -1
+    best_count = -np.inf
+    pointer = num_buckets - 1
+    for start in reversed(starts):
+        # Move the shared pointer left until avg(start, pointer) >= theta,
+        # i.e. the cumulative gain of the range is non-negative.
+        while pointer >= start and cumulative_gain[pointer + 1] - cumulative_gain[start] < 0.0:
+            pointer -= 1
+        if pointer < start:
+            # No confident range starts here (nor at any larger effective
+            # index, by Lemma 4.2), but smaller effective indices may still
+            # admit one further to the left.
+            continue
+        count = prefix_sizes[pointer + 1] - prefix_sizes[start]
+        if count > best_count or (count == best_count and start < best_start):
+            best_count = float(count)
+            best_start = start
+            best_end = pointer
+
+    if best_start < 0:
+        return None
+    return RangeSelection(
+        start=best_start,
+        end=best_end,
+        support_count=float(prefix_sizes[best_end + 1] - prefix_sizes[best_start]),
+        objective_value=float(prefix_values[best_end + 1] - prefix_values[best_start]),
+        total_count=total,
+    )
+
+
+def solve_optimized_support(
+    profile: BucketProfile, min_confidence: float
+) -> RangeSelection | None:
+    """Optimized-support rule over a :class:`BucketProfile`.
+
+    ``min_confidence`` is a fraction in ``(0, 1]``; the returned selection is
+    ``None`` when no confident range exists.
+    """
+    min_confidence = validate_fraction("min_confidence", min_confidence)
+    return maximize_support(
+        profile.sizes,
+        profile.values,
+        min_ratio=min_confidence,
+        total=profile.total,
+    )
+
+
+def optimized_support_from_profile(
+    profile: BucketProfile, min_confidence: float
+) -> RangeSelection:
+    """Strict variant of :func:`solve_optimized_support`.
+
+    Raises
+    ------
+    NoFeasibleRangeError
+        When no range of consecutive buckets reaches the minimum confidence.
+    """
+    selection = solve_optimized_support(profile, min_confidence)
+    if selection is None:
+        raise NoFeasibleRangeError(
+            f"no range of {profile.attribute!r} reaches confidence {min_confidence:.1%}"
+        )
+    return selection

@@ -1,0 +1,273 @@
+"""Bucket profiles: the ``(u_i, v_i)`` arrays the optimizers consume.
+
+A :class:`BucketProfile` captures everything the §4 algorithms need about a
+numeric attribute / objective pair:
+
+* ``sizes`` — per-bucket tuple counts ``u_i`` (each at least 1);
+* ``values`` — per-bucket objective values ``v_i`` (a count of tuples that
+  meet the objective condition for confidence rules, or a sum of a target
+  attribute for the §5 average operator);
+* ``lows`` / ``highs`` — the observed minimum and maximum attribute values
+  per bucket, used to instantiate the final range ``[x_s, y_t]``;
+* ``total`` — the tuple count ``N`` that supports are measured against
+  (usually ``Σ u_i``, but the §4.3 conjunctive generalization measures
+  support against the whole relation while ``u_i`` only counts tuples
+  meeting the extra conjunct).
+
+Profiles are typically built from a relation with :meth:`from_relation` /
+:meth:`from_relation_average`, or directly from arrays with
+:meth:`from_counts` (the benchmark generators use the latter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.bucketing.base import Bucketing
+from repro.exceptions import ProfileError
+from repro.relation.conditions import Condition
+from repro.relation.relation import Relation
+
+__all__ = ["BucketProfile"]
+
+
+@dataclass(frozen=True)
+class BucketProfile:
+    """Per-bucket counts for one numeric attribute and one objective."""
+
+    attribute: str
+    objective_label: str
+    sizes: np.ndarray
+    values: np.ndarray
+    lows: np.ndarray
+    highs: np.ndarray
+    total: float
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.sizes, dtype=np.float64)
+        values = np.asarray(self.values, dtype=np.float64)
+        lows = np.asarray(self.lows, dtype=np.float64)
+        highs = np.asarray(self.highs, dtype=np.float64)
+        if not (sizes.shape == values.shape == lows.shape == highs.shape):
+            raise ProfileError("profile arrays must all have the same length")
+        if sizes.ndim != 1 or sizes.shape[0] == 0:
+            raise ProfileError("profile arrays must be one-dimensional and non-empty")
+        if np.any(sizes <= 0):
+            raise ProfileError(
+                "every bucket of a profile must contain at least one tuple; "
+                "use drop_empty_buckets() or build profiles via from_relation()"
+            )
+        if float(self.total) <= 0:
+            raise ProfileError("total tuple count must be positive")
+        for name, array in (
+            ("sizes", sizes),
+            ("values", values),
+            ("lows", lows),
+            ("highs", highs),
+        ):
+            if not np.all(np.isfinite(array)):
+                raise ProfileError(f"profile array {name!r} must be finite")
+        object.__setattr__(self, "sizes", sizes)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "lows", lows)
+        object.__setattr__(self, "highs", highs)
+        object.__setattr__(self, "total", float(self.total))
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def from_counts(
+        sizes: Sequence[float] | np.ndarray,
+        values: Sequence[float] | np.ndarray,
+        lows: Sequence[float] | np.ndarray | None = None,
+        highs: Sequence[float] | np.ndarray | None = None,
+        total: float | None = None,
+        attribute: str = "A",
+        objective_label: str = "C",
+    ) -> "BucketProfile":
+        """Build a profile from raw per-bucket arrays.
+
+        When ``lows`` / ``highs`` are omitted the bucket index itself is used
+        as the range bound, which is convenient for synthetic benchmark
+        profiles where only the bucket indices matter.
+        """
+        sizes_array = np.asarray(sizes, dtype=np.float64)
+        count = sizes_array.shape[0]
+        if lows is None:
+            lows = np.arange(count, dtype=np.float64)
+        if highs is None:
+            highs = np.arange(count, dtype=np.float64)
+        if total is None:
+            total = float(sizes_array.sum())
+        return BucketProfile(
+            attribute=attribute,
+            objective_label=objective_label,
+            sizes=sizes_array,
+            values=np.asarray(values, dtype=np.float64),
+            lows=np.asarray(lows, dtype=np.float64),
+            highs=np.asarray(highs, dtype=np.float64),
+            total=float(total),
+        )
+
+    @staticmethod
+    def from_relation(
+        relation: Relation,
+        attribute: str,
+        objective: Condition,
+        bucketing: Bucketing,
+        presumptive: Condition | None = None,
+    ) -> "BucketProfile":
+        """Profile a relation for confidence/support rules on ``attribute``.
+
+        ``u_i`` counts the tuples of bucket ``i`` (restricted to those meeting
+        the optional extra conjunct ``presumptive``), ``v_i`` counts how many
+        of them also meet ``objective``.  Empty buckets are dropped, so the
+        resulting profile always satisfies ``u_i >= 1``; support stays
+        measured against the full relation size.
+        """
+        values = np.asarray(relation.numeric_column(attribute), dtype=np.float64)
+        objective_mask = np.asarray(objective.mask(relation), dtype=bool)
+        if presumptive is not None:
+            base_mask = np.asarray(presumptive.mask(relation), dtype=bool)
+        else:
+            base_mask = np.ones(values.shape[0], dtype=bool)
+
+        base_values = values[base_mask]
+        if base_values.shape[0] == 0:
+            raise ProfileError(
+                "no tuple satisfies the presumptive conjunct; cannot build a profile"
+            )
+        sizes = bucketing.counts(base_values)
+        matched = bucketing.conditional_counts(values, base_mask & objective_mask)
+        lows, highs = bucketing.data_bounds(base_values)
+
+        label = str(objective)
+        profile = BucketProfile(
+            attribute=attribute,
+            objective_label=label,
+            sizes=sizes.astype(np.float64),
+            values=matched.astype(np.float64),
+            lows=lows,
+            highs=highs,
+            total=float(relation.num_tuples),
+        ) if np.all(sizes > 0) else BucketProfile._from_arrays_dropping_empty(
+            attribute, label, sizes, matched, lows, highs, float(relation.num_tuples)
+        )
+        return profile
+
+    @staticmethod
+    def from_relation_average(
+        relation: Relation,
+        attribute: str,
+        target: str,
+        bucketing: Bucketing,
+    ) -> "BucketProfile":
+        """Profile a relation for the §5 average operator.
+
+        ``u_i`` counts the tuples of bucket ``i`` of the grouping attribute;
+        ``v_i`` sums the *target* attribute over those tuples, so
+        ``v_i / u_i`` is the per-bucket average the §5 algorithms optimize.
+        """
+        values = np.asarray(relation.numeric_column(attribute), dtype=np.float64)
+        weights = np.asarray(relation.numeric_column(target), dtype=np.float64)
+        sizes = bucketing.counts(values)
+        sums = bucketing.weighted_sums(values, weights)
+        lows, highs = bucketing.data_bounds(values)
+        label = f"avg({target})"
+        if np.all(sizes > 0):
+            return BucketProfile(
+                attribute=attribute,
+                objective_label=label,
+                sizes=sizes.astype(np.float64),
+                values=sums,
+                lows=lows,
+                highs=highs,
+                total=float(relation.num_tuples),
+            )
+        return BucketProfile._from_arrays_dropping_empty(
+            attribute, label, sizes, sums, lows, highs, float(relation.num_tuples)
+        )
+
+    @staticmethod
+    def _from_arrays_dropping_empty(
+        attribute: str,
+        objective_label: str,
+        sizes: np.ndarray,
+        values: np.ndarray,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        total: float,
+    ) -> "BucketProfile":
+        """Build a profile keeping only non-empty buckets."""
+        keep = np.asarray(sizes) > 0
+        if not np.any(keep):
+            raise ProfileError("all buckets are empty; cannot build a profile")
+        return BucketProfile(
+            attribute=attribute,
+            objective_label=objective_label,
+            sizes=np.asarray(sizes, dtype=np.float64)[keep],
+            values=np.asarray(values, dtype=np.float64)[keep],
+            lows=np.asarray(lows, dtype=np.float64)[keep],
+            highs=np.asarray(highs, dtype=np.float64)[keep],
+            total=total,
+        )
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets ``M`` in the profile."""
+        return int(self.sizes.shape[0])
+
+    def drop_empty_buckets(self) -> "BucketProfile":
+        """Return a profile without empty buckets (no-op when already clean)."""
+        if np.all(self.sizes > 0):
+            return self
+        return BucketProfile._from_arrays_dropping_empty(
+            self.attribute,
+            self.objective_label,
+            self.sizes,
+            self.values,
+            self.lows,
+            self.highs,
+            self.total,
+        )
+
+    def support_count(self, start: int, end: int) -> float:
+        """``Σ u_i`` over buckets ``start..end`` (inclusive)."""
+        self._check_range(start, end)
+        return float(self.sizes[start : end + 1].sum())
+
+    def objective_value(self, start: int, end: int) -> float:
+        """``Σ v_i`` over buckets ``start..end`` (inclusive)."""
+        self._check_range(start, end)
+        return float(self.values[start : end + 1].sum())
+
+    def support(self, start: int, end: int) -> float:
+        """Support of the range ``start..end`` relative to ``total``."""
+        return self.support_count(start, end) / self.total
+
+    def ratio(self, start: int, end: int) -> float:
+        """Confidence (or average) of the range ``start..end``."""
+        count = self.support_count(start, end)
+        if count == 0:
+            return 0.0
+        return self.objective_value(start, end) / count
+
+    def range_bounds(self, start: int, end: int) -> tuple[float, float]:
+        """Instantiated value range ``[x_s, y_t]`` of buckets ``start..end``."""
+        self._check_range(start, end)
+        return float(self.lows[start]), float(self.highs[end])
+
+    def overall_ratio(self) -> float:
+        """Confidence (or average) of the whole domain — the base rate."""
+        return self.ratio(0, self.num_buckets - 1)
+
+    def _check_range(self, start: int, end: int) -> None:
+        if not (0 <= start <= end < self.num_buckets):
+            raise ProfileError(
+                f"invalid bucket range [{start}, {end}] for {self.num_buckets} buckets"
+            )

@@ -1,0 +1,200 @@
+"""Data model for optimized range rules.
+
+Two layers are defined:
+
+* :class:`RangeSelection` — the raw output of the bucket-level solvers: a
+  pair of bucket indices together with the accumulated tuple count and
+  objective value of the selected consecutive buckets.
+* :class:`OptimizedRangeRule` / :class:`OptimizedAverageRule` — presentation
+  objects produced by the high-level miner, carrying the attribute names,
+  the instantiated value range ``[low, high]``, and the thresholds that were
+  in force, and able to render themselves in the familiar
+  ``(A in [v1, v2]) => C`` notation of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.exceptions import OptimizationError
+from repro.relation.conditions import BooleanIs, Condition, NumericInRange
+
+__all__ = [
+    "RangeSelection",
+    "RuleKind",
+    "OptimizedRangeRule",
+    "OptimizedAverageRule",
+]
+
+
+@dataclass(frozen=True)
+class RangeSelection:
+    """A contiguous bucket range chosen by a solver.
+
+    Attributes
+    ----------
+    start, end:
+        Zero-based inclusive bucket indices of the selected range.
+    support_count:
+        Total tuple count of the selected buckets (``Σ u_i``).
+    objective_value:
+        Total objective value of the selected buckets (``Σ v_i``): a tuple
+        count for confidence rules, a sum of a numeric attribute for
+        average-operator rules.
+    total_count:
+        Number of tuples the support is measured against (``N``).
+    """
+
+    start: int
+    end: int
+    support_count: float
+    objective_value: float
+    total_count: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise OptimizationError(
+                f"invalid bucket range [{self.start}, {self.end}]"
+            )
+        if self.total_count <= 0:
+            raise OptimizationError("total_count must be positive")
+        if self.support_count < 0:
+            raise OptimizationError("support_count must be non-negative")
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets in the range."""
+        return self.end - self.start + 1
+
+    @property
+    def support(self) -> float:
+        """Support of the range: ``Σ u_i / N``."""
+        return self.support_count / self.total_count
+
+    @property
+    def ratio(self) -> float:
+        """Objective value per tuple: the confidence (or average) of the range."""
+        if self.support_count == 0:
+            return 0.0
+        return self.objective_value / self.support_count
+
+
+class RuleKind(Enum):
+    """Which optimization produced a rule."""
+
+    OPTIMIZED_CONFIDENCE = "optimized-confidence"
+    OPTIMIZED_SUPPORT = "optimized-support"
+    MAXIMUM_AVERAGE = "maximum-average"
+    MAXIMUM_SUPPORT_AVERAGE = "maximum-support-average"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class OptimizedRangeRule:
+    """An instantiated rule ``(A ∈ [low, high]) ⇒ C``.
+
+    Attributes
+    ----------
+    attribute:
+        The numeric attribute ``A`` whose range was optimized.
+    objective:
+        The objective condition ``C``.
+    low, high:
+        The instantiated range bounds ``[x_s, y_t]`` (taken from the actual
+        data values inside the selected buckets).
+    selection:
+        The underlying bucket range with its counts.
+    kind:
+        Whether the rule is an optimized-confidence or optimized-support rule.
+    threshold:
+        The minimum-support (for confidence rules) or minimum-confidence
+        (for support rules) threshold that was in force.
+    presumptive:
+        Optional extra conjunct ``C1`` for generalized rules
+        ``(A ∈ I) ∧ C1 ⇒ C2`` (§4.3); ``None`` for plain rules.
+    """
+
+    attribute: str
+    objective: Condition
+    low: float
+    high: float
+    selection: RangeSelection
+    kind: RuleKind
+    threshold: float
+    presumptive: Condition | None = None
+
+    @property
+    def support(self) -> float:
+        """Support of the presumptive range."""
+        return self.selection.support
+
+    @property
+    def confidence(self) -> float:
+        """Confidence of the rule."""
+        return self.selection.ratio
+
+    def range_condition(self) -> NumericInRange:
+        """The instantiated primitive condition ``A ∈ [low, high]``."""
+        return NumericInRange(self.attribute, self.low, self.high)
+
+    def full_presumptive_condition(self) -> Condition:
+        """The complete left-hand side (range condition plus optional conjunct)."""
+        range_condition = self.range_condition()
+        if self.presumptive is None:
+            return range_condition
+        return range_condition & self.presumptive
+
+    def __str__(self) -> str:
+        lhs = f"({self.attribute} in [{self.low:g}, {self.high:g}])"
+        if self.presumptive is not None:
+            lhs = f"{lhs} and {self.presumptive}"
+        return (
+            f"{lhs} => {self.objective}  "
+            f"[support={self.support:.1%}, confidence={self.confidence:.1%}]"
+        )
+
+    @staticmethod
+    def boolean_objective(name: str, value: bool = True) -> Condition:
+        """Convenience constructor for the common ``(B = yes)`` objective."""
+        return BooleanIs(name, value)
+
+
+@dataclass(frozen=True)
+class OptimizedAverageRule:
+    """An optimized range for the average operator (§5).
+
+    Describes a range of the *grouping* attribute ``A`` chosen to optimize
+    the average of the *target* attribute ``B`` (maximum-average range) or
+    the support (maximum-support range under a minimum-average constraint).
+    """
+
+    attribute: str
+    target: str
+    low: float
+    high: float
+    selection: RangeSelection
+    kind: RuleKind
+    threshold: float
+
+    @property
+    def support(self) -> float:
+        """Support of the selected range of the grouping attribute."""
+        return self.selection.support
+
+    @property
+    def average(self) -> float:
+        """Average of the target attribute over the selected range."""
+        return self.selection.ratio
+
+    def range_condition(self) -> NumericInRange:
+        """The instantiated primitive condition ``A ∈ [low, high]``."""
+        return NumericInRange(self.attribute, self.low, self.high)
+
+    def __str__(self) -> str:
+        return (
+            f"avg({self.target} | {self.attribute} in [{self.low:g}, {self.high:g}]) "
+            f"= {self.average:g}  [support={self.support:.1%}]"
+        )

@@ -1,0 +1,78 @@
+"""Parameter and profile validation shared by the optimized-rule solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import OptimizationError, ProfileError
+
+__all__ = [
+    "validate_fraction",
+    "validate_threshold",
+    "validate_bucket_arrays",
+]
+
+
+def validate_fraction(name: str, value: float, allow_zero: bool = False) -> float:
+    """Validate a fraction-valued parameter such as a minimum support.
+
+    Parameters
+    ----------
+    name:
+        Parameter name used in error messages.
+    value:
+        The value to validate; must lie in ``[0, 1]`` (or ``(0, 1]`` when
+        ``allow_zero`` is false).
+    """
+    value = float(value)
+    if np.isnan(value):
+        raise OptimizationError(f"{name} must not be NaN")
+    lower_ok = value >= 0.0 if allow_zero else value > 0.0
+    if not (lower_ok and value <= 1.0):
+        interval = "[0, 1]" if allow_zero else "(0, 1]"
+        raise OptimizationError(f"{name} must lie in {interval}, got {value}")
+    return value
+
+
+def validate_threshold(name: str, value: float) -> float:
+    """Validate an unconstrained real threshold (e.g. a minimum average)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise OptimizationError(f"{name} must be finite, got {value}")
+    return value
+
+
+def validate_bucket_arrays(
+    sizes: np.ndarray, values: np.ndarray, require_counts: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and canonicalize the per-bucket ``u`` / ``v`` arrays.
+
+    ``sizes`` (``u_i``) must be positive — the paper assumes every bucket
+    contains at least one tuple.  ``values`` (``v_i``) is a count when
+    ``require_counts`` is true (integer, ``0 <= v_i <= u_i``) and an
+    arbitrary finite real otherwise (the §5 average operator sums a numeric
+    attribute, which may be negative).
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if sizes.ndim != 1 or values.ndim != 1:
+        raise ProfileError("bucket arrays must be one-dimensional")
+    if sizes.shape != values.shape:
+        raise ProfileError(
+            f"bucket arrays must have equal length, got {sizes.shape[0]} sizes "
+            f"and {values.shape[0]} values"
+        )
+    if sizes.shape[0] == 0:
+        raise ProfileError("at least one bucket is required")
+    if not np.all(np.isfinite(sizes)) or not np.all(np.isfinite(values)):
+        raise ProfileError("bucket arrays must be finite")
+    if np.any(sizes <= 0):
+        raise ProfileError(
+            "every bucket must contain at least one tuple (u_i >= 1); "
+            "drop or merge empty buckets before optimizing"
+        )
+    if require_counts and np.any((values < 0) | (values > sizes)):
+        raise ProfileError(
+            "objective counts must satisfy 0 <= v_i <= u_i for every bucket"
+        )
+    return sizes, values

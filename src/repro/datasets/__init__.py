@@ -1,0 +1,51 @@
+"""Synthetic datasets and loaders.
+
+The authors' bank and retail data is not available, so this package provides
+seeded synthetic equivalents with planted range–objective correlations (the
+ground truth travels alongside each relation) plus CSV materialization
+helpers.  See the substitution table in ``DESIGN.md``.
+"""
+
+from repro.datasets.distributions import (
+    SigmoidResponse,
+    bernoulli_flags,
+    lognormal_values,
+    mixture_values,
+    normal_values,
+    uniform_values,
+)
+from repro.datasets.loaders import (
+    DATASET_NAMES,
+    generate_named_dataset,
+    load_dataset,
+    save_dataset,
+)
+from repro.datasets.synthetic import (
+    PlantedRange,
+    bank_customers,
+    census_like,
+    paper_benchmark_table,
+    planted_average_profile,
+    planted_profile,
+    planted_range_relation,
+)
+
+__all__ = [
+    "SigmoidResponse",
+    "uniform_values",
+    "normal_values",
+    "lognormal_values",
+    "mixture_values",
+    "bernoulli_flags",
+    "PlantedRange",
+    "planted_range_relation",
+    "bank_customers",
+    "census_like",
+    "paper_benchmark_table",
+    "planted_profile",
+    "planted_average_profile",
+    "DATASET_NAMES",
+    "generate_named_dataset",
+    "save_dataset",
+    "load_dataset",
+]

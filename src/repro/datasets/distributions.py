@@ -1,0 +1,130 @@
+"""Value distributions used by the synthetic dataset generators.
+
+The paper evaluates on randomly generated relations (§6.1) and motivates the
+algorithms with bank-customer examples whose numeric attributes (balances,
+ages) are naturally skewed.  These helpers generate the corresponding value
+columns with explicit, reproducible parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+__all__ = [
+    "uniform_values",
+    "normal_values",
+    "lognormal_values",
+    "mixture_values",
+    "bernoulli_flags",
+    "SigmoidResponse",
+]
+
+
+def _check_size(size: int) -> int:
+    if size <= 0:
+        raise DatasetError("the number of tuples must be positive")
+    return int(size)
+
+
+def uniform_values(
+    size: int, low: float, high: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform values in ``[low, high)``."""
+    size = _check_size(size)
+    if high <= low:
+        raise DatasetError(f"uniform range [{low}, {high}) is empty")
+    return rng.uniform(low, high, size=size)
+
+
+def normal_values(
+    size: int, mean: float, std: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Normally distributed values."""
+    size = _check_size(size)
+    if std <= 0:
+        raise DatasetError("standard deviation must be positive")
+    return rng.normal(mean, std, size=size)
+
+
+def lognormal_values(
+    size: int, mean: float, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Log-normally distributed values (right-skewed, e.g. account balances)."""
+    size = _check_size(size)
+    if sigma <= 0:
+        raise DatasetError("sigma must be positive")
+    return rng.lognormal(mean, sigma, size=size)
+
+
+def mixture_values(
+    size: int,
+    components: list[tuple[float, float, float]],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Gaussian mixture values.
+
+    ``components`` is a list of ``(weight, mean, std)`` triples; weights are
+    normalized automatically.
+    """
+    size = _check_size(size)
+    if not components:
+        raise DatasetError("at least one mixture component is required")
+    weights = np.array([component[0] for component in components], dtype=np.float64)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise DatasetError("mixture weights must be non-negative and not all zero")
+    weights = weights / weights.sum()
+    assignments = rng.choice(len(components), size=size, p=weights)
+    values = np.empty(size, dtype=np.float64)
+    for index, (_, mean, std) in enumerate(components):
+        if std <= 0:
+            raise DatasetError("mixture component standard deviations must be positive")
+        mask = assignments == index
+        values[mask] = rng.normal(mean, std, size=int(mask.sum()))
+    return values
+
+
+def bernoulli_flags(
+    size: int, probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Independent Boolean flags with a fixed success probability."""
+    size = _check_size(size)
+    if not 0.0 <= probability <= 1.0:
+        raise DatasetError(f"probability must lie in [0, 1], got {probability}")
+    return rng.random(size) < probability
+
+
+@dataclass(frozen=True)
+class SigmoidResponse:
+    """A smooth probability response centred on a value range.
+
+    Used to plant soft correlations: the probability of the objective flag
+    is ``base`` far outside ``[low, high]`` and ``peak`` well inside it, with
+    logistic shoulders of width ``softness`` at the boundaries.  A zero
+    ``softness`` gives a hard step (exactly ``peak`` inside, ``base``
+    outside).
+    """
+
+    low: float
+    high: float
+    base: float
+    peak: float
+    softness: float = 0.0
+
+    def probabilities(self, values: np.ndarray) -> np.ndarray:
+        """Per-tuple probability of the objective flag."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.softness <= 0.0:
+            inside = (values >= self.low) & (values <= self.high)
+            return np.where(inside, self.peak, self.base)
+        rise = 1.0 / (1.0 + np.exp(-(values - self.low) / self.softness))
+        fall = 1.0 / (1.0 + np.exp((values - self.high) / self.softness))
+        bump = rise * fall
+        return self.base + (self.peak - self.base) * bump
+
+    def sample(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample Boolean flags following the planted response."""
+        return rng.random(values.shape[0]) < self.probabilities(values)

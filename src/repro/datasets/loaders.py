@@ -1,0 +1,61 @@
+"""Materialize and load the bundled synthetic datasets.
+
+Examples and the CLI sometimes want datasets as files on disk (the paper's
+experiments read their relations from the file system); these helpers write
+the synthetic generators' output to CSV and read it back, and expose a small
+named-dataset registry so ``python -m repro dataset bank --rows 10000`` can
+refer to generators by name.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.synthetic import bank_customers, census_like, paper_benchmark_table, planted_range_relation
+from repro.exceptions import DatasetError
+from repro.relation.io import read_csv, write_csv
+from repro.relation.relation import Relation
+
+__all__ = ["DATASET_NAMES", "generate_named_dataset", "save_dataset", "load_dataset"]
+
+_GENERATORS: dict[str, Callable[[int, int | None], Relation]] = {
+    "planted": lambda rows, seed: planted_range_relation(rows, seed=seed)[0],
+    "bank": lambda rows, seed: bank_customers(rows, seed=seed)[0],
+    "census": lambda rows, seed: census_like(rows, seed=seed)[0],
+    "benchmark": lambda rows, seed: paper_benchmark_table(rows, seed=seed),
+}
+
+#: Names accepted by :func:`generate_named_dataset` (and the CLI).
+DATASET_NAMES: tuple[str, ...] = tuple(sorted(_GENERATORS))
+
+
+def generate_named_dataset(
+    name: str, num_tuples: int, seed: int | None = None
+) -> Relation:
+    """Generate one of the bundled synthetic datasets by name."""
+    if name not in _GENERATORS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available datasets: {', '.join(DATASET_NAMES)}"
+        )
+    if num_tuples <= 0:
+        raise DatasetError("num_tuples must be positive")
+    return _GENERATORS[name](num_tuples, seed)
+
+
+def save_dataset(relation: Relation, path: str | Path) -> Path:
+    """Write a relation to CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    write_csv(relation, path)
+    return path
+
+
+def load_dataset(path: str | Path) -> Relation:
+    """Load a relation previously written with :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file {path} does not exist")
+    return read_csv(path)

@@ -1,0 +1,397 @@
+"""Synthetic relation generators used by tests, examples, and benchmarks.
+
+The paper's experiments run on randomly generated relations (8 numeric and
+8 Boolean attributes, §6.1) and motivate the algorithms with bank-customer
+scenarios.  The authors' actual data is not available, so these generators
+produce the closest synthetic equivalents, with *planted* range–objective
+correlations so that tests can assert the known optimal range is recovered
+(see ``DESIGN.md``, substitution table).
+
+Every generator accepts a ``seed`` (or generator) and is fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.distributions import (
+    SigmoidResponse,
+    bernoulli_flags,
+    lognormal_values,
+    mixture_values,
+    normal_values,
+    uniform_values,
+)
+from repro.exceptions import DatasetError
+from repro.relation.relation import Relation
+from repro.relation.schema import Attribute, Schema
+
+__all__ = [
+    "PlantedRange",
+    "planted_range_relation",
+    "bank_customers",
+    "census_like",
+    "paper_benchmark_table",
+    "planted_profile",
+    "planted_average_profile",
+]
+
+
+def _rng_from(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class PlantedRange:
+    """Ground truth describing a planted range–objective correlation.
+
+    Attributes
+    ----------
+    attribute:
+        Numeric attribute carrying the planted range.
+    objective:
+        Boolean attribute whose probability is boosted inside the range.
+    low, high:
+        The planted range of the numeric attribute.
+    inside_probability / outside_probability:
+        Probability of the objective flag inside and outside the range.
+    expected_support:
+        Approximate fraction of tuples falling inside the planted range.
+    """
+
+    attribute: str
+    objective: str
+    low: float
+    high: float
+    inside_probability: float
+    outside_probability: float
+    expected_support: float
+
+
+def planted_range_relation(
+    num_tuples: int,
+    low: float = 40.0,
+    high: float = 60.0,
+    inside_probability: float = 0.8,
+    outside_probability: float = 0.1,
+    domain: tuple[float, float] = (0.0, 100.0),
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Relation, PlantedRange]:
+    """A minimal relation with one numeric and one Boolean attribute.
+
+    The numeric attribute ``value`` is uniform on ``domain``; the Boolean
+    attribute ``target`` is true with ``inside_probability`` when ``value``
+    lies in ``[low, high]`` and ``outside_probability`` otherwise.  The
+    optimized-confidence and optimized-support rules over this relation
+    should therefore recover (approximately) the planted range.
+    """
+    if num_tuples <= 0:
+        raise DatasetError("num_tuples must be positive")
+    if not domain[0] <= low <= high <= domain[1]:
+        raise DatasetError("the planted range must lie inside the domain")
+    rng = _rng_from(seed)
+    values = uniform_values(num_tuples, domain[0], domain[1], rng)
+    response = SigmoidResponse(
+        low=low, high=high, base=outside_probability, peak=inside_probability
+    )
+    flags = response.sample(values, rng)
+
+    schema = Schema.of(
+        Attribute.numeric("value", "uniform attribute carrying the planted range"),
+        Attribute.boolean("target", "objective flag boosted inside the planted range"),
+    )
+    relation = Relation.from_columns(schema, {"value": values, "target": flags})
+    truth = PlantedRange(
+        attribute="value",
+        objective="target",
+        low=low,
+        high=high,
+        inside_probability=inside_probability,
+        outside_probability=outside_probability,
+        expected_support=(high - low) / (domain[1] - domain[0]),
+    )
+    return relation, truth
+
+
+def bank_customers(
+    num_tuples: int,
+    seed: int | np.random.Generator | None = None,
+    card_loan_range: tuple[float, float] = (8_000.0, 20_000.0),
+    card_loan_inside_probability: float = 0.65,
+    card_loan_outside_probability: float = 0.08,
+) -> tuple[Relation, PlantedRange]:
+    """The paper's running example: a bank-customer relation.
+
+    Attributes
+    ----------
+    ``balance``
+        Checking-account balance (log-normal, long right tail).
+    ``saving_balance``
+        Saving-account balance, correlated with age and checking balance —
+        used by the §5 average-operator examples.
+    ``age``
+        Customer age, mixture of young-adult and middle-aged groups.
+    ``card_loan``
+        Whether the customer took a credit-card loan; its probability is
+        boosted for balances inside ``card_loan_range`` (these are the
+        customers that borrow), which is the planted rule the miner should
+        find.
+    ``auto_withdrawal``
+        Whether the customer uses automatic withdrawal; mildly correlated
+        with age.
+    ``online_banking``
+        Pure-noise Boolean attribute (no planted correlation).
+    """
+    if num_tuples <= 0:
+        raise DatasetError("num_tuples must be positive")
+    rng = _rng_from(seed)
+
+    balance = np.round(lognormal_values(num_tuples, mean=8.5, sigma=0.8, rng=rng), 2)
+    age = np.clip(
+        np.round(mixture_values(num_tuples, [(0.55, 32.0, 7.0), (0.45, 55.0, 9.0)], rng)),
+        18.0,
+        95.0,
+    )
+    saving_balance = np.round(
+        np.clip(
+            0.6 * balance + 120.0 * (age - 18.0) + normal_values(num_tuples, 0.0, 2_000.0, rng),
+            0.0,
+            None,
+        ),
+        2,
+    )
+
+    card_loan_response = SigmoidResponse(
+        low=card_loan_range[0],
+        high=card_loan_range[1],
+        base=card_loan_outside_probability,
+        peak=card_loan_inside_probability,
+    )
+    card_loan = card_loan_response.sample(balance, rng)
+
+    auto_withdrawal_probability = np.clip(0.15 + 0.01 * (age - 18.0), 0.0, 0.9)
+    auto_withdrawal = rng.random(num_tuples) < auto_withdrawal_probability
+    online_banking = bernoulli_flags(num_tuples, 0.35, rng)
+
+    schema = Schema.of(
+        Attribute.numeric("balance", "checking-account balance"),
+        Attribute.numeric("saving_balance", "saving-account balance"),
+        Attribute.numeric("age", "customer age in years"),
+        Attribute.boolean("card_loan", "customer took a credit-card loan"),
+        Attribute.boolean("auto_withdrawal", "customer uses automatic withdrawal"),
+        Attribute.boolean("online_banking", "customer enrolled in online banking"),
+    )
+    relation = Relation.from_columns(
+        schema,
+        {
+            "balance": balance,
+            "saving_balance": saving_balance,
+            "age": age,
+            "card_loan": card_loan,
+            "auto_withdrawal": auto_withdrawal,
+            "online_banking": online_banking,
+        },
+    )
+    inside = (balance >= card_loan_range[0]) & (balance <= card_loan_range[1])
+    truth = PlantedRange(
+        attribute="balance",
+        objective="card_loan",
+        low=card_loan_range[0],
+        high=card_loan_range[1],
+        inside_probability=card_loan_inside_probability,
+        outside_probability=card_loan_outside_probability,
+        expected_support=float(inside.mean()),
+    )
+    return relation, truth
+
+
+def census_like(
+    num_tuples: int,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Relation, PlantedRange]:
+    """A UCI-adult-like synthetic census relation.
+
+    Numeric attributes ``age``, ``education_years``, ``hours_per_week`` and
+    ``capital_gain``; Boolean attributes ``high_income``, ``married`` and
+    ``self_employed``.  ``high_income`` is boosted for prime working ages
+    (the planted range on ``age``) and further boosted by education, so the
+    optimized rules over ``age`` have a clear, recoverable structure while
+    the other attributes provide realistic clutter.
+    """
+    if num_tuples <= 0:
+        raise DatasetError("num_tuples must be positive")
+    rng = _rng_from(seed)
+
+    age = np.clip(np.round(normal_values(num_tuples, 40.0, 13.0, rng)), 17.0, 90.0)
+    education_years = np.clip(np.round(normal_values(num_tuples, 11.0, 3.0, rng)), 1.0, 20.0)
+    hours_per_week = np.clip(np.round(normal_values(num_tuples, 41.0, 11.0, rng)), 1.0, 99.0)
+    capital_gain = np.where(
+        rng.random(num_tuples) < 0.08,
+        np.round(lognormal_values(num_tuples, 8.0, 1.0, rng), 0),
+        0.0,
+    )
+
+    prime_age = SigmoidResponse(low=38.0, high=58.0, base=0.10, peak=0.45, softness=2.0)
+    income_probability = np.clip(
+        prime_age.probabilities(age) + 0.03 * (education_years - 11.0), 0.01, 0.95
+    )
+    high_income = rng.random(num_tuples) < income_probability
+    married = rng.random(num_tuples) < np.clip(0.2 + 0.01 * (age - 17.0), 0.0, 0.85)
+    self_employed = bernoulli_flags(num_tuples, 0.12, rng)
+
+    schema = Schema.of(
+        Attribute.numeric("age", "age in years"),
+        Attribute.numeric("education_years", "years of education"),
+        Attribute.numeric("hours_per_week", "working hours per week"),
+        Attribute.numeric("capital_gain", "capital gain"),
+        Attribute.boolean("high_income", "income above the threshold"),
+        Attribute.boolean("married", "currently married"),
+        Attribute.boolean("self_employed", "self-employed"),
+    )
+    relation = Relation.from_columns(
+        schema,
+        {
+            "age": age,
+            "education_years": education_years,
+            "hours_per_week": hours_per_week,
+            "capital_gain": capital_gain,
+            "high_income": high_income,
+            "married": married,
+            "self_employed": self_employed,
+        },
+    )
+    inside = (age >= 38.0) & (age <= 58.0)
+    truth = PlantedRange(
+        attribute="age",
+        objective="high_income",
+        low=38.0,
+        high=58.0,
+        inside_probability=0.45,
+        outside_probability=0.10,
+        expected_support=float(inside.mean()),
+    )
+    return relation, truth
+
+
+def paper_benchmark_table(
+    num_tuples: int,
+    num_numeric: int = 8,
+    num_boolean: int = 8,
+    seed: int | np.random.Generator | None = None,
+) -> Relation:
+    """The §6.1 benchmark relation: ``num_numeric`` numeric + ``num_boolean`` Boolean attributes.
+
+    Numeric attributes are drawn from a variety of distributions (uniform,
+    normal, log-normal, mixtures) so the bucketizers face realistic skew;
+    each Boolean attribute is correlated with one numeric attribute through a
+    planted range so that the all-combinations mining benchmark has non-trivial
+    rules to find.
+    """
+    if num_tuples <= 0:
+        raise DatasetError("num_tuples must be positive")
+    if num_numeric <= 0 or num_boolean < 0:
+        raise DatasetError("attribute counts must be positive")
+    rng = _rng_from(seed)
+
+    attributes: list[Attribute] = []
+    columns: dict[str, np.ndarray] = {}
+    numeric_names: list[str] = []
+    for index in range(num_numeric):
+        name = f"num_{index}"
+        kind = index % 4
+        if kind == 0:
+            values = uniform_values(num_tuples, 0.0, 1_000.0, rng)
+        elif kind == 1:
+            values = normal_values(num_tuples, 500.0, 150.0, rng)
+        elif kind == 2:
+            values = lognormal_values(num_tuples, 6.0, 1.0, rng)
+        else:
+            values = mixture_values(
+                num_tuples, [(0.5, 200.0, 50.0), (0.5, 800.0, 80.0)], rng
+            )
+        attributes.append(Attribute.numeric(name))
+        columns[name] = values
+        numeric_names.append(name)
+
+    for index in range(num_boolean):
+        name = f"bool_{index}"
+        driver = columns[numeric_names[index % num_numeric]]
+        low, high = np.quantile(driver, [0.35, 0.65])
+        response = SigmoidResponse(low=float(low), high=float(high), base=0.1, peak=0.6)
+        columns[name] = response.sample(driver, rng)
+        attributes.append(Attribute.boolean(name))
+
+    return Relation.from_columns(Schema(tuple(attributes)), columns)
+
+
+def planted_profile(
+    num_buckets: int,
+    planted_start: int | None = None,
+    planted_end: int | None = None,
+    bucket_size: int = 100,
+    inside_confidence: float = 0.7,
+    outside_confidence: float = 0.2,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-bucket ``(u, v)`` arrays with a planted high-confidence run.
+
+    Used by the Figure 10 / Figure 11 benchmarks, which operate directly on
+    bucket profiles (the paper sweeps the *number of buckets*, so building a
+    relation for every size would only add noise).  The planted run spans
+    buckets ``planted_start..planted_end`` (defaults to the middle third).
+    """
+    if num_buckets <= 0:
+        raise DatasetError("num_buckets must be positive")
+    if bucket_size <= 0:
+        raise DatasetError("bucket_size must be positive")
+    rng = _rng_from(seed)
+    if planted_start is None:
+        planted_start = num_buckets // 3
+    if planted_end is None:
+        planted_end = min(num_buckets - 1, planted_start + max(num_buckets // 3, 1))
+    if not 0 <= planted_start <= planted_end < num_buckets:
+        raise DatasetError("the planted bucket range is out of bounds")
+
+    sizes = rng.integers(max(1, bucket_size // 2), bucket_size * 2, size=num_buckets)
+    confidences = np.full(num_buckets, outside_confidence, dtype=np.float64)
+    confidences[planted_start : planted_end + 1] = inside_confidence
+    values = rng.binomial(sizes, confidences)
+    return sizes.astype(np.int64), values.astype(np.int64)
+
+
+def planted_average_profile(
+    num_buckets: int,
+    planted_start: int | None = None,
+    planted_end: int | None = None,
+    bucket_size: int = 100,
+    inside_mean: float = 10_000.0,
+    outside_mean: float = 3_000.0,
+    noise: float = 500.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-bucket ``(u, v)`` arrays for the §5 average operator.
+
+    ``v_i`` holds the *sum* of the target attribute of bucket ``i``; buckets
+    inside the planted range have a much larger per-tuple mean.
+    """
+    if num_buckets <= 0:
+        raise DatasetError("num_buckets must be positive")
+    if bucket_size <= 0:
+        raise DatasetError("bucket_size must be positive")
+    rng = _rng_from(seed)
+    if planted_start is None:
+        planted_start = num_buckets // 3
+    if planted_end is None:
+        planted_end = min(num_buckets - 1, planted_start + max(num_buckets // 3, 1))
+    if not 0 <= planted_start <= planted_end < num_buckets:
+        raise DatasetError("the planted bucket range is out of bounds")
+
+    sizes = rng.integers(max(1, bucket_size // 2), bucket_size * 2, size=num_buckets)
+    means = np.full(num_buckets, outside_mean, dtype=np.float64)
+    means[planted_start : planted_end + 1] = inside_mean
+    sums = sizes * means + rng.normal(0.0, noise, size=num_buckets) * np.sqrt(sizes)
+    return sizes.astype(np.int64), sums.astype(np.float64)

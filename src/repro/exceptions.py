@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by the library derive from :class:`ReproError`
+so that callers can catch library-specific failures with a single ``except``
+clause while letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or an attribute lookup failed."""
+
+
+class RelationError(ReproError):
+    """A relation operation received inconsistent data."""
+
+
+class ConditionError(ReproError):
+    """A condition refers to missing attributes or has invalid operands."""
+
+
+class BucketingError(ReproError):
+    """A bucketizer received invalid parameters or inconsistent input."""
+
+
+class ProfileError(ReproError):
+    """A bucket profile (``u``/``v`` arrays) is malformed."""
+
+
+class OptimizationError(ReproError):
+    """An optimized-rule solver received invalid thresholds or profiles."""
+
+
+class NoFeasibleRangeError(OptimizationError):
+    """No range of consecutive buckets satisfies the requested constraint.
+
+    Raised by the strict variants of the solvers; the non-strict entry points
+    return ``None`` instead so that bulk mining can simply skip infeasible
+    attribute/condition pairs.
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader received invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

@@ -1,0 +1,48 @@
+"""Experiment harness reproducing the paper's figures and tables.
+
+One module per experiment: Figure 1 (sample size), Table I (granularity
+error), Figure 9 (bucketing performance), Figure 10 (optimized confidence
+performance), Figure 11 (optimized support performance), and the
+all-combinations catalog claim of §1.3.  Each ``run_*`` function returns a
+structured result whose ``report()`` method renders the paper-style table.
+"""
+
+from repro.experiments.bucket_sweep import (
+    BucketQualityResult,
+    BucketQualityRow,
+    run_bucket_quality_sweep,
+)
+from repro.experiments.catalog import CatalogExperimentResult, run_catalog_experiment
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure9 import Figure9Result, run_figure9
+from repro.experiments.figure10 import Figure10Result, run_figure10
+from repro.experiments.figure11 import Figure11Result, run_figure11
+from repro.experiments.reporting import format_percent, format_seconds, format_table
+from repro.experiments.runner import SweepPoint, SweepResult, geometric_sizes, time_call
+from repro.experiments.table1 import EmpiricalErrorRow, Table1Result, run_table1
+
+__all__ = [
+    "run_figure1",
+    "Figure1Result",
+    "run_table1",
+    "Table1Result",
+    "EmpiricalErrorRow",
+    "run_figure9",
+    "Figure9Result",
+    "run_figure10",
+    "Figure10Result",
+    "run_figure11",
+    "Figure11Result",
+    "run_catalog_experiment",
+    "CatalogExperimentResult",
+    "run_bucket_quality_sweep",
+    "BucketQualityResult",
+    "BucketQualityRow",
+    "format_table",
+    "format_percent",
+    "format_seconds",
+    "time_call",
+    "SweepPoint",
+    "SweepResult",
+    "geometric_sizes",
+]

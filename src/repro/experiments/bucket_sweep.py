@@ -1,0 +1,117 @@
+"""Bucket-count quality sweep (empirical companion to §3.4 / Table I).
+
+Table I bounds the approximation error analytically; this experiment measures
+it end to end: a relation with a planted optimal range is mined with the
+*sampled* bucketizer at a sweep of bucket counts, and for each count the
+confidence shortfall relative to the finest-bucket (exact) optimum is
+reported next to the §3.4 bound.  It doubles as the guidance the paper gives
+implementers — "the number of buckets should be much larger than
+``1/supp_opt``" — expressed as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.bucketing.equidepth_sample import SampledEquiDepthBucketizer
+from repro.bucketing.errors import confidence_error_bound
+from repro.bucketing.finest import finest_bucketing
+from repro.core.optimized_confidence import solve_optimized_confidence
+from repro.core.profile import BucketProfile
+from repro.datasets.synthetic import planted_range_relation
+from repro.exceptions import ExperimentError
+from repro.experiments.reporting import format_percent, format_table
+from repro.relation.conditions import BooleanIs
+
+__all__ = ["BucketQualityRow", "BucketQualityResult", "run_bucket_quality_sweep"]
+
+
+@dataclass(frozen=True)
+class BucketQualityRow:
+    """Measured rule quality at one bucket count."""
+
+    num_buckets: int
+    measured_confidence: float
+    exact_confidence: float
+    relative_shortfall: float
+    bound: float
+
+
+@dataclass(frozen=True)
+class BucketQualityResult:
+    """The full sweep plus the exact-bucket reference optimum."""
+
+    min_support: float
+    rows: tuple[BucketQualityRow, ...]
+
+    def report(self) -> str:
+        """Aligned text table of the sweep."""
+        return format_table(
+            ["buckets", "measured confidence", "exact optimum", "shortfall", "§3.4 bound"],
+            [
+                [
+                    row.num_buckets,
+                    format_percent(row.measured_confidence),
+                    format_percent(row.exact_confidence),
+                    format_percent(row.relative_shortfall),
+                    "n/a" if np.isinf(row.bound) else format_percent(row.bound),
+                ]
+                for row in self.rows
+            ],
+            title=(
+                "Rule quality vs number of buckets "
+                f"(optimized confidence, support >= {self.min_support:.0%})"
+            ),
+        )
+
+
+def run_bucket_quality_sweep(
+    bucket_counts: Sequence[int] = (10, 20, 50, 100, 200, 500, 1000),
+    num_tuples: int = 60_000,
+    min_support: float = 0.20,
+    seed: int | None = 37,
+) -> BucketQualityResult:
+    """Measure optimized-confidence quality across a sweep of bucket counts."""
+    if not bucket_counts:
+        raise ExperimentError("bucket_counts must not be empty")
+    rng = np.random.default_rng(seed)
+    relation, truth = planted_range_relation(
+        num_tuples,
+        low=40.0,
+        high=60.0,
+        inside_probability=0.8,
+        outside_probability=0.1,
+        seed=rng,
+    )
+    objective = BooleanIs(truth.objective, True)
+    values = relation.numeric_column(truth.attribute)
+
+    # Exact reference: finest buckets (every distinct value its own bucket).
+    exact_profile = BucketProfile.from_relation(
+        relation, truth.attribute, objective, finest_bucketing(values)
+    )
+    exact = solve_optimized_confidence(exact_profile, min_support=min_support)
+    if exact is None:
+        raise ExperimentError("the planted relation admits no ample range")
+
+    rows = []
+    bucketizer = SampledEquiDepthBucketizer()
+    for num_buckets in bucket_counts:
+        bucketing = bucketizer.build(values, int(num_buckets), rng=rng)
+        profile = BucketProfile.from_relation(relation, truth.attribute, objective, bucketing)
+        selection = solve_optimized_confidence(profile, min_support=min_support)
+        measured = selection.ratio if selection is not None else 0.0
+        shortfall = max(0.0, (exact.ratio - measured) / exact.ratio)
+        rows.append(
+            BucketQualityRow(
+                num_buckets=int(num_buckets),
+                measured_confidence=measured,
+                exact_confidence=exact.ratio,
+                relative_shortfall=shortfall,
+                bound=confidence_error_bound(int(num_buckets), min_support),
+            )
+        )
+    return BucketQualityResult(min_support=min_support, rows=tuple(rows))

@@ -1,0 +1,107 @@
+"""Figure 1 reproduction: sample size versus bucket-error probability (§3.2).
+
+The figure plots ``p_e = Pr(|X − S/M| ≥ 0.5·S/M)`` for ``X ~ B(S, 1/M)``
+against the per-bucket sample factor ``S/M``, for ``M ∈ {5, 10, 10000}``.
+The paper reads off that the curve drops sharply until ``S/M ≈ 40`` (where it
+falls below 0.3 %) and flattens afterwards, which motivates the ``S = 40·M``
+default of the bucketizer.
+
+The reproduction computes the exact binomial tails, optionally cross-checks
+them with a Monte-Carlo simulation, and reports the smallest factor that
+achieves the paper's 0.3 % target for each ``M``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bucketing.sample_size import (
+    deviation_probability,
+    empirical_deviation_probability,
+    recommended_sample_factor,
+)
+from repro.experiments.reporting import format_table
+
+__all__ = ["Figure1Result", "run_figure1"]
+
+#: Bucket counts plotted in the paper's Figure 1.
+PAPER_BUCKET_COUNTS: tuple[int, ...] = (5, 10, 10_000)
+
+#: Per-bucket sample factors at which the curves are evaluated.
+DEFAULT_FACTORS: tuple[int, ...] = (1, 2, 5, 10, 20, 30, 40, 50, 60, 80, 100)
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Curves of error probability versus sample factor."""
+
+    delta: float
+    factors: tuple[int, ...]
+    bucket_counts: tuple[int, ...]
+    analytic: dict[int, tuple[float, ...]]
+    empirical: dict[int, tuple[float, ...]] | None
+    recommended_factors: dict[int, int]
+
+    def report(self) -> str:
+        """Aligned text table of the curves."""
+        headers = ["S/M"] + [f"M={m} (exact)" for m in self.bucket_counts]
+        if self.empirical is not None:
+            headers += [f"M={m} (simulated)" for m in self.bucket_counts]
+        rows = []
+        for index, factor in enumerate(self.factors):
+            row: list[object] = [factor]
+            row += [self.analytic[m][index] for m in self.bucket_counts]
+            if self.empirical is not None:
+                row += [self.empirical[m][index] for m in self.bucket_counts]
+            rows.append(row)
+        recommendation = ", ".join(
+            f"M={m}: S/M={f}" for m, f in self.recommended_factors.items()
+        )
+        table = format_table(
+            headers,
+            rows,
+            title="Figure 1 — probability that a bucket deviates by more than 50%",
+        )
+        return f"{table}\nSmallest factor reaching p_e <= 0.3%: {recommendation}"
+
+
+def run_figure1(
+    bucket_counts: tuple[int, ...] = PAPER_BUCKET_COUNTS,
+    factors: tuple[int, ...] = DEFAULT_FACTORS,
+    delta: float = 0.5,
+    simulate: bool = True,
+    simulation_trials: int = 4000,
+    seed: int | None = 0,
+) -> Figure1Result:
+    """Compute the Figure 1 curves (and optionally a Monte-Carlo cross-check)."""
+    rng = np.random.default_rng(seed)
+    analytic: dict[int, tuple[float, ...]] = {}
+    empirical: dict[int, tuple[float, ...]] | None = {} if simulate else None
+    recommended: dict[int, int] = {}
+    for bucket_count in bucket_counts:
+        analytic[bucket_count] = tuple(
+            deviation_probability(factor * bucket_count, bucket_count, delta)
+            for factor in factors
+        )
+        if simulate:
+            empirical[bucket_count] = tuple(
+                empirical_deviation_probability(
+                    factor * bucket_count,
+                    bucket_count,
+                    delta,
+                    trials=simulation_trials,
+                    rng=rng,
+                )
+                for factor in factors
+            )
+        recommended[bucket_count] = recommended_sample_factor(bucket_count, delta)
+    return Figure1Result(
+        delta=delta,
+        factors=tuple(factors),
+        bucket_counts=tuple(bucket_counts),
+        analytic=analytic,
+        empirical=empirical,
+        recommended_factors=recommended,
+    )

@@ -1,0 +1,115 @@
+"""Shared infrastructure for the reproduction experiments.
+
+Each ``figureN.py`` / ``table1.py`` module exposes a ``run_*`` function that
+returns a structured result; this module provides the common pieces: a
+monotonic timer, a parameter-sweep result container, and helpers for
+geometric size sweeps (the paper's performance figures use log-spaced data
+sizes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["time_call", "SweepPoint", "SweepResult", "geometric_sizes"]
+
+
+def time_call(function: Callable[[], object], repeats: int = 1) -> float:
+    """Wall-clock seconds of the fastest of ``repeats`` calls to ``function``.
+
+    The minimum over repeats is the conventional robust estimator for
+    micro-benchmarks (it filters scheduler noise); the experiment drivers use
+    small repeat counts because each call is already substantial.
+    """
+    if repeats <= 0:
+        raise ExperimentError("repeats must be positive")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep: the parameter value plus measurements."""
+
+    parameter: float
+    measurements: dict[str, float]
+
+    def measurement(self, name: str) -> float:
+        """Look up one measurement by name."""
+        if name not in self.measurements:
+            raise ExperimentError(
+                f"unknown measurement {name!r}; available: {sorted(self.measurements)}"
+            )
+        return self.measurements[name]
+
+
+@dataclass
+class SweepResult:
+    """A named parameter sweep with one :class:`SweepPoint` per parameter value."""
+
+    name: str
+    parameter_name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def add(self, parameter: float, **measurements: float) -> None:
+        """Append a sweep point."""
+        self.points.append(SweepPoint(parameter=float(parameter), measurements=dict(measurements)))
+
+    def series(self, measurement: str) -> list[tuple[float, float]]:
+        """``(parameter, value)`` pairs of one measurement across the sweep."""
+        return [(point.parameter, point.measurement(measurement)) for point in self.points]
+
+    def measurement_names(self) -> list[str]:
+        """Names of the measurements present at the first sweep point."""
+        if not self.points:
+            return []
+        return sorted(self.points[0].measurements)
+
+    def as_rows(self) -> list[list[float]]:
+        """Rows ``[parameter, m1, m2, ...]`` ordered as :meth:`measurement_names`."""
+        names = self.measurement_names()
+        return [
+            [point.parameter] + [point.measurement(name) for name in names]
+            for point in self.points
+        ]
+
+
+def geometric_sizes(
+    smallest: int, largest: int, points: int
+) -> list[int]:
+    """Log-spaced integer sizes from ``smallest`` to ``largest`` inclusive."""
+    if smallest <= 0 or largest < smallest or points <= 0:
+        raise ExperimentError("invalid geometric size sweep parameters")
+    if points == 1:
+        return [int(largest)]
+    ratio = (largest / smallest) ** (1.0 / (points - 1))
+    sizes = []
+    value = float(smallest)
+    for _ in range(points):
+        sizes.append(int(round(value)))
+        value *= ratio
+    sizes[-1] = int(largest)
+    # Deduplicate while preserving order (small sweeps can collide after rounding).
+    seen: set[int] = set()
+    unique = []
+    for size in sizes:
+        if size not in seen:
+            seen.add(size)
+            unique.append(size)
+    return unique
+
+
+def ensure_positive(name: str, values: Iterable[float] | Sequence[float]) -> None:
+    """Validate that every element of a sweep specification is positive."""
+    for value in values:
+        if value <= 0:
+            raise ExperimentError(f"{name} entries must be positive, got {value}")

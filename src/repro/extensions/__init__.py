@@ -1,0 +1,37 @@
+"""Extensions beyond the basic rule shape.
+
+Implements the generalized conjunctive rules of §4.3, the two-dimensional
+rectangle rules sketched in §1.4, and the decision trees with optimized
+range splits of the authors' follow-up work (reference [10]).
+"""
+
+from repro.extensions.conjunctive import (
+    ConjunctiveRuleResult,
+    candidate_conjuncts,
+    mine_conjunctive_rules,
+)
+from repro.extensions.decision_tree import (
+    DecisionNode,
+    RangeSplit,
+    RangeSplitDecisionTree,
+)
+from repro.extensions.interval_classifier import ClassifiedInterval, IntervalClassifier
+from repro.extensions.two_dimensional import (
+    GridProfile,
+    RectangleRule,
+    optimized_rectangle,
+)
+
+__all__ = [
+    "ConjunctiveRuleResult",
+    "candidate_conjuncts",
+    "mine_conjunctive_rules",
+    "GridProfile",
+    "RectangleRule",
+    "optimized_rectangle",
+    "DecisionNode",
+    "RangeSplit",
+    "RangeSplitDecisionTree",
+    "ClassifiedInterval",
+    "IntervalClassifier",
+]

@@ -1,0 +1,132 @@
+"""Generalized rules with conjunctive presumptive conditions (§4.3).
+
+§4.3 extends the basic rule shape ``(A ∈ I) ⇒ C`` to
+
+    ``(A ∈ I) ∧ C1 ⇒ C2``
+
+where ``C1`` and ``C2`` are Boolean statements with no uninstantiated numeric
+ranges.  The reduction is purely a change of the counted quantities: ``u_i``
+counts the tuples of bucket ``i`` that meet ``C1`` and ``v_i`` those that
+additionally meet ``C2``; the §4 algorithms are then applied unchanged.  The
+:class:`~repro.core.OptimizedRuleMiner` already supports an extra
+``presumptive`` conjunct; this module adds the workflow pieces around it:
+enumerating candidate conjuncts from the Boolean attributes (optionally from
+frequent itemsets so rare conjuncts are skipped early) and mining the
+generalized rules in bulk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bucketing.base import Bucketizer
+from repro.core.miner import OptimizedRuleMiner
+from repro.core.rules import OptimizedRangeRule, RuleKind
+from repro.exceptions import OptimizationError
+from repro.mining.itemsets import frequent_itemsets
+from repro.relation.conditions import BooleanIs, Condition, conjunction
+from repro.relation.relation import Relation
+
+__all__ = ["ConjunctiveRuleResult", "candidate_conjuncts", "mine_conjunctive_rules"]
+
+
+@dataclass(frozen=True)
+class ConjunctiveRuleResult:
+    """A generalized rule together with the plain rule it refines."""
+
+    rule: OptimizedRangeRule
+    plain_rule: OptimizedRangeRule | None
+
+    @property
+    def confidence_gain(self) -> float:
+        """Confidence improvement of the conjunctive rule over the plain one."""
+        if self.plain_rule is None:
+            return 0.0
+        return self.rule.confidence - self.plain_rule.confidence
+
+
+def candidate_conjuncts(
+    relation: Relation,
+    objective_attribute: str,
+    max_items: int = 1,
+    min_support: float = 0.05,
+) -> list[Condition]:
+    """Candidate ``C1`` conjuncts built from the Boolean attributes.
+
+    Single attributes (and, when ``max_items > 1``, conjunctions of up to
+    ``max_items`` attributes whose itemset is frequent) are returned, always
+    excluding the objective attribute itself.
+    """
+    if max_items <= 0:
+        raise OptimizationError("max_items must be positive")
+    names = [
+        name
+        for name in relation.schema.boolean_names()
+        if name != objective_attribute
+    ]
+    conjuncts: list[Condition] = [BooleanIs(name, True) for name in names]
+    if max_items == 1:
+        return conjuncts
+    itemsets = frequent_itemsets(
+        relation, min_support=min_support, max_size=max_items, items=names
+    )
+    for itemset in itemsets:
+        if itemset.size < 2:
+            continue
+        conjuncts.append(
+            conjunction(BooleanIs(item, True) for item in itemset.sorted_items())
+        )
+    return conjuncts
+
+
+def mine_conjunctive_rules(
+    relation: Relation,
+    attribute: str,
+    objective_attribute: str,
+    min_support: float = 0.05,
+    min_confidence: float = 0.5,
+    kind: RuleKind = RuleKind.OPTIMIZED_CONFIDENCE,
+    max_items: int = 1,
+    num_buckets: int = 200,
+    bucketizer: Bucketizer | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[ConjunctiveRuleResult]:
+    """Mine ``(A ∈ I) ∧ C1 ⇒ (objective = yes)`` for every candidate ``C1``.
+
+    Returns one result per conjunct that admits a feasible range, each paired
+    with the corresponding plain (non-conjunctive) rule so callers can see
+    whether the extra conjunct sharpened the rule.  Results are sorted by
+    decreasing confidence.
+    """
+    miner = OptimizedRuleMiner(
+        relation, num_buckets=num_buckets, bucketizer=bucketizer, rng=rng
+    )
+    objective = BooleanIs(objective_attribute, True)
+
+    if kind is RuleKind.OPTIMIZED_CONFIDENCE:
+        plain = miner.optimized_confidence_rule(attribute, objective, min_support)
+    elif kind is RuleKind.OPTIMIZED_SUPPORT:
+        plain = miner.optimized_support_rule(attribute, objective, min_confidence)
+    else:
+        raise OptimizationError(
+            f"conjunctive mining supports confidence/support rules, got {kind}"
+        )
+
+    results: list[ConjunctiveRuleResult] = []
+    for conjunct in candidate_conjuncts(
+        relation, objective_attribute, max_items=max_items, min_support=min_support
+    ):
+        if kind is RuleKind.OPTIMIZED_CONFIDENCE:
+            rule = miner.optimized_confidence_rule(
+                attribute, objective, min_support, presumptive=conjunct
+            )
+        else:
+            rule = miner.optimized_support_rule(
+                attribute, objective, min_confidence, presumptive=conjunct
+            )
+        if rule is not None:
+            results.append(ConjunctiveRuleResult(rule=rule, plain_rule=plain))
+    results.sort(key=lambda result: result.rule.confidence, reverse=True)
+    return results

@@ -1,0 +1,249 @@
+"""Two-dimensional optimized rectangle rules (§1.4 outlook).
+
+§1.4 sketches the extension to rules whose presumptive condition is a region
+in the plane of two numeric attributes, e.g.
+
+    ``(Age, Balance) ∈ X ⇒ (CardLoan = yes)``.
+
+Finding the optimal *arbitrary connected* region is NP-hard; the follow-up
+papers study rectangles, x-monotone and rectilinear-convex regions.  This
+module implements the rectangular case on a bucket grid, which already
+showcases how the one-dimensional solvers compose:
+
+1. bucket each attribute independently (equi-depth, as in §3) into a grid of
+   ``rows × columns`` cells with counts ``u_ij`` / ``v_ij``;
+2. for every pair of row indices ``(r1, r2)`` collapse the rows in between
+   into a single row of column totals;
+3. run the 1-D optimizers over that collapsed row to find the best column
+   range — the result is the best rectangle spanning rows ``r1..r2``.
+
+The total cost is ``O(R² · C)`` for an ``R × C`` grid, a practical polynomial
+algorithm for the grid sizes the examples use (the follow-up papers give
+asymptotically faster variants for the rectangle case; the value here is the
+exact composition with this library's 1-D solvers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bucketing.base import Bucketing, Bucketizer
+from repro.bucketing.equidepth_sort import SortingEquiDepthBucketizer
+from repro.core.optimized_confidence import maximize_ratio
+from repro.core.optimized_support import maximize_support
+from repro.core.rules import RuleKind
+from repro.exceptions import OptimizationError
+from repro.relation.conditions import Condition, NumericInRange
+from repro.relation.relation import Relation
+
+__all__ = ["GridProfile", "RectangleRule", "optimized_rectangle"]
+
+
+@dataclass(frozen=True)
+class GridProfile:
+    """Per-cell counts over a 2-D bucket grid.
+
+    ``sizes[i, j]`` is the number of tuples whose row attribute falls in row
+    bucket ``i`` and column attribute in column bucket ``j``; ``values`` is
+    the analogous count of tuples that also satisfy the objective.
+    """
+
+    row_attribute: str
+    column_attribute: str
+    objective_label: str
+    sizes: np.ndarray
+    values: np.ndarray
+    row_lows: np.ndarray
+    row_highs: np.ndarray
+    column_lows: np.ndarray
+    column_highs: np.ndarray
+    total: float
+
+    @staticmethod
+    def from_relation(
+        relation: Relation,
+        row_attribute: str,
+        column_attribute: str,
+        objective: Condition,
+        row_bucketing: Bucketing,
+        column_bucketing: Bucketing,
+    ) -> "GridProfile":
+        """Count a relation into the 2-D grid defined by two bucketings."""
+        row_values = np.asarray(relation.numeric_column(row_attribute), dtype=np.float64)
+        column_values = np.asarray(
+            relation.numeric_column(column_attribute), dtype=np.float64
+        )
+        objective_mask = np.asarray(objective.mask(relation), dtype=bool)
+
+        row_indices = row_bucketing.assign(row_values)
+        column_indices = column_bucketing.assign(column_values)
+        rows = row_bucketing.num_buckets
+        columns = column_bucketing.num_buckets
+
+        flat = row_indices * columns + column_indices
+        sizes = np.bincount(flat, minlength=rows * columns).reshape(rows, columns)
+        values = np.bincount(flat[objective_mask], minlength=rows * columns).reshape(
+            rows, columns
+        )
+
+        row_lows, row_highs = row_bucketing.data_bounds(row_values)
+        column_lows, column_highs = column_bucketing.data_bounds(column_values)
+        return GridProfile(
+            row_attribute=row_attribute,
+            column_attribute=column_attribute,
+            objective_label=str(objective),
+            sizes=sizes.astype(np.float64),
+            values=values.astype(np.float64),
+            row_lows=row_lows,
+            row_highs=row_highs,
+            column_lows=column_lows,
+            column_highs=column_highs,
+            total=float(relation.num_tuples),
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape ``(rows, columns)``."""
+        return tuple(self.sizes.shape)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class RectangleRule:
+    """An optimized rectangle rule ``(A, B) ∈ [lows..highs] ⇒ C``."""
+
+    row_attribute: str
+    column_attribute: str
+    objective_label: str
+    row_start: int
+    row_end: int
+    column_start: int
+    column_end: int
+    row_low: float
+    row_high: float
+    column_low: float
+    column_high: float
+    support: float
+    confidence: float
+    kind: RuleKind
+
+    def region_condition(self) -> Condition:
+        """The rectangle as a conjunction of two range conditions."""
+        return NumericInRange(self.row_attribute, self.row_low, self.row_high) & NumericInRange(
+            self.column_attribute, self.column_low, self.column_high
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"({self.row_attribute} in [{self.row_low:g}, {self.row_high:g}]) and "
+            f"({self.column_attribute} in [{self.column_low:g}, {self.column_high:g}]) "
+            f"=> {self.objective_label}  "
+            f"[support={self.support:.1%}, confidence={self.confidence:.1%}]"
+        )
+
+
+def optimized_rectangle(
+    relation: Relation,
+    row_attribute: str,
+    column_attribute: str,
+    objective: Condition,
+    kind: RuleKind = RuleKind.OPTIMIZED_CONFIDENCE,
+    min_support: float = 0.05,
+    min_confidence: float = 0.5,
+    grid: tuple[int, int] = (30, 30),
+    bucketizer: Bucketizer | None = None,
+    rng: np.random.Generator | None = None,
+) -> RectangleRule | None:
+    """Best axis-aligned rectangle on a 2-D bucket grid.
+
+    Parameters
+    ----------
+    kind:
+        ``OPTIMIZED_CONFIDENCE`` maximizes confidence subject to
+        ``support >= min_support``; ``OPTIMIZED_SUPPORT`` maximizes support
+        subject to ``confidence >= min_confidence``.
+    grid:
+        Number of row and column buckets.
+    """
+    if grid[0] <= 0 or grid[1] <= 0:
+        raise OptimizationError("grid dimensions must be positive")
+    bucketizer = bucketizer if bucketizer is not None else SortingEquiDepthBucketizer()
+    row_bucketing = bucketizer.build(
+        relation.numeric_column(row_attribute), grid[0], rng=rng
+    )
+    column_bucketing = bucketizer.build(
+        relation.numeric_column(column_attribute), grid[1], rng=rng
+    )
+    profile = GridProfile.from_relation(
+        relation, row_attribute, column_attribute, objective, row_bucketing, column_bucketing
+    )
+    return _best_rectangle(profile, kind, min_support, min_confidence)
+
+
+def _best_rectangle(
+    profile: GridProfile,
+    kind: RuleKind,
+    min_support: float,
+    min_confidence: float,
+) -> RectangleRule | None:
+    """Search every row band and optimize the column range inside it."""
+    rows, _ = profile.shape
+    prefix_sizes = np.concatenate(
+        (np.zeros((1, profile.sizes.shape[1])), np.cumsum(profile.sizes, axis=0)), axis=0
+    )
+    prefix_values = np.concatenate(
+        (np.zeros((1, profile.values.shape[1])), np.cumsum(profile.values, axis=0)), axis=0
+    )
+
+    best: RectangleRule | None = None
+    best_key: tuple[float, float] | None = None
+    for row_start in range(rows):
+        for row_end in range(row_start, rows):
+            band_sizes = prefix_sizes[row_end + 1] - prefix_sizes[row_start]
+            band_values = prefix_values[row_end + 1] - prefix_values[row_start]
+            keep = band_sizes > 0
+            if not np.any(keep):
+                continue
+            kept_columns = np.nonzero(keep)[0]
+            sizes = band_sizes[keep]
+            values = band_values[keep]
+            if kind is RuleKind.OPTIMIZED_CONFIDENCE:
+                selection = maximize_ratio(
+                    sizes, values, min_support * profile.total, total=profile.total
+                )
+                if selection is None:
+                    continue
+                key = (selection.ratio, selection.support)
+            elif kind is RuleKind.OPTIMIZED_SUPPORT:
+                selection = maximize_support(
+                    sizes, values, min_confidence, total=profile.total
+                )
+                if selection is None:
+                    continue
+                key = (selection.support, selection.ratio)
+            else:
+                raise OptimizationError(
+                    f"rectangle mining supports confidence/support rules, got {kind}"
+                )
+            if best_key is None or key > best_key:
+                column_start = int(kept_columns[selection.start])
+                column_end = int(kept_columns[selection.end])
+                best_key = key
+                best = RectangleRule(
+                    row_attribute=profile.row_attribute,
+                    column_attribute=profile.column_attribute,
+                    objective_label=profile.objective_label,
+                    row_start=row_start,
+                    row_end=row_end,
+                    column_start=column_start,
+                    column_end=column_end,
+                    row_low=float(profile.row_lows[row_start]),
+                    row_high=float(profile.row_highs[row_end]),
+                    column_low=float(profile.column_lows[column_start]),
+                    column_high=float(profile.column_highs[column_end]),
+                    support=selection.support,
+                    confidence=selection.ratio,
+                    kind=kind,
+                )
+    return best

@@ -1,0 +1,28 @@
+"""Computational-geometry toolkit for the hull-based rule optimizer.
+
+Implements the machinery of §4.1: 2-D points, exact slope/orientation
+comparisons, static convex hulls (for testing and the 2-D extension), the
+online suffix-upper-hull structure of Algorithm 4.1, and the tangent
+searches used by Algorithm 4.2.
+"""
+
+from repro.geometry.convex_hull_tree import SuffixHullMaintainer
+from repro.geometry.hull import convex_hull, lower_hull, upper_hull
+from repro.geometry.orientation import compare_slopes, cross, orientation, point_above_line
+from repro.geometry.point import Point
+from repro.geometry.tangent import TangentResult, clockwise_tangent, counterclockwise_tangent
+
+__all__ = [
+    "Point",
+    "cross",
+    "orientation",
+    "compare_slopes",
+    "point_above_line",
+    "upper_hull",
+    "lower_hull",
+    "convex_hull",
+    "SuffixHullMaintainer",
+    "TangentResult",
+    "clockwise_tangent",
+    "counterclockwise_tangent",
+]

@@ -1,0 +1,141 @@
+"""Online maintenance of suffix upper hulls (Algorithm 4.1).
+
+Given points ``Q_0, ..., Q_M`` sorted by strictly increasing x-coordinate,
+the optimized-confidence algorithm needs, for increasing values of an index
+``r``, the upper hull ``U_r`` of the suffix ``{Q_r, ..., Q_M}``.  Recomputing
+each hull from scratch costs ``O(M²)`` overall; Algorithm 4.1 instead builds
+a *convex hull tree* in two phases:
+
+* **Preparatory phase** — scan the points right to left, maintaining on a
+  stack ``S`` the upper hull of the suffix seen so far.  When point ``Q_i``
+  is inserted, the hull vertices it shadows are popped from ``S`` and saved
+  in a branch stack ``D_i`` (they belong to ``U_{i+1}`` but not to ``U_i``).
+  After the scan ``S`` holds ``U_0``.
+* **Restoration phase** — to move from ``U_i`` to ``U_{i+1}``, pop ``Q_i``
+  from the top of ``S`` and push the saved branch ``D_i`` back.  Every node
+  is pushed back at most once, so a full left-to-right sweep costs ``O(M)``.
+
+The stack is ordered so that the top is the *leftmost* hull vertex; reading
+the stack from top to bottom walks the upper hull clockwise (left to right),
+exactly as the paper describes.  :class:`SuffixHullMaintainer` exposes the
+restoration phase as :meth:`advance`; the tangent searches of Algorithm 4.2
+read the stack directly through :attr:`stack`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import OptimizationError
+from repro.geometry.orientation import compare_slopes
+from repro.geometry.point import Point
+
+__all__ = ["SuffixHullMaintainer"]
+
+
+class SuffixHullMaintainer:
+    """Maintain the upper hull of the point suffix ``{Q_j, ..., Q_M}``.
+
+    Parameters
+    ----------
+    points:
+        The cumulative points ``Q_0 .. Q_M`` with strictly increasing
+        x-coordinates (guaranteed in the mining application because every
+        bucket contains at least one tuple).
+
+    After construction the maintainer represents ``U_0`` (``start == 0``);
+    each :meth:`advance` call moves to the next suffix.  The stack holds
+    point *indices*; ``stack[-1]`` is the leftmost hull vertex ``Q_start``.
+    """
+
+    def __init__(self, points: Sequence[Point]) -> None:
+        if len(points) < 1:
+            raise OptimizationError("at least one point is required")
+        for previous, current in zip(points, points[1:]):
+            if not current.x > previous.x:
+                raise OptimizationError(
+                    "points must have strictly increasing x-coordinates"
+                )
+        self._points = list(points)
+        self._start = 0
+        self._stack: list[int] = []
+        self._branches: list[list[int]] = [[] for _ in range(len(points))]
+        self._prepare()
+
+    # -- preparatory phase -------------------------------------------------------
+
+    def _prepare(self) -> None:
+        """Right-to-left scan building the branch stacks ``D_i`` and ``U_0``."""
+        points = self._points
+        stack = self._stack
+        last = len(points) - 1
+        stack.append(last)
+        for index in range(last - 1, -1, -1):
+            query = points[index]
+            branch = self._branches[index]
+            # Pop hull vertices whose slope from Q_index is not larger than the
+            # slope to the vertex underneath them: they are shadowed by Q_index.
+            while len(stack) >= 2 and compare_slopes(
+                query, points[stack[-1]], points[stack[-2]]
+            ) <= 0:
+                branch.append(stack.pop())
+            stack.append(index)
+
+    # -- restoration phase ---------------------------------------------------------
+
+    @property
+    def start(self) -> int:
+        """Index ``j`` such that the current stack is the upper hull ``U_j``."""
+        return self._start
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the maintainer has advanced past the last point."""
+        return self._start >= len(self._points)
+
+    @property
+    def stack(self) -> list[int]:
+        """The hull stack (point indices); ``stack[-1]`` is the leftmost vertex.
+
+        The returned list is the live internal stack — callers must treat it
+        as read-only.  Reading it from the end towards index 0 walks the hull
+        clockwise (left to right).
+        """
+        return self._stack
+
+    def advance(self) -> None:
+        """Move from ``U_j`` to ``U_{j+1}`` by restoring the branch ``D_j``."""
+        if self.exhausted:
+            raise OptimizationError("cannot advance past the last suffix hull")
+        popped = self._stack.pop()
+        if popped != self._start:  # pragma: no cover - internal invariant
+            raise OptimizationError(
+                f"hull invariant violated: expected {self._start} on top, got {popped}"
+            )
+        branch = self._branches[self._start]
+        while branch:
+            self._stack.append(branch.pop())
+        self._start += 1
+
+    def advance_to(self, suffix_start: int) -> None:
+        """Advance until the stack represents ``U_{suffix_start}``."""
+        if suffix_start < self._start:
+            raise OptimizationError(
+                f"cannot rewind the suffix hull from {self._start} to {suffix_start}"
+            )
+        while self._start < suffix_start:
+            self.advance()
+
+    # -- read helpers ----------------------------------------------------------------
+
+    def hull_indices(self) -> list[int]:
+        """Hull vertex indices left to right (a copy, safe to mutate)."""
+        return list(reversed(self._stack))
+
+    def hull_points(self) -> list[Point]:
+        """Hull vertices left to right as points."""
+        return [self._points[index] for index in self.hull_indices()]
+
+    def point(self, index: int) -> Point:
+        """The underlying point ``Q_index``."""
+        return self._points[index]

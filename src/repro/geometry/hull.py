@@ -1,0 +1,91 @@
+"""Static convex hull construction (Andrew's monotone chain).
+
+The optimized-confidence solver uses the *online* suffix-hull structure of
+Algorithm 4.1 (:mod:`repro.geometry.convex_hull_tree`), but a from-scratch
+hull builder is valuable for two reasons: it differential-tests the online
+structure on random point sets, and it is the natural tool for the
+two-dimensional extension experiments.
+
+``upper_hull`` / ``lower_hull`` return a single chain ordered left to right
+(the paper's "clockwise" order from the leftmost to the rightmost vertex);
+columns of points sharing an x-coordinate are represented by their extreme
+point only, so the chains are strictly x-monotone.  ``convex_hull`` returns
+the full hull in counter-clockwise order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.orientation import orientation
+from repro.geometry.point import Point
+
+__all__ = ["upper_hull", "lower_hull", "convex_hull"]
+
+
+def _sorted_unique(points: Sequence[Point]) -> list[Point]:
+    """Points sorted by (x, y) with exact duplicates removed."""
+    return sorted(set(points), key=lambda p: (p.x, p.y))
+
+
+def _column_extremes(points: Sequence[Point], keep_top: bool) -> list[Point]:
+    """One point per x-coordinate: the top one (``keep_top``) or the bottom one."""
+    extremes: dict[float, Point] = {}
+    for point in points:
+        current = extremes.get(point.x)
+        if current is None:
+            extremes[point.x] = point
+        elif keep_top and point.y > current.y:
+            extremes[point.x] = point
+        elif not keep_top and point.y < current.y:
+            extremes[point.x] = point
+    return [extremes[x] for x in sorted(extremes)]
+
+
+def upper_hull(points: Sequence[Point]) -> list[Point]:
+    """Vertices of the upper hull, left to right ("clockwise" in the paper).
+
+    Collinear intermediate points are dropped so the result is strictly
+    convex, matching the behaviour of the online structure.
+    """
+    ordered = _column_extremes(points, keep_top=True)
+    if len(ordered) <= 2:
+        return ordered
+    hull: list[Point] = []
+    for point in ordered:
+        while len(hull) >= 2 and orientation(hull[-2], hull[-1], point) >= 0:
+            hull.pop()
+        hull.append(point)
+    return hull
+
+
+def lower_hull(points: Sequence[Point]) -> list[Point]:
+    """Vertices of the lower hull, left to right."""
+    ordered = _column_extremes(points, keep_top=False)
+    if len(ordered) <= 2:
+        return ordered
+    hull: list[Point] = []
+    for point in ordered:
+        while len(hull) >= 2 and orientation(hull[-2], hull[-1], point) <= 0:
+            hull.pop()
+        hull.append(point)
+    return hull
+
+
+def convex_hull(points: Sequence[Point]) -> list[Point]:
+    """Full convex hull in counter-clockwise order starting at the bottom-left point."""
+    ordered = _sorted_unique(points)
+    if len(ordered) <= 2:
+        return ordered
+    lower: list[Point] = []
+    for point in ordered:
+        while len(lower) >= 2 and orientation(lower[-2], lower[-1], point) <= 0:
+            lower.pop()
+        lower.append(point)
+    upper: list[Point] = []
+    for point in reversed(ordered):
+        while len(upper) >= 2 and orientation(upper[-2], upper[-1], point) <= 0:
+            upper.pop()
+        upper.append(point)
+    # Drop the last point of each chain (it is the first point of the other).
+    return lower[:-1] + upper[:-1]

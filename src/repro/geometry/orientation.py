@@ -1,0 +1,59 @@
+"""Exact-ish orientation and slope comparisons.
+
+The hull algorithms never need actual slope *values*, only comparisons of
+slopes sharing an endpoint and point-vs-line sidedness tests.  Both reduce to
+the sign of a cross product, which avoids divisions entirely.  When the
+inputs are integer-valued (the common case: ``u_i`` and ``v_i`` are tuple
+counts) the products are exact for magnitudes up to 2⁵³, so the comparisons
+are exact; for real-valued ``v_i`` (the §5 average operator) they are the
+standard floating-point evaluations.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+
+__all__ = ["cross", "orientation", "compare_slopes", "point_above_line"]
+
+
+def cross(origin: Point, first: Point, second: Point) -> float:
+    """Cross product of vectors ``origin→first`` and ``origin→second``.
+
+    Positive when ``second`` lies counter-clockwise of ``first`` around
+    ``origin`` (i.e. the turn ``origin → first → second`` is a left turn).
+    """
+    return (first.x - origin.x) * (second.y - origin.y) - (
+        first.y - origin.y
+    ) * (second.x - origin.x)
+
+
+def orientation(origin: Point, first: Point, second: Point) -> int:
+    """Sign of :func:`cross`: 1 for a left turn, -1 for a right turn, 0 if collinear."""
+    value = cross(origin, first, second)
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+def compare_slopes(origin: Point, first: Point, second: Point) -> int:
+    """Compare ``slope(origin, first)`` with ``slope(origin, second)``.
+
+    Returns 1, -1, or 0 when the first slope is respectively greater, less,
+    or equal.  Both target points must lie strictly to the right of
+    ``origin`` (which holds for the cumulative count points because every
+    bucket contains at least one tuple); under that precondition the
+    comparison is simply the orientation of the triple.
+    """
+    return orientation(origin, second, first)
+
+
+def point_above_line(point: Point, anchor: Point, through: Point) -> bool:
+    """Whether ``point`` lies on or above the line ``anchor → through``.
+
+    "Above" is measured in the y-direction assuming ``through.x > anchor.x``
+    (the tangent lines used by Algorithm 4.2 always run left to right).  Used
+    for the "if ``Q_m`` is above or on ``L``, skip it" test.
+    """
+    return cross(anchor, through, point) >= 0

@@ -1,0 +1,44 @@
+"""Two-dimensional points used by the hull-based rule optimizer.
+
+The optimized-confidence algorithm works on the cumulative points
+``Q_k = (Σ_{i<=k} u_i, Σ_{i<=k} v_i)`` (Definition 4.2): the x-coordinate is
+the running tuple count and the y-coordinate the running objective count, so
+the slope of the segment ``Q_m Q_n`` equals the confidence of the range made
+of buckets ``m+1 .. n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Point"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable 2-D point with float coordinates."""
+
+    x: float
+    y: float
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return the point moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def slope_to(self, other: "Point") -> float:
+        """Slope of the segment from this point to ``other``.
+
+        Returns ``inf`` / ``-inf`` for vertical segments (the sign follows
+        the y-difference) and ``nan`` for coincident points.
+        """
+        dx = other.x - self.x
+        dy = other.y - self.y
+        if dx == 0.0:
+            if dy == 0.0:
+                return float("nan")
+            return float("inf") if dy > 0 else float("-inf")
+        return dy / dx

@@ -1,0 +1,116 @@
+"""Tangent searches along an upper hull (used by Algorithm 4.2).
+
+Given a query point ``Q_m`` strictly to the left of every vertex of an upper
+hull, the *tangent* of ``Q_m`` and the hull is the line through ``Q_m`` and
+the hull vertex that maximizes the slope; that vertex is called the
+*terminating point* (ties are broken towards the vertex with the larger
+x-coordinate, per Definition 4.3).
+
+Because the hull is convex, the slope from ``Q_m`` to its vertices is
+unimodal along the hull, so the terminating point can be found by a linear
+scan that stops as soon as the slope stops improving.  Algorithm 4.2 uses
+two scan directions:
+
+* **clockwise** — start at the hull's leftmost vertex and walk right; used
+  when nothing is known about where the terminating point lies.
+* **counterclockwise** — start at a known previous terminating point and
+  walk left; used when the previous tangent still touches the current hull,
+  which lets the amortized analysis charge each hull edge at most once.
+
+The hull is passed in the stack representation produced by
+:class:`repro.geometry.SuffixHullMaintainer`: a list of point indices whose
+*last* element is the leftmost vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import OptimizationError
+from repro.geometry.orientation import compare_slopes
+from repro.geometry.point import Point
+
+__all__ = ["TangentResult", "clockwise_tangent", "counterclockwise_tangent"]
+
+
+class TangentResult:
+    """Terminating point of a tangent search.
+
+    Attributes
+    ----------
+    point_index:
+        Index (into the caller's point array) of the terminating point.
+    stack_position:
+        Position of that vertex inside the hull stack, so a later
+        counterclockwise search can resume from it in O(1).
+    """
+
+    __slots__ = ("point_index", "stack_position")
+
+    def __init__(self, point_index: int, stack_position: int) -> None:
+        self.point_index = point_index
+        self.stack_position = stack_position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TangentResult(point_index={self.point_index}, "
+            f"stack_position={self.stack_position})"
+        )
+
+
+def clockwise_tangent(
+    points: Sequence[Point], stack: Sequence[int], query_index: int
+) -> TangentResult:
+    """Find the terminating point by scanning the hull left to right.
+
+    ``stack`` is the hull stack (last element = leftmost vertex); the scan
+    starts there and moves clockwise (towards smaller stack positions /
+    larger x) while the slope from the query point keeps improving.  Ties
+    move the scan forward so the vertex with the larger x wins.
+    """
+    if not stack:
+        raise OptimizationError("tangent search requires a non-empty hull")
+    query = points[query_index]
+    best_position = len(stack) - 1
+    position = best_position - 1
+    while position >= 0:
+        comparison = compare_slopes(query, points[stack[position]], points[stack[best_position]])
+        if comparison >= 0:
+            best_position = position
+            position -= 1
+        else:
+            break
+    return TangentResult(point_index=stack[best_position], stack_position=best_position)
+
+
+def counterclockwise_tangent(
+    points: Sequence[Point],
+    stack: Sequence[int],
+    query_index: int,
+    start_position: int,
+) -> TangentResult:
+    """Find the terminating point by scanning the hull right to left.
+
+    The scan starts at ``start_position`` (a stack position, typically the
+    terminating point of the previous tangent) and moves counterclockwise
+    (towards larger stack positions / smaller x) while the slope from the
+    query point strictly improves; on a tie the scan stops so the vertex
+    with the larger x is kept.
+    """
+    if not stack:
+        raise OptimizationError("tangent search requires a non-empty hull")
+    if not 0 <= start_position < len(stack):
+        raise OptimizationError(
+            f"start_position {start_position} outside hull stack of size {len(stack)}"
+        )
+    query = points[query_index]
+    best_position = start_position
+    position = start_position + 1
+    while position < len(stack):
+        comparison = compare_slopes(query, points[stack[position]], points[stack[best_position]])
+        if comparison > 0:
+            best_position = position
+            position += 1
+        else:
+            break
+    return TangentResult(point_index=stack[best_position], stack_position=best_position)

@@ -1,0 +1,35 @@
+"""Rule-mining substrate around the core optimizers.
+
+Contains the Boolean association-rule machinery the paper builds on (Apriori
+frequent itemsets and rule generation), the related-work baselines for
+numeric ranges (Piatetsky-Shapiro fixed ranges and Srikant–Agrawal bounded
+combinations), and the all-combinations catalog miner of §1.3.
+"""
+
+from repro.mining.boolean_rules import (
+    BooleanAssociationRule,
+    generate_rules,
+    mine_boolean_rules,
+)
+from repro.mining.catalog import CatalogEntry, RuleCatalog, mine_rule_catalog
+from repro.mining.itemsets import FrequentItemset, frequent_itemsets, itemset_support
+from repro.mining.partition_baselines import (
+    FixedRangeRule,
+    piatetsky_shapiro_rules,
+    srikant_agrawal_best_range,
+)
+
+__all__ = [
+    "FrequentItemset",
+    "frequent_itemsets",
+    "itemset_support",
+    "BooleanAssociationRule",
+    "generate_rules",
+    "mine_boolean_rules",
+    "FixedRangeRule",
+    "piatetsky_shapiro_rules",
+    "srikant_agrawal_best_range",
+    "CatalogEntry",
+    "RuleCatalog",
+    "mine_rule_catalog",
+]

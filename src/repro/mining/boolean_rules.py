@@ -1,0 +1,110 @@
+"""Boolean association rules from frequent itemsets.
+
+This is the rule-generation half of the Agrawal et al. framework the paper's
+introduction builds on: from every frequent itemset, emit the rules
+``antecedent ⇒ consequent`` (antecedent and consequent partition the itemset)
+whose confidence reaches the minimum threshold.  The resulting conjunctions
+also serve as candidate ``C1`` conjuncts for the generalized numeric rules of
+§4.3 (see :mod:`repro.extensions.conjunctive`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.exceptions import OptimizationError
+from repro.mining.itemsets import FrequentItemset, frequent_itemsets
+from repro.relation.conditions import BooleanIs, Condition, conjunction
+from repro.relation.relation import Relation
+
+__all__ = ["BooleanAssociationRule", "generate_rules", "mine_boolean_rules"]
+
+
+@dataclass(frozen=True)
+class BooleanAssociationRule:
+    """A classic Boolean association rule ``antecedent ⇒ consequent``."""
+
+    antecedent: frozenset[str]
+    consequent: frozenset[str]
+    support: float
+    confidence: float
+    lift: float
+
+    def antecedent_condition(self) -> Condition:
+        """The antecedent as a condition AST node."""
+        return conjunction(BooleanIs(item, True) for item in sorted(self.antecedent))
+
+    def consequent_condition(self) -> Condition:
+        """The consequent as a condition AST node."""
+        return conjunction(BooleanIs(item, True) for item in sorted(self.consequent))
+
+    def __str__(self) -> str:
+        lhs = " and ".join(f"({item} = yes)" for item in sorted(self.antecedent))
+        rhs = " and ".join(f"({item} = yes)" for item in sorted(self.consequent))
+        return (
+            f"{lhs} => {rhs}  "
+            f"[support={self.support:.1%}, confidence={self.confidence:.1%}, "
+            f"lift={self.lift:.2f}]"
+        )
+
+
+def generate_rules(
+    itemsets: list[FrequentItemset], min_confidence: float
+) -> list[BooleanAssociationRule]:
+    """Emit every rule of confidence at least ``min_confidence`` from ``itemsets``.
+
+    The input list must contain every frequent itemset (including all subsets
+    of the larger ones), which is what :func:`repro.mining.frequent_itemsets`
+    produces; supports of sub-itemsets are looked up from it.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise OptimizationError(
+            f"min_confidence must lie in (0, 1], got {min_confidence}"
+        )
+    support_by_itemset = {itemset.items: itemset.support for itemset in itemsets}
+    rules: list[BooleanAssociationRule] = []
+    for itemset in itemsets:
+        if itemset.size < 2:
+            continue
+        items = itemset.sorted_items()
+        for antecedent_size in range(1, itemset.size):
+            for antecedent_items in combinations(items, antecedent_size):
+                antecedent = frozenset(antecedent_items)
+                consequent = itemset.items - antecedent
+                antecedent_support = support_by_itemset.get(antecedent)
+                consequent_support = support_by_itemset.get(consequent)
+                if antecedent_support is None or antecedent_support == 0.0:
+                    continue
+                confidence = itemset.support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                lift = (
+                    confidence / consequent_support
+                    if consequent_support
+                    else 0.0
+                )
+                rules.append(
+                    BooleanAssociationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        support=itemset.support,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(
+        key=lambda rule: (-rule.confidence, -rule.support, tuple(sorted(rule.antecedent)))
+    )
+    return rules
+
+
+def mine_boolean_rules(
+    relation: Relation,
+    min_support: float,
+    min_confidence: float,
+    max_size: int | None = None,
+) -> list[BooleanAssociationRule]:
+    """End-to-end Boolean rule mining: Apriori itemsets plus rule generation."""
+    itemsets = frequent_itemsets(relation, min_support, max_size=max_size)
+    return generate_rules(itemsets, min_confidence)

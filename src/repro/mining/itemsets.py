@@ -1,0 +1,140 @@
+"""Frequent itemset mining over the Boolean attributes of a relation.
+
+The paper builds on the Boolean association-rule setting of Agrawal, Imielinski
+and Swami (reference [3]): conditions that are conjunctions of ``(A = yes)``
+over Boolean attributes, mined with the Apriori algorithm.  This module
+implements that substrate so the library can (a) mine the classic
+basket-style rules the introduction cites, and (b) supply conjunctive
+presumptive conditions ``C1`` for the generalized rules of §4.3.
+
+An *item* is simply the name of a Boolean attribute (interpreted as
+``attribute = yes``); an *itemset* is a frozenset of items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.relation.relation import Relation
+
+__all__ = ["FrequentItemset", "frequent_itemsets", "itemset_support"]
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """An itemset together with its absolute and relative support."""
+
+    items: frozenset[str]
+    count: int
+    support: float
+
+    @property
+    def size(self) -> int:
+        """Number of items in the itemset."""
+        return len(self.items)
+
+    def sorted_items(self) -> tuple[str, ...]:
+        """Items in deterministic (alphabetical) order."""
+        return tuple(sorted(self.items))
+
+
+def itemset_support(relation: Relation, items: frozenset[str] | set[str]) -> float:
+    """Support of the conjunction ``(A = yes for every A in items)``."""
+    if not items:
+        return 1.0
+    mask = np.ones(relation.num_tuples, dtype=bool)
+    for item in items:
+        mask &= relation.boolean_column(item)
+    if relation.num_tuples == 0:
+        return 0.0
+    return float(mask.sum()) / relation.num_tuples
+
+
+def frequent_itemsets(
+    relation: Relation,
+    min_support: float,
+    max_size: int | None = None,
+    items: list[str] | None = None,
+) -> list[FrequentItemset]:
+    """Apriori frequent itemset mining.
+
+    Parameters
+    ----------
+    relation:
+        The relation whose Boolean attributes are treated as items.
+    min_support:
+        Minimum relative support of a reported itemset, in ``(0, 1]``.
+    max_size:
+        Optional cap on itemset size (``None`` means no cap).
+    items:
+        Optional explicit item universe; defaults to every Boolean attribute.
+
+    Returns
+    -------
+    list of FrequentItemset
+        All frequent itemsets, ordered by size and then alphabetically, which
+        makes the output deterministic and easy to assert on in tests.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise OptimizationError(f"min_support must lie in (0, 1], got {min_support}")
+    if max_size is not None and max_size <= 0:
+        raise OptimizationError("max_size must be positive when given")
+    total = relation.num_tuples
+    if total == 0:
+        return []
+
+    universe = items if items is not None else relation.schema.boolean_names()
+    columns = {item: np.asarray(relation.boolean_column(item), dtype=bool) for item in universe}
+    min_count = min_support * total
+
+    # Level 1: frequent single items.
+    current_level: dict[frozenset[str], np.ndarray] = {}
+    results: list[FrequentItemset] = []
+    for item in sorted(universe):
+        mask = columns[item]
+        count = int(mask.sum())
+        if count >= min_count:
+            itemset = frozenset({item})
+            current_level[itemset] = mask
+            results.append(FrequentItemset(itemset, count, count / total))
+
+    size = 1
+    while current_level and (max_size is None or size < max_size):
+        size += 1
+        candidates = _generate_candidates(list(current_level.keys()), size)
+        next_level: dict[frozenset[str], np.ndarray] = {}
+        for candidate in candidates:
+            # Apriori pruning: every (size-1)-subset must be frequent.
+            if any(
+                candidate - {item} not in current_level for item in candidate
+            ):
+                continue
+            mask = np.ones(total, dtype=bool)
+            for item in candidate:
+                mask &= columns[item]
+            count = int(mask.sum())
+            if count >= min_count:
+                next_level[candidate] = mask
+                results.append(FrequentItemset(candidate, count, count / total))
+        current_level = next_level
+
+    results.sort(key=lambda fi: (fi.size, fi.sorted_items()))
+    return results
+
+
+def _generate_candidates(
+    previous: list[frozenset[str]], size: int
+) -> list[frozenset[str]]:
+    """Join step of Apriori: combine frequent (size-1)-itemsets sharing a prefix."""
+    ordered = sorted(tuple(sorted(itemset)) for itemset in previous)
+    candidates: set[frozenset[str]] = set()
+    for first, second in combinations(ordered, 2):
+        if first[: size - 2] == second[: size - 2]:
+            union = frozenset(first) | frozenset(second)
+            if len(union) == size:
+                candidates.add(union)
+    return sorted(candidates, key=lambda itemset: tuple(sorted(itemset)))

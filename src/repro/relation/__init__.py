@@ -1,0 +1,55 @@
+"""Relational substrate: schema, columnar relations, conditions, and CSV I/O.
+
+This package provides the "database" the paper's algorithms run against: an
+in-memory columnar relation with numeric and Boolean attributes, a small
+condition AST for presumptive/objective conditions, support and confidence
+statistics, a row builder, and CSV import/export.
+"""
+
+from repro.relation.builders import RelationBuilder
+from repro.relation.conditions import (
+    And,
+    BooleanIs,
+    Condition,
+    Not,
+    NumericEquals,
+    NumericInRange,
+    Or,
+    TrueCondition,
+    conjunction,
+)
+from repro.relation.io import infer_schema, read_csv, write_csv
+from repro.relation.relation import Relation
+from repro.relation.schema import Attribute, AttributeKind, Schema
+from repro.relation.statistics import (
+    ContingencyTable,
+    confidence,
+    contingency_table,
+    lift,
+    support,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Schema",
+    "Relation",
+    "RelationBuilder",
+    "Condition",
+    "TrueCondition",
+    "BooleanIs",
+    "NumericEquals",
+    "NumericInRange",
+    "And",
+    "Or",
+    "Not",
+    "conjunction",
+    "read_csv",
+    "write_csv",
+    "infer_schema",
+    "support",
+    "confidence",
+    "lift",
+    "ContingencyTable",
+    "contingency_table",
+]

@@ -1,0 +1,72 @@
+"""Row-wise construction helper for :class:`repro.relation.Relation`.
+
+Most of the library builds relations column-wise (generators, CSV loader),
+but examples and tests often want to append a handful of rows.  The builder
+accumulates rows and materializes a columnar :class:`Relation` at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import RelationError
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+__all__ = ["RelationBuilder"]
+
+
+class RelationBuilder:
+    """Incrementally collect rows and build an immutable :class:`Relation`.
+
+    Example
+    -------
+    >>> from repro.relation import Attribute, Schema, RelationBuilder
+    >>> schema = Schema.of(Attribute.numeric("balance"), Attribute.boolean("card_loan"))
+    >>> builder = RelationBuilder(schema)
+    >>> builder.add_row(balance=1200.0, card_loan=True)
+    >>> builder.add_row(balance=300.0, card_loan=False)
+    >>> relation = builder.build()
+    >>> relation.num_tuples
+    2
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._columns: dict[str, list[object]] = {name: [] for name in schema.names()}
+        self._count = 0
+
+    @property
+    def schema(self) -> Schema:
+        """The schema rows are validated against."""
+        return self._schema
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add_row(self, row: Mapping[str, object] | None = None, /, **values: object) -> None:
+        """Append a row given as a mapping and/or keyword arguments.
+
+        Keyword arguments override entries of ``row`` with the same name.
+        Every attribute of the schema must receive a value.
+        """
+        merged: dict[str, object] = dict(row) if row is not None else {}
+        merged.update(values)
+        unknown = [name for name in merged if name not in self._schema]
+        if unknown:
+            raise RelationError(f"row mentions unknown attributes: {unknown}")
+        missing = [name for name in self._schema.names() if name not in merged]
+        if missing:
+            raise RelationError(f"row is missing attributes: {missing}")
+        for name in self._schema.names():
+            self._columns[name].append(merged[name])
+        self._count += 1
+
+    def add_rows(self, rows: list[Mapping[str, object]]) -> None:
+        """Append several mapping rows."""
+        for row in rows:
+            self.add_row(row)
+
+    def build(self) -> Relation:
+        """Materialize the accumulated rows into a :class:`Relation`."""
+        return Relation.from_columns(self._schema, self._columns)

@@ -1,0 +1,274 @@
+"""Condition AST used to express presumptive and objective rule conditions.
+
+The paper (Definition 2.1) uses *primitive conditions* over attributes:
+
+* for a Boolean attribute ``A``:  ``A = yes`` and ``A = no``;
+* for a numeric attribute ``A``:  ``A = v`` and ``A ∈ [v1, v2]``;
+
+and *conjunctions* of primitive conditions for more complex statements.  This
+module represents those conditions as small immutable AST nodes.  Every node
+can evaluate itself against a :class:`repro.relation.Relation` producing a
+Boolean numpy mask (one entry per tuple), which is the form all the counting
+code in :mod:`repro.core` and :mod:`repro.mining` consumes.
+
+A tiny textual form is supported for display and round-tripping in the CLI,
+for example ``(Balance in [1000, 5000]) and (CardLoan = yes)``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.exceptions import ConditionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.relation.relation import Relation
+
+__all__ = [
+    "Condition",
+    "TrueCondition",
+    "BooleanIs",
+    "NumericEquals",
+    "NumericInRange",
+    "And",
+    "Or",
+    "Not",
+    "conjunction",
+]
+
+
+class Condition(ABC):
+    """Base class of all condition AST nodes."""
+
+    @abstractmethod
+    def mask(self, relation: "Relation") -> np.ndarray:
+        """Return a Boolean mask selecting the tuples that meet the condition."""
+
+    @abstractmethod
+    def attribute_names(self) -> frozenset[str]:
+        """Names of all attributes referenced by this condition."""
+
+    # -- combinators -----------------------------------------------------------
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And((self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or((self, other))
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+    # -- convenience -----------------------------------------------------------
+
+    def count(self, relation: "Relation") -> int:
+        """Number of tuples of ``relation`` that meet the condition."""
+        return int(self.mask(relation).sum())
+
+    def support(self, relation: "Relation") -> float:
+        """Fraction of tuples of ``relation`` that meet the condition."""
+        n = relation.num_tuples
+        if n == 0:
+            return 0.0
+        return self.count(relation) / n
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """The condition met by every tuple (identity element for conjunction)."""
+
+    def mask(self, relation: "Relation") -> np.ndarray:
+        return np.ones(relation.num_tuples, dtype=bool)
+
+    def attribute_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class BooleanIs(Condition):
+    """Primitive condition ``A = yes`` or ``A = no`` for a Boolean attribute."""
+
+    attribute: str
+    value: bool = True
+
+    def mask(self, relation: "Relation") -> np.ndarray:
+        column = relation.boolean_column(self.attribute)
+        return column if self.value else ~column
+
+    def attribute_names(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def __str__(self) -> str:
+        return f"({self.attribute} = {'yes' if self.value else 'no'})"
+
+
+@dataclass(frozen=True)
+class NumericEquals(Condition):
+    """Primitive condition ``A = v`` for a numeric attribute."""
+
+    attribute: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(float(self.value)):
+            raise ConditionError(
+                f"NumericEquals({self.attribute!r}): value must be finite"
+            )
+
+    def mask(self, relation: "Relation") -> np.ndarray:
+        column = relation.numeric_column(self.attribute)
+        return column == float(self.value)
+
+    def attribute_names(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def __str__(self) -> str:
+        return f"({self.attribute} = {self.value:g})"
+
+
+@dataclass(frozen=True)
+class NumericInRange(Condition):
+    """Primitive condition ``A ∈ [low, high]`` (both ends inclusive).
+
+    This is the condition whose range the optimized-rule miners instantiate.
+    """
+
+    attribute: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        low = float(self.low)
+        high = float(self.high)
+        if math.isnan(low) or math.isnan(high):
+            raise ConditionError(
+                f"NumericInRange({self.attribute!r}): bounds must not be NaN"
+            )
+        if low > high:
+            raise ConditionError(
+                f"NumericInRange({self.attribute!r}): low ({low}) exceeds high ({high})"
+            )
+
+    def mask(self, relation: "Relation") -> np.ndarray:
+        column = relation.numeric_column(self.attribute)
+        return (column >= float(self.low)) & (column <= float(self.high))
+
+    def attribute_names(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    @property
+    def width(self) -> float:
+        """Length of the interval."""
+        return float(self.high) - float(self.low)
+
+    def __str__(self) -> str:
+        return f"({self.attribute} in [{self.low:g}, {self.high:g}])"
+
+
+def _flatten(
+    conditions: Iterable[Condition], node_type: type
+) -> tuple[Condition, ...]:
+    """Flatten nested nodes of the same type and validate operands."""
+    flat: list[Condition] = []
+    for condition in conditions:
+        if not isinstance(condition, Condition):
+            raise ConditionError(
+                f"operands must be Condition instances, got {condition!r}"
+            )
+        if isinstance(condition, node_type):
+            flat.extend(condition.operands)  # type: ignore[attr-defined]
+        else:
+            flat.append(condition)
+    return tuple(flat)
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Conjunction of conditions; nested conjunctions are flattened."""
+
+    operands: tuple[Condition, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", _flatten(self.operands, And))
+        if not self.operands:
+            raise ConditionError("And requires at least one operand")
+
+    def mask(self, relation: "Relation") -> np.ndarray:
+        result = self.operands[0].mask(relation)
+        for operand in self.operands[1:]:
+            result = result & operand.mask(relation)
+        return result
+
+    def attribute_names(self) -> frozenset[str]:
+        return frozenset().union(*(op.attribute_names() for op in self.operands))
+
+    def __str__(self) -> str:
+        return " and ".join(str(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Disjunction of conditions; nested disjunctions are flattened."""
+
+    operands: tuple[Condition, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", _flatten(self.operands, Or))
+        if not self.operands:
+            raise ConditionError("Or requires at least one operand")
+
+    def mask(self, relation: "Relation") -> np.ndarray:
+        result = self.operands[0].mask(relation)
+        for operand in self.operands[1:]:
+            result = result | operand.mask(relation)
+        return result
+
+    def attribute_names(self) -> frozenset[str]:
+        return frozenset().union(*(op.attribute_names() for op in self.operands))
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation of a condition."""
+
+    operand: Condition
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.operand, Condition):
+            raise ConditionError(
+                f"Not operand must be a Condition, got {self.operand!r}"
+            )
+
+    def mask(self, relation: "Relation") -> np.ndarray:
+        return ~self.operand.mask(relation)
+
+    def attribute_names(self) -> frozenset[str]:
+        return self.operand.attribute_names()
+
+    def __str__(self) -> str:
+        return f"not {self.operand}"
+
+
+def conjunction(conditions: Iterable[Condition]) -> Condition:
+    """Combine ``conditions`` into a single conjunction.
+
+    An empty iterable yields :class:`TrueCondition`, a single element is
+    returned unchanged, and two or more are wrapped in :class:`And`.
+    """
+    items = tuple(conditions)
+    if not items:
+        return TrueCondition()
+    if len(items) == 1:
+        return items[0]
+    return And(items)

@@ -1,0 +1,134 @@
+"""CSV import / export for relations.
+
+The paper's experiments read tuples from flat files on disk; this module
+provides the equivalent plumbing so examples and the CLI can operate on real
+CSV data (for instance UCI exports) as well as on the synthetic generators.
+
+Two entry points:
+
+* :func:`write_csv` — serialize a :class:`Relation` with a header row.
+* :func:`read_csv` — parse a CSV file, either against an explicit
+  :class:`Schema` or with lightweight schema inference (a column whose values
+  are all in a small yes/no vocabulary or all 0/1 becomes Boolean, everything
+  else that parses as a float becomes numeric).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import RelationError
+from repro.relation.relation import Relation
+from repro.relation.schema import Attribute, Schema
+
+__all__ = ["read_csv", "write_csv", "infer_schema"]
+
+_BOOLEAN_TRUE = {"yes", "y", "true", "t", "1"}
+_BOOLEAN_FALSE = {"no", "n", "false", "f", "0"}
+_BOOLEAN_VOCABULARY = _BOOLEAN_TRUE | _BOOLEAN_FALSE
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write ``relation`` to ``path`` as CSV with a header row.
+
+    Boolean values are written as ``yes`` / ``no`` so the files read naturally
+    and round-trip through :func:`read_csv`.
+    """
+    path = Path(path)
+    names = relation.schema.names()
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in relation.iter_rows():
+            formatted: list[str] = []
+            for name in names:
+                value = row[name]
+                if isinstance(value, bool):
+                    formatted.append("yes" if value else "no")
+                else:
+                    formatted.append(repr(float(value)))
+            writer.writerow(formatted)
+
+
+def read_csv(path: str | Path, schema: Schema | None = None) -> Relation:
+    """Read a CSV file with a header row into a :class:`Relation`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    schema:
+        Optional explicit schema.  When omitted the schema is inferred with
+        :func:`infer_schema`; columns that are neither Boolean-like nor
+        numeric raise :class:`~repro.exceptions.RelationError`.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise RelationError(f"CSV file {path} is empty") from exc
+        header = [name.strip() for name in header]
+        rows = [row for row in reader if row]
+
+    for row_number, row in enumerate(rows, start=2):
+        if len(row) != len(header):
+            raise RelationError(
+                f"{path}:{row_number}: expected {len(header)} fields, got {len(row)}"
+            )
+
+    if schema is None:
+        schema = infer_schema(header, rows)
+    else:
+        unknown = [name for name in header if name not in schema]
+        if unknown or len(header) != len(schema):
+            raise RelationError(
+                f"CSV header {header} does not match schema attributes "
+                f"{schema.names()}"
+            )
+
+    columns: dict[str, list[object]] = {name: [] for name in header}
+    for row in rows:
+        for name, raw in zip(header, row):
+            attribute = schema.attribute(name)
+            text = raw.strip()
+            if attribute.is_boolean:
+                columns[name].append(text)
+            else:
+                try:
+                    columns[name].append(float(text))
+                except ValueError as exc:
+                    raise RelationError(
+                        f"column {name!r}: cannot parse numeric value {text!r}"
+                    ) from exc
+    # Reorder columns to match the schema's attribute order.
+    ordered = {attr.name: columns[attr.name] for attr in schema}
+    return Relation.from_columns(schema, ordered)
+
+
+def infer_schema(header: Sequence[str], rows: Iterable[Sequence[str]]) -> Schema:
+    """Infer a :class:`Schema` from CSV header and string rows.
+
+    A column is Boolean when every non-empty value belongs to the yes/no
+    vocabulary (``yes/no``, ``true/false``, ``0/1`` and single-letter forms);
+    otherwise it must parse as a float and becomes numeric.
+    """
+    rows = list(rows)
+    attributes: list[Attribute] = []
+    for index, name in enumerate(header):
+        values = [row[index].strip() for row in rows if row[index].strip() != ""]
+        if values and all(value.lower() in _BOOLEAN_VOCABULARY for value in values):
+            attributes.append(Attribute.boolean(name))
+            continue
+        try:
+            for value in values:
+                float(value)
+        except ValueError as exc:
+            raise RelationError(
+                f"column {name!r} is neither boolean-like nor numeric"
+            ) from exc
+        attributes.append(Attribute.numeric(name))
+    return Schema(tuple(attributes))

@@ -1,0 +1,353 @@
+"""Columnar in-memory relation.
+
+The paper assumes a "universal relation" with numeric and Boolean attributes
+over which ranges and conditions are evaluated.  :class:`Relation` is the
+concrete substrate: a column store where numeric attributes are ``float64``
+numpy arrays and Boolean attributes are ``bool`` numpy arrays.  All columns
+have identical length (the number of tuples).
+
+The class is deliberately small but complete enough for the mining code:
+selection by condition, projection, vertical split (used by the
+"Vertical Split Sort" bucketing baseline of §6.1), sampling, sorting by an
+attribute, and aggregate statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import RelationError, SchemaError
+from repro.relation.conditions import Condition
+from repro.relation.schema import Attribute, AttributeKind, Schema
+
+__all__ = ["Relation"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An immutable columnar relation.
+
+    Use :meth:`from_columns` / :meth:`from_rows` (or
+    :class:`repro.relation.RelationBuilder`) to construct instances; the raw
+    constructor expects already-validated numpy columns.
+    """
+
+    schema: Schema
+    _columns: tuple[np.ndarray, ...]
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def from_columns(
+        schema: Schema, columns: Mapping[str, Sequence[float] | np.ndarray]
+    ) -> "Relation":
+        """Build a relation from a schema and per-attribute column data.
+
+        Numeric columns are converted to ``float64`` and Boolean columns to
+        ``bool``.  Every attribute of ``schema`` must be present in
+        ``columns`` and all columns must have the same length.
+        """
+        missing = [a.name for a in schema if a.name not in columns]
+        if missing:
+            raise RelationError(f"missing columns for attributes: {missing}")
+        extra = [name for name in columns if name not in schema]
+        if extra:
+            raise RelationError(f"columns do not match schema attributes: {extra}")
+
+        arrays: list[np.ndarray] = []
+        length: int | None = None
+        for attribute in schema:
+            raw = columns[attribute.name]
+            array = _coerce_column(attribute, raw)
+            if length is None:
+                length = array.shape[0]
+            elif array.shape[0] != length:
+                raise RelationError(
+                    f"column {attribute.name!r} has length {array.shape[0]}, "
+                    f"expected {length}"
+                )
+            arrays.append(array)
+        return Relation(schema, tuple(arrays))
+
+    @staticmethod
+    def from_rows(
+        schema: Schema, rows: Iterable[Mapping[str, object] | Sequence[object]]
+    ) -> "Relation":
+        """Build a relation from row dictionaries or row tuples."""
+        names = schema.names()
+        columns: dict[str, list[object]] = {name: [] for name in names}
+        for row in rows:
+            if isinstance(row, Mapping):
+                for name in names:
+                    if name not in row:
+                        raise RelationError(f"row is missing attribute {name!r}")
+                    columns[name].append(row[name])
+            else:
+                values = list(row)
+                if len(values) != len(names):
+                    raise RelationError(
+                        f"row has {len(values)} values, expected {len(names)}"
+                    )
+                for name, value in zip(names, values):
+                    columns[name].append(value)
+        return Relation.from_columns(schema, columns)
+
+    @staticmethod
+    def empty(schema: Schema) -> "Relation":
+        """An empty relation over ``schema``."""
+        return Relation.from_columns(schema, {a.name: [] for a in schema})
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of tuples (rows)."""
+        if not self._columns:
+            return 0
+        return int(self._columns[0].shape[0])
+
+    def __len__(self) -> int:
+        return self.num_tuples
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of attributes (columns)."""
+        return len(self.schema)
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw column array for attribute ``name`` (read-only view)."""
+        index = self.schema.index_of(name)
+        view = self._columns[index].view()
+        view.flags.writeable = False
+        return view
+
+    def numeric_column(self, name: str) -> np.ndarray:
+        """The column for numeric attribute ``name``.
+
+        Raises
+        ------
+        SchemaError
+            If the attribute exists but is not numeric.
+        """
+        attribute = self.schema.attribute(name)
+        if not attribute.is_numeric:
+            raise SchemaError(f"attribute {name!r} is not numeric")
+        return self.column(name)
+
+    def boolean_column(self, name: str) -> np.ndarray:
+        """The column for Boolean attribute ``name``."""
+        attribute = self.schema.attribute(name)
+        if not attribute.is_boolean:
+            raise SchemaError(f"attribute {name!r} is not boolean")
+        return self.column(name)
+
+    def row(self, index: int) -> dict[str, object]:
+        """Return row ``index`` as an attribute-name → value dictionary."""
+        if not 0 <= index < self.num_tuples:
+            raise RelationError(
+                f"row index {index} out of range for {self.num_tuples} tuples"
+            )
+        result: dict[str, object] = {}
+        for attribute, column in zip(self.schema, self._columns):
+            value = column[index]
+            result[attribute.name] = bool(value) if attribute.is_boolean else float(value)
+        return result
+
+    def iter_rows(self) -> Iterator[dict[str, object]]:
+        """Iterate over rows as dictionaries (mainly for tests and examples)."""
+        for index in range(self.num_tuples):
+            yield self.row(index)
+
+    # -- relational operations --------------------------------------------------
+
+    def select(self, condition: Condition) -> "Relation":
+        """Return the sub-relation of tuples meeting ``condition``."""
+        return self.take(condition.mask(self))
+
+    def take(self, mask_or_indices: np.ndarray) -> "Relation":
+        """Return the sub-relation given a Boolean mask or integer index array."""
+        selector = np.asarray(mask_or_indices)
+        if selector.dtype == bool and selector.shape[0] != self.num_tuples:
+            raise RelationError(
+                f"mask length {selector.shape[0]} does not match "
+                f"{self.num_tuples} tuples"
+            )
+        columns = tuple(column[selector] for column in self._columns)
+        return Relation(self.schema, columns)
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Return a relation restricted to the attributes in ``names``."""
+        schema = self.schema.project(names)
+        columns = tuple(self.column(name).copy() for name in names)
+        return Relation(schema, columns)
+
+    def vertical_split(self, name: str) -> "Relation":
+        """Return a two-column relation ``(tuple_id, name)``.
+
+        This mirrors the "Vertical Split Sort" baseline of §6.1: a narrow
+        temporary table holding a tuple identifier and one numeric attribute,
+        which is cheaper to sort than the full relation.
+        """
+        attribute = self.schema.attribute(name)
+        if not attribute.is_numeric:
+            raise SchemaError(f"vertical_split expects a numeric attribute, got {name!r}")
+        schema = Schema.of(Attribute.numeric("tuple_id"), attribute)
+        ids = np.arange(self.num_tuples, dtype=np.float64)
+        return Relation(schema, (ids, self.column(name).copy()))
+
+    def sort_by(self, name: str) -> "Relation":
+        """Return a copy of the relation sorted ascending by attribute ``name``."""
+        order = np.argsort(self.column(name), kind="stable")
+        return self.take(order)
+
+    def sample(self, size: int, rng: np.random.Generator | None = None,
+               replace: bool = True) -> "Relation":
+        """Return a uniform random sample of ``size`` tuples.
+
+        Sampling is performed *with replacement* by default, matching the
+        analysis of §3.2 (the binomial tail argument assumes independent
+        draws with replacement).
+        """
+        if size < 0:
+            raise RelationError("sample size must be non-negative")
+        if not replace and size > self.num_tuples:
+            raise RelationError(
+                f"cannot sample {size} tuples without replacement from "
+                f"{self.num_tuples}"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        indices = rng.choice(self.num_tuples, size=size, replace=replace)
+        return self.take(indices)
+
+    def split(self, parts: int, rng: np.random.Generator | None = None) -> list["Relation"]:
+        """Randomly partition the relation into ``parts`` near-equal pieces.
+
+        Used by the parallel bucketing simulation (Algorithm 3.2, step 1):
+        "Randomly distribute the tuples in the database to processor elements
+        almost evenly."
+        """
+        if parts <= 0:
+            raise RelationError("number of parts must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        permutation = rng.permutation(self.num_tuples)
+        chunks = np.array_split(permutation, parts)
+        return [self.take(chunk) for chunk in chunks]
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Concatenate two relations with identical schemas."""
+        if self.schema != other.schema:
+            raise RelationError("cannot concatenate relations with different schemas")
+        columns = tuple(
+            np.concatenate([a, b]) for a, b in zip(self._columns, other._columns)
+        )
+        return Relation(self.schema, columns)
+
+    def head(self, count: int = 5) -> "Relation":
+        """The first ``count`` tuples."""
+        return self.take(np.arange(min(count, self.num_tuples)))
+
+    # -- statistics --------------------------------------------------------------
+
+    def support(self, condition: Condition) -> float:
+        """Fraction of tuples meeting ``condition`` (Definition 2.2)."""
+        return condition.support(self)
+
+    def count(self, condition: Condition) -> int:
+        """Number of tuples meeting ``condition``."""
+        return condition.count(self)
+
+    def confidence(self, presumptive: Condition, objective: Condition) -> float:
+        """Confidence of the rule ``presumptive ⇒ objective`` (Definition 2.3).
+
+        Returns ``0.0`` when no tuple meets the presumptive condition, which
+        keeps bulk mining code free of special cases.
+        """
+        base = presumptive.count(self)
+        if base == 0:
+            return 0.0
+        both = int((presumptive.mask(self) & objective.mask(self)).sum())
+        return both / base
+
+    def mean(self, name: str) -> float:
+        """Mean of numeric attribute ``name`` (0.0 for an empty relation)."""
+        column = self.numeric_column(name)
+        if column.shape[0] == 0:
+            return 0.0
+        return float(column.mean())
+
+    def minmax(self, name: str) -> tuple[float, float]:
+        """Minimum and maximum of numeric attribute ``name``."""
+        column = self.numeric_column(name)
+        if column.shape[0] == 0:
+            raise RelationError(f"attribute {name!r} has no values")
+        return float(column.min()), float(column.max())
+
+    # -- misc ---------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the column data in bytes."""
+        return int(sum(column.nbytes for column in self._columns))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.schema != other.schema:
+            return False
+        return all(
+            np.array_equal(a, b) for a, b in zip(self._columns, other._columns)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Relation(num_tuples={self.num_tuples}, "
+            f"attributes={self.schema.names()})"
+        )
+
+
+def _coerce_column(attribute: Attribute, raw: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Convert raw column data to the canonical dtype for ``attribute``."""
+    if attribute.kind is AttributeKind.NUMERIC:
+        array = np.asarray(raw, dtype=np.float64)
+        if array.ndim != 1:
+            raise RelationError(
+                f"column {attribute.name!r} must be one-dimensional"
+            )
+        if array.size and not np.all(np.isfinite(array)):
+            raise RelationError(
+                f"numeric column {attribute.name!r} contains NaN or infinity"
+            )
+        return array
+    # Boolean attribute: accept bools, 0/1 integers, and "yes"/"no" strings.
+    values = raw
+    if isinstance(values, np.ndarray) and values.dtype == bool:
+        array = values.astype(bool)
+    else:
+        converted = []
+        for value in values:
+            converted.append(_coerce_boolean(attribute.name, value))
+        array = np.asarray(converted, dtype=bool)
+    if array.ndim != 1:
+        raise RelationError(f"column {attribute.name!r} must be one-dimensional")
+    return array
+
+
+def _coerce_boolean(name: str, value: object) -> bool:
+    """Convert a single raw value to a Boolean flag."""
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer, float, np.floating)):
+        if value in (0, 1):
+            return bool(value)
+        raise RelationError(
+            f"boolean column {name!r}: numeric values must be 0 or 1, got {value!r}"
+        )
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("yes", "y", "true", "t", "1"):
+            return True
+        if lowered in ("no", "n", "false", "f", "0"):
+            return False
+    raise RelationError(f"boolean column {name!r}: cannot interpret {value!r}")

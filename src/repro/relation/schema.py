@@ -1,0 +1,196 @@
+"""Schema model for the in-memory relational substrate.
+
+The paper works over a "database universal relation" whose attributes are
+either *Boolean* (``yes`` / ``no``, e.g. ``CardLoan``) or *numeric* (e.g.
+``Balance`` or ``Age``).  This module defines the schema vocabulary used by
+:class:`repro.relation.Relation`: an :class:`AttributeKind`, an
+:class:`Attribute` descriptor, and a :class:`Schema` which is an ordered,
+name-indexed collection of attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import SchemaError
+
+__all__ = ["AttributeKind", "Attribute", "Schema"]
+
+
+class AttributeKind(Enum):
+    """The two attribute families the paper distinguishes."""
+
+    NUMERIC = "numeric"
+    BOOLEAN = "boolean"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named attribute of a relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within a schema.
+    kind:
+        Whether the attribute holds numeric values or Boolean flags.
+    description:
+        Optional human-readable description (used by dataset generators and
+        the CLI when printing mined rules).  Pure metadata: it does not
+        participate in equality or hashing, so a schema read back from CSV
+        compares equal to the schema it was written from.
+    """
+
+    name: str
+    kind: AttributeKind
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise SchemaError("attribute name must be a non-empty string")
+        if not isinstance(self.kind, AttributeKind):
+            raise SchemaError(
+                f"attribute {self.name!r}: kind must be an AttributeKind, "
+                f"got {type(self.kind).__name__}"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        """``True`` when the attribute holds numeric values."""
+        return self.kind is AttributeKind.NUMERIC
+
+    @property
+    def is_boolean(self) -> bool:
+        """``True`` when the attribute holds Boolean flags."""
+        return self.kind is AttributeKind.BOOLEAN
+
+    @staticmethod
+    def numeric(name: str, description: str = "") -> "Attribute":
+        """Convenience constructor for a numeric attribute."""
+        return Attribute(name, AttributeKind.NUMERIC, description)
+
+    @staticmethod
+    def boolean(name: str, description: str = "") -> "Attribute":
+        """Convenience constructor for a Boolean attribute."""
+        return Attribute(name, AttributeKind.BOOLEAN, description)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of uniquely named attributes.
+
+    The schema is immutable; derived schemas are produced with
+    :meth:`project` and :meth:`extend`.
+    """
+
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        attrs = tuple(self.attributes)
+        object.__setattr__(self, "attributes", attrs)
+        for attr in attrs:
+            if not isinstance(attr, Attribute):
+                raise SchemaError(
+                    f"schema entries must be Attribute instances, got {attr!r}"
+                )
+        names = [a.name for a in attrs]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate attribute names: {sorted(duplicates)}")
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def of(*attributes: Attribute) -> "Schema":
+        """Build a schema from attributes given as positional arguments."""
+        return Schema(tuple(attributes))
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[tuple[str, AttributeKind | str]]) -> "Schema":
+        """Build a schema from ``(name, kind)`` pairs.
+
+        ``kind`` may be an :class:`AttributeKind` or its string value
+        (``"numeric"`` / ``"boolean"``).
+        """
+        attrs = []
+        for name, kind in pairs:
+            if isinstance(kind, str):
+                try:
+                    kind = AttributeKind(kind)
+                except ValueError as exc:
+                    raise SchemaError(f"unknown attribute kind {kind!r}") from exc
+            attrs.append(Attribute(name, kind))
+        return Schema(tuple(attrs))
+
+    # -- lookup ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def __getitem__(self, name: str) -> Attribute:
+        return self.attribute(name)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name``.
+
+        Raises
+        ------
+        SchemaError
+            If no attribute with that name exists.
+        """
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(
+            f"unknown attribute {name!r}; known attributes: {self.names()}"
+        )
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of attribute ``name``."""
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        raise SchemaError(
+            f"unknown attribute {name!r}; known attributes: {self.names()}"
+        )
+
+    def names(self) -> list[str]:
+        """Names of all attributes, in schema order."""
+        return [a.name for a in self.attributes]
+
+    def numeric_names(self) -> list[str]:
+        """Names of the numeric attributes, in schema order."""
+        return [a.name for a in self.attributes if a.is_numeric]
+
+    def boolean_names(self) -> list[str]:
+        """Names of the Boolean attributes, in schema order."""
+        return [a.name for a in self.attributes if a.is_boolean]
+
+    # -- derivation -------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema restricted to ``names`` (in the given order)."""
+        return Schema(tuple(self.attribute(n) for n in names))
+
+    def extend(self, *attributes: Attribute) -> "Schema":
+        """Return a new schema with ``attributes`` appended."""
+        return Schema(self.attributes + tuple(attributes))
+
+    def describe(self) -> str:
+        """Return a one-line-per-attribute human readable description."""
+        lines = []
+        for attr in self.attributes:
+            suffix = f"  -- {attr.description}" if attr.description else ""
+            lines.append(f"{attr.name}: {attr.kind.value}{suffix}")
+        return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Support / confidence statistics over relations.
+
+Thin, well-named helpers implementing Definitions 2.2 and 2.3 of the paper
+plus the contingency counts used by the rule-quality reports.  They are kept
+separate from :class:`repro.relation.Relation` so the mining layers can work
+with plain conditions and relations without reaching into relation internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relation.conditions import Condition
+from repro.relation.relation import Relation
+
+__all__ = [
+    "support",
+    "confidence",
+    "lift",
+    "ContingencyTable",
+    "contingency_table",
+]
+
+
+def support(relation: Relation, condition: Condition) -> float:
+    """Support of ``condition``: the fraction of tuples meeting it."""
+    return relation.support(condition)
+
+
+def confidence(relation: Relation, presumptive: Condition, objective: Condition) -> float:
+    """Confidence of ``presumptive ⇒ objective`` (Definition 2.3)."""
+    return relation.confidence(presumptive, objective)
+
+
+def lift(relation: Relation, presumptive: Condition, objective: Condition) -> float:
+    """Lift of the rule: confidence divided by the objective's base rate.
+
+    A lift above 1 means the presumptive condition raises the probability of
+    the objective condition relative to the whole relation — exactly the
+    "much higher than the average probability" interestingness criterion of
+    the paper's introduction.  Returns 0.0 when the base rate is zero.
+    """
+    base_rate = relation.support(objective)
+    if base_rate == 0.0:
+        return 0.0
+    return relation.confidence(presumptive, objective) / base_rate
+
+
+@dataclass(frozen=True)
+class ContingencyTable:
+    """2×2 contingency counts for a rule ``C1 ⇒ C2``.
+
+    Attributes
+    ----------
+    both:
+        Tuples meeting C1 and C2.
+    only_presumptive:
+        Tuples meeting C1 but not C2.
+    only_objective:
+        Tuples meeting C2 but not C1.
+    neither:
+        Tuples meeting neither condition.
+    """
+
+    both: int
+    only_presumptive: int
+    only_objective: int
+    neither: int
+
+    @property
+    def total(self) -> int:
+        """Total number of tuples."""
+        return self.both + self.only_presumptive + self.only_objective + self.neither
+
+    @property
+    def presumptive_count(self) -> int:
+        """Tuples meeting the presumptive condition."""
+        return self.both + self.only_presumptive
+
+    @property
+    def objective_count(self) -> int:
+        """Tuples meeting the objective condition."""
+        return self.both + self.only_objective
+
+    @property
+    def support(self) -> float:
+        """Support of the presumptive condition."""
+        return self.presumptive_count / self.total if self.total else 0.0
+
+    @property
+    def confidence(self) -> float:
+        """Confidence of the rule."""
+        if self.presumptive_count == 0:
+            return 0.0
+        return self.both / self.presumptive_count
+
+    @property
+    def lift(self) -> float:
+        """Lift of the rule with respect to the objective's base rate."""
+        if self.total == 0 or self.objective_count == 0 or self.presumptive_count == 0:
+            return 0.0
+        base_rate = self.objective_count / self.total
+        return self.confidence / base_rate
+
+
+def contingency_table(
+    relation: Relation, presumptive: Condition, objective: Condition
+) -> ContingencyTable:
+    """Compute the 2×2 contingency table of a rule over ``relation``."""
+    presumptive_mask = presumptive.mask(relation)
+    objective_mask = objective.mask(relation)
+    both = int((presumptive_mask & objective_mask).sum())
+    only_presumptive = int((presumptive_mask & ~objective_mask).sum())
+    only_objective = int((~presumptive_mask & objective_mask).sum())
+    neither = relation.num_tuples - both - only_presumptive - only_objective
+    return ContingencyTable(both, only_presumptive, only_objective, neither)

@@ -1,0 +1,24 @@
+"""Reporting: serialization, text rendering, and export of mined rules."""
+
+from repro.reporting.export import catalog_to_csv, catalog_to_markdown
+from repro.reporting.serialize import (
+    catalog_to_dicts,
+    rule_from_dict,
+    rule_to_dict,
+    rules_from_json,
+    rules_to_json,
+)
+from repro.reporting.text import render_profile, render_rule, render_rule_list
+
+__all__ = [
+    "rule_to_dict",
+    "rule_from_dict",
+    "catalog_to_dicts",
+    "rules_to_json",
+    "rules_from_json",
+    "catalog_to_csv",
+    "catalog_to_markdown",
+    "render_profile",
+    "render_rule",
+    "render_rule_list",
+]

@@ -1,0 +1,63 @@
+"""Export mined catalogs to CSV and Markdown.
+
+Complements :mod:`repro.reporting.serialize` (machine-readable JSON) with the
+two formats analysts actually circulate: a flat CSV for spreadsheets and a
+Markdown table for reports and pull requests.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.mining.catalog import RuleCatalog
+
+__all__ = ["catalog_to_csv", "catalog_to_markdown"]
+
+_COLUMNS = [
+    "attribute",
+    "objective",
+    "kind",
+    "low",
+    "high",
+    "support",
+    "confidence",
+    "base_rate",
+    "lift",
+]
+
+
+def catalog_to_csv(catalog: RuleCatalog, path: str | Path) -> Path:
+    """Write one row per catalog entry to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_COLUMNS)
+        writer.writeheader()
+        for entry in catalog.entries:
+            row = entry.as_row()
+            writer.writerow({column: row[column] for column in _COLUMNS})
+    return path
+
+
+def catalog_to_markdown(
+    catalog: RuleCatalog, limit: int | None = None, by: str = "lift"
+) -> str:
+    """Render the catalog (optionally only its top entries) as a Markdown table."""
+    entries = catalog.top(limit, by=by) if limit is not None else list(catalog.entries)
+    lines = [
+        "| attribute | objective | kind | range | support | confidence | lift |",
+        "|---|---|---|---|---:|---:|---:|",
+    ]
+    for entry in entries:
+        rule = entry.rule
+        lines.append(
+            f"| {rule.attribute} "
+            f"| {rule.objective} "
+            f"| {rule.kind.value} "
+            f"| [{rule.low:g}, {rule.high:g}] "
+            f"| {rule.support:.1%} "
+            f"| {rule.confidence:.1%} "
+            f"| {entry.lift:.2f} |"
+        )
+    return "\n".join(lines)

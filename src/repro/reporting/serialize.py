@@ -1,0 +1,157 @@
+"""Serialization of mined rules and catalogs.
+
+A mining system is only useful if its output can leave the process: this
+module converts the rule objects of :mod:`repro.core` into plain dictionaries
+(and JSON), and back again for the range-rule kinds, so catalogs can be
+stored, diffed between runs, or post-processed by other tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.core.rules import (
+    OptimizedAverageRule,
+    OptimizedRangeRule,
+    RangeSelection,
+    RuleKind,
+)
+from repro.exceptions import ReproError
+from repro.mining.catalog import CatalogEntry, RuleCatalog
+from repro.relation.conditions import BooleanIs
+
+__all__ = [
+    "rule_to_dict",
+    "rule_from_dict",
+    "catalog_to_dicts",
+    "rules_to_json",
+    "rules_from_json",
+]
+
+
+def _selection_to_dict(selection: RangeSelection) -> dict[str, float]:
+    return {
+        "start": selection.start,
+        "end": selection.end,
+        "support_count": selection.support_count,
+        "objective_value": selection.objective_value,
+        "total_count": selection.total_count,
+    }
+
+
+def _selection_from_dict(payload: Mapping[str, Any]) -> RangeSelection:
+    return RangeSelection(
+        start=int(payload["start"]),
+        end=int(payload["end"]),
+        support_count=float(payload["support_count"]),
+        objective_value=float(payload["objective_value"]),
+        total_count=float(payload["total_count"]),
+    )
+
+
+def rule_to_dict(rule: OptimizedRangeRule | OptimizedAverageRule) -> dict[str, Any]:
+    """Convert a mined rule into a JSON-serializable dictionary."""
+    if isinstance(rule, OptimizedRangeRule):
+        return {
+            "type": "range-rule",
+            "kind": rule.kind.value,
+            "attribute": rule.attribute,
+            "objective": str(rule.objective),
+            "objective_attributes": sorted(rule.objective.attribute_names()),
+            "presumptive": str(rule.presumptive) if rule.presumptive is not None else None,
+            "low": rule.low,
+            "high": rule.high,
+            "threshold": rule.threshold,
+            "support": rule.support,
+            "confidence": rule.confidence,
+            "selection": _selection_to_dict(rule.selection),
+        }
+    if isinstance(rule, OptimizedAverageRule):
+        return {
+            "type": "average-rule",
+            "kind": rule.kind.value,
+            "attribute": rule.attribute,
+            "target": rule.target,
+            "low": rule.low,
+            "high": rule.high,
+            "threshold": rule.threshold,
+            "support": rule.support,
+            "average": rule.average,
+            "selection": _selection_to_dict(rule.selection),
+        }
+    raise ReproError(f"cannot serialize rule of type {type(rule).__name__}")
+
+
+def rule_from_dict(payload: Mapping[str, Any]) -> OptimizedRangeRule | OptimizedAverageRule:
+    """Rebuild a rule from :func:`rule_to_dict` output.
+
+    Range rules are rebuilt with a Boolean objective when the original
+    objective referenced a single Boolean attribute (the common case for
+    catalogs); more complex objectives round-trip as average rules do not —
+    the textual form is preserved in the dictionary either way.
+    """
+    rule_type = payload.get("type")
+    if rule_type == "range-rule":
+        attributes = payload.get("objective_attributes") or []
+        if len(attributes) != 1:
+            raise ReproError(
+                "only single-attribute Boolean objectives can be deserialized; "
+                f"got {attributes}"
+            )
+        return OptimizedRangeRule(
+            attribute=str(payload["attribute"]),
+            objective=BooleanIs(attributes[0], True),
+            low=float(payload["low"]),
+            high=float(payload["high"]),
+            selection=_selection_from_dict(payload["selection"]),
+            kind=RuleKind(payload["kind"]),
+            threshold=float(payload["threshold"]),
+        )
+    if rule_type == "average-rule":
+        return OptimizedAverageRule(
+            attribute=str(payload["attribute"]),
+            target=str(payload["target"]),
+            low=float(payload["low"]),
+            high=float(payload["high"]),
+            selection=_selection_from_dict(payload["selection"]),
+            kind=RuleKind(payload["kind"]),
+            threshold=float(payload["threshold"]),
+        )
+    raise ReproError(f"unknown serialized rule type {rule_type!r}")
+
+
+def catalog_to_dicts(catalog: RuleCatalog) -> list[dict[str, Any]]:
+    """Convert a mined catalog into a list of flat dictionaries."""
+    rows = []
+    for entry in catalog.entries:
+        row = rule_to_dict(entry.rule)
+        row["base_rate"] = entry.base_rate
+        row["lift"] = entry.lift
+        rows.append(row)
+    return rows
+
+
+def rules_to_json(
+    rules: list[OptimizedRangeRule | OptimizedAverageRule] | RuleCatalog,
+    indent: int | None = 2,
+) -> str:
+    """Serialize rules (or a whole catalog) to a JSON string."""
+    if isinstance(rules, RuleCatalog):
+        payload: list[dict[str, Any]] = catalog_to_dicts(rules)
+    else:
+        payload = [rule_to_dict(rule) for rule in rules]
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def rules_from_json(text: str) -> list[OptimizedRangeRule | OptimizedAverageRule]:
+    """Deserialize rules previously produced by :func:`rules_to_json`."""
+    payload = json.loads(text)
+    if not isinstance(payload, list):
+        raise ReproError("expected a JSON list of serialized rules")
+    return [rule_from_dict(entry) for entry in payload]
+
+
+def catalog_entry_from_rule(rule: OptimizedRangeRule, base_rate: float) -> CatalogEntry:
+    """Convenience wrapper used when rebuilding catalogs from serialized rules."""
+    return CatalogEntry(rule=rule, base_rate=base_rate)

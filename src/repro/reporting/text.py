@@ -1,0 +1,106 @@
+"""Plain-text visualization of bucket profiles and mined rules.
+
+The paper's system was interactive — an analyst looks at the mined ranges in
+the context of the attribute's distribution.  Without a plotting dependency,
+this module renders the same information as aligned ASCII: a histogram of the
+bucket sizes, the per-bucket confidence track, and markers showing which
+buckets the optimized rule selected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profile import BucketProfile
+from repro.core.rules import OptimizedAverageRule, OptimizedRangeRule, RangeSelection
+
+__all__ = ["render_profile", "render_rule", "render_rule_list"]
+
+_FULL_BLOCK = "#"
+_EMPTY_BLOCK = "."
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    """A left-aligned bar of ``width`` characters proportional to ``value``."""
+    if maximum <= 0:
+        return _EMPTY_BLOCK * width
+    filled = int(round(width * min(max(value / maximum, 0.0), 1.0)))
+    return _FULL_BLOCK * filled + _EMPTY_BLOCK * (width - filled)
+
+
+def render_profile(
+    profile: BucketProfile,
+    selection: RangeSelection | None = None,
+    max_rows: int = 40,
+    bar_width: int = 30,
+) -> str:
+    """Render a bucket profile as an ASCII table with histogram bars.
+
+    Parameters
+    ----------
+    profile:
+        The profile to render.
+    selection:
+        Optional selected bucket range; selected buckets are marked with
+        ``>`` in the first column.
+    max_rows:
+        When the profile has more buckets than this, it is re-aggregated into
+        ``max_rows`` groups of consecutive buckets so the rendering stays
+        readable.
+    bar_width:
+        Width of the histogram bars in characters.
+    """
+    sizes = profile.sizes
+    values = profile.values
+    lows = profile.lows
+    highs = profile.highs
+    num_buckets = profile.num_buckets
+
+    selected = np.zeros(num_buckets, dtype=bool)
+    if selection is not None:
+        selected[selection.start : selection.end + 1] = True
+
+    if num_buckets > max_rows:
+        groups = np.array_split(np.arange(num_buckets), max_rows)
+        sizes = np.array([profile.sizes[group].sum() for group in groups])
+        values = np.array([profile.values[group].sum() for group in groups])
+        lows = np.array([profile.lows[group[0]] for group in groups])
+        highs = np.array([profile.highs[group[-1]] for group in groups])
+        selected = np.array([bool(selected[group].any()) for group in groups])
+        num_buckets = len(groups)
+
+    max_size = float(sizes.max())
+    lines = [
+        f"profile of {profile.attribute!r} vs {profile.objective_label} "
+        f"({profile.num_buckets} buckets, {int(profile.total)} tuples)",
+        f"{'':>2} {'range':>24} {'count':>8} {'ratio':>7}  histogram",
+    ]
+    for index in range(num_buckets):
+        ratio = values[index] / sizes[index] if sizes[index] else 0.0
+        marker = ">" if selected[index] else " "
+        lines.append(
+            f"{marker:>2} "
+            f"[{lows[index]:>10.4g}, {highs[index]:>10.4g}] "
+            f"{int(sizes[index]):>8} "
+            f"{ratio:>7.2%}  "
+            f"{_bar(float(sizes[index]), max_size, bar_width)}"
+        )
+    return "\n".join(lines)
+
+
+def render_rule(rule: OptimizedRangeRule | OptimizedAverageRule, profile: BucketProfile) -> str:
+    """Render a mined rule together with its profile context."""
+    header = str(rule)
+    body = render_profile(profile, rule.selection)
+    return f"{header}\n{body}"
+
+
+def render_rule_list(
+    rules: list[OptimizedRangeRule | OptimizedAverageRule], limit: int | None = None
+) -> str:
+    """Render a numbered list of rules (most interesting first as given)."""
+    shown = rules if limit is None else rules[:limit]
+    lines = [f"{index + 1:>3}. {rule}" for index, rule in enumerate(shown)]
+    if limit is not None and len(rules) > limit:
+        lines.append(f"     ... and {len(rules) - limit} more")
+    return "\n".join(lines)

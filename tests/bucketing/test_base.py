@@ -1,0 +1,125 @@
+"""Tests for the bucket model (:mod:`repro.bucketing.base`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bucketing import Bucketing
+from repro.exceptions import BucketingError
+
+
+class TestBucketingConstruction:
+    def test_single_bucket(self) -> None:
+        bucketing = Bucketing.single_bucket()
+        assert bucketing.num_buckets == 1
+        assert len(bucketing) == 1
+
+    def test_from_cuts(self) -> None:
+        bucketing = Bucketing.from_cuts([1.0, 2.0, 3.0])
+        assert bucketing.num_buckets == 4
+
+    def test_unsorted_cuts_rejected(self) -> None:
+        with pytest.raises(BucketingError):
+            Bucketing([2.0, 1.0])
+
+    def test_non_finite_cuts_rejected(self) -> None:
+        with pytest.raises(BucketingError):
+            Bucketing([1.0, float("inf")])
+
+    def test_multidimensional_cuts_rejected(self) -> None:
+        with pytest.raises(BucketingError):
+            Bucketing(np.zeros((2, 2)))
+
+    def test_equality(self) -> None:
+        assert Bucketing([1.0, 2.0]) == Bucketing([1.0, 2.0])
+        assert Bucketing([1.0]) != Bucketing([2.0])
+        assert Bucketing([1.0]).__eq__(42) is NotImplemented
+
+    def test_deduplicated(self) -> None:
+        bucketing = Bucketing([1.0, 1.0, 2.0]).deduplicated()
+        assert bucketing.num_buckets == 3
+        assert list(bucketing.cuts) == [1.0, 2.0]
+
+    def test_deduplicated_noop_for_single_bucket(self) -> None:
+        bucketing = Bucketing.single_bucket()
+        assert bucketing.deduplicated() is bucketing
+
+
+class TestAssignment:
+    def test_half_open_interval_semantics(self) -> None:
+        # Buckets: (-inf, 1], (1, 2], (2, +inf)
+        bucketing = Bucketing([1.0, 2.0])
+        values = [0.0, 1.0, 1.5, 2.0, 2.5]
+        assert list(bucketing.assign(values)) == [0, 0, 1, 1, 2]
+
+    def test_counts_cover_every_tuple(self, rng: np.random.Generator) -> None:
+        values = rng.normal(size=1000)
+        bucketing = Bucketing(np.quantile(values, [0.25, 0.5, 0.75]))
+        counts = bucketing.counts(values)
+        assert counts.sum() == 1000
+        assert counts.shape[0] == 4
+
+    def test_conditional_counts(self) -> None:
+        bucketing = Bucketing([10.0])
+        values = np.array([5.0, 6.0, 15.0, 20.0])
+        mask = np.array([True, False, True, True])
+        counts = bucketing.conditional_counts(values, mask)
+        assert list(counts) == [1, 2]
+
+    def test_conditional_counts_shape_mismatch(self) -> None:
+        bucketing = Bucketing([10.0])
+        with pytest.raises(BucketingError):
+            bucketing.conditional_counts([1.0, 2.0], [True])
+
+    def test_weighted_sums(self) -> None:
+        bucketing = Bucketing([10.0])
+        values = np.array([5.0, 6.0, 15.0])
+        weights = np.array([1.0, 2.0, 7.0])
+        sums = bucketing.weighted_sums(values, weights)
+        assert list(sums) == [3.0, 7.0]
+
+    def test_weighted_sums_shape_mismatch(self) -> None:
+        bucketing = Bucketing([10.0])
+        with pytest.raises(BucketingError):
+            bucketing.weighted_sums([1.0], [1.0, 2.0])
+
+
+class TestReporting:
+    def test_assignment_bounds(self) -> None:
+        bucketing = Bucketing([1.0, 2.0])
+        assert bucketing.assignment_bounds(0) == (float("-inf"), 1.0)
+        assert bucketing.assignment_bounds(1) == (1.0, 2.0)
+        assert bucketing.assignment_bounds(2) == (2.0, float("inf"))
+
+    def test_assignment_bounds_out_of_range(self) -> None:
+        with pytest.raises(BucketingError):
+            Bucketing([1.0]).assignment_bounds(5)
+
+    def test_range_bounds(self) -> None:
+        bucketing = Bucketing([1.0, 2.0, 3.0])
+        assert bucketing.range_bounds(1, 2) == (1.0, 3.0)
+
+    def test_range_bounds_invalid_order(self) -> None:
+        with pytest.raises(BucketingError):
+            Bucketing([1.0, 2.0]).range_bounds(2, 1)
+
+    def test_data_bounds(self) -> None:
+        bucketing = Bucketing([10.0])
+        lows, highs = bucketing.data_bounds([1.0, 5.0, 20.0, 30.0])
+        assert lows[0] == 1.0 and highs[0] == 5.0
+        assert lows[1] == 20.0 and highs[1] == 30.0
+
+    def test_data_bounds_empty_bucket_is_nan(self) -> None:
+        bucketing = Bucketing([10.0])
+        lows, highs = bucketing.data_bounds([20.0, 30.0])
+        assert np.isnan(lows[0]) and np.isnan(highs[0])
+
+    def test_buckets_descriptors(self) -> None:
+        bucketing = Bucketing([10.0])
+        buckets = bucketing.buckets([1.0, 5.0, 20.0])
+        assert [bucket.count for bucket in buckets] == [2, 1]
+        assert buckets[0].data_low == 1.0
+        assert buckets[0].data_high == 5.0
+        assert not buckets[0].is_empty
+        assert buckets[1].lower == 10.0

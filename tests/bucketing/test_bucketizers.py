@@ -1,0 +1,156 @@
+"""Tests for the concrete bucketizers (finest, equi-width, sorting, sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bucketing import (
+    EquiWidthBucketizer,
+    FinestBucketizer,
+    SampledEquiDepthBucketizer,
+    SortingEquiDepthBucketizer,
+    finest_bucketing,
+    naive_sort_bucketing,
+    vertical_split_sort_bucketing,
+)
+from repro.exceptions import BucketingError
+from repro.relation import Relation
+
+
+class TestFinestBucketizer:
+    def test_one_bucket_per_distinct_value(self) -> None:
+        values = np.array([3.0, 1.0, 2.0, 2.0, 3.0])
+        bucketing = finest_bucketing(values)
+        assert bucketing.num_buckets == 3
+        counts = bucketing.counts(values)
+        assert list(counts) == [1, 2, 2]
+
+    def test_single_distinct_value(self) -> None:
+        bucketing = finest_bucketing([5.0, 5.0])
+        assert bucketing.num_buckets == 1
+
+    def test_build_ignores_bucket_limit(self) -> None:
+        bucketing = FinestBucketizer().build([1.0, 2.0, 3.0], num_buckets=2)
+        assert bucketing.num_buckets == 3
+
+    def test_every_range_expressible(self) -> None:
+        # With finest buckets, combining consecutive buckets can express any
+        # value range exactly (§2.3).
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        bucketing = finest_bucketing(values)
+        counts = bucketing.counts(values)
+        assert counts.sum() == values.size
+        assert all(count == 1 for count in counts)
+
+
+class TestEquiWidthBucketizer:
+    def test_cuts_evenly_spaced(self) -> None:
+        bucketing = EquiWidthBucketizer().build(np.array([0.0, 10.0]), 5)
+        assert np.allclose(bucketing.cuts, [2.0, 4.0, 6.0, 8.0])
+
+    def test_constant_data_collapses_to_single_bucket(self) -> None:
+        bucketing = EquiWidthBucketizer().build(np.array([3.0, 3.0, 3.0]), 4)
+        assert bucketing.num_buckets == 1
+
+    def test_rejects_empty_values(self) -> None:
+        with pytest.raises(BucketingError):
+            EquiWidthBucketizer().build(np.array([]), 3)
+
+    def test_rejects_non_positive_bucket_count(self) -> None:
+        with pytest.raises(BucketingError):
+            EquiWidthBucketizer().build(np.array([1.0]), 0)
+
+    def test_rejects_non_finite_values(self) -> None:
+        with pytest.raises(BucketingError):
+            EquiWidthBucketizer().build(np.array([1.0, np.inf]), 2)
+
+
+class TestSortingEquiDepthBucketizer:
+    def test_exact_equi_depth_on_distinct_values(self, rng: np.random.Generator) -> None:
+        values = rng.permutation(np.arange(1000, dtype=np.float64))
+        bucketing = SortingEquiDepthBucketizer().build(values, 10)
+        counts = bucketing.counts(values)
+        assert bucketing.num_buckets == 10
+        assert counts.max() - counts.min() <= 1
+        assert counts.sum() == 1000
+
+    def test_uneven_division_sizes_differ_by_at_most_one(self) -> None:
+        values = np.arange(103, dtype=np.float64)
+        counts = SortingEquiDepthBucketizer().build(values, 10).counts(values)
+        assert counts.sum() == 103
+        assert counts.max() - counts.min() <= 1
+
+    def test_single_bucket_request(self) -> None:
+        bucketing = SortingEquiDepthBucketizer().build(np.array([1.0, 2.0]), 1)
+        assert bucketing.num_buckets == 1
+
+    def test_heavily_tied_data(self) -> None:
+        values = np.array([1.0] * 50 + [2.0] * 50)
+        bucketing = SortingEquiDepthBucketizer().build(values, 4)
+        counts = bucketing.counts(values)
+        # Ties cannot be split: every tuple still lands in exactly one bucket.
+        assert counts.sum() == 100
+
+
+class TestRelationLevelSorting:
+    def test_naive_and_vertical_split_agree(self, small_relation: Relation) -> None:
+        naive = naive_sort_bucketing(small_relation, "balance", 4)
+        vertical = vertical_split_sort_bucketing(small_relation, "balance", 4)
+        assert naive == vertical
+
+    def test_relation_level_matches_value_level(self, small_relation: Relation) -> None:
+        values = small_relation.numeric_column("balance")
+        direct = SortingEquiDepthBucketizer().build(values, 4)
+        assert naive_sort_bucketing(small_relation, "balance", 4) == direct
+
+
+class TestSampledEquiDepthBucketizer:
+    def test_invalid_sample_factor(self) -> None:
+        with pytest.raises(BucketingError):
+            SampledEquiDepthBucketizer(sample_factor=0)
+
+    def test_sample_size(self) -> None:
+        assert SampledEquiDepthBucketizer(sample_factor=40).sample_size(100) == 4000
+
+    def test_single_bucket_request(self, rng: np.random.Generator) -> None:
+        bucketing = SampledEquiDepthBucketizer().build(np.array([1.0, 2.0]), 1, rng=rng)
+        assert bucketing.num_buckets == 1
+
+    def test_all_tuples_assigned(self, rng: np.random.Generator) -> None:
+        values = rng.normal(size=20_000)
+        bucketing = SampledEquiDepthBucketizer().build(values, 50, rng=rng)
+        counts = bucketing.counts(values)
+        assert counts.sum() == values.size
+
+    def test_buckets_are_almost_equi_depth(self, rng: np.random.Generator) -> None:
+        # §3.2: with S = 40*M the probability of any bucket deviating by more
+        # than 50% from N/M is well below 1%; check the realized max deviation.
+        values = rng.uniform(size=50_000)
+        num_buckets = 100
+        bucketing = SampledEquiDepthBucketizer().build(values, num_buckets, rng=rng)
+        counts = bucketing.counts(values)
+        ideal = values.size / num_buckets
+        assert counts.max() <= 1.6 * ideal
+        assert counts.min() >= 0.4 * ideal
+
+    def test_deduplication_on_tied_data(self, rng: np.random.Generator) -> None:
+        values = np.repeat([1.0, 2.0, 3.0], 1000)
+        bucketing = SampledEquiDepthBucketizer().build(values, 50, rng=rng)
+        counts = bucketing.counts(values)
+        # Deduplication collapses the 50 requested buckets down to (at most)
+        # one non-empty bucket per distinct value, plus possibly one empty
+        # trailing bucket above the largest cut.
+        assert bucketing.num_buckets <= 4
+        assert int((counts > 0).sum()) <= 3
+        assert counts.sum() == values.size
+
+    def test_reproducible_with_seeded_generator(self) -> None:
+        values = np.random.default_rng(1).normal(size=5000)
+        first = SampledEquiDepthBucketizer().build(
+            values, 20, rng=np.random.default_rng(42)
+        )
+        second = SampledEquiDepthBucketizer().build(
+            values, 20, rng=np.random.default_rng(42)
+        )
+        assert first == second

@@ -1,0 +1,66 @@
+"""Tests for relation-level bucket counting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bucketing import Bucketing, count_conditions, count_relation_buckets
+from repro.exceptions import BucketingError
+from repro.relation import BooleanIs, Relation
+
+
+class TestCountRelationBuckets:
+    def test_sizes_and_conditionals(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([1500.0, 5000.0])
+        counts = count_relation_buckets(
+            small_relation,
+            "balance",
+            bucketing,
+            objectives={"card_loan": BooleanIs("card_loan")},
+        )
+        assert counts.attribute == "balance"
+        assert counts.num_buckets == 3
+        assert list(counts.sizes) == [3, 3, 2]
+        assert list(counts.conditional["card_loan"]) == [1, 3, 0]
+        assert counts.total == small_relation.num_tuples
+
+    def test_data_bounds_track_observed_values(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([1500.0, 5000.0])
+        counts = count_relation_buckets(small_relation, "balance", bucketing)
+        assert counts.data_low[0] == 100.0
+        assert counts.data_high[0] == 1000.0
+        assert counts.data_high[2] == 9000.0
+
+    def test_evenness_metric(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([3500.0])
+        counts = count_relation_buckets(small_relation, "balance", bucketing)
+        # Buckets of size 5 and 3; ideal is 4, so evenness is 5/4.
+        assert counts.evenness() == pytest.approx(1.25)
+
+    def test_no_objectives(self, small_relation: Relation) -> None:
+        counts = count_relation_buckets(small_relation, "balance", Bucketing([2500.0]))
+        assert counts.conditional == {}
+
+
+class TestCountConditions:
+    def test_counts_match_single_condition_path(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([1500.0, 5000.0])
+        [card_loan_counts, withdrawal_counts] = count_conditions(
+            small_relation,
+            "balance",
+            bucketing,
+            [BooleanIs("card_loan"), BooleanIs("auto_withdrawal")],
+        )
+        assert list(card_loan_counts) == [1, 3, 0]
+        assert list(withdrawal_counts) == [1, 2, 1]
+
+    def test_total_never_exceeds_bucket_sizes(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([1500.0, 5000.0])
+        counts = count_relation_buckets(
+            small_relation,
+            "balance",
+            bucketing,
+            objectives={"card_loan": BooleanIs("card_loan")},
+        )
+        assert np.all(counts.conditional["card_loan"] <= counts.sizes)

@@ -1,0 +1,85 @@
+"""Tests for the §3.4 granularity error bounds (Table I machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bucketing import (
+    confidence_error_bound,
+    confidence_interval,
+    granularity_error_table,
+    support_error_bound,
+    support_interval,
+)
+from repro.exceptions import BucketingError
+
+
+class TestBoundFormulas:
+    def test_support_bound_formula(self) -> None:
+        # 2 / (M * supp_opt) with M=100, supp=0.3.
+        assert support_error_bound(100, 0.3) == pytest.approx(2.0 / 30.0)
+
+    def test_confidence_bound_formula(self) -> None:
+        # 2 / (M * supp_opt - 2) with M=100, supp=0.3.
+        assert confidence_error_bound(100, 0.3) == pytest.approx(2.0 / 28.0)
+
+    def test_confidence_bound_vacuous_for_few_buckets(self) -> None:
+        assert confidence_error_bound(5, 0.3) == float("inf")
+
+    def test_bounds_shrink_with_more_buckets(self) -> None:
+        coarse = support_error_bound(10, 0.3)
+        fine = support_error_bound(1000, 0.3)
+        assert fine < coarse / 50
+
+    def test_invalid_arguments(self) -> None:
+        with pytest.raises(BucketingError):
+            support_error_bound(0, 0.3)
+        with pytest.raises(BucketingError):
+            support_error_bound(10, 0.0)
+        with pytest.raises(BucketingError):
+            confidence_error_bound(10, 1.5)
+
+
+class TestIntervals:
+    def test_support_interval_matches_table_one_row(self) -> None:
+        # Table I, M=10: support range 10% ... 50%.
+        low, high = support_interval(10, 0.30)
+        assert low == pytest.approx(0.10)
+        assert high == pytest.approx(0.50)
+
+    def test_confidence_interval_matches_table_one_row(self) -> None:
+        # Table I, M=10: confidence range 42% ... 100%.
+        low, high = confidence_interval(10, 0.30, 0.70)
+        assert low == pytest.approx(0.42)
+        assert high == pytest.approx(1.0)
+
+    def test_confidence_interval_fine_buckets(self) -> None:
+        # Table I, M=1000: confidence range approximately 69.5% ... 70.5%.
+        low, high = confidence_interval(1000, 0.30, 0.70)
+        assert low == pytest.approx(0.6954, abs=1e-3)
+        assert high == pytest.approx(0.7047, abs=1e-3)
+
+    def test_intervals_clipped_to_unit_range(self) -> None:
+        low, high = support_interval(2, 0.5)
+        assert low == 0.0
+        assert high == 1.0
+
+    def test_interval_contains_the_optimum(self) -> None:
+        for buckets in (10, 50, 100, 500, 1000):
+            low, high = confidence_interval(buckets, 0.30, 0.70)
+            assert low <= 0.70 <= high
+            supp_low, supp_high = support_interval(buckets, 0.30)
+            assert supp_low <= 0.30 <= supp_high
+
+
+class TestTable:
+    def test_default_rows_match_paper_layout(self) -> None:
+        rows = granularity_error_table()
+        assert [row.num_buckets for row in rows] == [10, 50, 100, 500, 1000]
+        first = rows[0].as_percentages()
+        assert first == (10, 10.0, 50.0, 42.0, 100.0)
+
+    def test_rows_monotonically_tighten(self) -> None:
+        rows = granularity_error_table()
+        widths = [row.confidence_high - row.confidence_low for row in rows]
+        assert all(a >= b for a, b in zip(widths, widths[1:]))

@@ -1,0 +1,46 @@
+"""Tests for the Algorithm 3.2 parallel counting scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bucketing import Bucketing, ParallelBucketCounter, SortingEquiDepthBucketizer
+from repro.exceptions import BucketingError
+
+
+class TestParallelBucketCounter:
+    def test_invalid_partition_count(self) -> None:
+        with pytest.raises(BucketingError):
+            ParallelBucketCounter(0)
+
+    def test_totals_match_sequential_counts(self, rng: np.random.Generator) -> None:
+        values = rng.normal(size=10_000)
+        bucketing = SortingEquiDepthBucketizer().build(values, 20)
+        sequential = bucketing.counts(values)
+        result = ParallelBucketCounter(num_partitions=4).count(values, bucketing, rng=rng)
+        assert np.array_equal(result.counts, sequential)
+
+    def test_partition_counts_sum_to_totals(self, rng: np.random.Generator) -> None:
+        values = rng.uniform(size=5_000)
+        bucketing = Bucketing(np.quantile(values, [0.2, 0.4, 0.6, 0.8]))
+        result = ParallelBucketCounter(num_partitions=7).count(values, bucketing, rng=rng)
+        assert result.num_partitions == 7
+        stacked = np.vstack(result.per_partition)
+        assert np.array_equal(stacked.sum(axis=0), result.counts)
+
+    def test_every_tuple_counted_exactly_once(self, rng: np.random.Generator) -> None:
+        values = rng.normal(size=3_333)
+        bucketing = Bucketing([0.0])
+        result = ParallelBucketCounter(num_partitions=5).count(values, bucketing, rng=rng)
+        assert result.counts.sum() == values.size
+
+    def test_more_partitions_than_tuples(self, rng: np.random.Generator) -> None:
+        values = np.array([1.0, 2.0, 3.0])
+        bucketing = Bucketing([1.5])
+        result = ParallelBucketCounter(num_partitions=10).count(values, bucketing, rng=rng)
+        assert result.counts.sum() == 3
+
+    def test_multidimensional_values_rejected(self, rng: np.random.Generator) -> None:
+        with pytest.raises(BucketingError):
+            ParallelBucketCounter(2).count(np.zeros((2, 2)), Bucketing([0.0]), rng=rng)

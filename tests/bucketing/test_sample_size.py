@@ -1,0 +1,78 @@
+"""Tests for the §3.2 sample-size analysis (Figure 1 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bucketing import (
+    deviation_probability,
+    empirical_deviation_probability,
+    recommended_sample_factor,
+    sample_size_curve,
+)
+from repro.exceptions import BucketingError
+
+
+class TestDeviationProbability:
+    def test_probability_is_a_valid_probability(self) -> None:
+        for factor in (1, 5, 20, 40, 80):
+            value = deviation_probability(factor * 10, 10)
+            assert 0.0 <= value <= 1.0
+
+    def test_monotone_decreasing_in_sample_size(self) -> None:
+        values = [deviation_probability(factor * 10, 10) for factor in (1, 5, 10, 20, 40, 80)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_paper_operating_point_is_small(self) -> None:
+        # §3.2: at S/M = 40 the error probability is below 0.3% (for delta=0.5).
+        assert deviation_probability(40 * 10, 10) <= 0.003
+        assert deviation_probability(40 * 5, 5) <= 0.02
+        assert deviation_probability(40 * 10_000, 10_000) <= 0.003
+
+    def test_small_sample_has_large_error(self) -> None:
+        assert deviation_probability(10, 10) > 0.3
+
+    def test_does_not_depend_on_relation_size(self) -> None:
+        # p_e is a function of S and M only (the paper stresses independence of N).
+        assert deviation_probability(400, 10) == deviation_probability(400, 10)
+
+    def test_invalid_arguments(self) -> None:
+        with pytest.raises(BucketingError):
+            deviation_probability(0, 10)
+        with pytest.raises(BucketingError):
+            deviation_probability(100, 1)
+        with pytest.raises(BucketingError):
+            deviation_probability(100, 10, delta=0.0)
+
+    def test_matches_monte_carlo(self, rng: np.random.Generator) -> None:
+        exact = deviation_probability(200, 10)
+        simulated = empirical_deviation_probability(200, 10, trials=20_000, rng=rng)
+        assert simulated == pytest.approx(exact, abs=0.02)
+
+    def test_empirical_rejects_bad_trials(self) -> None:
+        with pytest.raises(BucketingError):
+            empirical_deviation_probability(100, 10, trials=0)
+
+
+class TestRecommendedSampleFactor:
+    def test_close_to_papers_forty(self) -> None:
+        factor = recommended_sample_factor(1000)
+        assert 30 <= factor <= 60
+
+    def test_larger_target_allows_smaller_sample(self) -> None:
+        strict = recommended_sample_factor(100, target_probability=0.003)
+        loose = recommended_sample_factor(100, target_probability=0.10)
+        assert loose <= strict
+
+
+class TestSampleSizeCurve:
+    def test_curve_shape(self) -> None:
+        curve = sample_size_curve(10, factors=(1, 10, 40))
+        assert curve.num_buckets == 10
+        assert curve.factors == (1, 10, 40)
+        assert len(curve.probabilities) == 3
+        rows = curve.as_rows()
+        assert rows[0][0] == 1 and 0.0 <= rows[0][1] <= 1.0
+        # The curve drops sharply before S/M = 40 (the Figure 1 shape).
+        assert curve.probabilities[0] > 10 * curve.probabilities[2]

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relation import Attribute, Relation, Schema
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def bank_schema() -> Schema:
+    """A small bank-style schema with numeric and Boolean attributes."""
+    return Schema.of(
+        Attribute.numeric("balance", "account balance"),
+        Attribute.numeric("age", "customer age"),
+        Attribute.boolean("card_loan", "uses a card loan"),
+        Attribute.boolean("auto_withdrawal", "uses automatic withdrawal"),
+    )
+
+
+@pytest.fixture()
+def small_relation(bank_schema: Schema) -> Relation:
+    """A hand-written eight-tuple relation with known statistics.
+
+    Tuples (balance, age, card_loan, auto_withdrawal):
+
+    ==========  ====  =========  ===============
+    balance     age   card_loan  auto_withdrawal
+    ==========  ====  =========  ===============
+    100         20    no         no
+    500         25    no         yes
+    1000        30    yes        no
+    2000        35    yes        yes
+    3000        40    yes        yes
+    4000        45    yes        no
+    8000        50    no         yes
+    9000        55    no         no
+    ==========  ====  =========  ===============
+
+    The card-loan customers cluster in the balance range [1000, 4000].
+    """
+    return Relation.from_columns(
+        bank_schema,
+        {
+            "balance": [100.0, 500.0, 1000.0, 2000.0, 3000.0, 4000.0, 8000.0, 9000.0],
+            "age": [20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0],
+            "card_loan": [False, False, True, True, True, True, False, False],
+            "auto_withdrawal": [False, True, False, True, True, False, True, False],
+        },
+    )

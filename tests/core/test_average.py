@@ -1,0 +1,103 @@
+"""Tests for the §5 average-operator ranges."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bucketing import SortingEquiDepthBucketizer
+from repro.core import (
+    BucketProfile,
+    RuleKind,
+    maximum_average_range,
+    maximum_average_rule,
+    maximum_support_average_rule,
+    maximum_support_range,
+)
+from repro.datasets import bank_customers
+from repro.relation import Relation
+
+
+def _average_profile() -> BucketProfile:
+    """Five buckets of 10 tuples; per-bucket averages 1, 2, 10, 9, 3."""
+    sizes = [10, 10, 10, 10, 10]
+    sums = [10.0, 20.0, 100.0, 90.0, 30.0]
+    return BucketProfile.from_counts(sizes, sums, attribute="checking", objective_label="avg(saving)")
+
+
+class TestMaximumAverageRange:
+    def test_picks_densest_window_meeting_support(self) -> None:
+        profile = _average_profile()
+        selection = maximum_average_range(profile, min_support=0.4)
+        assert (selection.start, selection.end) == (2, 3)
+        assert selection.ratio == pytest.approx(9.5)
+
+    def test_lower_support_allows_single_bucket(self) -> None:
+        profile = _average_profile()
+        selection = maximum_average_range(profile, min_support=0.2)
+        assert (selection.start, selection.end) == (2, 2)
+        assert selection.ratio == pytest.approx(10.0)
+
+    def test_infeasible_support_returns_none(self) -> None:
+        profile = BucketProfile.from_counts([10], [10.0], total=1000)
+        assert maximum_average_range(profile, min_support=0.5) is None
+
+
+class TestMaximumSupportRange:
+    def test_trivial_threshold_gives_whole_domain(self) -> None:
+        profile = _average_profile()
+        overall_average = profile.overall_ratio()
+        selection = maximum_support_range(profile, min_average=overall_average - 1.0)
+        assert (selection.start, selection.end) == (0, profile.num_buckets - 1)
+
+    def test_threshold_above_global_average(self) -> None:
+        profile = _average_profile()
+        selection = maximum_support_range(profile, min_average=6.0)
+        assert selection is not None
+        assert selection.ratio >= 6.0
+        # Buckets 1..4 average (20+100+90+30)/40 = 6.0 exactly, the widest
+        # qualifying range (adding bucket 0 would drop the average below 6).
+        assert (selection.start, selection.end) == (1, 4)
+        assert selection.support_count == pytest.approx(40.0)
+
+    def test_unreachable_threshold_returns_none(self) -> None:
+        profile = _average_profile()
+        assert maximum_support_range(profile, min_average=100.0) is None
+
+
+class TestRuleWrappers:
+    def test_maximum_average_rule_carries_bounds(self) -> None:
+        profile = _average_profile()
+        rule = maximum_average_rule(profile, target="saving", min_support=0.4)
+        assert rule is not None
+        assert rule.kind is RuleKind.MAXIMUM_AVERAGE
+        assert rule.average == pytest.approx(9.5)
+        assert rule.low == 2.0 and rule.high == 3.0  # default bounds are bucket indices
+
+    def test_maximum_support_rule_carries_bounds(self) -> None:
+        profile = _average_profile()
+        rule = maximum_support_average_rule(profile, target="saving", min_average=6.0)
+        assert rule is not None
+        assert rule.kind is RuleKind.MAXIMUM_SUPPORT_AVERAGE
+        # Buckets 1..4 qualify (average exactly 6.0), i.e. 40 of the 50 tuples.
+        assert rule.support == pytest.approx(0.8)
+
+    def test_none_propagates(self) -> None:
+        profile = BucketProfile.from_counts([10], [10.0], total=1000)
+        assert maximum_average_rule(profile, "saving", min_support=0.9) is None
+        assert maximum_support_average_rule(profile, "saving", min_average=99.0) is None
+
+
+class TestEndToEndOnBankData:
+    def test_saving_balance_average_rises_with_age(self) -> None:
+        relation, _ = bank_customers(20_000, seed=21)
+        bucketing = SortingEquiDepthBucketizer().build(relation.numeric_column("age"), 50)
+        profile = BucketProfile.from_relation_average(relation, "age", "saving_balance", bucketing)
+        selection = maximum_average_range(profile, min_support=0.10)
+        assert selection is not None
+        low, high = profile.range_bounds(selection.start, selection.end)
+        # The synthetic saving balance grows with age, so the best window sits
+        # at the old end of the age distribution and beats the global average.
+        assert low > float(np.median(relation.numeric_column("age")))
+        assert selection.ratio > profile.overall_ratio()
+        assert selection.support >= 0.10

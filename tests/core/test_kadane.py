@@ -1,0 +1,87 @@
+"""Tests for Kadane's maximum-gain baseline and its inadequacy (§4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import gain_of_range, maximize_support, maximum_gain_range
+
+
+class TestMaximumGainRange:
+    def test_finds_positive_gain_run(self) -> None:
+        sizes = [10, 10, 10, 10]
+        values = [1, 9, 9, 1]
+        selection = maximum_gain_range(sizes, values, min_ratio=0.5)
+        assert (selection.start, selection.end) == (1, 2)
+
+    def test_returns_none_when_all_gains_negative(self) -> None:
+        assert maximum_gain_range([10, 10], [1, 1], min_ratio=0.9) is None
+
+    def test_gain_range_is_always_confident(self) -> None:
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            num_buckets = int(rng.integers(1, 30))
+            sizes = rng.integers(1, 20, size=num_buckets)
+            values = rng.binomial(sizes, rng.uniform(0.1, 0.9))
+            theta = float(rng.uniform(0.1, 0.9))
+            selection = maximum_gain_range(sizes, values, theta)
+            if selection is not None:
+                assert selection.ratio >= theta - 1e-12
+
+    def test_gain_of_range_helper(self) -> None:
+        assert gain_of_range([10, 10], [9, 1], min_ratio=0.5, start=0, end=1) == pytest.approx(0.0)
+        assert gain_of_range([10, 10], [9, 1], min_ratio=0.5, start=0, end=0) == pytest.approx(4.0)
+
+    def test_gain_of_range_invalid_indices(self) -> None:
+        with pytest.raises(IndexError):
+            gain_of_range([10], [5], min_ratio=0.5, start=0, end=3)
+
+
+class TestKadaneIsNotOptimizedSupport:
+    def test_papers_counterexample_structure(self) -> None:
+        """The maximum-gain range can be strictly smaller than the optimized-support range.
+
+        Buckets: a very dense core (gain strongly positive) surrounded by
+        buckets whose confidence sits just below the threshold (gain slightly
+        negative).  Kadane keeps only the core because adding the flanks
+        lowers the gain, but the flanked range is still confident and has far
+        more support — which is exactly the paper's argument for Algorithms
+        4.3/4.4.
+        """
+        theta = 0.5
+        sizes = [100, 100, 10, 100, 100]
+        values = [49, 49, 10, 49, 49]
+
+        kadane = maximum_gain_range(sizes, values, theta)
+        optimized = maximize_support(sizes, values, theta)
+
+        assert kadane is not None and optimized is not None
+        # Kadane keeps only the dense core bucket.
+        assert (kadane.start, kadane.end) == (2, 2)
+        # The optimized-support rule keeps the whole confident superset.
+        assert (optimized.start, optimized.end) == (0, 4)
+        assert optimized.ratio >= theta
+        assert optimized.support_count > 4 * kadane.support_count
+
+    def test_discrepancy_is_common_on_random_profiles(self) -> None:
+        rng = np.random.default_rng(17)
+        differing = 0
+        total_feasible = 0
+        for _ in range(200):
+            sizes = rng.integers(5, 50, size=20)
+            values = rng.binomial(sizes, rng.uniform(0.3, 0.7))
+            theta = 0.5
+            kadane = maximum_gain_range(sizes, values, theta)
+            optimized = maximize_support(sizes, values, theta)
+            if optimized is None:
+                assert kadane is None
+                continue
+            total_feasible += 1
+            assert kadane is not None
+            assert kadane.support_count <= optimized.support_count + 1e-9
+            if kadane.support_count < optimized.support_count - 1e-9:
+                differing += 1
+        assert total_feasible > 0
+        # The two solutions should differ on a non-trivial fraction of profiles.
+        assert differing >= total_feasible // 10

@@ -1,0 +1,99 @@
+"""Monotonicity and consistency invariants of the optimized-rule solvers.
+
+These properties connect the two optimization problems to each other and to
+their thresholds; they hold for *every* profile, so Hypothesis explores them
+over random bucket data:
+
+* tightening the support threshold can only lower the achievable confidence;
+* tightening the confidence threshold can only lower the achievable support;
+* the two solvers are mutually consistent: the optimized-support range at
+  threshold θ has ratio ≥ θ, and running the optimized-confidence solver with
+  that range's support as the threshold yields a ratio at least as high.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import maximize_ratio, maximize_support
+
+
+@st.composite
+def profiles(draw, max_buckets: int = 25):
+    num_buckets = draw(st.integers(min_value=1, max_value=max_buckets))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=20),
+            min_size=num_buckets,
+            max_size=num_buckets,
+        )
+    )
+    values = [draw(st.integers(min_value=0, max_value=size)) for size in sizes]
+    return np.array(sizes, dtype=np.float64), np.array(values, dtype=np.float64)
+
+
+_sixteenths = st.integers(min_value=0, max_value=16).map(lambda k: k / 16.0)
+
+
+class TestThresholdMonotonicity:
+    @given(profile=profiles(), first=_sixteenths, second=_sixteenths)
+    @settings(max_examples=100, deadline=None)
+    def test_confidence_decreases_as_support_threshold_grows(self, profile, first, second) -> None:
+        sizes, values = profile
+        total = float(sizes.sum())
+        low, high = sorted((first, second))
+        relaxed = maximize_ratio(sizes, values, low * total)
+        strict = maximize_ratio(sizes, values, high * total)
+        if strict is None:
+            return
+        assert relaxed is not None
+        assert relaxed.ratio >= strict.ratio - 1e-12
+
+    @given(profile=profiles(), first=_sixteenths, second=_sixteenths)
+    @settings(max_examples=100, deadline=None)
+    def test_support_decreases_as_confidence_threshold_grows(self, profile, first, second) -> None:
+        sizes, values = profile
+        low, high = sorted((first, second))
+        relaxed = maximize_support(sizes, values, low)
+        strict = maximize_support(sizes, values, high)
+        if strict is None:
+            return
+        assert relaxed is not None
+        assert relaxed.support_count >= strict.support_count - 1e-9
+
+
+class TestMutualConsistency:
+    @given(profile=profiles(), theta=_sixteenths)
+    @settings(max_examples=100, deadline=None)
+    def test_confidence_solver_dominates_support_solver_ratio(self, profile, theta) -> None:
+        sizes, values = profile
+        support_optimal = maximize_support(sizes, values, theta)
+        if support_optimal is None:
+            return
+        confidence_optimal = maximize_ratio(
+            sizes, values, min_support_count=support_optimal.support_count
+        )
+        assert confidence_optimal is not None
+        # Among ranges at least as large as the optimized-support range, the
+        # optimized-confidence range has the best ratio — in particular at
+        # least θ, and at least the support-optimal range's own ratio is not
+        # required (it may trade ratio for size), but the maximum is.
+        assert confidence_optimal.ratio >= theta - 1e-12
+
+    @given(profile=profiles(), fraction=_sixteenths)
+    @settings(max_examples=100, deadline=None)
+    def test_support_solver_recovers_confidence_solver_range(self, profile, fraction) -> None:
+        sizes, values = profile
+        total = float(sizes.sum())
+        confidence_optimal = maximize_ratio(sizes, values, fraction * total)
+        if confidence_optimal is None or confidence_optimal.support_count == 0:
+            return
+        # Using the achieved ratio as the confidence floor (nudged down one
+        # ulp-ish so the float division that produced it cannot round the
+        # floor above the true rational value), the optimized support range
+        # must be at least as large as the confidence-optimal one.
+        floor = confidence_optimal.ratio - 1e-9
+        support_optimal = maximize_support(sizes, values, floor)
+        assert support_optimal is not None
+        assert support_optimal.support_count >= confidence_optimal.support_count - 1e-9

@@ -1,0 +1,48 @@
+"""Tests for the quadratic reference solvers themselves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import naive_maximize_ratio, naive_maximize_support
+from repro.exceptions import ProfileError
+
+
+class TestNaiveMaximizeRatio:
+    def test_small_known_answer(self) -> None:
+        selection = naive_maximize_ratio([10, 10, 10], [1, 9, 1], min_support_count=10)
+        assert (selection.start, selection.end) == (1, 1)
+        assert selection.ratio == pytest.approx(0.9)
+
+    def test_infeasible_returns_none(self) -> None:
+        assert naive_maximize_ratio([5, 5], [1, 1], min_support_count=100) is None
+
+    def test_tie_prefers_larger_support(self) -> None:
+        selection = naive_maximize_ratio([10, 10, 10], [5, 5, 5], min_support_count=0)
+        assert selection.support_count == 30
+
+    def test_explicit_total(self) -> None:
+        selection = naive_maximize_ratio([10, 10], [9, 1], min_support_count=5, total=100)
+        assert selection.support == pytest.approx(0.1)
+
+    def test_rejects_empty_buckets(self) -> None:
+        with pytest.raises(ProfileError):
+            naive_maximize_ratio([0, 1], [0, 1], min_support_count=0)
+
+
+class TestNaiveMaximizeSupport:
+    def test_small_known_answer(self) -> None:
+        selection = naive_maximize_support([10, 10, 10], [2, 9, 8], min_ratio=0.7)
+        assert (selection.start, selection.end) == (1, 2)
+        assert selection.support_count == 20
+
+    def test_infeasible_returns_none(self) -> None:
+        assert naive_maximize_support([10, 10], [1, 1], min_ratio=0.9) is None
+
+    def test_prefers_widest_confident_range(self) -> None:
+        selection = naive_maximize_support([10, 10, 10], [6, 10, 6], min_ratio=0.6)
+        assert (selection.start, selection.end) == (0, 2)
+
+    def test_explicit_total(self) -> None:
+        selection = naive_maximize_support([10, 10], [9, 9], min_ratio=0.5, total=200)
+        assert selection.support == pytest.approx(0.1)

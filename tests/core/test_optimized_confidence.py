@@ -1,0 +1,145 @@
+"""Tests for the linear-time optimized-confidence solver (Algorithm 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BucketProfile,
+    maximize_ratio,
+    naive_maximize_ratio,
+    optimized_confidence_from_profile,
+    solve_optimized_confidence,
+)
+from repro.exceptions import NoFeasibleRangeError, ProfileError
+
+
+class TestSmallProfiles:
+    def test_single_bucket(self) -> None:
+        selection = maximize_ratio([10], [7], min_support_count=5)
+        assert selection is not None
+        assert (selection.start, selection.end) == (0, 0)
+        assert selection.ratio == pytest.approx(0.7)
+
+    def test_single_bucket_infeasible(self) -> None:
+        assert maximize_ratio([10], [7], min_support_count=11) is None
+
+    def test_planted_high_confidence_run(self) -> None:
+        sizes = [10, 10, 10, 10, 10]
+        values = [1, 9, 9, 1, 1]
+        selection = maximize_ratio(sizes, values, min_support_count=20)
+        assert (selection.start, selection.end) == (1, 2)
+        assert selection.ratio == pytest.approx(0.9)
+        assert selection.support_count == 20
+
+    def test_threshold_forces_wider_range(self) -> None:
+        sizes = [10, 10, 10, 10, 10]
+        values = [1, 9, 9, 1, 1]
+        selection = maximize_ratio(sizes, values, min_support_count=30)
+        assert selection.support_count >= 30
+        # The best 3-bucket window still contains the two dense buckets.
+        assert selection.start <= 1 and selection.end >= 2
+
+    def test_zero_min_support_picks_best_single_bucket_or_run(self) -> None:
+        sizes = [5, 5, 5]
+        values = [1, 5, 2]
+        selection = maximize_ratio(sizes, values, min_support_count=0)
+        assert (selection.start, selection.end) == (1, 1)
+        assert selection.ratio == pytest.approx(1.0)
+
+    def test_tie_breaks_towards_larger_support(self) -> None:
+        # Buckets 1 and 3 have identical confidence 1.0; combining them with
+        # the middle zero-confidence bucket dilutes, so the tie is between the
+        # two singletons and the first (equal support) — but making bucket 3
+        # larger must flip the winner to it.
+        sizes = [10, 4, 10, 8]
+        values = [0, 4, 0, 8]
+        selection = maximize_ratio(sizes, values, min_support_count=1)
+        assert selection.ratio == pytest.approx(1.0)
+        assert selection.support_count == 8
+        assert (selection.start, selection.end) == (3, 3)
+
+    def test_whole_domain_when_uniform(self) -> None:
+        sizes = [10, 10, 10]
+        values = [5, 5, 5]
+        selection = maximize_ratio(sizes, values, min_support_count=0)
+        # All ranges have ratio 0.5; the tie-break picks the maximal support.
+        assert selection.ratio == pytest.approx(0.5)
+        assert selection.support_count == 30
+
+    def test_negative_values_allowed(self) -> None:
+        # The average-operator use of the solver can have negative v_i.
+        sizes = [2, 2, 2]
+        values = [-10.0, 4.0, -2.0]
+        selection = maximize_ratio(sizes, values, min_support_count=2)
+        assert (selection.start, selection.end) == (1, 1)
+
+    def test_min_support_above_total_returns_none(self) -> None:
+        assert maximize_ratio([5, 5], [1, 1], min_support_count=100) is None
+
+    def test_negative_min_support_treated_as_zero(self) -> None:
+        selection = maximize_ratio([5, 5], [1, 5], min_support_count=-3)
+        assert selection is not None
+        assert selection.ratio == pytest.approx(1.0)
+
+    def test_rejects_empty_bucket(self) -> None:
+        with pytest.raises(ProfileError):
+            maximize_ratio([5, 0], [1, 0], min_support_count=1)
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_integer_profiles(self, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        for _ in range(40):
+            num_buckets = int(rng.integers(1, 60))
+            sizes = rng.integers(1, 30, size=num_buckets)
+            values = rng.binomial(sizes, rng.uniform(0.05, 0.95))
+            min_count = int(rng.integers(0, sizes.sum() + 2))
+            fast = maximize_ratio(sizes, values, min_count)
+            slow = naive_maximize_ratio(sizes, values, min_count)
+            if slow is None:
+                assert fast is None
+                continue
+            assert fast is not None
+            assert fast.ratio == pytest.approx(slow.ratio, abs=1e-12)
+            assert fast.support_count == pytest.approx(slow.support_count)
+            assert fast.support_count >= min_count
+
+    def test_adversarial_monotone_profiles(self) -> None:
+        # Strictly increasing and decreasing confidence profiles exercise the
+        # hull degenerate cases (hull is a single chain).
+        sizes = np.full(50, 10)
+        increasing = np.arange(50) % 11
+        decreasing = increasing[::-1].copy()
+        for values in (increasing, decreasing):
+            fast = maximize_ratio(sizes, values, 50)
+            slow = naive_maximize_ratio(sizes, values, 50)
+            assert fast.ratio == pytest.approx(slow.ratio)
+            assert fast.support_count == pytest.approx(slow.support_count)
+
+    def test_large_profile_feasibility(self) -> None:
+        rng = np.random.default_rng(99)
+        sizes = rng.integers(1, 100, size=5000)
+        values = rng.binomial(sizes, 0.3)
+        selection = maximize_ratio(sizes, values, int(0.05 * sizes.sum()))
+        assert selection is not None
+        assert selection.support_count >= 0.05 * sizes.sum()
+
+
+class TestProfileWrappers:
+    def test_solve_from_profile(self) -> None:
+        profile = BucketProfile.from_counts([10, 10, 10], [1, 9, 1])
+        selection = solve_optimized_confidence(profile, min_support=0.3)
+        assert (selection.start, selection.end) == (1, 1)
+
+    def test_strict_wrapper_raises_when_infeasible(self) -> None:
+        profile = BucketProfile.from_counts([10], [5], total=1000)
+        with pytest.raises(NoFeasibleRangeError):
+            optimized_confidence_from_profile(profile, min_support=0.5)
+
+    def test_strict_wrapper_returns_selection(self) -> None:
+        profile = BucketProfile.from_counts([10, 10], [2, 8])
+        selection = optimized_confidence_from_profile(profile, min_support=0.5)
+        assert selection.ratio == pytest.approx(0.8)

@@ -1,0 +1,157 @@
+"""Tests for the linear-time optimized-support solver (Algorithms 4.3 / 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BucketProfile,
+    effective_indices,
+    maximize_support,
+    naive_maximize_support,
+    optimized_support_from_profile,
+    solve_optimized_support,
+)
+from repro.exceptions import NoFeasibleRangeError, OptimizationError
+
+
+class TestEffectiveIndices:
+    def test_first_index_always_effective(self) -> None:
+        assert 0 in effective_indices([10, 10], [9, 1], min_ratio=0.5)
+
+    def test_index_after_high_confidence_prefix_not_effective(self) -> None:
+        # Extending to the left over a >= theta prefix cannot hurt, so the
+        # index after such a prefix is not effective (Definition 4.5): index 1
+        # follows a 90% bucket and is skipped, while index 2 follows the
+        # below-threshold prefixes {0..1} and {1..1} and is effective.
+        indices = effective_indices([10, 10, 10], [9, 0, 9], min_ratio=0.5)
+        assert indices == [0, 2]
+
+    def test_all_effective_when_every_prefix_below_threshold(self) -> None:
+        indices = effective_indices([10, 10, 10], [1, 1, 1], min_ratio=0.5)
+        assert indices == [0, 1, 2]
+
+    def test_matches_definition_by_brute_force(self) -> None:
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            num_buckets = int(rng.integers(1, 25))
+            sizes = rng.integers(1, 10, size=num_buckets)
+            values = rng.binomial(sizes, rng.uniform(0.1, 0.9))
+            # A dyadic threshold keeps every gain exactly representable, so the
+            # incremental recurrence and the brute-force sums agree bit for bit.
+            theta = float(rng.integers(1, 8)) / 8.0
+            gains = values - theta * sizes
+            reported = set(effective_indices(sizes, values, theta))
+            for start in range(num_buckets):
+                brute_effective = all(
+                    gains[j:start].sum() < 0 for j in range(start)
+                )
+                assert (start in reported) == brute_effective
+
+    def test_invalid_ratio_rejected(self) -> None:
+        with pytest.raises(OptimizationError):
+            effective_indices([1], [1], float("nan"))
+
+
+class TestSmallProfiles:
+    def test_planted_confident_run(self) -> None:
+        sizes = [10, 10, 10, 10, 10]
+        values = [1, 9, 9, 2, 1]
+        selection = maximize_support(sizes, values, min_ratio=0.5)
+        assert selection is not None
+        assert selection.ratio >= 0.5
+        # The confident range can absorb the weaker neighbours while staying
+        # above 50%: buckets 1..3 give (9+9+2)/30 = 66.7%.
+        assert selection.support_count >= 30
+
+    def test_no_confident_range(self) -> None:
+        assert maximize_support([10, 10], [1, 2], min_ratio=0.9) is None
+
+    def test_whole_domain_when_threshold_below_base_rate(self) -> None:
+        sizes = [10, 10, 10]
+        values = [6, 5, 7]
+        selection = maximize_support(sizes, values, min_ratio=0.5)
+        assert (selection.start, selection.end) == (0, 2)
+        assert selection.support_count == 30
+
+    def test_single_bucket(self) -> None:
+        selection = maximize_support([10], [9], min_ratio=0.5)
+        assert (selection.start, selection.end) == (0, 0)
+        assert maximize_support([10], [4], min_ratio=0.5) is None
+
+    def test_superset_range_preferred_over_pure_subrange(self) -> None:
+        # Example 2.3's counter-intuitive fact: a superset of a confident
+        # range can also be confident with lower confidence but more support;
+        # the optimized-support rule must return the superset.
+        sizes = [10, 10, 10]
+        values = [6, 10, 6]
+        selection = maximize_support(sizes, values, min_ratio=0.6)
+        assert (selection.start, selection.end) == (0, 2)
+
+    def test_negative_threshold_with_real_values(self) -> None:
+        sizes = [2, 2]
+        values = [-1.0, -5.0]
+        selection = maximize_support(sizes, values, min_ratio=-1.0)
+        assert (selection.start, selection.end) == (0, 0)
+
+    def test_constraint_always_satisfied(self) -> None:
+        rng = np.random.default_rng(5)
+        for _ in range(100):
+            num_buckets = int(rng.integers(1, 30))
+            sizes = rng.integers(1, 20, size=num_buckets)
+            values = rng.binomial(sizes, rng.uniform(0.05, 0.95))
+            theta = float(rng.uniform(0.05, 0.95))
+            selection = maximize_support(sizes, values, theta)
+            if selection is not None:
+                assert selection.ratio >= theta - 1e-12
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_integer_profiles(self, seed: int) -> None:
+        rng = np.random.default_rng(100 + seed)
+        for _ in range(40):
+            num_buckets = int(rng.integers(1, 60))
+            sizes = rng.integers(1, 30, size=num_buckets)
+            values = rng.binomial(sizes, rng.uniform(0.05, 0.95))
+            theta = float(rng.uniform(0.05, 0.95))
+            fast = maximize_support(sizes, values, theta)
+            slow = naive_maximize_support(sizes, values, theta)
+            if slow is None:
+                assert fast is None
+                continue
+            assert fast is not None
+            assert fast.support_count == pytest.approx(slow.support_count)
+            assert fast.ratio >= theta - 1e-12
+
+    def test_real_valued_profiles(self) -> None:
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            num_buckets = int(rng.integers(1, 40))
+            sizes = rng.integers(1, 10, size=num_buckets)
+            values = np.round(rng.normal(0.0, 20.0, size=num_buckets), 3)
+            theta = float(np.round(rng.normal(0.0, 3.0), 2))
+            fast = maximize_support(sizes, values, theta)
+            slow = naive_maximize_support(sizes, values, theta)
+            if slow is None:
+                assert fast is None
+            else:
+                assert fast.support_count == pytest.approx(slow.support_count)
+
+
+class TestProfileWrappers:
+    def test_solve_from_profile(self) -> None:
+        profile = BucketProfile.from_counts([10, 10, 10], [2, 9, 8])
+        selection = solve_optimized_support(profile, min_confidence=0.7)
+        assert (selection.start, selection.end) == (1, 2)
+
+    def test_invalid_confidence_rejected(self) -> None:
+        profile = BucketProfile.from_counts([10], [5])
+        with pytest.raises(OptimizationError):
+            solve_optimized_support(profile, min_confidence=1.5)
+
+    def test_strict_wrapper_raises_when_infeasible(self) -> None:
+        profile = BucketProfile.from_counts([10], [1])
+        with pytest.raises(NoFeasibleRangeError):
+            optimized_support_from_profile(profile, min_confidence=0.9)

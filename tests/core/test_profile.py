@@ -1,0 +1,116 @@
+"""Tests for :class:`BucketProfile`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bucketing import Bucketing
+from repro.core import BucketProfile
+from repro.exceptions import ProfileError
+from repro.relation import BooleanIs, Relation
+
+
+class TestFromCounts:
+    def test_basic_accessors(self) -> None:
+        profile = BucketProfile.from_counts([10, 20, 30], [5, 10, 3])
+        assert profile.num_buckets == 3
+        assert profile.total == 60.0
+        assert profile.support_count(0, 1) == 30.0
+        assert profile.objective_value(1, 2) == 13.0
+        assert profile.support(0, 2) == pytest.approx(1.0)
+        assert profile.ratio(0, 0) == pytest.approx(0.5)
+        assert profile.overall_ratio() == pytest.approx(18 / 60)
+
+    def test_default_bounds_are_bucket_indices(self) -> None:
+        profile = BucketProfile.from_counts([1, 1, 1], [0, 0, 0])
+        assert profile.range_bounds(0, 2) == (0.0, 2.0)
+
+    def test_explicit_total(self) -> None:
+        profile = BucketProfile.from_counts([10, 10], [5, 5], total=100)
+        assert profile.support(0, 1) == pytest.approx(0.2)
+
+    def test_invalid_ranges_rejected(self) -> None:
+        profile = BucketProfile.from_counts([1, 1], [0, 0])
+        with pytest.raises(ProfileError):
+            profile.support_count(1, 0)
+        with pytest.raises(ProfileError):
+            profile.range_bounds(0, 5)
+
+    def test_empty_bucket_rejected(self) -> None:
+        with pytest.raises(ProfileError):
+            BucketProfile.from_counts([1, 0], [0, 0])
+
+    def test_mismatched_arrays_rejected(self) -> None:
+        with pytest.raises(ProfileError):
+            BucketProfile.from_counts([1, 2], [0])
+
+    def test_non_finite_rejected(self) -> None:
+        with pytest.raises(ProfileError):
+            BucketProfile.from_counts([1, 2], [0, np.inf])
+
+
+class TestFromRelation:
+    def test_counts_match_manual_computation(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([1500.0, 5000.0])
+        profile = BucketProfile.from_relation(
+            small_relation, "balance", BooleanIs("card_loan"), bucketing
+        )
+        assert list(profile.sizes) == [3.0, 3.0, 2.0]
+        assert list(profile.values) == [1.0, 3.0, 0.0]
+        assert profile.total == 8.0
+        assert profile.range_bounds(0, 1) == (100.0, 4000.0)
+
+    def test_presumptive_conjunct_restricts_counts(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([1500.0, 5000.0])
+        profile = BucketProfile.from_relation(
+            small_relation,
+            "balance",
+            BooleanIs("card_loan"),
+            bucketing,
+            presumptive=BooleanIs("auto_withdrawal"),
+        )
+        # auto_withdrawal tuples: balances 500, 2000, 3000, 8000.
+        assert list(profile.sizes) == [1.0, 2.0, 1.0]
+        assert list(profile.values) == [0.0, 2.0, 0.0]
+        # Support stays measured against the whole relation.
+        assert profile.total == 8.0
+
+    def test_empty_buckets_dropped(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([50.0, 1500.0, 5000.0, 20_000.0])
+        profile = BucketProfile.from_relation(
+            small_relation, "balance", BooleanIs("card_loan"), bucketing
+        )
+        # The first bucket (balance <= 50) and last (> 20000) are empty.
+        assert profile.num_buckets == 3
+        assert np.all(profile.sizes > 0)
+
+    def test_impossible_presumptive_rejected(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([1500.0])
+        with pytest.raises(ProfileError):
+            BucketProfile.from_relation(
+                small_relation,
+                "balance",
+                BooleanIs("card_loan"),
+                bucketing,
+                presumptive=BooleanIs("card_loan") & ~BooleanIs("card_loan"),
+            )
+
+
+class TestFromRelationAverage:
+    def test_sums_per_bucket(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([35.0])
+        profile = BucketProfile.from_relation_average(
+            small_relation, "age", "balance", bucketing
+        )
+        # Ages <= 35: balances 100, 500, 1000, 2000; ages > 35: 3000, 4000, 8000, 9000.
+        assert list(profile.sizes) == [4.0, 4.0]
+        assert list(profile.values) == [3600.0, 24000.0]
+        assert profile.ratio(1, 1) == pytest.approx(6000.0)
+        assert profile.objective_label == "avg(balance)"
+
+
+class TestDropEmptyBuckets:
+    def test_noop_when_clean(self) -> None:
+        profile = BucketProfile.from_counts([1, 2], [0, 1])
+        assert profile.drop_empty_buckets() is profile

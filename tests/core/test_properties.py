@@ -1,0 +1,239 @@
+"""Property-based tests (Hypothesis) for the core solvers and bucketizers.
+
+These are the heavy-duty correctness checks: for arbitrary bucket profiles
+the linear-time solvers must agree with the exhaustive quadratic references,
+respect their constraints, and be invariant under transformations that leave
+the problem unchanged (scaling counts, appending infeasible buckets, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bucketing import Bucketing, SortingEquiDepthBucketizer
+from repro.core import (
+    maximize_ratio,
+    maximize_support,
+    maximum_gain_range,
+    naive_maximize_ratio,
+    naive_maximize_support,
+)
+
+# -- strategies -----------------------------------------------------------------
+
+
+@st.composite
+def bucket_profiles(draw, max_buckets: int = 30, max_size: int = 25):
+    """Random integer (sizes, values) profiles with 0 <= v_i <= u_i."""
+    num_buckets = draw(st.integers(min_value=1, max_value=max_buckets))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=max_size),
+            min_size=num_buckets,
+            max_size=num_buckets,
+        )
+    )
+    values = [draw(st.integers(min_value=0, max_value=size)) for size in sizes]
+    return np.array(sizes, dtype=np.int64), np.array(values, dtype=np.int64)
+
+
+@st.composite
+def real_profiles(draw, max_buckets: int = 20):
+    """Random profiles with real-valued v_i (the §5 average-operator case)."""
+    num_buckets = draw(st.integers(min_value=1, max_value=max_buckets))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=10),
+            min_size=num_buckets,
+            max_size=num_buckets,
+        )
+    )
+    values = draw(
+        st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=num_buckets,
+            max_size=num_buckets,
+        )
+    )
+    return (
+        np.array(sizes, dtype=np.int64),
+        np.array(values, dtype=np.float64) / 8.0,
+    )
+
+
+_thresholds = st.integers(min_value=0, max_value=16).map(lambda k: k / 16.0)
+
+
+# -- optimized confidence ---------------------------------------------------------
+
+
+class TestOptimizedConfidenceProperties:
+    @given(profile=bucket_profiles(), fraction=_thresholds)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_naive_reference(self, profile, fraction) -> None:
+        sizes, values = profile
+        min_count = fraction * float(sizes.sum())
+        fast = maximize_ratio(sizes, values, min_count)
+        slow = naive_maximize_ratio(sizes, values, min_count)
+        if slow is None:
+            assert fast is None
+            return
+        assert fast is not None
+        assert abs(fast.ratio - slow.ratio) <= 1e-12
+        assert abs(fast.support_count - slow.support_count) <= 1e-9
+
+    @given(profile=bucket_profiles(), fraction=_thresholds)
+    @settings(max_examples=80, deadline=None)
+    def test_constraint_and_range_validity(self, profile, fraction) -> None:
+        sizes, values = profile
+        min_count = fraction * float(sizes.sum())
+        selection = maximize_ratio(sizes, values, min_count)
+        if selection is None:
+            return
+        assert 0 <= selection.start <= selection.end < sizes.shape[0]
+        assert selection.support_count >= min_count - 1e-9
+        expected_count = float(sizes[selection.start : selection.end + 1].sum())
+        expected_value = float(values[selection.start : selection.end + 1].sum())
+        assert selection.support_count == expected_count
+        assert selection.objective_value == expected_value
+
+    @given(profile=bucket_profiles(max_buckets=15), scale=st.integers(min_value=2, max_value=9))
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_under_count_scaling(self, profile, scale) -> None:
+        # Multiplying every u_i and v_i by the same factor leaves the optimal
+        # confidence unchanged (supports scale together with the threshold).
+        sizes, values = profile
+        base = maximize_ratio(sizes, values, 0.25 * sizes.sum())
+        scaled = maximize_ratio(sizes * scale, values * scale, 0.25 * sizes.sum() * scale)
+        assert (base is None) == (scaled is None)
+        if base is not None:
+            assert abs(base.ratio - scaled.ratio) <= 1e-12
+
+    @given(profile=real_profiles(), threshold=st.integers(min_value=-8, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_real_valued_profiles_match_naive(self, profile, threshold) -> None:
+        sizes, values = profile
+        min_count = max(0.0, float(threshold))
+        fast = maximize_ratio(sizes, values, min_count)
+        slow = naive_maximize_ratio(sizes, values, min_count)
+        if slow is None:
+            assert fast is None
+            return
+        assert fast is not None
+        assert abs(fast.ratio - slow.ratio) <= 1e-9
+
+
+# -- optimized support -------------------------------------------------------------
+
+
+class TestOptimizedSupportProperties:
+    @given(profile=bucket_profiles(), theta=_thresholds)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_naive_reference(self, profile, theta) -> None:
+        sizes, values = profile
+        fast = maximize_support(sizes, values, theta)
+        slow = naive_maximize_support(sizes, values, theta)
+        if slow is None:
+            assert fast is None
+            return
+        assert fast is not None
+        assert abs(fast.support_count - slow.support_count) <= 1e-9
+
+    @given(profile=bucket_profiles(), theta=_thresholds)
+    @settings(max_examples=80, deadline=None)
+    def test_constraint_and_maximality_against_gain_range(self, profile, theta) -> None:
+        sizes, values = profile
+        selection = maximize_support(sizes, values, theta)
+        kadane = maximum_gain_range(sizes, values, theta)
+        if selection is None:
+            # If no confident range exists, the maximum gain must be negative.
+            assert kadane is None
+            return
+        assert selection.ratio >= theta - 1e-12
+        # The optimized-support range dominates the Kadane range in support.
+        if kadane is not None:
+            assert selection.support_count >= kadane.support_count - 1e-9
+
+    @given(profile=bucket_profiles(max_buckets=15), theta=_thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_appending_hopeless_bucket_never_shrinks_support(self, profile, theta) -> None:
+        # Appending an all-negative bucket cannot reduce the achievable support.
+        sizes, values = profile
+        base = maximize_support(sizes, values, theta)
+        extended = maximize_support(
+            np.append(sizes, 5), np.append(values, 0), theta
+        )
+        if base is not None:
+            assert extended is not None
+            assert extended.support_count >= base.support_count - 1e-9
+
+    @given(profile=real_profiles(), threshold=st.integers(min_value=-40, max_value=40))
+    @settings(max_examples=80, deadline=None)
+    def test_real_valued_profiles_match_naive(self, profile, threshold) -> None:
+        sizes, values = profile
+        theta = threshold / 8.0
+        fast = maximize_support(sizes, values, theta)
+        slow = naive_maximize_support(sizes, values, theta)
+        if slow is None:
+            assert fast is None
+            return
+        assert fast is not None
+        assert abs(fast.support_count - slow.support_count) <= 1e-9
+
+
+# -- bucketing invariants -------------------------------------------------------------
+
+
+class TestBucketingProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=400,
+        ),
+        num_buckets=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_equidepth_partition_covers_everything(self, values, num_buckets) -> None:
+        array = np.asarray(values, dtype=np.float64)
+        bucketing = SortingEquiDepthBucketizer().build(array, num_buckets)
+        counts = bucketing.counts(array)
+        assert counts.sum() == array.shape[0]
+        assert counts.shape[0] == bucketing.num_buckets
+        # Cut points are sorted, so assignment intervals are disjoint and ordered.
+        cuts = bucketing.cuts
+        assert np.all(np.diff(cuts) >= 0)
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=300
+        ),
+        num_buckets=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_equidepth_sizes_balanced_on_distinct_heavy_data(self, values, num_buckets) -> None:
+        array = np.asarray(values, dtype=np.float64)
+        distinct = np.unique(array).shape[0]
+        bucketing = SortingEquiDepthBucketizer().build(array, num_buckets)
+        counts = bucketing.counts(array)
+        if distinct == array.shape[0] and num_buckets <= distinct:
+            # With all-distinct values the partition is exactly equi-depth.
+            assert counts.max() - counts.min() <= 1
+
+    @given(
+        cuts=st.lists(
+            st.integers(min_value=-100, max_value=100), min_size=0, max_size=20
+        ),
+        values=st.lists(
+            st.integers(min_value=-150, max_value=150), min_size=1, max_size=200
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_assignment_respects_interval_semantics(self, cuts, values) -> None:
+        bucketing = Bucketing(np.sort(np.asarray(cuts, dtype=np.float64)))
+        array = np.asarray(values, dtype=np.float64)
+        indices = bucketing.assign(array)
+        for value, index in zip(array, indices):
+            lower, upper = bucketing.assignment_bounds(int(index))
+            assert lower < value <= upper or (index == 0 and value <= upper)

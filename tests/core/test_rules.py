@@ -1,0 +1,116 @@
+"""Tests for the rule / selection data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OptimizedAverageRule, OptimizedRangeRule, RangeSelection, RuleKind
+from repro.exceptions import OptimizationError
+from repro.relation import BooleanIs, NumericInRange
+
+
+class TestRangeSelection:
+    def test_basic_properties(self) -> None:
+        selection = RangeSelection(
+            start=2, end=5, support_count=40.0, objective_value=30.0, total_count=200.0
+        )
+        assert selection.num_buckets == 4
+        assert selection.support == pytest.approx(0.2)
+        assert selection.ratio == pytest.approx(0.75)
+
+    def test_invalid_range_rejected(self) -> None:
+        with pytest.raises(OptimizationError):
+            RangeSelection(start=3, end=2, support_count=1, objective_value=1, total_count=10)
+        with pytest.raises(OptimizationError):
+            RangeSelection(start=-1, end=2, support_count=1, objective_value=1, total_count=10)
+
+    def test_invalid_counts_rejected(self) -> None:
+        with pytest.raises(OptimizationError):
+            RangeSelection(start=0, end=0, support_count=-1, objective_value=0, total_count=10)
+        with pytest.raises(OptimizationError):
+            RangeSelection(start=0, end=0, support_count=1, objective_value=0, total_count=0)
+
+    def test_zero_support_ratio(self) -> None:
+        selection = RangeSelection(
+            start=0, end=0, support_count=0.0, objective_value=0.0, total_count=10.0
+        )
+        assert selection.ratio == 0.0
+
+
+class TestOptimizedRangeRule:
+    def _rule(self, presumptive=None) -> OptimizedRangeRule:
+        selection = RangeSelection(
+            start=1, end=3, support_count=30.0, objective_value=21.0, total_count=100.0
+        )
+        return OptimizedRangeRule(
+            attribute="balance",
+            objective=BooleanIs("card_loan", True),
+            low=1000.0,
+            high=5000.0,
+            selection=selection,
+            kind=RuleKind.OPTIMIZED_CONFIDENCE,
+            threshold=0.25,
+            presumptive=presumptive,
+        )
+
+    def test_measures(self) -> None:
+        rule = self._rule()
+        assert rule.support == pytest.approx(0.3)
+        assert rule.confidence == pytest.approx(0.7)
+
+    def test_range_condition(self) -> None:
+        condition = self._rule().range_condition()
+        assert isinstance(condition, NumericInRange)
+        assert condition.low == 1000.0
+        assert condition.high == 5000.0
+
+    def test_full_presumptive_condition_plain(self) -> None:
+        rule = self._rule()
+        assert rule.full_presumptive_condition() == rule.range_condition()
+
+    def test_full_presumptive_condition_conjunctive(self) -> None:
+        rule = self._rule(presumptive=BooleanIs("auto_withdrawal"))
+        condition = rule.full_presumptive_condition()
+        assert "auto_withdrawal" in condition.attribute_names()
+        assert "balance" in condition.attribute_names()
+
+    def test_string_rendering(self) -> None:
+        text = str(self._rule())
+        assert "(balance in [1000, 5000])" in text
+        assert "(card_loan = yes)" in text
+        assert "support=30.0%" in text
+        assert "confidence=70.0%" in text
+
+    def test_string_rendering_with_conjunct(self) -> None:
+        text = str(self._rule(presumptive=BooleanIs("auto_withdrawal")))
+        assert "(auto_withdrawal = yes)" in text
+
+    def test_boolean_objective_helper(self) -> None:
+        objective = OptimizedRangeRule.boolean_objective("card_loan")
+        assert str(objective) == "(card_loan = yes)"
+
+
+class TestOptimizedAverageRule:
+    def test_measures_and_rendering(self) -> None:
+        selection = RangeSelection(
+            start=0, end=2, support_count=25.0, objective_value=125_000.0, total_count=100.0
+        )
+        rule = OptimizedAverageRule(
+            attribute="age",
+            target="saving_balance",
+            low=35.0,
+            high=50.0,
+            selection=selection,
+            kind=RuleKind.MAXIMUM_AVERAGE,
+            threshold=0.2,
+        )
+        assert rule.support == pytest.approx(0.25)
+        assert rule.average == pytest.approx(5000.0)
+        assert rule.range_condition() == NumericInRange("age", 35.0, 50.0)
+        assert "avg(saving_balance" in str(rule)
+
+
+class TestRuleKind:
+    def test_string_values(self) -> None:
+        assert str(RuleKind.OPTIMIZED_CONFIDENCE) == "optimized-confidence"
+        assert str(RuleKind.OPTIMIZED_SUPPORT) == "optimized-support"

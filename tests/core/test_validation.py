@@ -1,0 +1,76 @@
+"""Tests for solver parameter validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.validation import validate_bucket_arrays, validate_fraction, validate_threshold
+from repro.exceptions import OptimizationError, ProfileError
+
+
+class TestValidateFraction:
+    def test_accepts_valid_fractions(self) -> None:
+        assert validate_fraction("x", 0.5) == 0.5
+        assert validate_fraction("x", 1.0) == 1.0
+        assert validate_fraction("x", 0.0, allow_zero=True) == 0.0
+
+    def test_rejects_zero_by_default(self) -> None:
+        with pytest.raises(OptimizationError):
+            validate_fraction("x", 0.0)
+
+    def test_rejects_out_of_range(self) -> None:
+        with pytest.raises(OptimizationError):
+            validate_fraction("x", 1.5)
+        with pytest.raises(OptimizationError):
+            validate_fraction("x", -0.1, allow_zero=True)
+
+    def test_rejects_nan(self) -> None:
+        with pytest.raises(OptimizationError):
+            validate_fraction("x", float("nan"))
+
+
+class TestValidateThreshold:
+    def test_accepts_any_finite_value(self) -> None:
+        assert validate_threshold("t", -5.0) == -5.0
+        assert validate_threshold("t", 1e9) == 1e9
+
+    def test_rejects_non_finite(self) -> None:
+        with pytest.raises(OptimizationError):
+            validate_threshold("t", float("inf"))
+        with pytest.raises(OptimizationError):
+            validate_threshold("t", float("nan"))
+
+
+class TestValidateBucketArrays:
+    def test_canonicalizes_to_float_arrays(self) -> None:
+        sizes, values = validate_bucket_arrays([1, 2, 3], [0, 1, 2])
+        assert sizes.dtype == np.float64
+        assert values.dtype == np.float64
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(ProfileError):
+            validate_bucket_arrays([], [])
+
+    def test_rejects_length_mismatch(self) -> None:
+        with pytest.raises(ProfileError):
+            validate_bucket_arrays([1, 2], [1])
+
+    def test_rejects_multidimensional(self) -> None:
+        with pytest.raises(ProfileError):
+            validate_bucket_arrays(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_rejects_empty_buckets(self) -> None:
+        with pytest.raises(ProfileError):
+            validate_bucket_arrays([1, 0, 2], [0, 0, 0])
+
+    def test_rejects_non_finite(self) -> None:
+        with pytest.raises(ProfileError):
+            validate_bucket_arrays([1, np.inf], [0, 0])
+
+    def test_count_mode_bounds(self) -> None:
+        with pytest.raises(ProfileError):
+            validate_bucket_arrays([2, 2], [1, 3], require_counts=True)
+        with pytest.raises(ProfileError):
+            validate_bucket_arrays([2, 2], [-1, 0], require_counts=True)
+        validate_bucket_arrays([2, 2], [0, 2], require_counts=True)

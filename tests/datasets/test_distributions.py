@@ -1,0 +1,92 @@
+"""Tests for the dataset distribution helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SigmoidResponse,
+    bernoulli_flags,
+    lognormal_values,
+    mixture_values,
+    normal_values,
+    uniform_values,
+)
+from repro.exceptions import DatasetError
+
+
+class TestValueGenerators:
+    def test_uniform_bounds(self, rng: np.random.Generator) -> None:
+        values = uniform_values(1000, 5.0, 10.0, rng)
+        assert values.shape == (1000,)
+        assert values.min() >= 5.0 and values.max() < 10.0
+
+    def test_uniform_invalid_range(self, rng: np.random.Generator) -> None:
+        with pytest.raises(DatasetError):
+            uniform_values(10, 5.0, 5.0, rng)
+
+    def test_normal_moments(self, rng: np.random.Generator) -> None:
+        values = normal_values(20_000, 10.0, 2.0, rng)
+        assert values.mean() == pytest.approx(10.0, abs=0.1)
+        assert values.std() == pytest.approx(2.0, abs=0.1)
+
+    def test_normal_invalid_std(self, rng: np.random.Generator) -> None:
+        with pytest.raises(DatasetError):
+            normal_values(10, 0.0, 0.0, rng)
+
+    def test_lognormal_positive(self, rng: np.random.Generator) -> None:
+        values = lognormal_values(1000, 5.0, 1.0, rng)
+        assert np.all(values > 0)
+
+    def test_lognormal_invalid_sigma(self, rng: np.random.Generator) -> None:
+        with pytest.raises(DatasetError):
+            lognormal_values(10, 5.0, 0.0, rng)
+
+    def test_mixture_modes(self, rng: np.random.Generator) -> None:
+        values = mixture_values(20_000, [(0.5, 0.0, 1.0), (0.5, 100.0, 1.0)], rng)
+        near_zero = np.abs(values) < 10
+        near_hundred = np.abs(values - 100) < 10
+        assert near_zero.mean() == pytest.approx(0.5, abs=0.05)
+        assert near_hundred.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_mixture_invalid_components(self, rng: np.random.Generator) -> None:
+        with pytest.raises(DatasetError):
+            mixture_values(10, [], rng)
+        with pytest.raises(DatasetError):
+            mixture_values(10, [(1.0, 0.0, 0.0)], rng)
+        with pytest.raises(DatasetError):
+            mixture_values(10, [(-1.0, 0.0, 1.0)], rng)
+
+    def test_bernoulli_rate(self, rng: np.random.Generator) -> None:
+        flags = bernoulli_flags(20_000, 0.3, rng)
+        assert flags.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_bernoulli_invalid_probability(self, rng: np.random.Generator) -> None:
+        with pytest.raises(DatasetError):
+            bernoulli_flags(10, 1.5, rng)
+
+    def test_non_positive_size_rejected(self, rng: np.random.Generator) -> None:
+        with pytest.raises(DatasetError):
+            uniform_values(0, 0.0, 1.0, rng)
+
+
+class TestSigmoidResponse:
+    def test_hard_step_probabilities(self) -> None:
+        response = SigmoidResponse(low=10.0, high=20.0, base=0.1, peak=0.9)
+        probabilities = response.probabilities(np.array([5.0, 10.0, 15.0, 20.0, 25.0]))
+        assert list(probabilities) == [0.1, 0.9, 0.9, 0.9, 0.1]
+
+    def test_soft_response_interpolates(self) -> None:
+        response = SigmoidResponse(low=10.0, high=20.0, base=0.1, peak=0.9, softness=1.0)
+        probabilities = response.probabilities(np.array([0.0, 15.0, 40.0]))
+        assert probabilities[0] == pytest.approx(0.1, abs=0.01)
+        assert probabilities[1] == pytest.approx(0.9, abs=0.05)
+        assert probabilities[2] == pytest.approx(0.1, abs=0.01)
+
+    def test_sampling_matches_probabilities(self, rng: np.random.Generator) -> None:
+        response = SigmoidResponse(low=0.0, high=1.0, base=0.2, peak=0.8)
+        inside = response.sample(np.full(20_000, 0.5), rng)
+        outside = response.sample(np.full(20_000, 5.0), rng)
+        assert inside.mean() == pytest.approx(0.8, abs=0.02)
+        assert outside.mean() == pytest.approx(0.2, abs=0.02)

@@ -1,0 +1,51 @@
+"""Tests for dataset materialization and loading."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    generate_named_dataset,
+    load_dataset,
+    save_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+class TestGenerateNamedDataset:
+    def test_every_registered_name_generates(self) -> None:
+        for name in DATASET_NAMES:
+            relation = generate_named_dataset(name, 200, seed=0)
+            assert relation.num_tuples == 200
+
+    def test_unknown_name_rejected(self) -> None:
+        with pytest.raises(DatasetError):
+            generate_named_dataset("nope", 100)
+
+    def test_invalid_size_rejected(self) -> None:
+        with pytest.raises(DatasetError):
+            generate_named_dataset("bank", 0)
+
+    def test_seed_controls_output(self) -> None:
+        first = generate_named_dataset("planted", 500, seed=1)
+        second = generate_named_dataset("planted", 500, seed=1)
+        third = generate_named_dataset("planted", 500, seed=2)
+        assert first == second
+        assert first != third
+
+
+class TestSaveAndLoad:
+    def test_round_trip(self, tmp_path: Path) -> None:
+        relation = generate_named_dataset("bank", 300, seed=3)
+        path = save_dataset(relation, tmp_path / "sub" / "bank.csv")
+        assert path.exists()
+        loaded = load_dataset(path)
+        assert loaded.num_tuples == relation.num_tuples
+        assert loaded.schema.names() == relation.schema.names()
+
+    def test_missing_file_rejected(self, tmp_path: Path) -> None:
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "does_not_exist.csv")

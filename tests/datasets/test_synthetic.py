@@ -1,0 +1,158 @@
+"""Tests for the synthetic relation generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    bank_customers,
+    census_like,
+    paper_benchmark_table,
+    planted_average_profile,
+    planted_profile,
+    planted_range_relation,
+)
+from repro.exceptions import DatasetError
+from repro.relation import BooleanIs, NumericInRange
+
+
+class TestPlantedRangeRelation:
+    def test_shape_and_truth(self) -> None:
+        relation, truth = planted_range_relation(5_000, seed=1)
+        assert relation.num_tuples == 5_000
+        assert truth.attribute == "value"
+        assert truth.expected_support == pytest.approx(0.2, abs=0.01)
+
+    def test_planted_correlation_is_measurable(self) -> None:
+        relation, truth = planted_range_relation(30_000, seed=2)
+        in_range = NumericInRange(truth.attribute, truth.low, truth.high)
+        objective = BooleanIs(truth.objective, True)
+        inside_confidence = relation.confidence(in_range, objective)
+        overall = relation.support(objective)
+        assert inside_confidence == pytest.approx(truth.inside_probability, abs=0.03)
+        assert inside_confidence > overall * 2
+
+    def test_reproducible_with_seed(self) -> None:
+        first, _ = planted_range_relation(1_000, seed=7)
+        second, _ = planted_range_relation(1_000, seed=7)
+        assert first == second
+
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(DatasetError):
+            planted_range_relation(0)
+        with pytest.raises(DatasetError):
+            planted_range_relation(100, low=90.0, high=80.0)
+        with pytest.raises(DatasetError):
+            planted_range_relation(100, low=-5.0, high=50.0, domain=(0.0, 100.0))
+
+
+class TestBankCustomers:
+    def test_schema_and_truth(self) -> None:
+        relation, truth = bank_customers(5_000, seed=3)
+        assert set(relation.schema.numeric_names()) == {"balance", "saving_balance", "age"}
+        assert set(relation.schema.boolean_names()) == {
+            "card_loan",
+            "auto_withdrawal",
+            "online_banking",
+        }
+        assert truth.attribute == "balance"
+        assert 0.0 < truth.expected_support < 1.0
+
+    def test_card_loan_correlated_with_planted_balance_range(self) -> None:
+        relation, truth = bank_customers(30_000, seed=4)
+        in_range = NumericInRange("balance", truth.low, truth.high)
+        confidence = relation.confidence(in_range, BooleanIs("card_loan"))
+        outside_confidence = relation.confidence(~in_range, BooleanIs("card_loan"))
+        assert confidence == pytest.approx(truth.inside_probability, abs=0.03)
+        assert outside_confidence == pytest.approx(truth.outside_probability, abs=0.03)
+
+    def test_saving_balance_grows_with_age(self) -> None:
+        relation, _ = bank_customers(30_000, seed=5)
+        young = relation.select(NumericInRange("age", 18.0, 35.0))
+        old = relation.select(NumericInRange("age", 60.0, 95.0))
+        assert old.mean("saving_balance") > young.mean("saving_balance")
+
+    def test_invalid_size(self) -> None:
+        with pytest.raises(DatasetError):
+            bank_customers(0)
+
+
+class TestCensusLike:
+    def test_schema_and_planted_age_effect(self) -> None:
+        relation, truth = census_like(30_000, seed=6)
+        assert "age" in relation.schema.numeric_names()
+        assert "high_income" in relation.schema.boolean_names()
+        prime = relation.confidence(
+            NumericInRange("age", truth.low, truth.high), BooleanIs("high_income")
+        )
+        young = relation.confidence(
+            NumericInRange("age", 17.0, 30.0), BooleanIs("high_income")
+        )
+        assert prime > young + 0.15
+
+    def test_invalid_size(self) -> None:
+        with pytest.raises(DatasetError):
+            census_like(-5)
+
+
+class TestPaperBenchmarkTable:
+    def test_attribute_counts(self) -> None:
+        relation = paper_benchmark_table(2_000, num_numeric=8, num_boolean=8, seed=7)
+        assert len(relation.schema.numeric_names()) == 8
+        assert len(relation.schema.boolean_names()) == 8
+        assert relation.num_tuples == 2_000
+
+    def test_every_boolean_attribute_has_a_driving_numeric(self) -> None:
+        relation = paper_benchmark_table(20_000, num_numeric=4, num_boolean=4, seed=8)
+        for index in range(4):
+            driver = f"num_{index}"
+            objective = BooleanIs(f"bool_{index}", True)
+            low, high = np.quantile(relation.numeric_column(driver), [0.35, 0.65])
+            inside = relation.confidence(
+                NumericInRange(driver, float(low), float(high)), objective
+            )
+            overall = relation.support(objective)
+            assert inside > overall + 0.1
+
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(DatasetError):
+            paper_benchmark_table(0)
+        with pytest.raises(DatasetError):
+            paper_benchmark_table(100, num_numeric=0)
+
+
+class TestPlantedProfiles:
+    def test_counts_are_consistent(self) -> None:
+        sizes, values = planted_profile(200, seed=9)
+        assert sizes.shape == values.shape == (200,)
+        assert np.all(sizes >= 1)
+        assert np.all(values >= 0)
+        assert np.all(values <= sizes)
+
+    def test_planted_run_has_higher_confidence(self) -> None:
+        sizes, values = planted_profile(
+            300, planted_start=100, planted_end=199, seed=10,
+            inside_confidence=0.8, outside_confidence=0.1,
+        )
+        inside = values[100:200].sum() / sizes[100:200].sum()
+        outside = values[:100].sum() / sizes[:100].sum()
+        assert inside > 0.7
+        assert outside < 0.2
+
+    def test_average_profile_planted_run(self) -> None:
+        sizes, sums = planted_average_profile(
+            100, planted_start=40, planted_end=59, seed=11,
+            inside_mean=10_000.0, outside_mean=1_000.0,
+        )
+        inside_mean = sums[40:60].sum() / sizes[40:60].sum()
+        outside_mean = sums[:40].sum() / sizes[:40].sum()
+        assert inside_mean > 5 * outside_mean
+
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(DatasetError):
+            planted_profile(0)
+        with pytest.raises(DatasetError):
+            planted_profile(10, planted_start=8, planted_end=20)
+        with pytest.raises(DatasetError):
+            planted_average_profile(10, bucket_size=0)

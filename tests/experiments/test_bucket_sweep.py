@@ -1,0 +1,44 @@
+"""Tests for the bucket-count quality sweep experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import run_bucket_quality_sweep
+
+
+class TestBucketQualitySweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_bucket_quality_sweep(
+            bucket_counts=(10, 50, 200, 500), num_tuples=30_000, seed=37
+        )
+
+    def test_rows_cover_the_requested_sweep(self, result) -> None:
+        assert [row.num_buckets for row in result.rows] == [10, 50, 200, 500]
+
+    def test_shortfall_shrinks_with_more_buckets(self, result) -> None:
+        shortfalls = [row.relative_shortfall for row in result.rows]
+        assert shortfalls[-1] <= shortfalls[0] + 1e-9
+        # With hundreds of buckets the sampled approximation is within a few
+        # percent of the finest-bucket optimum.
+        assert shortfalls[-1] < 0.05
+
+    def test_shortfall_respects_bound_when_bound_is_meaningful(self, result) -> None:
+        for row in result.rows:
+            if row.bound != float("inf") and row.bound < 1.0:
+                assert row.relative_shortfall <= row.bound + 0.02
+
+    def test_exact_reference_is_constant(self, result) -> None:
+        references = {row.exact_confidence for row in result.rows}
+        assert len(references) == 1
+
+    def test_report_renders(self, result) -> None:
+        text = result.report()
+        assert "Rule quality vs number of buckets" in text
+        assert "§3.4 bound" in text
+
+    def test_empty_sweep_rejected(self) -> None:
+        with pytest.raises(ExperimentError):
+            run_bucket_quality_sweep(bucket_counts=())

@@ -1,0 +1,135 @@
+"""Tests for the figure/table reproduction drivers.
+
+These use scaled-down parameters so the whole suite stays fast; the
+full-scale runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    run_catalog_experiment,
+    run_figure1,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_table1,
+)
+
+
+class TestFigure1:
+    def test_curves_reproduce_paper_shape(self) -> None:
+        result = run_figure1(
+            bucket_counts=(5, 10, 100),
+            factors=(1, 5, 10, 20, 40),
+            simulate=True,
+            simulation_trials=500,
+            seed=0,
+        )
+        for bucket_count in result.bucket_counts:
+            curve = result.analytic[bucket_count]
+            # Sharp drop before S/M = 40 and below the 0.3%-ish level at 40
+            # (the small-M curves level off slightly above it).
+            assert curve[0] > 0.5
+            assert curve[-1] < 0.02
+            assert list(curve) == sorted(curve, reverse=True)
+
+    def test_simulation_tracks_analysis(self) -> None:
+        result = run_figure1(
+            bucket_counts=(10,), factors=(5, 40), simulate=True, simulation_trials=3000, seed=1
+        )
+        for factor_index in range(2):
+            assert result.empirical[10][factor_index] == pytest.approx(
+                result.analytic[10][factor_index], abs=0.03
+            )
+
+    def test_recommended_factor_close_to_forty(self) -> None:
+        result = run_figure1(bucket_counts=(1000,), factors=(40,), simulate=False)
+        assert 30 <= result.recommended_factors[1000] <= 60
+
+    def test_report_renders(self) -> None:
+        result = run_figure1(bucket_counts=(5,), factors=(1, 40), simulate=False)
+        text = result.report()
+        assert "Figure 1" in text
+        assert "M=5" in text
+
+
+class TestTable1:
+    def test_analytic_rows_match_paper(self) -> None:
+        result = run_table1(bucket_counts=(10, 50, 1000), num_tuples=20_000, seed=2)
+        first = result.analytic_rows[0]
+        assert first.num_buckets == 10
+        assert first.support_low == pytest.approx(0.10)
+        assert first.support_high == pytest.approx(0.50)
+        assert first.confidence_low == pytest.approx(0.42)
+        assert first.confidence_high == pytest.approx(1.0)
+
+    def test_empirical_measurements_fall_within_bounds(self) -> None:
+        result = run_table1(bucket_counts=(10, 100, 500), num_tuples=30_000, seed=3)
+        for row in result.empirical_rows:
+            assert row.support_within_bound
+            assert row.confidence_within_bound
+
+    def test_report_renders(self) -> None:
+        result = run_table1(bucket_counts=(10,), num_tuples=10_000, seed=4)
+        text = result.report()
+        assert "Table I" in text
+        assert "Empirical check" in text
+
+
+class TestFigure9:
+    def test_sampling_beats_naive_sort_and_report_renders(self) -> None:
+        result = run_figure9(sizes=(4_000, 8_000), num_buckets=100, seed=5)
+        assert len(result.sweep.points) == 2
+        largest = result.sweep.points[-1]
+        # The shape claim of Figure 9: Algorithm 3.1 is the fastest of the
+        # three methods on the largest data size.
+        assert largest.measurement("algorithm_3_1") <= largest.measurement("naive_sort")
+        text = result.report()
+        assert "Figure 9" in text
+        assert "Algorithm 3.1" in text
+
+
+class TestFigure10And11:
+    def test_figure10_speedup_and_agreement(self) -> None:
+        result = run_figure10(bucket_counts=(200, 1000), seed=6)
+        assert all(result.agreements)
+        largest = result.sweep.points[-1]
+        assert largest.measurement("hull_algorithm") < largest.measurement("naive_quadratic")
+        assert "Figure 10" in result.report()
+
+    def test_figure11_speedup_and_agreement(self) -> None:
+        result = run_figure11(bucket_counts=(200, 1000), seed=7)
+        assert all(result.agreements)
+        largest = result.sweep.points[-1]
+        assert largest.measurement("effective_index_algorithm") < largest.measurement(
+            "naive_quadratic"
+        )
+        assert "Figure 11" in result.report()
+
+    def test_naive_cutoff_skips_large_sweeps(self) -> None:
+        result = run_figure10(bucket_counts=(100, 3000), naive_cutoff=1000, seed=8)
+        assert result.sweep.points[-1].measurement("naive_quadratic") == -1.0
+        assert "skipped" in result.report()
+
+    def test_empty_sweep_rejected(self) -> None:
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_figure10(bucket_counts=())
+        with pytest.raises(ExperimentError):
+            run_figure11(bucket_counts=())
+
+
+class TestCatalogExperiment:
+    def test_small_run_produces_rules_and_report(self) -> None:
+        result = run_catalog_experiment(
+            num_tuples=3_000, num_numeric=4, num_boolean=4, num_buckets=50, seed=9
+        )
+        assert result.num_pairs == 16
+        assert len(result.catalog) > 0
+        assert result.pairs_per_second > 0
+        text = result.report()
+        assert "All-combinations" in text
+        assert "Top rules" in text

@@ -1,0 +1,82 @@
+"""Tests for the experiment harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    SweepResult,
+    format_percent,
+    format_seconds,
+    format_table,
+    geometric_sizes,
+    time_call,
+)
+
+
+class TestTimeCall:
+    def test_measures_positive_duration(self) -> None:
+        seconds = time_call(lambda: sum(range(1000)))
+        assert seconds > 0
+
+    def test_rejects_non_positive_repeats(self) -> None:
+        with pytest.raises(ExperimentError):
+            time_call(lambda: None, repeats=0)
+
+
+class TestSweepResult:
+    def test_series_and_rows(self) -> None:
+        sweep = SweepResult(name="demo", parameter_name="n")
+        sweep.add(10, fast=0.1, slow=1.0)
+        sweep.add(20, fast=0.2, slow=4.0)
+        assert sweep.series("fast") == [(10.0, 0.1), (20.0, 0.2)]
+        assert sweep.measurement_names() == ["fast", "slow"]
+        assert sweep.as_rows() == [[10.0, 0.1, 1.0], [20.0, 0.2, 4.0]]
+
+    def test_unknown_measurement_rejected(self) -> None:
+        sweep = SweepResult(name="demo", parameter_name="n")
+        sweep.add(10, fast=0.1)
+        with pytest.raises(ExperimentError):
+            sweep.points[0].measurement("missing")
+
+    def test_empty_sweep(self) -> None:
+        sweep = SweepResult(name="demo", parameter_name="n")
+        assert sweep.measurement_names() == []
+        assert sweep.as_rows() == []
+
+
+class TestGeometricSizes:
+    def test_endpoints_and_growth(self) -> None:
+        sizes = geometric_sizes(100, 10_000, 5)
+        assert sizes[0] == 100
+        assert sizes[-1] == 10_000
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_single_point(self) -> None:
+        assert geometric_sizes(100, 500, 1) == [500]
+
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(ExperimentError):
+            geometric_sizes(0, 10, 3)
+        with pytest.raises(ExperimentError):
+            geometric_sizes(10, 5, 3)
+
+
+class TestFormatting:
+    def test_format_percent(self) -> None:
+        assert format_percent(0.1234) == "12.34%"
+
+    def test_format_seconds_units(self) -> None:
+        assert format_seconds(0.5e-6).endswith("us")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(2.0).endswith("s")
+
+    def test_format_table_alignment(self) -> None:
+        table = format_table(["name", "value"], [["a", 1], ["bbbb", 22.5]], title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All data rows share the header's width.
+        assert len(lines[3]) == len(lines[1])

@@ -1,0 +1,110 @@
+"""Tests for the range-split decision tree extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import planted_range_relation
+from repro.exceptions import OptimizationError
+from repro.extensions import RangeSplitDecisionTree
+from repro.relation import Attribute, Relation, Schema
+
+
+@pytest.fixture(scope="module")
+def band_relation() -> Relation:
+    """Label true exactly when the attribute falls in the middle band.
+
+    A single threshold split cannot separate a band, but one range split can.
+    """
+    rng = np.random.default_rng(3)
+    size = 6_000
+    value = rng.uniform(0.0, 100.0, size)
+    noise = rng.uniform(0.0, 100.0, size)
+    label = (value >= 40.0) & (value <= 60.0)
+    schema = Schema.of(
+        Attribute.numeric("value"),
+        Attribute.numeric("noise"),
+        Attribute.boolean("label"),
+    )
+    return Relation.from_columns(schema, {"value": value, "noise": noise, "label": label})
+
+
+class TestConstruction:
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(OptimizationError):
+            RangeSplitDecisionTree(max_depth=-1)
+        with pytest.raises(OptimizationError):
+            RangeSplitDecisionTree(min_samples_split=1)
+        with pytest.raises(OptimizationError):
+            RangeSplitDecisionTree(num_buckets=1)
+
+    def test_unfitted_tree_has_no_root(self) -> None:
+        with pytest.raises(OptimizationError):
+            RangeSplitDecisionTree().root
+
+    def test_label_must_be_boolean(self, band_relation: Relation) -> None:
+        with pytest.raises(OptimizationError):
+            RangeSplitDecisionTree().fit(band_relation, "value")
+
+    def test_requires_numeric_attributes(self, band_relation: Relation) -> None:
+        only_label = band_relation.project(["label"])
+        with pytest.raises(OptimizationError):
+            RangeSplitDecisionTree().fit(only_label, "label")
+
+
+class TestRangeSplits:
+    def test_single_range_split_separates_band(self, band_relation: Relation) -> None:
+        tree = RangeSplitDecisionTree(max_depth=1, num_buckets=32).fit(band_relation, "label")
+        root = tree.root
+        assert not root.is_leaf
+        assert root.split.attribute == "value"
+        assert root.split.low == pytest.approx(40.0, abs=3.0)
+        assert root.split.high == pytest.approx(60.0, abs=3.0)
+        assert tree.accuracy(band_relation, "label") > 0.95
+
+    def test_guillotine_tree_needs_more_depth_for_a_band(self, band_relation: Relation) -> None:
+        range_tree = RangeSplitDecisionTree(max_depth=1, num_buckets=32).fit(
+            band_relation, "label"
+        )
+        guillotine_tree = RangeSplitDecisionTree(
+            max_depth=1, num_buckets=32, guillotine=True
+        ).fit(band_relation, "label")
+        # With depth 1, a point split cannot isolate the middle band.
+        assert range_tree.accuracy(band_relation, "label") > guillotine_tree.accuracy(
+            band_relation, "label"
+        )
+
+    def test_pure_node_becomes_leaf(self) -> None:
+        rng = np.random.default_rng(0)
+        schema = Schema.of(Attribute.numeric("x"), Attribute.boolean("y"))
+        relation = Relation.from_columns(
+            schema, {"x": rng.uniform(size=100), "y": [True] * 100}
+        )
+        tree = RangeSplitDecisionTree(max_depth=3).fit(relation, "y")
+        assert tree.root.is_leaf
+        assert tree.root.prediction is True
+
+    def test_max_depth_zero_gives_majority_classifier(self, band_relation: Relation) -> None:
+        tree = RangeSplitDecisionTree(max_depth=0).fit(band_relation, "label")
+        assert tree.root.is_leaf
+        predictions = tree.predict(band_relation)
+        assert np.all(predictions == tree.root.prediction)
+
+    def test_describe_mentions_split(self, band_relation: Relation) -> None:
+        tree = RangeSplitDecisionTree(max_depth=1, num_buckets=16).fit(band_relation, "label")
+        text = tree.describe()
+        assert "split on value" in text
+        assert "predict" in text
+
+    def test_node_count_and_depth_limits(self, band_relation: Relation) -> None:
+        tree = RangeSplitDecisionTree(max_depth=2, num_buckets=16).fit(band_relation, "label")
+        assert tree.root.count_nodes() <= 7
+
+    def test_explicit_attribute_restriction(self, band_relation: Relation) -> None:
+        tree = RangeSplitDecisionTree(max_depth=1, num_buckets=16).fit(
+            band_relation, "label", attributes=["noise"]
+        )
+        # The noise attribute carries no signal, so accuracy stays near the
+        # majority rate (about 80% of tuples are outside the band).
+        assert tree.accuracy(band_relation, "label") < 0.85

@@ -1,0 +1,130 @@
+"""Tests for the interval classifier (IC k-decomposition baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizedRuleMiner
+from repro.bucketing import SortingEquiDepthBucketizer
+from repro.datasets import planted_range_relation
+from repro.exceptions import OptimizationError
+from repro.extensions import IntervalClassifier
+from repro.relation import Attribute, Relation, Schema
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return planted_range_relation(
+        20_000, low=40.0, high=60.0, inside_probability=0.9, outside_probability=0.05, seed=55
+    )
+
+
+class TestConstruction:
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(OptimizationError):
+            IntervalClassifier(max_intervals=0)
+        with pytest.raises(OptimizationError):
+            IntervalClassifier(max_intervals=10, num_buckets=5)
+
+    def test_unfitted_classifier_rejected(self, planted) -> None:
+        relation, _ = planted
+        classifier = IntervalClassifier()
+        with pytest.raises(OptimizationError):
+            classifier.intervals
+        with pytest.raises(OptimizationError):
+            classifier.predict(relation)
+
+    def test_label_must_be_boolean(self, planted) -> None:
+        relation, _ = planted
+        with pytest.raises(OptimizationError):
+            IntervalClassifier().fit(relation, "value", "value")
+
+    def test_empty_relation_rejected(self) -> None:
+        schema = Schema.of(Attribute.numeric("x"), Attribute.boolean("y"))
+        with pytest.raises(OptimizationError):
+            IntervalClassifier().fit(Relation.empty(schema), "x", "y")
+
+
+class TestDecomposition:
+    def test_three_intervals_recover_planted_band(self, planted) -> None:
+        relation, truth = planted
+        classifier = IntervalClassifier(max_intervals=3, num_buckets=64).fit(
+            relation, "value", "target"
+        )
+        intervals = classifier.intervals
+        assert len(intervals) == 3
+        middle = intervals[1]
+        assert middle.prediction is True
+        assert middle.low == pytest.approx(truth.low, abs=2.0)
+        assert middle.high == pytest.approx(truth.high, abs=2.0)
+        assert intervals[0].prediction is False and intervals[2].prediction is False
+
+    def test_accuracy_beats_majority_baseline(self, planted) -> None:
+        relation, _ = planted
+        classifier = IntervalClassifier(max_intervals=3, num_buckets=64).fit(
+            relation, "value", "target"
+        )
+        labels = np.asarray(relation.boolean_column("target"))
+        majority_accuracy = max(labels.mean(), 1 - labels.mean())
+        assert classifier.accuracy(relation, "target") > majority_accuracy + 0.1
+
+    def test_single_interval_is_majority_classifier(self, planted) -> None:
+        relation, _ = planted
+        classifier = IntervalClassifier(max_intervals=1, num_buckets=32).fit(
+            relation, "value", "target"
+        )
+        assert len(classifier.intervals) == 1
+        labels = np.asarray(relation.boolean_column("target"))
+        assert classifier.accuracy(relation, "target") == pytest.approx(
+            max(labels.mean(), 1 - labels.mean()), abs=1e-9
+        )
+
+    def test_more_intervals_never_hurt_training_error(self, planted) -> None:
+        relation, _ = planted
+        accuracies = [
+            IntervalClassifier(max_intervals=k, num_buckets=48)
+            .fit(relation, "value", "target")
+            .accuracy(relation, "target")
+            for k in (1, 2, 3, 5)
+        ]
+        assert all(later >= earlier - 1e-9 for earlier, later in zip(accuracies, accuracies[1:]))
+
+    def test_intervals_cover_domain_in_order(self, planted) -> None:
+        relation, _ = planted
+        classifier = IntervalClassifier(max_intervals=4, num_buckets=32).fit(
+            relation, "value", "target"
+        )
+        intervals = classifier.intervals
+        lows = [interval.low for interval in intervals]
+        assert lows == sorted(lows)
+        values = relation.numeric_column("value")
+        assert intervals[0].low == pytest.approx(values.min())
+        assert intervals[-1].high == pytest.approx(values.max())
+        assert sum(interval.num_tuples for interval in intervals) == relation.num_tuples
+
+    def test_describe_lists_intervals(self, planted) -> None:
+        relation, _ = planted
+        classifier = IntervalClassifier(max_intervals=3).fit(relation, "value", "target")
+        text = classifier.describe()
+        assert text.count("->") == len(classifier.intervals)
+
+
+class TestContrastWithOptimizedRules:
+    def test_middle_interval_matches_optimized_confidence_range(self, planted) -> None:
+        # The IC baseline labels the whole domain; the optimized-confidence
+        # rule isolates the interesting range directly.  On planted data the
+        # two views agree about where that range is.
+        relation, truth = planted
+        classifier = IntervalClassifier(max_intervals=3, num_buckets=64).fit(
+            relation, "value", "target"
+        )
+        middle = classifier.intervals[1]
+        miner = OptimizedRuleMiner(
+            relation, num_buckets=64, bucketizer=SortingEquiDepthBucketizer()
+        )
+        # Ask for (nearly) the planted support so the optimizer returns the
+        # full band rather than its densest sub-window.
+        rule = miner.optimized_confidence_rule("value", "target", min_support=0.19)
+        assert rule.low == pytest.approx(middle.low, abs=3.0)
+        assert rule.high == pytest.approx(middle.high, abs=3.0)

@@ -1,0 +1,141 @@
+"""Tests for the two-dimensional rectangle extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bucketing import SortingEquiDepthBucketizer
+from repro.core import RuleKind
+from repro.exceptions import OptimizationError
+from repro.extensions import GridProfile, optimized_rectangle
+from repro.relation import Attribute, BooleanIs, Relation, Schema
+
+
+@pytest.fixture(scope="module")
+def planted_2d_relation() -> Relation:
+    """Objective likely only inside the square [30,60] x [40,70]."""
+    rng = np.random.default_rng(11)
+    size = 40_000
+    x = rng.uniform(0.0, 100.0, size)
+    y = rng.uniform(0.0, 100.0, size)
+    inside = (x >= 30.0) & (x <= 60.0) & (y >= 40.0) & (y <= 70.0)
+    target = rng.random(size) < np.where(inside, 0.85, 0.05)
+    schema = Schema.of(
+        Attribute.numeric("age"),
+        Attribute.numeric("balance"),
+        Attribute.boolean("card_loan"),
+    )
+    return Relation.from_columns(schema, {"age": x, "balance": y, "card_loan": target})
+
+
+class TestGridProfile:
+    def test_counts_cover_every_tuple(self, planted_2d_relation: Relation) -> None:
+        bucketizer = SortingEquiDepthBucketizer()
+        rows = bucketizer.build(planted_2d_relation.numeric_column("age"), 10)
+        columns = bucketizer.build(planted_2d_relation.numeric_column("balance"), 12)
+        profile = GridProfile.from_relation(
+            planted_2d_relation, "age", "balance", BooleanIs("card_loan"), rows, columns
+        )
+        assert profile.shape == (10, 12)
+        assert profile.sizes.sum() == planted_2d_relation.num_tuples
+        assert np.all(profile.values <= profile.sizes)
+
+
+class TestOptimizedRectangle:
+    def test_confidence_rectangle_recovers_planted_square(
+        self, planted_2d_relation: Relation
+    ) -> None:
+        rule = optimized_rectangle(
+            planted_2d_relation,
+            "age",
+            "balance",
+            BooleanIs("card_loan"),
+            kind=RuleKind.OPTIMIZED_CONFIDENCE,
+            min_support=0.05,
+            grid=(20, 20),
+        )
+        assert rule is not None
+        assert rule.support >= 0.05
+        assert rule.confidence > 0.6
+        # The mined rectangle must essentially sit inside the planted square.
+        assert rule.row_low >= 25.0 and rule.row_high <= 65.0
+        assert rule.column_low >= 35.0 and rule.column_high <= 75.0
+
+    def test_support_rectangle_contains_planted_square(
+        self, planted_2d_relation: Relation
+    ) -> None:
+        rule = optimized_rectangle(
+            planted_2d_relation,
+            "age",
+            "balance",
+            BooleanIs("card_loan"),
+            kind=RuleKind.OPTIMIZED_SUPPORT,
+            min_confidence=0.7,
+            grid=(20, 20),
+        )
+        assert rule is not None
+        assert rule.confidence >= 0.7
+        # The planted square holds 9% of the tuples; the optimized-support
+        # rectangle must capture most of it.
+        assert rule.support > 0.05
+
+    def test_region_condition_counts_match_reported_measures(
+        self, planted_2d_relation: Relation
+    ) -> None:
+        rule = optimized_rectangle(
+            planted_2d_relation,
+            "age",
+            "balance",
+            BooleanIs("card_loan"),
+            min_support=0.05,
+            grid=(15, 15),
+        )
+        region = rule.region_condition()
+        measured_support = planted_2d_relation.support(region)
+        measured_confidence = planted_2d_relation.confidence(region, BooleanIs("card_loan"))
+        assert measured_support == pytest.approx(rule.support, abs=0.02)
+        assert measured_confidence == pytest.approx(rule.confidence, abs=0.05)
+
+    def test_infeasible_thresholds_return_none(self, planted_2d_relation: Relation) -> None:
+        rule = optimized_rectangle(
+            planted_2d_relation,
+            "age",
+            "balance",
+            BooleanIs("card_loan"),
+            kind=RuleKind.OPTIMIZED_SUPPORT,
+            min_confidence=0.999,
+            grid=(10, 10),
+        )
+        assert rule is None
+
+    def test_invalid_parameters_rejected(self, planted_2d_relation: Relation) -> None:
+        with pytest.raises(OptimizationError):
+            optimized_rectangle(
+                planted_2d_relation,
+                "age",
+                "balance",
+                BooleanIs("card_loan"),
+                grid=(0, 10),
+            )
+        with pytest.raises(OptimizationError):
+            optimized_rectangle(
+                planted_2d_relation,
+                "age",
+                "balance",
+                BooleanIs("card_loan"),
+                kind=RuleKind.MAXIMUM_AVERAGE,
+                grid=(5, 5),
+            )
+
+    def test_rendering(self, planted_2d_relation: Relation) -> None:
+        rule = optimized_rectangle(
+            planted_2d_relation,
+            "age",
+            "balance",
+            BooleanIs("card_loan"),
+            min_support=0.05,
+            grid=(10, 10),
+        )
+        text = str(rule)
+        assert "(age in [" in text and "(balance in [" in text

@@ -1,0 +1,89 @@
+"""Tests for the Algorithm 4.1 suffix-hull maintainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.geometry import Point, SuffixHullMaintainer, upper_hull
+
+
+def _cumulative_points(rng: np.random.Generator, count: int) -> list[Point]:
+    """Random cumulative points with strictly increasing x (like the Q_k)."""
+    steps_x = rng.integers(1, 10, size=count)
+    steps_y = rng.integers(-5, 10, size=count)
+    xs = np.concatenate(([0], np.cumsum(steps_x)))
+    ys = np.concatenate(([0], np.cumsum(steps_y)))
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+class TestSuffixHullMaintainer:
+    def test_rejects_non_increasing_x(self) -> None:
+        with pytest.raises(OptimizationError):
+            SuffixHullMaintainer([Point(0, 0), Point(0, 1)])
+
+    def test_rejects_empty_input(self) -> None:
+        with pytest.raises(OptimizationError):
+            SuffixHullMaintainer([])
+
+    def test_initial_hull_is_full_upper_hull(self, rng: np.random.Generator) -> None:
+        points = _cumulative_points(rng, 30)
+        maintainer = SuffixHullMaintainer(points)
+        assert maintainer.start == 0
+        assert maintainer.hull_points() == upper_hull(points)
+
+    def test_every_suffix_hull_matches_reference(self, rng: np.random.Generator) -> None:
+        # The heart of Algorithm 4.1: after advancing to suffix j, the stack
+        # must hold exactly the upper hull of {Q_j, ..., Q_M}.
+        points = _cumulative_points(rng, 40)
+        maintainer = SuffixHullMaintainer(points)
+        for start in range(len(points)):
+            maintainer.advance_to(start)
+            assert maintainer.hull_points() == upper_hull(points[start:]), f"suffix {start}"
+
+    def test_stack_order_is_leftmost_on_top(self, rng: np.random.Generator) -> None:
+        points = _cumulative_points(rng, 25)
+        maintainer = SuffixHullMaintainer(points)
+        maintainer.advance_to(5)
+        stack = maintainer.stack
+        assert stack[-1] == 5  # leftmost point of the suffix is always on the hull
+        xs = [points[index].x for index in stack]
+        assert xs == sorted(xs, reverse=True)
+
+    def test_advance_past_end_raises(self) -> None:
+        points = [Point(0, 0), Point(1, 1)]
+        maintainer = SuffixHullMaintainer(points)
+        maintainer.advance()
+        maintainer.advance()
+        assert maintainer.exhausted
+        with pytest.raises(OptimizationError):
+            maintainer.advance()
+
+    def test_cannot_rewind(self) -> None:
+        points = [Point(0, 0), Point(1, 1), Point(2, 0)]
+        maintainer = SuffixHullMaintainer(points)
+        maintainer.advance_to(2)
+        with pytest.raises(OptimizationError):
+            maintainer.advance_to(1)
+
+    def test_single_point(self) -> None:
+        maintainer = SuffixHullMaintainer([Point(3.0, 4.0)])
+        assert maintainer.hull_points() == [Point(3.0, 4.0)]
+        assert maintainer.point(0) == Point(3.0, 4.0)
+
+    def test_collinear_points(self) -> None:
+        points = [Point(float(i), float(2 * i)) for i in range(6)]
+        maintainer = SuffixHullMaintainer(points)
+        # Collinear interior points are not hull vertices.
+        assert maintainer.hull_points() == [points[0], points[-1]]
+        maintainer.advance_to(3)
+        assert maintainer.hull_points() == [points[3], points[-1]]
+
+    def test_amortized_work_is_linear(self, rng: np.random.Generator) -> None:
+        # Every point is pushed back from a branch at most once over the whole
+        # restoration sweep; verify by counting branch sizes.
+        points = _cumulative_points(rng, 200)
+        maintainer = SuffixHullMaintainer(points)
+        total_branch_nodes = sum(len(branch) for branch in maintainer._branches)
+        assert total_branch_nodes <= len(points)

@@ -1,0 +1,88 @@
+"""Property-based tests for the geometric machinery behind Algorithm 4.2."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (
+    Point,
+    SuffixHullMaintainer,
+    clockwise_tangent,
+    counterclockwise_tangent,
+    upper_hull,
+)
+
+
+@st.composite
+def cumulative_points(draw, max_points: int = 40):
+    """Point sequences shaped like the solver's cumulative count points.
+
+    x strictly increasing (every bucket holds at least one tuple), y formed
+    by arbitrary integer steps so the hulls take many different shapes.
+    """
+    count = draw(st.integers(min_value=1, max_value=max_points))
+    x_steps = draw(
+        st.lists(st.integers(min_value=1, max_value=9), min_size=count, max_size=count)
+    )
+    y_steps = draw(
+        st.lists(st.integers(min_value=-9, max_value=9), min_size=count, max_size=count)
+    )
+    xs = np.concatenate(([0], np.cumsum(x_steps)))
+    ys = np.concatenate(([0], np.cumsum(y_steps)))
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+class TestSuffixHullProperties:
+    @given(points=cumulative_points())
+    @settings(max_examples=100, deadline=None)
+    def test_every_suffix_matches_static_hull(self, points) -> None:
+        maintainer = SuffixHullMaintainer(points)
+        for start in range(len(points)):
+            maintainer.advance_to(start)
+            assert maintainer.hull_points() == upper_hull(points[start:])
+
+    @given(points=cumulative_points())
+    @settings(max_examples=100, deadline=None)
+    def test_hull_dominates_every_suffix_point(self, points) -> None:
+        # Every point of the suffix lies on or below the maintained upper hull.
+        maintainer = SuffixHullMaintainer(points)
+        midpoint = len(points) // 2
+        maintainer.advance_to(midpoint)
+        hull = maintainer.hull_points()
+        for point in points[midpoint:]:
+            for first, second in zip(hull, hull[1:]):
+                if first.x <= point.x <= second.x:
+                    # Cross product >= 0 would put the point above the edge.
+                    cross = (second.x - first.x) * (point.y - first.y) - (
+                        second.y - first.y
+                    ) * (point.x - first.x)
+                    assert cross <= 1e-9
+
+
+class TestTangentProperties:
+    @given(points=cumulative_points(), data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_tangent_finds_global_maximum_slope(self, points, data) -> None:
+        if len(points) < 2:
+            return
+        query = data.draw(st.integers(min_value=0, max_value=len(points) - 2))
+        suffix_start = data.draw(
+            st.integers(min_value=query + 1, max_value=len(points) - 1)
+        )
+        maintainer = SuffixHullMaintainer(points)
+        maintainer.advance_to(suffix_start)
+
+        result = clockwise_tangent(points, maintainer.stack, query)
+        query_point = points[query]
+
+        def slope(index: int) -> float:
+            other = points[index]
+            return (other.y - query_point.y) / (other.x - query_point.x)
+
+        best_slope = max(slope(index) for index in range(suffix_start, len(points)))
+        assert slope(result.point_index) >= best_slope - 1e-12
+
+        # The counterclockwise search from the rightmost vertex agrees.
+        ccw = counterclockwise_tangent(points, maintainer.stack, query, 0)
+        assert abs(slope(ccw.point_index) - slope(result.point_index)) <= 1e-12

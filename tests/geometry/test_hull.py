@@ -1,0 +1,84 @@
+"""Tests for the static monotone-chain convex hulls."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, convex_hull, cross, lower_hull, upper_hull
+
+
+def _random_points(rng: np.random.Generator, count: int) -> list[Point]:
+    coordinates = rng.integers(-50, 50, size=(count, 2))
+    return [Point(float(x), float(y)) for x, y in coordinates]
+
+
+class TestUpperHull:
+    def test_simple_triangle(self) -> None:
+        points = [Point(0, 0), Point(2, 0), Point(1, 1)]
+        assert upper_hull(points) == [Point(0, 0), Point(1, 1), Point(2, 0)]
+
+    def test_collinear_points_dropped(self) -> None:
+        points = [Point(0, 0), Point(1, 1), Point(2, 2), Point(3, 3)]
+        assert upper_hull(points) == [Point(0, 0), Point(3, 3)]
+
+    def test_two_points(self) -> None:
+        points = [Point(0, 0), Point(1, 5)]
+        assert upper_hull(points) == points
+
+    def test_duplicates_removed(self) -> None:
+        points = [Point(0, 0), Point(0, 0), Point(1, 1)]
+        assert upper_hull(points) == [Point(0, 0), Point(1, 1)]
+
+    def test_all_points_below_hull(self, rng: np.random.Generator) -> None:
+        points = _random_points(rng, 200)
+        hull = upper_hull(points)
+        # Every input point lies on or below every hull edge.
+        for first, second in zip(hull, hull[1:]):
+            for point in points:
+                if first.x <= point.x <= second.x:
+                    assert cross(first, second, point) <= 1e-9
+
+
+class TestLowerHull:
+    def test_mirror_of_upper_hull(self, rng: np.random.Generator) -> None:
+        points = _random_points(rng, 100)
+        mirrored = [Point(p.x, -p.y) for p in points]
+        upper = upper_hull(points)
+        lower_of_mirror = lower_hull(mirrored)
+        assert [Point(p.x, -p.y) for p in lower_of_mirror] == upper
+
+
+class TestConvexHull:
+    def test_square_with_interior_point(self) -> None:
+        points = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2), Point(1, 1)]
+        hull = convex_hull(points)
+        assert set(hull) == {Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)}
+        assert len(hull) == 4
+
+    def test_counterclockwise_orientation(self, rng: np.random.Generator) -> None:
+        points = _random_points(rng, 100)
+        hull = convex_hull(points)
+        if len(hull) >= 3:
+            area_twice = sum(
+                hull[i].x * hull[(i + 1) % len(hull)].y
+                - hull[(i + 1) % len(hull)].x * hull[i].y
+                for i in range(len(hull))
+            )
+            assert area_twice > 0
+
+    def test_small_inputs(self) -> None:
+        assert convex_hull([]) == []
+        assert convex_hull([Point(1, 1)]) == [Point(1, 1)]
+        assert convex_hull([Point(1, 1), Point(2, 2)]) == [Point(1, 1), Point(2, 2)]
+
+    @pytest.mark.parametrize("count", [3, 10, 50])
+    def test_hull_contains_extreme_points(self, rng: np.random.Generator, count: int) -> None:
+        points = _random_points(rng, count)
+        hull = convex_hull(points)
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        hull_xs = [p.x for p in hull]
+        hull_ys = [p.y for p in hull]
+        assert min(xs) in hull_xs and max(xs) in hull_xs
+        assert min(ys) in hull_ys and max(ys) in hull_ys

@@ -1,0 +1,72 @@
+"""Tests for points and exact slope / orientation comparisons."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import Point, compare_slopes, cross, orientation, point_above_line
+
+
+class TestPoint:
+    def test_iteration_and_translation(self) -> None:
+        point = Point(1.0, 2.0)
+        assert tuple(point) == (1.0, 2.0)
+        assert point.translated(2.0, -1.0) == Point(3.0, 1.0)
+
+    def test_slope_to(self) -> None:
+        assert Point(0.0, 0.0).slope_to(Point(2.0, 1.0)) == pytest.approx(0.5)
+
+    def test_slope_to_vertical(self) -> None:
+        assert Point(0.0, 0.0).slope_to(Point(0.0, 3.0)) == float("inf")
+        assert Point(0.0, 0.0).slope_to(Point(0.0, -3.0)) == float("-inf")
+
+    def test_slope_to_self_is_nan(self) -> None:
+        assert math.isnan(Point(1.0, 1.0).slope_to(Point(1.0, 1.0)))
+
+
+class TestOrientation:
+    def test_left_turn(self) -> None:
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) == 1
+
+    def test_right_turn(self) -> None:
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, -1)) == -1
+
+    def test_collinear(self) -> None:
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    def test_cross_sign_matches_orientation(self) -> None:
+        assert cross(Point(0, 0), Point(1, 0), Point(0, 1)) > 0
+        assert cross(Point(0, 0), Point(0, 1), Point(1, 0)) < 0
+
+
+class TestCompareSlopes:
+    def test_greater_less_equal(self) -> None:
+        origin = Point(0.0, 0.0)
+        steep = Point(1.0, 2.0)
+        shallow = Point(2.0, 1.0)
+        parallel = Point(2.0, 4.0)
+        assert compare_slopes(origin, steep, shallow) == 1
+        assert compare_slopes(origin, shallow, steep) == -1
+        assert compare_slopes(origin, steep, parallel) == 0
+
+    def test_exact_for_integer_coordinates(self) -> None:
+        # 1/3 versus 333333/1000000: the cross-product comparison is exact
+        # for integer-valued inputs where naive float slope division could tie.
+        origin = Point(0.0, 0.0)
+        first = Point(3.0, 1.0)
+        second = Point(1_000_000.0, 333_333.0)
+        assert compare_slopes(origin, first, second) == 1
+
+    def test_negative_slopes(self) -> None:
+        origin = Point(0.0, 0.0)
+        assert compare_slopes(origin, Point(1.0, -1.0), Point(1.0, -2.0)) == 1
+
+
+class TestPointAboveLine:
+    def test_above_on_and_below(self) -> None:
+        anchor, through = Point(0.0, 0.0), Point(2.0, 2.0)
+        assert point_above_line(Point(1.0, 1.5), anchor, through)
+        assert point_above_line(Point(1.0, 1.0), anchor, through)
+        assert not point_above_line(Point(1.0, 0.5), anchor, through)

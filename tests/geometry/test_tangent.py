@@ -1,0 +1,93 @@
+"""Tests for the tangent searches used by Algorithm 4.2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.geometry import (
+    Point,
+    SuffixHullMaintainer,
+    clockwise_tangent,
+    counterclockwise_tangent,
+)
+
+
+def _cumulative_points(rng: np.random.Generator, count: int) -> list[Point]:
+    steps_x = rng.integers(1, 6, size=count)
+    steps_y = rng.integers(-4, 8, size=count)
+    xs = np.concatenate(([0], np.cumsum(steps_x)))
+    ys = np.concatenate(([0], np.cumsum(steps_y)))
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+class TestClockwiseTangent:
+    def test_empty_hull_rejected(self) -> None:
+        with pytest.raises(OptimizationError):
+            clockwise_tangent([Point(0, 0)], [], 0)
+
+    def test_finds_maximum_slope_vertex(self, rng: np.random.Generator) -> None:
+        for _ in range(30):
+            points = _cumulative_points(rng, 20)
+            maintainer = SuffixHullMaintainer(points)
+            maintainer.advance_to(3)
+            stack = maintainer.stack
+            result = clockwise_tangent(points, stack, 0)
+            query = points[0]
+            best_slope = max(
+                (points[index].y - query.y) / (points[index].x - query.x)
+                for index in range(3, len(points))
+            )
+            found_slope = (points[result.point_index].y - query.y) / (
+                points[result.point_index].x - query.x
+            )
+            assert found_slope == pytest.approx(best_slope)
+
+    def test_stack_position_points_at_result(self, rng: np.random.Generator) -> None:
+        points = _cumulative_points(rng, 15)
+        maintainer = SuffixHullMaintainer(points)
+        maintainer.advance_to(2)
+        result = clockwise_tangent(points, maintainer.stack, 0)
+        assert maintainer.stack[result.stack_position] == result.point_index
+
+    def test_tie_broken_towards_larger_x(self) -> None:
+        # Query collinear with two hull vertices: the farther one must win.
+        points = [Point(0, 0), Point(1, 1), Point(2, 2), Point(3, 1)]
+        maintainer = SuffixHullMaintainer(points)
+        maintainer.advance_to(1)
+        result = clockwise_tangent(points, maintainer.stack, 0)
+        assert result.point_index == 2
+
+
+class TestCounterclockwiseTangent:
+    def test_agrees_with_clockwise_search(self, rng: np.random.Generator) -> None:
+        # Starting from the hull's rightmost vertex, the counterclockwise scan
+        # must find the same maximum-slope vertex as the clockwise scan.
+        for _ in range(30):
+            points = _cumulative_points(rng, 20)
+            maintainer = SuffixHullMaintainer(points)
+            maintainer.advance_to(4)
+            stack = maintainer.stack
+            query = 1
+            clockwise = clockwise_tangent(points, stack, query)
+            counterclockwise = counterclockwise_tangent(points, stack, query, 0)
+            query_point = points[query]
+
+            def slope(index: int) -> float:
+                return (points[index].y - query_point.y) / (points[index].x - query_point.x)
+
+            assert slope(counterclockwise.point_index) == pytest.approx(
+                slope(clockwise.point_index)
+            )
+
+    def test_invalid_start_position(self) -> None:
+        points = [Point(0, 0), Point(1, 1), Point(2, 0)]
+        maintainer = SuffixHullMaintainer(points)
+        maintainer.advance_to(1)
+        with pytest.raises(OptimizationError):
+            counterclockwise_tangent(points, maintainer.stack, 0, 10)
+
+    def test_empty_hull_rejected(self) -> None:
+        with pytest.raises(OptimizationError):
+            counterclockwise_tangent([Point(0, 0)], [], 0, 0)

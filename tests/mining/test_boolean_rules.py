@@ -1,0 +1,70 @@
+"""Tests for Boolean association-rule generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.mining import frequent_itemsets, generate_rules, mine_boolean_rules
+from repro.relation import Attribute, Relation, Schema
+
+
+@pytest.fixture()
+def basket_relation() -> Relation:
+    schema = Schema.of(
+        Attribute.boolean("pizza"),
+        Attribute.boolean("coke"),
+        Attribute.boolean("potato"),
+    )
+    return Relation.from_columns(
+        schema,
+        {
+            "pizza": [True, True, True, False, True, False, True, True],
+            "coke": [True, True, True, True, False, True, True, True],
+            "potato": [True, False, True, True, False, False, True, True],
+        },
+    )
+
+
+class TestGenerateRules:
+    def test_rule_measures_match_definitions(self, basket_relation: Relation) -> None:
+        itemsets = frequent_itemsets(basket_relation, min_support=0.3)
+        rules = generate_rules(itemsets, min_confidence=0.5)
+        for rule in rules:
+            antecedent_support = basket_relation.support(rule.antecedent_condition())
+            both_support = basket_relation.support(
+                rule.antecedent_condition() & rule.consequent_condition()
+            )
+            assert rule.support == pytest.approx(both_support)
+            assert rule.confidence == pytest.approx(both_support / antecedent_support)
+            assert rule.confidence >= 0.5
+
+    def test_known_rule_present(self, basket_relation: Relation) -> None:
+        rules = mine_boolean_rules(basket_relation, min_support=0.4, min_confidence=0.7)
+        as_text = [str(rule) for rule in rules]
+        assert any("(potato = yes) => (pizza = yes)" in text for text in as_text)
+
+    def test_confidence_threshold_filters(self, basket_relation: Relation) -> None:
+        lax = mine_boolean_rules(basket_relation, min_support=0.3, min_confidence=0.3)
+        strict = mine_boolean_rules(basket_relation, min_support=0.3, min_confidence=0.9)
+        assert len(strict) <= len(lax)
+
+    def test_rules_sorted_by_confidence(self, basket_relation: Relation) -> None:
+        rules = mine_boolean_rules(basket_relation, min_support=0.3, min_confidence=0.3)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_lift_computed_against_consequent_base_rate(self, basket_relation: Relation) -> None:
+        rules = mine_boolean_rules(basket_relation, min_support=0.3, min_confidence=0.3)
+        for rule in rules:
+            base_rate = basket_relation.support(rule.consequent_condition())
+            assert rule.lift == pytest.approx(rule.confidence / base_rate)
+
+    def test_invalid_confidence_rejected(self, basket_relation: Relation) -> None:
+        itemsets = frequent_itemsets(basket_relation, min_support=0.3)
+        with pytest.raises(OptimizationError):
+            generate_rules(itemsets, min_confidence=0.0)
+
+    def test_no_rules_from_singleton_itemsets(self, basket_relation: Relation) -> None:
+        itemsets = frequent_itemsets(basket_relation, min_support=0.3, max_size=1)
+        assert generate_rules(itemsets, min_confidence=0.1) == []

@@ -1,0 +1,98 @@
+"""Tests for the all-combinations rule catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bucketing import SortingEquiDepthBucketizer
+from repro.core import RuleKind
+from repro.datasets import paper_benchmark_table
+from repro.exceptions import OptimizationError
+from repro.mining import mine_rule_catalog
+from repro.relation import Relation
+
+
+@pytest.fixture(scope="module")
+def wide_relation() -> Relation:
+    return paper_benchmark_table(4_000, num_numeric=4, num_boolean=3, seed=9)
+
+
+@pytest.fixture(scope="module")
+def catalog(wide_relation: Relation):
+    return mine_rule_catalog(
+        wide_relation,
+        min_support=0.10,
+        min_confidence=0.30,
+        num_buckets=50,
+        bucketizer=SortingEquiDepthBucketizer(),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestMineRuleCatalog:
+    def test_covers_every_pair(self, catalog) -> None:
+        assert catalog.num_pairs == 4 * 3
+
+    def test_contains_both_rule_kinds(self, catalog) -> None:
+        kinds = {entry.rule.kind for entry in catalog.entries}
+        assert RuleKind.OPTIMIZED_CONFIDENCE in kinds
+        assert RuleKind.OPTIMIZED_SUPPORT in kinds
+
+    def test_thresholds_respected(self, catalog) -> None:
+        for entry in catalog.entries:
+            if entry.rule.kind is RuleKind.OPTIMIZED_CONFIDENCE:
+                assert entry.rule.support >= 0.10 - 1e-9
+            else:
+                assert entry.rule.confidence >= 0.30 - 1e-9
+
+    def test_planted_correlations_surface_with_high_lift(self, catalog) -> None:
+        # Every Boolean attribute of the benchmark table is driven by one
+        # numeric attribute through a planted range, so the top-lift rules
+        # must show a clear improvement over the base rate.
+        top = catalog.top(5, by="lift")
+        assert top[0].lift > 1.5
+
+    def test_top_ranking_measures(self, catalog) -> None:
+        by_confidence = catalog.top(3, by="confidence")
+        confidences = [entry.rule.confidence for entry in by_confidence]
+        assert confidences == sorted(confidences, reverse=True)
+        by_support = catalog.top(3, by="support")
+        supports = [entry.rule.support for entry in by_support]
+        assert supports == sorted(supports, reverse=True)
+        with pytest.raises(OptimizationError):
+            catalog.top(3, by="nonsense")
+
+    def test_for_objective_filter(self, catalog, wide_relation: Relation) -> None:
+        name = wide_relation.schema.boolean_names()[0]
+        subset = catalog.for_objective(name)
+        assert subset
+        assert all(name in entry.rule.objective.attribute_names() for entry in subset)
+
+    def test_entry_rows_are_flat_dictionaries(self, catalog) -> None:
+        row = catalog.entries[0].as_row()
+        assert {"attribute", "objective", "kind", "support", "confidence", "lift"} <= set(row)
+
+    def test_single_kind_catalog(self, wide_relation: Relation) -> None:
+        only_confidence = mine_rule_catalog(
+            wide_relation,
+            num_buckets=30,
+            kinds=(RuleKind.OPTIMIZED_CONFIDENCE,),
+            bucketizer=SortingEquiDepthBucketizer(),
+        )
+        assert all(
+            entry.rule.kind is RuleKind.OPTIMIZED_CONFIDENCE for entry in only_confidence.entries
+        )
+
+    def test_restricted_attribute_universe(self, wide_relation: Relation) -> None:
+        numeric = wide_relation.schema.numeric_names()[:1]
+        boolean = wide_relation.schema.boolean_names()[:1]
+        catalog = mine_rule_catalog(
+            wide_relation,
+            numeric_attributes=numeric,
+            boolean_attributes=boolean,
+            num_buckets=30,
+            bucketizer=SortingEquiDepthBucketizer(),
+        )
+        assert catalog.num_pairs == 1
+        assert all(entry.rule.attribute == numeric[0] for entry in catalog.entries)

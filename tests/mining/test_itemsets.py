@@ -1,0 +1,99 @@
+"""Tests for Apriori frequent itemset mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.mining import frequent_itemsets, itemset_support
+from repro.relation import Attribute, Relation, Schema
+
+
+@pytest.fixture()
+def basket_relation() -> Relation:
+    """A classic basket relation (pizza / coke / potato / beer).
+
+    Transactions:
+        1: pizza, coke, potato
+        2: pizza, coke
+        3: pizza, coke, potato
+        4: coke, potato
+        5: pizza, beer
+        6: coke
+    """
+    schema = Schema.of(
+        Attribute.boolean("pizza"),
+        Attribute.boolean("coke"),
+        Attribute.boolean("potato"),
+        Attribute.boolean("beer"),
+    )
+    return Relation.from_columns(
+        schema,
+        {
+            "pizza": [True, True, True, False, True, False],
+            "coke": [True, True, True, True, False, True],
+            "potato": [True, False, True, True, False, False],
+            "beer": [False, False, False, False, True, False],
+        },
+    )
+
+
+class TestItemsetSupport:
+    def test_empty_itemset_has_full_support(self, basket_relation: Relation) -> None:
+        assert itemset_support(basket_relation, frozenset()) == 1.0
+
+    def test_pair_support(self, basket_relation: Relation) -> None:
+        assert itemset_support(basket_relation, {"pizza", "coke"}) == pytest.approx(0.5)
+
+
+class TestFrequentItemsets:
+    def test_level_one_counts(self, basket_relation: Relation) -> None:
+        itemsets = frequent_itemsets(basket_relation, min_support=0.5)
+        singles = {tuple(i.sorted_items()): i.count for i in itemsets if i.size == 1}
+        assert singles == {("pizza",): 4, ("coke",): 5, ("potato",): 3}
+
+    def test_pairs_and_apriori_pruning(self, basket_relation: Relation) -> None:
+        itemsets = frequent_itemsets(basket_relation, min_support=0.5)
+        pairs = {i.sorted_items() for i in itemsets if i.size == 2}
+        assert pairs == {("coke", "pizza"), ("coke", "potato")}
+        # pizza+potato has support 2/6 < 0.5, so no triple can be frequent.
+        assert not any(i.size == 3 for i in itemsets)
+
+    def test_lower_threshold_reveals_triple(self, basket_relation: Relation) -> None:
+        itemsets = frequent_itemsets(basket_relation, min_support=1 / 3)
+        triples = {i.sorted_items() for i in itemsets if i.size == 3}
+        assert ("coke", "pizza", "potato") in triples
+
+    def test_max_size_limits_exploration(self, basket_relation: Relation) -> None:
+        itemsets = frequent_itemsets(basket_relation, min_support=1 / 3, max_size=1)
+        assert all(i.size == 1 for i in itemsets)
+
+    def test_explicit_item_universe(self, basket_relation: Relation) -> None:
+        itemsets = frequent_itemsets(
+            basket_relation, min_support=0.5, items=["pizza", "coke"]
+        )
+        assert {item for i in itemsets for item in i.items} <= {"pizza", "coke"}
+
+    def test_support_values_consistent(self, basket_relation: Relation) -> None:
+        for itemset in frequent_itemsets(basket_relation, min_support=0.2):
+            assert itemset.support == pytest.approx(
+                itemset_support(basket_relation, itemset.items)
+            )
+            assert itemset.count == round(itemset.support * basket_relation.num_tuples)
+
+    def test_deterministic_ordering(self, basket_relation: Relation) -> None:
+        first = frequent_itemsets(basket_relation, min_support=0.3)
+        second = frequent_itemsets(basket_relation, min_support=0.3)
+        assert [i.items for i in first] == [i.items for i in second]
+        sizes = [i.size for i in first]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_support_rejected(self, basket_relation: Relation) -> None:
+        with pytest.raises(OptimizationError):
+            frequent_itemsets(basket_relation, min_support=0.0)
+        with pytest.raises(OptimizationError):
+            frequent_itemsets(basket_relation, min_support=0.5, max_size=0)
+
+    def test_empty_relation(self, basket_relation: Relation) -> None:
+        empty = Relation.empty(basket_relation.schema)
+        assert frequent_itemsets(empty, min_support=0.5) == []

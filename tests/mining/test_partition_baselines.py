@@ -1,0 +1,146 @@
+"""Tests for the Piatetsky-Shapiro and Srikant–Agrawal baselines (§1.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bucketing import SortingEquiDepthBucketizer
+from repro.core import BucketProfile, solve_optimized_confidence, solve_optimized_support
+from repro.datasets import planted_range_relation
+from repro.exceptions import OptimizationError
+from repro.mining import piatetsky_shapiro_rules, srikant_agrawal_best_range
+from repro.relation import BooleanIs
+
+
+@pytest.fixture(scope="module")
+def planted_setup():
+    relation, truth = planted_range_relation(
+        20_000, low=40.0, high=60.0, inside_probability=0.8, outside_probability=0.1, seed=31
+    )
+    objective = BooleanIs(truth.objective, True)
+    bucketing = SortingEquiDepthBucketizer().build(
+        relation.numeric_column(truth.attribute), 40
+    )
+    return relation, truth, objective, bucketing
+
+
+class TestPiatetskyShapiroRules:
+    def test_one_rule_per_bucket_without_filter(self, planted_setup) -> None:
+        relation, truth, objective, bucketing = planted_setup
+        rules = piatetsky_shapiro_rules(relation, truth.attribute, objective, bucketing)
+        assert len(rules) == bucketing.num_buckets
+
+    def test_confidence_filter(self, planted_setup) -> None:
+        relation, truth, objective, bucketing = planted_setup
+        rules = piatetsky_shapiro_rules(
+            relation, truth.attribute, objective, bucketing, min_confidence=0.5
+        )
+        assert rules
+        assert all(rule.confidence >= 0.5 for rule in rules)
+        # The surviving fixed ranges sit inside the planted range.
+        for rule in rules:
+            assert rule.low >= truth.low - 3.0
+            assert rule.high <= truth.high + 3.0
+
+    def test_fixed_ranges_dominated_by_optimized_rule(self, planted_setup) -> None:
+        relation, truth, objective, bucketing = planted_setup
+        profile = BucketProfile.from_relation(relation, truth.attribute, objective, bucketing)
+        optimized = solve_optimized_support(profile, min_confidence=0.5)
+        fixed = piatetsky_shapiro_rules(
+            relation, truth.attribute, objective, bucketing, min_confidence=0.5
+        )
+        best_fixed_support = max(rule.support for rule in fixed)
+        # A single fixed bucket can never have more support than the optimized
+        # combination of consecutive buckets.
+        assert optimized.support >= best_fixed_support
+
+    def test_invalid_confidence_rejected(self, planted_setup) -> None:
+        relation, truth, objective, bucketing = planted_setup
+        with pytest.raises(OptimizationError):
+            piatetsky_shapiro_rules(
+                relation, truth.attribute, objective, bucketing, min_confidence=1.5
+            )
+
+
+class TestSrikantAgrawalBestRange:
+    def test_respects_support_cap(self, planted_setup) -> None:
+        relation, truth, objective, bucketing = planted_setup
+        rule = srikant_agrawal_best_range(
+            relation,
+            truth.attribute,
+            objective,
+            bucketing,
+            max_support=0.10,
+            min_confidence=0.5,
+        )
+        assert rule is not None
+        assert rule.support <= 0.10 + 1e-9
+        assert rule.confidence >= 0.5
+
+    def test_none_when_no_combination_is_confident(self, planted_setup) -> None:
+        relation, truth, objective, bucketing = planted_setup
+        assert (
+            srikant_agrawal_best_range(
+                relation,
+                truth.attribute,
+                objective,
+                bucketing,
+                max_support=0.10,
+                min_confidence=0.99,
+            )
+            is None
+        )
+
+    def test_dominated_by_unconstrained_optimized_rule(self, planted_setup) -> None:
+        relation, truth, objective, bucketing = planted_setup
+        profile = BucketProfile.from_relation(relation, truth.attribute, objective, bucketing)
+        optimized = solve_optimized_support(profile, min_confidence=0.5)
+        capped = srikant_agrawal_best_range(
+            relation,
+            truth.attribute,
+            objective,
+            bucketing,
+            max_support=0.15,
+            min_confidence=0.5,
+        )
+        assert capped is not None
+        # The support cap is exactly what keeps the baseline from reaching the
+        # optimized rule's support.
+        assert capped.support <= optimized.support
+
+    def test_confidence_dominated_by_optimized_confidence_rule(self, planted_setup) -> None:
+        relation, truth, objective, bucketing = planted_setup
+        profile = BucketProfile.from_relation(relation, truth.attribute, objective, bucketing)
+        capped = srikant_agrawal_best_range(
+            relation,
+            truth.attribute,
+            objective,
+            bucketing,
+            max_support=0.15,
+            min_confidence=0.5,
+        )
+        optimized = solve_optimized_confidence(profile, min_support=capped.support)
+        # Among ranges with at least the baseline's support, the optimized
+        # confidence rule is by definition at least as confident.
+        assert optimized.ratio >= capped.confidence - 1e-9
+
+    def test_invalid_parameters_rejected(self, planted_setup) -> None:
+        relation, truth, objective, bucketing = planted_setup
+        with pytest.raises(OptimizationError):
+            srikant_agrawal_best_range(
+                relation, truth.attribute, objective, bucketing, max_support=0.0, min_confidence=0.5
+            )
+        with pytest.raises(OptimizationError):
+            srikant_agrawal_best_range(
+                relation, truth.attribute, objective, bucketing, max_support=0.5, min_confidence=0.0
+            )
+
+    def test_rule_rendering(self, planted_setup) -> None:
+        relation, truth, objective, bucketing = planted_setup
+        rule = srikant_agrawal_best_range(
+            relation, truth.attribute, objective, bucketing, max_support=0.2, min_confidence=0.5
+        )
+        text = str(rule)
+        assert "value in [" in text
+        assert "confidence=" in text

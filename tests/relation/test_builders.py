@@ -1,0 +1,59 @@
+"""Tests for :class:`RelationBuilder`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RelationError
+from repro.relation import RelationBuilder, Schema
+
+
+class TestRelationBuilder:
+    def test_build_from_keyword_rows(self, bank_schema: Schema) -> None:
+        builder = RelationBuilder(bank_schema)
+        builder.add_row(balance=10.0, age=20.0, card_loan=True, auto_withdrawal=False)
+        builder.add_row(balance=20.0, age=30.0, card_loan=False, auto_withdrawal=True)
+        relation = builder.build()
+        assert relation.num_tuples == 2
+        assert len(builder) == 2
+        assert relation.row(1)["balance"] == 20.0
+
+    def test_mapping_and_keywords_merge(self, bank_schema: Schema) -> None:
+        builder = RelationBuilder(bank_schema)
+        builder.add_row(
+            {"balance": 10.0, "age": 20.0, "card_loan": False, "auto_withdrawal": False},
+            card_loan=True,
+        )
+        relation = builder.build()
+        assert relation.row(0)["card_loan"] is True
+
+    def test_add_rows_bulk(self, bank_schema: Schema) -> None:
+        builder = RelationBuilder(bank_schema)
+        builder.add_rows(
+            [
+                {"balance": 1.0, "age": 20.0, "card_loan": True, "auto_withdrawal": False},
+                {"balance": 2.0, "age": 21.0, "card_loan": False, "auto_withdrawal": True},
+                {"balance": 3.0, "age": 22.0, "card_loan": True, "auto_withdrawal": True},
+            ]
+        )
+        assert builder.build().num_tuples == 3
+
+    def test_unknown_attribute_rejected(self, bank_schema: Schema) -> None:
+        builder = RelationBuilder(bank_schema)
+        with pytest.raises(RelationError):
+            builder.add_row(
+                balance=1.0, age=20.0, card_loan=True, auto_withdrawal=False, extra=1
+            )
+
+    def test_missing_attribute_rejected(self, bank_schema: Schema) -> None:
+        builder = RelationBuilder(bank_schema)
+        with pytest.raises(RelationError):
+            builder.add_row(balance=1.0, age=20.0)
+
+    def test_empty_builder_produces_empty_relation(self, bank_schema: Schema) -> None:
+        relation = RelationBuilder(bank_schema).build()
+        assert relation.num_tuples == 0
+        assert relation.schema == bank_schema
+
+    def test_schema_property(self, bank_schema: Schema) -> None:
+        assert RelationBuilder(bank_schema).schema == bank_schema

@@ -1,0 +1,126 @@
+"""Tests for the condition AST."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConditionError
+from repro.relation import (
+    And,
+    BooleanIs,
+    Not,
+    NumericEquals,
+    NumericInRange,
+    Or,
+    Relation,
+    TrueCondition,
+    conjunction,
+)
+
+
+class TestPrimitiveConditions:
+    def test_boolean_is_yes(self, small_relation: Relation) -> None:
+        condition = BooleanIs("card_loan", True)
+        assert condition.count(small_relation) == 4
+        assert condition.support(small_relation) == pytest.approx(0.5)
+
+    def test_boolean_is_no(self, small_relation: Relation) -> None:
+        condition = BooleanIs("card_loan", False)
+        assert condition.count(small_relation) == 4
+
+    def test_numeric_equals(self, small_relation: Relation) -> None:
+        assert NumericEquals("balance", 2000.0).count(small_relation) == 1
+        assert NumericEquals("balance", 12345.0).count(small_relation) == 0
+
+    def test_numeric_equals_rejects_nan(self) -> None:
+        with pytest.raises(ConditionError):
+            NumericEquals("balance", float("nan"))
+
+    def test_numeric_in_range_inclusive_bounds(self, small_relation: Relation) -> None:
+        condition = NumericInRange("balance", 1000.0, 4000.0)
+        assert condition.count(small_relation) == 4
+        assert condition.width == pytest.approx(3000.0)
+
+    def test_numeric_in_range_rejects_inverted_bounds(self) -> None:
+        with pytest.raises(ConditionError):
+            NumericInRange("balance", 10.0, 5.0)
+
+    def test_numeric_in_range_rejects_nan(self) -> None:
+        with pytest.raises(ConditionError):
+            NumericInRange("balance", float("nan"), 5.0)
+
+    def test_true_condition_selects_everything(self, small_relation: Relation) -> None:
+        assert TrueCondition().count(small_relation) == small_relation.num_tuples
+        assert TrueCondition().attribute_names() == frozenset()
+
+    def test_string_rendering(self) -> None:
+        assert str(BooleanIs("card_loan", True)) == "(card_loan = yes)"
+        assert str(BooleanIs("card_loan", False)) == "(card_loan = no)"
+        assert str(NumericInRange("balance", 1.0, 2.0)) == "(balance in [1, 2])"
+        assert str(TrueCondition()) == "true"
+
+
+class TestCompositeConditions:
+    def test_and_counts_intersection(self, small_relation: Relation) -> None:
+        condition = NumericInRange("balance", 1000.0, 4000.0) & BooleanIs("auto_withdrawal")
+        assert condition.count(small_relation) == 2
+
+    def test_or_counts_union(self, small_relation: Relation) -> None:
+        condition = NumericInRange("balance", 0.0, 500.0) | NumericInRange(
+            "balance", 8000.0, 10000.0
+        )
+        assert condition.count(small_relation) == 4
+
+    def test_not_inverts(self, small_relation: Relation) -> None:
+        condition = ~BooleanIs("card_loan")
+        assert condition.count(small_relation) == 4
+
+    def test_nested_and_flattened(self) -> None:
+        a, b, c = BooleanIs("a"), BooleanIs("b"), BooleanIs("c")
+        condition = And((And((a, b)), c))
+        assert len(condition.operands) == 3
+
+    def test_nested_or_flattened(self) -> None:
+        a, b, c = BooleanIs("a"), BooleanIs("b"), BooleanIs("c")
+        condition = Or((Or((a, b)), c))
+        assert len(condition.operands) == 3
+
+    def test_empty_and_rejected(self) -> None:
+        with pytest.raises(ConditionError):
+            And(())
+
+    def test_empty_or_rejected(self) -> None:
+        with pytest.raises(ConditionError):
+            Or(())
+
+    def test_non_condition_operand_rejected(self) -> None:
+        with pytest.raises(ConditionError):
+            And((BooleanIs("a"), "not a condition"))  # type: ignore[arg-type]
+        with pytest.raises(ConditionError):
+            Not("nope")  # type: ignore[arg-type]
+
+    def test_attribute_names_collected(self) -> None:
+        condition = (NumericInRange("balance", 0, 1) & BooleanIs("card_loan")) | BooleanIs("other")
+        assert condition.attribute_names() == {"balance", "card_loan", "other"}
+
+    def test_demorgan_equivalence_on_masks(self, small_relation: Relation) -> None:
+        a = BooleanIs("card_loan")
+        b = BooleanIs("auto_withdrawal")
+        left = ~(a & b)
+        right = ~a | ~b
+        assert np.array_equal(left.mask(small_relation), right.mask(small_relation))
+
+
+class TestConjunctionHelper:
+    def test_empty_conjunction_is_true(self) -> None:
+        assert isinstance(conjunction([]), TrueCondition)
+
+    def test_single_condition_returned_unwrapped(self) -> None:
+        condition = BooleanIs("a")
+        assert conjunction([condition]) is condition
+
+    def test_multiple_conditions_wrapped_in_and(self) -> None:
+        result = conjunction([BooleanIs("a"), BooleanIs("b")])
+        assert isinstance(result, And)
+        assert len(result.operands) == 2

@@ -1,0 +1,83 @@
+"""Tests for CSV import / export."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import RelationError
+from repro.relation import Attribute, Relation, Schema, infer_schema, read_csv, write_csv
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_relation(
+        self, small_relation: Relation, tmp_path: Path
+    ) -> None:
+        path = tmp_path / "bank.csv"
+        write_csv(small_relation, path)
+        loaded = read_csv(path)
+        assert loaded.schema.names() == small_relation.schema.names()
+        assert loaded == small_relation
+
+    def test_read_with_explicit_schema(self, small_relation: Relation, tmp_path: Path) -> None:
+        path = tmp_path / "bank.csv"
+        write_csv(small_relation, path)
+        loaded = read_csv(path, schema=small_relation.schema)
+        assert loaded == small_relation
+
+    def test_explicit_schema_mismatch_rejected(
+        self, small_relation: Relation, tmp_path: Path
+    ) -> None:
+        path = tmp_path / "bank.csv"
+        write_csv(small_relation, path)
+        wrong = Schema.of(Attribute.numeric("something_else"))
+        with pytest.raises(RelationError):
+            read_csv(path, schema=wrong)
+
+
+class TestParsing:
+    def test_empty_file_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(RelationError):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(RelationError):
+            read_csv(path)
+
+    def test_non_numeric_non_boolean_column_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "text.csv"
+        path.write_text("a\nhello\nworld\n")
+        with pytest.raises(RelationError):
+            read_csv(path)
+
+    def test_bad_numeric_value_with_explicit_schema(self, tmp_path: Path) -> None:
+        path = tmp_path / "bad.csv"
+        path.write_text("a\n1.5\noops\n")
+        with pytest.raises(RelationError):
+            read_csv(path, schema=Schema.of(Attribute.numeric("a")))
+
+    def test_header_only_file_gives_empty_relation(self, tmp_path: Path) -> None:
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        relation = read_csv(path)
+        assert relation.num_tuples == 0
+
+
+class TestInference:
+    def test_boolean_column_detected(self) -> None:
+        schema = infer_schema(["flag", "x"], [["yes", "1.5"], ["no", "2.5"]])
+        assert schema.attribute("flag").is_boolean
+        assert schema.attribute("x").is_numeric
+
+    def test_zero_one_column_becomes_boolean(self) -> None:
+        schema = infer_schema(["flag"], [["0"], ["1"]])
+        assert schema.attribute("flag").is_boolean
+
+    def test_general_numeric_column(self) -> None:
+        schema = infer_schema(["x"], [["0"], ["1"], ["2.5"]])
+        assert schema.attribute("x").is_numeric

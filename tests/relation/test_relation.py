@@ -1,0 +1,240 @@
+"""Tests for the columnar :class:`Relation`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RelationError, SchemaError
+from repro.relation import Attribute, BooleanIs, NumericInRange, Relation, Schema
+
+
+class TestConstruction:
+    def test_from_columns_and_basic_shape(self, small_relation: Relation) -> None:
+        assert small_relation.num_tuples == 8
+        assert small_relation.num_attributes == 4
+        assert len(small_relation) == 8
+
+    def test_from_rows_with_dicts(self, bank_schema: Schema) -> None:
+        relation = Relation.from_rows(
+            bank_schema,
+            [
+                {"balance": 1.0, "age": 20.0, "card_loan": True, "auto_withdrawal": False},
+                {"balance": 2.0, "age": 30.0, "card_loan": False, "auto_withdrawal": True},
+            ],
+        )
+        assert relation.num_tuples == 2
+        assert relation.row(0)["card_loan"] is True
+
+    def test_from_rows_with_sequences(self, bank_schema: Schema) -> None:
+        relation = Relation.from_rows(bank_schema, [(1.0, 20.0, "yes", "no")])
+        assert relation.row(0)["card_loan"] is True
+        assert relation.row(0)["auto_withdrawal"] is False
+
+    def test_from_rows_missing_attribute_rejected(self, bank_schema: Schema) -> None:
+        with pytest.raises(RelationError):
+            Relation.from_rows(bank_schema, [{"balance": 1.0}])
+
+    def test_from_rows_wrong_arity_rejected(self, bank_schema: Schema) -> None:
+        with pytest.raises(RelationError):
+            Relation.from_rows(bank_schema, [(1.0, 2.0)])
+
+    def test_missing_column_rejected(self, bank_schema: Schema) -> None:
+        with pytest.raises(RelationError):
+            Relation.from_columns(bank_schema, {"balance": [1.0]})
+
+    def test_extra_column_rejected(self, bank_schema: Schema) -> None:
+        columns = {
+            "balance": [1.0],
+            "age": [20.0],
+            "card_loan": [True],
+            "auto_withdrawal": [False],
+            "extra": [1.0],
+        }
+        with pytest.raises(RelationError):
+            Relation.from_columns(bank_schema, columns)
+
+    def test_unequal_column_lengths_rejected(self, bank_schema: Schema) -> None:
+        columns = {
+            "balance": [1.0, 2.0],
+            "age": [20.0],
+            "card_loan": [True, False],
+            "auto_withdrawal": [False, True],
+        }
+        with pytest.raises(RelationError):
+            Relation.from_columns(bank_schema, columns)
+
+    def test_nan_numeric_values_rejected(self) -> None:
+        schema = Schema.of(Attribute.numeric("x"))
+        with pytest.raises(RelationError):
+            Relation.from_columns(schema, {"x": [1.0, float("nan")]})
+
+    def test_boolean_coercion_variants(self) -> None:
+        schema = Schema.of(Attribute.boolean("flag"))
+        relation = Relation.from_columns(
+            schema, {"flag": ["yes", "No", "TRUE", "f", 1, 0, True, False]}
+        )
+        assert list(relation.boolean_column("flag")) == [
+            True,
+            False,
+            True,
+            False,
+            True,
+            False,
+            True,
+            False,
+        ]
+
+    def test_invalid_boolean_value_rejected(self) -> None:
+        schema = Schema.of(Attribute.boolean("flag"))
+        with pytest.raises(RelationError):
+            Relation.from_columns(schema, {"flag": ["maybe"]})
+        with pytest.raises(RelationError):
+            Relation.from_columns(schema, {"flag": [2]})
+
+    def test_empty_relation(self, bank_schema: Schema) -> None:
+        relation = Relation.empty(bank_schema)
+        assert relation.num_tuples == 0
+        assert relation.support(BooleanIs("card_loan")) == 0.0
+
+
+class TestAccessors:
+    def test_column_is_read_only(self, small_relation: Relation) -> None:
+        column = small_relation.column("balance")
+        with pytest.raises(ValueError):
+            column[0] = 42.0
+
+    def test_numeric_column_type_check(self, small_relation: Relation) -> None:
+        with pytest.raises(SchemaError):
+            small_relation.numeric_column("card_loan")
+
+    def test_boolean_column_type_check(self, small_relation: Relation) -> None:
+        with pytest.raises(SchemaError):
+            small_relation.boolean_column("balance")
+
+    def test_row_out_of_range(self, small_relation: Relation) -> None:
+        with pytest.raises(RelationError):
+            small_relation.row(100)
+
+    def test_iter_rows_round_trip(self, small_relation: Relation) -> None:
+        rows = list(small_relation.iter_rows())
+        rebuilt = Relation.from_rows(small_relation.schema, rows)
+        assert rebuilt == small_relation
+
+
+class TestOperations:
+    def test_select_by_condition(self, small_relation: Relation) -> None:
+        selected = small_relation.select(NumericInRange("balance", 1000.0, 4000.0))
+        assert selected.num_tuples == 4
+        assert selected.schema == small_relation.schema
+
+    def test_take_mask_length_validated(self, small_relation: Relation) -> None:
+        with pytest.raises(RelationError):
+            small_relation.take(np.array([True, False]))
+
+    def test_project(self, small_relation: Relation) -> None:
+        projected = small_relation.project(["age", "card_loan"])
+        assert projected.schema.names() == ["age", "card_loan"]
+        assert projected.num_tuples == small_relation.num_tuples
+
+    def test_vertical_split(self, small_relation: Relation) -> None:
+        narrow = small_relation.vertical_split("balance")
+        assert narrow.schema.names() == ["tuple_id", "balance"]
+        assert narrow.num_tuples == small_relation.num_tuples
+        assert list(narrow.numeric_column("balance")) == list(
+            small_relation.numeric_column("balance")
+        )
+
+    def test_vertical_split_requires_numeric(self, small_relation: Relation) -> None:
+        with pytest.raises(SchemaError):
+            small_relation.vertical_split("card_loan")
+
+    def test_sort_by(self, small_relation: Relation) -> None:
+        shuffled = small_relation.take(np.array([7, 2, 5, 0, 1, 6, 3, 4]))
+        ordered = shuffled.sort_by("balance")
+        balances = ordered.numeric_column("balance")
+        assert list(balances) == sorted(balances)
+        # Boolean column is permuted consistently: card loans sit in the middle.
+        assert list(ordered.boolean_column("card_loan")) == [
+            False,
+            False,
+            True,
+            True,
+            True,
+            True,
+            False,
+            False,
+        ]
+
+    def test_sample_with_replacement(self, small_relation: Relation, rng) -> None:
+        sample = small_relation.sample(100, rng=rng)
+        assert sample.num_tuples == 100
+        assert set(sample.numeric_column("balance")) <= set(
+            small_relation.numeric_column("balance")
+        )
+
+    def test_sample_without_replacement_limits(self, small_relation: Relation, rng) -> None:
+        sample = small_relation.sample(8, rng=rng, replace=False)
+        assert sorted(sample.numeric_column("balance")) == sorted(
+            small_relation.numeric_column("balance")
+        )
+        with pytest.raises(RelationError):
+            small_relation.sample(9, rng=rng, replace=False)
+
+    def test_negative_sample_size_rejected(self, small_relation: Relation) -> None:
+        with pytest.raises(RelationError):
+            small_relation.sample(-1)
+
+    def test_split_partitions_every_tuple_once(self, small_relation: Relation, rng) -> None:
+        parts = small_relation.split(3, rng=rng)
+        assert sum(part.num_tuples for part in parts) == small_relation.num_tuples
+        combined = sorted(
+            value for part in parts for value in part.numeric_column("balance")
+        )
+        assert combined == sorted(small_relation.numeric_column("balance"))
+
+    def test_split_requires_positive_parts(self, small_relation: Relation) -> None:
+        with pytest.raises(RelationError):
+            small_relation.split(0)
+
+    def test_concat(self, small_relation: Relation) -> None:
+        doubled = small_relation.concat(small_relation)
+        assert doubled.num_tuples == 16
+
+    def test_concat_schema_mismatch(self, small_relation: Relation) -> None:
+        other = small_relation.project(["balance"])
+        with pytest.raises(RelationError):
+            small_relation.concat(other)
+
+    def test_head(self, small_relation: Relation) -> None:
+        assert small_relation.head(3).num_tuples == 3
+        assert small_relation.head(100).num_tuples == 8
+
+
+class TestStatistics:
+    def test_support_and_confidence(self, small_relation: Relation) -> None:
+        in_range = NumericInRange("balance", 1000.0, 4000.0)
+        card_loan = BooleanIs("card_loan")
+        assert small_relation.support(in_range) == pytest.approx(0.5)
+        assert small_relation.confidence(in_range, card_loan) == pytest.approx(1.0)
+        assert small_relation.confidence(card_loan, in_range) == pytest.approx(1.0)
+
+    def test_confidence_with_empty_presumptive(self, small_relation: Relation) -> None:
+        never = NumericInRange("balance", -10.0, -5.0)
+        assert small_relation.confidence(never, BooleanIs("card_loan")) == 0.0
+
+    def test_mean_and_minmax(self, small_relation: Relation) -> None:
+        assert small_relation.mean("age") == pytest.approx(37.5)
+        assert small_relation.minmax("balance") == (100.0, 9000.0)
+
+    def test_minmax_empty_raises(self, bank_schema: Schema) -> None:
+        with pytest.raises(RelationError):
+            Relation.empty(bank_schema).minmax("balance")
+
+    def test_memory_bytes_positive(self, small_relation: Relation) -> None:
+        assert small_relation.memory_bytes() > 0
+
+    def test_equality(self, small_relation: Relation) -> None:
+        assert small_relation == small_relation.take(np.arange(8))
+        assert small_relation != small_relation.head(4)
+        assert small_relation.__eq__(42) is NotImplemented

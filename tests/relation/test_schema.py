@@ -1,0 +1,107 @@
+"""Tests for :mod:`repro.relation.schema`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relation import Attribute, AttributeKind, Schema
+
+
+class TestAttribute:
+    def test_numeric_constructor(self) -> None:
+        attribute = Attribute.numeric("balance", "account balance")
+        assert attribute.kind is AttributeKind.NUMERIC
+        assert attribute.is_numeric
+        assert not attribute.is_boolean
+        assert attribute.description == "account balance"
+
+    def test_boolean_constructor(self) -> None:
+        attribute = Attribute.boolean("card_loan")
+        assert attribute.kind is AttributeKind.BOOLEAN
+        assert attribute.is_boolean
+        assert not attribute.is_numeric
+
+    def test_empty_name_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            Attribute("", AttributeKind.NUMERIC)
+
+    def test_invalid_kind_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            Attribute("balance", "numeric")  # type: ignore[arg-type]
+
+    def test_attributes_are_hashable_and_equal_by_value(self) -> None:
+        assert Attribute.numeric("a") == Attribute.numeric("a")
+        assert len({Attribute.numeric("a"), Attribute.numeric("a")}) == 1
+
+
+class TestSchema:
+    def test_of_builds_ordered_schema(self) -> None:
+        schema = Schema.of(Attribute.numeric("a"), Attribute.boolean("b"))
+        assert schema.names() == ["a", "b"]
+        assert len(schema) == 2
+        assert "a" in schema and "missing" not in schema
+
+    def test_from_pairs_accepts_strings(self) -> None:
+        schema = Schema.from_pairs([("a", "numeric"), ("b", "boolean")])
+        assert schema.attribute("a").is_numeric
+        assert schema.attribute("b").is_boolean
+
+    def test_from_pairs_rejects_unknown_kind(self) -> None:
+        with pytest.raises(SchemaError):
+            Schema.from_pairs([("a", "categorical")])
+
+    def test_duplicate_names_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            Schema.of(Attribute.numeric("a"), Attribute.boolean("a"))
+
+    def test_attribute_lookup_failure(self) -> None:
+        schema = Schema.of(Attribute.numeric("a"))
+        with pytest.raises(SchemaError):
+            schema.attribute("b")
+        with pytest.raises(SchemaError):
+            schema.index_of("b")
+
+    def test_index_of(self) -> None:
+        schema = Schema.of(Attribute.numeric("a"), Attribute.boolean("b"))
+        assert schema.index_of("a") == 0
+        assert schema.index_of("b") == 1
+
+    def test_numeric_and_boolean_names(self) -> None:
+        schema = Schema.of(
+            Attribute.numeric("a"),
+            Attribute.boolean("b"),
+            Attribute.numeric("c"),
+        )
+        assert schema.numeric_names() == ["a", "c"]
+        assert schema.boolean_names() == ["b"]
+
+    def test_project_preserves_requested_order(self) -> None:
+        schema = Schema.of(
+            Attribute.numeric("a"), Attribute.boolean("b"), Attribute.numeric("c")
+        )
+        projected = schema.project(["c", "a"])
+        assert projected.names() == ["c", "a"]
+
+    def test_extend_returns_new_schema(self) -> None:
+        schema = Schema.of(Attribute.numeric("a"))
+        extended = schema.extend(Attribute.boolean("b"))
+        assert extended.names() == ["a", "b"]
+        assert schema.names() == ["a"]
+
+    def test_describe_mentions_every_attribute(self) -> None:
+        schema = Schema.of(
+            Attribute.numeric("a", "first"), Attribute.boolean("b", "second")
+        )
+        description = schema.describe()
+        assert "a: numeric" in description
+        assert "b: boolean" in description
+        assert "first" in description and "second" in description
+
+    def test_non_attribute_entries_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            Schema(("not an attribute",))  # type: ignore[arg-type]
+
+    def test_getitem_returns_attribute(self) -> None:
+        schema = Schema.of(Attribute.numeric("a"))
+        assert schema["a"].name == "a"

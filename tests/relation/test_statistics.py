@@ -1,0 +1,78 @@
+"""Tests for support / confidence / contingency statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relation import (
+    BooleanIs,
+    NumericInRange,
+    Relation,
+    confidence,
+    contingency_table,
+    lift,
+    support,
+)
+
+
+class TestScalarStatistics:
+    def test_support_matches_definition(self, small_relation: Relation) -> None:
+        assert support(small_relation, BooleanIs("card_loan")) == pytest.approx(0.5)
+
+    def test_confidence_matches_definition(self, small_relation: Relation) -> None:
+        rule_confidence = confidence(
+            small_relation,
+            NumericInRange("balance", 1000.0, 4000.0),
+            BooleanIs("card_loan"),
+        )
+        assert rule_confidence == pytest.approx(1.0)
+
+    def test_lift_above_one_for_planted_rule(self, small_relation: Relation) -> None:
+        value = lift(
+            small_relation,
+            NumericInRange("balance", 1000.0, 4000.0),
+            BooleanIs("card_loan"),
+        )
+        assert value == pytest.approx(2.0)
+
+    def test_lift_zero_when_objective_absent(self, small_relation: Relation) -> None:
+        value = lift(
+            small_relation,
+            BooleanIs("card_loan"),
+            NumericInRange("balance", -10.0, -5.0),
+        )
+        assert value == 0.0
+
+
+class TestContingencyTable:
+    def test_counts_partition_the_relation(self, small_relation: Relation) -> None:
+        table = contingency_table(
+            small_relation,
+            NumericInRange("balance", 1000.0, 4000.0),
+            BooleanIs("card_loan"),
+        )
+        assert table.both == 4
+        assert table.only_presumptive == 0
+        assert table.only_objective == 0
+        assert table.neither == 4
+        assert table.total == small_relation.num_tuples
+
+    def test_derived_measures(self, small_relation: Relation) -> None:
+        table = contingency_table(
+            small_relation,
+            NumericInRange("balance", 0.0, 3000.0),
+            BooleanIs("card_loan"),
+        )
+        assert table.presumptive_count == 5
+        assert table.objective_count == 4
+        assert table.support == pytest.approx(5 / 8)
+        assert table.confidence == pytest.approx(3 / 5)
+        assert table.lift == pytest.approx((3 / 5) / (4 / 8))
+
+    def test_degenerate_table(self) -> None:
+        from repro.relation.statistics import ContingencyTable
+
+        empty = ContingencyTable(0, 0, 0, 0)
+        assert empty.support == 0.0
+        assert empty.confidence == 0.0
+        assert empty.lift == 0.0

@@ -1,0 +1,190 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import generate_named_dataset, save_dataset
+
+
+class TestParser:
+    def test_requires_a_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_arguments(self) -> None:
+        args = build_parser().parse_args(
+            ["dataset", "bank", "--rows", "500", "--out", "bank.csv"]
+        )
+        assert args.command == "dataset"
+        assert args.name == "bank"
+        assert args.rows == 500
+
+    def test_unknown_experiment_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+
+class TestDatasetCommand:
+    def test_writes_csv(self, tmp_path: Path, capsys) -> None:
+        out = tmp_path / "planted.csv"
+        code = main(["dataset", "planted", "--rows", "300", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "300 tuples" in captured.out
+
+
+class TestMineCommand:
+    @pytest.fixture()
+    def bank_csv(self, tmp_path: Path) -> Path:
+        relation = generate_named_dataset("bank", 4_000, seed=1)
+        return save_dataset(relation, tmp_path / "bank.csv")
+
+    def test_confidence_rule(self, bank_csv: Path, capsys) -> None:
+        code = main(
+            [
+                "mine",
+                str(bank_csv),
+                "--attribute",
+                "balance",
+                "--objective",
+                "card_loan",
+                "--kind",
+                "confidence",
+                "--min-support",
+                "0.1",
+                "--buckets",
+                "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(balance in [" in out
+        assert "card_loan" in out
+
+    def test_support_rule(self, bank_csv: Path, capsys) -> None:
+        code = main(
+            [
+                "mine",
+                str(bank_csv),
+                "--attribute",
+                "balance",
+                "--objective",
+                "card_loan",
+                "--kind",
+                "support",
+                "--min-confidence",
+                "0.4",
+                "--buckets",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert "confidence=" in capsys.readouterr().out
+
+    def test_max_average_rule(self, bank_csv: Path, capsys) -> None:
+        code = main(
+            [
+                "mine",
+                str(bank_csv),
+                "--attribute",
+                "age",
+                "--objective",
+                "saving_balance",
+                "--kind",
+                "max-average",
+                "--min-support",
+                "0.1",
+                "--buckets",
+                "50",
+            ]
+        )
+        assert code == 0
+        assert "avg(saving_balance" in capsys.readouterr().out
+
+    def test_infeasible_thresholds_exit_code(self, bank_csv: Path, capsys) -> None:
+        # No age range can push the average saving balance to 10^12, so the
+        # miner finds nothing and the CLI reports it with exit code 1.
+        code = main(
+            [
+                "mine",
+                str(bank_csv),
+                "--attribute",
+                "age",
+                "--objective",
+                "saving_balance",
+                "--kind",
+                "max-support-average",
+                "--min-average",
+                "1e12",
+            ]
+        )
+        assert code == 1
+        assert "no rule" in capsys.readouterr().out
+
+    def test_missing_file_reports_error(self, tmp_path: Path, capsys) -> None:
+        code = main(
+            [
+                "mine",
+                str(tmp_path / "missing.csv"),
+                "--attribute",
+                "balance",
+                "--objective",
+                "card_loan",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCatalogCommand:
+    def test_catalog_with_exports(self, tmp_path: Path, capsys) -> None:
+        relation = generate_named_dataset("bank", 3_000, seed=2)
+        csv_path = save_dataset(relation, tmp_path / "bank.csv")
+        out_csv = tmp_path / "catalog.csv"
+        out_md = tmp_path / "catalog.md"
+        code = main(
+            [
+                "catalog",
+                str(csv_path),
+                "--min-support",
+                "0.1",
+                "--min-confidence",
+                "0.3",
+                "--buckets",
+                "50",
+                "--top",
+                "5",
+                "--out-csv",
+                str(out_csv),
+                "--out-markdown",
+                str(out_md),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attribute pairs" in out
+        assert out_csv.exists()
+        assert out_md.exists()
+        assert out_md.read_text().startswith("| attribute ")
+
+
+class TestExperimentCommand:
+    def test_figure1_runs(self, capsys, monkeypatch) -> None:
+        # Patch the experiment registry to a tiny configuration so the CLI
+        # path is exercised without the full default sweep.
+        from repro import cli
+        from repro.experiments import run_figure1
+
+        monkeypatch.setitem(
+            cli._EXPERIMENTS,
+            "figure1",
+            lambda: run_figure1(bucket_counts=(5,), factors=(1, 40), simulate=False),
+        )
+        code = main(["experiment", "figure1"])
+        assert code == 0
+        assert "Figure 1" in capsys.readouterr().out

@@ -1,0 +1,172 @@
+"""End-to-end integration tests across the whole pipeline.
+
+Each test exercises the complete workflow the paper describes: generate (or
+load) a relation, build almost-equi-depth buckets with the randomized
+algorithm, count the profiles, run the linear-time optimizers, and check the
+resulting rules against ground truth or against direct evaluation on the
+relation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (
+    OptimizedRuleMiner,
+    SampledEquiDepthBucketizer,
+    SortingEquiDepthBucketizer,
+)
+from repro.core import BucketProfile, naive_maximize_ratio, naive_maximize_support
+from repro.datasets import bank_customers, census_like, planted_range_relation, save_dataset
+from repro.mining import mine_rule_catalog
+from repro.relation import BooleanIs, NumericInRange, read_csv
+
+
+class TestPlantedPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        relation, truth = planted_range_relation(
+            60_000, low=35.0, high=55.0, inside_probability=0.75,
+            outside_probability=0.08, seed=99,
+        )
+        miner = OptimizedRuleMiner(
+            relation,
+            num_buckets=500,
+            bucketizer=SampledEquiDepthBucketizer(),
+            rng=np.random.default_rng(123),
+        )
+        return relation, truth, miner
+
+    def test_sampled_buckets_recover_planted_confidence_rule(self, setup) -> None:
+        relation, truth, miner = setup
+        # The planted range holds ~20% of the tuples; asking for 19% support
+        # forces the optimizer to return (essentially) the planted range
+        # rather than its most favourable sub-window.
+        rule = miner.optimized_confidence_rule(
+            truth.attribute, truth.objective, min_support=0.19
+        )
+        assert rule is not None
+        assert rule.low == pytest.approx(truth.low, abs=3.0)
+        assert rule.high == pytest.approx(truth.high, abs=3.0)
+        # Verify the reported measures directly against the relation.
+        condition = rule.range_condition()
+        assert relation.support(condition) == pytest.approx(rule.support, abs=0.01)
+        assert relation.confidence(condition, BooleanIs(truth.objective)) == pytest.approx(
+            rule.confidence, abs=0.01
+        )
+
+    def test_rule_measures_match_relation_for_support_rule(self, setup) -> None:
+        relation, truth, miner = setup
+        rule = miner.optimized_support_rule(truth.attribute, truth.objective, min_confidence=0.7)
+        assert rule is not None
+        condition = rule.range_condition()
+        assert relation.confidence(condition, BooleanIs(truth.objective)) >= 0.68
+        assert relation.support(condition) == pytest.approx(rule.support, abs=0.01)
+
+    def test_sampled_buckets_close_to_exact_buckets(self, setup) -> None:
+        relation, truth, _ = setup
+        objective = BooleanIs(truth.objective, True)
+        exact_miner = OptimizedRuleMiner(
+            relation, num_buckets=500, bucketizer=SortingEquiDepthBucketizer()
+        )
+        sampled_miner = OptimizedRuleMiner(
+            relation,
+            num_buckets=500,
+            bucketizer=SampledEquiDepthBucketizer(),
+            rng=np.random.default_rng(5),
+        )
+        exact_rule = exact_miner.optimized_confidence_rule(
+            truth.attribute, objective, min_support=0.15
+        )
+        sampled_rule = sampled_miner.optimized_confidence_rule(
+            truth.attribute, objective, min_support=0.15
+        )
+        # §3.4: with many buckets the sampled approximation is within a small
+        # relative error of the exact-bucket optimum.
+        assert sampled_rule.confidence == pytest.approx(exact_rule.confidence, rel=0.03)
+        assert sampled_rule.support == pytest.approx(exact_rule.support, rel=0.10)
+
+
+class TestFastSolversAgainstNaiveOnRealProfiles:
+    def test_bank_profiles_agree_with_naive(self) -> None:
+        relation, truth = bank_customers(25_000, seed=6)
+        bucketing = SortingEquiDepthBucketizer().build(
+            relation.numeric_column("balance"), 200
+        )
+        profile = BucketProfile.from_relation(
+            relation, "balance", BooleanIs("card_loan"), bucketing
+        )
+        from repro.core import maximize_ratio, maximize_support
+
+        for min_support in (0.05, 0.15, 0.40):
+            fast = maximize_ratio(
+                profile.sizes, profile.values, min_support * profile.total, total=profile.total
+            )
+            slow = naive_maximize_ratio(
+                profile.sizes, profile.values, min_support * profile.total, total=profile.total
+            )
+            assert fast.ratio == pytest.approx(slow.ratio, abs=1e-12)
+        for min_confidence in (0.3, 0.5, 0.65):
+            fast = maximize_support(profile.sizes, profile.values, min_confidence)
+            slow = naive_maximize_support(profile.sizes, profile.values, min_confidence)
+            if slow is None:
+                assert fast is None
+            else:
+                assert fast.support_count == pytest.approx(slow.support_count)
+
+
+class TestCsvRoundTripPipeline:
+    def test_mine_rules_from_csv_file(self, tmp_path: Path) -> None:
+        relation, truth = bank_customers(10_000, seed=8)
+        path = save_dataset(relation, tmp_path / "bank.csv")
+        loaded = read_csv(path)
+        miner = OptimizedRuleMiner(
+            loaded,
+            num_buckets=150,
+            bucketizer=SortingEquiDepthBucketizer(),
+        )
+        rule = miner.optimized_confidence_rule("balance", "card_loan", min_support=0.10)
+        assert rule is not None
+        assert rule.confidence > loaded.support(BooleanIs("card_loan"))
+        assert truth.low * 0.5 <= rule.low <= truth.high * 1.5
+
+
+class TestCensusCatalog:
+    def test_catalog_surfaces_the_planted_age_income_rule(self) -> None:
+        relation, truth = census_like(20_000, seed=10)
+        catalog = mine_rule_catalog(
+            relation,
+            min_support=0.10,
+            min_confidence=0.30,
+            num_buckets=100,
+            bucketizer=SortingEquiDepthBucketizer(),
+        )
+        age_income = [
+            entry
+            for entry in catalog.entries
+            if entry.rule.attribute == "age"
+            and "high_income" in entry.rule.objective.attribute_names()
+        ]
+        assert age_income
+        best = max(age_income, key=lambda entry: entry.lift)
+        assert best.lift > 1.5
+        # The mined age window overlaps the planted prime-age band.
+        assert best.rule.low < truth.high
+        assert best.rule.high > truth.low
+
+
+class TestAverageOperatorPipeline:
+    def test_checking_vs_saving_balance(self) -> None:
+        relation, _ = bank_customers(20_000, seed=12)
+        miner = OptimizedRuleMiner(
+            relation, num_buckets=100, bucketizer=SortingEquiDepthBucketizer()
+        )
+        rule = miner.maximum_average_rule("balance", "saving_balance", min_support=0.10)
+        assert rule is not None
+        # Verify the reported average by running the equivalent aggregate query.
+        selected = relation.select(NumericInRange("balance", rule.low, rule.high))
+        assert selected.mean("saving_balance") == pytest.approx(rule.average, rel=0.01)
+        assert selected.num_tuples / relation.num_tuples == pytest.approx(rule.support, abs=0.01)

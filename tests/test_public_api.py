@@ -1,0 +1,48 @@
+"""Sanity checks on the public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self) -> None:
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self) -> None:
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.relation",
+            "repro.bucketing",
+            "repro.geometry",
+            "repro.core",
+            "repro.mining",
+            "repro.extensions",
+            "repro.datasets",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_lists_are_accurate(self, module_name: str) -> None:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_exceptions_form_a_hierarchy(self) -> None:
+        assert issubclass(repro.SchemaError, repro.ReproError)
+        assert issubclass(repro.BucketingError, repro.ReproError)
+        assert issubclass(repro.NoFeasibleRangeError, repro.OptimizationError)
+        assert issubclass(repro.OptimizationError, repro.ReproError)
+
+    def test_public_entry_points_have_docstrings(self) -> None:
+        for name in ("OptimizedRuleMiner", "BucketProfile", "maximize_ratio", "maximize_support"):
+            assert getattr(repro, name).__doc__, name

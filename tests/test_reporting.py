@@ -1,0 +1,142 @@
+"""Tests for rule serialization, text rendering, and catalog export."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bucketing import SortingEquiDepthBucketizer
+from repro.core import (
+    BucketProfile,
+    OptimizedRuleMiner,
+    RuleKind,
+    solve_optimized_confidence,
+)
+from repro.datasets import bank_customers, planted_range_relation
+from repro.exceptions import ReproError
+from repro.mining import mine_rule_catalog
+from repro.relation import BooleanIs
+from repro.reporting import (
+    catalog_to_csv,
+    catalog_to_dicts,
+    catalog_to_markdown,
+    render_profile,
+    render_rule,
+    render_rule_list,
+    rule_from_dict,
+    rule_to_dict,
+    rules_from_json,
+    rules_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def mined():
+    relation, truth = planted_range_relation(20_000, seed=77)
+    miner = OptimizedRuleMiner(
+        relation, num_buckets=100, bucketizer=SortingEquiDepthBucketizer()
+    )
+    confidence_rule = miner.optimized_confidence_rule("value", "target", min_support=0.1)
+    average_rule = miner.maximum_average_rule("value", "value", min_support=0.1)
+    profile = miner.profile_for("value", BooleanIs("target", True))
+    return relation, confidence_rule, average_rule, profile
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    relation, _ = bank_customers(6_000, seed=78)
+    return mine_rule_catalog(
+        relation,
+        min_support=0.1,
+        min_confidence=0.3,
+        num_buckets=50,
+        bucketizer=SortingEquiDepthBucketizer(),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestSerialization:
+    def test_range_rule_round_trip(self, mined) -> None:
+        _, rule, _, _ = mined
+        payload = rule_to_dict(rule)
+        rebuilt = rule_from_dict(payload)
+        assert rebuilt.attribute == rule.attribute
+        assert rebuilt.kind is rule.kind
+        assert rebuilt.low == rule.low and rebuilt.high == rule.high
+        assert rebuilt.support == pytest.approx(rule.support)
+        assert rebuilt.confidence == pytest.approx(rule.confidence)
+
+    def test_average_rule_round_trip(self, mined) -> None:
+        _, _, rule, _ = mined
+        rebuilt = rule_from_dict(rule_to_dict(rule))
+        assert rebuilt.kind is RuleKind.MAXIMUM_AVERAGE
+        assert rebuilt.average == pytest.approx(rule.average)
+
+    def test_json_round_trip(self, mined) -> None:
+        _, confidence_rule, average_rule, _ = mined
+        text = rules_to_json([confidence_rule, average_rule])
+        parsed = json.loads(text)
+        assert len(parsed) == 2
+        rebuilt = rules_from_json(text)
+        assert rebuilt[0].support == pytest.approx(confidence_rule.support)
+
+    def test_catalog_serialization(self, catalog) -> None:
+        rows = catalog_to_dicts(catalog)
+        assert len(rows) == len(catalog)
+        assert all("lift" in row and "base_rate" in row for row in rows)
+        text = rules_to_json(catalog)
+        assert isinstance(json.loads(text), list)
+
+    def test_invalid_payloads_rejected(self) -> None:
+        with pytest.raises(ReproError):
+            rule_from_dict({"type": "unknown"})
+        with pytest.raises(ReproError):
+            rules_from_json(json.dumps({"not": "a list"}))
+        with pytest.raises(ReproError):
+            rule_to_dict("not a rule")  # type: ignore[arg-type]
+
+
+class TestTextRendering:
+    def test_render_profile_marks_selection(self, mined) -> None:
+        _, rule, _, profile = mined
+        text = render_profile(profile, rule.selection)
+        assert "profile of 'value'" in text
+        assert ">" in text
+        assert "#" in text
+
+    def test_render_profile_aggregates_large_profiles(self) -> None:
+        profile = BucketProfile.from_counts(np.full(500, 10), np.full(500, 3))
+        text = render_profile(profile, max_rows=20)
+        # Header (2 lines) plus at most 20 aggregated rows.
+        assert len(text.splitlines()) <= 22
+
+    def test_render_rule_combines_header_and_profile(self, mined) -> None:
+        _, rule, _, profile = mined
+        text = render_rule(rule, profile)
+        assert text.splitlines()[0] == str(rule)
+        assert "histogram" in text
+
+    def test_render_rule_list_with_limit(self, mined) -> None:
+        _, rule, _, _ = mined
+        text = render_rule_list([rule] * 5, limit=2)
+        assert "  1. " in text
+        assert "and 3 more" in text
+
+
+class TestExport:
+    def test_catalog_to_csv(self, catalog, tmp_path: Path) -> None:
+        path = catalog_to_csv(catalog, tmp_path / "out" / "catalog.csv")
+        assert path.exists()
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("attribute,objective,kind")
+        assert len(lines) == len(catalog) + 1
+
+    def test_catalog_to_markdown(self, catalog) -> None:
+        text = catalog_to_markdown(catalog, limit=5, by="lift")
+        lines = text.splitlines()
+        assert lines[0].startswith("| attribute ")
+        assert len(lines) == 2 + min(5, len(catalog))
+        assert "optimized-" in text
