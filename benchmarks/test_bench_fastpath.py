@@ -1,0 +1,292 @@
+"""Performance-regression harness for the vectorized batch-mining engine.
+
+Times the seed pipeline (per-pair ``BucketProfile.from_relation`` counting
+plus the object-based ``engine="reference"`` solvers) against the fast path
+(one bucket-assignment pass per attribute, mask-matrix ``np.bincount``
+counting, array-native solvers behind ``OptimizedRuleMiner.solve_many``) on
+the paper's §1.3 catalog scenario, and asserts both
+
+* **parity** — every task returns the identical ``(start, end,
+  support_count, objective_value)`` selection on both paths, and
+* **speed** — the batched fast path is at least ``MIN_CATALOG_SPEEDUP``
+  times faster on the M=1000-bucket, 50+-condition catalog workload.
+
+Default-size runs rewrite ``BENCH_fastpath.json`` at the repository root so
+the bench trajectory tracks the current machine; ``--quick`` smoke runs
+(CI) keep the parity assertions but leave the committed default-size record
+untouched.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bucketing import SortingEquiDepthBucketizer, count_many, count_relation_buckets
+from repro.core import (
+    BucketProfile,
+    MiningTask,
+    OptimizedRuleMiner,
+    RuleKind,
+    fast_maximize_ratio,
+    fast_maximize_support,
+    maximize_ratio_reference,
+    maximize_support_reference,
+    solve_optimized_confidence,
+    solve_optimized_support,
+)
+from repro.datasets import paper_benchmark_table, planted_profile
+from repro.experiments import bench_workload, time_call, write_bench_json
+from repro.relation.conditions import BooleanIs
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_fastpath.json"
+
+# Floor asserted on the default-size catalog workload (observed ~10-13x).
+MIN_CATALOG_SPEEDUP = 2.5
+
+
+def _selection_key(selection):
+    if selection is None:
+        return None
+    return (
+        selection.start,
+        selection.end,
+        selection.support_count,
+        selection.objective_value,
+    )
+
+
+@pytest.fixture(scope="module")
+def quick(request) -> bool:
+    return bool(request.config.getoption("--quick"))
+
+
+@pytest.fixture(scope="module")
+def sizes(quick):
+    if quick:
+        return {"num_tuples": 20_000, "num_buckets": 200, "num_numeric": 2, "num_boolean": 12}
+    return {"num_tuples": 100_000, "num_buckets": 1000, "num_numeric": 4, "num_boolean": 52}
+
+
+@pytest.fixture(scope="module")
+def catalog_relation(sizes):
+    return paper_benchmark_table(
+        sizes["num_tuples"],
+        num_numeric=sizes["num_numeric"],
+        num_boolean=sizes["num_boolean"],
+        seed=29,
+    )
+
+
+@pytest.fixture(scope="module")
+def bench_results():
+    """Workload rows accumulated across the module, written at teardown."""
+    return []
+
+
+def test_bench_catalog_fastpath(catalog_relation, sizes, bench_results, record_report, quick) -> None:
+    """Old-vs-new timing + exact parity on the all-combinations catalog."""
+    relation = catalog_relation
+    numeric_names = relation.schema.numeric_names()
+    boolean_names = relation.schema.boolean_names()
+    tasks = [
+        MiningTask(attribute=a, objective=BooleanIs(b, True), kind=kind, threshold=t)
+        for a in numeric_names
+        for b in boolean_names
+        for kind, t in (
+            (RuleKind.OPTIMIZED_CONFIDENCE, 0.10),
+            (RuleKind.OPTIMIZED_SUPPORT, 0.50),
+        )
+    ]
+
+    # Both paths consume the same deterministic bucketings, built outside the
+    # timed regions (the seed miner cached bucketings per attribute too).
+    miner = OptimizedRuleMiner(
+        relation,
+        num_buckets=sizes["num_buckets"],
+        bucketizer=SortingEquiDepthBucketizer(),
+        engine="fast",
+    )
+    bucketings = {name: miner.bucketing_for(name) for name in numeric_names}
+
+    old_selections: list = []
+
+    def run_old() -> None:
+        old_selections.clear()
+        for task in tasks:
+            profile = BucketProfile.from_relation(
+                relation, task.attribute, task.objective, bucketings[task.attribute]
+            )
+            if task.kind is RuleKind.OPTIMIZED_CONFIDENCE:
+                selection = solve_optimized_confidence(
+                    profile, task.threshold, engine="reference"
+                )
+            else:
+                selection = solve_optimized_support(
+                    profile, task.threshold, engine="reference"
+                )
+            old_selections.append(selection)
+
+    new_selections: list = []
+
+    def run_new() -> None:
+        new_selections.clear()
+        fresh = OptimizedRuleMiner(
+            relation,
+            num_buckets=sizes["num_buckets"],
+            bucketizer=SortingEquiDepthBucketizer(),
+            engine="fast",
+        )
+        fresh._bucketings.update(bucketings)
+        new_selections.extend(fresh.solve_many(tasks))
+
+    old_seconds = time_call(run_old)
+    new_seconds = time_call(run_new)
+
+    mismatches = sum(
+        _selection_key(old) != _selection_key(new)
+        for old, new in zip(old_selections, new_selections)
+    )
+    assert mismatches == 0
+    assert sum(selection is not None for selection in new_selections) > 0
+
+    workload = bench_workload(
+        "catalog",
+        old_seconds,
+        new_seconds,
+        tasks=len(tasks),
+        conditions=len(boolean_names),
+        **sizes,
+    )
+    bench_results.append(workload)
+    record_report(
+        "Fast-path catalog benchmark",
+        f"{len(tasks)} tasks over {sizes['num_tuples']} tuples x "
+        f"{sizes['num_buckets']} buckets x {len(boolean_names)} conditions: "
+        f"old {old_seconds:.3f}s, new {new_seconds:.3f}s "
+        f"({workload['speedup']:.1f}x)",
+    )
+    if not quick:
+        assert workload["speedup"] >= MIN_CATALOG_SPEEDUP
+
+
+def test_bench_solver_fastpath(sizes, bench_results, record_report) -> None:
+    """Array-native solvers vs the object-based sweep on planted profiles."""
+    num_buckets = sizes["num_buckets"]
+    profiles = [
+        planted_profile(num_buckets, bucket_size=100, seed=seed) for seed in range(40)
+    ]
+    min_counts = [int(0.1 * profile_sizes.sum()) for profile_sizes, _ in profiles]
+
+    def run_old_ratio() -> None:
+        for (profile_sizes, profile_values), min_count in zip(profiles, min_counts):
+            maximize_ratio_reference(profile_sizes, profile_values, min_count)
+
+    def run_new_ratio() -> None:
+        for (profile_sizes, profile_values), min_count in zip(profiles, min_counts):
+            fast_maximize_ratio(profile_sizes, profile_values, min_count)
+
+    def run_old_support() -> None:
+        for profile_sizes, profile_values in profiles:
+            maximize_support_reference(profile_sizes, profile_values, 0.5)
+
+    def run_new_support() -> None:
+        for profile_sizes, profile_values in profiles:
+            fast_maximize_support(profile_sizes, profile_values, 0.5)
+
+    ratio_old = time_call(run_old_ratio)
+    ratio_new = time_call(run_new_ratio)
+    support_old = time_call(run_old_support)
+    support_new = time_call(run_new_support)
+
+    for (profile_sizes, profile_values), min_count in zip(profiles, min_counts):
+        fast = fast_maximize_ratio(profile_sizes, profile_values, min_count)
+        reference = maximize_ratio_reference(profile_sizes, profile_values, min_count)
+        assert _selection_key(fast) == _selection_key(reference)
+        fast = fast_maximize_support(profile_sizes, profile_values, 0.5)
+        reference = maximize_support_reference(profile_sizes, profile_values, 0.5)
+        assert _selection_key(fast) == _selection_key(reference)
+
+    ratio_row = bench_workload(
+        "solver-maximize-ratio", ratio_old, ratio_new,
+        profiles=len(profiles), num_buckets=num_buckets,
+    )
+    support_row = bench_workload(
+        "solver-maximize-support", support_old, support_new,
+        profiles=len(profiles), num_buckets=num_buckets,
+    )
+    bench_results.extend([ratio_row, support_row])
+    record_report(
+        "Fast-path solver benchmark",
+        f"{len(profiles)} profiles x {num_buckets} buckets: "
+        f"ratio {ratio_row['speedup']:.1f}x, support {support_row['speedup']:.1f}x",
+    )
+
+
+def test_bench_counting_fastpath(catalog_relation, sizes, bench_results, record_report) -> None:
+    """Batched mask-matrix counting vs one relation scan per condition."""
+    relation = catalog_relation
+    attribute = relation.schema.numeric_names()[0]
+    conditions = {
+        name: BooleanIs(name, True) for name in relation.schema.boolean_names()
+    }
+    bucketing = SortingEquiDepthBucketizer().build(
+        relation.numeric_column(attribute), sizes["num_buckets"]
+    )
+
+    def run_old() -> None:
+        for label, condition in conditions.items():
+            count_relation_buckets(
+                relation, attribute, bucketing, objectives={label: condition}
+            )
+
+    def run_new() -> None:
+        count_many(relation, attribute, bucketing, conditions)
+
+    old_seconds = time_call(run_old)
+    new_seconds = time_call(run_new)
+
+    batched = count_many(relation, attribute, bucketing, conditions)
+    for label, condition in conditions.items():
+        single = count_relation_buckets(
+            relation, attribute, bucketing, objectives={label: condition}
+        )
+        assert np.array_equal(single.sizes, batched.sizes)
+        assert np.array_equal(single.conditional[label], batched.conditional[label])
+
+    workload = bench_workload(
+        "bucket-counting",
+        old_seconds,
+        new_seconds,
+        conditions=len(conditions),
+        num_tuples=sizes["num_tuples"],
+        num_buckets=sizes["num_buckets"],
+    )
+    bench_results.append(workload)
+    record_report(
+        "Fast-path counting benchmark",
+        f"{len(conditions)} conditions x {sizes['num_tuples']} tuples: "
+        f"old {old_seconds:.3f}s, new {new_seconds:.3f}s "
+        f"({workload['speedup']:.1f}x)",
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_file(bench_results, quick, sizes):
+    """Write the accumulated workloads to BENCH_fastpath.json at teardown.
+
+    Quick smoke runs skip the write: the committed file is the default-size
+    performance record, and clobbering it with tiny-workload timings would
+    corrupt the cross-PR trajectory.
+    """
+    yield
+    if bench_results and not quick:
+        write_bench_json(
+            BENCH_PATH,
+            "fastpath",
+            bench_results,
+            metadata={"mode": "default", **sizes},
+        )

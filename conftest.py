@@ -1,0 +1,18 @@
+"""Repository-level pytest configuration.
+
+Registers the ``--quick`` flag used by the performance-regression harness in
+``benchmarks/test_bench_fastpath.py``: quick mode shrinks the synthetic
+workloads to smoke-test sizes (CI) while the default sizes match the paper's
+catalog scenario and gate the old-vs-new speedup.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks in smoke mode (tiny sizes, parity checks only)",
+    )

@@ -1,3 +1,28 @@
-from setuptools import setup
+"""Package metadata for the Fukuda et al. (PODS 1996) reproduction."""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-optimized-rules",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Data Mining Using Two-Dimensional Optimized "
+        "Association Rules' (Fukuda, Morimoto, Morishita, Tokuyama; PODS 1996): "
+        "almost-equi-depth bucketing, linear-time optimized-confidence/support "
+        "solvers, and a vectorized batch-mining engine"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

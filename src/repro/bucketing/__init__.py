@@ -8,7 +8,13 @@ behind Figure 1, and the granularity error bounds behind Table I.
 """
 
 from repro.bucketing.base import Bucket, Bucketing, Bucketizer
-from repro.bucketing.counting import BucketCounts, count_conditions, count_relation_buckets
+from repro.bucketing.counting import (
+    BucketCounts,
+    count_conditions,
+    count_many,
+    count_relation_buckets,
+    masked_bucket_counts,
+)
 from repro.bucketing.equidepth_sample import DEFAULT_SAMPLE_FACTOR, SampledEquiDepthBucketizer
 from repro.bucketing.equidepth_sort import (
     SortingEquiDepthBucketizer,
@@ -59,6 +65,8 @@ __all__ = [
     "BucketCounts",
     "count_relation_buckets",
     "count_conditions",
+    "count_many",
+    "masked_bucket_counts",
     "deviation_probability",
     "empirical_deviation_probability",
     "recommended_sample_factor",

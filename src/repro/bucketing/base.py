@@ -202,24 +202,26 @@ class Bucketing:
         """Per-bucket observed minimum (``x_i``) and maximum (``y_i``) values.
 
         Empty buckets receive ``nan`` for both bounds.
+
+        Bucket assignment is monotone in the value, so after one sort the
+        buckets are contiguous runs and the per-bucket minimum / maximum are
+        simply the first / last element of each run — no per-bucket Python
+        loop is needed.
         """
         array = np.asarray(values, dtype=np.float64)
-        indices = self.assign(array)
         lows = np.full(self.num_buckets, np.nan)
         highs = np.full(self.num_buckets, np.nan)
         if array.size:
-            order = np.argsort(indices, kind="stable")
-            sorted_indices = indices[order]
-            sorted_values = array[order]
+            sorted_values = np.sort(array)
+            sorted_indices = self.assign(sorted_values)
             boundaries = np.searchsorted(
                 sorted_indices, np.arange(self.num_buckets + 1), side="left"
             )
-            for bucket in range(self.num_buckets):
-                start, stop = boundaries[bucket], boundaries[bucket + 1]
-                if stop > start:
-                    segment = sorted_values[start:stop]
-                    lows[bucket] = segment.min()
-                    highs[bucket] = segment.max()
+            starts = boundaries[:-1]
+            stops = boundaries[1:]
+            nonempty = stops > starts
+            lows[nonempty] = sorted_values[starts[nonempty]]
+            highs[nonempty] = sorted_values[stops[nonempty] - 1]
         return lows, highs
 
     def buckets(self, values: Sequence[float] | np.ndarray) -> list[Bucket]:

@@ -86,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--min-average", type=float, default=0.0)
     mine_parser.add_argument("--buckets", type=int, default=500)
     mine_parser.add_argument("--seed", type=int, default=0)
+    mine_parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="solver engine: array-native fast path (default) or the object-based reference",
+    )
 
     catalog_parser = subparsers.add_parser(
         "catalog", help="mine optimized rules for every numeric/Boolean attribute pair"
@@ -101,6 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-markdown", default=None, help="also export the top rules as a Markdown table"
     )
     catalog_parser.add_argument("--seed", type=int, default=0)
+    catalog_parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="solver engine: array-native fast path (default) or the object-based reference",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper-reproduction experiments"
@@ -121,7 +133,10 @@ def _run_mine(args: argparse.Namespace) -> int:
 
     relation = load_dataset(args.csv)
     miner = OptimizedRuleMiner(
-        relation, num_buckets=args.buckets, rng=np.random.default_rng(args.seed)
+        relation,
+        num_buckets=args.buckets,
+        rng=np.random.default_rng(args.seed),
+        engine=args.engine,
     )
     if args.kind == "confidence":
         rule = miner.optimized_confidence_rule(
@@ -161,6 +176,7 @@ def _run_catalog(args: argparse.Namespace) -> int:
         min_confidence=args.min_confidence,
         num_buckets=args.buckets,
         rng=np.random.default_rng(args.seed),
+        engine=args.engine,
     )
     print(
         f"mined {len(catalog)} rules over {catalog.num_pairs} attribute pairs "

@@ -13,17 +13,24 @@ from repro.core.average import (
     maximum_support_average_rule,
     maximum_support_range,
 )
+from repro.core.fastpath import (
+    fast_effective_indices,
+    fast_maximize_ratio,
+    fast_maximize_support,
+)
 from repro.core.kadane import gain_of_range, maximum_gain_range
-from repro.core.miner import MiningSettings, OptimizedRuleMiner
+from repro.core.miner import MiningSettings, MiningTask, OptimizedRuleMiner
 from repro.core.naive import naive_maximize_ratio, naive_maximize_support
 from repro.core.optimized_confidence import (
     maximize_ratio,
+    maximize_ratio_reference,
     optimized_confidence_from_profile,
     solve_optimized_confidence,
 )
 from repro.core.optimized_support import (
     effective_indices,
     maximize_support,
+    maximize_support_reference,
     optimized_support_from_profile,
     solve_optimized_support,
 )
@@ -42,12 +49,17 @@ __all__ = [
     "OptimizedRangeRule",
     "OptimizedAverageRule",
     "maximize_ratio",
+    "maximize_ratio_reference",
     "solve_optimized_confidence",
     "optimized_confidence_from_profile",
     "maximize_support",
+    "maximize_support_reference",
     "effective_indices",
     "solve_optimized_support",
     "optimized_support_from_profile",
+    "fast_maximize_ratio",
+    "fast_maximize_support",
+    "fast_effective_indices",
     "naive_maximize_ratio",
     "naive_maximize_support",
     "maximum_gain_range",
@@ -58,4 +70,5 @@ __all__ = [
     "maximum_support_average_rule",
     "OptimizedRuleMiner",
     "MiningSettings",
+    "MiningTask",
 ]

@@ -33,7 +33,7 @@ __all__ = [
 
 
 def maximum_average_range(
-    profile: BucketProfile, min_support: float
+    profile: BucketProfile, min_support: float, engine: str = "fast"
 ) -> RangeSelection | None:
     """Range of the grouping attribute maximizing the target average.
 
@@ -48,11 +48,12 @@ def maximum_average_range(
         profile.values,
         min_support_count=min_support * profile.total,
         total=profile.total,
+        engine=engine,
     )
 
 
 def maximum_support_range(
-    profile: BucketProfile, min_average: float
+    profile: BucketProfile, min_average: float, engine: str = "fast"
 ) -> RangeSelection | None:
     """Range of the grouping attribute maximizing support under an average floor.
 
@@ -66,14 +67,15 @@ def maximum_support_range(
         profile.values,
         min_ratio=min_average,
         total=profile.total,
+        engine=engine,
     )
 
 
 def maximum_average_rule(
-    profile: BucketProfile, target: str, min_support: float
+    profile: BucketProfile, target: str, min_support: float, engine: str = "fast"
 ) -> OptimizedAverageRule | None:
     """Wrap :func:`maximum_average_range` into a presentation object."""
-    selection = maximum_average_range(profile, min_support)
+    selection = maximum_average_range(profile, min_support, engine=engine)
     if selection is None:
         return None
     low, high = profile.range_bounds(selection.start, selection.end)
@@ -89,10 +91,10 @@ def maximum_average_rule(
 
 
 def maximum_support_average_rule(
-    profile: BucketProfile, target: str, min_average: float
+    profile: BucketProfile, target: str, min_average: float, engine: str = "fast"
 ) -> OptimizedAverageRule | None:
     """Wrap :func:`maximum_support_range` into a presentation object."""
-    selection = maximum_support_range(profile, min_average)
+    selection = maximum_support_range(profile, min_average, engine=engine)
     if selection is None:
         return None
     low, high = profile.range_bounds(selection.start, selection.end)

@@ -11,30 +11,69 @@ system does end to end:
 4. instantiate the winning bucket range into a concrete value range and
    return a printable rule object.
 
+Batch mining
+------------
+The "all combinations of hundreds of numeric and Boolean attributes"
+scenario of §1.3 is served by the batched API:
+
+* :class:`MiningTask` names one unit of work — an attribute, an objective,
+  a rule kind, and an optional per-task threshold;
+* :meth:`OptimizedRuleMiner.solve_many` resolves a catalog of tasks to raw
+  :class:`~repro.core.rules.RangeSelection` results;
+* :meth:`OptimizedRuleMiner.mine_many` resolves them to presentation rule
+  objects.
+
+The batch path shares everything shareable: each attribute is bucketed and
+assigned to buckets exactly once (the assignment, bucket sizes, and
+per-bucket data bounds are cached), each objective condition is evaluated
+into a tuple mask exactly once (cached across attributes), and each profile
+is a cheap ``np.bincount`` over the cached assignment.  Solvers run on the
+array-native fast path by default (``engine="fast"``); pass
+``engine="reference"`` to use the object-based oracle implementations.
+
+Parity guarantee: the batch path builds profiles from the same
+``searchsorted`` / ``bincount`` primitives as the single-rule path, and the
+fast solvers evaluate the same floating-point comparisons as the reference
+ones, so ``mine_many`` returns rules with the same ``(start, end,
+support_count, objective_value)`` as calling the single-rule methods in a
+loop — ``tests/core/test_fastpath.py`` asserts this equivalence.
+
 The miner caches bucketings and profiles keyed by the attribute and the
-objective so that mining many rules over the same relation (the
-"all combinations of hundreds of numeric and Boolean attributes" scenario of
-§1.3) does not repeat the bucketing scans.
+objective so that mining many rules over the same relation does not repeat
+the bucketing scans, whichever entry point is used.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from repro.bucketing.base import Bucketing, Bucketizer
 from repro.bucketing.equidepth_sample import SampledEquiDepthBucketizer
-from repro.core.average import maximum_average_rule, maximum_support_average_rule
+from repro.core.average import (
+    maximum_average_range,
+    maximum_average_rule,
+    maximum_support_average_rule,
+    maximum_support_range,
+)
 from repro.core.optimized_confidence import solve_optimized_confidence
 from repro.core.optimized_support import solve_optimized_support
 from repro.core.profile import BucketProfile
-from repro.core.rules import OptimizedAverageRule, OptimizedRangeRule, RuleKind
+from repro.core.rules import (
+    OptimizedAverageRule,
+    OptimizedRangeRule,
+    RangeSelection,
+    RuleKind,
+)
 from repro.exceptions import OptimizationError, SchemaError
 from repro.relation.conditions import BooleanIs, Condition
 from repro.relation.relation import Relation
 
-__all__ = ["OptimizedRuleMiner", "MiningSettings"]
+__all__ = ["OptimizedRuleMiner", "MiningSettings", "MiningTask"]
+
+_ENGINES = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -44,6 +83,39 @@ class MiningSettings:
     min_support: float = 0.10
     min_confidence: float = 0.50
     num_buckets: int = 1000
+
+
+@dataclass(frozen=True)
+class MiningTask:
+    """One unit of batch mining work.
+
+    Attributes
+    ----------
+    attribute:
+        Numeric attribute whose range is optimized (the grouping attribute
+        for the §5 average kinds).
+    objective:
+        Objective condition (or Boolean attribute name) for confidence and
+        support rules; the numeric *target* attribute name for the average
+        kinds.
+    kind:
+        Which optimization to run.
+    threshold:
+        Per-task threshold — minimum support for confidence/max-average
+        rules, minimum confidence for support rules, minimum average for
+        max-support-average rules.  ``None`` falls back to the
+        :class:`MiningSettings` defaults (required for max-support-average,
+        which has no settings default).
+    presumptive:
+        Optional extra conjunct ``C1`` for generalized rules (§4.3); only
+        valid for confidence and support kinds.
+    """
+
+    attribute: str
+    objective: Condition | str
+    kind: RuleKind = RuleKind.OPTIMIZED_CONFIDENCE
+    threshold: float | None = None
+    presumptive: Condition | None = None
 
 
 class OptimizedRuleMiner:
@@ -61,6 +133,9 @@ class OptimizedRuleMiner:
     rng:
         Random generator forwarded to the bucketizer so that experiments can
         be reproduced exactly.
+    engine:
+        Solver engine: ``"fast"`` (array-native, default) or ``"reference"``
+        (object-based oracle).  Both return identical rules.
     """
 
     def __init__(
@@ -69,15 +144,29 @@ class OptimizedRuleMiner:
         num_buckets: int = 1000,
         bucketizer: Bucketizer | None = None,
         rng: np.random.Generator | None = None,
+        engine: str = "fast",
     ) -> None:
         if num_buckets <= 0:
             raise OptimizationError("num_buckets must be positive")
+        if engine not in _ENGINES:
+            raise OptimizationError(
+                f"unknown solver engine {engine!r}; use 'fast' or 'reference'"
+            )
         self._relation = relation
         self._num_buckets = int(num_buckets)
         self._bucketizer = bucketizer if bucketizer is not None else SampledEquiDepthBucketizer()
         self._rng = rng if rng is not None else np.random.default_rng()
+        self._engine = engine
         self._bucketings: dict[str, Bucketing] = {}
-        self._profiles: dict[tuple[str, str, str], BucketProfile] = {}
+        # Profiles and masks are keyed by the (frozen, hashable) condition
+        # objects themselves, not their string forms, so conditions that
+        # render identically (e.g. bounds differing past %g precision) never
+        # collide.
+        self._profiles: dict[tuple[object, ...], BucketProfile] = {}
+        # Batch-path caches: one bucket-assignment pass per attribute and one
+        # mask evaluation per objective condition, shared across attributes.
+        self._assignments: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._masks: dict[Condition, np.ndarray] = {}
 
     # -- plumbing -------------------------------------------------------------
 
@@ -90,6 +179,11 @@ class OptimizedRuleMiner:
     def num_buckets(self) -> int:
         """Requested number of buckets per numeric attribute."""
         return self._num_buckets
+
+    @property
+    def engine(self) -> str:
+        """Solver engine in use (``"fast"`` or ``"reference"``)."""
+        return self._engine
 
     def bucketing_for(self, attribute: str) -> Bucketing:
         """The (cached) bucketing of a numeric attribute."""
@@ -105,6 +199,42 @@ class OptimizedRuleMiner:
             )
         return self._bucketings[attribute]
 
+    def condition_mask(self, condition: Condition) -> np.ndarray:
+        """The (cached) Boolean tuple mask of an objective condition.
+
+        Conditions are frozen dataclasses, so the cache is keyed by the
+        condition itself (structural equality) — two conditions that merely
+        render to the same string never collide.
+        """
+        if condition not in self._masks:
+            self._masks[condition] = np.asarray(
+                condition.mask(self._relation), dtype=bool
+            )
+        return self._masks[condition]
+
+    def _assignment_for(
+        self, attribute: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One-scan bucket assignment of an attribute, cached.
+
+        Returns ``(indices, sizes, lows, highs, keep)`` where ``keep`` marks
+        the non-empty buckets (profiles drop empty buckets, as the solvers
+        require ``u_i >= 1``).
+        """
+        if attribute not in self._assignments:
+            bucketing = self.bucketing_for(attribute)
+            values = np.asarray(
+                self._relation.numeric_column(attribute), dtype=np.float64
+            )
+            indices = bucketing.assign(values)
+            sizes = np.bincount(indices, minlength=bucketing.num_buckets).astype(
+                np.int64
+            )
+            lows, highs = bucketing.data_bounds(values)
+            keep = sizes > 0
+            self._assignments[attribute] = (indices, sizes, lows, highs, keep)
+        return self._assignments[attribute]
+
     def profile_for(
         self,
         attribute: str,
@@ -112,23 +242,54 @@ class OptimizedRuleMiner:
         presumptive: Condition | None = None,
     ) -> BucketProfile:
         """The (cached) bucket profile of an attribute/objective pair."""
-        key = (attribute, str(objective), str(presumptive) if presumptive else "")
+        key = (attribute, objective, presumptive)
         if key not in self._profiles:
-            self._profiles[key] = BucketProfile.from_relation(
-                self._relation,
-                attribute,
-                objective,
-                self.bucketing_for(attribute),
-                presumptive=presumptive,
-            )
+            if presumptive is not None:
+                # The presumptive conjunct restricts the base population, so
+                # the shared assignment cache does not apply.
+                self._profiles[key] = BucketProfile.from_relation(
+                    self._relation,
+                    attribute,
+                    objective,
+                    self.bucketing_for(attribute),
+                    presumptive=presumptive,
+                )
+            else:
+                indices, sizes, lows, highs, keep = self._assignment_for(attribute)
+                mask = self.condition_mask(objective)
+                matched = np.bincount(
+                    indices[mask], minlength=sizes.shape[0]
+                ).astype(np.int64)
+                self._profiles[key] = BucketProfile(
+                    attribute=attribute,
+                    objective_label=str(objective),
+                    sizes=sizes[keep].astype(np.float64),
+                    values=matched[keep].astype(np.float64),
+                    lows=lows[keep],
+                    highs=highs[keep],
+                    total=float(self._relation.num_tuples),
+                )
         return self._profiles[key]
 
     def average_profile_for(self, attribute: str, target: str) -> BucketProfile:
         """The (cached) average-operator profile of a grouping/target pair."""
-        key = (attribute, f"avg({target})", "")
+        key = (attribute, ("avg", target), None)
         if key not in self._profiles:
-            self._profiles[key] = BucketProfile.from_relation_average(
-                self._relation, attribute, target, self.bucketing_for(attribute)
+            indices, sizes, lows, highs, keep = self._assignment_for(attribute)
+            weights = np.asarray(
+                self._relation.numeric_column(target), dtype=np.float64
+            )
+            sums = np.bincount(
+                indices, weights=weights, minlength=sizes.shape[0]
+            ).astype(np.float64)
+            self._profiles[key] = BucketProfile(
+                attribute=attribute,
+                objective_label=f"avg({target})",
+                sizes=sizes[keep].astype(np.float64),
+                values=sums[keep],
+                lows=lows[keep],
+                highs=highs[keep],
+                total=float(self._relation.num_tuples),
             )
         return self._profiles[key]
 
@@ -155,7 +316,9 @@ class OptimizedRuleMiner:
         """
         objective = self._as_condition(objective)
         profile = self.profile_for(attribute, objective, presumptive)
-        selection = solve_optimized_confidence(profile, min_support)
+        selection = solve_optimized_confidence(
+            profile, min_support, engine=self._engine
+        )
         if selection is None:
             return None
         low, high = profile.range_bounds(selection.start, selection.end)
@@ -184,7 +347,9 @@ class OptimizedRuleMiner:
         """
         objective = self._as_condition(objective)
         profile = self.profile_for(attribute, objective, presumptive)
-        selection = solve_optimized_support(profile, min_confidence)
+        selection = solve_optimized_support(
+            profile, min_confidence, engine=self._engine
+        )
         if selection is None:
             return None
         low, high = profile.range_bounds(selection.start, selection.end)
@@ -204,14 +369,130 @@ class OptimizedRuleMiner:
     ) -> OptimizedAverageRule | None:
         """§5 maximum-average range of ``target`` grouped by ``attribute``."""
         profile = self.average_profile_for(attribute, target)
-        return maximum_average_rule(profile, target, min_support)
+        return maximum_average_rule(profile, target, min_support, engine=self._engine)
 
     def maximum_support_average_rule(
         self, attribute: str, target: str, min_average: float
     ) -> OptimizedAverageRule | None:
         """§5 maximum-support range of ``attribute`` with an average floor on ``target``."""
         profile = self.average_profile_for(attribute, target)
-        return maximum_support_average_rule(profile, target, min_average)
+        return maximum_support_average_rule(
+            profile, target, min_average, engine=self._engine
+        )
+
+    # -- batch mining --------------------------------------------------------------
+
+    def _task_threshold(self, task: MiningTask, settings: MiningSettings) -> float:
+        """Resolve a task's threshold against the settings defaults."""
+        if task.threshold is not None:
+            return float(task.threshold)
+        if task.kind in (RuleKind.OPTIMIZED_CONFIDENCE, RuleKind.MAXIMUM_AVERAGE):
+            return settings.min_support
+        if task.kind is RuleKind.OPTIMIZED_SUPPORT:
+            return settings.min_confidence
+        raise OptimizationError(
+            "maximum-support-average tasks need an explicit threshold "
+            "(there is no settings default for the minimum average)"
+        )
+
+    def _task_profile(self, task: MiningTask) -> BucketProfile:
+        """The profile a task operates on (cached through the batch caches)."""
+        if task.kind in (RuleKind.MAXIMUM_AVERAGE, RuleKind.MAXIMUM_SUPPORT_AVERAGE):
+            if not isinstance(task.objective, str):
+                raise OptimizationError(
+                    "average-operator tasks name their numeric target attribute"
+                )
+            if task.presumptive is not None:
+                raise OptimizationError(
+                    "presumptive conjuncts apply only to confidence/support tasks"
+                )
+            return self.average_profile_for(task.attribute, task.objective)
+        objective = self._as_condition(task.objective)
+        return self.profile_for(task.attribute, objective, task.presumptive)
+
+    def solve_many(
+        self,
+        tasks: Iterable[MiningTask],
+        settings: MiningSettings | None = None,
+    ) -> list[RangeSelection | None]:
+        """Resolve a catalog of tasks to raw bucket-range selections.
+
+        Bucketings, bucket assignments, condition masks, and profiles are
+        shared across the whole catalog; the result list is parallel to the
+        task order, with ``None`` for infeasible tasks.
+        """
+        settings = settings if settings is not None else MiningSettings()
+        selections: list[RangeSelection | None] = []
+        for task in tasks:
+            profile = self._task_profile(task)
+            threshold = self._task_threshold(task, settings)
+            if task.kind is RuleKind.OPTIMIZED_CONFIDENCE:
+                selection = solve_optimized_confidence(
+                    profile, threshold, engine=self._engine
+                )
+            elif task.kind is RuleKind.OPTIMIZED_SUPPORT:
+                selection = solve_optimized_support(
+                    profile, threshold, engine=self._engine
+                )
+            elif task.kind is RuleKind.MAXIMUM_AVERAGE:
+                selection = maximum_average_range(
+                    profile, threshold, engine=self._engine
+                )
+            else:
+                selection = maximum_support_range(
+                    profile, threshold, engine=self._engine
+                )
+            selections.append(selection)
+        return selections
+
+    def mine_many(
+        self,
+        tasks: Iterable[MiningTask],
+        settings: MiningSettings | None = None,
+    ) -> list[OptimizedRangeRule | OptimizedAverageRule | None]:
+        """Resolve a catalog of tasks to presentation rule objects.
+
+        The result list is parallel to the task order; infeasible tasks map
+        to ``None``.  Equivalent to calling the single-rule methods in a
+        loop, but with all counting shared (see the module docstring).
+        """
+        settings = settings if settings is not None else MiningSettings()
+        tasks = list(tasks)
+        selections = self.solve_many(tasks, settings)
+        rules: list[OptimizedRangeRule | OptimizedAverageRule | None] = []
+        for task, selection in zip(tasks, selections):
+            if selection is None:
+                rules.append(None)
+                continue
+            profile = self._task_profile(task)
+            threshold = self._task_threshold(task, settings)
+            low, high = profile.range_bounds(selection.start, selection.end)
+            if task.kind in (RuleKind.MAXIMUM_AVERAGE, RuleKind.MAXIMUM_SUPPORT_AVERAGE):
+                rules.append(
+                    OptimizedAverageRule(
+                        attribute=task.attribute,
+                        target=str(task.objective),
+                        low=low,
+                        high=high,
+                        selection=selection,
+                        kind=task.kind,
+                        threshold=threshold,
+                    )
+                )
+            else:
+                rules.append(
+                    OptimizedRangeRule(
+                        attribute=task.attribute,
+                        objective=self._as_condition(task.objective),
+                        low=low,
+                        high=high,
+                        selection=selection,
+                        kind=task.kind,
+                        threshold=threshold,
+                        presumptive=task.presumptive,
+                    )
+                )
+        return rules
 
     # -- bulk mining ---------------------------------------------------------------
 
@@ -225,34 +506,29 @@ class OptimizedRuleMiner:
         """Mine one optimized rule per (numeric attribute, objective) pair.
 
         This is the "complete set of optimized rules for all combinations of
-        hundreds of numeric and Boolean attributes" use case of §1.3.  Pairs
-        with no feasible range are silently skipped.
+        hundreds of numeric and Boolean attributes" use case of §1.3,
+        expressed over the batched :meth:`mine_many` engine.  Pairs with no
+        feasible range are silently skipped.
         """
         settings = settings if settings is not None else MiningSettings()
+        if kind not in (RuleKind.OPTIMIZED_CONFIDENCE, RuleKind.OPTIMIZED_SUPPORT):
+            raise OptimizationError(
+                f"mine_all_pairs supports confidence/support rules, got {kind}"
+            )
         schema = self._relation.schema
         if numeric_attributes is None:
             numeric_attributes = schema.numeric_names()
         if objectives is None:
             objectives = list(schema.boolean_names())
 
-        rules: list[OptimizedRangeRule] = []
+        tasks: list[MiningTask] = []
         for attribute in numeric_attributes:
             for objective in objectives:
                 condition = self._as_condition(objective)
                 if attribute in condition.attribute_names():
                     continue
-                if kind is RuleKind.OPTIMIZED_CONFIDENCE:
-                    rule = self.optimized_confidence_rule(
-                        attribute, condition, settings.min_support
-                    )
-                elif kind is RuleKind.OPTIMIZED_SUPPORT:
-                    rule = self.optimized_support_rule(
-                        attribute, condition, settings.min_confidence
-                    )
-                else:
-                    raise OptimizationError(
-                        f"mine_all_pairs supports confidence/support rules, got {kind}"
-                    )
-                if rule is not None:
-                    rules.append(rule)
-        return rules
+                tasks.append(
+                    MiningTask(attribute=attribute, objective=condition, kind=kind)
+                )
+        mined = self.mine_many(tasks, settings)
+        return [rule for rule in mined if isinstance(rule, OptimizedRangeRule)]

@@ -25,18 +25,33 @@ from ``Q_m`` to that hull.  Three ingredients keep the total work linear:
 ``solve_optimized_confidence`` wraps the index-pair search into the
 :class:`~repro.core.rules.RangeSelection` result type shared with the other
 solvers.
+
+Two interchangeable engines implement the sweep:
+
+* ``engine="fast"`` (the default) — the structure-of-arrays implementation
+  of :func:`repro.core.fastpath.fast_maximize_ratio`, which allocates no
+  ``Point`` objects;
+* ``engine="reference"`` — the object-based implementation below
+  (:func:`maximize_ratio_reference`), kept as the readable, paper-faithful
+  oracle the fast path is differentially tested against.
+
+Both evaluate identical floating-point comparisons, so they return
+bit-identical selections whenever the cross products are exact (integer
+tuple counts below 2**53 — every profile built from a relation).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.fastpath import fast_maximize_ratio
 from repro.core.profile import BucketProfile
 from repro.core.rules import RangeSelection
 from repro.core.validation import validate_bucket_arrays, validate_fraction
-from repro.exceptions import NoFeasibleRangeError
+from repro.exceptions import HullInvariantWarning, NoFeasibleRangeError, OptimizationError
 from repro.geometry.convex_hull_tree import SuffixHullMaintainer
 from repro.geometry.orientation import compare_slopes, point_above_line
 from repro.geometry.point import Point
@@ -44,6 +59,7 @@ from repro.geometry.tangent import clockwise_tangent, counterclockwise_tangent
 
 __all__ = [
     "maximize_ratio",
+    "maximize_ratio_reference",
     "solve_optimized_confidence",
     "optimized_confidence_from_profile",
 ]
@@ -54,6 +70,7 @@ def maximize_ratio(
     values: Sequence[float] | np.ndarray,
     min_support_count: float,
     total: float | None = None,
+    engine: str = "fast",
 ) -> RangeSelection | None:
     """Find the ample range of consecutive buckets with maximal ``Σv / Σu``.
 
@@ -68,6 +85,9 @@ def maximize_ratio(
         Minimum tuple count an eligible range must reach ("ample" pairs).
     total:
         Tuple count ``N`` used to express supports; defaults to ``Σ u_i``.
+    engine:
+        ``"fast"`` (array-native default) or ``"reference"`` (object-based
+        oracle); both return identical selections.
 
     Returns
     -------
@@ -76,6 +96,20 @@ def maximize_ratio(
         ratio are broken towards the larger tuple count, as the paper
         specifies for optimal slope pairs.
     """
+    if engine == "fast":
+        return fast_maximize_ratio(sizes, values, min_support_count, total)
+    if engine == "reference":
+        return maximize_ratio_reference(sizes, values, min_support_count, total)
+    raise OptimizationError(f"unknown solver engine {engine!r}; use 'fast' or 'reference'")
+
+
+def maximize_ratio_reference(
+    sizes: Sequence[float] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    min_support_count: float,
+    total: float | None = None,
+) -> RangeSelection | None:
+    """Object-based reference implementation of :func:`maximize_ratio`."""
     sizes, values = validate_bucket_arrays(sizes, values)
     num_buckets = sizes.shape[0]
     total = float(sizes.sum()) if total is None else float(total)
@@ -139,7 +173,16 @@ def maximize_ratio(
                 # touch the stack above it.  Resume the scan there (Figure 8).
                 position = tangent_stack_position
                 if position is None or position >= len(stack) or stack[position] != tangent_end:
-                    # Defensive fallback; the invariant above should prevent this.
+                    # Defensive fallback; the invariant above should prevent
+                    # this.  Warn so the O(M) -> O(M^2) degradation is
+                    # observable rather than silent.
+                    warnings.warn(
+                        "suffix-hull stack position invariant violated at anchor "
+                        f"{anchor} (expected point {tangent_end} at position "
+                        f"{position}); falling back to a clockwise rescan",
+                        HullInvariantWarning,
+                        stacklevel=2,
+                    )
                     result = clockwise_tangent(points, stack, anchor)
                 else:
                     result = counterclockwise_tangent(points, stack, anchor, position)
@@ -192,7 +235,7 @@ def _compare_segment_slopes(a1: Point, a2: Point, b1: Point, b2: Point) -> int:
 
 
 def solve_optimized_confidence(
-    profile: BucketProfile, min_support: float
+    profile: BucketProfile, min_support: float, engine: str = "fast"
 ) -> RangeSelection | None:
     """Optimized-confidence rule over a :class:`BucketProfile`.
 
@@ -205,11 +248,12 @@ def solve_optimized_confidence(
         profile.values,
         min_support_count=min_support * profile.total,
         total=profile.total,
+        engine=engine,
     )
 
 
 def optimized_confidence_from_profile(
-    profile: BucketProfile, min_support: float
+    profile: BucketProfile, min_support: float, engine: str = "fast"
 ) -> RangeSelection:
     """Strict variant of :func:`solve_optimized_confidence`.
 
@@ -218,7 +262,7 @@ def optimized_confidence_from_profile(
     NoFeasibleRangeError
         When no range of consecutive buckets reaches the minimum support.
     """
-    selection = solve_optimized_confidence(profile, min_support)
+    selection = solve_optimized_confidence(profile, min_support, engine=engine)
     if selection is None:
         raise NoFeasibleRangeError(
             f"no range of {profile.attribute!r} reaches support {min_support:.1%}"

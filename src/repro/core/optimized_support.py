@@ -24,6 +24,18 @@ The solver runs in two linear passes over the buckets:
   cumulative gain table ``F`` so each check is O(1).
 
 The best range is then the ``(s, top(s))`` pair with the largest tuple count.
+
+Two interchangeable engines implement the solver:
+
+* ``engine="fast"`` (the default) — the fully vectorized implementation of
+  :func:`repro.core.fastpath.fast_maximize_support` (running-minimum
+  effective indices, batched binary search for every ``top(s)``);
+* ``engine="reference"`` — the two-pass Python implementation below
+  (:func:`maximize_support_reference`), kept as the paper-faithful oracle.
+
+Both compare the same cumulative-gain table entries, so they agree exactly
+whenever the gains are exactly representable (integer counts with a dyadic
+threshold, and in practice every profile built from a relation).
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.fastpath import fast_maximize_support
 from repro.core.profile import BucketProfile
 from repro.core.rules import RangeSelection
 from repro.core.validation import (
@@ -39,11 +52,12 @@ from repro.core.validation import (
     validate_fraction,
     validate_threshold,
 )
-from repro.exceptions import NoFeasibleRangeError
+from repro.exceptions import NoFeasibleRangeError, OptimizationError
 
 __all__ = [
     "effective_indices",
     "maximize_support",
+    "maximize_support_reference",
     "solve_optimized_support",
     "optimized_support_from_profile",
 ]
@@ -76,6 +90,7 @@ def maximize_support(
     values: Sequence[float] | np.ndarray,
     min_ratio: float,
     total: float | None = None,
+    engine: str = "fast",
 ) -> RangeSelection | None:
     """Find the confident range of consecutive buckets with maximal tuple count.
 
@@ -89,6 +104,8 @@ def maximize_support(
         Minimum ratio ``θ`` the selected range must reach.
     total:
         Tuple count ``N`` used to express supports; defaults to ``Σ u_i``.
+    engine:
+        ``"fast"`` (vectorized default) or ``"reference"`` (two-pass oracle).
 
     Returns
     -------
@@ -97,6 +114,20 @@ def maximize_support(
         ``None`` when no such range exists.  Ties are broken towards the
         smaller starting index.
     """
+    if engine == "fast":
+        return fast_maximize_support(sizes, values, min_ratio, total)
+    if engine == "reference":
+        return maximize_support_reference(sizes, values, min_ratio, total)
+    raise OptimizationError(f"unknown solver engine {engine!r}; use 'fast' or 'reference'")
+
+
+def maximize_support_reference(
+    sizes: Sequence[float] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    min_ratio: float,
+    total: float | None = None,
+) -> RangeSelection | None:
+    """Two-pass reference implementation of :func:`maximize_support`."""
     sizes, values = validate_bucket_arrays(sizes, values)
     min_ratio = validate_threshold("min_ratio", min_ratio)
     num_buckets = sizes.shape[0]
@@ -141,7 +172,7 @@ def maximize_support(
 
 
 def solve_optimized_support(
-    profile: BucketProfile, min_confidence: float
+    profile: BucketProfile, min_confidence: float, engine: str = "fast"
 ) -> RangeSelection | None:
     """Optimized-support rule over a :class:`BucketProfile`.
 
@@ -154,11 +185,12 @@ def solve_optimized_support(
         profile.values,
         min_ratio=min_confidence,
         total=profile.total,
+        engine=engine,
     )
 
 
 def optimized_support_from_profile(
-    profile: BucketProfile, min_confidence: float
+    profile: BucketProfile, min_confidence: float, engine: str = "fast"
 ) -> RangeSelection:
     """Strict variant of :func:`solve_optimized_support`.
 
@@ -167,7 +199,7 @@ def optimized_support_from_profile(
     NoFeasibleRangeError
         When no range of consecutive buckets reaches the minimum confidence.
     """
-    selection = solve_optimized_support(profile, min_confidence)
+    selection = solve_optimized_support(profile, min_confidence, engine=engine)
     if selection is None:
         raise NoFeasibleRangeError(
             f"no range of {profile.attribute!r} reaches confidence {min_confidence:.1%}"

@@ -45,6 +45,18 @@ class NoFeasibleRangeError(OptimizationError):
     """
 
 
+class HullInvariantWarning(RuntimeWarning):
+    """The suffix-hull sweep detected a violated stack-position invariant.
+
+    The optimized-confidence sweep remembers where the previous tangent's
+    terminating point sits in the hull stack so the next search can resume
+    there in O(1).  If that position ever disagrees with the stack, the
+    solver falls back to a full clockwise rescan — still correct, but the
+    amortized O(M) bound degrades towards O(M²).  This warning makes that
+    degradation observable instead of silent.
+    """
+
+
 class DatasetError(ReproError):
     """A dataset generator or loader received invalid parameters."""
 

@@ -18,7 +18,14 @@ from repro.experiments.figure9 import Figure9Result, run_figure9
 from repro.experiments.figure10 import Figure10Result, run_figure10
 from repro.experiments.figure11 import Figure11Result, run_figure11
 from repro.experiments.reporting import format_percent, format_seconds, format_table
-from repro.experiments.runner import SweepPoint, SweepResult, geometric_sizes, time_call
+from repro.experiments.runner import (
+    SweepPoint,
+    SweepResult,
+    bench_workload,
+    geometric_sizes,
+    time_call,
+    write_bench_json,
+)
 from repro.experiments.table1 import EmpiricalErrorRow, Table1Result, run_table1
 
 __all__ = [
@@ -34,6 +41,8 @@ __all__ = [
     "run_figure11",
     "Figure11Result",
     "run_catalog_experiment",
+    "bench_workload",
+    "write_bench_json",
     "CatalogExperimentResult",
     "run_bucket_quality_sweep",
     "BucketQualityResult",

@@ -9,13 +9,22 @@ sizes).
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.exceptions import ExperimentError
 
-__all__ = ["time_call", "SweepPoint", "SweepResult", "geometric_sizes"]
+__all__ = [
+    "time_call",
+    "SweepPoint",
+    "SweepResult",
+    "geometric_sizes",
+    "bench_workload",
+    "write_bench_json",
+]
 
 
 def time_call(function: Callable[[], object], repeats: int = 1) -> float:
@@ -113,3 +122,49 @@ def ensure_positive(name: str, values: Iterable[float] | Sequence[float]) -> Non
     for value in values:
         if value <= 0:
             raise ExperimentError(f"{name} entries must be positive, got {value}")
+
+
+def bench_workload(
+    name: str,
+    old_seconds: float,
+    new_seconds: float,
+    **parameters: object,
+) -> dict[str, object]:
+    """One old-vs-new benchmark measurement as a JSON-serializable row.
+
+    ``speedup`` is ``old_seconds / new_seconds`` (``inf``-safe: 0.0 when the
+    new timing is zero-length, which only happens for degenerate workloads).
+    """
+    if old_seconds < 0 or new_seconds < 0:
+        raise ExperimentError("benchmark timings must be non-negative")
+    speedup = old_seconds / new_seconds if new_seconds > 0 else 0.0
+    return {
+        "name": name,
+        "old_seconds": float(old_seconds),
+        "new_seconds": float(new_seconds),
+        "speedup": float(speedup),
+        "parameters": dict(parameters),
+    }
+
+
+def write_bench_json(
+    path: str | Path,
+    benchmark: str,
+    workloads: Sequence[Mapping[str, object]],
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Write a ``BENCH_*.json`` performance-trajectory record.
+
+    The file captures old-vs-new wall-clock timings per workload (rows from
+    :func:`bench_workload`) so that successive PRs can compare their bench
+    baselines.  Returns the written path.
+    """
+    record = {
+        "benchmark": benchmark,
+        "created_unix": time.time(),
+        "metadata": dict(metadata or {}),
+        "workloads": [dict(workload) for workload in workloads],
+    }
+    target = Path(path)
+    target.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return target

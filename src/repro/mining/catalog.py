@@ -7,6 +7,12 @@ reasonable time".  The catalog miner realizes that workflow: for every
 confidence and the optimized-support rule, collects them with their quality
 measures, and ranks them so an analyst can skim the most interesting
 interrelations first.
+
+The catalog is expressed as a batch of :class:`repro.core.MiningTask` items
+resolved by :meth:`OptimizedRuleMiner.mine_many`, so each numeric attribute
+is bucketed and assigned once, each Boolean objective's mask is evaluated
+once (and reused for its base rate), and the solvers run on the array-native
+fast path by default.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bucketing.base import Bucketizer
-from repro.core.miner import OptimizedRuleMiner
+from repro.core.miner import MiningTask, OptimizedRuleMiner
 from repro.core.rules import OptimizedRangeRule, RuleKind
 from repro.exceptions import OptimizationError
 from repro.relation.conditions import BooleanIs
@@ -99,6 +105,7 @@ def mine_rule_catalog(
         RuleKind.OPTIMIZED_CONFIDENCE,
         RuleKind.OPTIMIZED_SUPPORT,
     ),
+    engine: str = "fast",
 ) -> RuleCatalog:
     """Mine optimized rules for every (numeric, Boolean) attribute pair.
 
@@ -116,9 +123,11 @@ def mine_rule_catalog(
         Optional restrictions of the attribute universes.
     kinds:
         Which rule kinds to mine per pair (defaults to both).
+    engine:
+        Solver engine forwarded to the miner (``"fast"`` or ``"reference"``).
     """
     miner = OptimizedRuleMiner(
-        relation, num_buckets=num_buckets, bucketizer=bucketizer, rng=rng
+        relation, num_buckets=num_buckets, bucketizer=bucketizer, rng=rng, engine=engine
     )
     schema = relation.schema
     numeric_names = (
@@ -127,27 +136,38 @@ def mine_rule_catalog(
     boolean_names = (
         boolean_attributes if boolean_attributes is not None else schema.boolean_names()
     )
+    for kind in kinds:
+        if kind not in (RuleKind.OPTIMIZED_CONFIDENCE, RuleKind.OPTIMIZED_SUPPORT):
+            raise OptimizationError(
+                f"catalog mining supports confidence/support rules, got {kind}"
+            )
 
-    entries: list[CatalogEntry] = []
+    tasks: list[MiningTask] = []
+    base_rates: list[float] = []
     pairs = 0
     for boolean_name in boolean_names:
         objective = BooleanIs(boolean_name, True)
-        base_rate = relation.support(objective)
+        # The objective's mask is cached by the miner; its mean is the base
+        # rate every entry of this objective is lifted against.
+        base_rate = float(miner.condition_mask(objective).mean())
         for numeric_name in numeric_names:
             pairs += 1
             for kind in kinds:
-                if kind is RuleKind.OPTIMIZED_CONFIDENCE:
-                    rule = miner.optimized_confidence_rule(
-                        numeric_name, objective, min_support
+                threshold = (
+                    min_support if kind is RuleKind.OPTIMIZED_CONFIDENCE else min_confidence
+                )
+                tasks.append(
+                    MiningTask(
+                        attribute=numeric_name,
+                        objective=objective,
+                        kind=kind,
+                        threshold=threshold,
                     )
-                elif kind is RuleKind.OPTIMIZED_SUPPORT:
-                    rule = miner.optimized_support_rule(
-                        numeric_name, objective, min_confidence
-                    )
-                else:
-                    raise OptimizationError(
-                        f"catalog mining supports confidence/support rules, got {kind}"
-                    )
-                if rule is not None:
-                    entries.append(CatalogEntry(rule=rule, base_rate=base_rate))
+                )
+                base_rates.append(base_rate)
+
+    entries: list[CatalogEntry] = []
+    for rule, base_rate in zip(miner.mine_many(tasks), base_rates):
+        if isinstance(rule, OptimizedRangeRule):
+            entries.append(CatalogEntry(rule=rule, base_rate=base_rate))
     return RuleCatalog(entries=tuple(entries), num_pairs=pairs)

@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.bucketing import Bucketing, count_conditions, count_relation_buckets
+from repro.bucketing import (
+    Bucketing,
+    count_conditions,
+    count_many,
+    count_relation_buckets,
+    masked_bucket_counts,
+)
+from repro.bucketing import counting as counting_module
 from repro.exceptions import BucketingError
 from repro.relation import BooleanIs, Relation
 
@@ -64,3 +71,83 @@ class TestCountConditions:
             objectives={"card_loan": BooleanIs("card_loan")},
         )
         assert np.all(counts.conditional["card_loan"] <= counts.sizes)
+
+
+class TestMaskedBucketCounts:
+    def test_matches_per_row_bincount(self) -> None:
+        rng = np.random.default_rng(5)
+        num_buckets = 17
+        indices = rng.integers(0, num_buckets, size=400)
+        masks = rng.random((9, 400)) < 0.4
+        counts = masked_bucket_counts(indices, masks, num_buckets)
+        assert counts.shape == (9, num_buckets)
+        for row in range(masks.shape[0]):
+            expected = np.bincount(indices[masks[row]], minlength=num_buckets)
+            assert np.array_equal(counts[row], expected)
+
+    def test_chunked_path_matches_unchunked(self, monkeypatch) -> None:
+        rng = np.random.default_rng(6)
+        num_buckets = 7
+        indices = rng.integers(0, num_buckets, size=100)
+        masks = rng.random((11, 100)) < 0.5
+        full = masked_bucket_counts(indices, masks, num_buckets)
+        # Force multiple tiny chunks through the same kernel.
+        monkeypatch.setattr(counting_module, "_MASK_MATRIX_CHUNK_ELEMENTS", 150)
+        chunked = masked_bucket_counts(indices, masks, num_buckets)
+        assert np.array_equal(full, chunked)
+
+    def test_empty_mask_set(self) -> None:
+        counts = masked_bucket_counts(
+            np.zeros(10, dtype=np.int64), np.empty((0, 10), dtype=bool), 4
+        )
+        assert counts.shape == (0, 4)
+
+    def test_shape_mismatch_rejected(self) -> None:
+        with pytest.raises(BucketingError):
+            masked_bucket_counts(
+                np.zeros(10, dtype=np.int64), np.zeros((2, 9), dtype=bool), 4
+            )
+        with pytest.raises(BucketingError):
+            masked_bucket_counts(
+                np.zeros(10, dtype=np.int64), np.zeros(10, dtype=bool), 4
+            )
+
+
+class TestCountMany:
+    def test_matches_per_condition_counting(self, small_relation: Relation) -> None:
+        bucketing = Bucketing([1500.0, 5000.0])
+        objectives = {
+            "card_loan": BooleanIs("card_loan"),
+            "auto_withdrawal": BooleanIs("auto_withdrawal"),
+        }
+        batched = count_many(small_relation, "balance", bucketing, objectives)
+        for label, condition in objectives.items():
+            single = count_relation_buckets(
+                small_relation, "balance", bucketing, objectives={label: condition}
+            )
+            assert np.array_equal(batched.sizes, single.sizes)
+            assert np.array_equal(batched.conditional[label], single.conditional[label])
+            assert np.array_equal(
+                batched.data_low, single.data_low, equal_nan=True
+            )
+            assert np.array_equal(
+                batched.data_high, single.data_high, equal_nan=True
+            )
+
+    def test_no_objectives(self, small_relation: Relation) -> None:
+        batched = count_many(small_relation, "balance", Bucketing([2500.0]), {})
+        assert batched.conditional == {}
+        assert batched.total == small_relation.num_tuples
+
+    def test_mask_length_mismatch_rejected(self, small_relation: Relation) -> None:
+        class BrokenCondition(BooleanIs):
+            def mask(self, relation):
+                return np.ones(3, dtype=bool)
+
+        with pytest.raises(BucketingError):
+            count_many(
+                small_relation,
+                "balance",
+                Bucketing([2500.0]),
+                {"broken": BrokenCondition("card_loan", True)},
+            )

@@ -1,0 +1,380 @@
+"""Oracle tests for the array-native fast-path solvers and the batch miner.
+
+The fast path must return *identical* selections — same ``(start, end,
+support_count, objective_value)`` — as the object-based reference
+implementations and the quadratic naive solvers.  These tests enforce that
+on hundreds of randomized profiles (integer-valued, so every cross product
+is exact and bit-identical agreement is required, with no tolerance), on
+crafted slope-tie profiles that exercise the ``_beats`` width tie-breaking,
+and through the batched :meth:`OptimizedRuleMiner.mine_many` API.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bucketing import SortingEquiDepthBucketizer
+from repro.core import (
+    MiningTask,
+    OptimizedRuleMiner,
+    RuleKind,
+    effective_indices,
+    fast_effective_indices,
+    fast_maximize_ratio,
+    fast_maximize_support,
+    maximize_ratio,
+    maximize_ratio_reference,
+    maximize_support,
+    maximize_support_reference,
+    naive_maximize_ratio,
+    naive_maximize_support,
+)
+from repro.core import optimized_confidence as confidence_module
+from repro.datasets import bank_customers
+from repro.exceptions import HullInvariantWarning, OptimizationError
+from repro.geometry.tangent import TangentResult, clockwise_tangent
+
+
+def selection_key(selection):
+    """The exact-equality fingerprint the oracle tests compare."""
+    if selection is None:
+        return None
+    return (
+        selection.start,
+        selection.end,
+        selection.support_count,
+        selection.objective_value,
+    )
+
+
+class TestRatioOracle:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_integer_profiles(self, seed: int) -> None:
+        """300 random count profiles: fast == reference == naive, exactly."""
+        rng = np.random.default_rng(seed)
+        for _ in range(60):
+            num_buckets = int(rng.integers(1, 80))
+            sizes = rng.integers(1, 30, size=num_buckets)
+            values = rng.binomial(sizes, rng.uniform(0.05, 0.95))
+            min_count = int(rng.integers(0, sizes.sum() + 2))
+            fast = fast_maximize_ratio(sizes, values, min_count)
+            reference = maximize_ratio_reference(sizes, values, min_count)
+            assert selection_key(fast) == selection_key(reference)
+            naive = naive_maximize_ratio(sizes, values, min_count)
+            if naive is None:
+                assert fast is None
+            else:
+                assert fast is not None
+                assert fast.ratio == pytest.approx(naive.ratio, abs=1e-12)
+                assert fast.support_count == naive.support_count
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_randomized_dyadic_average_profiles(self, seed: int) -> None:
+        """Negative dyadic values (the §5 average operator) stay exact."""
+        rng = np.random.default_rng(100 + seed)
+        for _ in range(40):
+            num_buckets = int(rng.integers(1, 60))
+            sizes = rng.integers(1, 20, size=num_buckets).astype(np.float64)
+            values = rng.integers(-32, 33, size=num_buckets) * 0.25
+            min_count = float(rng.integers(0, int(sizes.sum()) + 2))
+            fast = fast_maximize_ratio(sizes, values, min_count)
+            reference = maximize_ratio_reference(sizes, values, min_count)
+            assert selection_key(fast) == selection_key(reference)
+
+    def test_degenerate_single_bucket(self) -> None:
+        assert selection_key(fast_maximize_ratio([7], [3], 5)) == (0, 0, 7.0, 3.0)
+        assert fast_maximize_ratio([7], [3], 8) is None
+
+    def test_monotone_profiles(self) -> None:
+        sizes = np.full(50, 10)
+        increasing = np.arange(50) % 11
+        for values in (increasing, increasing[::-1].copy()):
+            fast = fast_maximize_ratio(sizes, values, 50)
+            reference = maximize_ratio_reference(sizes, values, 50)
+            assert selection_key(fast) == selection_key(reference)
+
+
+class TestSupportOracle:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_integer_profiles(self, seed: int) -> None:
+        """300 random count profiles with dyadic thresholds: exact equality."""
+        rng = np.random.default_rng(1000 + seed)
+        for _ in range(60):
+            num_buckets = int(rng.integers(1, 80))
+            sizes = rng.integers(1, 30, size=num_buckets)
+            values = rng.binomial(sizes, rng.uniform(0.05, 0.95))
+            min_ratio = float(rng.choice([0.125, 0.25, 0.375, 0.5, 0.625, 0.75]))
+            fast = fast_maximize_support(sizes, values, min_ratio)
+            reference = maximize_support_reference(sizes, values, min_ratio)
+            assert selection_key(fast) == selection_key(reference)
+            naive = naive_maximize_support(sizes, values, min_ratio)
+            if naive is None:
+                assert fast is None
+            else:
+                assert fast is not None
+                assert fast.support_count == naive.support_count
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_effective_indices_match(self, seed: int) -> None:
+        rng = np.random.default_rng(2000 + seed)
+        for _ in range(40):
+            num_buckets = int(rng.integers(1, 100))
+            sizes = rng.integers(1, 30, size=num_buckets)
+            values = rng.binomial(sizes, 0.4)
+            min_ratio = float(rng.choice([0.25, 0.5, 0.75]))
+            fast = list(fast_effective_indices(sizes, values, min_ratio))
+            reference = effective_indices(sizes, values, min_ratio)
+            assert fast == reference
+
+    def test_infeasible_threshold(self) -> None:
+        assert fast_maximize_support([5, 5], [1, 1], 0.9) is None
+        assert maximize_support_reference([5, 5], [1, 1], 0.9) is None
+
+    def test_whole_domain_when_threshold_below_base_rate(self) -> None:
+        fast = fast_maximize_support([10, 10, 10], [5, 5, 5], 0.25)
+        assert selection_key(fast) == (0, 2, 30.0, 15.0)
+
+
+class TestSlopeTies:
+    """Profiles with tied slopes exercise ``_beats`` width tie-breaking."""
+
+    def test_uniform_profile_picks_widest_range(self) -> None:
+        # Every range has ratio 0.5; the width tie-break must select the
+        # whole domain on both engines.
+        sizes = [10] * 8
+        values = [5] * 8
+        fast = fast_maximize_ratio(sizes, values, 0)
+        reference = maximize_ratio_reference(sizes, values, 0)
+        assert selection_key(fast) == selection_key(reference)
+        assert (fast.start, fast.end) == (0, 7)
+        assert fast.support_count == 80.0
+
+    def test_two_tied_singletons_prefer_larger_support(self) -> None:
+        # Buckets 1 and 3 both have confidence 1.0; bucket 3 is bigger.
+        sizes = [10, 4, 10, 8]
+        values = [0, 4, 0, 8]
+        fast = fast_maximize_ratio(sizes, values, 1)
+        reference = maximize_ratio_reference(sizes, values, 1)
+        assert selection_key(fast) == selection_key(reference)
+        assert (fast.start, fast.end) == (3, 3)
+
+    def test_collinear_plateau_blocks(self) -> None:
+        # Repeated (size, value) blocks make long collinear hull chains; the
+        # tie-break must behave identically on both engines.
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            block = [
+                (int(rng.integers(1, 6)), int(rng.integers(0, 6)))
+                for _ in range(int(rng.integers(1, 5)))
+            ]
+            repeats = int(rng.integers(2, 6))
+            sizes = [s for _ in range(repeats) for s, _ in block]
+            values = [v for _ in range(repeats) for _, v in block]
+            values = [min(v, s) for s, v in zip(sizes, values)]
+            min_count = int(rng.integers(0, sum(sizes) + 1))
+            fast = fast_maximize_ratio(sizes, values, min_count)
+            reference = maximize_ratio_reference(sizes, values, min_count)
+            assert selection_key(fast) == selection_key(reference)
+            for min_ratio in (0.25, 0.5, 0.75):
+                fast = fast_maximize_support(sizes, values, min_ratio)
+                reference = maximize_support_reference(sizes, values, min_ratio)
+                assert selection_key(fast) == selection_key(reference)
+
+
+class TestEngineDispatch:
+    def test_unknown_engine_rejected(self) -> None:
+        with pytest.raises(OptimizationError):
+            maximize_ratio([5], [1], 1, engine="turbo")
+        with pytest.raises(OptimizationError):
+            maximize_support([5], [1], 0.5, engine="turbo")
+        with pytest.raises(OptimizationError):
+            OptimizedRuleMiner(bank_customers(100, seed=0)[0], engine="turbo")
+
+    def test_both_engines_agree_through_public_entry_point(self) -> None:
+        rng = np.random.default_rng(42)
+        sizes = rng.integers(1, 20, size=64)
+        values = rng.binomial(sizes, 0.3)
+        fast = maximize_ratio(sizes, values, 30, engine="fast")
+        reference = maximize_ratio(sizes, values, 30, engine="reference")
+        assert selection_key(fast) == selection_key(reference)
+        fast = maximize_support(sizes, values, 0.5, engine="fast")
+        reference = maximize_support(sizes, values, 0.5, engine="reference")
+        assert selection_key(fast) == selection_key(reference)
+
+
+class TestHullInvariantWarning:
+    def test_reference_fallback_warns(self, monkeypatch) -> None:
+        """A corrupted resume position must warn, not silently rescan."""
+
+        def lying_clockwise(points, stack, query_index):
+            result = clockwise_tangent(points, stack, query_index)
+            wrong = (result.stack_position + 1) % max(1, len(stack))
+            return TangentResult(result.point_index, wrong)
+
+        monkeypatch.setattr(confidence_module, "clockwise_tangent", lying_clockwise)
+        # Profile chosen so the second anchor resumes from the remembered
+        # stack position (not skipped, previous terminating point on hull).
+        sizes = [1, 1, 1, 1]
+        values = [0, 3, 2, 1]
+        with pytest.warns(HullInvariantWarning):
+            maximize_ratio_reference(sizes, values, 1)
+
+    def test_clean_sweep_does_not_warn(self) -> None:
+        rng = np.random.default_rng(11)
+        sizes = rng.integers(1, 20, size=200)
+        values = rng.binomial(sizes, 0.4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", HullInvariantWarning)
+            maximize_ratio_reference(sizes, values, int(0.1 * sizes.sum()))
+            fast_maximize_ratio(sizes, values, int(0.1 * sizes.sum()))
+
+
+@pytest.fixture(scope="module")
+def bank():
+    relation, _ = bank_customers(5_000, seed=3)
+    return relation
+
+
+def _fresh_miner(relation, engine: str) -> OptimizedRuleMiner:
+    return OptimizedRuleMiner(
+        relation,
+        num_buckets=100,
+        bucketizer=SortingEquiDepthBucketizer(),
+        rng=np.random.default_rng(0),
+        engine=engine,
+    )
+
+
+class TestBatchMiner:
+    def _tasks(self, relation) -> list[MiningTask]:
+        numeric = relation.schema.numeric_names()
+        boolean = relation.schema.boolean_names()
+        tasks = [
+            MiningTask(attribute=a, objective=b, kind=kind)
+            for a in numeric
+            for b in boolean
+            for kind in (RuleKind.OPTIMIZED_CONFIDENCE, RuleKind.OPTIMIZED_SUPPORT)
+        ]
+        tasks.append(
+            MiningTask(
+                attribute="balance",
+                objective="saving_balance",
+                kind=RuleKind.MAXIMUM_AVERAGE,
+                threshold=0.10,
+            )
+        )
+        tasks.append(
+            MiningTask(
+                attribute="balance",
+                objective="saving_balance",
+                kind=RuleKind.MAXIMUM_SUPPORT_AVERAGE,
+                threshold=5_000.0,
+            )
+        )
+        return tasks
+
+    def test_mine_many_matches_single_rule_loop(self, bank) -> None:
+        tasks = self._tasks(bank)
+        batch = _fresh_miner(bank, "fast").mine_many(tasks)
+        single_miner = _fresh_miner(bank, "fast")
+        for task, mined in zip(tasks, batch):
+            if task.kind is RuleKind.OPTIMIZED_CONFIDENCE:
+                expected = single_miner.optimized_confidence_rule(
+                    task.attribute, task.objective, 0.10
+                )
+            elif task.kind is RuleKind.OPTIMIZED_SUPPORT:
+                expected = single_miner.optimized_support_rule(
+                    task.attribute, task.objective, 0.50
+                )
+            elif task.kind is RuleKind.MAXIMUM_AVERAGE:
+                expected = single_miner.maximum_average_rule(
+                    task.attribute, task.objective, task.threshold
+                )
+            else:
+                expected = single_miner.maximum_support_average_rule(
+                    task.attribute, task.objective, task.threshold
+                )
+            if expected is None:
+                assert mined is None
+                continue
+            assert mined is not None
+            assert selection_key(mined.selection) == selection_key(expected.selection)
+            assert (mined.low, mined.high) == (expected.low, expected.high)
+            assert mined.kind is expected.kind
+
+    def test_fast_and_reference_miners_agree(self, bank) -> None:
+        tasks = self._tasks(bank)
+        fast = _fresh_miner(bank, "fast").solve_many(tasks)
+        reference = _fresh_miner(bank, "reference").solve_many(tasks)
+        assert [selection_key(s) for s in fast] == [selection_key(s) for s in reference]
+        assert any(s is not None for s in fast)
+
+    def test_solve_many_matches_mine_many_selections(self, bank) -> None:
+        tasks = self._tasks(bank)
+        miner = _fresh_miner(bank, "fast")
+        selections = miner.solve_many(tasks)
+        rules = miner.mine_many(tasks)
+        for selection, rule in zip(selections, rules):
+            if rule is None:
+                assert selection is None
+            else:
+                assert selection_key(rule.selection) == selection_key(selection)
+
+    def test_mine_all_pairs_uses_batch_engine(self, bank) -> None:
+        miner = _fresh_miner(bank, "fast")
+        rules = miner.mine_all_pairs()
+        loop_miner = _fresh_miner(bank, "fast")
+        expected = []
+        for attribute in bank.schema.numeric_names():
+            for objective in bank.schema.boolean_names():
+                rule = loop_miner.optimized_confidence_rule(attribute, objective, 0.10)
+                if rule is not None:
+                    expected.append(rule)
+        assert len(rules) == len(expected)
+        for mined, single in zip(rules, expected):
+            assert selection_key(mined.selection) == selection_key(single.selection)
+
+    def test_average_task_requires_threshold(self, bank) -> None:
+        miner = _fresh_miner(bank, "fast")
+        task = MiningTask(
+            attribute="balance",
+            objective="saving_balance",
+            kind=RuleKind.MAXIMUM_SUPPORT_AVERAGE,
+        )
+        with pytest.raises(OptimizationError):
+            miner.mine_many([task])
+
+    def test_condition_mask_cache_distinguishes_similar_conditions(self, bank) -> None:
+        # These two bounds render identically under %g (6 significant
+        # digits); the mask cache must still treat them as distinct.
+        from repro.relation.conditions import NumericInRange
+
+        miner = _fresh_miner(bank, "fast")
+        tight = NumericInRange("balance", 0.0, 5000.0000001)
+        loose = NumericInRange("balance", 0.0, 50000.0000002)
+        assert str(NumericInRange("balance", 0.0, 5000.0000001)) == str(
+            NumericInRange("balance", 0.0, 5000.0000002)
+        )
+        mask_a = miner.condition_mask(tight)
+        mask_b = miner.condition_mask(NumericInRange("balance", 0.0, 5000.0000002))
+        mask_c = miner.condition_mask(loose)
+        assert mask_a is not mask_b  # distinct cache entries despite equal str()
+        assert mask_c.sum() > mask_a.sum()
+        # Structurally equal conditions do share one entry.
+        assert miner.condition_mask(NumericInRange("balance", 0.0, 5000.0000001)) is mask_a
+
+    def test_average_task_rejects_condition_objective(self, bank) -> None:
+        from repro.relation.conditions import BooleanIs
+
+        miner = _fresh_miner(bank, "fast")
+        task = MiningTask(
+            attribute="balance",
+            objective=BooleanIs("card_loan", True),
+            kind=RuleKind.MAXIMUM_AVERAGE,
+            threshold=0.1,
+        )
+        with pytest.raises(OptimizationError):
+            miner.mine_many([task])
