@@ -11,6 +11,9 @@ the paper's §1.3 catalog scenario, and asserts both
 * **speed** — the batched fast path is at least ``MIN_CATALOG_SPEEDUP``
   times faster on the M=1000-bucket, 50+-condition catalog workload.
 
+A streaming workload rides along: the same catalog mined end-to-end from a
+chunked ``CSVSource`` (never materialized), recorded as tuples/s throughput.
+
 Default-size runs rewrite ``BENCH_fastpath.json`` at the repository root so
 the bench trajectory tracks the current machine; ``--quick`` smoke runs
 (CI) keep the parity assertions but leave the committed default-size record
@@ -38,7 +41,10 @@ from repro.core import (
     solve_optimized_support,
 )
 from repro.datasets import paper_benchmark_table, planted_profile
-from repro.experiments import bench_workload, time_call, write_bench_json
+from repro.experiments import bench_workload, throughput_workload, time_call, write_bench_json
+from repro.mining import mine_rule_catalog
+from repro.pipeline import CSVSource
+from repro.relation import write_csv
 from repro.relation.conditions import BooleanIs
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -271,6 +277,54 @@ def test_bench_counting_fastpath(catalog_relation, sizes, bench_results, record_
         f"{len(conditions)} conditions x {sizes['num_tuples']} tuples: "
         f"old {old_seconds:.3f}s, new {new_seconds:.3f}s "
         f"({workload['speedup']:.1f}x)",
+    )
+
+
+def test_bench_streaming_catalog(
+    catalog_relation, sizes, bench_results, record_report, tmp_path_factory
+) -> None:
+    """Out-of-core catalog throughput: the §1.3 workload over a CSVSource.
+
+    The whole numeric x Boolean catalog runs from a chunked CSV scan — two
+    passes over the file, never materializing the relation — and the chunked
+    end-to-end throughput (tuples/s, CSV parsing included) is recorded into
+    ``BENCH_fastpath.json`` so successive PRs can track the pipeline's
+    out-of-core rate alongside the in-memory speedups.
+    """
+    chunk_size = 20_000
+    path = tmp_path_factory.mktemp("stream") / "catalog.csv"
+    write_csv(catalog_relation, path)
+    source = CSVSource(path, chunk_size=chunk_size)
+
+    held: dict = {}
+
+    def run_streaming() -> None:
+        held["catalog"] = mine_rule_catalog(
+            source,
+            num_buckets=sizes["num_buckets"],
+            executor="streaming",
+        )
+
+    seconds = time_call(run_streaming)
+    catalog = held["catalog"]
+    assert catalog.num_pairs == sizes["num_numeric"] * sizes["num_boolean"]
+    assert len(catalog) > 0
+
+    workload = throughput_workload(
+        "catalog-streaming",
+        seconds,
+        sizes["num_tuples"],
+        chunk_size=chunk_size,
+        pairs=catalog.num_pairs,
+        rules=len(catalog),
+        num_buckets=sizes["num_buckets"],
+    )
+    bench_results.append(workload)
+    record_report(
+        "Streaming catalog benchmark",
+        f"{catalog.num_pairs} pairs over {sizes['num_tuples']} tuples streamed "
+        f"from CSV in {chunk_size}-row chunks: {seconds:.3f}s "
+        f"({workload['tuples_per_second']:,.0f} tuples/s end-to-end)",
     )
 
 

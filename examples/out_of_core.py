@@ -3,97 +3,85 @@
 The paper's central systems argument is that the relation is too large to
 sort — it lives on disk and can only be scanned.  This example writes a
 large-ish relation to a CSV file, then mines it *without ever loading it
-whole*: the file is read in chunks, a reservoir sample provides the bucket
-boundaries (pass 1), a second chunked scan accumulates the per-bucket counts
-(pass 2), and the linear-time optimizer runs on the resulting profile.  The
-result is compared against mining the fully-loaded relation.
+whole* through the unified pipeline: a :class:`~repro.pipeline.CSVSource`
+scans the file in chunks, the :class:`~repro.core.OptimizedRuleMiner`
+prefetches every profile it needs in two scans (reservoir-sampled bucket
+boundaries, then one counting pass through the shared bincount kernel), and
+the linear-time optimizers run on the resulting profiles.  The same source
+then feeds the whole §1.3 catalog, and the result is compared against mining
+the fully-loaded relation.
 
 Run with:  python examples/out_of_core.py
 """
 
 from __future__ import annotations
 
-import csv
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
-from repro import OptimizedRuleMiner, datasets
-from repro.bucketing import build_streaming_profile
-from repro.core import solve_optimized_confidence
+from repro import CSVSource, OptimizedRuleMiner, datasets
+from repro.mining import mine_rule_catalog
+from repro.relation import write_csv
 from repro.reporting import render_profile
 
 CHUNK_SIZE = 20_000
+NUM_TUPLES = 200_000
 
 
-def write_dataset(path: Path, num_tuples: int) -> None:
+def write_dataset(path: Path) -> None:
     """Materialize the bank relation as a CSV file (the 'database on disk')."""
-    relation, _ = datasets.bank_customers(num_tuples, seed=41)
-    from repro.relation import write_csv
-
+    relation, _ = datasets.bank_customers(NUM_TUPLES, seed=41)
     write_csv(relation, path)
-    print(f"wrote {num_tuples:,} tuples to {path} ({path.stat().st_size / 1e6:.1f} MB)")
-
-
-def chunk_reader(path: Path, attribute: str, objective: str):
-    """Yield (values, objective_mask) chunks by scanning the CSV file."""
-
-    def reader():
-        with path.open("r", newline="", encoding="utf-8") as handle:
-            rows = csv.DictReader(handle)
-            values: list[float] = []
-            flags: list[bool] = []
-            for row in rows:
-                values.append(float(row[attribute]))
-                flags.append(row[objective].strip().lower() in ("yes", "true", "1"))
-                if len(values) == CHUNK_SIZE:
-                    yield np.asarray(values), np.asarray(flags)
-                    values, flags = [], []
-            if values:
-                yield np.asarray(values), np.asarray(flags)
-
-    return reader
+    print(f"wrote {NUM_TUPLES:,} tuples to {path} ({path.stat().st_size / 1e6:.1f} MB)")
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as workdir:
         path = Path(workdir) / "bank.csv"
-        write_dataset(path, 200_000)
+        write_dataset(path)
 
         # --- out-of-core path: two chunked scans of the file -----------------
-        profile = build_streaming_profile(
-            chunk_reader(path, "balance", "card_loan"),
-            num_buckets=1000,
-            attribute="balance",
-            objective_label="(card_loan = yes)",
-            rng=np.random.default_rng(0),
+        source = CSVSource(path, chunk_size=CHUNK_SIZE)
+        miner = OptimizedRuleMiner(source, num_buckets=1000, executor="streaming")
+        streamed = miner.optimized_confidence_rule(
+            "balance", "card_loan", min_support=0.10
         )
-        streamed = solve_optimized_confidence(profile, min_support=0.10)
-        low, high = profile.range_bounds(streamed.start, streamed.end)
         print("\nout-of-core optimized-confidence rule (support >= 10%):")
-        print(
-            f"  (balance in [{low:,.0f}, {high:,.0f}]) => (card_loan = yes)  "
-            f"[support={streamed.support:.1%}, confidence={streamed.ratio:.1%}]"
-        )
+        print(f"  {streamed}")
+
+        # The same source runs the whole §1.3 catalog — every numeric/Boolean
+        # pair — still in two scans of the file, courtesy of the batched
+        # profile prefetch.
+        catalog = mine_rule_catalog(source, num_buckets=500, executor="streaming")
+        print(f"\nout-of-core catalog: {len(catalog)} rules over "
+              f"{catalog.num_pairs} attribute pairs; top 3 by lift:")
+        for entry in catalog.top(3):
+            print(f"  [{entry.lift:5.2f}x] {entry.rule}")
 
         # --- reference: load everything and mine in memory --------------------
         from repro.relation import read_csv
 
         relation = read_csv(path)
-        miner = OptimizedRuleMiner(relation, num_buckets=1000, rng=np.random.default_rng(0))
-        in_memory = miner.optimized_confidence_rule("balance", "card_loan", min_support=0.10)
+        in_memory_miner = OptimizedRuleMiner(
+            relation, num_buckets=1000, rng=np.random.default_rng(0)
+        )
+        in_memory = in_memory_miner.optimized_confidence_rule(
+            "balance", "card_loan", min_support=0.10
+        )
         print("\nin-memory reference rule:")
         print(f"  {in_memory}")
 
         print(
             f"\nconfidence difference between the two paths: "
-            f"{abs(in_memory.confidence - streamed.ratio):.2%} "
+            f"{abs(in_memory.confidence - streamed.confidence):.2%} "
             "(within the §3.4 bucket-granularity envelope)"
         )
 
+        profile = miner.profile_for("balance", streamed.objective)
         print("\nprofile around the mined range (aggregated view):")
-        print(render_profile(profile, streamed, max_rows=25))
+        print(render_profile(profile, streamed.selection, max_rows=25))
 
 
 if __name__ == "__main__":

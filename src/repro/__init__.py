@@ -25,6 +25,7 @@ from repro import (
     extensions,
     geometry,
     mining,
+    pipeline,
     relation,
     reporting,
 )
@@ -52,10 +53,18 @@ from repro.exceptions import (
     DatasetError,
     NoFeasibleRangeError,
     OptimizationError,
+    PipelineError,
     ProfileError,
     RelationError,
     ReproError,
     SchemaError,
+)
+from repro.pipeline import (
+    ChunkedSource,
+    CSVSource,
+    DataSource,
+    ProfileBuilder,
+    RelationSource,
 )
 from repro.relation import (
     Attribute,
@@ -80,6 +89,7 @@ __all__ = [
     "mining",
     "extensions",
     "datasets",
+    "pipeline",
     "reporting",
     # relational substrate
     "Attribute",
@@ -106,6 +116,12 @@ __all__ = [
     "MiningSettings",
     "maximize_ratio",
     "maximize_support",
+    # pipeline
+    "DataSource",
+    "RelationSource",
+    "ChunkedSource",
+    "CSVSource",
+    "ProfileBuilder",
     # exceptions
     "ReproError",
     "SchemaError",
@@ -116,4 +132,5 @@ __all__ = [
     "OptimizationError",
     "NoFeasibleRangeError",
     "DatasetError",
+    "PipelineError",
 ]

@@ -10,9 +10,11 @@ behind Figure 1, and the granularity error bounds behind Table I.
 from repro.bucketing.base import Bucket, Bucketing, Bucketizer
 from repro.bucketing.counting import (
     BucketCounts,
+    ChunkCounts,
     count_conditions,
     count_many,
     count_relation_buckets,
+    count_value_chunk,
     masked_bucket_counts,
 )
 from repro.bucketing.equidepth_sample import DEFAULT_SAMPLE_FACTOR, SampledEquiDepthBucketizer
@@ -63,9 +65,11 @@ __all__ = [
     "ParallelBucketCounter",
     "ParallelCountResult",
     "BucketCounts",
+    "ChunkCounts",
     "count_relation_buckets",
     "count_conditions",
     "count_many",
+    "count_value_chunk",
     "masked_bucket_counts",
     "deviation_probability",
     "empirical_deviation_probability",

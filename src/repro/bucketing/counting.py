@@ -27,6 +27,14 @@ Parity guarantee: the batched counts are produced by the same
 ``count_many`` returns arrays equal to calling :func:`count_relation_buckets`
 once per condition — the tests in ``tests/bucketing/test_counting.py``
 assert exact equality.
+
+Chunk kernel
+------------
+:func:`count_value_chunk` packages the same primitives as a picklable,
+chunk-at-a-time kernel returning :class:`ChunkCounts` partials that merge by
+summing.  It is the single counting implementation behind the
+``repro.pipeline`` executors, the streaming counter, and the Algorithm 3.2
+parallel counter.
 """
 
 from __future__ import annotations
@@ -43,9 +51,11 @@ from repro.relation.relation import Relation
 
 __all__ = [
     "BucketCounts",
+    "ChunkCounts",
     "count_relation_buckets",
     "count_conditions",
     "count_many",
+    "count_value_chunk",
     "masked_bucket_counts",
 ]
 
@@ -151,6 +161,134 @@ def masked_bucket_counts(
             flat, minlength=rows * num_buckets
         ).reshape(rows, num_buckets)
     return counts
+
+
+@dataclass
+class ChunkCounts:
+    """Partial bucket counts of one value chunk (or one PE's partition).
+
+    This is the unit of work of the shared counting kernel
+    :func:`count_value_chunk`: everything Algorithm 3.1 step 4 needs from a
+    scan — per-bucket tuple counts, per-mask conditional counts, per-weight
+    bucket sums, and observed data bounds — for one slice of the data.
+    Partials merge by element-wise summing (and min/max for the bounds),
+    which is exactly the no-communication merge of Algorithm 3.2; the
+    pipeline executors (serial, streaming, multiprocessing) differ only in
+    *where* the partials are produced, never in what they contain.
+
+    Attributes
+    ----------
+    sizes:
+        Per-bucket tuple counts ``u_i`` of the chunk, shape ``(M,)``.
+    conditional:
+        Per-mask conditional counts, shape ``(num_masks, M)``.
+    sums:
+        Per-weight-row bucket sums (the §5 average numerators), shape
+        ``(num_weights, M)``.
+    lows / highs:
+        Observed per-bucket minimum / maximum values, ``nan`` where the
+        chunk put nothing in a bucket.
+    num_tuples:
+        Number of values counted in this chunk.
+    """
+
+    sizes: np.ndarray
+    conditional: np.ndarray
+    sums: np.ndarray
+    lows: np.ndarray
+    highs: np.ndarray
+    num_tuples: int = 0
+
+    @staticmethod
+    def zeros(num_buckets: int, num_masks: int = 0, num_weights: int = 0) -> "ChunkCounts":
+        """An identity element for :meth:`merge`."""
+        return ChunkCounts(
+            sizes=np.zeros(num_buckets, dtype=np.int64),
+            conditional=np.zeros((num_masks, num_buckets), dtype=np.int64),
+            sums=np.zeros((num_weights, num_buckets), dtype=np.float64),
+            lows=np.full(num_buckets, np.nan),
+            highs=np.full(num_buckets, np.nan),
+            num_tuples=0,
+        )
+
+    def merge(self, other: "ChunkCounts") -> "ChunkCounts":
+        """Accumulate another partial into this one (in place; returns self).
+
+        Counts add exactly (int64); bucket sums add in merge order, so any
+        executor that merges partials in chunk order reproduces the serial
+        float result bit for bit; bounds combine with nan-aware min/max.
+        """
+        if self.sizes.shape != other.sizes.shape or self.conditional.shape != other.conditional.shape or self.sums.shape != other.sums.shape:
+            raise BucketingError("cannot merge chunk counts of different shapes")
+        self.sizes += other.sizes
+        self.conditional += other.conditional
+        self.sums += other.sums
+        self.lows = np.fmin(self.lows, other.lows)
+        self.highs = np.fmax(self.highs, other.highs)
+        self.num_tuples += other.num_tuples
+        return self
+
+
+def count_value_chunk(
+    values: np.ndarray,
+    cuts: np.ndarray,
+    masks: np.ndarray | None = None,
+    weights: np.ndarray | None = None,
+    with_bounds: bool = True,
+) -> ChunkCounts:
+    """The shared counting kernel: bucket one value chunk against ``cuts``.
+
+    One ``searchsorted`` assignment pass over the chunk feeds every output:
+    ``sizes`` from a plain ``bincount``, all ``masks`` rows from the
+    mask-matrix kernel :func:`masked_bucket_counts`, all ``weights`` rows
+    from weighted bincounts, and the data bounds from one sort.  Module
+    level (and numpy-only in its arguments) so a ``ProcessPoolExecutor``
+    can run it in worker processes unchanged — every counting path in the
+    repository (in-memory, streaming, parallel, pipeline executors) reduces
+    to this function plus :meth:`ChunkCounts.merge`.
+
+    ``with_bounds=False`` skips the sort behind the per-bucket data bounds
+    (``lows``/``highs`` stay ``nan``) for callers that only need counts —
+    the bounds sort would otherwise dominate a bare counting scan.
+    """
+    array = np.asarray(values, dtype=np.float64).ravel()
+    bucketing = Bucketing(cuts)
+    num_buckets = bucketing.num_buckets
+    indices = bucketing.assign(array)
+    sizes = np.bincount(indices, minlength=num_buckets).astype(np.int64)
+
+    if masks is None:
+        conditional = np.zeros((0, num_buckets), dtype=np.int64)
+    else:
+        conditional = masked_bucket_counts(indices, masks, num_buckets)
+
+    if weights is None:
+        sums = np.zeros((0, num_buckets), dtype=np.float64)
+    else:
+        weight_matrix = np.asarray(weights, dtype=np.float64)
+        if weight_matrix.ndim != 2 or weight_matrix.shape[1] != array.shape[0]:
+            raise BucketingError(
+                "weights must form a (num_weights, num_tuples) matrix"
+            )
+        sums = np.empty((weight_matrix.shape[0], num_buckets), dtype=np.float64)
+        for row in range(weight_matrix.shape[0]):
+            sums[row] = np.bincount(
+                indices, weights=weight_matrix[row], minlength=num_buckets
+            )
+
+    if with_bounds:
+        lows, highs = bucketing.data_bounds(array)
+    else:
+        lows = np.full(num_buckets, np.nan)
+        highs = np.full(num_buckets, np.nan)
+    return ChunkCounts(
+        sizes=sizes,
+        conditional=conditional,
+        sums=sums,
+        lows=lows,
+        highs=highs,
+        num_tuples=int(array.shape[0]),
+    )
 
 
 def count_relation_buckets(

@@ -14,6 +14,13 @@ sequentially (default, deterministic, no platform dependence) or with a
 ``multiprocessing`` pool.  Either way the partition → count → merge structure
 is identical, which is the property the algorithm demonstrates: counting
 requires no communication between PEs.
+
+.. deprecated::
+    :class:`ParallelBucketCounter` is retained as a thin shim over the shared
+    counting kernel (:func:`repro.bucketing.counting.count_value_chunk`); the
+    production multi-process path is ``repro.pipeline.ProfileBuilder`` with
+    ``executor="multiprocessing"``, which parallelizes the full profile
+    construction (sizes, objectives, bounds) rather than bare counts.
 """
 
 from __future__ import annotations
@@ -25,16 +32,27 @@ from typing import Sequence
 import numpy as np
 
 from repro.bucketing.base import Bucketing
+from repro.bucketing.counting import count_value_chunk
 from repro.exceptions import BucketingError
 
 __all__ = ["ParallelBucketCounter", "ParallelCountResult"]
 
+#: Seed of the partition RNG used when :meth:`ParallelBucketCounter.count` is
+#: not handed an explicit generator.  A *fixed* default (rather than a fresh
+#: OS-entropy generator) makes the tuple → PE distribution — and therefore the
+#: ``per_partition`` vectors of a ``ProcessPoolExecutor`` run — reproducible
+#: across invocations; the merged totals never depend on the partitioning.
+DEFAULT_PARTITION_SEED = 0
 
-def _count_partition(arguments: tuple[np.ndarray, np.ndarray, int]) -> np.ndarray:
-    """Count one partition's values into buckets (module-level for pickling)."""
-    values, cuts, num_buckets = arguments
-    indices = np.searchsorted(cuts, values, side="left")
-    return np.bincount(indices, minlength=num_buckets).astype(np.int64)
+
+def _count_partition(arguments: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """Count one PE's partition via the shared kernel (module-level for pickling).
+
+    Only the bucket counts are needed, so the kernel's data-bounds sort is
+    skipped.
+    """
+    values, cuts = arguments
+    return count_value_chunk(values, cuts, with_bounds=False).sizes
 
 
 @dataclass(frozen=True)
@@ -61,6 +79,10 @@ class ParallelCountResult:
 class ParallelBucketCounter:
     """Algorithm 3.2: partition the data, count per partition, merge by summing.
 
+    Each partition is counted by the same shared kernel as every other
+    counting path in the repository; this class only contributes the
+    partition/merge choreography.
+
     Parameters
     ----------
     num_partitions:
@@ -69,13 +91,23 @@ class ParallelBucketCounter:
         When true, partitions are counted in a ``ProcessPoolExecutor``;
         otherwise they are counted sequentially (the default — the merge
         semantics are identical and tests stay deterministic and portable).
+    seed:
+        Seed of the partition RNG used when :meth:`count` receives no
+        explicit generator (fixed by default so process-pool runs are
+        reproducible; see :data:`DEFAULT_PARTITION_SEED`).
     """
 
-    def __init__(self, num_partitions: int, use_processes: bool = False) -> None:
+    def __init__(
+        self,
+        num_partitions: int,
+        use_processes: bool = False,
+        seed: int = DEFAULT_PARTITION_SEED,
+    ) -> None:
         if num_partitions <= 0:
             raise BucketingError("num_partitions must be positive")
         self._num_partitions = int(num_partitions)
         self._use_processes = bool(use_processes)
+        self._seed = int(seed)
 
     @property
     def num_partitions(self) -> int:
@@ -92,16 +124,14 @@ class ParallelBucketCounter:
         array = np.asarray(values, dtype=np.float64)
         if array.ndim != 1:
             raise BucketingError("values must form a one-dimensional array")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(self._seed)
 
         # Step 1: randomly distribute tuples across the PEs almost evenly.
         permutation = rng.permutation(array.shape[0])
         partitions = [array[chunk] for chunk in np.array_split(permutation, self._num_partitions)]
 
         # Step 3: every PE counts its own tuples (no communication needed).
-        tasks = [
-            (partition, bucketing.cuts, bucketing.num_buckets) for partition in partitions
-        ]
+        tasks = [(partition, bucketing.cuts) for partition in partitions]
         if self._use_processes:
             with ProcessPoolExecutor(max_workers=self._num_partitions) as pool:
                 per_partition = tuple(pool.map(_count_partition, tasks))

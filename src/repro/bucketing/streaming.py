@@ -2,29 +2,36 @@
 
 The whole point of Algorithm 3.1 is that the relation is too large to sort —
 in the paper it lives on disk and is only ever *scanned*.  This module
-provides the streaming counterpart of the in-memory bucketizer so the same
-pipeline can run over data that arrives in chunks (an iterator of numpy
-arrays, e.g. produced by reading a CSV in blocks):
+provides the streaming building blocks the unified pipeline
+(:mod:`repro.pipeline`) composes:
 
 * :class:`ReservoirSampler` — a classic reservoir sampler that maintains a
   uniform random sample of a stream without knowing its length; it replaces
-  the "S-sized random sample" step when the data cannot be indexed.
+  the "S-sized random sample" step when the data cannot be indexed.  The
+  sample it produces is invariant to how the stream is chunked, so every
+  :class:`~repro.pipeline.DataSource` over the same tuples yields the same
+  bucket boundaries.
 * :class:`StreamingBucketCounter` — accumulates per-bucket tuple counts and
   per-objective conditional counts chunk by chunk (the same merge-by-summing
-  structure as the parallel Algorithm 3.2).
-* :func:`build_streaming_profile` — two passes over a chunk iterator factory:
-  pass 1 draws the sample and derives the bucket boundaries, pass 2 counts;
-  the result is a regular :class:`~repro.core.BucketProfile`, so every solver
-  works unchanged on out-of-core data.
+  structure as the parallel Algorithm 3.2); counting delegates to the shared
+  kernel :func:`repro.bucketing.counting.count_value_chunk`.
+* :func:`streaming_equidepth_bucketing` — Algorithm 3.1 steps 1–3 over a
+  chunk stream; this is the boundary-sampling strategy
+  :class:`~repro.pipeline.ProfileBuilder` runs in its first pass.
+* :func:`build_streaming_profile` — **deprecated** thin shim over
+  ``ProfileBuilder`` kept for the pre-pipeline API; new code should build a
+  :class:`~repro.pipeline.ChunkedSource` and use the pipeline directly.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
 from repro.bucketing.base import Bucketing
+from repro.bucketing.counting import ChunkCounts, count_value_chunk
 from repro.bucketing.equidepth_sort import equidepth_cuts_from_sorted
 from repro.core.profile import BucketProfile
 from repro.exceptions import BucketingError
@@ -43,7 +50,12 @@ class ReservoirSampler:
     Every element seen so far has the same probability ``k / n`` of being in
     the reservoir of size ``k`` after ``n`` elements, which is exactly the
     uniformity Algorithm 3.1's analysis needs.  Feeding numpy chunks is
-    vectorized: the acceptance test for a whole chunk is drawn at once.
+    vectorized, and each post-fill element consumes exactly two uniform
+    draws (acceptance, then replacement slot) in element order — so for a
+    fixed ``rng`` seed the final sample depends only on the element sequence,
+    never on the chunk boundaries it arrived in.  That chunk invariance is
+    what lets the pipeline produce bit-identical bucket boundaries across
+    in-memory, chunked, and CSV sources.
     """
 
     def __init__(self, capacity: int, rng: np.random.Generator | None = None) -> None:
@@ -70,7 +82,7 @@ class ReservoirSampler:
         if chunk.size == 0:
             return
         position = 0
-        # Fill the reservoir first.
+        # Fill the reservoir first (consumes no randomness).
         if self._seen < self._capacity:
             take = min(self._capacity - self._seen, chunk.size)
             self._reservoir[self._seen : self._seen + take] = chunk[:take]
@@ -80,14 +92,19 @@ class ReservoirSampler:
             return
         # Vectorized Algorithm R for the remainder of the chunk: element i of
         # the stream (1-based index) replaces a random reservoir slot with
-        # probability capacity / i.
+        # probability capacity / i.  Drawing a (size, 2) row-major block gives
+        # each element its (acceptance, slot) pair in element order, keeping
+        # the sample independent of chunk boundaries.
         remainder = chunk[position:]
+        draws = self._rng.random((remainder.size, 2))
         indices = self._seen + 1 + np.arange(remainder.size)
-        accept = self._rng.random(remainder.size) < (self._capacity / indices)
-        slots = self._rng.integers(0, self._capacity, size=remainder.size)
-        for value, keep, slot in zip(remainder, accept, slots):
-            if keep:
-                self._reservoir[slot] = value
+        accepted = np.nonzero(draws[:, 0] < (self._capacity / indices))[0]
+        slots = (draws[accepted, 1] * self._capacity).astype(np.int64)
+        # Sequential semantics: later acceptances overwrite earlier ones when
+        # they land on the same slot; `accepted` is ascending, so assigning in
+        # order reproduces the one-element-at-a-time algorithm.
+        for index, slot in zip(accepted, slots):
+            self._reservoir[slot] = remainder[index]
         self._seen += remainder.size
 
     def sample(self) -> np.ndarray:
@@ -96,18 +113,20 @@ class ReservoirSampler:
 
 
 class StreamingBucketCounter:
-    """Accumulate bucket counts over a stream of (values, masks) chunks."""
+    """Accumulate bucket counts over a stream of (values, masks) chunks.
+
+    Each chunk runs through the shared counting kernel
+    :func:`~repro.bucketing.counting.count_value_chunk` and the resulting
+    :class:`~repro.bucketing.counting.ChunkCounts` partial merges into the
+    running totals — the same structure the pipeline executors use.
+    """
 
     def __init__(self, bucketing: Bucketing, objective_labels: list[str] | None = None) -> None:
         self._bucketing = bucketing
         self._labels = list(objective_labels or [])
-        self._sizes = np.zeros(bucketing.num_buckets, dtype=np.int64)
-        self._conditional = {
-            label: np.zeros(bucketing.num_buckets, dtype=np.int64) for label in self._labels
-        }
-        self._lows = np.full(bucketing.num_buckets, np.inf)
-        self._highs = np.full(bucketing.num_buckets, -np.inf)
-        self._total = 0
+        self._totals = ChunkCounts.zeros(
+            bucketing.num_buckets, num_masks=len(self._labels)
+        )
 
     @property
     def bucketing(self) -> Bucketing:
@@ -117,7 +136,7 @@ class StreamingBucketCounter:
     @property
     def total(self) -> int:
         """Number of tuples counted so far."""
-        return self._total
+        return self._totals.num_tuples
 
     def update(
         self,
@@ -128,12 +147,8 @@ class StreamingBucketCounter:
         chunk = np.asarray(values, dtype=np.float64).ravel()
         if chunk.size == 0:
             return
-        self._sizes += self._bucketing.counts(chunk)
-        lows, highs = self._bucketing.data_bounds(chunk)
-        observed = ~np.isnan(lows)
-        self._lows[observed] = np.minimum(self._lows[observed], lows[observed])
-        self._highs[observed] = np.maximum(self._highs[observed], highs[observed])
-        for label in self._labels:
+        mask_matrix = np.empty((len(self._labels), chunk.size), dtype=bool)
+        for row, label in enumerate(self._labels):
             if masks is None or label not in masks:
                 raise BucketingError(f"chunk is missing the mask for objective {label!r}")
             mask = np.asarray(masks[label], dtype=bool).ravel()
@@ -141,18 +156,24 @@ class StreamingBucketCounter:
                 raise BucketingError(
                     f"mask for {label!r} has shape {mask.shape}, expected {chunk.shape}"
                 )
-            self._conditional[label] += self._bucketing.conditional_counts(chunk, mask)
-        self._total += chunk.size
+            mask_matrix[row] = mask
+        self._totals.merge(
+            count_value_chunk(
+                chunk,
+                self._bucketing.cuts,
+                masks=mask_matrix if self._labels else None,
+            )
+        )
 
     def sizes(self) -> np.ndarray:
         """Accumulated per-bucket tuple counts."""
-        return self._sizes.copy()
+        return self._totals.sizes.copy()
 
     def conditional(self, label: str) -> np.ndarray:
         """Accumulated per-bucket counts for one objective."""
-        if label not in self._conditional:
+        if label not in self._labels:
             raise BucketingError(f"unknown objective label {label!r}")
-        return self._conditional[label].copy()
+        return self._totals.conditional[self._labels.index(label)].copy()
 
     def to_profile(self, label: str, attribute: str = "A") -> BucketProfile:
         """Materialize a :class:`BucketProfile` for one objective.
@@ -160,7 +181,7 @@ class StreamingBucketCounter:
         Empty buckets are dropped (as the in-memory profile builder does), so
         the result feeds straight into the solvers.
         """
-        sizes = self._sizes.astype(np.float64)
+        sizes = self._totals.sizes.astype(np.float64)
         values = self.conditional(label).astype(np.float64)
         keep = sizes > 0
         if not np.any(keep):
@@ -170,9 +191,9 @@ class StreamingBucketCounter:
             objective_label=label,
             sizes=sizes[keep],
             values=values[keep],
-            lows=self._lows[keep],
-            highs=self._highs[keep],
-            total=float(self._total),
+            lows=self._totals.lows[keep],
+            highs=self._totals.highs[keep],
+            total=float(self.total),
         )
 
 
@@ -212,15 +233,41 @@ def build_streaming_profile(
 ) -> BucketProfile:
     """Two-pass profile construction over chunked ``(values, objective_mask)`` data.
 
+    .. deprecated::
+        This is a thin compatibility shim over the unified pipeline; build a
+        :class:`repro.pipeline.ChunkedSource` (or ``CSVSource``) and a
+        :class:`repro.pipeline.ProfileBuilder` instead — they also give you
+        multiple objectives per scan and a choice of executors.
+
     ``chunk_factory`` must return a *fresh* iterator each time it is called
     (the first pass draws the sample, the second pass counts) — exactly the
     two sequential scans the paper's system performs over the database file.
     """
+    warnings.warn(
+        "build_streaming_profile is deprecated; use repro.pipeline.ProfileBuilder "
+        "with a ChunkedSource or CSVSource",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Imported here: repro.pipeline itself builds on this module.
+    from repro.pipeline.builder import ProfileBuilder
+    from repro.pipeline.sources import ChunkedSource
+    from repro.relation.conditions import BooleanIs
+
     first_pass = (values for values, _ in chunk_factory())
     bucketing = streaming_equidepth_bucketing(
         first_pass, num_buckets, sample_factor=sample_factor, rng=rng
     )
-    counter = StreamingBucketCounter(bucketing, objective_labels=[objective_label])
-    for values, mask in chunk_factory():
-        counter.update(values, {objective_label: mask})
-    return counter.to_profile(objective_label, attribute=attribute)
+    source = ChunkedSource.from_arrays(
+        chunk_factory, attribute=attribute, objective="objective"
+    )
+    builder = ProfileBuilder(
+        num_buckets=num_buckets, sample_factor=sample_factor, executor="streaming"
+    )
+    return builder.build_profile(
+        source,
+        attribute,
+        BooleanIs("objective", True),
+        bucketing=bucketing,
+        label=objective_label,
+    )

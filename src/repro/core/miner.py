@@ -41,12 +41,24 @@ loop — ``tests/core/test_fastpath.py`` asserts this equivalence.
 The miner caches bucketings and profiles keyed by the attribute and the
 objective so that mining many rules over the same relation does not repeat
 the bucketing scans, whichever entry point is used.
+
+Data sources
+------------
+The miner accepts either an in-memory :class:`~repro.relation.Relation` or
+any :class:`~repro.pipeline.DataSource` (``RelationSource``,
+``ChunkedSource``, ``CSVSource``).  In-memory data keeps the cached
+assignment/mask fast path above.  A streaming source routes profile
+construction through :class:`~repro.pipeline.ProfileBuilder` instead — the
+batch entry points group a whole task catalog by attribute and build every
+needed profile in **two scans total** (one boundary-sampling pass, one
+counting pass), so the §1.3 catalog runs out-of-core without ever
+materializing the relation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -70,6 +82,11 @@ from repro.core.rules import (
 from repro.exceptions import OptimizationError, SchemaError
 from repro.relation.conditions import BooleanIs, Condition
 from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from repro.pipeline.builder import ProfileBuilder
+    from repro.pipeline.sources import DataSource
 
 __all__ = ["OptimizedRuleMiner", "MiningSettings", "MiningTask"]
 
@@ -124,27 +141,44 @@ class OptimizedRuleMiner:
     Parameters
     ----------
     relation:
-        The relation to mine.
+        The data to mine: an in-memory :class:`Relation` or any
+        :class:`~repro.pipeline.DataSource`.  In-memory data (including an
+        ``in_memory`` source such as :class:`~repro.pipeline.RelationSource`)
+        uses the cached-assignment fast path; streaming sources build
+        profiles through the two-scan pipeline.
     num_buckets:
         Number of buckets to aim for on each numeric attribute.
     bucketizer:
-        Strategy that builds the buckets; defaults to the paper's randomized
-        sampling bucketizer (Algorithm 3.1).
+        Strategy that builds the buckets for in-memory data; defaults to the
+        paper's randomized sampling bucketizer (Algorithm 3.1).  Streaming
+        sources always sample boundaries with the pipeline's reservoir pass.
     rng:
-        Random generator forwarded to the bucketizer so that experiments can
-        be reproduced exactly.
+        Random generator governing the bucket-boundary randomness so that
+        experiments can be reproduced exactly: forwarded to the bucketizer
+        in-memory, and used to seed the pipeline's reservoir sampling for
+        streaming sources.
     engine:
         Solver engine: ``"fast"`` (array-native, default) or ``"reference"``
         (object-based oracle).  Both return identical rules.
+    executor:
+        Counting executor for streaming sources (``"serial"``,
+        ``"streaming"``, or ``"multiprocessing"``); ignored for in-memory
+        data.
+    builder:
+        Optional pre-configured :class:`~repro.pipeline.ProfileBuilder`
+        (overrides ``executor``; its ``num_buckets`` governs streaming
+        builds).
     """
 
     def __init__(
         self,
-        relation: Relation,
+        relation: Relation | DataSource,
         num_buckets: int = 1000,
         bucketizer: Bucketizer | None = None,
         rng: np.random.Generator | None = None,
         engine: str = "fast",
+        executor: str = "serial",
+        builder: ProfileBuilder | None = None,
     ) -> None:
         if num_buckets <= 0:
             raise OptimizationError("num_buckets must be positive")
@@ -152,10 +186,33 @@ class OptimizedRuleMiner:
             raise OptimizationError(
                 f"unknown solver engine {engine!r}; use 'fast' or 'reference'"
             )
-        self._relation = relation
+        # Imported here: repro.pipeline builds on repro.core profiles.
+        from repro.pipeline.builder import ProfileBuilder
+        from repro.pipeline.sources import DataSource
+
+        if isinstance(relation, DataSource):
+            self._source: DataSource | None = relation
+            self._relation = relation.materialize() if relation.in_memory else None
+        else:
+            self._source = None
+            self._relation = relation
+        self._rng = rng if rng is not None else np.random.default_rng()
+        if builder is not None:
+            self._builder = builder
+        else:
+            # For streaming sources the boundary-sampling seed derives from
+            # the miner's rng, so a seeded generator reproduces the sampled
+            # bucket boundaries exactly (mirroring the in-memory bucketizer).
+            seed = (
+                int(self._rng.integers(0, 2**32))
+                if self._relation is None
+                else 0
+            )
+            self._builder = ProfileBuilder(
+                num_buckets=num_buckets, executor=executor, seed=seed
+            )
         self._num_buckets = int(num_buckets)
         self._bucketizer = bucketizer if bucketizer is not None else SampledEquiDepthBucketizer()
-        self._rng = rng if rng is not None else np.random.default_rng()
         self._engine = engine
         self._bucketings: dict[str, Bucketing] = {}
         # Profiles and masks are keyed by the (frozen, hashable) condition
@@ -172,8 +229,38 @@ class OptimizedRuleMiner:
 
     @property
     def relation(self) -> Relation:
-        """The relation being mined."""
+        """The relation being mined (in-memory data only).
+
+        Raises
+        ------
+        OptimizationError
+            When the miner was built over a streaming source, which is never
+            materialized.
+        """
+        if self._relation is None:
+            raise OptimizationError(
+                "the miner was built over a streaming source; "
+                "no in-memory relation is available"
+            )
         return self._relation
+
+    @property
+    def source(self) -> DataSource | None:
+        """The data source this miner was built over (``None`` for a bare relation)."""
+        return self._source
+
+    @property
+    def schema(self) -> Schema:
+        """Schema of the data being mined (works for every data shape)."""
+        if self._relation is not None:
+            return self._relation.schema
+        assert self._source is not None
+        return self._source.schema
+
+    @property
+    def streaming(self) -> bool:
+        """Whether profiles are built through the streaming pipeline."""
+        return self._relation is None
 
     @property
     def num_buckets(self) -> int:
@@ -188,15 +275,21 @@ class OptimizedRuleMiner:
     def bucketing_for(self, attribute: str) -> Bucketing:
         """The (cached) bucketing of a numeric attribute."""
         if attribute not in self._bucketings:
-            schema_attribute = self._relation.schema.attribute(attribute)
+            schema_attribute = self.schema.attribute(attribute)
             if not schema_attribute.is_numeric:
                 raise SchemaError(f"attribute {attribute!r} is not numeric")
-            values = self._relation.numeric_column(attribute)
-            requested = min(self._num_buckets, int(np.unique(values).size))
-            requested = max(requested, 1)
-            self._bucketings[attribute] = self._bucketizer.build(
-                values, requested, rng=self._rng
-            )
+            if self._relation is None:
+                assert self._source is not None
+                self._bucketings.update(
+                    self._builder.sample_bucketings(self._source, [attribute])
+                )
+            else:
+                values = self._relation.numeric_column(attribute)
+                requested = min(self._num_buckets, int(np.unique(values).size))
+                requested = max(requested, 1)
+                self._bucketings[attribute] = self._bucketizer.build(
+                    values, requested, rng=self._rng
+                )
         return self._bucketings[attribute]
 
     def condition_mask(self, condition: Condition) -> np.ndarray:
@@ -204,11 +297,12 @@ class OptimizedRuleMiner:
 
         Conditions are frozen dataclasses, so the cache is keyed by the
         condition itself (structural equality) — two conditions that merely
-        render to the same string never collide.
+        render to the same string never collide.  In-memory data only: a
+        streaming source has no whole-relation mask.
         """
         if condition not in self._masks:
             self._masks[condition] = np.asarray(
-                condition.mask(self._relation), dtype=bool
+                condition.mask(self.relation), dtype=bool
             )
         return self._masks[condition]
 
@@ -244,7 +338,16 @@ class OptimizedRuleMiner:
         """The (cached) bucket profile of an attribute/objective pair."""
         key = (attribute, objective, presumptive)
         if key not in self._profiles:
-            if presumptive is not None:
+            if self._relation is None:
+                assert self._source is not None
+                self._profiles[key] = self._builder.build_profile(
+                    self._source,
+                    attribute,
+                    objective,
+                    presumptive=presumptive,
+                    bucketing=self.bucketing_for(attribute),
+                )
+            elif presumptive is not None:
                 # The presumptive conjunct restricts the base population, so
                 # the shared assignment cache does not apply.
                 self._profiles[key] = BucketProfile.from_relation(
@@ -275,6 +378,15 @@ class OptimizedRuleMiner:
         """The (cached) average-operator profile of a grouping/target pair."""
         key = (attribute, ("avg", target), None)
         if key not in self._profiles:
+            if self._relation is None:
+                assert self._source is not None
+                self._profiles[key] = self._builder.build_average_profile(
+                    self._source,
+                    attribute,
+                    target,
+                    bucketing=self.bucketing_for(attribute),
+                )
+                return self._profiles[key]
             indices, sizes, lows, highs, keep = self._assignment_for(attribute)
             weights = np.asarray(
                 self._relation.numeric_column(target), dtype=np.float64
@@ -299,6 +411,17 @@ class OptimizedRuleMiner:
         if isinstance(objective, str):
             return BooleanIs(objective, True)
         return objective
+
+    def objective_base_rate(self, attribute: str, objective: Condition | str) -> float:
+        """Overall fraction of tuples meeting ``objective`` (the lift baseline).
+
+        Computed from the (cached) profile of ``attribute`` — the summed
+        per-bucket objective counts over the total — so it is exact, works
+        identically for in-memory and streaming data, and is free once the
+        pair has been mined.
+        """
+        profile = self.profile_for(attribute, self._as_condition(objective))
+        return float(profile.values.sum() / profile.total)
 
     # -- single-rule mining -------------------------------------------------------
 
@@ -410,6 +533,64 @@ class OptimizedRuleMiner:
         objective = self._as_condition(task.objective)
         return self.profile_for(task.attribute, objective, task.presumptive)
 
+    def _prefetch_streaming_profiles(self, tasks: Sequence[MiningTask]) -> None:
+        """Build every uncached streaming profile a task catalog needs in two scans.
+
+        Tasks are grouped into one :class:`AttributeSpec` per attribute
+        (objectives and §5 targets together) and handed to the pipeline as a
+        single batch: one boundary-sampling scan covers every attribute
+        without cached bucket boundaries, one counting scan produces all the
+        profiles.  Presumptive-conjunct tasks are skipped here (their
+        restricted population needs a dedicated scan) and built lazily by
+        :meth:`profile_for`.
+        """
+        if self._relation is not None:
+            return
+        assert self._source is not None
+        from repro.pipeline.builder import AttributeSpec
+
+        specs: dict[str, AttributeSpec] = {}
+        for task in tasks:
+            average = task.kind in (
+                RuleKind.MAXIMUM_AVERAGE,
+                RuleKind.MAXIMUM_SUPPORT_AVERAGE,
+            )
+            if average:
+                if not isinstance(task.objective, str) or task.presumptive is not None:
+                    continue  # _task_profile reports the error with context
+                key = (task.attribute, ("avg", task.objective), None)
+                addition = AttributeSpec(task.attribute, targets=(task.objective,))
+            else:
+                if task.presumptive is not None:
+                    continue
+                objective = self._as_condition(task.objective)
+                key = (task.attribute, objective, None)
+                addition = AttributeSpec(task.attribute, objectives=(objective,))
+            if key in self._profiles:
+                continue
+            if task.attribute in specs:
+                specs[task.attribute] = specs[task.attribute].merged_with(addition)
+            else:
+                specs[task.attribute] = addition
+        if not specs:
+            return
+        overrides = {
+            attribute: self._bucketings[attribute]
+            for attribute in specs
+            if attribute in self._bucketings
+        }
+        built = self._builder.build_many(
+            self._source, specs.values(), bucketings=overrides
+        )
+        for attribute, counts in built.items():
+            self._bucketings.setdefault(attribute, counts.bucketing)
+            for objective in counts.conditional:
+                self._profiles[(attribute, objective, None)] = counts.profile(objective)
+            for target in counts.sums:
+                self._profiles[(attribute, ("avg", target), None)] = (
+                    counts.average_profile(target)
+                )
+
     def solve_many(
         self,
         tasks: Iterable[MiningTask],
@@ -419,9 +600,13 @@ class OptimizedRuleMiner:
 
         Bucketings, bucket assignments, condition masks, and profiles are
         shared across the whole catalog; the result list is parallel to the
-        task order, with ``None`` for infeasible tasks.
+        task order, with ``None`` for infeasible tasks.  Over a streaming
+        source the whole catalog's profiles are prefetched in two scans of
+        the data before any solver runs.
         """
         settings = settings if settings is not None else MiningSettings()
+        tasks = list(tasks)
+        self._prefetch_streaming_profiles(tasks)
         selections: list[RangeSelection | None] = []
         for task in tasks:
             profile = self._task_profile(task)
@@ -515,7 +700,7 @@ class OptimizedRuleMiner:
             raise OptimizationError(
                 f"mine_all_pairs supports confidence/support rules, got {kind}"
             )
-        schema = self._relation.schema
+        schema = self.schema
         if numeric_attributes is None:
             numeric_attributes = schema.numeric_names()
         if objectives is None:

@@ -61,5 +61,9 @@ class DatasetError(ReproError):
     """A dataset generator or loader received invalid parameters."""
 
 
+class PipelineError(ReproError):
+    """A data source or profile builder was configured inconsistently."""
+
+
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""

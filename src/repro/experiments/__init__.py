@@ -23,6 +23,7 @@ from repro.experiments.runner import (
     SweepResult,
     bench_workload,
     geometric_sizes,
+    throughput_workload,
     time_call,
     write_bench_json,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "Figure11Result",
     "run_catalog_experiment",
     "bench_workload",
+    "throughput_workload",
     "write_bench_json",
     "CatalogExperimentResult",
     "run_bucket_quality_sweep",

@@ -18,6 +18,8 @@ from repro.datasets.synthetic import paper_benchmark_table
 from repro.experiments.reporting import format_seconds, format_table
 from repro.experiments.runner import time_call
 from repro.mining.catalog import RuleCatalog, mine_rule_catalog
+from repro.pipeline.sources import DataSource
+from repro.relation.relation import Relation
 
 __all__ = ["CatalogExperimentResult", "run_catalog_experiment"]
 
@@ -89,28 +91,49 @@ def run_catalog_experiment(
     min_support: float = 0.10,
     min_confidence: float = 0.50,
     seed: int | None = 13,
+    source: DataSource | None = None,
+    executor: str = "serial",
 ) -> CatalogExperimentResult:
-    """Mine all attribute pairs of a wide synthetic relation and time it."""
-    relation = paper_benchmark_table(
-        num_tuples, num_numeric=num_numeric, num_boolean=num_boolean, seed=seed
-    )
+    """Mine all attribute pairs of a wide synthetic relation and time it.
+
+    By default the relation is generated in memory; pass any
+    :class:`~repro.pipeline.DataSource` as ``source`` to run the identical
+    workload over chunked or out-of-core data instead (``num_tuples`` /
+    ``num_numeric`` / ``num_boolean`` are then read from the source's
+    schema and scan).
+    """
+    if source is None:
+        data: Relation | DataSource = paper_benchmark_table(
+            num_tuples, num_numeric=num_numeric, num_boolean=num_boolean, seed=seed
+        )
+        schema = data.schema
+    else:
+        data = source
+        schema = source.schema
+    num_numeric = len(schema.numeric_names())
+    num_boolean = len(schema.boolean_names())
 
     catalog_holder: dict[str, RuleCatalog] = {}
 
     def _mine() -> None:
         catalog_holder["catalog"] = mine_rule_catalog(
-            relation,
+            data,
             min_support=min_support,
             min_confidence=min_confidence,
             num_buckets=num_buckets,
+            executor=executor,
         )
 
     seconds = time_call(_mine)
+    catalog = catalog_holder["catalog"]
+    if source is not None:
+        # The catalog read the size off its cached profiles — no extra scan.
+        num_tuples = catalog.num_tuples
     return CatalogExperimentResult(
         num_tuples=num_tuples,
         num_numeric=num_numeric,
         num_boolean=num_boolean,
         num_buckets=num_buckets,
         seconds=seconds,
-        catalog=catalog_holder["catalog"],
+        catalog=catalog,
     )

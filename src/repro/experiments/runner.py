@@ -23,6 +23,7 @@ __all__ = [
     "SweepResult",
     "geometric_sizes",
     "bench_workload",
+    "throughput_workload",
     "write_bench_json",
 ]
 
@@ -143,6 +144,33 @@ def bench_workload(
         "old_seconds": float(old_seconds),
         "new_seconds": float(new_seconds),
         "speedup": float(speedup),
+        "parameters": dict(parameters),
+    }
+
+
+def throughput_workload(
+    name: str,
+    seconds: float,
+    num_tuples: int,
+    **parameters: object,
+) -> dict[str, object]:
+    """One throughput benchmark measurement as a JSON-serializable row.
+
+    Used by workloads whose figure of merit is scan rate rather than an
+    old-vs-new speedup — e.g. the out-of-core catalog, where
+    ``tuples_per_second`` tracks how fast the pipeline drives a chunked
+    :class:`~repro.pipeline.DataSource` end to end.
+    """
+    if seconds < 0:
+        raise ExperimentError("benchmark timings must be non-negative")
+    if num_tuples < 0:
+        raise ExperimentError("benchmark tuple counts must be non-negative")
+    rate = num_tuples / seconds if seconds > 0 else 0.0
+    return {
+        "name": name,
+        "seconds": float(seconds),
+        "num_tuples": int(num_tuples),
+        "tuples_per_second": float(rate),
         "parameters": dict(parameters),
     }
 

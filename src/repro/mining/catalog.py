@@ -10,9 +10,14 @@ interrelations first.
 
 The catalog is expressed as a batch of :class:`repro.core.MiningTask` items
 resolved by :meth:`OptimizedRuleMiner.mine_many`, so each numeric attribute
-is bucketed and assigned once, each Boolean objective's mask is evaluated
-once (and reused for its base rate), and the solvers run on the array-native
-fast path by default.
+is bucketed and assigned once, each Boolean objective is evaluated once (and
+its base rate read off the cached profile), and the solvers run on the
+array-native fast path by default.
+
+The catalog accepts any :class:`~repro.pipeline.DataSource` in place of the
+relation: over a streaming source (e.g. a ``CSVSource``) the miner
+prefetches every profile in two scans of the data, so the complete §1.3
+workload runs out-of-core without ever materializing the relation.
 """
 
 from __future__ import annotations
@@ -25,7 +30,8 @@ from repro.bucketing.base import Bucketizer
 from repro.core.miner import MiningTask, OptimizedRuleMiner
 from repro.core.rules import OptimizedRangeRule, RuleKind
 from repro.exceptions import OptimizationError
-from repro.relation.conditions import BooleanIs
+from repro.pipeline.sources import DataSource
+from repro.relation.conditions import BooleanIs, Condition
 from repro.relation.relation import Relation
 
 __all__ = ["CatalogEntry", "RuleCatalog", "mine_rule_catalog"]
@@ -62,10 +68,15 @@ class CatalogEntry:
 
 @dataclass(frozen=True)
 class RuleCatalog:
-    """The result of an all-combinations mining run."""
+    """The result of an all-combinations mining run.
+
+    ``num_tuples`` records the size of the mined data (read off the cached
+    profiles), so out-of-core callers never need an extra counting scan.
+    """
 
     entries: tuple[CatalogEntry, ...]
     num_pairs: int
+    num_tuples: int = 0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -93,7 +104,7 @@ class RuleCatalog:
 
 
 def mine_rule_catalog(
-    relation: Relation,
+    relation: Relation | DataSource,
     min_support: float = 0.10,
     min_confidence: float = 0.50,
     num_buckets: int = 200,
@@ -106,13 +117,14 @@ def mine_rule_catalog(
         RuleKind.OPTIMIZED_SUPPORT,
     ),
     engine: str = "fast",
+    executor: str = "serial",
 ) -> RuleCatalog:
     """Mine optimized rules for every (numeric, Boolean) attribute pair.
 
     Parameters
     ----------
     relation:
-        Relation to mine.
+        Relation — or any :class:`~repro.pipeline.DataSource` — to mine.
     min_support:
         Support threshold for the optimized-confidence rules.
     min_confidence:
@@ -125,11 +137,20 @@ def mine_rule_catalog(
         Which rule kinds to mine per pair (defaults to both).
     engine:
         Solver engine forwarded to the miner (``"fast"`` or ``"reference"``).
+    executor:
+        Counting executor for streaming sources (``"serial"``,
+        ``"streaming"``, or ``"multiprocessing"``); ignored for in-memory
+        data.
     """
     miner = OptimizedRuleMiner(
-        relation, num_buckets=num_buckets, bucketizer=bucketizer, rng=rng, engine=engine
+        relation,
+        num_buckets=num_buckets,
+        bucketizer=bucketizer,
+        rng=rng,
+        engine=engine,
+        executor=executor,
     )
-    schema = relation.schema
+    schema = miner.schema
     numeric_names = (
         numeric_attributes if numeric_attributes is not None else schema.numeric_names()
     )
@@ -143,13 +164,9 @@ def mine_rule_catalog(
             )
 
     tasks: list[MiningTask] = []
-    base_rates: list[float] = []
     pairs = 0
     for boolean_name in boolean_names:
         objective = BooleanIs(boolean_name, True)
-        # The objective's mask is cached by the miner; its mean is the base
-        # rate every entry of this objective is lifted against.
-        base_rate = float(miner.condition_mask(objective).mean())
         for numeric_name in numeric_names:
             pairs += 1
             for kind in kinds:
@@ -164,10 +181,26 @@ def mine_rule_catalog(
                         threshold=threshold,
                     )
                 )
-                base_rates.append(base_rate)
 
+    rules = miner.mine_many(tasks)
+    # Base rates come off the profiles the batch run just cached (summed
+    # per-bucket objective counts over the total), so they cost nothing
+    # extra and are identical for in-memory and streaming data.
+    base_rate_cache: dict[Condition, float] = {}
     entries: list[CatalogEntry] = []
-    for rule, base_rate in zip(miner.mine_many(tasks), base_rates):
-        if isinstance(rule, OptimizedRangeRule):
-            entries.append(CatalogEntry(rule=rule, base_rate=base_rate))
-    return RuleCatalog(entries=tuple(entries), num_pairs=pairs)
+    for task, rule in zip(tasks, rules):
+        if not isinstance(rule, OptimizedRangeRule):
+            continue
+        objective = rule.objective
+        if objective not in base_rate_cache:
+            base_rate_cache[objective] = miner.objective_base_rate(
+                task.attribute, objective
+            )
+        entries.append(CatalogEntry(rule=rule, base_rate=base_rate_cache[objective]))
+    # Any cached profile knows the data size; avoid touching the source again.
+    if tasks:
+        first = tasks[0]
+        num_tuples = int(miner.profile_for(first.attribute, first.objective).total)
+    else:
+        num_tuples = 0
+    return RuleCatalog(entries=tuple(entries), num_pairs=pairs, num_tuples=num_tuples)

@@ -1,0 +1,31 @@
+"""Unified DataSource → ProfileBuilder pipeline.
+
+One profile-construction path for every deployment scenario of Algorithm
+3.1: in-memory relations, chunked streams, and out-of-core CSV files all
+implement the :class:`DataSource` scan contract, and
+:class:`ProfileBuilder` turns any of them into solver-ready
+:class:`~repro.core.BucketProfile`\\ s via two scans (boundary sampling, then
+counting) with a pluggable executor (``serial`` / ``streaming`` /
+``multiprocessing``).  Profiles are bit-identical across all source types
+and executors, so the miners, the §1.3 catalog, and the experiments run
+unchanged over any of them.
+"""
+
+from repro.pipeline.builder import (
+    EXECUTORS,
+    AttributeCounts,
+    AttributeSpec,
+    ProfileBuilder,
+)
+from repro.pipeline.sources import ChunkedSource, CSVSource, DataSource, RelationSource
+
+__all__ = [
+    "DataSource",
+    "RelationSource",
+    "ChunkedSource",
+    "CSVSource",
+    "ProfileBuilder",
+    "AttributeSpec",
+    "AttributeCounts",
+    "EXECUTORS",
+]

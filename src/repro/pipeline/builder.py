@@ -1,0 +1,557 @@
+"""The unified profile-construction pipeline (sample → boundaries → count).
+
+:class:`ProfileBuilder` owns the two scans of Algorithm 3.1 over any
+:class:`~repro.pipeline.sources.DataSource`:
+
+1. **sampling pass** — one scan feeding a chunk-invariant
+   :class:`~repro.bucketing.streaming.ReservoirSampler` per requested
+   attribute; the sorted samples yield the almost-equi-depth bucket
+   boundaries (steps 1–3 of Algorithm 3.1);
+2. **counting pass** — one scan in which every chunk runs through the shared
+   kernel :func:`~repro.bucketing.counting.count_value_chunk` (one
+   ``searchsorted`` assignment per attribute, mask-matrix ``bincount`` for
+   all objective conditions, weighted bincounts for §5 average targets) and
+   the resulting :class:`~repro.bucketing.counting.ChunkCounts` partials
+   merge in chunk order.
+
+*Where* the kernel runs is an executor strategy:
+
+* ``"serial"`` — every chunk counted in-process, each partial merged the
+  moment its chunk is counted (one-PE Algorithm 3.2; only one chunk is ever
+  resident);
+* ``"streaming"`` — an alias of the same bounded-memory in-process loop,
+  named for the out-of-core deployment it serves;
+* ``"multiprocessing"`` — chunks fan out to a ``ProcessPoolExecutor``
+  (Algorithm 3.2 with real PEs) with a bounded submission window, and the
+  partials still merge in chunk order.
+
+Counts are integers and partials always merge in chunk order, so all three
+executors — and all source types over the same tuples — produce **bit
+identical** :class:`~repro.core.BucketProfile`\\ s; the parity suite in
+``tests/pipeline/test_builder.py`` asserts exact equality across the full
+source × executor matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.bucketing.base import Bucketing
+from repro.bucketing.counting import ChunkCounts, count_value_chunk
+from repro.bucketing.equidepth_sample import DEFAULT_SAMPLE_FACTOR
+from repro.bucketing.equidepth_sort import equidepth_cuts_from_sorted
+from repro.bucketing.streaming import ReservoirSampler
+from repro.core.profile import BucketProfile
+from repro.exceptions import PipelineError
+from repro.pipeline.sources import DataSource
+from repro.relation.conditions import Condition
+
+__all__ = ["AttributeSpec", "AttributeCounts", "ProfileBuilder", "EXECUTORS"]
+
+#: Recognized executor strategy names.
+EXECUTORS = ("serial", "streaming", "multiprocessing")
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """What to count for one numeric attribute during the counting pass.
+
+    Attributes
+    ----------
+    attribute:
+        The numeric attribute whose buckets are counted.
+    objectives:
+        Objective conditions whose per-bucket conditional counts ``v_i`` are
+        produced (confidence/support rules).
+    targets:
+        Numeric attributes whose per-bucket sums are produced (the §5
+        average-operator numerators).
+    """
+
+    attribute: str
+    objectives: tuple[Condition, ...] = ()
+    targets: tuple[str, ...] = ()
+
+    def merged_with(self, other: "AttributeSpec") -> "AttributeSpec":
+        """Union of two specs for the same attribute (order-preserving)."""
+        if other.attribute != self.attribute:
+            raise PipelineError("cannot merge specs of different attributes")
+        objectives = list(self.objectives)
+        objectives.extend(o for o in other.objectives if o not in objectives)
+        targets = list(self.targets)
+        targets.extend(t for t in other.targets if t not in targets)
+        return AttributeSpec(self.attribute, tuple(objectives), tuple(targets))
+
+
+@dataclass
+class AttributeCounts:
+    """Pipeline output for one attribute: merged counts plus the bucketing.
+
+    This is the streaming analogue of the miner's per-attribute assignment
+    cache — everything needed to materialize any number of
+    :class:`BucketProfile`\\ s for the attribute without another scan.
+    """
+
+    attribute: str
+    bucketing: Bucketing
+    sizes: np.ndarray
+    conditional: dict[Condition, np.ndarray]
+    sums: dict[str, np.ndarray]
+    lows: np.ndarray
+    highs: np.ndarray
+    total: int
+
+    @property
+    def nonempty(self) -> np.ndarray:
+        """Boolean mask of buckets that received at least one tuple."""
+        return self.sizes > 0
+
+    def profile(self, objective: Condition, label: str | None = None) -> BucketProfile:
+        """The confidence/support profile of one counted objective."""
+        if objective not in self.conditional:
+            raise PipelineError(
+                f"objective {objective} was not counted for attribute "
+                f"{self.attribute!r}"
+            )
+        keep = self.nonempty
+        if not np.any(keep):
+            raise PipelineError("the source contained no tuples")
+        return BucketProfile(
+            attribute=self.attribute,
+            objective_label=label if label is not None else str(objective),
+            sizes=self.sizes[keep].astype(np.float64),
+            values=self.conditional[objective][keep].astype(np.float64),
+            lows=self.lows[keep],
+            highs=self.highs[keep],
+            total=float(self.total),
+        )
+
+    def average_profile(self, target: str) -> BucketProfile:
+        """The §5 average-operator profile of one counted target attribute."""
+        if target not in self.sums:
+            raise PipelineError(
+                f"target {target!r} was not counted for attribute "
+                f"{self.attribute!r}"
+            )
+        keep = self.nonempty
+        if not np.any(keep):
+            raise PipelineError("the source contained no tuples")
+        return BucketProfile(
+            attribute=self.attribute,
+            objective_label=f"avg({target})",
+            sizes=self.sizes[keep].astype(np.float64),
+            values=self.sums[target][keep],
+            lows=self.lows[keep],
+            highs=self.highs[keep],
+            total=float(self.total),
+        )
+
+
+def _count_chunk_payload(
+    payload: list[tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]],
+) -> list[ChunkCounts]:
+    """Count one chunk's payload for every attribute (module-level: picklable).
+
+    ``payload`` holds, per requested attribute, the chunk's value array, the
+    bucketing cuts, the stacked objective masks (or ``None``) and the stacked
+    target weights (or ``None``) — plain numpy only, so a process-pool worker
+    needs nothing but this module.
+    """
+    return [
+        count_value_chunk(values, cuts, masks=masks, weights=weights)
+        for values, cuts, masks, weights in payload
+    ]
+
+
+class ProfileBuilder:
+    """Build bucket profiles from any data source with a pluggable executor.
+
+    Parameters
+    ----------
+    num_buckets:
+        Bucket count targeted per attribute (ties in the boundary sample can
+        reduce it, exactly as in the in-memory bucketizer).
+    executor:
+        ``"serial"``, ``"streaming"``, or ``"multiprocessing"`` — where the
+        counting kernel runs (see the module docstring).  All three produce
+        bit-identical profiles.
+    sample_factor:
+        Reservoir points per bucket for the boundary sample (the paper's
+        ``S = 40·M``).
+    seed:
+        Base seed of the boundary-sampling RNG.  Each attribute derives its
+        own generator from ``(seed, crc32(attribute))``, so the boundaries of
+        one attribute do not depend on which other attributes are requested,
+        how the stream is chunked, or which executor counts it.
+    max_workers:
+        Worker processes for the multiprocessing executor (default: one per
+        CPU, capped at 8).
+    """
+
+    def __init__(
+        self,
+        num_buckets: int = 1000,
+        *,
+        executor: str = "serial",
+        sample_factor: int = DEFAULT_SAMPLE_FACTOR,
+        seed: int = 0,
+        max_workers: int | None = None,
+    ) -> None:
+        if num_buckets <= 0:
+            raise PipelineError("num_buckets must be positive")
+        if executor not in EXECUTORS:
+            raise PipelineError(
+                f"unknown executor {executor!r}; use one of {', '.join(EXECUTORS)}"
+            )
+        if sample_factor <= 0:
+            raise PipelineError("sample_factor must be positive")
+        if max_workers is not None and max_workers <= 0:
+            raise PipelineError("max_workers must be positive")
+        self._num_buckets = int(num_buckets)
+        self._executor = executor
+        self._sample_factor = int(sample_factor)
+        self._seed = int(seed)
+        self._max_workers = max_workers
+
+    # -- configuration ---------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        """Requested buckets per attribute."""
+        return self._num_buckets
+
+    @property
+    def executor(self) -> str:
+        """The executor strategy in use."""
+        return self._executor
+
+    # -- pass 1: boundary sampling ---------------------------------------------
+
+    def _attribute_rng(self, attribute: str) -> np.random.Generator:
+        """Deterministic per-attribute generator (independent of the request set)."""
+        return np.random.default_rng(
+            [self._seed, zlib.crc32(attribute.encode("utf-8"))]
+        )
+
+    def sample_bucketings(
+        self, source: DataSource, attributes: Sequence[str]
+    ) -> dict[str, Bucketing]:
+        """One scan of ``source`` sampling bucket boundaries for every attribute.
+
+        Algorithm 3.1 steps 1–3 via reservoir sampling: uniform without
+        knowing the stream length, so the same code serves in-memory,
+        chunked, and file sources.  Duplicate cut points (heavily tied data)
+        are merged as the in-memory bucketizer does.
+        """
+        attributes = list(dict.fromkeys(attributes))
+        if not attributes:
+            return {}
+        if self._num_buckets == 1:
+            return {attribute: Bucketing.single_bucket() for attribute in attributes}
+        capacity = self._sample_factor * self._num_buckets
+        samplers = {
+            attribute: ReservoirSampler(capacity, rng=self._attribute_rng(attribute))
+            for attribute in attributes
+        }
+        for chunk in source.chunks():
+            for attribute, sampler in samplers.items():
+                sampler.extend(chunk.numeric_column(attribute))
+        bucketings: dict[str, Bucketing] = {}
+        for attribute, sampler in samplers.items():
+            sample = sampler.sample()
+            if sample.size == 0:
+                raise PipelineError(
+                    f"the source contained no values for attribute {attribute!r}"
+                )
+            sample.sort(kind="stable")
+            bucketings[attribute] = equidepth_cuts_from_sorted(
+                sample, self._num_buckets
+            ).deduplicated()
+        return bucketings
+
+    # -- pass 2: counting ------------------------------------------------------
+
+    def build_many(
+        self,
+        source: DataSource,
+        specs: Iterable[AttributeSpec],
+        bucketings: Mapping[str, Bucketing] | None = None,
+    ) -> dict[str, AttributeCounts]:
+        """Count every spec in (at most) two scans of ``source``.
+
+        Specs naming the same attribute are merged, so a whole mining catalog
+        — many objectives and average targets over several attributes —
+        costs one sampling scan plus one counting scan in total, however many
+        profiles it produces.  ``bucketings`` entries skip the sampling pass
+        for their attribute (e.g. boundaries computed elsewhere, or reused
+        from a previous build).
+        """
+        merged: dict[str, AttributeSpec] = {}
+        for spec in specs:
+            if spec.attribute in merged:
+                merged[spec.attribute] = merged[spec.attribute].merged_with(spec)
+            else:
+                merged[spec.attribute] = spec
+        if not merged:
+            return {}
+
+        resolved = dict(bucketings or {})
+        missing = [attribute for attribute in merged if attribute not in resolved]
+        if missing:
+            resolved.update(self.sample_bucketings(source, missing))
+
+        spec_list = list(merged.values())
+        totals = self._run_counting_pass(
+            self._payloads(source, spec_list, resolved), spec_list, resolved
+        )
+
+        results: dict[str, AttributeCounts] = {}
+        for spec, counts in zip(spec_list, totals):
+            results[spec.attribute] = AttributeCounts(
+                attribute=spec.attribute,
+                bucketing=resolved[spec.attribute],
+                sizes=counts.sizes,
+                conditional={
+                    objective: counts.conditional[row]
+                    for row, objective in enumerate(spec.objectives)
+                },
+                sums={
+                    target: counts.sums[row]
+                    for row, target in enumerate(spec.targets)
+                },
+                lows=counts.lows,
+                highs=counts.highs,
+                total=counts.num_tuples,
+            )
+        return results
+
+    def build_counts(
+        self,
+        source: DataSource,
+        attribute: str,
+        objectives: Sequence[Condition] = (),
+        targets: Sequence[str] = (),
+        bucketing: Bucketing | None = None,
+    ) -> AttributeCounts:
+        """Count one attribute (any number of objectives/targets) in two scans."""
+        spec = AttributeSpec(attribute, tuple(objectives), tuple(targets))
+        overrides = {attribute: bucketing} if bucketing is not None else None
+        return self.build_many(source, [spec], bucketings=overrides)[attribute]
+
+    def build_profile(
+        self,
+        source: DataSource,
+        attribute: str,
+        objective: Condition,
+        *,
+        presumptive: Condition | None = None,
+        bucketing: Bucketing | None = None,
+        label: str | None = None,
+    ) -> BucketProfile:
+        """One confidence/support profile (optionally with a §4.3 conjunct).
+
+        With a ``presumptive`` conjunct the per-bucket population is
+        restricted to tuples meeting it chunk-side (support stays measured
+        against the full source size), matching
+        :meth:`BucketProfile.from_relation` exactly.
+        """
+        if presumptive is None:
+            counts = self.build_counts(
+                source, attribute, objectives=[objective], bucketing=bucketing
+            )
+            return counts.profile(objective, label=label)
+        return self._build_presumptive_profile(
+            source, attribute, objective, presumptive, bucketing, label
+        )
+
+    def build_profiles(
+        self,
+        source: DataSource,
+        attribute: str,
+        objectives: Sequence[Condition],
+        bucketing: Bucketing | None = None,
+    ) -> dict[Condition, BucketProfile]:
+        """Profiles for many objectives of one attribute from a single scan."""
+        counts = self.build_counts(
+            source, attribute, objectives=objectives, bucketing=bucketing
+        )
+        return {objective: counts.profile(objective) for objective in objectives}
+
+    def build_average_profile(
+        self,
+        source: DataSource,
+        attribute: str,
+        target: str,
+        bucketing: Bucketing | None = None,
+    ) -> BucketProfile:
+        """The §5 average-operator profile of ``target`` grouped by ``attribute``."""
+        counts = self.build_counts(
+            source, attribute, targets=[target], bucketing=bucketing
+        )
+        return counts.average_profile(target)
+
+    # -- internals -------------------------------------------------------------
+
+    def _payloads(
+        self,
+        source: DataSource,
+        specs: Sequence[AttributeSpec],
+        bucketings: Mapping[str, Bucketing],
+    ) -> Iterator[list[tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]]]:
+        """Per-chunk kernel payloads: columns extracted, conditions evaluated.
+
+        Condition masks are evaluated chunk-side here in the parent (they
+        need the relation chunk); workers only ever see plain arrays.
+        Columns, masks, and stacked matrices are cached per chunk, so a
+        catalog where every attribute spec carries the same objectives
+        evaluates each condition once per chunk (not once per attribute) and
+        shares one mask matrix across the payload — pickle deduplicates the
+        shared array when it ships to worker processes.
+        """
+        for chunk in source.chunks():
+            columns: dict[str, np.ndarray] = {}
+            mask_rows: dict[Condition, np.ndarray] = {}
+            mask_stacks: dict[tuple[Condition, ...], np.ndarray | None] = {}
+            weight_stacks: dict[tuple[str, ...], np.ndarray | None] = {}
+
+            def column(name: str) -> np.ndarray:
+                if name not in columns:
+                    columns[name] = np.asarray(
+                        chunk.numeric_column(name), dtype=np.float64
+                    )
+                return columns[name]
+
+            def masks_for(objectives: tuple[Condition, ...]) -> np.ndarray | None:
+                if objectives not in mask_stacks:
+                    if not objectives:
+                        mask_stacks[objectives] = None
+                    else:
+                        for objective in objectives:
+                            if objective not in mask_rows:
+                                mask_rows[objective] = np.asarray(
+                                    objective.mask(chunk), dtype=bool
+                                )
+                        mask_stacks[objectives] = np.vstack(
+                            [mask_rows[objective] for objective in objectives]
+                        )
+                return mask_stacks[objectives]
+
+            def weights_for(targets: tuple[str, ...]) -> np.ndarray | None:
+                if targets not in weight_stacks:
+                    weight_stacks[targets] = (
+                        np.vstack([column(target) for target in targets])
+                        if targets
+                        else None
+                    )
+                return weight_stacks[targets]
+
+            yield [
+                (
+                    column(spec.attribute),
+                    bucketings[spec.attribute].cuts,
+                    masks_for(spec.objectives),
+                    weights_for(spec.targets),
+                )
+                for spec in specs
+            ]
+
+    def _run_counting_pass(
+        self,
+        payloads: Iterator[list],
+        specs: Sequence[AttributeSpec],
+        bucketings: Mapping[str, Bucketing],
+    ) -> list[ChunkCounts]:
+        """Run the executor strategy and merge partials in chunk order."""
+        totals = [
+            ChunkCounts.zeros(
+                bucketings[spec.attribute].num_buckets,
+                num_masks=len(spec.objectives),
+                num_weights=len(spec.targets),
+            )
+            for spec in specs
+        ]
+
+        def merge(parts: list[ChunkCounts]) -> None:
+            for total, part in zip(totals, parts):
+                total.merge(part)
+
+        if self._executor in ("serial", "streaming"):
+            # Count and fold one chunk at a time: only one chunk's data and
+            # partials are ever resident, so out-of-core scans stay bounded
+            # whichever of the two in-process executors is selected.
+            for payload in payloads:
+                merge(_count_chunk_payload(payload))
+        else:
+            self._run_multiprocessing(payloads, merge)
+        return totals
+
+    def _run_multiprocessing(self, payloads: Iterator[list], merge) -> None:
+        """Fan chunks out to worker processes, merging results in chunk order.
+
+        Submission is windowed (two payloads in flight per worker) so an
+        out-of-core scan never materializes the whole stream, and results are
+        consumed oldest-first so the merge order equals the chunk order —
+        which keeps even the float accumulations (§5 bucket sums) identical
+        to the serial executor.
+        """
+        workers = self._max_workers or min(8, os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            window: deque = deque()
+            for payload in payloads:
+                window.append(pool.submit(_count_chunk_payload, payload))
+                if len(window) >= 2 * workers:
+                    merge(window.popleft().result())
+            while window:
+                merge(window.popleft().result())
+
+    def _build_presumptive_profile(
+        self,
+        source: DataSource,
+        attribute: str,
+        objective: Condition,
+        presumptive: Condition,
+        bucketing: Bucketing | None,
+        label: str | None,
+    ) -> BucketProfile:
+        """Chunk-side population restriction for generalized (§4.3) rules."""
+        if bucketing is None:
+            bucketing = self.sample_bucketings(source, [attribute])[attribute]
+        full_total = 0
+
+        def payloads() -> Iterator[list]:
+            nonlocal full_total
+            for chunk in source.chunks():
+                base = np.asarray(presumptive.mask(chunk), dtype=bool)
+                values = np.asarray(
+                    chunk.numeric_column(attribute), dtype=np.float64
+                )[base]
+                masks = np.asarray(objective.mask(chunk), dtype=bool)[base][None, :]
+                full_total += chunk.num_tuples
+                yield [(values, bucketing.cuts, masks, None)]
+
+        spec = AttributeSpec(attribute, objectives=(objective,))
+        totals = self._run_counting_pass(payloads(), [spec], {attribute: bucketing})
+        counts = totals[0]
+        if counts.num_tuples == 0:
+            raise PipelineError(
+                "no tuple satisfies the presumptive conjunct; cannot build a profile"
+            )
+        keep = counts.sizes > 0
+        return BucketProfile(
+            attribute=attribute,
+            objective_label=label if label is not None else str(objective),
+            sizes=counts.sizes[keep].astype(np.float64),
+            values=counts.conditional[0][keep].astype(np.float64),
+            lows=counts.lows[keep],
+            highs=counts.highs[keep],
+            total=float(full_total),
+        )
+
+

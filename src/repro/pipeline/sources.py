@@ -1,0 +1,252 @@
+"""Pluggable data sources for the profile-construction pipeline.
+
+Algorithm 3.1 is designed so the relation is only ever *scanned* — never
+sorted or held in memory.  A :class:`DataSource` captures exactly that
+contract: it can produce a fresh iterator of :class:`~repro.relation.Relation`
+chunks any number of times (the pipeline needs two sequential scans: one to
+sample the bucket boundaries, one to count).  Three implementations cover the
+paper's deployment scenarios:
+
+* :class:`RelationSource` — an in-memory relation, optionally served in
+  chunks (the degenerate "fits in RAM" case);
+* :class:`ChunkedSource` — wraps any factory of relation-chunk iterators
+  (message queues, database cursors, generator pipelines);
+* :class:`CSVSource` — out-of-core scanning of a CSV file via
+  :func:`repro.relation.io.read_csv_chunks`, the closest analogue of the
+  paper's database file on disk.
+
+Chunks are small :class:`Relation` objects so objective
+:class:`~repro.relation.conditions.Condition`\\ s evaluate on them unchanged;
+every source yields the same tuples in the same order for the same data,
+which is what makes pipeline results bit-identical across source types.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import RelationError
+from repro.relation.io import DEFAULT_CHUNK_SIZE, read_csv_chunks
+from repro.relation.relation import Relation
+from repro.relation.schema import Attribute, Schema
+
+__all__ = ["DataSource", "RelationSource", "ChunkedSource", "CSVSource"]
+
+
+class DataSource(ABC):
+    """A re-scannable stream of relation chunks with a stable schema.
+
+    Implementations must return a *fresh* iterator from every
+    :meth:`chunks` call — the profile pipeline performs one scan to sample
+    bucket boundaries and a second scan to count, exactly the two passes the
+    paper's system makes over the database file.
+    """
+
+    @property
+    @abstractmethod
+    def schema(self) -> Schema:
+        """Schema shared by every chunk of the stream."""
+
+    @abstractmethod
+    def chunks(self) -> Iterator[Relation]:
+        """A fresh iterator over the data as relation chunks."""
+
+    @property
+    def in_memory(self) -> bool:
+        """Whether :meth:`materialize` is free (no extra memory or scan)."""
+        return False
+
+    def materialize(self) -> Relation:
+        """Concatenate every chunk into one in-memory relation.
+
+        Out-of-core callers should avoid this (it defeats the point of the
+        source); it exists so in-memory fast paths can accept any source.
+        """
+        result: Relation | None = None
+        for chunk in self.chunks():
+            result = chunk if result is None else result.concat(chunk)
+        if result is None:
+            return Relation.empty(self.schema)
+        return result
+
+
+class RelationSource(DataSource):
+    """An in-memory relation served as one chunk (or fixed-size chunks).
+
+    Parameters
+    ----------
+    relation:
+        The relation to serve.
+    chunk_size:
+        When given, scans yield consecutive slices of at most this many
+        tuples; ``None`` (the default) yields the whole relation as a single
+        chunk with no copying.
+    """
+
+    def __init__(self, relation: Relation, chunk_size: int | None = None) -> None:
+        if chunk_size is not None and chunk_size <= 0:
+            raise RelationError("chunk_size must be positive")
+        self._relation = relation
+        self._chunk_size = chunk_size
+
+    @property
+    def relation(self) -> Relation:
+        """The wrapped relation."""
+        return self._relation
+
+    @property
+    def schema(self) -> Schema:
+        return self._relation.schema
+
+    @property
+    def in_memory(self) -> bool:
+        return True
+
+    def materialize(self) -> Relation:
+        return self._relation
+
+    def chunks(self) -> Iterator[Relation]:
+        if self._chunk_size is None:
+            yield self._relation
+            return
+        total = self._relation.num_tuples
+        for start in range(0, total, self._chunk_size):
+            stop = min(start + self._chunk_size, total)
+            yield self._relation.take(np.arange(start, stop))
+
+
+class ChunkedSource(DataSource):
+    """A source backed by a factory of relation-chunk iterators.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning a fresh iterable of
+        :class:`Relation` chunks each time it is called.
+    schema:
+        Schema of the chunks.  When omitted it is discovered by peeking at
+        the first chunk of one factory invocation.  Every scanned chunk is
+        validated against it.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterable[Relation]],
+        schema: Schema | None = None,
+    ) -> None:
+        self._factory = factory
+        self._schema = schema
+
+    @classmethod
+    def from_arrays(
+        cls,
+        factory: Callable[[], Iterable[tuple[np.ndarray, np.ndarray]]],
+        attribute: str = "A",
+        objective: str = "C",
+    ) -> "ChunkedSource":
+        """Adapt a ``(values, objective_mask)`` chunk factory to relation chunks.
+
+        This is the chunk shape the pre-pipeline streaming API consumed; the
+        adapter builds two-column relations (numeric ``attribute``, Boolean
+        ``objective``) so the old data feeds the unified pipeline.
+        """
+        schema = Schema.of(Attribute.numeric(attribute), Attribute.boolean(objective))
+
+        def relation_chunks() -> Iterator[Relation]:
+            for values, mask in factory():
+                yield Relation.from_columns(
+                    schema,
+                    {
+                        attribute: np.asarray(values, dtype=np.float64).ravel(),
+                        objective: np.asarray(mask, dtype=bool).ravel(),
+                    },
+                )
+
+        return cls(relation_chunks, schema=schema)
+
+    @property
+    def schema(self) -> Schema:
+        if self._schema is None:
+            iterator = iter(self._factory())
+            try:
+                first = next(iterator)
+            except StopIteration as exc:
+                raise RelationError(
+                    "cannot infer the schema of an empty chunked source; "
+                    "pass schema= explicitly"
+                ) from exc
+            self._schema = first.schema
+        return self._schema
+
+    def chunks(self) -> Iterator[Relation]:
+        schema = self.schema
+        for chunk in self._factory():
+            if chunk.schema != schema:
+                raise RelationError(
+                    "chunked source produced a chunk with a different schema"
+                )
+            yield chunk
+
+
+class CSVSource(DataSource):
+    """Out-of-core scanning of a CSV file in bounded-size chunks.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row (as written by
+        :func:`repro.relation.io.write_csv`).
+    schema:
+        Optional explicit schema.  When omitted it is inferred from the
+        first chunk of the file and then pinned, so every scan of this
+        source parses identically; pass an explicit schema for files whose
+        early rows are not representative (e.g. a 0/1 column that later
+        holds other numbers) —
+        :func:`repro.relation.io.infer_csv_schema` derives one from the
+        whole file in a single bounded-memory scan.
+    chunk_size:
+        Maximum tuples per chunk (bounds the resident memory of a scan).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        schema: Schema | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if chunk_size <= 0:
+            raise RelationError("chunk_size must be positive")
+        self._path = Path(path)
+        if not self._path.exists():
+            raise RelationError(f"CSV file {self._path} does not exist")
+        self._schema = schema
+        self._chunk_size = int(chunk_size)
+
+    @property
+    def path(self) -> Path:
+        """The CSV file being scanned."""
+        return self._path
+
+    @property
+    def chunk_size(self) -> int:
+        """Maximum tuples per chunk."""
+        return self._chunk_size
+
+    @property
+    def schema(self) -> Schema:
+        if self._schema is None:
+            for chunk in read_csv_chunks(self._path, chunk_size=self._chunk_size):
+                self._schema = chunk.schema
+                break
+            else:
+                raise RelationError(f"CSV file {self._path} contains no data rows")
+        return self._schema
+
+    def chunks(self) -> Iterator[Relation]:
+        return read_csv_chunks(
+            self._path, schema=self.schema, chunk_size=self._chunk_size
+        )

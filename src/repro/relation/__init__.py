@@ -18,7 +18,14 @@ from repro.relation.conditions import (
     TrueCondition,
     conjunction,
 )
-from repro.relation.io import infer_schema, read_csv, write_csv
+from repro.relation.io import (
+    DEFAULT_CHUNK_SIZE,
+    infer_csv_schema,
+    infer_schema,
+    read_csv,
+    read_csv_chunks,
+    write_csv,
+)
 from repro.relation.relation import Relation
 from repro.relation.schema import Attribute, AttributeKind, Schema
 from repro.relation.statistics import (
@@ -45,8 +52,11 @@ __all__ = [
     "Not",
     "conjunction",
     "read_csv",
+    "read_csv_chunks",
     "write_csv",
     "infer_schema",
+    "infer_csv_schema",
+    "DEFAULT_CHUNK_SIZE",
     "support",
     "confidence",
     "lift",

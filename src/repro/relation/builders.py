@@ -63,9 +63,25 @@ class RelationBuilder:
         self._count += 1
 
     def add_rows(self, rows: list[Mapping[str, object]]) -> None:
-        """Append several mapping rows."""
+        """Append several mapping rows.
+
+        Rows are validated up front and then appended column-wise (one
+        ``extend`` per attribute), so large batches avoid the per-row,
+        per-attribute Python overhead of repeated :meth:`add_row` calls.
+        """
+        rows = list(rows)
+        names = self._schema.names()
+        known = set(names)
         for row in rows:
-            self.add_row(row)
+            unknown = [name for name in row if name not in known]
+            if unknown:
+                raise RelationError(f"row mentions unknown attributes: {unknown}")
+            missing = [name for name in names if name not in row]
+            if missing:
+                raise RelationError(f"row is missing attributes: {missing}")
+        for name in names:
+            self._columns[name].extend(row[name] for row in rows)
+        self._count += len(rows)
 
     def build(self) -> Relation:
         """Materialize the accumulated rows into a :class:`Relation`."""

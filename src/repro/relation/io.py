@@ -4,30 +4,54 @@ The paper's experiments read tuples from flat files on disk; this module
 provides the equivalent plumbing so examples and the CLI can operate on real
 CSV data (for instance UCI exports) as well as on the synthetic generators.
 
-Two entry points:
+Three entry points:
 
 * :func:`write_csv` — serialize a :class:`Relation` with a header row.
 * :func:`read_csv` — parse a CSV file, either against an explicit
   :class:`Schema` or with lightweight schema inference (a column whose values
   are all in a small yes/no vocabulary or all 0/1 becomes Boolean, everything
   else that parses as a float becomes numeric).
+* :func:`read_csv_chunks` — generator yielding the file as bounded-size
+  :class:`Relation` chunks, so out-of-core pipelines
+  (:class:`repro.pipeline.CSVSource`) scan the file without ever holding it
+  whole.
+
+Parsing is column-wise: rows are transposed once and each column converts
+through a single vectorized numpy cast (string → float64, or vocabulary
+lookup → bool) instead of a per-row Python loop.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.exceptions import RelationError
-from repro.relation.relation import Relation
+from repro.relation.relation import (
+    BOOLEAN_FALSE_LITERALS,
+    BOOLEAN_TRUE_LITERALS,
+    Relation,
+)
 from repro.relation.schema import Attribute, Schema
 
-__all__ = ["read_csv", "write_csv", "infer_schema"]
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "read_csv",
+    "read_csv_chunks",
+    "write_csv",
+    "infer_schema",
+    "infer_csv_schema",
+]
 
-_BOOLEAN_TRUE = {"yes", "y", "true", "t", "1"}
-_BOOLEAN_FALSE = {"no", "n", "false", "f", "0"}
-_BOOLEAN_VOCABULARY = _BOOLEAN_TRUE | _BOOLEAN_FALSE
+_BOOLEAN_VOCABULARY = BOOLEAN_TRUE_LITERALS | BOOLEAN_FALSE_LITERALS
+
+#: Default tuples per chunk for :func:`read_csv_chunks` (bounds the resident
+#: memory of an out-of-core scan at roughly ``chunk_size x num_columns``
+#: parsed values).
+DEFAULT_CHUNK_SIZE = 50_000
 
 
 def write_csv(relation: Relation, path: str | Path) -> None:
@@ -52,6 +76,91 @@ def write_csv(relation: Relation, path: str | Path) -> None:
             writer.writerow(formatted)
 
 
+def _read_header(reader: Iterator[list[str]], path: Path) -> list[str]:
+    """The stripped header row of a CSV reader."""
+    try:
+        header = next(reader)
+    except StopIteration as exc:
+        raise RelationError(f"CSV file {path} is empty") from exc
+    return [name.strip() for name in header]
+
+
+def _check_schema_header(schema: Schema, header: Sequence[str], path: Path) -> None:
+    """Validate an explicit schema against the file header."""
+    unknown = [name for name in header if name not in schema]
+    if unknown or len(header) != len(schema):
+        raise RelationError(
+            f"CSV header {list(header)} does not match schema attributes "
+            f"{schema.names()}"
+        )
+
+
+def _check_row_widths(
+    rows: Sequence[Sequence[str]], width: int, path: Path, first_row_number: int
+) -> None:
+    """Reject ragged rows with their 1-based file line number."""
+    for offset, row in enumerate(rows):
+        if len(row) != width:
+            raise RelationError(
+                f"{path}:{first_row_number + offset}: expected {width} fields, "
+                f"got {len(row)}"
+            )
+
+
+def _parse_columns(
+    header: Sequence[str], rows: Sequence[Sequence[str]], schema: Schema
+) -> dict[str, np.ndarray]:
+    """Convert string rows to typed columns with vectorized numpy casts."""
+    if rows:
+        transposed = list(zip(*rows))
+    else:
+        transposed = [() for _ in header]
+    columns: dict[str, np.ndarray] = {}
+    for name, raw in zip(header, transposed):
+        attribute = schema.attribute(name)
+        stripped = np.char.strip(np.asarray(raw, dtype=str))
+        if attribute.is_boolean:
+            columns[name] = _boolean_column(name, stripped)
+        else:
+            columns[name] = _numeric_column(name, stripped)
+    # Order columns to match the schema's attribute order.
+    return {attr.name: columns[attr.name] for attr in schema}
+
+
+def _numeric_column(name: str, stripped: np.ndarray) -> np.ndarray:
+    """One vectorized string → float64 cast, with a per-value error message."""
+    try:
+        return stripped.astype(np.float64)
+    except ValueError:
+        # Slow path, only when the vectorized cast rejects something: either
+        # locate the offending value, or fall back to Python parsing for the
+        # few literals (e.g. digit-group underscores) float() accepts but the
+        # numpy cast does not.
+        parsed = np.empty(stripped.shape[0], dtype=np.float64)
+        for position, text in enumerate(stripped):
+            try:
+                parsed[position] = float(text)
+            except ValueError as exc:
+                raise RelationError(
+                    f"column {name!r}: cannot parse numeric value {str(text)!r}"
+                ) from exc
+        return parsed
+
+
+def _boolean_column(name: str, stripped: np.ndarray) -> np.ndarray:
+    """Vectorized yes/no-vocabulary lookup → bool."""
+    lowered = np.char.lower(stripped)
+    truthy = np.isin(lowered, sorted(BOOLEAN_TRUE_LITERALS))
+    falsy = np.isin(lowered, sorted(BOOLEAN_FALSE_LITERALS))
+    invalid = ~(truthy | falsy)
+    if np.any(invalid):
+        offender = stripped[invalid][0]
+        raise RelationError(
+            f"boolean column {name!r}: cannot interpret {str(offender)!r}"
+        )
+    return truthy
+
+
 def read_csv(path: str | Path, schema: Schema | None = None) -> Relation:
     """Read a CSV file with a header row into a :class:`Relation`.
 
@@ -61,52 +170,156 @@ def read_csv(path: str | Path, schema: Schema | None = None) -> Relation:
         File to read.
     schema:
         Optional explicit schema.  When omitted the schema is inferred with
-        :func:`infer_schema`; columns that are neither Boolean-like nor
-        numeric raise :class:`~repro.exceptions.RelationError`.
+        :func:`infer_schema` over the whole file; columns that are neither
+        Boolean-like nor numeric raise
+        :class:`~repro.exceptions.RelationError`.
     """
     path = Path(path)
     with path.open("r", newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration as exc:
-            raise RelationError(f"CSV file {path} is empty") from exc
-        header = [name.strip() for name in header]
+        header = _read_header(reader, path)
         rows = [row for row in reader if row]
 
-    for row_number, row in enumerate(rows, start=2):
-        if len(row) != len(header):
-            raise RelationError(
-                f"{path}:{row_number}: expected {len(header)} fields, got {len(row)}"
-            )
-
+    _check_row_widths(rows, len(header), path, first_row_number=2)
     if schema is None:
         schema = infer_schema(header, rows)
     else:
-        unknown = [name for name in header if name not in schema]
-        if unknown or len(header) != len(schema):
-            raise RelationError(
-                f"CSV header {header} does not match schema attributes "
-                f"{schema.names()}"
-            )
+        _check_schema_header(schema, header, path)
+    return Relation.from_columns(schema, _parse_columns(header, rows, schema))
 
-    columns: dict[str, list[object]] = {name: [] for name in header}
-    for row in rows:
-        for name, raw in zip(header, row):
-            attribute = schema.attribute(name)
-            text = raw.strip()
-            if attribute.is_boolean:
-                columns[name].append(text)
-            else:
-                try:
-                    columns[name].append(float(text))
-                except ValueError as exc:
-                    raise RelationError(
-                        f"column {name!r}: cannot parse numeric value {text!r}"
-                    ) from exc
-    # Reorder columns to match the schema's attribute order.
-    ordered = {attr.name: columns[attr.name] for attr in schema}
-    return Relation.from_columns(schema, ordered)
+
+def read_csv_chunks(
+    path: str | Path,
+    schema: Schema | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[Relation]:
+    """Yield a CSV file as :class:`Relation` chunks of at most ``chunk_size`` rows.
+
+    Only one chunk of raw rows is resident at a time, so arbitrarily large
+    files scan in bounded memory — this is the generator behind
+    :class:`repro.pipeline.CSVSource`.
+
+    When ``schema`` is omitted it is inferred from the *first chunk only*
+    (the file is not pre-scanned) and then applied to every later chunk; pass
+    an explicit schema when the leading rows are not representative — for
+    example a column whose early values are all 0/1 but that is numeric
+    further down would otherwise be inferred Boolean and fail mid-scan.
+
+    A file with a header but no data rows yields no chunks.
+    """
+    if chunk_size <= 0:
+        raise RelationError("chunk_size must be positive")
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = _read_header(reader, path)
+        if schema is not None:
+            _check_schema_header(schema, header, path)
+
+        rows: list[list[str]] = []
+        line = 1  # the header line
+        first_row_number = 2
+        for row in reader:
+            line += 1
+            if not row:
+                continue
+            if not rows:
+                first_row_number = line
+            rows.append(row)
+            if len(rows) == chunk_size:
+                _check_row_widths(rows, len(header), path, first_row_number)
+                if schema is None:
+                    schema = infer_schema(header, rows)
+                yield Relation.from_columns(
+                    schema, _parse_columns(header, rows, schema)
+                )
+                rows = []
+        if rows:
+            _check_row_widths(rows, len(header), path, first_row_number)
+            if schema is None:
+                schema = infer_schema(header, rows)
+            yield Relation.from_columns(schema, _parse_columns(header, rows, schema))
+
+
+def infer_csv_schema(
+    path: str | Path, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Schema:
+    """Infer a schema over the *whole* CSV file in one bounded-memory scan.
+
+    Applies the same column rules as :func:`infer_schema` but to every row
+    of the file while holding at most ``chunk_size`` raw rows, so the result
+    matches what :func:`read_csv` would infer — unlike the first-chunk-only
+    inference :class:`repro.pipeline.CSVSource` uses by default.  Use it to
+    build the explicit schema for a source whose leading rows are not
+    representative (e.g. a numeric column whose early values are all 0/1)::
+
+        schema = infer_csv_schema("big.csv")
+        source = CSVSource("big.csv", schema=schema)
+    """
+    if chunk_size <= 0:
+        raise RelationError("chunk_size must be positive")
+    path = Path(path)
+    if not path.exists():
+        raise RelationError(f"CSV file {path} does not exist")
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = _read_header(reader, path)
+        has_values = [False] * len(header)
+        all_boolean = [True] * len(header)
+        all_numeric = [True] * len(header)
+
+        def digest(rows: list[list[str]]) -> None:
+            for index, raw in enumerate(zip(*rows)):
+                stripped = np.char.strip(np.asarray(raw, dtype=str))
+                values = stripped[stripped != ""]
+                if values.size == 0:
+                    continue
+                has_values[index] = True
+                if all_boolean[index]:
+                    all_boolean[index] = bool(
+                        np.isin(
+                            np.char.lower(values), sorted(_BOOLEAN_VOCABULARY)
+                        ).all()
+                    )
+                if all_numeric[index]:
+                    try:
+                        values.astype(np.float64)
+                    except ValueError:
+                        try:
+                            for value in values:
+                                float(value)
+                        except ValueError:
+                            all_numeric[index] = False
+
+        rows: list[list[str]] = []
+        first_row_number = 2
+        line = 1
+        for row in reader:
+            line += 1
+            if not row:
+                continue
+            if not rows:
+                first_row_number = line
+            rows.append(row)
+            if len(rows) == chunk_size:
+                _check_row_widths(rows, len(header), path, first_row_number)
+                digest(rows)
+                rows = []
+        if rows:
+            _check_row_widths(rows, len(header), path, first_row_number)
+            digest(rows)
+
+    attributes: list[Attribute] = []
+    for index, name in enumerate(header):
+        if has_values[index] and all_boolean[index]:
+            attributes.append(Attribute.boolean(name))
+        elif all_numeric[index] or not has_values[index]:
+            attributes.append(Attribute.numeric(name))
+        else:
+            raise RelationError(
+                f"column {name!r} is neither boolean-like nor numeric"
+            )
+    return Schema(tuple(attributes))
 
 
 def infer_schema(header: Sequence[str], rows: Iterable[Sequence[str]]) -> Schema:
@@ -117,18 +330,28 @@ def infer_schema(header: Sequence[str], rows: Iterable[Sequence[str]]) -> Schema
     otherwise it must parse as a float and becomes numeric.
     """
     rows = list(rows)
+    if rows:
+        transposed = list(zip(*rows))
+    else:
+        transposed = [() for _ in header]
     attributes: list[Attribute] = []
-    for index, name in enumerate(header):
-        values = [row[index].strip() for row in rows if row[index].strip() != ""]
-        if values and all(value.lower() in _BOOLEAN_VOCABULARY for value in values):
+    for name, raw in zip(header, transposed):
+        stripped = np.char.strip(np.asarray(raw, dtype=str))
+        values = stripped[stripped != ""]
+        if values.size and np.isin(
+            np.char.lower(values), sorted(_BOOLEAN_VOCABULARY)
+        ).all():
             attributes.append(Attribute.boolean(name))
             continue
         try:
-            for value in values:
-                float(value)
-        except ValueError as exc:
-            raise RelationError(
-                f"column {name!r} is neither boolean-like nor numeric"
-            ) from exc
+            values.astype(np.float64)
+        except ValueError:
+            try:
+                for value in values:
+                    float(value)
+            except ValueError as exc:
+                raise RelationError(
+                    f"column {name!r} is neither boolean-like nor numeric"
+                ) from exc
         attributes.append(Attribute.numeric(name))
     return Schema(tuple(attributes))

@@ -23,7 +23,13 @@ from repro.exceptions import RelationError, SchemaError
 from repro.relation.conditions import Condition
 from repro.relation.schema import Attribute, AttributeKind, Schema
 
-__all__ = ["Relation"]
+__all__ = ["Relation", "BOOLEAN_TRUE_LITERALS", "BOOLEAN_FALSE_LITERALS"]
+
+#: The single source of truth for Boolean value spelling, shared by column
+#: coercion here and CSV parsing/inference in :mod:`repro.relation.io` —
+#: extend these sets and every parsing path (vectorized or scalar) follows.
+BOOLEAN_TRUE_LITERALS = frozenset({"yes", "y", "true", "t", "1"})
+BOOLEAN_FALSE_LITERALS = frozenset({"no", "n", "false", "f", "0"})
 
 
 @dataclass(frozen=True)
@@ -76,23 +82,32 @@ class Relation:
     def from_rows(
         schema: Schema, rows: Iterable[Mapping[str, object] | Sequence[object]]
     ) -> "Relation":
-        """Build a relation from row dictionaries or row tuples."""
+        """Build a relation from row dictionaries or row tuples.
+
+        Rows are transposed once and each column converts through a single
+        vectorized numpy cast in :meth:`from_columns` — no per-row appends.
+        """
         names = schema.names()
-        columns: dict[str, list[object]] = {name: [] for name in names}
+        rows = list(rows)
+        if not rows:
+            return Relation.empty(schema)
+        normalized: list[Sequence[object]] = []
         for row in rows:
             if isinstance(row, Mapping):
-                for name in names:
-                    if name not in row:
-                        raise RelationError(f"row is missing attribute {name!r}")
-                    columns[name].append(row[name])
+                missing = [name for name in names if name not in row]
+                if missing:
+                    raise RelationError(
+                        f"row is missing attribute {missing[0]!r}"
+                    )
+                normalized.append([row[name] for name in names])
             else:
                 values = list(row)
                 if len(values) != len(names):
                     raise RelationError(
                         f"row has {len(values)} values, expected {len(names)}"
                     )
-                for name, value in zip(names, values):
-                    columns[name].append(value)
+                normalized.append(values)
+        columns = dict(zip(names, zip(*normalized)))
         return Relation.from_columns(schema, columns)
 
     @staticmethod
@@ -321,14 +336,38 @@ def _coerce_column(attribute: Attribute, raw: Sequence[float] | np.ndarray) -> n
             )
         return array
     # Boolean attribute: accept bools, 0/1 integers, and "yes"/"no" strings.
-    values = raw
-    if isinstance(values, np.ndarray) and values.dtype == bool:
-        array = values.astype(bool)
+    # The common homogeneous shapes (bool, numeric, string arrays) convert
+    # with one vectorized pass; only mixed-type object columns fall back to
+    # the per-value coercion loop.
+    probe = raw if isinstance(raw, np.ndarray) else np.asarray(list(raw))
+    if probe.dtype == bool:
+        array = probe.astype(bool)
+    elif np.issubdtype(probe.dtype, np.number):
+        valid = np.isin(probe, (0, 1))
+        if not np.all(valid):
+            offender = probe[~valid][0]
+            raise RelationError(
+                f"boolean column {attribute.name!r}: numeric values must be "
+                f"0 or 1, got {offender.item()!r}"
+            )
+        array = probe.astype(bool)
+    elif probe.dtype.kind in ("U", "S"):
+        lowered = np.char.lower(np.char.strip(probe.astype(str)))
+        truthy = np.isin(lowered, sorted(BOOLEAN_TRUE_LITERALS))
+        falsy = np.isin(lowered, sorted(BOOLEAN_FALSE_LITERALS))
+        invalid = ~(truthy | falsy)
+        if np.any(invalid):
+            offender = probe[invalid][0]
+            raise RelationError(
+                f"boolean column {attribute.name!r}: cannot interpret "
+                f"{str(offender)!r}"
+            )
+        array = truthy
     else:
-        converted = []
-        for value in values:
-            converted.append(_coerce_boolean(attribute.name, value))
-        array = np.asarray(converted, dtype=bool)
+        array = np.asarray(
+            [_coerce_boolean(attribute.name, value) for value in probe.ravel()],
+            dtype=bool,
+        ).reshape(probe.shape)
     if array.ndim != 1:
         raise RelationError(f"column {attribute.name!r} must be one-dimensional")
     return array
@@ -346,8 +385,8 @@ def _coerce_boolean(name: str, value: object) -> bool:
         )
     if isinstance(value, str):
         lowered = value.strip().lower()
-        if lowered in ("yes", "y", "true", "t", "1"):
+        if lowered in BOOLEAN_TRUE_LITERALS:
             return True
-        if lowered in ("no", "n", "false", "f", "0"):
+        if lowered in BOOLEAN_FALSE_LITERALS:
             return False
     raise RelationError(f"boolean column {name!r}: cannot interpret {value!r}")

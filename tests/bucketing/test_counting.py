@@ -151,3 +151,63 @@ class TestCountMany:
                 Bucketing([2500.0]),
                 {"broken": BrokenCondition("card_loan", True)},
             )
+
+
+class TestChunkKernel:
+    """The shared chunk kernel every counting path now reduces to."""
+
+    def test_chunked_merge_equals_single_pass(self) -> None:
+        rng = np.random.default_rng(17)
+        values = rng.normal(size=5_000)
+        cuts = np.quantile(values, [0.25, 0.5, 0.75])
+        masks = rng.random((3, values.size)) < 0.4
+        weights = rng.normal(size=(2, values.size))
+
+        whole = counting_module.count_value_chunk(values, cuts, masks=masks, weights=weights)
+        merged = counting_module.ChunkCounts.zeros(4, num_masks=3, num_weights=2)
+        for start in range(0, values.size, 777):
+            stop = start + 777
+            merged.merge(
+                counting_module.count_value_chunk(
+                    values[start:stop],
+                    cuts,
+                    masks=masks[:, start:stop],
+                    weights=weights[:, start:stop],
+                )
+            )
+        assert np.array_equal(merged.sizes, whole.sizes)
+        assert np.array_equal(merged.conditional, whole.conditional)
+        assert np.allclose(merged.sums, whole.sums, rtol=1e-12)
+        assert np.array_equal(merged.lows, whole.lows, equal_nan=True)
+        assert np.array_equal(merged.highs, whole.highs, equal_nan=True)
+        assert merged.num_tuples == whole.num_tuples == values.size
+
+    def test_matches_bucketing_primitives(self) -> None:
+        rng = np.random.default_rng(4)
+        values = rng.uniform(size=2_000)
+        bucketing = Bucketing(np.array([0.3, 0.6]))
+        mask = values > 0.5
+        part = counting_module.count_value_chunk(
+            values, bucketing.cuts, masks=mask[None, :]
+        )
+        assert np.array_equal(part.sizes, bucketing.counts(values))
+        assert np.array_equal(
+            part.conditional[0], bucketing.conditional_counts(values, mask)
+        )
+        lows, highs = bucketing.data_bounds(values)
+        assert np.array_equal(part.lows, lows, equal_nan=True)
+        assert np.array_equal(part.highs, highs, equal_nan=True)
+
+    def test_empty_chunk_is_identity(self) -> None:
+        empty = counting_module.count_value_chunk(np.array([]), np.array([0.0]))
+        merged = counting_module.ChunkCounts.zeros(2).merge(empty)
+        assert merged.num_tuples == 0
+        assert np.all(np.isnan(merged.lows))
+
+    def test_shape_mismatch_rejected(self) -> None:
+        with pytest.raises(BucketingError):
+            counting_module.ChunkCounts.zeros(2).merge(counting_module.ChunkCounts.zeros(3))
+        with pytest.raises(BucketingError):
+            counting_module.count_value_chunk(
+                np.array([1.0, 2.0]), np.array([0.0]), weights=np.array([1.0])
+            )

@@ -44,3 +44,28 @@ class TestParallelBucketCounter:
     def test_multidimensional_values_rejected(self, rng: np.random.Generator) -> None:
         with pytest.raises(BucketingError):
             ParallelBucketCounter(2).count(np.zeros((2, 2)), Bucketing([0.0]), rng=rng)
+
+    def test_partitioning_deterministic_without_explicit_rng(self) -> None:
+        """The partition RNG defaults to a fixed seed: identical per-PE vectors."""
+        values = np.random.default_rng(8).normal(size=4_000)
+        bucketing = SortingEquiDepthBucketizer().build(values, 16)
+        first = ParallelBucketCounter(num_partitions=5).count(values, bucketing)
+        second = ParallelBucketCounter(num_partitions=5).count(values, bucketing)
+        for left, right in zip(first.per_partition, second.per_partition):
+            assert np.array_equal(left, right)
+        distinct = ParallelBucketCounter(num_partitions=5, seed=99).count(
+            values, bucketing
+        )
+        assert np.array_equal(distinct.counts, first.counts)
+
+    def test_process_pool_matches_sequential(self) -> None:
+        """Same partitions, same per-PE counts, whether counted in- or cross-process."""
+        values = np.random.default_rng(21).uniform(size=2_000)
+        bucketing = SortingEquiDepthBucketizer().build(values, 8)
+        sequential = ParallelBucketCounter(num_partitions=2).count(values, bucketing)
+        pooled = ParallelBucketCounter(num_partitions=2, use_processes=True).count(
+            values, bucketing
+        )
+        assert np.array_equal(pooled.counts, sequential.counts)
+        for left, right in zip(pooled.per_partition, sequential.per_partition):
+            assert np.array_equal(left, right)

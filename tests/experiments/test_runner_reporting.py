@@ -11,6 +11,7 @@ from repro.experiments import (
     format_seconds,
     format_table,
     geometric_sizes,
+    throughput_workload,
     time_call,
 )
 
@@ -80,3 +81,19 @@ class TestFormatting:
         assert len(lines) == 5
         # All data rows share the header's width.
         assert len(lines[3]) == len(lines[1])
+
+
+class TestThroughputWorkload:
+    def test_rate_and_row_shape(self) -> None:
+        row = throughput_workload("scan", 2.0, 100_000, chunk_size=5_000)
+        assert row["tuples_per_second"] == pytest.approx(50_000.0)
+        assert row["parameters"] == {"chunk_size": 5_000}
+
+    def test_zero_duration_is_inf_safe(self) -> None:
+        assert throughput_workload("scan", 0.0, 10)["tuples_per_second"] == 0.0
+
+    def test_negative_inputs_rejected(self) -> None:
+        with pytest.raises(ExperimentError):
+            throughput_workload("scan", -1.0, 10)
+        with pytest.raises(ExperimentError):
+            throughput_workload("scan", 1.0, -10)

@@ -1,0 +1,201 @@
+"""Tests for the pipeline data sources and chunked CSV reading."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import bank_customers
+from repro.exceptions import RelationError
+from repro.pipeline import ChunkedSource, CSVSource, RelationSource
+from repro.relation import (
+    Attribute,
+    Relation,
+    Schema,
+    infer_csv_schema,
+    read_csv,
+    read_csv_chunks,
+    write_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def relation() -> Relation:
+    relation, _ = bank_customers(3_000, seed=11)
+    return relation
+
+
+@pytest.fixture(scope="module")
+def csv_path(relation: Relation, tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("sources") / "bank.csv"
+    write_csv(relation, path)
+    return path
+
+
+def _concat(chunks) -> Relation:
+    result = None
+    for chunk in chunks:
+        result = chunk if result is None else result.concat(chunk)
+    assert result is not None
+    return result
+
+
+class TestRelationSource:
+    def test_single_chunk_by_default(self, relation: Relation) -> None:
+        source = RelationSource(relation)
+        chunks = list(source.chunks())
+        assert len(chunks) == 1
+        assert chunks[0] is relation
+        assert source.in_memory
+        assert source.materialize() is relation
+        assert source.schema == relation.schema
+
+    def test_chunked_scan_covers_every_tuple_in_order(self, relation: Relation) -> None:
+        source = RelationSource(relation, chunk_size=700)
+        chunks = list(source.chunks())
+        assert all(chunk.num_tuples <= 700 for chunk in chunks)
+        assert _concat(chunks) == relation
+
+    def test_rescannable(self, relation: Relation) -> None:
+        source = RelationSource(relation, chunk_size=512)
+        assert _concat(source.chunks()) == _concat(source.chunks())
+
+    def test_invalid_chunk_size(self, relation: Relation) -> None:
+        with pytest.raises(RelationError):
+            RelationSource(relation, chunk_size=0)
+
+
+class TestChunkedSource:
+    def test_wraps_factory_and_peeks_schema(self, relation: Relation) -> None:
+        factory = lambda: RelationSource(relation, chunk_size=400).chunks()
+        source = ChunkedSource(factory)
+        assert source.schema == relation.schema
+        assert not source.in_memory
+        assert _concat(source.chunks()) == relation
+
+    def test_empty_factory_needs_explicit_schema(self, relation: Relation) -> None:
+        source = ChunkedSource(lambda: iter(()))
+        with pytest.raises(RelationError):
+            source.schema
+        explicit = ChunkedSource(lambda: iter(()), schema=relation.schema)
+        assert explicit.schema == relation.schema
+
+    def test_schema_drift_rejected(self, relation: Relation) -> None:
+        other = Schema.of(Attribute.numeric("x"))
+        drifting = Relation.from_columns(other, {"x": [1.0]})
+
+        def factory():
+            yield relation.head(3)
+            yield drifting
+
+        source = ChunkedSource(factory)
+        with pytest.raises(RelationError):
+            list(source.chunks())
+
+    def test_from_arrays_builds_two_column_chunks(self) -> None:
+        def factory():
+            yield np.array([1.0, 2.0]), np.array([True, False])
+            yield np.array([3.0]), np.array([True])
+
+        source = ChunkedSource.from_arrays(factory, attribute="v", objective="flag")
+        merged = _concat(source.chunks())
+        assert merged.schema.names() == ["v", "flag"]
+        assert np.array_equal(merged.numeric_column("v"), [1.0, 2.0, 3.0])
+        assert np.array_equal(merged.boolean_column("flag"), [True, False, True])
+
+
+class TestCSVSource:
+    def test_chunks_parse_identically_to_read_csv(
+        self, relation: Relation, csv_path: Path
+    ) -> None:
+        source = CSVSource(csv_path, chunk_size=750)
+        merged = _concat(source.chunks())
+        assert merged == read_csv(csv_path)
+        assert merged == relation
+
+    def test_schema_inferred_once_and_pinned(self, csv_path: Path, relation: Relation) -> None:
+        source = CSVSource(csv_path, chunk_size=100)
+        assert source.schema == relation.schema
+        # A second scan reuses the pinned schema (no re-inference surprises).
+        assert _concat(source.chunks()).schema == relation.schema
+
+    def test_rescannable(self, csv_path: Path) -> None:
+        source = CSVSource(csv_path, chunk_size=640)
+        assert _concat(source.chunks()) == _concat(source.chunks())
+
+    def test_empty_data_file_has_no_schema(self, tmp_path: Path) -> None:
+        path = tmp_path / "header_only.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(RelationError):
+            CSVSource(path).schema
+
+    def test_invalid_chunk_size(self, csv_path: Path) -> None:
+        with pytest.raises(RelationError):
+            CSVSource(csv_path, chunk_size=0)
+
+
+class TestReadCsvChunks:
+    def test_concatenated_chunks_equal_full_read(self, csv_path: Path) -> None:
+        chunks = list(read_csv_chunks(csv_path, chunk_size=999))
+        assert len(chunks) == 4  # 3000 rows in 999-row chunks
+        assert _concat(chunks) == read_csv(csv_path)
+
+    def test_exact_multiple_chunking(self, csv_path: Path) -> None:
+        chunks = list(read_csv_chunks(csv_path, chunk_size=1500))
+        assert [chunk.num_tuples for chunk in chunks] == [1500, 1500]
+
+    def test_header_only_yields_nothing(self, tmp_path: Path) -> None:
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n")
+        assert list(read_csv_chunks(path)) == []
+
+    def test_ragged_row_rejected_with_line_number(self, tmp_path: Path) -> None:
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(RelationError, match="ragged.csv:3"):
+            list(read_csv_chunks(path, chunk_size=10))
+
+    def test_explicit_schema_mismatch_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "data.csv"
+        path.write_text("a\n1.0\n")
+        wrong = Schema.of(Attribute.numeric("b"))
+        with pytest.raises(RelationError):
+            list(read_csv_chunks(path, schema=wrong))
+
+    def test_invalid_chunk_size(self, tmp_path: Path) -> None:
+        path = tmp_path / "data.csv"
+        path.write_text("a\n1.0\n")
+        with pytest.raises(RelationError):
+            list(read_csv_chunks(path, chunk_size=0))
+
+
+class TestInferCsvSchema:
+    def test_matches_whole_file_inference(self, csv_path: Path) -> None:
+        assert infer_csv_schema(csv_path, chunk_size=321) == read_csv(csv_path).schema
+
+    def test_unrepresentative_leading_rows(self, tmp_path: Path) -> None:
+        """A 0/1 prefix must not pin a column Boolean when later rows disagree."""
+        path = tmp_path / "tricky.csv"
+        path.write_text("count\n0\n1\n0\n1\n3\n")
+        # First-chunk-only inference (chunk smaller than the file) gets this
+        # wrong and fails mid-scan...
+        with pytest.raises(RelationError):
+            _concat(CSVSource(path, chunk_size=2).chunks())
+        # ...the whole-file scan agrees with read_csv and streams cleanly.
+        schema = infer_csv_schema(path, chunk_size=2)
+        assert schema == read_csv(path).schema
+        assert schema.attribute("count").is_numeric
+        merged = _concat(CSVSource(path, schema=schema, chunk_size=2).chunks())
+        assert merged == read_csv(path)
+
+    def test_non_parsable_column_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "text.csv"
+        path.write_text("a\nyes\nhello\n")
+        with pytest.raises(RelationError):
+            infer_csv_schema(path, chunk_size=1)
+
+    def test_missing_file_rejected(self, tmp_path: Path) -> None:
+        with pytest.raises(RelationError):
+            infer_csv_schema(tmp_path / "missing.csv")

@@ -140,6 +140,71 @@ class TestMineCommand:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_streamed_source_mines_same_shape_of_rule(self, bank_csv: Path, capsys) -> None:
+        code = main(
+            [
+                "mine",
+                str(bank_csv),
+                "--attribute",
+                "balance",
+                "--objective",
+                "card_loan",
+                "--source",
+                "stream",
+                "--chunk-size",
+                "1000",
+                "--executor",
+                "streaming",
+                "--buckets",
+                "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(balance in [" in out
+        assert "card_loan" in out
+
+    def test_streamed_source_parses_like_memory(self, tmp_path: Path, capsys) -> None:
+        """--source stream must not mis-infer a column from its leading rows."""
+        path = tmp_path / "tricky.csv"
+        rows = [f"{value},{'yes' if value > 1 else 'no'}" for value in [0, 1] * 15]
+        rows += [f"{value},yes" for value in range(2, 12)]
+        path.write_text("count,flag\n" + "\n".join(rows) + "\n")
+        code = main(
+            [
+                "mine",
+                str(path),
+                "--attribute",
+                "count",
+                "--objective",
+                "flag",
+                "--buckets",
+                "5",
+                "--source",
+                "stream",
+                "--chunk-size",
+                "8",
+            ]
+        )
+        # The 0/1 prefix must parse as numeric (whole-file inference); the
+        # command completes instead of failing mid-scan on the value '2'.
+        assert code in (0, 1)
+        assert "error:" not in capsys.readouterr().err
+        code = main(
+            [
+                "mine",
+                str(tmp_path / "missing.csv"),
+                "--attribute",
+                "balance",
+                "--objective",
+                "card_loan",
+                "--source",
+                "stream",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestCatalogCommand:
     def test_catalog_with_exports(self, tmp_path: Path, capsys) -> None:
@@ -171,6 +236,24 @@ class TestCatalogCommand:
         assert out_csv.exists()
         assert out_md.exists()
         assert out_md.read_text().startswith("| attribute ")
+
+    def test_catalog_from_stream_source(self, tmp_path: Path, capsys) -> None:
+        relation = generate_named_dataset("bank", 3_000, seed=2)
+        csv_path = save_dataset(relation, tmp_path / "bank.csv")
+        code = main(
+            [
+                "catalog",
+                str(csv_path),
+                "--buckets",
+                "50",
+                "--source",
+                "stream",
+                "--chunk-size",
+                "1000",
+            ]
+        )
+        assert code == 0
+        assert "attribute pairs" in capsys.readouterr().out
 
 
 class TestExperimentCommand:
