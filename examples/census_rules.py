@@ -17,7 +17,7 @@ import numpy as np
 
 from repro import OptimizedRuleMiner, datasets
 from repro.core import RuleKind
-from repro.extensions import optimized_rectangle
+from repro.extensions import mine_rectangle_rule
 from repro.mining import mine_rule_catalog
 from repro.relation import BooleanIs
 
@@ -58,7 +58,7 @@ def main() -> None:
 
     # -- two-dimensional extension -------------------------------------------------
     print("\n=== two-dimensional rule: (age, education_years) ===")
-    rectangle = optimized_rectangle(
+    rectangle = mine_rectangle_rule(
         relation,
         "age",
         "education_years",

@@ -63,6 +63,8 @@ from repro.pipeline import (
     ChunkedSource,
     CSVSource,
     DataSource,
+    GridProfile,
+    GridProfileBuilder,
     ProfileBuilder,
     RelationSource,
 )
@@ -122,6 +124,8 @@ __all__ = [
     "ChunkedSource",
     "CSVSource",
     "ProfileBuilder",
+    "GridProfile",
+    "GridProfileBuilder",
     # exceptions
     "ReproError",
     "SchemaError",

@@ -35,6 +35,15 @@ chunk-at-a-time kernel returning :class:`ChunkCounts` partials that merge by
 summing.  It is the single counting implementation behind the
 ``repro.pipeline`` executors, the streaming counter, and the Algorithm 3.2
 parallel counter.
+
+Grid kernel
+-----------
+:func:`count_grid_chunk` is the two-dimensional analogue for the §1.4
+rectangle extension: both attributes are assigned in one pass each, the cell
+index ``row * C + column`` flattens the ``R × C`` grid, and a single
+``bincount`` (plus the mask-matrix kernel for objectives) produces the
+per-cell ``u_ij`` / ``v_ij`` counts as :class:`GridChunkCounts` partials —
+merged by the same executors that drive the 1-D pipeline.
 """
 
 from __future__ import annotations
@@ -52,10 +61,12 @@ from repro.relation.relation import Relation
 __all__ = [
     "BucketCounts",
     "ChunkCounts",
+    "GridChunkCounts",
     "count_relation_buckets",
     "count_conditions",
     "count_many",
     "count_value_chunk",
+    "count_grid_chunk",
     "masked_bucket_counts",
 ]
 
@@ -188,6 +199,10 @@ class ChunkCounts:
     lows / highs:
         Observed per-bucket minimum / maximum values, ``nan`` where the
         chunk put nothing in a bucket.
+    mask_lows / mask_highs:
+        Observed per-bucket bounds of the values selected by each *bound
+        mask* (shape ``(num_bound_masks, M)``) — the restricted data bounds
+        a §4.3 presumptive profile reports its value range from.
     num_tuples:
         Number of values counted in this chunk.
     """
@@ -198,9 +213,22 @@ class ChunkCounts:
     lows: np.ndarray
     highs: np.ndarray
     num_tuples: int = 0
+    mask_lows: np.ndarray | None = None
+    mask_highs: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.mask_lows is None:
+            self.mask_lows = np.zeros((0, self.sizes.shape[0]))
+        if self.mask_highs is None:
+            self.mask_highs = np.zeros((0, self.sizes.shape[0]))
 
     @staticmethod
-    def zeros(num_buckets: int, num_masks: int = 0, num_weights: int = 0) -> "ChunkCounts":
+    def zeros(
+        num_buckets: int,
+        num_masks: int = 0,
+        num_weights: int = 0,
+        num_bound_masks: int = 0,
+    ) -> "ChunkCounts":
         """An identity element for :meth:`merge`."""
         return ChunkCounts(
             sizes=np.zeros(num_buckets, dtype=np.int64),
@@ -209,6 +237,8 @@ class ChunkCounts:
             lows=np.full(num_buckets, np.nan),
             highs=np.full(num_buckets, np.nan),
             num_tuples=0,
+            mask_lows=np.full((num_bound_masks, num_buckets), np.nan),
+            mask_highs=np.full((num_bound_masks, num_buckets), np.nan),
         )
 
     def merge(self, other: "ChunkCounts") -> "ChunkCounts":
@@ -218,13 +248,20 @@ class ChunkCounts:
         executor that merges partials in chunk order reproduces the serial
         float result bit for bit; bounds combine with nan-aware min/max.
         """
-        if self.sizes.shape != other.sizes.shape or self.conditional.shape != other.conditional.shape or self.sums.shape != other.sums.shape:
+        if (
+            self.sizes.shape != other.sizes.shape
+            or self.conditional.shape != other.conditional.shape
+            or self.sums.shape != other.sums.shape
+            or self.mask_lows.shape != other.mask_lows.shape
+        ):
             raise BucketingError("cannot merge chunk counts of different shapes")
         self.sizes += other.sizes
         self.conditional += other.conditional
         self.sums += other.sums
         self.lows = np.fmin(self.lows, other.lows)
         self.highs = np.fmax(self.highs, other.highs)
+        self.mask_lows = np.fmin(self.mask_lows, other.mask_lows)
+        self.mask_highs = np.fmax(self.mask_highs, other.mask_highs)
         self.num_tuples += other.num_tuples
         return self
 
@@ -235,6 +272,7 @@ def count_value_chunk(
     masks: np.ndarray | None = None,
     weights: np.ndarray | None = None,
     with_bounds: bool = True,
+    bound_masks: np.ndarray | None = None,
 ) -> ChunkCounts:
     """The shared counting kernel: bucket one value chunk against ``cuts``.
 
@@ -250,6 +288,12 @@ def count_value_chunk(
     ``with_bounds=False`` skips the sort behind the per-bucket data bounds
     (``lows``/``highs`` stay ``nan``) for callers that only need counts —
     the bounds sort would otherwise dominate a bare counting scan.
+
+    ``bound_masks`` (a ``(num_bound_masks, num_tuples)`` Boolean matrix)
+    additionally produces per-bucket data bounds *restricted* to the tuples
+    each mask selects — what a §4.3 presumptive profile instantiates its
+    value range from.  One sort per bound mask, so callers should reserve it
+    for the conjuncts that actually need restricted bounds.
     """
     array = np.asarray(values, dtype=np.float64).ravel()
     bucketing = Bucketing(cuts)
@@ -281,6 +325,22 @@ def count_value_chunk(
     else:
         lows = np.full(num_buckets, np.nan)
         highs = np.full(num_buckets, np.nan)
+
+    if bound_masks is None:
+        mask_lows = np.full((0, num_buckets), np.nan)
+        mask_highs = np.full((0, num_buckets), np.nan)
+    else:
+        bound_matrix = np.asarray(bound_masks, dtype=bool)
+        if bound_matrix.ndim != 2 or bound_matrix.shape[1] != array.shape[0]:
+            raise BucketingError(
+                "bound_masks must form a (num_bound_masks, num_tuples) matrix"
+            )
+        mask_lows = np.full((bound_matrix.shape[0], num_buckets), np.nan)
+        mask_highs = np.full((bound_matrix.shape[0], num_buckets), np.nan)
+        for row in range(bound_matrix.shape[0]):
+            mask_lows[row], mask_highs[row] = bucketing.data_bounds(
+                array[bound_matrix[row]]
+            )
     return ChunkCounts(
         sizes=sizes,
         conditional=conditional,
@@ -288,6 +348,125 @@ def count_value_chunk(
         lows=lows,
         highs=highs,
         num_tuples=int(array.shape[0]),
+        mask_lows=mask_lows,
+        mask_highs=mask_highs,
+    )
+
+
+@dataclass
+class GridChunkCounts:
+    """Partial 2-D grid counts of one chunk (the §1.4 rectangle inputs).
+
+    The two-dimensional analogue of :class:`ChunkCounts`: per-cell tuple
+    counts ``u_ij`` over an ``R × C`` bucket grid, per-mask conditional cell
+    counts ``v_ij``, and the per-axis observed data bounds.  Partials merge
+    by element-wise summing (min/max for the bounds), so the grid builds
+    under exactly the same serial / streaming / multiprocessing executors as
+    the one-dimensional profiles — with bit-identical results, since cell
+    counts are integers and bounds are order-free reductions.
+
+    Attributes
+    ----------
+    sizes:
+        Per-cell tuple counts, shape ``(R, C)``.
+    conditional:
+        Per-mask conditional cell counts, shape ``(num_masks, R, C)``.
+    row_lows / row_highs:
+        Observed per-row-bucket bounds of the row attribute, shape ``(R,)``.
+    column_lows / column_highs:
+        Observed per-column-bucket bounds of the column attribute, ``(C,)``.
+    num_tuples:
+        Number of tuples counted in this chunk.
+    """
+
+    sizes: np.ndarray
+    conditional: np.ndarray
+    row_lows: np.ndarray
+    row_highs: np.ndarray
+    column_lows: np.ndarray
+    column_highs: np.ndarray
+    num_tuples: int = 0
+
+    @staticmethod
+    def zeros(rows: int, columns: int, num_masks: int = 0) -> "GridChunkCounts":
+        """An identity element for :meth:`merge`."""
+        return GridChunkCounts(
+            sizes=np.zeros((rows, columns), dtype=np.int64),
+            conditional=np.zeros((num_masks, rows, columns), dtype=np.int64),
+            row_lows=np.full(rows, np.nan),
+            row_highs=np.full(rows, np.nan),
+            column_lows=np.full(columns, np.nan),
+            column_highs=np.full(columns, np.nan),
+            num_tuples=0,
+        )
+
+    def merge(self, other: "GridChunkCounts") -> "GridChunkCounts":
+        """Accumulate another partial into this one (in place; returns self)."""
+        if (
+            self.sizes.shape != other.sizes.shape
+            or self.conditional.shape != other.conditional.shape
+        ):
+            raise BucketingError("cannot merge grid counts of different shapes")
+        self.sizes += other.sizes
+        self.conditional += other.conditional
+        self.row_lows = np.fmin(self.row_lows, other.row_lows)
+        self.row_highs = np.fmax(self.row_highs, other.row_highs)
+        self.column_lows = np.fmin(self.column_lows, other.column_lows)
+        self.column_highs = np.fmax(self.column_highs, other.column_highs)
+        self.num_tuples += other.num_tuples
+        return self
+
+
+def count_grid_chunk(
+    row_values: np.ndarray,
+    column_values: np.ndarray,
+    row_cuts: np.ndarray,
+    column_cuts: np.ndarray,
+    masks: np.ndarray | None = None,
+) -> GridChunkCounts:
+    """The 2-D counting kernel: bucket one chunk into an ``R × C`` cell grid.
+
+    One ``searchsorted`` assignment pass per axis, then the cell index
+    ``row * C + column`` flattens the grid so the per-cell tuple counts come
+    from a single ``np.bincount`` — and every objective mask's conditional
+    cell counts from the same mask-matrix kernel
+    (:func:`masked_bucket_counts`) the 1-D paths use, treating the ``R·C``
+    cells as one flat bucket axis.  Module-level and numpy-only in its
+    arguments (picklable), so the pipeline's multiprocessing executor runs
+    it in worker processes unchanged.
+    """
+    rows_array = np.asarray(row_values, dtype=np.float64).ravel()
+    columns_array = np.asarray(column_values, dtype=np.float64).ravel()
+    if rows_array.shape != columns_array.shape:
+        raise BucketingError(
+            "row and column value chunks must have the same length"
+        )
+    row_bucketing = Bucketing(row_cuts)
+    column_bucketing = Bucketing(column_cuts)
+    rows = row_bucketing.num_buckets
+    columns = column_bucketing.num_buckets
+
+    flat = row_bucketing.assign(rows_array) * columns + column_bucketing.assign(
+        columns_array
+    )
+    sizes = np.bincount(flat, minlength=rows * columns).astype(np.int64)
+    if masks is None:
+        conditional = np.zeros((0, rows, columns), dtype=np.int64)
+    else:
+        conditional = masked_bucket_counts(flat, masks, rows * columns).reshape(
+            -1, rows, columns
+        )
+
+    row_lows, row_highs = row_bucketing.data_bounds(rows_array)
+    column_lows, column_highs = column_bucketing.data_bounds(columns_array)
+    return GridChunkCounts(
+        sizes=sizes.reshape(rows, columns),
+        conditional=conditional,
+        row_lows=row_lows,
+        row_highs=row_highs,
+        column_lows=column_lows,
+        column_highs=column_highs,
+        num_tuples=int(rows_array.shape[0]),
     )
 
 

@@ -17,12 +17,20 @@ Examples
         --kind confidence --min-support 0.1
     python -m repro experiment figure10
 
-``mine`` and ``catalog`` accept ``--source stream`` to scan the CSV
-out-of-core through the unified pipeline instead of loading it, with
+``mine``, ``catalog``, and ``rules2d`` accept ``--source stream`` to scan
+the CSV out-of-core through the unified pipeline instead of loading it, with
 ``--executor`` choosing where the counting kernel runs and ``--chunk-size``
 bounding the resident memory::
 
     python -m repro catalog bank.csv --source stream --executor multiprocessing
+
+``rules2d`` mines the §1.4 two-dimensional rectangle rules on a bucket grid
+(streamed grids are built by the pipeline's 2-D kernel, never materializing
+the relation)::
+
+    python -m repro rules2d bank.csv --row-attribute age \\
+        --column-attribute balance --objective card_loan \\
+        --grid 30 30 --source stream
 """
 
 from __future__ import annotations
@@ -122,6 +130,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="solver engine: array-native fast path (default) or the object-based reference",
     )
     _add_source_arguments(catalog_parser)
+
+    rules2d_parser = subparsers.add_parser(
+        "rules2d",
+        help="mine the optimal 2-D rectangle rule on a bucket grid (§1.4)",
+    )
+    rules2d_parser.add_argument("csv", help="input CSV file with a header row")
+    rules2d_parser.add_argument(
+        "--row-attribute", required=True, help="numeric attribute of the grid rows"
+    )
+    rules2d_parser.add_argument(
+        "--column-attribute", required=True, help="numeric attribute of the grid columns"
+    )
+    rules2d_parser.add_argument(
+        "--objective", required=True, help="Boolean objective attribute"
+    )
+    rules2d_parser.add_argument(
+        "--kind", choices=("confidence", "support"), default="confidence"
+    )
+    rules2d_parser.add_argument("--min-support", type=float, default=0.05)
+    rules2d_parser.add_argument("--min-confidence", type=float, default=0.50)
+    rules2d_parser.add_argument(
+        "--grid",
+        type=int,
+        nargs=2,
+        default=(30, 30),
+        metavar=("ROWS", "COLUMNS"),
+        help="number of row and column buckets (default: 30 30)",
+    )
+    rules2d_parser.add_argument("--seed", type=int, default=0)
+    rules2d_parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="rectangle solver: stacked batched fast path (default) or the "
+        "per-band object-based reference",
+    )
+    _add_source_arguments(rules2d_parser)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper-reproduction experiments"
@@ -245,6 +290,37 @@ def _run_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_rules2d(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.rules import RuleKind
+    from repro.extensions import mine_rectangle_rule
+
+    data = _load_mining_data(args)
+    rule = mine_rectangle_rule(
+        data,
+        args.row_attribute,
+        args.column_attribute,
+        args.objective,
+        kind=(
+            RuleKind.OPTIMIZED_CONFIDENCE
+            if args.kind == "confidence"
+            else RuleKind.OPTIMIZED_SUPPORT
+        ),
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        grid=tuple(args.grid),
+        rng=np.random.default_rng(args.seed),
+        engine=args.engine,
+        executor=args.executor,
+    )
+    if rule is None:
+        print("no rectangle satisfies the requested thresholds")
+        return 1
+    print(rule)
+    return 0
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     result = _EXPERIMENTS[args.name]()
     print(result.report())
@@ -262,6 +338,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_mine(args)
         if args.command == "catalog":
             return _run_catalog(args)
+        if args.command == "rules2d":
+            return _run_rules2d(args)
         if args.command == "experiment":
             return _run_experiment(args)
     except ReproError as error:

@@ -16,7 +16,9 @@ from repro.core.average import (
 from repro.core.fastpath import (
     fast_effective_indices,
     fast_maximize_ratio,
+    fast_maximize_ratio_many,
     fast_maximize_support,
+    fast_maximize_support_many,
 )
 from repro.core.kadane import gain_of_range, maximum_gain_range
 from repro.core.miner import MiningSettings, MiningTask, OptimizedRuleMiner
@@ -59,6 +61,8 @@ __all__ = [
     "optimized_support_from_profile",
     "fast_maximize_ratio",
     "fast_maximize_support",
+    "fast_maximize_ratio_many",
+    "fast_maximize_support_many",
     "fast_effective_indices",
     "naive_maximize_ratio",
     "naive_maximize_support",

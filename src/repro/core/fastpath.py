@@ -45,13 +45,23 @@ import numpy as np
 
 from repro.core.rules import RangeSelection
 from repro.core.validation import validate_bucket_arrays, validate_threshold
-from repro.exceptions import HullInvariantWarning
+from repro.exceptions import HullInvariantWarning, ProfileError
 
 __all__ = [
     "fast_maximize_ratio",
     "fast_maximize_support",
+    "fast_maximize_ratio_many",
+    "fast_maximize_support_many",
     "fast_effective_indices",
 ]
+
+# Upper bound on the number of elements of the per-chunk pair tensors built
+# by the stacked batch solvers.  Deliberately small (~0.8 MB of float64 per
+# temporary): the batched reductions stream a dozen same-shaped temporaries
+# per chunk, so keeping a chunk's working set inside the L2/L3 cache is worth
+# more than amortizing the Python-level chunk loop — measured ~1.4-1.8x on
+# the rectangle band workloads versus 8e6-element chunks.
+_PAIR_TENSOR_ELEMENTS = 100_000
 
 
 def fast_maximize_ratio(
@@ -328,3 +338,281 @@ def fast_maximize_support(
         objective_value=float(prefix_values[best_end + 1] - prefix_values[best_start]),
         total_count=total,
     )
+
+
+# -- stacked batch entry points ----------------------------------------------
+#
+# The rectangle search of the §1.4 extension collapses every pair of grid
+# rows into one column-count row and solves each row independently — R(R+1)/2
+# one-dimensional problems over the *same* number of columns.  Calling the
+# scalar solvers in a Python loop makes the per-call overhead (validation,
+# prefix sums, sweep setup) dominate, so the entry points below accept a whole
+# (num_rows, num_buckets) stack at once and answer every row from shared 2-D
+# numpy reductions.
+#
+# Stacked rows may contain empty buckets (``u_i == 0``) — a row band of a
+# sparse grid usually does.  Empty buckets are *ignored*: each row behaves
+# exactly as if its zero-size buckets were compacted away, the scalar solver
+# run on the compacted arrays, and the winning indices mapped back to the
+# full row (``start``/``end`` always point at non-empty buckets).  On
+# integer-count profiles the returned selections are bit-identical to that
+# per-row procedure — zero buckets contribute exactly 0.0 to every prefix
+# sum, and distinct count ratios with denominators below ~1e7 never collide
+# after float64 division (their gap is at least 1/total², far above one ulp),
+# the same envelope as the scalar solvers' exact-product guarantee.
+#
+# Complexity trade-off: the batched answers come from O(M²)-per-row pair (or
+# broadcast) matrices, whereas the scalar solvers are O(M) sweeps.  The
+# stacked form wins when *many* rows share a small-to-moderate M (hundreds
+# of grid bands of a few dozen columns each: one vectorized call replaces
+# hundreds of Python-level sweeps).  For a handful of rows with thousands of
+# buckets — the §1.3 catalog shape — call the scalar solvers per profile
+# instead; that regime is theirs.
+
+
+def _validate_stacked_arrays(
+    sizes: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a stacked (num_rows, num_buckets) profile matrix pair."""
+    sizes = np.asarray(sizes, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if sizes.ndim != 2 or values.ndim != 2:
+        raise ProfileError("stacked bucket arrays must be two-dimensional")
+    if sizes.shape != values.shape:
+        raise ProfileError(
+            f"stacked bucket arrays must have equal shapes, got {sizes.shape} "
+            f"sizes and {values.shape} values"
+        )
+    if sizes.shape[1] == 0:
+        raise ProfileError("at least one bucket is required")
+    if not np.all(np.isfinite(sizes)) or not np.all(np.isfinite(values)):
+        raise ProfileError("stacked bucket arrays must be finite")
+    if np.any(sizes < 0):
+        raise ProfileError("stacked bucket sizes must be non-negative")
+    return sizes, values
+
+
+def _stacked_totals(sizes: np.ndarray, total) -> np.ndarray:
+    """Per-row totals: explicit (scalar or per-row) or the row sums."""
+    if total is None:
+        return sizes.sum(axis=1)
+    return np.broadcast_to(
+        np.asarray(total, dtype=np.float64), (sizes.shape[0],)
+    )
+
+
+def _kept_neighbors(sizes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per position: the nearest non-empty bucket at-or-after / at-or-before.
+
+    ``next_kept[r, i]`` is the smallest ``j >= i`` with ``sizes[r, j] > 0``
+    (``num_buckets`` when none) and ``previous_kept[r, i]`` the largest
+    ``j <= i`` (``-1`` when none).  Both solvers snap winning indices onto
+    non-empty buckets with these — one shared definition so the two engines
+    can never drift apart.
+    """
+    num_buckets = sizes.shape[1]
+    positions = np.arange(num_buckets)
+    next_kept = np.minimum.accumulate(
+        np.where(sizes > 0, positions, num_buckets)[:, ::-1], axis=1
+    )[:, ::-1]
+    previous_kept = np.maximum.accumulate(
+        np.where(sizes > 0, positions, -1), axis=1
+    )
+    return next_kept, previous_kept
+
+
+def fast_maximize_ratio_many(
+    sizes: np.ndarray,
+    values: np.ndarray,
+    min_support_count: float | np.ndarray,
+    total: float | np.ndarray | None = None,
+) -> list[RangeSelection | None]:
+    """Solve :func:`fast_maximize_ratio` for every row of a stacked profile.
+
+    Parameters
+    ----------
+    sizes / values:
+        ``(num_rows, num_buckets)`` matrices; each row is one independent
+        profile.  Zero-size buckets are allowed and ignored (see above).
+    min_support_count:
+        Scalar or per-row minimum tuple count.
+    total:
+        Scalar or per-row total; defaults to each row's own ``Σ u_i``.
+
+    Returns
+    -------
+    list[RangeSelection | None]
+        One selection per row (``None`` where no range is ample), with
+        ``start``/``end`` indexing the *full* row and always pointing at
+        non-empty buckets.
+
+    All rows are answered from chunked ``(rows, pairs)`` matrices over the
+    flattened upper triangle of (start, end) index pairs — no per-row
+    Python-level solver call — with the scalar solvers' exact tie-breaking:
+    maximal ratio, then maximal tuple count, then the smallest starting
+    index.  That is O(M²) work per row (memory stays bounded by chunking),
+    against the scalar sweep's O(M): use this for many rows of moderate
+    width, and :func:`fast_maximize_ratio` per profile for few wide ones
+    (see the section comment above).
+    """
+    sizes, values = _validate_stacked_arrays(sizes, values)
+    num_rows, num_buckets = sizes.shape
+    totals = _stacked_totals(sizes, total)
+    min_counts = np.broadcast_to(
+        np.maximum(np.asarray(min_support_count, dtype=np.float64), 0.0),
+        (num_rows,),
+    )
+
+    prefix_sizes = np.concatenate(
+        (np.zeros((num_rows, 1)), np.cumsum(sizes, axis=1)), axis=1
+    )
+    prefix_values = np.concatenate(
+        (np.zeros((num_rows, 1)), np.cumsum(values, axis=1)), axis=1
+    )
+    # Flat (start, end) pairs in row-major upper-triangle order: argmax over
+    # the pair axis then breaks remaining ties towards the smallest start.
+    start_index, end_index = np.triu_indices(num_buckets)
+    num_pairs = start_index.shape[0]
+
+    # Pairs whose endpoints sit on zero buckets are *not* masked out of the
+    # pair matrix: extending a range across zero buckets changes no prefix
+    # sum, so such a pair carries the bit-identical (ratio, count) key of
+    # its trimmed canonical pair, and in row-major order the canonical
+    # winner's variant family still surfaces first.  The winner's indices
+    # are snapped onto non-empty buckets afterwards — two O(M) running
+    # scans instead of two fancy-gathered masks over every pair.
+    next_kept, previous_kept = _kept_neighbors(sizes)
+
+    results: list[RangeSelection | None] = [None] * num_rows
+    chunk_rows = max(1, _PAIR_TENSOR_ELEMENTS // num_pairs)
+    for begin in range(0, num_rows, chunk_rows):
+        stop = min(begin + chunk_rows, num_rows)
+        block = slice(begin, stop)
+        # u[r, p] / v[r, p]: totals of the inclusive bucket range of pair p.
+        u = prefix_sizes[block, end_index + 1] - prefix_sizes[block, start_index]
+        v = prefix_values[block, end_index + 1] - prefix_values[block, start_index]
+        # Ample and non-degenerate: at least one tuple in the range (so a
+        # non-empty bucket exists to snap the winner onto).  An explicit
+        # positivity pass is only needed when the ample test cannot imply it.
+        valid = u >= min_counts[block, None]
+        if np.min(min_counts[block]) <= 0:
+            valid &= u > 0
+        ratio = np.full_like(u, -np.inf)
+        np.divide(v, u, out=ratio, where=valid)
+        best_ratio = ratio.max(axis=1)
+        feasible = np.isfinite(best_ratio)
+        if not np.any(feasible):
+            continue
+        # Tie-breaking in canonical order: among the ratio maxima take the
+        # largest tuple count, then the first (= smallest-start) pair —
+        # exactly the scalar solvers' lexicographic key.
+        tied = ratio == best_ratio[:, None]
+        best_count = np.maximum.reduce(u, axis=1, where=tied, initial=-np.inf)
+        tied &= u == best_count[:, None]
+        winners = np.argmax(tied, axis=1)
+        for offset in np.flatnonzero(feasible):
+            row = begin + int(offset)
+            pair = int(winners[offset])
+            results[row] = RangeSelection(
+                start=int(next_kept[row, start_index[pair]]),
+                end=int(previous_kept[row, end_index[pair]]),
+                support_count=float(u[offset, pair]),
+                objective_value=float(v[offset, pair]),
+                total_count=float(totals[row]),
+            )
+    return results
+
+
+def fast_maximize_support_many(
+    sizes: np.ndarray,
+    values: np.ndarray,
+    min_ratio: float,
+    total: float | np.ndarray | None = None,
+) -> list[RangeSelection | None]:
+    """Solve :func:`fast_maximize_support` for every row of a stacked profile.
+
+    Same stacked contract as :func:`fast_maximize_ratio_many`: rows are
+    independent profiles, zero-size buckets are ignored, and the returned
+    ``start``/``end`` index the full row at non-empty buckets.  The scalar
+    solver's cumulative-gain machinery runs as whole-matrix reductions: one
+    2-D cumulative sum for the gain table ``F``, one reversed running maximum
+    for the suffix table ``H``, and every row's ``top(s)`` pointers answered
+    by a chunked broadcast comparison (the batched equivalent of one
+    ``searchsorted`` per row, with identical float comparisons).  The
+    broadcast is O(M²) work per row (memory bounded by chunking) against
+    the scalar solver's O(M log M) — the same many-rows-of-moderate-width
+    regime as :func:`fast_maximize_ratio_many` (see the section comment
+    above).
+    """
+    sizes, values = _validate_stacked_arrays(sizes, values)
+    min_ratio = float(min_ratio)
+    if not np.isfinite(min_ratio):
+        raise ProfileError(f"min_ratio must be finite, got {min_ratio}")
+    num_rows, num_buckets = sizes.shape
+    totals = _stacked_totals(sizes, total)
+
+    gains = values - min_ratio * sizes
+    cumulative_gain = np.concatenate(
+        (np.zeros((num_rows, 1)), np.cumsum(gains, axis=1)), axis=1
+    )
+    prefix_sizes = np.concatenate(
+        (np.zeros((num_rows, 1)), np.cumsum(sizes, axis=1)), axis=1
+    )
+    prefix_values = np.concatenate(
+        (np.zeros((num_rows, 1)), np.cumsum(values, axis=1)), axis=1
+    )
+
+    # H[k] = max(F[k..M]); reversed it is non-decreasing, so the largest k
+    # with F[k] >= F[s] is M minus the count of reversed entries below F[s]
+    # (exactly searchsorted side="left", batched across rows).
+    suffix_maximum = np.maximum.accumulate(
+        cumulative_gain[:, ::-1], axis=1
+    )[:, ::-1]
+    reversed_suffix = suffix_maximum[:, ::-1]
+    ends = np.empty((num_rows, num_buckets), dtype=np.int64)
+    chunk_rows = max(1, _PAIR_TENSOR_ELEMENTS // (num_buckets * (num_buckets + 1)))
+    for begin in range(0, num_rows, chunk_rows):
+        stop = min(begin + chunk_rows, num_rows)
+        block = slice(begin, stop)
+        below = (
+            reversed_suffix[block, None, :]
+            < cumulative_gain[block, :num_buckets, None]
+        )
+        ends[block] = num_buckets - below.sum(axis=2)
+
+    starts = np.arange(num_buckets)
+    counts = np.take_along_axis(
+        prefix_sizes, np.maximum(ends, 0), axis=1
+    ) - prefix_sizes[:, :num_buckets]
+    # A range must span at least one prefix step *and* contain at least one
+    # non-empty bucket (a positive count); ranges made purely of zero buckets
+    # are artifacts of the uncompacted representation.
+    valid = (ends >= starts[None, :] + 1) & (counts > 0)
+    best_count = np.where(valid, counts, -np.inf).max(axis=1)
+    winners = np.argmax(valid & (counts == best_count[:, None]), axis=1)
+
+    # Snap the winning range onto non-empty buckets: zero buckets contribute
+    # nothing to F or the prefix sums, so moving the start forward to the
+    # next non-empty bucket and the end back to the previous one changes no
+    # accumulated quantity — it only canonicalizes the reported indices to
+    # the compacted-row answer.
+    next_kept, previous_kept = _kept_neighbors(sizes)
+
+    results: list[RangeSelection | None] = [None] * num_rows
+    for row in np.flatnonzero(np.isfinite(best_count)):
+        raw_start = int(winners[row])
+        raw_end = int(ends[row, raw_start]) - 1
+        start = int(next_kept[row, raw_start])
+        end = int(previous_kept[row, raw_end])
+        results[int(row)] = RangeSelection(
+            start=start,
+            end=end,
+            support_count=float(
+                prefix_sizes[row, end + 1] - prefix_sizes[row, start]
+            ),
+            objective_value=float(
+                prefix_values[row, end + 1] - prefix_values[row, start]
+            ),
+            total_count=float(totals[row]),
+        )
+    return results

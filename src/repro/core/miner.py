@@ -79,7 +79,7 @@ from repro.core.rules import (
     RangeSelection,
     RuleKind,
 )
-from repro.exceptions import OptimizationError, SchemaError
+from repro.exceptions import OptimizationError, ProfileError, SchemaError
 from repro.relation.conditions import BooleanIs, Condition
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
@@ -348,14 +348,8 @@ class OptimizedRuleMiner:
                     bucketing=self.bucketing_for(attribute),
                 )
             elif presumptive is not None:
-                # The presumptive conjunct restricts the base population, so
-                # the shared assignment cache does not apply.
-                self._profiles[key] = BucketProfile.from_relation(
-                    self._relation,
-                    attribute,
-                    objective,
-                    self.bucketing_for(attribute),
-                    presumptive=presumptive,
+                self._profiles[key] = self._presumptive_profile_from_caches(
+                    attribute, objective, presumptive
                 )
             else:
                 indices, sizes, lows, highs, keep = self._assignment_for(attribute)
@@ -373,6 +367,50 @@ class OptimizedRuleMiner:
                     total=float(self._relation.num_tuples),
                 )
         return self._profiles[key]
+
+    def _presumptive_profile_from_caches(
+        self,
+        attribute: str,
+        objective: Condition,
+        presumptive: Condition,
+    ) -> BucketProfile:
+        """§4.3 profile from the shared in-memory caches (no re-assignment).
+
+        The §4.3 reduction only changes the counted quantities — ``u_i``
+        counts the bucket's tuples meeting the conjunct and ``v_i`` those
+        also meeting the objective — so the cached bucket assignment and the
+        cached condition masks answer both with two ``np.bincount`` calls.
+        Only the restricted data bounds (the value range the rule is
+        instantiated from) need the conjunct's own values.  Bit-identical to
+        :meth:`BucketProfile.from_relation` with ``presumptive=``.
+        """
+        indices, sizes, _, _, _ = self._assignment_for(attribute)
+        base = self.condition_mask(presumptive)
+        restricted = np.bincount(
+            indices[base], minlength=sizes.shape[0]
+        ).astype(np.int64)
+        keep = restricted > 0
+        if not np.any(keep):
+            raise ProfileError(
+                "no tuple satisfies the presumptive conjunct; cannot build a profile"
+            )
+        matched = np.bincount(
+            indices[base & self.condition_mask(objective)],
+            minlength=sizes.shape[0],
+        ).astype(np.int64)
+        values = np.asarray(
+            self._relation.numeric_column(attribute), dtype=np.float64
+        )
+        lows, highs = self.bucketing_for(attribute).data_bounds(values[base])
+        return BucketProfile(
+            attribute=attribute,
+            objective_label=str(objective),
+            sizes=restricted[keep].astype(np.float64),
+            values=matched[keep].astype(np.float64),
+            lows=lows[keep],
+            highs=highs[keep],
+            total=float(self._relation.num_tuples),
+        )
 
     def average_profile_for(self, attribute: str, target: str) -> BucketProfile:
         """The (cached) average-operator profile of a grouping/target pair."""
@@ -534,15 +572,17 @@ class OptimizedRuleMiner:
         return self.profile_for(task.attribute, objective, task.presumptive)
 
     def _prefetch_streaming_profiles(self, tasks: Sequence[MiningTask]) -> None:
-        """Build every uncached streaming profile a task catalog needs in two scans.
+        """Build every uncached streaming profile a task catalog needs in bulk.
 
-        Tasks are grouped into one :class:`AttributeSpec` per attribute
+        Plain tasks are grouped into one :class:`AttributeSpec` per attribute
         (objectives and §5 targets together) and handed to the pipeline as a
         single batch: one boundary-sampling scan covers every attribute
         without cached bucket boundaries, one counting scan produces all the
-        profiles.  Presumptive-conjunct tasks are skipped here (their
-        restricted population needs a dedicated scan) and built lazily by
-        :meth:`profile_for`.
+        profiles.  Presumptive-conjunct tasks (§4.3) are grouped by their
+        ``(attribute, objective)`` pair and each group's conjunct profiles
+        are built in **one** additional counting scan via
+        :meth:`~repro.pipeline.ProfileBuilder.build_presumptive_profiles` —
+        not one scan per conjunct.
         """
         if self._relation is not None:
             return
@@ -550,6 +590,7 @@ class OptimizedRuleMiner:
         from repro.pipeline.builder import AttributeSpec
 
         specs: dict[str, AttributeSpec] = {}
+        conjunct_groups: dict[tuple[str, Condition], list[Condition]] = {}
         for task in tasks:
             average = task.kind in (
                 RuleKind.MAXIMUM_AVERAGE,
@@ -561,9 +602,16 @@ class OptimizedRuleMiner:
                 key = (task.attribute, ("avg", task.objective), None)
                 addition = AttributeSpec(task.attribute, targets=(task.objective,))
             else:
-                if task.presumptive is not None:
-                    continue
                 objective = self._as_condition(task.objective)
+                if task.presumptive is not None:
+                    if (task.attribute, objective, task.presumptive) in self._profiles:
+                        continue
+                    group = conjunct_groups.setdefault(
+                        (task.attribute, objective), []
+                    )
+                    if task.presumptive not in group:
+                        group.append(task.presumptive)
+                    continue
                 key = (task.attribute, objective, None)
                 addition = AttributeSpec(task.attribute, objectives=(objective,))
             if key in self._profiles:
@@ -572,24 +620,33 @@ class OptimizedRuleMiner:
                 specs[task.attribute] = specs[task.attribute].merged_with(addition)
             else:
                 specs[task.attribute] = addition
-        if not specs:
-            return
-        overrides = {
-            attribute: self._bucketings[attribute]
-            for attribute in specs
-            if attribute in self._bucketings
-        }
-        built = self._builder.build_many(
-            self._source, specs.values(), bucketings=overrides
-        )
-        for attribute, counts in built.items():
-            self._bucketings.setdefault(attribute, counts.bucketing)
-            for objective in counts.conditional:
-                self._profiles[(attribute, objective, None)] = counts.profile(objective)
-            for target in counts.sums:
-                self._profiles[(attribute, ("avg", target), None)] = (
-                    counts.average_profile(target)
-                )
+        if specs:
+            overrides = {
+                attribute: self._bucketings[attribute]
+                for attribute in specs
+                if attribute in self._bucketings
+            }
+            built = self._builder.build_many(
+                self._source, specs.values(), bucketings=overrides
+            )
+            for attribute, counts in built.items():
+                self._bucketings.setdefault(attribute, counts.bucketing)
+                for objective in counts.conditional:
+                    self._profiles[(attribute, objective, None)] = counts.profile(objective)
+                for target in counts.sums:
+                    self._profiles[(attribute, ("avg", target), None)] = (
+                        counts.average_profile(target)
+                    )
+        for (attribute, objective), conjuncts in conjunct_groups.items():
+            built_profiles = self._builder.build_presumptive_profiles(
+                self._source,
+                attribute,
+                objective,
+                conjuncts,
+                bucketing=self.bucketing_for(attribute),
+            )
+            for conjunct, profile in built_profiles.items():
+                self._profiles[(attribute, objective, conjunct)] = profile
 
     def solve_many(
         self,

@@ -1,8 +1,15 @@
 """Extensions beyond the basic rule shape.
 
 Implements the generalized conjunctive rules of §4.3, the two-dimensional
-rectangle rules sketched in §1.4, and the decision trees with optimized
-range splits of the authors' follow-up work (reference [10]).
+rectangle rules sketched in §1.4, the interval-classifier baseline, and the
+decision trees with optimized range splits of the authors' follow-up work
+(reference [10]).
+
+Every extension runs on the same solver plane as the core miner: profiles
+and grids are built through the ``repro.pipeline`` API (so any
+:class:`~repro.pipeline.DataSource` works, in-memory or out-of-core, under
+any executor) and ranges are solved by the batched fast-path engines with
+the object-based implementations kept as the ``engine="reference"`` oracle.
 """
 
 from repro.extensions.conjunctive import (
@@ -19,6 +26,7 @@ from repro.extensions.interval_classifier import ClassifiedInterval, IntervalCla
 from repro.extensions.two_dimensional import (
     GridProfile,
     RectangleRule,
+    mine_rectangle_rule,
     optimized_rectangle,
 )
 
@@ -28,6 +36,7 @@ __all__ = [
     "mine_conjunctive_rules",
     "GridProfile",
     "RectangleRule",
+    "mine_rectangle_rule",
     "optimized_rectangle",
     "DecisionNode",
     "RangeSplit",

@@ -7,12 +7,19 @@
 where ``C1`` and ``C2`` are Boolean statements with no uninstantiated numeric
 ranges.  The reduction is purely a change of the counted quantities: ``u_i``
 counts the tuples of bucket ``i`` that meet ``C1`` and ``v_i`` those that
-additionally meet ``C2``; the §4 algorithms are then applied unchanged.  The
-:class:`~repro.core.OptimizedRuleMiner` already supports an extra
-``presumptive`` conjunct; this module adds the workflow pieces around it:
-enumerating candidate conjuncts from the Boolean attributes (optionally from
-frequent itemsets so rare conjuncts are skipped early) and mining the
-generalized rules in bulk.
+additionally meet ``C2``; the §4 algorithms are then applied unchanged.
+
+This module adds the workflow pieces around that reduction: enumerating
+candidate conjuncts from the Boolean attributes (optionally from frequent
+itemsets so rare conjuncts are skipped early) and mining the generalized
+rules in bulk.  The bulk path is one :meth:`OptimizedRuleMiner.mine_many`
+batch — the plain rule plus every conjunct as one task catalog — so all
+counting is shared: in-memory data answers every conjunct from one cached
+bucket-assignment pass (two ``np.bincount`` calls per conjunct), and a
+streaming :class:`~repro.pipeline.DataSource` builds *all* conjunct profiles
+in a single extra counting scan through
+:meth:`~repro.pipeline.ProfileBuilder.build_presumptive_profiles` — never
+materializing the relation.
 """
 
 from __future__ import annotations
@@ -22,10 +29,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bucketing.base import Bucketizer
-from repro.core.miner import OptimizedRuleMiner
+from repro.core.miner import MiningTask, OptimizedRuleMiner
 from repro.core.rules import OptimizedRangeRule, RuleKind
 from repro.exceptions import OptimizationError
 from repro.mining.itemsets import frequent_itemsets
+from repro.pipeline.sources import DataSource
 from repro.relation.conditions import BooleanIs, Condition, conjunction
 from repro.relation.relation import Relation
 
@@ -48,7 +56,7 @@ class ConjunctiveRuleResult:
 
 
 def candidate_conjuncts(
-    relation: Relation,
+    relation: Relation | DataSource,
     objective_attribute: str,
     max_items: int = 1,
     min_support: float = 0.05,
@@ -57,18 +65,28 @@ def candidate_conjuncts(
 
     Single attributes (and, when ``max_items > 1``, conjunctions of up to
     ``max_items`` attributes whose itemset is frequent) are returned, always
-    excluding the objective attribute itself.
+    excluding the objective attribute itself.  Single-attribute enumeration
+    needs only the schema, so any :class:`~repro.pipeline.DataSource` works;
+    the frequent-itemset pass requires in-memory data.
     """
     if max_items <= 0:
         raise OptimizationError("max_items must be positive")
+    schema = relation.schema
     names = [
         name
-        for name in relation.schema.boolean_names()
+        for name in schema.boolean_names()
         if name != objective_attribute
     ]
     conjuncts: list[Condition] = [BooleanIs(name, True) for name in names]
     if max_items == 1:
         return conjuncts
+    if isinstance(relation, DataSource):
+        if not relation.in_memory:
+            raise OptimizationError(
+                "frequent-itemset conjunct enumeration (max_items > 1) "
+                "requires in-memory data"
+            )
+        relation = relation.materialize()
     itemsets = frequent_itemsets(
         relation, min_support=min_support, max_size=max_items, items=names
     )
@@ -82,7 +100,7 @@ def candidate_conjuncts(
 
 
 def mine_conjunctive_rules(
-    relation: Relation,
+    relation: Relation | DataSource,
     attribute: str,
     objective_attribute: str,
     min_support: float = 0.05,
@@ -92,6 +110,8 @@ def mine_conjunctive_rules(
     num_buckets: int = 200,
     bucketizer: Bucketizer | None = None,
     rng: np.random.Generator | None = None,
+    engine: str = "fast",
+    executor: str = "serial",
 ) -> list[ConjunctiveRuleResult]:
     """Mine ``(A ∈ I) ∧ C1 ⇒ (objective = yes)`` for every candidate ``C1``.
 
@@ -99,34 +119,54 @@ def mine_conjunctive_rules(
     with the corresponding plain (non-conjunctive) rule so callers can see
     whether the extra conjunct sharpened the rule.  Results are sorted by
     decreasing confidence.
-    """
-    miner = OptimizedRuleMiner(
-        relation, num_buckets=num_buckets, bucketizer=bucketizer, rng=rng
-    )
-    objective = BooleanIs(objective_attribute, True)
 
-    if kind is RuleKind.OPTIMIZED_CONFIDENCE:
-        plain = miner.optimized_confidence_rule(attribute, objective, min_support)
-    elif kind is RuleKind.OPTIMIZED_SUPPORT:
-        plain = miner.optimized_support_rule(attribute, objective, min_confidence)
-    else:
+    ``relation`` may be an in-memory relation or any
+    :class:`~repro.pipeline.DataSource`; the whole catalog — the plain rule
+    plus one task per conjunct — resolves through a single
+    :meth:`OptimizedRuleMiner.mine_many` batch (see the module docstring for
+    what that shares).  ``engine`` selects the solver implementation and
+    ``executor`` the counting executor for streaming sources.
+    """
+    if kind not in (RuleKind.OPTIMIZED_CONFIDENCE, RuleKind.OPTIMIZED_SUPPORT):
         raise OptimizationError(
             f"conjunctive mining supports confidence/support rules, got {kind}"
         )
+    miner = OptimizedRuleMiner(
+        relation,
+        num_buckets=num_buckets,
+        bucketizer=bucketizer,
+        rng=rng,
+        engine=engine,
+        executor=executor,
+    )
+    objective = BooleanIs(objective_attribute, True)
+    threshold = (
+        min_support if kind is RuleKind.OPTIMIZED_CONFIDENCE else min_confidence
+    )
 
-    results: list[ConjunctiveRuleResult] = []
-    for conjunct in candidate_conjuncts(
+    conjuncts = candidate_conjuncts(
         relation, objective_attribute, max_items=max_items, min_support=min_support
-    ):
-        if kind is RuleKind.OPTIMIZED_CONFIDENCE:
-            rule = miner.optimized_confidence_rule(
-                attribute, objective, min_support, presumptive=conjunct
-            )
-        else:
-            rule = miner.optimized_support_rule(
-                attribute, objective, min_confidence, presumptive=conjunct
-            )
-        if rule is not None:
-            results.append(ConjunctiveRuleResult(rule=rule, plain_rule=plain))
+    )
+    tasks = [
+        MiningTask(attribute=attribute, objective=objective, kind=kind, threshold=threshold)
+    ]
+    tasks.extend(
+        MiningTask(
+            attribute=attribute,
+            objective=objective,
+            kind=kind,
+            threshold=threshold,
+            presumptive=conjunct,
+        )
+        for conjunct in conjuncts
+    )
+    mined = miner.mine_many(tasks)
+    plain = mined[0] if isinstance(mined[0], OptimizedRangeRule) else None
+
+    results = [
+        ConjunctiveRuleResult(rule=rule, plain_rule=plain)
+        for rule in mined[1:]
+        if isinstance(rule, OptimizedRangeRule)
+    ]
     results.sort(key=lambda result: result.rule.confidence, reverse=True)
     return results

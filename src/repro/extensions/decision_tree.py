@@ -19,6 +19,15 @@ This module implements that construction on top of the bucket machinery:
 The goal is functional fidelity to the extension, not state-of-the-art
 classification accuracy; tests verify the tree recovers planted range
 structure that a single threshold split cannot express.
+
+Unlike the other extensions — which build their profiles and grids through
+the ``repro.pipeline`` API and therefore accept any
+:class:`~repro.pipeline.DataSource` — the tree re-buckets each node's
+shrinking tuple subset recursively, so it is inherently in-memory; for a
+pipeline-backed single split, build a :class:`~repro.core.BucketProfile`
+with :class:`~repro.pipeline.ProfileBuilder` and use
+:class:`~repro.extensions.IntervalClassifier.fit_profile` or the optimized
+rule miners instead.
 """
 
 from __future__ import annotations

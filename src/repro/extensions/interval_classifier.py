@@ -4,12 +4,16 @@
 classifier* of Agrawal et al. (reference [1]), which decomposes a numeric
 attribute's domain into ``k`` intervals and labels each interval with the
 locally dominant class.  This module implements that baseline on top of the
-bucket machinery:
+shared profile machinery:
 
-* the attribute is bucketed (equi-depth by default);
-* a dynamic program over the buckets finds the decomposition into at most
-  ``k`` consecutive groups that minimizes the number of misclassified tuples
-  (each group predicts its majority class);
+* the attribute/label pair is summarized as an ordinary
+  :class:`~repro.core.BucketProfile` — bucketed in-memory (equi-depth by
+  default) or built out-of-core from any :class:`~repro.pipeline.DataSource`
+  through the :class:`~repro.pipeline.ProfileBuilder` pipeline;
+* a dynamic program over the profile's buckets finds the decomposition into
+  at most ``k`` consecutive groups that minimizes the number of
+  misclassified tuples (each group predicts its majority class) —
+  :meth:`IntervalClassifier.fit_profile` exposes that step directly;
 * the fitted classifier predicts by locating the interval of a value.
 
 It serves two purposes in the reproduction: it is the "k decomposition"
@@ -27,7 +31,10 @@ import numpy as np
 
 from repro.bucketing.base import Bucketizer
 from repro.bucketing.equidepth_sort import SortingEquiDepthBucketizer
+from repro.core.profile import BucketProfile
 from repro.exceptions import OptimizationError
+from repro.pipeline.sources import DataSource
+from repro.relation.conditions import BooleanIs
 from repro.relation.relation import Relation
 
 __all__ = ["ClassifiedInterval", "IntervalClassifier"]
@@ -62,7 +69,14 @@ class IntervalClassifier:
         Buckets used to discretize the attribute before the dynamic program;
         interval boundaries always coincide with bucket boundaries.
     bucketizer:
-        Bucketing strategy (exact equi-depth by default).
+        Bucketing strategy for in-memory data (exact equi-depth by default).
+    executor:
+        Counting executor when fitting from a streaming
+        :class:`~repro.pipeline.DataSource` (``"serial"``, ``"streaming"``,
+        or ``"multiprocessing"``); ignored for in-memory data.
+    seed:
+        Boundary-sampling seed of the pipeline's reservoir pass for
+        streaming sources.
     """
 
     def __init__(
@@ -70,6 +84,8 @@ class IntervalClassifier:
         max_intervals: int = 4,
         num_buckets: int = 64,
         bucketizer: Bucketizer | None = None,
+        executor: str = "serial",
+        seed: int = 0,
     ) -> None:
         if max_intervals <= 0:
             raise OptimizationError("max_intervals must be positive")
@@ -78,48 +94,86 @@ class IntervalClassifier:
         self.max_intervals = int(max_intervals)
         self.num_buckets = int(num_buckets)
         self._bucketizer = bucketizer if bucketizer is not None else SortingEquiDepthBucketizer()
+        self._executor = executor
+        self._seed = int(seed)
         self._intervals: list[ClassifiedInterval] | None = None
         self._attribute: str | None = None
 
     # -- training ------------------------------------------------------------------
 
-    def fit(self, relation: Relation, attribute: str, label: str) -> "IntervalClassifier":
-        """Fit the decomposition predicting Boolean attribute ``label``."""
+    def fit(
+        self,
+        relation: Relation | DataSource,
+        attribute: str,
+        label: str,
+    ) -> "IntervalClassifier":
+        """Fit the decomposition predicting Boolean attribute ``label``.
+
+        ``relation`` may be an in-memory relation or any
+        :class:`~repro.pipeline.DataSource`; either way the attribute/label
+        pair is reduced to one :class:`~repro.core.BucketProfile` (a
+        streaming source builds it through the pipeline in two scans,
+        without materializing the relation) and handed to
+        :meth:`fit_profile`.
+        """
         label_attribute = relation.schema.attribute(label)
         if not label_attribute.is_boolean:
             raise OptimizationError(f"label attribute {label!r} must be boolean")
-        values = np.asarray(relation.numeric_column(attribute), dtype=np.float64)
-        labels = np.asarray(relation.boolean_column(label), dtype=bool)
-        if values.shape[0] == 0:
-            raise OptimizationError("cannot fit an interval classifier on an empty relation")
 
-        buckets = min(self.num_buckets, int(np.unique(values).size))
-        buckets = max(buckets, 1)
-        bucketing = self._bucketizer.build(values, buckets)
-        sizes = bucketing.counts(values).astype(np.int64)
-        positives = bucketing.conditional_counts(values, labels).astype(np.int64)
-        lows, highs = bucketing.data_bounds(values)
+        if isinstance(relation, Relation):
+            values = np.asarray(relation.numeric_column(attribute), dtype=np.float64)
+            if values.shape[0] == 0:
+                raise OptimizationError(
+                    "cannot fit an interval classifier on an empty relation"
+                )
+            buckets = min(self.num_buckets, int(np.unique(values).size))
+            buckets = max(buckets, 1)
+            bucketing = self._bucketizer.build(values, buckets)
+            profile = BucketProfile.from_relation(
+                relation, attribute, BooleanIs(label, True), bucketing
+            )
+        else:
+            # Imported here: repro.pipeline builds on repro.core profiles.
+            from repro.pipeline.builder import ProfileBuilder
 
-        keep = sizes > 0
-        sizes, positives = sizes[keep], positives[keep]
-        lows, highs = lows[keep], highs[keep]
+            builder = ProfileBuilder(
+                num_buckets=self.num_buckets,
+                executor=self._executor,
+                seed=self._seed,
+            )
+            profile = builder.build_profile(
+                relation, attribute, BooleanIs(label, True)
+            )
+        return self.fit_profile(profile)
 
-        groups = self._optimal_decomposition(sizes, positives, min(self.max_intervals, sizes.shape[0]))
+    def fit_profile(self, profile: BucketProfile) -> "IntervalClassifier":
+        """Fit the decomposition from a solver-ready bucket profile.
+
+        ``profile.values`` must be the per-bucket positive-label counts (a
+        confidence profile of the label objective) — exactly what
+        :meth:`~repro.pipeline.ProfileBuilder.build_profile` or
+        :meth:`BucketProfile.from_relation` produce.
+        """
+        sizes = profile.sizes.astype(np.int64)
+        positives = profile.values.astype(np.int64)
+        groups = self._optimal_decomposition(
+            sizes, positives, min(self.max_intervals, sizes.shape[0])
+        )
         intervals = []
         for start, end in groups:
             group_size = int(sizes[start : end + 1].sum())
             group_positive = int(positives[start : end + 1].sum())
             intervals.append(
                 ClassifiedInterval(
-                    low=float(lows[start]),
-                    high=float(highs[end]),
+                    low=float(profile.lows[start]),
+                    high=float(profile.highs[end]),
                     prediction=group_positive * 2 >= group_size,
                     num_tuples=group_size,
                     num_positive=group_positive,
                 )
             )
         self._intervals = intervals
-        self._attribute = attribute
+        self._attribute = profile.attribute
         return self
 
     @staticmethod

@@ -7,106 +7,69 @@ in the plane of two numeric attributes, e.g.
 
 Finding the optimal *arbitrary connected* region is NP-hard; the follow-up
 papers study rectangles, x-monotone and rectilinear-convex regions.  This
-module implements the rectangular case on a bucket grid, which already
-showcases how the one-dimensional solvers compose:
+module implements the rectangular case on a bucket grid:
 
 1. bucket each attribute independently (equi-depth, as in §3) into a grid of
-   ``rows × columns`` cells with counts ``u_ij`` / ``v_ij``;
-2. for every pair of row indices ``(r1, r2)`` collapse the rows in between
-   into a single row of column totals;
-3. run the 1-D optimizers over that collapsed row to find the best column
-   range — the result is the best rectangle spanning rows ``r1..r2``.
+   ``rows × columns`` cells with counts ``u_ij`` / ``v_ij`` — a
+   :class:`~repro.pipeline.GridProfile`, built either in-memory or from any
+   :class:`~repro.pipeline.DataSource` through
+   :class:`~repro.pipeline.GridProfileBuilder` (so rectangles mine
+   out-of-core, under any pipeline executor, without materializing the
+   relation);
+2. collapse pairs of row indices ``(r1, r2)`` into single rows of column
+   totals — whole *blocks* of bands at once, via a cumulative sum over the
+   grid's rows and one fancy-indexed difference per block (bounded memory,
+   no per-band Python lists);
+3. solve the best column range of every band in the block with one stacked
+   call to the batched fast-path solvers
+   (:func:`~repro.core.fastpath.fast_maximize_ratio_many` /
+   :func:`~repro.core.fastpath.fast_maximize_support_many`), instead of
+   ``R²`` Python-level solver invocations.
 
-The total cost is ``O(R² · C)`` for an ``R × C`` grid, a practical polynomial
-algorithm for the grid sizes the examples use (the follow-up papers give
-asymptotically faster variants for the rectangle case; the value here is the
-exact composition with this library's 1-D solvers).
+The total work is ``O(R² · C)`` as before (the follow-up papers give
+asymptotically faster variants), but every step is array-native now.  The
+per-band scalar solvers survive as the ``engine="reference"`` oracle: on
+integer-count grids whose total stays below ~1e7 tuples — the stacked
+solvers' float-division exactness envelope (see ``repro.core.fastpath``) —
+both engines return bit-identical rectangles, which
+``tests/extensions/test_two_dimensional.py`` asserts against a brute-force
+enumeration oracle.
+
+.. deprecated::
+    :func:`optimized_rectangle` is a thin shim over
+    :func:`mine_rectangle_rule` kept for the pre-pipeline call shape; new
+    code should call :func:`mine_rectangle_rule`, which also accepts
+    streaming sources and an ``engine`` parameter.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
-from repro.bucketing.base import Bucketing, Bucketizer
+from repro.bucketing.base import Bucketizer
 from repro.bucketing.equidepth_sort import SortingEquiDepthBucketizer
+from repro.core.fastpath import fast_maximize_ratio_many, fast_maximize_support_many
 from repro.core.optimized_confidence import maximize_ratio
 from repro.core.optimized_support import maximize_support
-from repro.core.rules import RuleKind
+from repro.core.rules import RangeSelection, RuleKind
 from repro.exceptions import OptimizationError
-from repro.relation.conditions import Condition, NumericInRange
+from repro.pipeline.grid import GridProfile, GridProfileBuilder
+from repro.pipeline.sources import DataSource
+from repro.relation.conditions import BooleanIs, Condition, NumericInRange
 from repro.relation.relation import Relation
 
-__all__ = ["GridProfile", "RectangleRule", "optimized_rectangle"]
+__all__ = [
+    "GridProfile",
+    "RectangleRule",
+    "mine_rectangle_rule",
+    "optimized_rectangle",
+]
 
-
-@dataclass(frozen=True)
-class GridProfile:
-    """Per-cell counts over a 2-D bucket grid.
-
-    ``sizes[i, j]`` is the number of tuples whose row attribute falls in row
-    bucket ``i`` and column attribute in column bucket ``j``; ``values`` is
-    the analogous count of tuples that also satisfy the objective.
-    """
-
-    row_attribute: str
-    column_attribute: str
-    objective_label: str
-    sizes: np.ndarray
-    values: np.ndarray
-    row_lows: np.ndarray
-    row_highs: np.ndarray
-    column_lows: np.ndarray
-    column_highs: np.ndarray
-    total: float
-
-    @staticmethod
-    def from_relation(
-        relation: Relation,
-        row_attribute: str,
-        column_attribute: str,
-        objective: Condition,
-        row_bucketing: Bucketing,
-        column_bucketing: Bucketing,
-    ) -> "GridProfile":
-        """Count a relation into the 2-D grid defined by two bucketings."""
-        row_values = np.asarray(relation.numeric_column(row_attribute), dtype=np.float64)
-        column_values = np.asarray(
-            relation.numeric_column(column_attribute), dtype=np.float64
-        )
-        objective_mask = np.asarray(objective.mask(relation), dtype=bool)
-
-        row_indices = row_bucketing.assign(row_values)
-        column_indices = column_bucketing.assign(column_values)
-        rows = row_bucketing.num_buckets
-        columns = column_bucketing.num_buckets
-
-        flat = row_indices * columns + column_indices
-        sizes = np.bincount(flat, minlength=rows * columns).reshape(rows, columns)
-        values = np.bincount(flat[objective_mask], minlength=rows * columns).reshape(
-            rows, columns
-        )
-
-        row_lows, row_highs = row_bucketing.data_bounds(row_values)
-        column_lows, column_highs = column_bucketing.data_bounds(column_values)
-        return GridProfile(
-            row_attribute=row_attribute,
-            column_attribute=column_attribute,
-            objective_label=str(objective),
-            sizes=sizes.astype(np.float64),
-            values=values.astype(np.float64),
-            row_lows=row_lows,
-            row_highs=row_highs,
-            column_lows=column_lows,
-            column_highs=column_highs,
-            total=float(relation.num_tuples),
-        )
-
-    @property
-    def shape(self) -> tuple[int, int]:
-        """Grid shape ``(rows, columns)``."""
-        return tuple(self.sizes.shape)  # type: ignore[return-value]
+_ENGINES = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -143,6 +106,87 @@ class RectangleRule:
         )
 
 
+def mine_rectangle_rule(
+    data: Relation | DataSource,
+    row_attribute: str,
+    column_attribute: str,
+    objective: Condition | str,
+    kind: RuleKind = RuleKind.OPTIMIZED_CONFIDENCE,
+    min_support: float = 0.05,
+    min_confidence: float = 0.5,
+    grid: tuple[int, int] = (30, 30),
+    bucketizer: Bucketizer | None = None,
+    rng: np.random.Generator | None = None,
+    engine: str = "fast",
+    executor: str = "serial",
+    builder: GridProfileBuilder | None = None,
+) -> RectangleRule | None:
+    """Best axis-aligned rectangle on a 2-D bucket grid.
+
+    Parameters
+    ----------
+    data:
+        An in-memory :class:`Relation` or any
+        :class:`~repro.pipeline.DataSource`.  In-memory data is bucketed
+        with ``bucketizer`` (exact equi-depth by default) and counted in one
+        kernel call; a source is routed through
+        :class:`~repro.pipeline.GridProfileBuilder` — two scans, never
+        materialized.
+    kind:
+        ``OPTIMIZED_CONFIDENCE`` maximizes confidence subject to
+        ``support >= min_support``; ``OPTIMIZED_SUPPORT`` maximizes support
+        subject to ``confidence >= min_confidence``.
+    grid:
+        Number of row and column buckets.
+    bucketizer / rng:
+        Bucketing strategy and boundary randomness for in-memory data
+        (``rng`` also seeds the pipeline's reservoir pass for sources).
+    engine:
+        ``"fast"`` solves whole blocks of row bands with the stacked batched
+        solvers (falling back to per-band scalar sweeps on very wide grids);
+        ``"reference"`` runs the per-band object-based oracle.  Both return
+        identical rectangles on grids within the batched solvers' exactness
+        envelope (integer counts, totals below ~1e7 tuples).
+    executor / builder:
+        Counting executor for sources (``"serial"``, ``"streaming"``,
+        ``"multiprocessing"``), or a pre-configured builder overriding it.
+    """
+    if grid[0] <= 0 or grid[1] <= 0:
+        raise OptimizationError("grid dimensions must be positive")
+    if row_attribute == column_attribute:
+        raise OptimizationError(
+            "the rectangle's row and column attributes must differ"
+        )
+    if engine not in _ENGINES:
+        raise OptimizationError(
+            f"unknown solver engine {engine!r}; use 'fast' or 'reference'"
+        )
+    if isinstance(objective, str):
+        objective = BooleanIs(objective, True)
+    if isinstance(data, Relation):
+        bucketizer = bucketizer if bucketizer is not None else SortingEquiDepthBucketizer()
+        row_bucketing = bucketizer.build(
+            data.numeric_column(row_attribute), grid[0], rng=rng
+        )
+        column_bucketing = bucketizer.build(
+            data.numeric_column(column_attribute), grid[1], rng=rng
+        )
+        profile = GridProfile.from_relation(
+            data, row_attribute, column_attribute, objective,
+            row_bucketing, column_bucketing,
+        )
+    else:
+        if builder is None:
+            seed = 0 if rng is None else int(rng.integers(0, 2**32))
+            # The per-axis ``grid`` override below governs both bucket
+            # counts, so the builder-wide default is irrelevant here.
+            builder = GridProfileBuilder(executor=executor, seed=seed)
+        profile = builder.build_grid_profile(
+            data, row_attribute, column_attribute, objective, grid=grid
+        )
+    return _best_rectangle(profile, kind, min_support, min_confidence, engine)
+
+
 def optimized_rectangle(
     relation: Relation,
     row_attribute: str,
@@ -155,30 +199,120 @@ def optimized_rectangle(
     bucketizer: Bucketizer | None = None,
     rng: np.random.Generator | None = None,
 ) -> RectangleRule | None:
-    """Best axis-aligned rectangle on a 2-D bucket grid.
+    """Pre-pipeline name of :func:`mine_rectangle_rule`.
 
-    Parameters
-    ----------
-    kind:
-        ``OPTIMIZED_CONFIDENCE`` maximizes confidence subject to
-        ``support >= min_support``; ``OPTIMIZED_SUPPORT`` maximizes support
-        subject to ``confidence >= min_confidence``.
-    grid:
-        Number of row and column buckets.
+    .. deprecated::
+        Call :func:`mine_rectangle_rule` instead — same arguments, plus
+        streaming :class:`~repro.pipeline.DataSource` support and the
+        ``engine`` / ``executor`` parameters.
     """
-    if grid[0] <= 0 or grid[1] <= 0:
-        raise OptimizationError("grid dimensions must be positive")
-    bucketizer = bucketizer if bucketizer is not None else SortingEquiDepthBucketizer()
-    row_bucketing = bucketizer.build(
-        relation.numeric_column(row_attribute), grid[0], rng=rng
+    warnings.warn(
+        "optimized_rectangle is deprecated; use mine_rectangle_rule, which "
+        "also accepts streaming DataSources and an engine parameter",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    column_bucketing = bucketizer.build(
-        relation.numeric_column(column_attribute), grid[1], rng=rng
+    return mine_rectangle_rule(
+        relation,
+        row_attribute,
+        column_attribute,
+        objective,
+        kind=kind,
+        min_support=min_support,
+        min_confidence=min_confidence,
+        grid=grid,
+        bucketizer=bucketizer,
+        rng=rng,
     )
-    profile = GridProfile.from_relation(
-        relation, row_attribute, column_attribute, objective, row_bucketing, column_bucketing
+
+
+# Upper bound on the number of elements of one stacked band-matrix block
+# (~32 MB of float64 per matrix at 4e6 entries) — keeps the search's memory
+# bounded however large a grid the caller requests, like the pre-refactor
+# per-band loop was.
+_BAND_BLOCK_ELEMENTS = 4_000_000
+
+
+def _iter_band_blocks(
+    profile: GridProfile,
+) -> "Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]":
+    """Yield row bands as stacked ``(block_bands, C)`` matrix blocks.
+
+    One cumulative sum over the grid's rows, then one fancy-indexed
+    difference per block — no per-band Python loop and no intermediate
+    per-band arrays.  Bands are ordered row-major
+    (``(0,0), (0,1), …, (1,1), …``), the order the band search scans, and
+    each block holds at most ``_BAND_BLOCK_ELEMENTS`` matrix elements so
+    even a huge requested grid never materializes all ``R(R+1)/2`` bands at
+    once.
+    """
+    rows, columns = profile.shape
+    prefix_sizes = np.concatenate(
+        (np.zeros((1, columns)), np.cumsum(profile.sizes, axis=0)), axis=0
     )
-    return _best_rectangle(profile, kind, min_support, min_confidence)
+    prefix_values = np.concatenate(
+        (np.zeros((1, columns)), np.cumsum(profile.values, axis=0)), axis=0
+    )
+    row_starts, row_ends = np.triu_indices(rows)
+    block = max(1, _BAND_BLOCK_ELEMENTS // columns)
+    for begin in range(0, row_starts.shape[0], block):
+        starts = row_starts[begin : begin + block]
+        ends = row_ends[begin : begin + block]
+        yield (
+            starts,
+            ends,
+            prefix_sizes[ends + 1] - prefix_sizes[starts],
+            prefix_values[ends + 1] - prefix_values[starts],
+        )
+
+
+# Column count beyond which the fast engine dispatches each band to the
+# scalar O(C) sweeps instead of the O(C²) pair matrix: past a few hundred
+# columns the stacked form does more element work than one Python-level
+# solver call per band costs (both produce bit-identical selections).
+_WIDE_BAND_COLUMNS = 192
+
+
+def _scalar_band_selection(
+    band_sizes: np.ndarray,
+    band_values: np.ndarray,
+    kind: RuleKind,
+    min_support: float,
+    min_confidence: float,
+    total: float,
+    engine: str,
+) -> RangeSelection | None:
+    """Per-band path: compact one band and run the scalar solvers on it.
+
+    With ``engine="reference"`` this is the object-based oracle; with
+    ``engine="fast"`` it is the O(C) scalar sweep the fast engine falls back
+    to on very wide grids.  The winning compact indices are mapped back to
+    full-grid column indices, so every path reports selections in the same
+    coordinate system.
+    """
+    keep = band_sizes > 0
+    if not np.any(keep):
+        return None
+    kept_columns = np.flatnonzero(keep)
+    sizes = band_sizes[keep]
+    values = band_values[keep]
+    if kind is RuleKind.OPTIMIZED_CONFIDENCE:
+        selection = maximize_ratio(
+            sizes, values, min_support * total, total=total, engine=engine
+        )
+    else:
+        selection = maximize_support(
+            sizes, values, min_confidence, total=total, engine=engine
+        )
+    if selection is None:
+        return None
+    return RangeSelection(
+        start=int(kept_columns[selection.start]),
+        end=int(kept_columns[selection.end]),
+        support_count=selection.support_count,
+        objective_value=selection.objective_value,
+        total_count=selection.total_count,
+    )
 
 
 def _best_rectangle(
@@ -186,62 +320,81 @@ def _best_rectangle(
     kind: RuleKind,
     min_support: float,
     min_confidence: float,
+    engine: str = "fast",
 ) -> RectangleRule | None:
-    """Search every row band and optimize the column range inside it."""
-    rows, _ = profile.shape
-    prefix_sizes = np.concatenate(
-        (np.zeros((1, profile.sizes.shape[1])), np.cumsum(profile.sizes, axis=0)), axis=0
-    )
-    prefix_values = np.concatenate(
-        (np.zeros((1, profile.values.shape[1])), np.cumsum(profile.values, axis=0)), axis=0
-    )
+    """Search every row band and optimize the column range inside it.
+
+    Bands are processed in bounded-memory blocks (``_iter_band_blocks``);
+    within each block the fast engine answers every band with one stacked
+    batched-solver call, while the reference engine runs the per-band
+    object-based oracle.  Blocks arrive in band order and ties keep the
+    earliest band, so the block size never affects the result.
+    """
+    if kind not in (RuleKind.OPTIMIZED_CONFIDENCE, RuleKind.OPTIMIZED_SUPPORT):
+        raise OptimizationError(
+            f"rectangle mining supports confidence/support rules, got {kind}"
+        )
+
+    # The stacked batched solvers do O(C²) element work per band; on very
+    # wide grids the scalar O(C) sweep per band is the cheaper fast path
+    # (identical selections either way).  The reference engine always runs
+    # the per-band object-based oracle.
+    stacked = engine == "fast" and profile.shape[1] <= _WIDE_BAND_COLUMNS
 
     best: RectangleRule | None = None
     best_key: tuple[float, float] | None = None
-    for row_start in range(rows):
-        for row_end in range(row_start, rows):
-            band_sizes = prefix_sizes[row_end + 1] - prefix_sizes[row_start]
-            band_values = prefix_values[row_end + 1] - prefix_values[row_start]
-            keep = band_sizes > 0
-            if not np.any(keep):
-                continue
-            kept_columns = np.nonzero(keep)[0]
-            sizes = band_sizes[keep]
-            values = band_values[keep]
+    for row_starts, row_ends, band_sizes, band_values in _iter_band_blocks(profile):
+        if stacked:
+            # The whole block solved in one stacked call; zero-size cells
+            # are ignored by the batched solvers exactly as the per-band
+            # compaction ignores them, and the returned indices already
+            # address the full grid.
             if kind is RuleKind.OPTIMIZED_CONFIDENCE:
-                selection = maximize_ratio(
-                    sizes, values, min_support * profile.total, total=profile.total
+                selections = fast_maximize_ratio_many(
+                    band_sizes,
+                    band_values,
+                    min_support * profile.total,
+                    total=profile.total,
                 )
-                if selection is None:
-                    continue
-                key = (selection.ratio, selection.support)
-            elif kind is RuleKind.OPTIMIZED_SUPPORT:
-                selection = maximize_support(
-                    sizes, values, min_confidence, total=profile.total
-                )
-                if selection is None:
-                    continue
-                key = (selection.support, selection.ratio)
             else:
-                raise OptimizationError(
-                    f"rectangle mining supports confidence/support rules, got {kind}"
+                selections = fast_maximize_support_many(
+                    band_sizes, band_values, min_confidence, total=profile.total
                 )
+        else:
+            selections = [
+                _scalar_band_selection(
+                    band_sizes[band],
+                    band_values[band],
+                    kind,
+                    min_support,
+                    min_confidence,
+                    profile.total,
+                    engine,
+                )
+                for band in range(band_sizes.shape[0])
+            ]
+
+        for band, selection in enumerate(selections):
+            if selection is None:
+                continue
+            if kind is RuleKind.OPTIMIZED_CONFIDENCE:
+                key = (selection.ratio, selection.support)
+            else:
+                key = (selection.support, selection.ratio)
             if best_key is None or key > best_key:
-                column_start = int(kept_columns[selection.start])
-                column_end = int(kept_columns[selection.end])
                 best_key = key
                 best = RectangleRule(
                     row_attribute=profile.row_attribute,
                     column_attribute=profile.column_attribute,
                     objective_label=profile.objective_label,
-                    row_start=row_start,
-                    row_end=row_end,
-                    column_start=column_start,
-                    column_end=column_end,
-                    row_low=float(profile.row_lows[row_start]),
-                    row_high=float(profile.row_highs[row_end]),
-                    column_low=float(profile.column_lows[column_start]),
-                    column_high=float(profile.column_highs[column_end]),
+                    row_start=int(row_starts[band]),
+                    row_end=int(row_ends[band]),
+                    column_start=selection.start,
+                    column_end=selection.end,
+                    row_low=float(profile.row_lows[row_starts[band]]),
+                    row_high=float(profile.row_highs[row_ends[band]]),
+                    column_low=float(profile.column_lows[selection.start]),
+                    column_high=float(profile.column_highs[selection.end]),
                     support=selection.support,
                     confidence=selection.ratio,
                     kind=kind,

@@ -6,9 +6,11 @@ implement the :class:`DataSource` scan contract, and
 :class:`ProfileBuilder` turns any of them into solver-ready
 :class:`~repro.core.BucketProfile`\\ s via two scans (boundary sampling, then
 counting) with a pluggable executor (``serial`` / ``streaming`` /
-``multiprocessing``).  Profiles are bit-identical across all source types
-and executors, so the miners, the §1.3 catalog, and the experiments run
-unchanged over any of them.
+``multiprocessing``).  :class:`GridProfileBuilder` extends the same two
+scans to the 2-D cell grids (:class:`GridProfile`) of the §1.4 rectangle
+extension.  Profiles and grids are bit-identical across all source types
+and executors, so the miners, the §1.3 catalog, the extensions, and the
+experiments run unchanged over any of them.
 """
 
 from repro.pipeline.builder import (
@@ -17,6 +19,7 @@ from repro.pipeline.builder import (
     AttributeSpec,
     ProfileBuilder,
 )
+from repro.pipeline.grid import GridCounts, GridProfile, GridProfileBuilder
 from repro.pipeline.sources import ChunkedSource, CSVSource, DataSource, RelationSource
 
 __all__ = [
@@ -27,5 +30,8 @@ __all__ = [
     "ProfileBuilder",
     "AttributeSpec",
     "AttributeCounts",
+    "GridProfile",
+    "GridCounts",
+    "GridProfileBuilder",
     "EXECUTORS",
 ]

@@ -170,6 +170,23 @@ def _count_chunk_payload(
     ]
 
 
+def _count_presumptive_payload(
+    payload: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> ChunkCounts:
+    """Count one chunk of a §4.3 presumptive batch (module-level: picklable).
+
+    ``payload`` is ``(values, cuts, masks, bound_masks)`` where ``masks``
+    interleaves each conjunct's population mask with its objective
+    intersection and ``bound_masks`` holds the population masks whose
+    restricted data bounds the profiles report.  The unrestricted bounds are
+    never read by the presumptive profiles, so their sort is skipped.
+    """
+    values, cuts, masks, bound_masks = payload
+    return count_value_chunk(
+        values, cuts, masks=masks, with_bounds=False, bound_masks=bound_masks
+    )
+
+
 class ProfileBuilder:
     """Build bucket profiles from any data source with a pluggable executor.
 
@@ -241,38 +258,55 @@ class ProfileBuilder:
         )
 
     def sample_bucketings(
-        self, source: DataSource, attributes: Sequence[str]
+        self,
+        source: DataSource,
+        attributes: Sequence[str],
+        num_buckets: Mapping[str, int] | None = None,
     ) -> dict[str, Bucketing]:
         """One scan of ``source`` sampling bucket boundaries for every attribute.
 
         Algorithm 3.1 steps 1–3 via reservoir sampling: uniform without
         knowing the stream length, so the same code serves in-memory,
         chunked, and file sources.  Duplicate cut points (heavily tied data)
-        are merged as the in-memory bucketizer does.
+        are merged as the in-memory bucketizer does.  ``num_buckets`` entries
+        override the builder-wide bucket count per attribute (the 2-D grid
+        builder uses this for non-square grids); each attribute's reservoir
+        is sized ``sample_factor`` times its own bucket count.
         """
         attributes = list(dict.fromkeys(attributes))
         if not attributes:
             return {}
-        if self._num_buckets == 1:
-            return {attribute: Bucketing.single_bucket() for attribute in attributes}
-        capacity = self._sample_factor * self._num_buckets
-        samplers = {
-            attribute: ReservoirSampler(capacity, rng=self._attribute_rng(attribute))
+        requested = {
+            attribute: int((num_buckets or {}).get(attribute, self._num_buckets))
             for attribute in attributes
         }
-        for chunk in source.chunks():
-            for attribute, sampler in samplers.items():
-                sampler.extend(chunk.numeric_column(attribute))
+        if any(count <= 0 for count in requested.values()):
+            raise PipelineError("num_buckets must be positive")
+        samplers = {
+            attribute: ReservoirSampler(
+                self._sample_factor * requested[attribute],
+                rng=self._attribute_rng(attribute),
+            )
+            for attribute in attributes
+            if requested[attribute] > 1
+        }
+        if samplers:
+            for chunk in source.chunks():
+                for attribute, sampler in samplers.items():
+                    sampler.extend(chunk.numeric_column(attribute))
         bucketings: dict[str, Bucketing] = {}
-        for attribute, sampler in samplers.items():
-            sample = sampler.sample()
+        for attribute in attributes:
+            if requested[attribute] == 1:
+                bucketings[attribute] = Bucketing.single_bucket()
+                continue
+            sample = samplers[attribute].sample()
             if sample.size == 0:
                 raise PipelineError(
                     f"the source contained no values for attribute {attribute!r}"
                 )
             sample.sort(kind="stable")
             bucketings[attribute] = equidepth_cuts_from_sorted(
-                sample, self._num_buckets
+                sample, requested[attribute]
             ).deduplicated()
         return bucketings
 
@@ -367,9 +401,14 @@ class ProfileBuilder:
                 source, attribute, objectives=[objective], bucketing=bucketing
             )
             return counts.profile(objective, label=label)
-        return self._build_presumptive_profile(
-            source, attribute, objective, presumptive, bucketing, label
-        )
+        return self.build_presumptive_profiles(
+            source,
+            attribute,
+            objective,
+            [presumptive],
+            bucketing=bucketing,
+            label=label,
+        )[presumptive]
 
     def build_profiles(
         self,
@@ -482,76 +521,119 @@ class ProfileBuilder:
             for total, part in zip(totals, parts):
                 total.merge(part)
 
-        if self._executor in ("serial", "streaming"):
-            # Count and fold one chunk at a time: only one chunk's data and
-            # partials are ever resident, so out-of-core scans stay bounded
-            # whichever of the two in-process executors is selected.
-            for payload in payloads:
-                merge(_count_chunk_payload(payload))
-        else:
-            self._run_multiprocessing(payloads, merge)
+        self.fold_payloads(payloads, _count_chunk_payload, merge)
         return totals
 
-    def _run_multiprocessing(self, payloads: Iterator[list], merge) -> None:
-        """Fan chunks out to worker processes, merging results in chunk order.
+    def fold_payloads(self, payloads: Iterator, worker, merge) -> None:
+        """Run ``worker`` over every payload under the executor strategy.
 
-        Submission is windowed (two payloads in flight per worker) so an
-        out-of-core scan never materializes the whole stream, and results are
-        consumed oldest-first so the merge order equals the chunk order —
-        which keeps even the float accumulations (§5 bucket sums) identical
-        to the serial executor.
+        This is the single executor implementation every pipeline counting
+        pass — 1-D profiles, §4.3 presumptive profiles, and the 2-D grids of
+        :class:`~repro.pipeline.grid.GridProfileBuilder` — runs on.
+        ``worker`` must be a picklable module-level function taking one
+        payload; ``merge`` folds each result in **chunk order**, whatever the
+        executor, which is what keeps all executors bit-identical.
+
+        * ``serial`` / ``streaming`` — count and fold one chunk at a time:
+          only one chunk's data and partials are ever resident, so
+          out-of-core scans stay bounded.
+        * ``multiprocessing`` — fan chunks out to a ``ProcessPoolExecutor``
+          with a bounded submission window (two payloads in flight per
+          worker), consuming results oldest-first so the merge order equals
+          the chunk order — which keeps even float accumulations (§5 bucket
+          sums) identical to the serial executor.
         """
+        if self._executor in ("serial", "streaming"):
+            for payload in payloads:
+                merge(worker(payload))
+            return
         workers = self._max_workers or min(8, os.cpu_count() or 1)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             window: deque = deque()
             for payload in payloads:
-                window.append(pool.submit(_count_chunk_payload, payload))
+                window.append(pool.submit(worker, payload))
                 if len(window) >= 2 * workers:
                     merge(window.popleft().result())
             while window:
                 merge(window.popleft().result())
 
-    def _build_presumptive_profile(
+    def build_presumptive_profiles(
         self,
         source: DataSource,
         attribute: str,
         objective: Condition,
-        presumptive: Condition,
-        bucketing: Bucketing | None,
-        label: str | None,
-    ) -> BucketProfile:
-        """Chunk-side population restriction for generalized (§4.3) rules."""
+        presumptives: Sequence[Condition],
+        bucketing: Bucketing | None = None,
+        label: str | None = None,
+    ) -> dict[Condition, BucketProfile]:
+        """§4.3 profiles for *every* candidate conjunct in one counting scan.
+
+        The §4.3 reduction turns a presumptive conjunct ``C1`` into a pure
+        change of counted quantities — ``u_i`` counts the bucket's tuples
+        meeting ``C1`` and ``v_i`` those meeting ``C1 ∧ C2`` — so a whole
+        catalog of candidate conjuncts is just more mask rows for the shared
+        kernel: this method counts two mask rows (and one restricted-bounds
+        row) per conjunct in a single scan of the source, instead of one
+        dedicated scan per conjunct.  Support stays measured against the
+        full source size, and each profile's value bounds come from the
+        conjunct's own restricted population, exactly matching
+        :meth:`BucketProfile.from_relation` with ``presumptive=``.
+        """
+        presumptives = list(presumptives)
+        if not presumptives:
+            return {}
         if bucketing is None:
             bucketing = self.sample_bucketings(source, [attribute])[attribute]
-        full_total = 0
+        cuts = bucketing.cuts
 
-        def payloads() -> Iterator[list]:
-            nonlocal full_total
+        def payloads() -> Iterator[tuple]:
             for chunk in source.chunks():
-                base = np.asarray(presumptive.mask(chunk), dtype=bool)
                 values = np.asarray(
                     chunk.numeric_column(attribute), dtype=np.float64
-                )[base]
-                masks = np.asarray(objective.mask(chunk), dtype=bool)[base][None, :]
-                full_total += chunk.num_tuples
-                yield [(values, bucketing.cuts, masks, None)]
+                )
+                objective_mask = np.asarray(objective.mask(chunk), dtype=bool)
+                bound_masks = np.empty(
+                    (len(presumptives), values.shape[0]), dtype=bool
+                )
+                masks = np.empty(
+                    (2 * len(presumptives), values.shape[0]), dtype=bool
+                )
+                for row, presumptive in enumerate(presumptives):
+                    base = np.asarray(presumptive.mask(chunk), dtype=bool)
+                    bound_masks[row] = base
+                    masks[2 * row] = base
+                    masks[2 * row + 1] = base & objective_mask
+                yield values, cuts, masks, bound_masks
 
-        spec = AttributeSpec(attribute, objectives=(objective,))
-        totals = self._run_counting_pass(payloads(), [spec], {attribute: bucketing})
-        counts = totals[0]
-        if counts.num_tuples == 0:
-            raise PipelineError(
-                "no tuple satisfies the presumptive conjunct; cannot build a profile"
-            )
-        keep = counts.sizes > 0
-        return BucketProfile(
-            attribute=attribute,
-            objective_label=label if label is not None else str(objective),
-            sizes=counts.sizes[keep].astype(np.float64),
-            values=counts.conditional[0][keep].astype(np.float64),
-            lows=counts.lows[keep],
-            highs=counts.highs[keep],
-            total=float(full_total),
+        totals = ChunkCounts.zeros(
+            bucketing.num_buckets,
+            num_masks=2 * len(presumptives),
+            num_bound_masks=len(presumptives),
         )
+        self.fold_payloads(
+            payloads(), _count_presumptive_payload, totals.merge
+        )
+        if totals.num_tuples == 0:
+            raise PipelineError("the source contained no tuples")
+
+        profiles: dict[Condition, BucketProfile] = {}
+        for row, presumptive in enumerate(presumptives):
+            sizes = totals.conditional[2 * row]
+            keep = sizes > 0
+            if not np.any(keep):
+                raise PipelineError(
+                    "no tuple satisfies the presumptive conjunct; "
+                    "cannot build a profile"
+                )
+            profiles[presumptive] = BucketProfile(
+                attribute=attribute,
+                objective_label=label if label is not None else str(objective),
+                sizes=sizes[keep].astype(np.float64),
+                values=totals.conditional[2 * row + 1][keep].astype(np.float64),
+                lows=totals.mask_lows[row][keep],
+                highs=totals.mask_highs[row][keep],
+                total=float(totals.num_tuples),
+            )
+        return profiles
 
 

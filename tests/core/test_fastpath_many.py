@@ -1,0 +1,163 @@
+"""Oracle tests for the stacked batch solvers of ``repro.core.fastpath``.
+
+The contract under test: ``fast_maximize_ratio_many`` /
+``fast_maximize_support_many`` answer every row of a ``(N, M)`` stacked
+profile exactly as compacting the row's zero-size buckets away, running the
+scalar solver (fast or reference — themselves bit-identical), and mapping
+the winning indices back to the full row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    fast_maximize_ratio,
+    fast_maximize_ratio_many,
+    fast_maximize_support,
+    fast_maximize_support_many,
+    maximize_ratio_reference,
+    maximize_support_reference,
+)
+from repro.exceptions import ProfileError
+
+
+def _key(selection):
+    if selection is None:
+        return None
+    return (
+        selection.start,
+        selection.end,
+        selection.support_count,
+        selection.objective_value,
+        selection.total_count,
+    )
+
+
+def _mapped_key(selection, kept: np.ndarray):
+    """A compact-space selection re-expressed in full-row indices."""
+    if selection is None:
+        return None
+    return (
+        int(kept[selection.start]),
+        int(kept[selection.end]),
+        selection.support_count,
+        selection.objective_value,
+        selection.total_count,
+    )
+
+
+def _random_stack(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    rows = int(rng.integers(1, 7))
+    buckets = int(rng.integers(1, 12))
+    sizes = rng.integers(0, 7, size=(rows, buckets)).astype(np.float64)
+    sizes[rng.random((rows, buckets)) < 0.35] = 0.0
+    values = np.minimum(
+        rng.integers(0, 7, size=(rows, buckets)).astype(np.float64), sizes
+    )
+    return sizes, values
+
+
+class TestMaximizeRatioMany:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_rows_match_scalar_solvers(self, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        sizes, values = _random_stack(rng)
+        min_count = float(rng.integers(0, 10))
+        selections = fast_maximize_ratio_many(sizes, values, min_count)
+        assert len(selections) == sizes.shape[0]
+        for row in range(sizes.shape[0]):
+            kept = np.flatnonzero(sizes[row] > 0)
+            if kept.size == 0:
+                assert selections[row] is None
+                continue
+            total = float(sizes[row].sum())
+            fast = fast_maximize_ratio(
+                sizes[row][kept], values[row][kept], min_count, total
+            )
+            reference = maximize_ratio_reference(
+                sizes[row][kept], values[row][kept], min_count, total
+            )
+            assert _mapped_key(fast, kept) == _key(selections[row])
+            assert _mapped_key(reference, kept) == _key(selections[row])
+
+    def test_selected_indices_point_at_nonempty_buckets(self) -> None:
+        sizes = np.array([[0.0, 3.0, 0.0, 2.0, 0.0]])
+        values = np.array([[0.0, 2.0, 0.0, 1.0, 0.0]])
+        [selection] = fast_maximize_ratio_many(sizes, values, 5.0)
+        assert (selection.start, selection.end) == (1, 3)
+        assert selection.support_count == 5.0
+
+    def test_per_row_thresholds_and_totals(self) -> None:
+        sizes = np.array([[4.0, 4.0], [4.0, 4.0]])
+        values = np.array([[4.0, 0.0], [4.0, 0.0]])
+        strict, lax = fast_maximize_ratio_many(
+            sizes, values, np.array([8.0, 4.0]), total=np.array([100.0, 10.0])
+        )
+        assert (strict.start, strict.end) == (0, 1)
+        assert (lax.start, lax.end) == (0, 0)
+        assert strict.total_count == 100.0
+        assert lax.total_count == 10.0
+
+    def test_rejects_bad_shapes(self) -> None:
+        with pytest.raises(ProfileError):
+            fast_maximize_ratio_many(np.ones(3), np.ones(3), 1.0)
+        with pytest.raises(ProfileError):
+            fast_maximize_ratio_many(np.ones((2, 3)), np.ones((2, 2)), 1.0)
+        with pytest.raises(ProfileError):
+            fast_maximize_ratio_many(-np.ones((1, 2)), np.ones((1, 2)), 1.0)
+
+
+class TestMaximizeSupportMany:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_rows_match_scalar_solvers(self, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        sizes, values = _random_stack(rng)
+        min_ratio = float(rng.choice([0.0, 0.25, 0.5, 0.75, 1.0]))
+        selections = fast_maximize_support_many(sizes, values, min_ratio)
+        for row in range(sizes.shape[0]):
+            kept = np.flatnonzero(sizes[row] > 0)
+            if kept.size == 0:
+                assert selections[row] is None
+                continue
+            total = float(sizes[row].sum())
+            fast = fast_maximize_support(
+                sizes[row][kept], values[row][kept], min_ratio, total
+            )
+            reference = maximize_support_reference(
+                sizes[row][kept], values[row][kept], min_ratio, total
+            )
+            assert _mapped_key(fast, kept) == _key(selections[row])
+            assert _mapped_key(reference, kept) == _key(selections[row])
+
+    def test_zero_only_rows_are_infeasible(self) -> None:
+        sizes = np.zeros((2, 4))
+        values = np.zeros((2, 4))
+        assert fast_maximize_support_many(sizes, values, 0.5) == [None, None]
+
+    def test_snaps_range_onto_nonempty_buckets(self) -> None:
+        # The confident range is the middle block; surrounding zero buckets
+        # must not leak into the reported indices.
+        sizes = np.array([[0.0, 2.0, 0.0, 2.0, 0.0]])
+        values = np.array([[0.0, 2.0, 0.0, 2.0, 0.0]])
+        [selection] = fast_maximize_support_many(sizes, values, 1.0)
+        assert (selection.start, selection.end) == (1, 3)
+        assert selection.support_count == 4.0
+
+    def test_chunked_rows_equal_unchunked(self, monkeypatch) -> None:
+        import repro.core.fastpath as fastpath
+
+        rng = np.random.default_rng(123)
+        sizes, values = _random_stack(rng)
+        expected_support = fast_maximize_support_many(sizes, values, 0.5)
+        expected_ratio = fast_maximize_ratio_many(sizes, values, 2.0)
+        monkeypatch.setattr(fastpath, "_PAIR_TENSOR_ELEMENTS", 1)
+        assert [
+            _key(selection)
+            for selection in fast_maximize_support_many(sizes, values, 0.5)
+        ] == [_key(selection) for selection in expected_support]
+        assert [
+            _key(selection)
+            for selection in fast_maximize_ratio_many(sizes, values, 2.0)
+        ] == [_key(selection) for selection in expected_ratio]

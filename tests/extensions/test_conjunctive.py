@@ -115,3 +115,105 @@ class TestMineConjunctiveRules:
             mine_conjunctive_rules(
                 gated_relation, "value", "target", kind=RuleKind.MAXIMUM_AVERAGE
             )
+
+    def test_batched_path_matches_single_rule_loop(self, gated_relation: Relation) -> None:
+        """The one-batch route returns exactly the per-conjunct loop's rules."""
+        from repro.core import OptimizedRuleMiner
+        from repro.extensions import candidate_conjuncts
+
+        results = mine_conjunctive_rules(
+            gated_relation,
+            "value",
+            "target",
+            min_support=0.05,
+            num_buckets=100,
+            bucketizer=SortingEquiDepthBucketizer(),
+        )
+        miner = OptimizedRuleMiner(
+            gated_relation, num_buckets=100, bucketizer=SortingEquiDepthBucketizer()
+        )
+        looped = {}
+        for conjunct in candidate_conjuncts(gated_relation, "target"):
+            rule = miner.optimized_confidence_rule(
+                "value", BooleanIs("target", True), 0.05, presumptive=conjunct
+            )
+            if rule is not None:
+                looped[conjunct] = rule
+        assert len(results) == len(looped)
+        for result in results:
+            assert result.rule == looped[result.rule.presumptive]
+
+
+class TestStreamingConjunctiveRules:
+    @staticmethod
+    def _streaming_source(relation: Relation, chunk_size: int):
+        """A genuinely streaming source (``in_memory`` is false, so the
+        miner cannot materialize it — every profile must come through the
+        pipeline, including the grouped one-scan conjunct prefetch)."""
+        from repro.pipeline import ChunkedSource, RelationSource
+
+        return ChunkedSource(
+            lambda: RelationSource(relation, chunk_size=chunk_size).chunks(),
+            schema=relation.schema,
+        )
+
+    def test_gated_rule_recovered_from_a_stream(self, gated_relation: Relation) -> None:
+        """All conjunct profiles come from one scan of a chunked source."""
+        results = mine_conjunctive_rules(
+            self._streaming_source(gated_relation, 4_000),
+            "value",
+            "target",
+            min_support=0.05,
+            num_buckets=100,
+            rng=np.random.default_rng(17),
+        )
+        assert results
+        best = results[0]
+        assert best.rule.presumptive is not None
+        assert "gate" in best.rule.presumptive.attribute_names()
+        assert best.rule.confidence > 0.7
+
+    def test_executors_are_bit_identical(self, gated_relation: Relation) -> None:
+        mined = [
+            mine_conjunctive_rules(
+                self._streaming_source(gated_relation, 4_000),
+                "value",
+                "target",
+                min_support=0.05,
+                num_buckets=64,
+                rng=np.random.default_rng(3),
+                executor=executor,
+            )
+            for executor in ("serial", "multiprocessing")
+        ]
+        assert mined[0] == mined[1]
+
+    def test_stream_matches_prebuilt_presumptive_profiles(
+        self, gated_relation: Relation
+    ) -> None:
+        """The grouped prefetch equals building each conjunct profile alone."""
+        from repro.pipeline import ProfileBuilder, RelationSource
+
+        source = RelationSource(gated_relation, chunk_size=3_000)
+        builder = ProfileBuilder(num_buckets=50, seed=13)
+        objective = BooleanIs("target", True)
+        conjunct = BooleanIs("gate", True)
+        grouped = builder.build_presumptive_profiles(
+            source, "value", objective, [conjunct]
+        )[conjunct]
+        single = builder.build_profile(
+            source, "value", objective, presumptive=conjunct
+        )
+        assert np.array_equal(grouped.sizes, single.sizes)
+        assert np.array_equal(grouped.values, single.values)
+        assert np.array_equal(grouped.lows, single.lows)
+        assert np.array_equal(grouped.highs, single.highs)
+        assert grouped.total == single.total
+
+    def test_itemset_conjuncts_require_in_memory_data(self, gated_relation: Relation) -> None:
+        from repro.extensions import candidate_conjuncts
+        from repro.pipeline import ChunkedSource
+
+        source = ChunkedSource(lambda: iter([gated_relation]))
+        with pytest.raises(OptimizationError):
+            candidate_conjuncts(source, "target", max_items=2)

@@ -110,6 +110,54 @@ class TestDecomposition:
         assert text.count("->") == len(classifier.intervals)
 
 
+class TestPipelineFit:
+    def test_fit_from_streaming_source_recovers_planted_band(self, planted) -> None:
+        from repro.pipeline import RelationSource
+
+        relation, truth = planted
+        source = RelationSource(relation, chunk_size=2_500)
+        classifier = IntervalClassifier(max_intervals=3, num_buckets=64).fit(
+            source, "value", "target"
+        )
+        middle = classifier.intervals[1]
+        assert middle.prediction is True
+        assert middle.low == pytest.approx(truth.low, abs=2.0)
+        assert middle.high == pytest.approx(truth.high, abs=2.0)
+        assert classifier.accuracy(relation, "target") > 0.8
+
+    def test_streaming_executors_are_bit_identical(self, planted) -> None:
+        from repro.pipeline import RelationSource
+
+        relation, _ = planted
+        source = RelationSource(relation, chunk_size=2_500)
+        fitted = [
+            IntervalClassifier(
+                max_intervals=3, num_buckets=48, executor=executor, seed=5
+            ).fit(source, "value", "target")
+            for executor in ("serial", "streaming", "multiprocessing")
+        ]
+        assert fitted[0].intervals == fitted[1].intervals == fitted[2].intervals
+
+    def test_fit_profile_equals_fit(self, planted) -> None:
+        from repro.core import BucketProfile
+        from repro.bucketing import SortingEquiDepthBucketizer
+        from repro.relation import BooleanIs
+
+        relation, _ = planted
+        values = relation.numeric_column("value")
+        bucketing = SortingEquiDepthBucketizer().build(values, 64)
+        profile = BucketProfile.from_relation(
+            relation, "value", BooleanIs("target", True), bucketing
+        )
+        via_profile = IntervalClassifier(max_intervals=3, num_buckets=64).fit_profile(
+            profile
+        )
+        via_fit = IntervalClassifier(max_intervals=3, num_buckets=64).fit(
+            relation, "value", "target"
+        )
+        assert via_profile.intervals == via_fit.intervals
+
+
 class TestContrastWithOptimizedRules:
     def test_middle_interval_matches_optimized_confidence_range(self, planted) -> None:
         # The IC baseline labels the whole domain; the optimized-confidence

@@ -1,0 +1,146 @@
+"""Bit-exactness parity tests for the 2-D grid pipeline.
+
+The contract mirrors the 1-D profile pipeline: for the same tuples, every
+source type (in-memory, chunked, CSV) under every executor (serial,
+streaming, multiprocessing — at any pool size) produces **bit-identical**
+``GridProfile``\\ s, and those grids equal the in-memory
+``GridProfile.from_relation`` kernel when fed the same bucketings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PipelineError
+from repro.pipeline import (
+    CSVSource,
+    EXECUTORS,
+    GridProfile,
+    GridProfileBuilder,
+    RelationSource,
+)
+from repro.relation import Attribute, BooleanIs, Relation, Schema
+from repro.relation.io import write_csv
+
+
+@pytest.fixture(scope="module")
+def grid_relation() -> Relation:
+    rng = np.random.default_rng(5)
+    size = 9_000
+    x = rng.normal(50.0, 20.0, size)
+    y = rng.exponential(30.0, size)
+    target = rng.random(size) < np.where((x > 40) & (y < 25), 0.8, 0.1)
+    flag = rng.random(size) < 0.4
+    schema = Schema.of(
+        Attribute.numeric("x"),
+        Attribute.numeric("y"),
+        Attribute.boolean("target"),
+        Attribute.boolean("flag"),
+    )
+    return Relation.from_columns(
+        schema, {"x": x, "y": y, "target": target, "flag": flag}
+    )
+
+
+def _assert_grids_equal(left: GridProfile, right: GridProfile) -> None:
+    assert left.shape == right.shape
+    assert np.array_equal(left.sizes, right.sizes)
+    assert np.array_equal(left.values, right.values)
+    assert np.array_equal(left.row_lows, right.row_lows, equal_nan=True)
+    assert np.array_equal(left.row_highs, right.row_highs, equal_nan=True)
+    assert np.array_equal(left.column_lows, right.column_lows, equal_nan=True)
+    assert np.array_equal(left.column_highs, right.column_highs, equal_nan=True)
+    assert left.total == right.total
+
+
+class TestSourceExecutorParity:
+    def test_full_matrix_is_bit_identical(self, grid_relation, tmp_path_factory) -> None:
+        path = tmp_path_factory.mktemp("grid") / "grid.csv"
+        write_csv(grid_relation, path)
+        sources = {
+            "memory": RelationSource(grid_relation),
+            "chunked": RelationSource(grid_relation, chunk_size=1_024),
+            "csv": CSVSource(path, chunk_size=1_024),
+        }
+        grids = {}
+        for executor in EXECUTORS:
+            builder = GridProfileBuilder(
+                num_buckets=12, executor=executor, seed=7, max_workers=2
+            )
+            for name, source in sources.items():
+                grids[(executor, name)] = builder.build_grid_profile(
+                    source, "x", "y", BooleanIs("target"), grid=(12, 9)
+                )
+        baseline = grids[("serial", "memory")]
+        assert baseline.shape == (12, 9)
+        assert baseline.sizes.sum() == grid_relation.num_tuples
+        for grid in grids.values():
+            _assert_grids_equal(baseline, grid)
+
+    def test_pool_sizes_1_2_4_are_bit_identical(self, grid_relation) -> None:
+        """Regression: the deterministic seed must hold at any pool size."""
+        source = RelationSource(grid_relation, chunk_size=700)
+        grids = [
+            GridProfileBuilder(
+                num_buckets=10,
+                executor="multiprocessing",
+                seed=11,
+                max_workers=workers,
+            ).build_grid_profile(source, "x", "y", BooleanIs("target"))
+            for workers in (1, 2, 4)
+        ]
+        _assert_grids_equal(grids[0], grids[1])
+        _assert_grids_equal(grids[0], grids[2])
+
+    def test_matches_in_memory_kernel_given_same_bucketings(self, grid_relation) -> None:
+        builder = GridProfileBuilder(num_buckets=8, executor="streaming", seed=2)
+        source = RelationSource(grid_relation, chunk_size=500)
+        bucketings = builder.sample_bucketings(source, ["x", "y"])
+        piped = builder.build_grid_profile(
+            source, "x", "y", BooleanIs("target"), bucketings=bucketings
+        )
+        direct = GridProfile.from_relation(
+            grid_relation, "x", "y", BooleanIs("target"),
+            bucketings["x"], bucketings["y"],
+        )
+        _assert_grids_equal(piped, direct)
+
+
+class TestGridCounts:
+    def test_many_objectives_one_scan(self, grid_relation) -> None:
+        builder = GridProfileBuilder(num_buckets=6, seed=1)
+        counts = builder.build_grid_counts(
+            RelationSource(grid_relation),
+            "x",
+            "y",
+            [BooleanIs("target"), BooleanIs("flag")],
+        )
+        target = counts.profile(BooleanIs("target"))
+        flag = counts.profile(BooleanIs("flag"))
+        assert target.shape == flag.shape
+        assert np.array_equal(target.sizes, flag.sizes)
+        assert not np.array_equal(target.values, flag.values)
+
+    def test_uncounted_objective_rejected(self, grid_relation) -> None:
+        builder = GridProfileBuilder(num_buckets=6, seed=1)
+        counts = builder.build_grid_counts(
+            RelationSource(grid_relation), "x", "y", [BooleanIs("target")]
+        )
+        with pytest.raises(PipelineError):
+            counts.profile(BooleanIs("flag"))
+
+    def test_same_axis_rejected(self, grid_relation) -> None:
+        builder = GridProfileBuilder(num_buckets=6)
+        with pytest.raises(PipelineError):
+            builder.build_grid_counts(
+                RelationSource(grid_relation), "x", "x", [BooleanIs("target")]
+            )
+
+    def test_non_square_grid_override(self, grid_relation) -> None:
+        builder = GridProfileBuilder(num_buckets=4, seed=9)
+        profile = builder.build_grid_profile(
+            RelationSource(grid_relation), "x", "y", BooleanIs("target"),
+            grid=(5, 7),
+        )
+        assert profile.shape == (5, 7)

@@ -256,6 +256,107 @@ class TestCatalogCommand:
         assert "attribute pairs" in capsys.readouterr().out
 
 
+class TestRules2dCommand:
+    @pytest.fixture()
+    def bank_csv(self, tmp_path: Path) -> Path:
+        relation = generate_named_dataset("bank", 4_000, seed=3)
+        return save_dataset(relation, tmp_path / "bank.csv")
+
+    def test_parser_accepts_grid(self) -> None:
+        args = build_parser().parse_args(
+            [
+                "rules2d",
+                "bank.csv",
+                "--row-attribute",
+                "age",
+                "--column-attribute",
+                "balance",
+                "--objective",
+                "card_loan",
+                "--grid",
+                "12",
+                "9",
+            ]
+        )
+        assert args.command == "rules2d"
+        assert args.grid == [12, 9]
+
+    def test_mines_rectangle_in_memory(self, bank_csv: Path, capsys) -> None:
+        code = main(
+            [
+                "rules2d",
+                str(bank_csv),
+                "--row-attribute",
+                "age",
+                "--column-attribute",
+                "balance",
+                "--objective",
+                "card_loan",
+                "--min-support",
+                "0.05",
+                "--grid",
+                "10",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(age in [" in out and "(balance in [" in out
+        assert "card_loan" in out
+
+    def test_mines_rectangle_from_stream(self, bank_csv: Path, capsys) -> None:
+        """The streamed grid path: CSV scanned in chunks, never loaded."""
+        code = main(
+            [
+                "rules2d",
+                str(bank_csv),
+                "--row-attribute",
+                "age",
+                "--column-attribute",
+                "balance",
+                "--objective",
+                "card_loan",
+                "--min-support",
+                "0.05",
+                "--grid",
+                "10",
+                "10",
+                "--source",
+                "stream",
+                "--chunk-size",
+                "800",
+                "--executor",
+                "streaming",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(age in [" in out and "(balance in [" in out
+
+    def test_infeasible_thresholds_exit_code(self, bank_csv: Path, capsys) -> None:
+        code = main(
+            [
+                "rules2d",
+                str(bank_csv),
+                "--row-attribute",
+                "age",
+                "--column-attribute",
+                "balance",
+                "--objective",
+                "card_loan",
+                "--kind",
+                "support",
+                "--min-confidence",
+                "0.999",
+                "--grid",
+                "8",
+                "8",
+            ]
+        )
+        assert code == 1
+        assert "no rectangle" in capsys.readouterr().out
+
+
 class TestExperimentCommand:
     def test_figure1_runs(self, capsys, monkeypatch) -> None:
         # Patch the experiment registry to a tiny configuration so the CLI
