@@ -45,7 +45,7 @@ from repro.core import (
 from repro.datasets import paper_benchmark_table, planted_profile
 from repro.experiments import bench_workload, throughput_workload, time_call, write_bench_json
 from repro.mining import mine_rule_catalog
-from repro.pipeline import CSVSource
+from repro.pipeline import ChunkedSource, CSVSource
 from repro.relation import write_csv
 from repro.relation.conditions import BooleanIs
 
@@ -60,6 +60,18 @@ MIN_CATALOG_SPEEDUP = 2.5
 # solvers, timed verbatim (observed ~7x; the object-based reference loop
 # would be slower still, but it is not the shipped baseline).
 MIN_RECTANGLE_SPEEDUP = 5.0
+
+# Floors asserted on the default-size streaming catalog: the fused
+# single-scan planner + block-tokenizer CSV parsing vs. the pre-fusion
+# configuration timed verbatim (legacy row parser, no projection pushdown,
+# per-request-group counting scans).  Observed ~6.5-6.9x / ~69k tuples/s
+# against the ~11k tuples/s the pre-fusion record in BENCH history shows.
+MIN_STREAMING_SPEEDUP = 4.0
+MIN_STREAMING_TUPLES_PER_SECOND = 40_000
+
+# Smoke floor for --quick CI runs: far below any healthy machine, so the job
+# only fails on a genuine fused-path regression, not runner noise.
+QUICK_STREAMING_TUPLES_PER_SECOND = 2_000
 
 
 def _selection_key(selection):
@@ -288,40 +300,80 @@ def test_bench_counting_fastpath(catalog_relation, sizes, bench_results, record_
     )
 
 
-def test_bench_streaming_catalog(
-    catalog_relation, sizes, bench_results, record_report, tmp_path_factory
-) -> None:
-    """Out-of-core catalog throughput: the §1.3 workload over a CSVSource.
+def _catalog_rule_keys(catalog) -> list[tuple]:
+    """Order-independent bit-exact identity of a mined catalog."""
+    return sorted(
+        (
+            entry.rule.attribute,
+            str(entry.rule.objective),
+            str(entry.rule.kind),
+            entry.rule.low,
+            entry.rule.high,
+            entry.rule.support,
+            entry.rule.confidence,
+            entry.base_rate,
+        )
+        for entry in catalog.entries
+    )
 
-    The whole numeric x Boolean catalog runs from a chunked CSV scan — two
-    passes over the file, never materializing the relation — and the chunked
-    end-to-end throughput (tuples/s, CSV parsing included) is recorded into
-    ``BENCH_fastpath.json`` so successive PRs can track the pipeline's
-    out-of-core rate alongside the in-memory speedups.
+
+def test_bench_streaming_catalog(
+    catalog_relation, sizes, bench_results, record_report, tmp_path_factory, quick
+) -> None:
+    """Out-of-core catalog: fused single-scan planner vs the pre-fusion path.
+
+    The whole numeric x Boolean catalog runs from a chunked CSV scan, never
+    materializing the relation.  ``old_seconds`` times the pre-fusion
+    configuration verbatim — the legacy ``csv.reader`` row parser
+    (``CSVSource(fast=False)``), no projection pushdown (a ``ChunkedSource``
+    wrapper ignores scan-column hints, as every pre-fusion source did), and
+    the one-counting-scan-per-request-group prefetch (``fused=False``) —
+    while the new path is the shipped default: the ``ScanPlan`` engine's one
+    physical scan over the block-tokenizer ``CSVSource``.  Both mine with
+    the same seeded rng and must return bit-identical catalogs; end-to-end
+    throughput (tuples/s, CSV parsing included) and the old-vs-new speedup
+    are recorded into ``BENCH_fastpath.json``.
     """
     chunk_size = 20_000
     path = tmp_path_factory.mktemp("stream") / "catalog.csv"
     write_csv(catalog_relation, path)
-    source = CSVSource(path, chunk_size=chunk_size)
 
     held: dict = {}
 
-    def run_streaming() -> None:
-        held["catalog"] = mine_rule_catalog(
-            source,
+    def run_old() -> None:
+        # Constructed inside the timed region: pre-fusion, the first-chunk
+        # schema inference also happened inside the mining call.
+        legacy_csv = CSVSource(path, chunk_size=chunk_size, fast=False)
+        old_source = ChunkedSource(lambda: legacy_csv.chunks())
+        held["old"] = mine_rule_catalog(
+            old_source,
             num_buckets=sizes["num_buckets"],
             executor="streaming",
+            rng=np.random.default_rng(7),
+            fused=False,
         )
 
-    seconds = time_call(run_streaming)
-    catalog = held["catalog"]
+    def run_new() -> None:
+        held["new"] = mine_rule_catalog(
+            CSVSource(path, chunk_size=chunk_size),
+            num_buckets=sizes["num_buckets"],
+            executor="streaming",
+            rng=np.random.default_rng(7),
+        )
+
+    old_seconds = time_call(run_old)
+    seconds = time_call(run_new)
+    catalog = held["new"]
     assert catalog.num_pairs == sizes["num_numeric"] * sizes["num_boolean"]
     assert len(catalog) > 0
+    # Fused-vs-legacy parity, end to end: same boundaries, rules, and rates.
+    assert _catalog_rule_keys(held["old"]) == _catalog_rule_keys(catalog)
 
     workload = throughput_workload(
         "catalog-streaming",
         seconds,
         sizes["num_tuples"],
+        old_seconds=old_seconds,
         chunk_size=chunk_size,
         pairs=catalog.num_pairs,
         rules=len(catalog),
@@ -331,9 +383,15 @@ def test_bench_streaming_catalog(
     record_report(
         "Streaming catalog benchmark",
         f"{catalog.num_pairs} pairs over {sizes['num_tuples']} tuples streamed "
-        f"from CSV in {chunk_size}-row chunks: {seconds:.3f}s "
-        f"({workload['tuples_per_second']:,.0f} tuples/s end-to-end)",
+        f"from CSV in {chunk_size}-row chunks: pre-fusion {old_seconds:.3f}s, "
+        f"fused {seconds:.3f}s ({workload['speedup']:.1f}x, "
+        f"{workload['tuples_per_second']:,.0f} tuples/s end-to-end)",
     )
+    if quick:
+        assert workload["tuples_per_second"] >= QUICK_STREAMING_TUPLES_PER_SECOND
+    else:
+        assert workload["speedup"] >= MIN_STREAMING_SPEEDUP
+        assert workload["tuples_per_second"] >= MIN_STREAMING_TUPLES_PER_SECOND
 
 
 def _pre_refactor_best_rectangle(profile, kind, min_support, min_confidence):

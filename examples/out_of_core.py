@@ -5,8 +5,9 @@ sort — it lives on disk and can only be scanned.  This example writes a
 large-ish relation to a CSV file, then mines it *without ever loading it
 whole* through the unified pipeline: a :class:`~repro.pipeline.CSVSource`
 scans the file in chunks, the :class:`~repro.core.OptimizedRuleMiner`
-prefetches every profile it needs in two scans (reservoir-sampled bucket
-boundaries, then one counting pass through the shared bincount kernel), and
+prefetches every profile it needs in one fused scan (the reservoir
+boundary pass caches the counting payloads for the fused bincount kernel),
+and
 the linear-time optimizers run on the resulting profiles.  The same source
 then feeds the whole §1.3 catalog, and the result is compared against mining
 the fully-loaded relation.
@@ -42,7 +43,7 @@ def main() -> None:
         path = Path(workdir) / "bank.csv"
         write_dataset(path)
 
-        # --- out-of-core path: two chunked scans of the file -----------------
+        # --- out-of-core path: one chunked scan of the file ------------------
         source = CSVSource(path, chunk_size=CHUNK_SIZE)
         miner = OptimizedRuleMiner(source, num_buckets=1000, executor="streaming")
         streamed = miner.optimized_confidence_rule(
@@ -52,7 +53,7 @@ def main() -> None:
         print(f"  {streamed}")
 
         # The same source runs the whole §1.3 catalog — every numeric/Boolean
-        # pair — still in two scans of the file, courtesy of the batched
+        # pair — still in one fused scan of the file, courtesy of the ScanPlan
         # profile prefetch.
         catalog = mine_rule_catalog(source, num_buckets=500, executor="streaming")
         print(f"\nout-of-core catalog: {len(catalog)} rules over "

@@ -44,11 +44,23 @@ index ``row * C + column`` flattens the ``R × C`` grid, and a single
 ``bincount`` (plus the mask-matrix kernel for objectives) produces the
 per-cell ``u_ij`` / ``v_ij`` counts as :class:`GridChunkCounts` partials —
 merged by the same executors that drive the 1-D pipeline.
+
+Fused plan kernel
+-----------------
+:func:`count_plan_chunk` generalizes both chunk kernels to a whole
+:class:`KernelPlan` — every (attribute, bucketing) axis of a scan plan
+assigned exactly once per chunk, all 1-D *and* flattened 2-D
+``(segment × condition)`` cells answered through offset-encoded flat
+``bincount``\\ s, and all §5 bucket sums through one flat weighted
+``bincount``.  :func:`count_value_chunk` and :func:`count_grid_chunk` are
+now one-segment plans over this kernel, which is what makes fused scans
+bit-identical to per-request scans by construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -62,17 +74,41 @@ __all__ = [
     "BucketCounts",
     "ChunkCounts",
     "GridChunkCounts",
+    "PlanChunkCounts",
+    "AxisSpec",
+    "ValueSegment",
+    "GridSegment",
+    "KernelPlan",
     "count_relation_buckets",
     "count_conditions",
     "count_many",
     "count_value_chunk",
     "count_grid_chunk",
+    "count_plan_chunk",
     "masked_bucket_counts",
 ]
 
-# Upper bound on the number of elements of the temporary offset-index matrix
-# built per chunk by the mask-matrix kernel (~64 MB of int64 at 8e6 entries).
+#: Default upper bound on the number of elements of the temporary offset-index
+#: matrix built per chunk by the mask-matrix kernel (~64 MB of int64 at 8e6
+#: entries, half that when the int32 window applies).  Tunable per call via
+#: the ``chunk_elements`` keyword or process-wide via the
+#: ``REPRO_MASK_MATRIX_CHUNK_ELEMENTS`` environment variable.
 _MASK_MATRIX_CHUNK_ELEMENTS = 8_000_000
+
+
+def _mask_matrix_chunk_elements(chunk_elements: int | None = None) -> int:
+    """Resolve the mask-matrix temporary budget (keyword > env > default)."""
+    if chunk_elements is None:
+        raw = os.environ.get("REPRO_MASK_MATRIX_CHUNK_ELEMENTS", "")
+        chunk_elements = int(raw) if raw else _MASK_MATRIX_CHUNK_ELEMENTS
+    if chunk_elements <= 0:
+        raise BucketingError("mask-matrix chunk elements budget must be positive")
+    return int(chunk_elements)
+
+
+def _offset_dtype(total_cells: int) -> type:
+    """Smallest index dtype for offset-encoded windows spanning ``total_cells``."""
+    return np.int32 if total_cells <= np.iinfo(np.int32).max else np.int64
 
 
 @dataclass(frozen=True)
@@ -128,6 +164,7 @@ def masked_bucket_counts(
     indices: np.ndarray,
     masks: np.ndarray,
     num_buckets: int,
+    chunk_elements: int | None = None,
 ) -> np.ndarray:
     """Per-bucket counts for several Boolean masks over pre-assigned indices.
 
@@ -140,6 +177,10 @@ def masked_bucket_counts(
         Boolean matrix of shape ``(num_masks, num_tuples)``.
     num_buckets:
         Number of buckets ``M``.
+    chunk_elements:
+        Upper bound on the elements of the temporary offset-index matrix
+        (default: the ``REPRO_MASK_MATRIX_CHUNK_ELEMENTS`` environment
+        variable, falling back to 8e6).
 
     Returns
     -------
@@ -149,7 +190,9 @@ def masked_bucket_counts(
 
     Each chunk of rows is counted with a *single* ``np.bincount`` by
     offsetting row ``c``'s indices into the window
-    ``[c * num_buckets, (c + 1) * num_buckets)``.
+    ``[c * num_buckets, (c + 1) * num_buckets)``; when every offset index of
+    a row chunk fits ``int32`` the temporaries are built in ``int32``,
+    halving the kernel's memory traffic.
     """
     masks = np.asarray(masks, dtype=bool)
     if masks.ndim != 2:
@@ -162,12 +205,15 @@ def masked_bucket_counts(
     counts = np.empty((num_masks, num_buckets), dtype=np.int64)
     if num_masks == 0:
         return counts
-    chunk_rows = max(1, _MASK_MATRIX_CHUNK_ELEMENTS // max(1, num_tuples))
+    budget = _mask_matrix_chunk_elements(chunk_elements)
+    chunk_rows = max(1, budget // max(1, num_tuples))
+    dtype = _offset_dtype(min(num_masks, chunk_rows) * num_buckets)
+    narrow = indices.astype(dtype, copy=False)
     for begin in range(0, num_masks, chunk_rows):
         stop = min(begin + chunk_rows, num_masks)
         rows = stop - begin
-        offsets = (np.arange(rows, dtype=np.int64) * num_buckets)[:, None]
-        flat = (indices[None, :] + offsets)[masks[begin:stop]]
+        offsets = (np.arange(rows, dtype=dtype) * dtype(num_buckets))[:, None]
+        flat = (narrow[None, :] + offsets)[masks[begin:stop]]
         counts[begin:stop] = np.bincount(
             flat, minlength=rows * num_buckets
         ).reshape(rows, num_buckets)
@@ -296,61 +342,48 @@ def count_value_chunk(
     for the conjuncts that actually need restricted bounds.
     """
     array = np.asarray(values, dtype=np.float64).ravel()
-    bucketing = Bucketing(cuts)
-    num_buckets = bucketing.num_buckets
-    indices = bucketing.assign(array)
-    sizes = np.bincount(indices, minlength=num_buckets).astype(np.int64)
 
     if masks is None:
-        conditional = np.zeros((0, num_buckets), dtype=np.int64)
+        mask_matrix = np.zeros((0, array.shape[0]), dtype=bool)
     else:
-        conditional = masked_bucket_counts(indices, masks, num_buckets)
-
-    if weights is None:
-        sums = np.zeros((0, num_buckets), dtype=np.float64)
-    else:
-        weight_matrix = np.asarray(weights, dtype=np.float64)
-        if weight_matrix.ndim != 2 or weight_matrix.shape[1] != array.shape[0]:
-            raise BucketingError(
-                "weights must form a (num_weights, num_tuples) matrix"
-            )
-        sums = np.empty((weight_matrix.shape[0], num_buckets), dtype=np.float64)
-        for row in range(weight_matrix.shape[0]):
-            sums[row] = np.bincount(
-                indices, weights=weight_matrix[row], minlength=num_buckets
-            )
-
-    if with_bounds:
-        lows, highs = bucketing.data_bounds(array)
-    else:
-        lows = np.full(num_buckets, np.nan)
-        highs = np.full(num_buckets, np.nan)
-
-    if bound_masks is None:
-        mask_lows = np.full((0, num_buckets), np.nan)
-        mask_highs = np.full((0, num_buckets), np.nan)
-    else:
+        mask_matrix = np.asarray(masks, dtype=bool)
+        if mask_matrix.ndim != 2 or mask_matrix.shape[1] != array.shape[0]:
+            raise BucketingError("masks must form a (num_masks, num_tuples) matrix")
+    num_masks = mask_matrix.shape[0]
+    if bound_masks is not None:
         bound_matrix = np.asarray(bound_masks, dtype=bool)
         if bound_matrix.ndim != 2 or bound_matrix.shape[1] != array.shape[0]:
             raise BucketingError(
                 "bound_masks must form a (num_bound_masks, num_tuples) matrix"
             )
-        mask_lows = np.full((bound_matrix.shape[0], num_buckets), np.nan)
-        mask_highs = np.full((bound_matrix.shape[0], num_buckets), np.nan)
-        for row in range(bound_matrix.shape[0]):
-            mask_lows[row], mask_highs[row] = bucketing.data_bounds(
-                array[bound_matrix[row]]
+        mask_matrix = np.vstack([mask_matrix, bound_matrix])
+        bound_slots = tuple(range(num_masks, mask_matrix.shape[0]))
+    else:
+        bound_slots = ()
+    if weights is not None:
+        weight_matrix = np.asarray(weights, dtype=np.float64)
+        if weight_matrix.ndim != 2 or weight_matrix.shape[1] != array.shape[0]:
+            raise BucketingError(
+                "weights must form a (num_weights, num_tuples) matrix"
             )
-    return ChunkCounts(
-        sizes=sizes,
-        conditional=conditional,
-        sums=sums,
-        lows=lows,
-        highs=highs,
-        num_tuples=int(array.shape[0]),
-        mask_lows=mask_lows,
-        mask_highs=mask_highs,
+    else:
+        weight_matrix = np.zeros((0, array.shape[0]), dtype=np.float64)
+
+    plan = KernelPlan(
+        axes=(AxisSpec(column=0, cuts=np.asarray(cuts), with_bounds=with_bounds),),
+        segments=(
+            ValueSegment(
+                axis=0,
+                mask_slots=tuple(range(num_masks)),
+                weight_slots=tuple(range(weight_matrix.shape[0])),
+                bound_mask_slots=bound_slots,
+                with_bounds=with_bounds,
+            ),
+        ),
     )
+    part = count_plan_chunk(plan, ((array,), mask_matrix, weight_matrix)).parts[0]
+    assert isinstance(part, ChunkCounts)
+    return part
 
 
 @dataclass
@@ -441,33 +474,394 @@ def count_grid_chunk(
         raise BucketingError(
             "row and column value chunks must have the same length"
         )
-    row_bucketing = Bucketing(row_cuts)
-    column_bucketing = Bucketing(column_cuts)
-    rows = row_bucketing.num_buckets
-    columns = column_bucketing.num_buckets
-
-    flat = row_bucketing.assign(rows_array) * columns + column_bucketing.assign(
-        columns_array
-    )
-    sizes = np.bincount(flat, minlength=rows * columns).astype(np.int64)
     if masks is None:
-        conditional = np.zeros((0, rows, columns), dtype=np.int64)
+        mask_matrix = np.zeros((0, rows_array.shape[0]), dtype=bool)
     else:
-        conditional = masked_bucket_counts(flat, masks, rows * columns).reshape(
-            -1, rows, columns
-        )
-
-    row_lows, row_highs = row_bucketing.data_bounds(rows_array)
-    column_lows, column_highs = column_bucketing.data_bounds(columns_array)
-    return GridChunkCounts(
-        sizes=sizes.reshape(rows, columns),
-        conditional=conditional,
-        row_lows=row_lows,
-        row_highs=row_highs,
-        column_lows=column_lows,
-        column_highs=column_highs,
-        num_tuples=int(rows_array.shape[0]),
+        mask_matrix = np.asarray(masks, dtype=bool)
+        if mask_matrix.ndim != 2 or mask_matrix.shape[1] != rows_array.shape[0]:
+            raise BucketingError("masks must form a (num_masks, num_tuples) matrix")
+    plan = KernelPlan(
+        axes=(
+            AxisSpec(column=0, cuts=np.asarray(row_cuts)),
+            AxisSpec(column=1, cuts=np.asarray(column_cuts)),
+        ),
+        segments=(
+            GridSegment(
+                row_axis=0,
+                column_axis=1,
+                mask_slots=tuple(range(mask_matrix.shape[0])),
+            ),
+        ),
     )
+    part = count_plan_chunk(
+        plan, ((rows_array, columns_array), mask_matrix, None)
+    ).parts[0]
+    assert isinstance(part, GridChunkCounts)
+    return part
+
+
+# -- fused scan-plan kernel -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One bucketed axis of a :class:`KernelPlan`.
+
+    ``column`` names the slot of the chunk payload's column list holding the
+    axis values; however many segments reference the axis, its values are
+    assigned to buckets (and its data bounds sorted) exactly once per chunk.
+    """
+
+    column: int
+    cuts: np.ndarray
+    with_bounds: bool = True
+
+
+@dataclass(frozen=True)
+class ValueSegment:
+    """A 1-D counting request of a :class:`KernelPlan`.
+
+    ``mask_slots`` / ``weight_slots`` / ``bound_mask_slots`` index rows of
+    the payload's stacked mask and weight matrices; the segment produces one
+    :class:`ChunkCounts` with one conditional row per mask slot, one bucket
+    sum per weight slot, and restricted data bounds per bound-mask slot.
+    """
+
+    axis: int
+    mask_slots: tuple[int, ...] = ()
+    weight_slots: tuple[int, ...] = ()
+    bound_mask_slots: tuple[int, ...] = ()
+    with_bounds: bool = True
+
+
+@dataclass(frozen=True)
+class GridSegment:
+    """A 2-D cell-grid counting request of a :class:`KernelPlan` (§1.4)."""
+
+    row_axis: int
+    column_axis: int
+    mask_slots: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """Everything the fused chunk kernel needs to count one chunk.
+
+    The plan is chunk-independent (axis cuts plus segment wiring), so a
+    process-pool executor ships it to each worker **once** and then streams
+    only the per-chunk payloads.  A payload is the triple
+    ``(columns, masks, weights)``: the parsed column arrays the axes index
+    into, one stacked Boolean matrix holding every distinct condition row of
+    the whole plan, and one stacked float matrix of the §5 target weights.
+    """
+
+    axes: tuple[AxisSpec, ...]
+    segments: tuple[ValueSegment | GridSegment, ...]
+
+    def zeros(self) -> "PlanChunkCounts":
+        """An identity element for :meth:`PlanChunkCounts.merge`."""
+        cells = [Bucketing(axis.cuts).num_buckets for axis in self.axes]
+        parts: list[ChunkCounts | GridChunkCounts] = []
+        for segment in self.segments:
+            if isinstance(segment, GridSegment):
+                parts.append(
+                    GridChunkCounts.zeros(
+                        cells[segment.row_axis],
+                        cells[segment.column_axis],
+                        num_masks=len(segment.mask_slots),
+                    )
+                )
+            else:
+                parts.append(
+                    ChunkCounts.zeros(
+                        cells[segment.axis],
+                        num_masks=len(segment.mask_slots),
+                        num_weights=len(segment.weight_slots),
+                        num_bound_masks=len(segment.bound_mask_slots),
+                    )
+                )
+        return PlanChunkCounts(parts)
+
+
+@dataclass
+class PlanChunkCounts:
+    """Partial counts of one chunk for every segment of a :class:`KernelPlan`.
+
+    This is the unit a plan-executing worker returns: one
+    :class:`ChunkCounts` or :class:`GridChunkCounts` per plan segment,
+    merged part-wise in chunk order exactly like the single-request
+    partials.
+    """
+
+    parts: list[ChunkCounts | GridChunkCounts] = field(default_factory=list)
+
+    def merge(self, other: "PlanChunkCounts") -> "PlanChunkCounts":
+        """Accumulate another plan partial into this one (in place)."""
+        if len(self.parts) != len(other.parts):
+            raise BucketingError("cannot merge plan counts of different shapes")
+        for mine, theirs in zip(self.parts, other.parts):
+            mine.merge(theirs)
+        return self
+
+
+def _fused_window_counts(
+    entries: Sequence[tuple[np.ndarray, np.ndarray | None, int]],
+    chunk_elements: int | None = None,
+) -> list[np.ndarray]:
+    """Offset-encoded flat bincounts over heterogeneous index windows.
+
+    Each entry is ``(indices, mask, cells)``; the result list holds
+    ``np.bincount(indices[mask], minlength=cells)`` per entry (mask ``None``
+    counts every tuple).  Entries are batched so each batch's temporaries —
+    the selected indices *and* the combined bincount window of
+    ``sum(cells)`` — respect the mask-matrix element budget, every batch
+    offsets each entry into its own ``cells``-sized window, and a
+    **single** flat ``np.bincount`` answers the whole batch — the
+    cross-attribute generalization of :func:`masked_bucket_counts`, with
+    the same ``int32`` narrowing when the combined window fits.
+    """
+    results: list[np.ndarray] = [None] * len(entries)  # type: ignore[list-item]
+    if not entries:
+        return results
+    budget = _mask_matrix_chunk_elements(chunk_elements)
+    batch: list[tuple[int, np.ndarray, int]] = []
+    batch_elements = 0
+
+    def flush() -> None:
+        nonlocal batch, batch_elements
+        if not batch:
+            return
+        if len(batch) == 1:
+            position, selected, cells = batch[0]
+            results[position] = np.bincount(selected, minlength=cells).astype(
+                np.int64
+            )
+        else:
+            total = sum(cells for _, _, cells in batch)
+            dtype = _offset_dtype(total)
+            offset = 0
+            parts = []
+            for _, selected, cells in batch:
+                parts.append(selected.astype(dtype, copy=False) + dtype(offset))
+                offset += cells
+            flat_counts = np.bincount(np.concatenate(parts), minlength=total)
+            offset = 0
+            for position, _, cells in batch:
+                results[position] = flat_counts[offset : offset + cells].astype(
+                    np.int64, copy=False
+                )
+                offset += cells
+        batch = []
+        batch_elements = 0
+
+    for position, (indices, mask, cells) in enumerate(entries):
+        selected = indices if mask is None else indices[mask]
+        if batch and batch_elements + selected.size + cells > budget:
+            flush()
+        batch.append((position, selected, cells))
+        batch_elements += selected.size + cells
+    flush()
+    return results
+
+
+def _fused_weighted_sums(
+    entries: Sequence[tuple[np.ndarray, np.ndarray, int]],
+    chunk_elements: int | None = None,
+) -> list[np.ndarray]:
+    """Offset-encoded flat *weighted* bincounts (the §5 bucket sums).
+
+    Each entry is ``(indices, weights, cells)``.  Windows never interleave
+    tuples of different entries, so the per-bucket float accumulation order
+    of every entry is exactly that of its standalone weighted ``bincount`` —
+    which is what keeps fused §5 sums bit-identical to the single-request
+    kernel.
+    """
+    results: list[np.ndarray] = [None] * len(entries)  # type: ignore[list-item]
+    if not entries:
+        return results
+    budget = _mask_matrix_chunk_elements(chunk_elements)
+    batch: list[tuple[int, np.ndarray, np.ndarray, int]] = []
+    batch_elements = 0
+
+    def flush() -> None:
+        nonlocal batch, batch_elements
+        if not batch:
+            return
+        if len(batch) == 1:
+            position, indices, weights, cells = batch[0]
+            results[position] = np.bincount(
+                indices, weights=weights, minlength=cells
+            ).astype(np.float64)
+        else:
+            total = sum(cells for _, _, _, cells in batch)
+            dtype = _offset_dtype(total)
+            offset = 0
+            flat_parts = []
+            weight_parts = []
+            for _, indices, weights, cells in batch:
+                flat_parts.append(indices.astype(dtype, copy=False) + dtype(offset))
+                weight_parts.append(weights)
+                offset += cells
+            sums = np.bincount(
+                np.concatenate(flat_parts),
+                weights=np.concatenate(weight_parts),
+                minlength=total,
+            )
+            offset = 0
+            for position, _, _, cells in batch:
+                results[position] = sums[offset : offset + cells].astype(np.float64)
+                offset += cells
+        batch = []
+        batch_elements = 0
+
+    for position, (indices, weights, cells) in enumerate(entries):
+        if batch and batch_elements + indices.size + cells > budget:
+            flush()
+        batch.append((position, indices, weights, cells))
+        batch_elements += indices.size + cells
+    flush()
+    return results
+
+
+def count_plan_chunk(
+    plan: KernelPlan,
+    payload: tuple[
+        Sequence[np.ndarray], np.ndarray | None, np.ndarray | None
+    ],
+) -> PlanChunkCounts:
+    """The fused counting kernel: one chunk answers every plan segment.
+
+    Per chunk, each axis is assigned to buckets exactly **once** (and its
+    data bounds sorted once) however many segments share it; every
+    ``(segment, condition)`` cell — 1-D buckets and flattened 2-D grids
+    alike — is answered through offset-encoded flat ``bincount``\\ s; and
+    all §5 bucket sums go through one flat weighted ``bincount``.  The
+    single-request kernels :func:`count_value_chunk` and
+    :func:`count_grid_chunk` are this function applied to a one-segment
+    plan, so fused and per-request scans are bit-identical by construction.
+    """
+    columns, masks, weights = payload
+    if not plan.axes:
+        raise BucketingError("a kernel plan needs at least one axis")
+
+    axis_values: list[np.ndarray] = []
+    axis_indices: list[np.ndarray] = []
+    axis_cells: list[int] = []
+    axis_bounds: list[tuple[np.ndarray, np.ndarray] | None] = []
+    axis_bucketings: list[Bucketing] = []
+    for axis in plan.axes:
+        values = np.asarray(columns[axis.column], dtype=np.float64).ravel()
+        bucketing = Bucketing(axis.cuts)
+        axis_values.append(values)
+        axis_bucketings.append(bucketing)
+        axis_indices.append(bucketing.assign(values))
+        axis_cells.append(bucketing.num_buckets)
+        axis_bounds.append(
+            bucketing.data_bounds(values) if axis.with_bounds else None
+        )
+    num_tuples = int(axis_values[0].shape[0])
+
+    segment_indices: list[np.ndarray] = []
+    segment_cells: list[int] = []
+    for segment in plan.segments:
+        if isinstance(segment, GridSegment):
+            if not (
+                plan.axes[segment.row_axis].with_bounds
+                and plan.axes[segment.column_axis].with_bounds
+            ):
+                raise BucketingError(
+                    "grid segments need both axes built with with_bounds=True "
+                    "(their per-axis data bounds instantiate the rectangle)"
+                )
+            columns_cells = axis_cells[segment.column_axis]
+            segment_indices.append(
+                axis_indices[segment.row_axis] * columns_cells
+                + axis_indices[segment.column_axis]
+            )
+            segment_cells.append(axis_cells[segment.row_axis] * columns_cells)
+        else:
+            segment_indices.append(axis_indices[segment.axis])
+            segment_cells.append(axis_cells[segment.axis])
+
+    size_rows = _fused_window_counts(
+        [
+            (indices, None, cells)
+            for indices, cells in zip(segment_indices, segment_cells)
+        ]
+    )
+    conditional_entries: list[tuple[np.ndarray, np.ndarray | None, int]] = []
+    for position, segment in enumerate(plan.segments):
+        for slot in segment.mask_slots:
+            conditional_entries.append(
+                (segment_indices[position], masks[slot], segment_cells[position])
+            )
+    conditional_rows = _fused_window_counts(conditional_entries)
+
+    weight_entries: list[tuple[np.ndarray, np.ndarray, int]] = []
+    for position, segment in enumerate(plan.segments):
+        if isinstance(segment, GridSegment):
+            continue
+        for slot in segment.weight_slots:
+            weight_entries.append(
+                (segment_indices[position], weights[slot], segment_cells[position])
+            )
+    sum_rows = _fused_weighted_sums(weight_entries)
+
+    parts: list[ChunkCounts | GridChunkCounts] = []
+    conditional_cursor = 0
+    sum_cursor = 0
+    for position, segment in enumerate(plan.segments):
+        cells = segment_cells[position]
+        taken = len(segment.mask_slots)
+        conditional = np.empty((taken, cells), dtype=np.int64)
+        for row in range(taken):
+            conditional[row] = conditional_rows[conditional_cursor + row]
+        conditional_cursor += taken
+        if isinstance(segment, GridSegment):
+            rows_cells = axis_cells[segment.row_axis]
+            columns_cells = axis_cells[segment.column_axis]
+            row_lows, row_highs = axis_bounds[segment.row_axis]
+            column_lows, column_highs = axis_bounds[segment.column_axis]
+            parts.append(
+                GridChunkCounts(
+                    sizes=size_rows[position].reshape(rows_cells, columns_cells),
+                    conditional=conditional.reshape(-1, rows_cells, columns_cells),
+                    row_lows=row_lows,
+                    row_highs=row_highs,
+                    column_lows=column_lows,
+                    column_highs=column_highs,
+                    num_tuples=num_tuples,
+                )
+            )
+            continue
+        sums = np.empty((len(segment.weight_slots), cells), dtype=np.float64)
+        for row in range(len(segment.weight_slots)):
+            sums[row] = sum_rows[sum_cursor + row]
+        sum_cursor += len(segment.weight_slots)
+        if segment.with_bounds and axis_bounds[segment.axis] is not None:
+            lows, highs = axis_bounds[segment.axis]
+        else:
+            lows = np.full(cells, np.nan)
+            highs = np.full(cells, np.nan)
+        mask_lows = np.full((len(segment.bound_mask_slots), cells), np.nan)
+        mask_highs = np.full((len(segment.bound_mask_slots), cells), np.nan)
+        for row, slot in enumerate(segment.bound_mask_slots):
+            mask_lows[row], mask_highs[row] = axis_bucketings[
+                segment.axis
+            ].data_bounds(axis_values[segment.axis][masks[slot]])
+        parts.append(
+            ChunkCounts(
+                sizes=size_rows[position],
+                conditional=conditional,
+                sums=sums,
+                lows=lows,
+                highs=highs,
+                num_tuples=num_tuples,
+                mask_lows=mask_lows,
+                mask_highs=mask_highs,
+            )
+        )
+    return PlanChunkCounts(parts)
 
 
 def count_relation_buckets(

@@ -49,10 +49,11 @@ any :class:`~repro.pipeline.DataSource` (``RelationSource``,
 ``ChunkedSource``, ``CSVSource``).  In-memory data keeps the cached
 assignment/mask fast path above.  A streaming source routes profile
 construction through :class:`~repro.pipeline.ProfileBuilder` instead — the
-batch entry points group a whole task catalog by attribute and build every
-needed profile in **two scans total** (one boundary-sampling pass, one
-counting pass), so the §1.3 catalog runs out-of-core without ever
-materializing the relation.
+batch entry points compile a whole task catalog (including every §4.3
+presumptive-conjunct group) into **one**
+:class:`~repro.pipeline.ScanPlan`, so all needed profiles come from a
+single physical scan of the data and the §1.3 catalog runs out-of-core
+without ever materializing the relation.
 """
 
 from __future__ import annotations
@@ -168,6 +169,12 @@ class OptimizedRuleMiner:
         Optional pre-configured :class:`~repro.pipeline.ProfileBuilder`
         (overrides ``executor``; its ``num_buckets`` governs streaming
         builds).
+    fused:
+        Whether streaming profile construction runs through the fused
+        :class:`~repro.pipeline.ScanPlan` engine (default) or the
+        pre-fusion one-counting-scan-per-request-group path (the reference
+        baseline; results are identical).  Ignored when ``builder`` is
+        given.
     """
 
     def __init__(
@@ -179,6 +186,7 @@ class OptimizedRuleMiner:
         engine: str = "fast",
         executor: str = "serial",
         builder: ProfileBuilder | None = None,
+        fused: bool = True,
     ) -> None:
         if num_buckets <= 0:
             raise OptimizationError("num_buckets must be positive")
@@ -209,7 +217,7 @@ class OptimizedRuleMiner:
                 else 0
             )
             self._builder = ProfileBuilder(
-                num_buckets=num_buckets, executor=executor, seed=seed
+                num_buckets=num_buckets, executor=executor, seed=seed, fused=fused
             )
         self._num_buckets = int(num_buckets)
         self._bucketizer = bucketizer if bucketizer is not None else SampledEquiDepthBucketizer()
@@ -571,22 +579,10 @@ class OptimizedRuleMiner:
         objective = self._as_condition(task.objective)
         return self.profile_for(task.attribute, objective, task.presumptive)
 
-    def _prefetch_streaming_profiles(self, tasks: Sequence[MiningTask]) -> None:
-        """Build every uncached streaming profile a task catalog needs in bulk.
-
-        Plain tasks are grouped into one :class:`AttributeSpec` per attribute
-        (objectives and §5 targets together) and handed to the pipeline as a
-        single batch: one boundary-sampling scan covers every attribute
-        without cached bucket boundaries, one counting scan produces all the
-        profiles.  Presumptive-conjunct tasks (§4.3) are grouped by their
-        ``(attribute, objective)`` pair and each group's conjunct profiles
-        are built in **one** additional counting scan via
-        :meth:`~repro.pipeline.ProfileBuilder.build_presumptive_profiles` —
-        not one scan per conjunct.
-        """
-        if self._relation is not None:
-            return
-        assert self._source is not None
+    def _gather_prefetch_requests(
+        self, tasks: Sequence[MiningTask]
+    ) -> tuple[dict, dict]:
+        """Group a task catalog into uncached per-attribute specs and §4.3 groups."""
         from repro.pipeline.builder import AttributeSpec
 
         specs: dict[str, AttributeSpec] = {}
@@ -620,6 +616,74 @@ class OptimizedRuleMiner:
                 specs[task.attribute] = specs[task.attribute].merged_with(addition)
             else:
                 specs[task.attribute] = addition
+        return specs, conjunct_groups
+
+    def _prefetch_streaming_profiles(self, tasks: Sequence[MiningTask]) -> None:
+        """Build every uncached streaming profile a task catalog needs in bulk.
+
+        The whole catalog — plain per-attribute objectives, §5 average
+        targets, *and* every §4.3 presumptive-conjunct group — compiles into
+        **one** :class:`~repro.pipeline.ScanPlan`, so a single fused fold
+        over the source (one physical scan, including the boundary sampling
+        of every uncached attribute) produces every profile the tasks need.
+        With an unfused builder (``fused=False``) the pre-fusion behavior is
+        kept: one counting scan for the plain specs plus one additional scan
+        per ``(attribute, objective)`` conjunct group.
+        """
+        if self._relation is not None:
+            return
+        assert self._source is not None
+        specs, conjunct_groups = self._gather_prefetch_requests(tasks)
+        if not self._builder.fused:
+            self._prefetch_unfused(specs, conjunct_groups)
+            return
+        if not specs and not conjunct_groups:
+            return
+        from repro.pipeline.builder import ScanPlan
+
+        plan = ScanPlan()
+        bucket_ids = {
+            spec.attribute: plan.add_bucket(
+                spec.attribute, objectives=spec.objectives, targets=spec.targets
+            )
+            for spec in specs.values()
+        }
+        conjunct_ids = {
+            (attribute, objective): plan.add_presumptive(
+                attribute, objective, conjuncts
+            )
+            for (attribute, objective), conjuncts in conjunct_groups.items()
+        }
+        attributes = set(bucket_ids) | {
+            attribute for attribute, _ in conjunct_ids
+        }
+        overrides = {
+            attribute: self._bucketings[attribute]
+            for attribute in attributes
+            if attribute in self._bucketings
+        }
+        results = self._builder.execute_plan(
+            self._source, plan, bucketings=overrides
+        )
+        for attribute, request_id in bucket_ids.items():
+            counts = results.counts(request_id)
+            self._bucketings.setdefault(attribute, counts.bucketing)
+            for objective in counts.conditional:
+                self._profiles[(attribute, objective, None)] = counts.profile(objective)
+            for target in counts.sums:
+                self._profiles[(attribute, ("avg", target), None)] = (
+                    counts.average_profile(target)
+                )
+        for (attribute, objective), request_id in conjunct_ids.items():
+            self._bucketings.setdefault(attribute, results.bucketing(request_id))
+            for conjunct, profile in results.presumptive_profiles(
+                request_id
+            ).items():
+                self._profiles[(attribute, objective, conjunct)] = profile
+
+    def _prefetch_unfused(self, specs: dict, conjunct_groups: dict) -> None:
+        """The pre-fusion prefetch: one counting scan per request group."""
+        assert self._source is not None
         if specs:
             overrides = {
                 attribute: self._bucketings[attribute]
@@ -658,8 +722,8 @@ class OptimizedRuleMiner:
         Bucketings, bucket assignments, condition masks, and profiles are
         shared across the whole catalog; the result list is parallel to the
         task order, with ``None`` for infeasible tasks.  Over a streaming
-        source the whole catalog's profiles are prefetched in two scans of
-        the data before any solver runs.
+        source the whole catalog's profiles are prefetched in one fused
+        scan of the data before any solver runs.
         """
         settings = settings if settings is not None else MiningSettings()
         tasks = list(tasks)

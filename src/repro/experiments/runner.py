@@ -152,6 +152,7 @@ def throughput_workload(
     name: str,
     seconds: float,
     num_tuples: int,
+    old_seconds: float | None = None,
     **parameters: object,
 ) -> dict[str, object]:
     """One throughput benchmark measurement as a JSON-serializable row.
@@ -159,20 +160,30 @@ def throughput_workload(
     Used by workloads whose figure of merit is scan rate rather than an
     old-vs-new speedup — e.g. the out-of-core catalog, where
     ``tuples_per_second`` tracks how fast the pipeline drives a chunked
-    :class:`~repro.pipeline.DataSource` end to end.
+    :class:`~repro.pipeline.DataSource` end to end.  When ``old_seconds``
+    is given (the baseline configuration timed verbatim on the same
+    workload) the row additionally records it and the resulting
+    ``speedup``, so throughput workloads can carry an old-vs-new regression
+    floor like the :func:`bench_workload` rows do.
     """
     if seconds < 0:
         raise ExperimentError("benchmark timings must be non-negative")
     if num_tuples < 0:
         raise ExperimentError("benchmark tuple counts must be non-negative")
     rate = num_tuples / seconds if seconds > 0 else 0.0
-    return {
+    row: dict[str, object] = {
         "name": name,
         "seconds": float(seconds),
         "num_tuples": int(num_tuples),
         "tuples_per_second": float(rate),
         "parameters": dict(parameters),
     }
+    if old_seconds is not None:
+        if old_seconds < 0:
+            raise ExperimentError("benchmark timings must be non-negative")
+        row["old_seconds"] = float(old_seconds)
+        row["speedup"] = float(old_seconds / seconds) if seconds > 0 else 0.0
+    return row
 
 
 def write_bench_json(
@@ -185,14 +196,30 @@ def write_bench_json(
 
     The file captures old-vs-new wall-clock timings per workload (rows from
     :func:`bench_workload`) so that successive PRs can compare their bench
-    baselines.  Returns the written path.
+    baselines.  The latest run stays at the top level; any record already
+    at ``path`` is appended to the ``history`` list (oldest first), so the
+    perf trajectory survives across runs and PRs instead of being
+    overwritten.  Returns the written path.
     """
-    record = {
+    record: dict[str, object] = {
         "benchmark": benchmark,
         "created_unix": time.time(),
         "metadata": dict(metadata or {}),
         "workloads": [dict(workload) for workload in workloads],
     }
     target = Path(path)
+    history: list[object] = []
+    if target.exists():
+        try:
+            previous = json.loads(target.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            previous = None
+        if isinstance(previous, dict):
+            prior = previous.pop("history", [])
+            if isinstance(prior, list):
+                history.extend(prior)
+            history.append(previous)
+    if history:
+        record["history"] = history
     target.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return target

@@ -118,6 +118,7 @@ def mine_rule_catalog(
     ),
     engine: str = "fast",
     executor: str = "serial",
+    fused: bool = True,
 ) -> RuleCatalog:
     """Mine optimized rules for every (numeric, Boolean) attribute pair.
 
@@ -141,6 +142,10 @@ def mine_rule_catalog(
         Counting executor for streaming sources (``"serial"``,
         ``"streaming"``, or ``"multiprocessing"``); ignored for in-memory
         data.
+    fused:
+        Whether streaming profile construction runs through the fused
+        single-scan planner (default) or the pre-fusion per-request-group
+        scans (identical results; the benchmark baseline).
     """
     miner = OptimizedRuleMiner(
         relation,
@@ -149,6 +154,7 @@ def mine_rule_catalog(
         rng=rng,
         engine=engine,
         executor=executor,
+        fused=fused,
     )
     schema = miner.schema
     numeric_names = (

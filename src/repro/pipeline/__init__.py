@@ -1,15 +1,18 @@
-"""Unified DataSource → ProfileBuilder pipeline.
+"""Unified DataSource → ScanPlan → ProfileBuilder pipeline.
 
 One profile-construction path for every deployment scenario of Algorithm
 3.1: in-memory relations, chunked streams, and out-of-core CSV files all
-implement the :class:`DataSource` scan contract, and
-:class:`ProfileBuilder` turns any of them into solver-ready
-:class:`~repro.core.BucketProfile`\\ s via two scans (boundary sampling, then
-counting) with a pluggable executor (``serial`` / ``streaming`` /
-``multiprocessing``).  :class:`GridProfileBuilder` extends the same two
-scans to the 2-D cell grids (:class:`GridProfile`) of the §1.4 rectangle
-extension.  Profiles and grids are bit-identical across all source types
-and executors, so the miners, the §1.3 catalog, the extensions, and the
+implement the :class:`DataSource` scan contract, a :class:`ScanPlan`
+collects every profile request a workload needs (bucket, §5 average, §4.3
+presumptive, §1.4 grid), and :meth:`ProfileBuilder.execute_plan` answers
+the whole plan from **one physical scan** of the source — boundary
+sampling caches the counting payloads, and the fused chunk kernel counts
+every request at once — under a pluggable executor (``serial`` /
+``streaming`` / ``multiprocessing``).  :class:`GridProfileBuilder` builds
+the 2-D cell grids (:class:`GridProfile`) of the §1.4 rectangle extension
+on the same plan engine.  Profiles and grids are bit-identical across all
+source types and executors — and between fused plans and per-request
+builds — so the miners, the §1.3 catalog, the extensions, and the
 experiments run unchanged over any of them.
 """
 
@@ -17,7 +20,10 @@ from repro.pipeline.builder import (
     EXECUTORS,
     AttributeCounts,
     AttributeSpec,
+    PlanResults,
     ProfileBuilder,
+    ProfileRequest,
+    ScanPlan,
 )
 from repro.pipeline.grid import GridCounts, GridProfile, GridProfileBuilder
 from repro.pipeline.sources import ChunkedSource, CSVSource, DataSource, RelationSource
@@ -30,6 +36,9 @@ __all__ = [
     "ProfileBuilder",
     "AttributeSpec",
     "AttributeCounts",
+    "ScanPlan",
+    "ProfileRequest",
+    "PlanResults",
     "GridProfile",
     "GridCounts",
     "GridProfileBuilder",

@@ -1,18 +1,33 @@
 """The unified profile-construction pipeline (sample → boundaries → count).
 
-:class:`ProfileBuilder` owns the two scans of Algorithm 3.1 over any
+Fukuda et al. design the bucketed formulation so that mining cost is
+dominated by **one scan of the relation** plus cheap work on the M-bucket
+profiles.  This module realizes that contract literally: a
+:class:`ScanPlan` collects *every* profile request a workload needs —
+plain bucket counts, §5 average targets, §4.3 presumptive-conjunct groups,
+§1.4 2-D grids — and :meth:`ProfileBuilder.execute_plan` answers all of
+them from a single physical scan of any
 :class:`~repro.pipeline.sources.DataSource`:
 
-1. **sampling pass** — one scan feeding a chunk-invariant
-   :class:`~repro.bucketing.streaming.ReservoirSampler` per requested
-   attribute; the sorted samples yield the almost-equi-depth bucket
-   boundaries (steps 1–3 of Algorithm 3.1);
-2. **counting pass** — one scan in which every chunk runs through the shared
-   kernel :func:`~repro.bucketing.counting.count_value_chunk` (one
-   ``searchsorted`` assignment per attribute, mask-matrix ``bincount`` for
-   all objective conditions, weighted bincounts for §5 average targets) and
-   the resulting :class:`~repro.bucketing.counting.ChunkCounts` partials
-   merge in chunk order.
+1. **boundary sampling** — chunk-invariant
+   :class:`~repro.bucketing.streaming.ReservoirSampler`\\ s (one per
+   distinct ``(attribute, bucket count)`` pair, each seeded from
+   ``(seed, crc32(attribute))``) fix the almost-equi-depth boundaries
+   (steps 1–3 of Algorithm 3.1).  While this pass scans, the counting
+   payloads — parsed columns, evaluated condition masks, target weights —
+   are cached up to ``cache_budget_mb``, so counting normally needs no
+   second pass over the source;
+2. **fused counting fold** — every chunk (cached or re-scanned) runs
+   through :func:`~repro.bucketing.counting.count_plan_chunk`: each axis
+   assigned to buckets once per chunk, every ``(segment × condition)``
+   cell answered by offset-encoded flat ``bincount``\\ s, partials merged
+   in chunk order.
+
+Per-request entry points (``build_profile``, ``build_profiles``,
+``build_average_profile``, ``build_presumptive_profiles``,
+``build_counts``, ``build_many``) compile to one-request plans; pass
+``fused=False`` to run the pre-fusion one-counting-scan-per-call path
+instead (the reference baseline for parity tests and benchmarks).
 
 *Where* the kernel runs is an executor strategy:
 
@@ -21,15 +36,18 @@
   resident);
 * ``"streaming"`` — an alias of the same bounded-memory in-process loop,
   named for the out-of-core deployment it serves;
-* ``"multiprocessing"`` — chunks fan out to a ``ProcessPoolExecutor``
-  (Algorithm 3.2 with real PEs) with a bounded submission window, and the
-  partials still merge in chunk order.
+* ``"multiprocessing"`` — the compiled plan ships to each
+  ``ProcessPoolExecutor`` worker once, chunk payloads stream out in
+  consecutive batches, and each worker returns one merged
+  :class:`~repro.bucketing.counting.PlanChunkCounts` per batch (Algorithm
+  3.2 with real PEs); batches still merge in chunk order.
 
 Counts are integers and partials always merge in chunk order, so all three
 executors — and all source types over the same tuples — produce **bit
-identical** :class:`~repro.core.BucketProfile`\\ s; the parity suite in
-``tests/pipeline/test_builder.py`` asserts exact equality across the full
-source × executor matrix.
+identical** :class:`~repro.core.BucketProfile`\\ s, and fused plans match
+the per-request builds bit for bit; the parity suites in
+``tests/pipeline/test_builder.py`` and ``tests/pipeline/test_plan.py``
+assert exact equality across the full source × executor matrix.
 """
 
 from __future__ import annotations
@@ -38,13 +56,23 @@ import os
 import zlib
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.bucketing.base import Bucketing
-from repro.bucketing.counting import ChunkCounts, count_value_chunk
+from repro.bucketing.counting import (
+    AxisSpec,
+    ChunkCounts,
+    GridChunkCounts,
+    GridSegment,
+    KernelPlan,
+    PlanChunkCounts,
+    ValueSegment,
+    count_plan_chunk,
+    count_value_chunk,
+)
 from repro.bucketing.equidepth_sample import DEFAULT_SAMPLE_FACTOR
 from repro.bucketing.equidepth_sort import equidepth_cuts_from_sorted
 from repro.bucketing.streaming import ReservoirSampler
@@ -52,11 +80,33 @@ from repro.core.profile import BucketProfile
 from repro.exceptions import PipelineError
 from repro.pipeline.sources import DataSource
 from repro.relation.conditions import Condition
+from repro.relation.relation import Relation
 
-__all__ = ["AttributeSpec", "AttributeCounts", "ProfileBuilder", "EXECUTORS"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (grid builds on builder)
+    from repro.pipeline.grid import GridCounts
+
+__all__ = [
+    "AttributeSpec",
+    "AttributeCounts",
+    "ProfileBuilder",
+    "ProfileRequest",
+    "ScanPlan",
+    "PlanResults",
+    "EXECUTORS",
+]
 
 #: Recognized executor strategy names.
 EXECUTORS = ("serial", "streaming", "multiprocessing")
+
+#: Chunks per multiprocessing work item of a fused plan fold: workers return
+#: one merged :class:`~repro.bucketing.counting.PlanChunkCounts` per batch
+#: instead of one partial per (chunk, request), cutting the IPC volume.
+_PLAN_BATCH_CHUNKS = 4
+
+#: Default budget (MiB) for caching the counting payloads gathered during the
+#: boundary-sampling scan, which is what lets a plan run off one physical
+#: source scan.  Overridable per builder or via ``REPRO_PLAN_CACHE_MB``.
+_DEFAULT_PLAN_CACHE_MB = 512
 
 
 @dataclass(frozen=True)
@@ -187,6 +237,356 @@ def _count_presumptive_payload(
     )
 
 
+@dataclass(frozen=True)
+class ProfileRequest:
+    """One profile-construction request collected into a :class:`ScanPlan`.
+
+    ``kind`` is one of ``"bucket"`` (per-bucket sizes, objective counts, §5
+    target sums), ``"average"`` (an alias of ``bucket`` carrying only
+    targets), ``"presumptive"`` (§4.3 conjunct profiles of one objective),
+    or ``"grid"`` (a §1.4 2-D cell grid).  ``num_buckets`` (and
+    ``column_num_buckets`` for grids) override the builder-wide bucket count
+    for the request's axes.
+    """
+
+    kind: str
+    attribute: str
+    objectives: tuple[Condition, ...] = ()
+    targets: tuple[str, ...] = ()
+    objective: Condition | None = None
+    presumptives: tuple[Condition, ...] = ()
+    column_attribute: str | None = None
+    num_buckets: int | None = None
+    column_num_buckets: int | None = None
+
+
+class ScanPlan:
+    """Every profile the miner needs from a source, as one batched plan.
+
+    A plan collects any mix of bucket, average, presumptive, and grid
+    requests; :meth:`ProfileBuilder.execute_plan` then answers all of them
+    from a **single physical scan** of the source (plus, when bucket
+    boundaries still need sampling and the projected columns exceed the
+    cache budget, one more).  Each ``add_*`` method returns a request id for
+    looking the result up on the returned :class:`PlanResults`.
+    """
+
+    def __init__(self) -> None:
+        self._requests: list[ProfileRequest] = []
+
+    @property
+    def requests(self) -> tuple[ProfileRequest, ...]:
+        """The collected requests, in id order."""
+        return tuple(self._requests)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def _append(self, request: ProfileRequest) -> int:
+        if request.num_buckets is not None and request.num_buckets <= 0:
+            raise PipelineError("num_buckets must be positive")
+        if (
+            request.column_num_buckets is not None
+            and request.column_num_buckets <= 0
+        ):
+            raise PipelineError("num_buckets must be positive")
+        self._requests.append(request)
+        return len(self._requests) - 1
+
+    def add_bucket(
+        self,
+        attribute: str,
+        objectives: Sequence[Condition] = (),
+        targets: Sequence[str] = (),
+        num_buckets: int | None = None,
+    ) -> int:
+        """Request per-bucket sizes, objective counts, and §5 target sums."""
+        return self._append(
+            ProfileRequest(
+                kind="bucket",
+                attribute=attribute,
+                objectives=tuple(dict.fromkeys(objectives)),
+                targets=tuple(dict.fromkeys(targets)),
+                num_buckets=num_buckets,
+            )
+        )
+
+    def add_average(
+        self,
+        attribute: str,
+        targets: Sequence[str],
+        num_buckets: int | None = None,
+    ) -> int:
+        """Request §5 average-operator sums of ``targets`` over ``attribute``."""
+        return self._append(
+            ProfileRequest(
+                kind="average",
+                attribute=attribute,
+                targets=tuple(dict.fromkeys(targets)),
+                num_buckets=num_buckets,
+            )
+        )
+
+    def add_presumptive(
+        self,
+        attribute: str,
+        objective: Condition,
+        presumptives: Sequence[Condition],
+        num_buckets: int | None = None,
+    ) -> int:
+        """Request §4.3 profiles of ``objective`` under candidate conjuncts."""
+        conjuncts = tuple(dict.fromkeys(presumptives))
+        if not conjuncts:
+            raise PipelineError(
+                "a presumptive request needs at least one conjunct"
+            )
+        return self._append(
+            ProfileRequest(
+                kind="presumptive",
+                attribute=attribute,
+                objective=objective,
+                presumptives=conjuncts,
+                num_buckets=num_buckets,
+            )
+        )
+
+    def add_grid(
+        self,
+        row_attribute: str,
+        column_attribute: str,
+        objectives: Sequence[Condition] = (),
+        grid: tuple[int, int] | None = None,
+    ) -> int:
+        """Request a §1.4 2-D cell grid of every objective."""
+        if row_attribute == column_attribute:
+            raise PipelineError(
+                "the grid's row and column attributes must differ"
+            )
+        return self._append(
+            ProfileRequest(
+                kind="grid",
+                attribute=row_attribute,
+                column_attribute=column_attribute,
+                objectives=tuple(dict.fromkeys(objectives)),
+                num_buckets=None if grid is None else int(grid[0]),
+                column_num_buckets=None if grid is None else int(grid[1]),
+            )
+        )
+
+
+class PlanResults:
+    """Merged counts of one executed :class:`ScanPlan`, accessed by request id."""
+
+    def __init__(
+        self,
+        requests: Sequence[ProfileRequest],
+        parts: Sequence[ChunkCounts | GridChunkCounts],
+        bucketings: Sequence[tuple[Bucketing, ...]],
+    ) -> None:
+        self._requests = list(requests)
+        self._parts = list(parts)
+        self._bucketings = list(bucketings)
+
+    def request(self, request_id: int) -> ProfileRequest:
+        """The request a result id refers to."""
+        return self._requests[request_id]
+
+    def bucketing(self, request_id: int) -> Bucketing:
+        """The resolved bucketing of a 1-D request's attribute."""
+        return self._bucketings[request_id][0]
+
+    def counts(self, request_id: int) -> AttributeCounts:
+        """The :class:`AttributeCounts` of a bucket/average request."""
+        request = self._requests[request_id]
+        if request.kind not in ("bucket", "average"):
+            raise PipelineError(
+                f"request {request_id} is a {request.kind} request, not bucket"
+            )
+        part = self._parts[request_id]
+        assert isinstance(part, ChunkCounts)
+        return AttributeCounts(
+            attribute=request.attribute,
+            bucketing=self._bucketings[request_id][0],
+            sizes=part.sizes,
+            conditional={
+                objective: part.conditional[row]
+                for row, objective in enumerate(request.objectives)
+            },
+            sums={
+                target: part.sums[row]
+                for row, target in enumerate(request.targets)
+            },
+            lows=part.lows,
+            highs=part.highs,
+            total=part.num_tuples,
+        )
+
+    def presumptive_profiles(
+        self, request_id: int, label: str | None = None
+    ) -> dict[Condition, BucketProfile]:
+        """The §4.3 profiles of a presumptive request, one per conjunct."""
+        request = self._requests[request_id]
+        if request.kind != "presumptive":
+            raise PipelineError(
+                f"request {request_id} is a {request.kind} request, "
+                "not presumptive"
+            )
+        part = self._parts[request_id]
+        assert isinstance(part, ChunkCounts)
+        if part.num_tuples == 0:
+            raise PipelineError("the source contained no tuples")
+        profiles: dict[Condition, BucketProfile] = {}
+        for row, presumptive in enumerate(request.presumptives):
+            sizes = part.conditional[2 * row]
+            keep = sizes > 0
+            if not np.any(keep):
+                raise PipelineError(
+                    "no tuple satisfies the presumptive conjunct; "
+                    "cannot build a profile"
+                )
+            profiles[presumptive] = BucketProfile(
+                attribute=request.attribute,
+                objective_label=(
+                    label if label is not None else str(request.objective)
+                ),
+                sizes=sizes[keep].astype(np.float64),
+                values=part.conditional[2 * row + 1][keep].astype(np.float64),
+                lows=part.mask_lows[row][keep],
+                highs=part.mask_highs[row][keep],
+                total=float(part.num_tuples),
+            )
+        return profiles
+
+    def grid_counts(self, request_id: int) -> "GridCounts":
+        """The :class:`~repro.pipeline.grid.GridCounts` of a grid request."""
+        from repro.pipeline.grid import GridCounts
+
+        request = self._requests[request_id]
+        if request.kind != "grid":
+            raise PipelineError(
+                f"request {request_id} is a {request.kind} request, not grid"
+            )
+        part = self._parts[request_id]
+        assert isinstance(part, GridChunkCounts)
+        row_bucketing, column_bucketing = self._bucketings[request_id]
+        assert request.column_attribute is not None
+        return GridCounts(
+            row_attribute=request.attribute,
+            column_attribute=request.column_attribute,
+            row_bucketing=row_bucketing,
+            column_bucketing=column_bucketing,
+            sizes=part.sizes,
+            conditional={
+                objective: part.conditional[row]
+                for row, objective in enumerate(request.objectives)
+            },
+            row_lows=part.row_lows,
+            row_highs=part.row_highs,
+            column_lows=part.column_lows,
+            column_highs=part.column_highs,
+            total=part.num_tuples,
+        )
+
+
+class _PlanPayloadBuilder:
+    """Turn relation chunks into fused-kernel payloads (parent-side only).
+
+    Per chunk, every axis column is extracted once, every distinct condition
+    is evaluated into a tuple mask once (derived ``C1 ∧ C2`` rows reuse the
+    cached single-condition masks), and the results stack into the single
+    mask/weight matrices the :class:`~repro.bucketing.counting.KernelPlan`
+    indexes by slot.
+    """
+
+    def __init__(
+        self,
+        column_names: Sequence[str],
+        mask_descriptors: Sequence[tuple[Condition, ...]],
+        weight_targets: Sequence[str],
+    ) -> None:
+        self._column_names = list(column_names)
+        self._mask_descriptors = list(mask_descriptors)
+        self._weight_targets = list(weight_targets)
+
+    def needed_columns(self) -> list[str]:
+        """Every source column the payloads touch (the projection pushdown)."""
+        needed = dict.fromkeys(self._column_names)
+        for descriptor in self._mask_descriptors:
+            for condition in descriptor:
+                needed.update(dict.fromkeys(condition.attribute_names()))
+        needed.update(dict.fromkeys(self._weight_targets))
+        return list(needed)
+
+    def build(
+        self, chunk: Relation
+    ) -> tuple[tuple[np.ndarray, ...], np.ndarray | None, np.ndarray | None]:
+        columns = tuple(
+            np.asarray(chunk.numeric_column(name), dtype=np.float64)
+            for name in self._column_names
+        )
+        num_tuples = chunk.num_tuples
+        cache: dict[Condition, np.ndarray] = {}
+
+        def condition_mask(condition: Condition) -> np.ndarray:
+            if condition not in cache:
+                cache[condition] = np.asarray(condition.mask(chunk), dtype=bool)
+            return cache[condition]
+
+        masks: np.ndarray | None = None
+        if self._mask_descriptors:
+            masks = np.empty((len(self._mask_descriptors), num_tuples), dtype=bool)
+            for row, descriptor in enumerate(self._mask_descriptors):
+                combined = condition_mask(descriptor[0])
+                for condition in descriptor[1:]:
+                    combined = combined & condition_mask(condition)
+                masks[row] = combined
+        weights: np.ndarray | None = None
+        if self._weight_targets:
+            weights = np.empty(
+                (len(self._weight_targets), num_tuples), dtype=np.float64
+            )
+            for row, target in enumerate(self._weight_targets):
+                weights[row] = np.asarray(
+                    chunk.numeric_column(target), dtype=np.float64
+                )
+        return columns, masks, weights
+
+    @staticmethod
+    def nbytes(
+        payload: tuple[tuple[np.ndarray, ...], np.ndarray | None, np.ndarray | None]
+    ) -> int:
+        """Approximate resident size of one payload (cache accounting)."""
+        columns, masks, weights = payload
+        total = sum(column.nbytes for column in columns)
+        if masks is not None:
+            total += masks.nbytes
+        if weights is not None:
+            total += weights.nbytes
+        return total
+
+
+# Compiled plan shipped to each multiprocessing worker exactly once (via the
+# pool initializer); per-chunk traffic is then payload batches only.
+_WORKER_PLAN: KernelPlan | None = None
+
+
+def _init_plan_worker(plan: KernelPlan) -> None:
+    """Process-pool initializer: pin the fused plan in the worker process."""
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def _count_plan_batch(batch: list) -> PlanChunkCounts:
+    """Count a batch of consecutive chunks and merge them worker-side."""
+    assert _WORKER_PLAN is not None
+    totals: PlanChunkCounts | None = None
+    for payload in batch:
+        part = count_plan_chunk(_WORKER_PLAN, payload)
+        totals = part if totals is None else totals.merge(part)
+    assert totals is not None
+    return totals
+
+
 class ProfileBuilder:
     """Build bucket profiles from any data source with a pluggable executor.
 
@@ -210,6 +610,17 @@ class ProfileBuilder:
     max_workers:
         Worker processes for the multiprocessing executor (default: one per
         CPU, capped at 8).
+    fused:
+        ``True`` (default) routes every counting pass through the fused
+        :class:`ScanPlan` engine (one physical scan per plan).  ``False``
+        keeps the pre-fusion behavior — one counting scan per ``build_*``
+        call — and exists as the reference/baseline path for parity tests
+        and benchmarks.
+    cache_budget_mb:
+        Budget (MiB) for caching counting payloads during the sampling scan
+        so a plan needs only one physical source scan; past the budget the
+        plan falls back to a separate counting scan.  Default: the
+        ``REPRO_PLAN_CACHE_MB`` environment variable, else 512.
     """
 
     def __init__(
@@ -220,6 +631,8 @@ class ProfileBuilder:
         sample_factor: int = DEFAULT_SAMPLE_FACTOR,
         seed: int = 0,
         max_workers: int | None = None,
+        fused: bool = True,
+        cache_budget_mb: int | None = None,
     ) -> None:
         if num_buckets <= 0:
             raise PipelineError("num_buckets must be positive")
@@ -231,11 +644,18 @@ class ProfileBuilder:
             raise PipelineError("sample_factor must be positive")
         if max_workers is not None and max_workers <= 0:
             raise PipelineError("max_workers must be positive")
+        if cache_budget_mb is None:
+            raw = os.environ.get("REPRO_PLAN_CACHE_MB", "")
+            cache_budget_mb = int(raw) if raw else _DEFAULT_PLAN_CACHE_MB
+        if cache_budget_mb < 0:
+            raise PipelineError("cache_budget_mb must be non-negative")
         self._num_buckets = int(num_buckets)
         self._executor = executor
         self._sample_factor = int(sample_factor)
         self._seed = int(seed)
         self._max_workers = max_workers
+        self._fused = bool(fused)
+        self._cache_budget_bytes = int(cache_budget_mb) * 1024 * 1024
 
     # -- configuration ---------------------------------------------------------
 
@@ -248,6 +668,11 @@ class ProfileBuilder:
     def executor(self) -> str:
         """The executor strategy in use."""
         return self._executor
+
+    @property
+    def fused(self) -> bool:
+        """Whether counting passes run through the fused scan planner."""
+        return self._fused
 
     # -- pass 1: boundary sampling ---------------------------------------------
 
@@ -282,33 +707,292 @@ class ProfileBuilder:
         }
         if any(count <= 0 for count in requested.values()):
             raise PipelineError("num_buckets must be positive")
-        samplers = {
-            attribute: ReservoirSampler(
-                self._sample_factor * requested[attribute],
+        pairs = [(attribute, requested[attribute]) for attribute in attributes]
+        samplers = self._make_samplers(pairs)
+        if samplers:
+            columns = list(dict.fromkeys(attribute for attribute, _ in samplers))
+            for chunk in source.scan(columns):
+                for (attribute, _), sampler in samplers.items():
+                    sampler.extend(chunk.numeric_column(attribute))
+        sampled = self._resolve_sampled(pairs, samplers)
+        return {
+            attribute: sampled[(attribute, requested[attribute])]
+            for attribute in attributes
+        }
+
+    def _make_samplers(
+        self, pairs: Sequence[tuple[str, int]]
+    ) -> dict[tuple[str, int], ReservoirSampler]:
+        """One reservoir per distinct ``(attribute, bucket count)`` pair.
+
+        Each reservoir draws from its own ``(seed, crc32(attribute))``
+        generator, exactly as a standalone :meth:`sample_bucketings` call
+        for that pair would — so however many requests a plan fuses, the
+        sampled boundaries are bit-identical to the per-request scans.
+        """
+        return {
+            (attribute, count): ReservoirSampler(
+                self._sample_factor * count,
                 rng=self._attribute_rng(attribute),
             )
-            for attribute in attributes
-            if requested[attribute] > 1
+            for attribute, count in dict.fromkeys(pairs)
+            if count > 1
         }
-        if samplers:
-            for chunk in source.chunks():
-                for attribute, sampler in samplers.items():
-                    sampler.extend(chunk.numeric_column(attribute))
-        bucketings: dict[str, Bucketing] = {}
-        for attribute in attributes:
-            if requested[attribute] == 1:
-                bucketings[attribute] = Bucketing.single_bucket()
+
+    def _resolve_sampled(
+        self,
+        pairs: Sequence[tuple[str, int]],
+        samplers: Mapping[tuple[str, int], ReservoirSampler],
+    ) -> dict[tuple[str, int], Bucketing]:
+        """Sorted-sample boundaries for every requested pair (steps 2–3)."""
+        bucketings: dict[tuple[str, int], Bucketing] = {}
+        for attribute, count in dict.fromkeys(pairs):
+            if count == 1:
+                bucketings[(attribute, count)] = Bucketing.single_bucket()
                 continue
-            sample = samplers[attribute].sample()
+            sample = samplers[(attribute, count)].sample()
             if sample.size == 0:
                 raise PipelineError(
                     f"the source contained no values for attribute {attribute!r}"
                 )
             sample.sort(kind="stable")
-            bucketings[attribute] = equidepth_cuts_from_sorted(
-                sample, requested[attribute]
+            bucketings[(attribute, count)] = equidepth_cuts_from_sorted(
+                sample, count
             ).deduplicated()
         return bucketings
+
+    # -- fused scan planning ---------------------------------------------------
+
+    def execute_plan(
+        self,
+        source: DataSource,
+        plan: ScanPlan,
+        bucketings: Mapping[str, Bucketing] | None = None,
+    ) -> PlanResults:
+        """Answer every request of ``plan`` from one fold over ``source``.
+
+        The plan compiles into one :class:`~repro.bucketing.counting.KernelPlan`
+        — shared axes, deduplicated condition slots, one segment per request
+        — and a single counting fold under the builder's executor produces
+        all the profiles.  Attributes without a ``bucketings`` override get
+        their boundaries from the reservoir pass first; during that sampling
+        scan the counting payloads are cached (up to ``cache_budget_mb``),
+        so the whole plan normally touches the source **once** — and exactly
+        once when every bucketing is supplied.  Results are bit-identical to
+        running each request through its per-request ``build_*`` method.
+        """
+        requests = list(plan.requests)
+        if not requests:
+            return PlanResults([], [], [])
+        overrides = dict(bucketings or {})
+
+        def axis_pairs(request: ProfileRequest) -> list[tuple[str, int]]:
+            pairs = [(request.attribute, request.num_buckets or self._num_buckets)]
+            if request.kind == "grid":
+                assert request.column_attribute is not None
+                pairs.append(
+                    (
+                        request.column_attribute,
+                        request.column_num_buckets or self._num_buckets,
+                    )
+                )
+            return pairs
+
+        needed_pairs = list(
+            dict.fromkeys(
+                pair
+                for request in requests
+                for pair in axis_pairs(request)
+                if pair[0] not in overrides
+            )
+        )
+
+        # Slot compilation: one column slot per axis attribute, one mask row
+        # per distinct condition conjunction, one weight row per target.
+        column_slots: dict[str, int] = {}
+        mask_slots: dict[tuple[Condition, ...], int] = {}
+        weight_slots: dict[str, int] = {}
+
+        def column_slot(attribute: str) -> int:
+            return column_slots.setdefault(attribute, len(column_slots))
+
+        def mask_slot(descriptor: tuple[Condition, ...]) -> int:
+            descriptor = tuple(dict.fromkeys(descriptor))
+            return mask_slots.setdefault(descriptor, len(mask_slots))
+
+        def weight_slot(target: str) -> int:
+            return weight_slots.setdefault(target, len(weight_slots))
+
+        request_wiring: list[dict] = []
+        for request in requests:
+            wiring: dict = {"columns": [column_slot(request.attribute)]}
+            if request.kind == "grid":
+                assert request.column_attribute is not None
+                wiring["columns"].append(column_slot(request.column_attribute))
+                wiring["masks"] = [
+                    mask_slot((objective,)) for objective in request.objectives
+                ]
+            elif request.kind == "presumptive":
+                assert request.objective is not None
+                interleaved: list[int] = []
+                for presumptive in request.presumptives:
+                    interleaved.append(mask_slot((presumptive,)))
+                    interleaved.append(
+                        mask_slot((presumptive, request.objective))
+                    )
+                wiring["masks"] = interleaved
+                wiring["bounds"] = [
+                    mask_slot((presumptive,))
+                    for presumptive in request.presumptives
+                ]
+            else:
+                wiring["masks"] = [
+                    mask_slot((objective,)) for objective in request.objectives
+                ]
+                wiring["weights"] = [
+                    weight_slot(target) for target in request.targets
+                ]
+            request_wiring.append(wiring)
+
+        payload_builder = _PlanPayloadBuilder(
+            list(column_slots), list(mask_slots), list(weight_slots)
+        )
+        needed_columns = payload_builder.needed_columns()
+
+        # Boundary sampling — with the counting payloads cached along the
+        # way, this is the plan's one and only pass over the source.
+        cache: list | None = None
+        sampled: dict[tuple[str, int], Bucketing] = {}
+        if needed_pairs:
+            samplers = self._make_samplers(needed_pairs)
+            if samplers:
+                cache = [] if self._cache_budget_bytes > 0 else None
+                cache_bytes = 0
+                for chunk in source.scan(needed_columns):
+                    for (attribute, _), sampler in samplers.items():
+                        sampler.extend(chunk.numeric_column(attribute))
+                    if cache is not None:
+                        payload = payload_builder.build(chunk)
+                        cache_bytes += _PlanPayloadBuilder.nbytes(payload)
+                        if cache_bytes > self._cache_budget_bytes:
+                            cache = None
+                        else:
+                            cache.append(payload)
+            sampled = self._resolve_sampled(needed_pairs, samplers)
+
+        def resolve(attribute: str, count: int) -> Bucketing:
+            if attribute in overrides:
+                return overrides[attribute]
+            return sampled[(attribute, count)]
+
+        # Kernel axes: one per distinct (attribute, bucketing), bounds kept
+        # when any non-presumptive segment reads them.
+        axis_ids: dict[tuple[str, int], int] = {}
+        axis_specs: list[dict] = []
+
+        def axis_id(attribute: str, bucketing: Bucketing, bounds: bool) -> int:
+            key = (attribute, id(bucketing))
+            if key not in axis_ids:
+                axis_ids[key] = len(axis_specs)
+                axis_specs.append(
+                    {
+                        "column": column_slots[attribute],
+                        "cuts": bucketing.cuts,
+                        "bounds": bounds,
+                    }
+                )
+            elif bounds:
+                axis_specs[axis_ids[key]]["bounds"] = True
+            return axis_ids[key]
+
+        segments: list[ValueSegment | GridSegment] = []
+        request_bucketings: list[tuple[Bucketing, ...]] = []
+        for request, wiring in zip(requests, request_wiring):
+            pairs = axis_pairs(request)
+            resolved = tuple(resolve(attribute, count) for attribute, count in pairs)
+            request_bucketings.append(resolved)
+            if request.kind == "grid":
+                segments.append(
+                    GridSegment(
+                        row_axis=axis_id(pairs[0][0], resolved[0], True),
+                        column_axis=axis_id(pairs[1][0], resolved[1], True),
+                        mask_slots=tuple(wiring["masks"]),
+                    )
+                )
+            elif request.kind == "presumptive":
+                segments.append(
+                    ValueSegment(
+                        axis=axis_id(pairs[0][0], resolved[0], False),
+                        mask_slots=tuple(wiring["masks"]),
+                        bound_mask_slots=tuple(wiring["bounds"]),
+                        with_bounds=False,
+                    )
+                )
+            else:
+                segments.append(
+                    ValueSegment(
+                        axis=axis_id(pairs[0][0], resolved[0], True),
+                        mask_slots=tuple(wiring["masks"]),
+                        weight_slots=tuple(wiring.get("weights", ())),
+                        with_bounds=True,
+                    )
+                )
+
+        kernel_plan = KernelPlan(axes=tuple(
+            AxisSpec(
+                column=spec["column"], cuts=spec["cuts"], with_bounds=spec["bounds"]
+            )
+            for spec in axis_specs
+        ), segments=tuple(segments))
+
+        if cache is not None:
+            payloads: Iterator = iter(cache)
+        else:
+            payloads = (
+                payload_builder.build(chunk)
+                for chunk in source.scan(needed_columns)
+            )
+        totals = self._fold_plan(kernel_plan, payloads)
+        return PlanResults(requests, totals.parts, request_bucketings)
+
+    def _fold_plan(
+        self, kernel_plan: KernelPlan, payloads: Iterator
+    ) -> PlanChunkCounts:
+        """Run the fused kernel over every payload under the executor strategy.
+
+        Serial/streaming count and merge one chunk at a time.  The
+        multiprocessing executor ships the compiled plan to each worker once
+        (pool initializer), streams payloads in batches of
+        ``_PLAN_BATCH_CHUNKS`` consecutive chunks, and each worker returns
+        one merged :class:`PlanChunkCounts` per batch; batches are submitted
+        and merged oldest-first, so the overall merge order equals the chunk
+        order and stays bit-identical to the serial fold.
+        """
+        totals = kernel_plan.zeros()
+        if self._executor in ("serial", "streaming"):
+            for payload in payloads:
+                totals.merge(count_plan_chunk(kernel_plan, payload))
+            return totals
+        workers = self._max_workers or min(8, os.cpu_count() or 1)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_plan_worker,
+            initargs=(kernel_plan,),
+        ) as pool:
+            window: deque = deque()
+            batch: list = []
+            for payload in payloads:
+                batch.append(payload)
+                if len(batch) == _PLAN_BATCH_CHUNKS:
+                    window.append(pool.submit(_count_plan_batch, batch))
+                    batch = []
+                    if len(window) >= 2 * workers:
+                        totals.merge(window.popleft().result())
+            if batch:
+                window.append(pool.submit(_count_plan_batch, batch))
+            while window:
+                totals.merge(window.popleft().result())
+        return totals
 
     # -- pass 2: counting ------------------------------------------------------
 
@@ -318,14 +1002,16 @@ class ProfileBuilder:
         specs: Iterable[AttributeSpec],
         bucketings: Mapping[str, Bucketing] | None = None,
     ) -> dict[str, AttributeCounts]:
-        """Count every spec in (at most) two scans of ``source``.
+        """Count every spec in at most two — normally **one** — scans of ``source``.
 
         Specs naming the same attribute are merged, so a whole mining catalog
         — many objectives and average targets over several attributes —
-        costs one sampling scan plus one counting scan in total, however many
-        profiles it produces.  ``bucketings`` entries skip the sampling pass
-        for their attribute (e.g. boundaries computed elsewhere, or reused
-        from a previous build).
+        costs a single fused scan in total, however many profiles it
+        produces (the boundary-sampling pass caches the counting payloads;
+        only past the cache budget does counting re-scan the source).
+        ``bucketings`` entries skip the sampling pass for their attribute
+        (e.g. boundaries computed elsewhere, or reused from a previous
+        build).
         """
         merged: dict[str, AttributeSpec] = {}
         for spec in specs:
@@ -335,7 +1021,29 @@ class ProfileBuilder:
                 merged[spec.attribute] = spec
         if not merged:
             return {}
+        if not self._fused:
+            return self._build_many_unfused(source, merged, bucketings)
 
+        plan = ScanPlan()
+        ids = {
+            spec.attribute: plan.add_bucket(
+                spec.attribute, objectives=spec.objectives, targets=spec.targets
+            )
+            for spec in merged.values()
+        }
+        results = self.execute_plan(source, plan, bucketings=bucketings)
+        return {
+            attribute: results.counts(request_id)
+            for attribute, request_id in ids.items()
+        }
+
+    def _build_many_unfused(
+        self,
+        source: DataSource,
+        merged: Mapping[str, AttributeSpec],
+        bucketings: Mapping[str, Bucketing] | None,
+    ) -> dict[str, AttributeCounts]:
+        """The pre-fusion counting pass (reference path for parity/benchmarks)."""
         resolved = dict(bucketings or {})
         missing = [attribute for attribute in merged if attribute not in resolved]
         if missing:
@@ -374,7 +1082,7 @@ class ProfileBuilder:
         targets: Sequence[str] = (),
         bucketing: Bucketing | None = None,
     ) -> AttributeCounts:
-        """Count one attribute (any number of objectives/targets) in two scans."""
+        """Count one attribute (any number of objectives/targets) in one fused scan."""
         spec = AttributeSpec(attribute, tuple(objectives), tuple(targets))
         overrides = {attribute: bucketing} if bucketing is not None else None
         return self.build_many(source, [spec], bucketings=overrides)[attribute]
@@ -582,6 +1290,12 @@ class ProfileBuilder:
         presumptives = list(presumptives)
         if not presumptives:
             return {}
+        if self._fused:
+            plan = ScanPlan()
+            request_id = plan.add_presumptive(attribute, objective, presumptives)
+            overrides = {attribute: bucketing} if bucketing is not None else None
+            results = self.execute_plan(source, plan, bucketings=overrides)
+            return results.presumptive_profiles(request_id, label=label)
         if bucketing is None:
             bucketing = self.sample_bucketings(source, [attribute])[attribute]
         cuts = bucketing.cuts

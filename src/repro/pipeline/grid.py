@@ -32,7 +32,7 @@ import numpy as np
 from repro.bucketing.base import Bucketing
 from repro.bucketing.counting import GridChunkCounts, count_grid_chunk
 from repro.exceptions import PipelineError
-from repro.pipeline.builder import ProfileBuilder
+from repro.pipeline.builder import ProfileBuilder, ScanPlan
 from repro.pipeline.sources import DataSource
 from repro.relation.conditions import Condition
 from repro.relation.relation import Relation
@@ -182,7 +182,7 @@ class GridProfileBuilder(ProfileBuilder):
         bucketings: Mapping[str, Bucketing] | None = None,
         grid: tuple[int, int] | None = None,
     ) -> GridCounts:
-        """Count every objective's cell grid in (at most) two scans of ``source``.
+        """Count every objective's cell grid in one fused scan of ``source``.
 
         ``bucketings`` entries (keyed by attribute name) skip the sampling
         pass for their axis, e.g. to reuse boundaries from a previous build
@@ -195,6 +195,13 @@ class GridProfileBuilder(ProfileBuilder):
                 "the grid's row and column attributes must differ"
             )
         objectives = list(dict.fromkeys(objectives))
+        if self.fused:
+            plan = ScanPlan()
+            request_id = plan.add_grid(
+                row_attribute, column_attribute, objectives, grid=grid
+            )
+            results = self.execute_plan(source, plan, bucketings=bucketings)
+            return results.grid_counts(request_id)
         resolved = dict(bucketings or {})
         missing = [
             attribute
@@ -268,7 +275,7 @@ class GridProfileBuilder(ProfileBuilder):
         grid: tuple[int, int] | None = None,
         label: str | None = None,
     ) -> GridProfile:
-        """One objective's :class:`GridProfile` in (at most) two scans."""
+        """One objective's :class:`GridProfile` from one fused scan."""
         counts = self.build_grid_counts(
             source,
             row_attribute,

@@ -30,7 +30,11 @@ from typing import Callable, Iterable, Iterator
 import numpy as np
 
 from repro.exceptions import RelationError
-from repro.relation.io import DEFAULT_CHUNK_SIZE, read_csv_chunks
+from repro.relation.io import (
+    DEFAULT_CHUNK_SIZE,
+    read_csv_chunks,
+    read_csv_first_chunk,
+)
 from repro.relation.relation import Relation
 from repro.relation.schema import Attribute, Schema
 
@@ -41,8 +45,10 @@ class DataSource(ABC):
     """A re-scannable stream of relation chunks with a stable schema.
 
     Implementations must return a *fresh* iterator from every
-    :meth:`chunks` call — the profile pipeline performs one scan to sample
-    bucket boundaries and a second scan to count, exactly the two passes the
+    :meth:`chunks` call — the profile pipeline normally folds a whole scan
+    plan over **one** pass (boundary sampling with the counting payloads
+    cached along the way), and re-scans to count only when the plan cache
+    cannot hold a projection of the data: at most the two passes the
     paper's system makes over the database file.
     """
 
@@ -54,6 +60,17 @@ class DataSource(ABC):
     @abstractmethod
     def chunks(self) -> Iterator[Relation]:
         """A fresh iterator over the data as relation chunks."""
+
+    def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        """A fresh scan, optionally projected to the named columns.
+
+        ``columns`` is a *hint*: sources that can parse or serve a column
+        subset cheaply (``CSVSource``, ``RelationSource``) push the
+        projection down, everything else may ignore it and yield full
+        chunks — callers must select the columns they need from each chunk
+        by name either way.  The default implementation ignores the hint.
+        """
+        return self.chunks()
 
     @property
     def in_memory(self) -> bool:
@@ -117,6 +134,19 @@ class RelationSource(DataSource):
         for start in range(0, total, self._chunk_size):
             stop = min(start + self._chunk_size, total)
             yield self._relation.take(np.arange(start, stop))
+
+    def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        if columns is None:
+            return self.chunks()
+        requested = set(columns)
+        names = [name for name in self.schema.names() if name in requested]
+        if len(names) == len(self.schema):
+            return self.chunks()
+        # Project once up front so chunked scans only ever copy the
+        # requested columns.
+        return RelationSource(
+            self._relation.project(names), chunk_size=self._chunk_size
+        ).chunks()
 
 
 class ChunkedSource(DataSource):
@@ -210,6 +240,11 @@ class CSVSource(DataSource):
         whole file in a single bounded-memory scan.
     chunk_size:
         Maximum tuples per chunk (bounds the resident memory of a scan).
+    fast:
+        ``False`` disables the ``np.loadtxt`` block tokenizer and parses
+        every scan through the legacy ``csv.reader`` path (the benchmarks
+        use it to time the pre-fast-path configuration verbatim; results
+        are identical either way).
     """
 
     def __init__(
@@ -217,6 +252,7 @@ class CSVSource(DataSource):
         path: str | Path,
         schema: Schema | None = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        fast: bool = True,
     ) -> None:
         if chunk_size <= 0:
             raise RelationError("chunk_size must be positive")
@@ -225,6 +261,11 @@ class CSVSource(DataSource):
             raise RelationError(f"CSV file {self._path} does not exist")
         self._schema = schema
         self._chunk_size = int(chunk_size)
+        self._fast = bool(fast)
+        # First parsed chunk kept after fast schema inference (one chunk of
+        # bounded memory) so the next scan resumes after it instead of
+        # parsing it again.
+        self._first_chunk: tuple[Relation, int] | None = None
 
     @property
     def path(self) -> Path:
@@ -239,7 +280,16 @@ class CSVSource(DataSource):
     @property
     def schema(self) -> Schema:
         if self._schema is None:
-            for chunk in read_csv_chunks(self._path, chunk_size=self._chunk_size):
+            if self._fast:
+                self._first_chunk = read_csv_first_chunk(
+                    self._path, chunk_size=self._chunk_size
+                )
+            if self._first_chunk is not None:
+                self._schema = self._first_chunk[0].schema
+                return self._schema
+            for chunk in read_csv_chunks(
+                self._path, chunk_size=self._chunk_size, fast=self._fast
+            ):
                 self._schema = chunk.schema
                 break
             else:
@@ -247,6 +297,35 @@ class CSVSource(DataSource):
         return self._schema
 
     def chunks(self) -> Iterator[Relation]:
-        return read_csv_chunks(
-            self._path, schema=self.schema, chunk_size=self._chunk_size
-        )
+        return self.scan()
+
+    def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        schema = self.schema
+        if self._first_chunk is None:
+            return read_csv_chunks(
+                self._path,
+                schema=schema,
+                chunk_size=self._chunk_size,
+                columns=columns,
+                fast=self._fast,
+            )
+        first, lines = self._first_chunk
+
+        def resumed() -> Iterator[Relation]:
+            if columns is None:
+                yield first
+            else:
+                requested = set(columns)
+                yield first.project(
+                    [name for name in schema.names() if name in requested]
+                )
+            yield from read_csv_chunks(
+                self._path,
+                schema=schema,
+                chunk_size=self._chunk_size,
+                columns=columns,
+                fast=self._fast,
+                skip_lines=lines,
+            )
+
+        return resumed()

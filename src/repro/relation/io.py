@@ -16,14 +16,31 @@ Three entry points:
   (:class:`repro.pipeline.CSVSource`) scan the file without ever holding it
   whole.
 
-Parsing is column-wise: rows are transposed once and each column converts
-through a single vectorized numpy cast (string → float64, or vocabulary
-lookup → bool) instead of a per-row Python loop.
+Fast path
+---------
+Chunks are read as blocks of raw lines and handed to ``np.loadtxt``'s C
+tokenizer: numeric columns parse straight to ``float64`` (no intermediate
+Python strings), Boolean columns parse as fixed-width byte strings compared
+against the ``yes``/``no`` vocabulary, and a per-block comma count validates
+the row widths.  Any block the fast tokenizer cannot handle exactly — quoted
+fields, blank lines, stray vocabulary (``TRUE``), numeric literals only
+Python's ``float`` accepts (digit-group underscores), width errors — hands
+the *rest of the file* to the legacy ``csv.reader`` + per-column parser, so
+values, schema inference, and error messages are identical to the
+pre-fast-path reader on every input.  ``fast=False`` forces the legacy
+reader throughout (the benchmarks use it to time the old configuration
+verbatim).
+
+Both readers accept a ``columns=`` projection: only the named columns are
+parsed and materialized, which is what lets the pipeline's boundary-sampling
+scan skip every Boolean column of a wide catalog file.
 """
 
 from __future__ import annotations
 
 import csv
+from io import StringIO
+from itertools import chain, islice
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
@@ -41,17 +58,24 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "read_csv",
     "read_csv_chunks",
+    "read_csv_first_chunk",
     "write_csv",
     "infer_schema",
     "infer_csv_schema",
 ]
 
 _BOOLEAN_VOCABULARY = BOOLEAN_TRUE_LITERALS | BOOLEAN_FALSE_LITERALS
+_TRUE_BYTES = np.array(sorted(w.encode("utf-8") for w in BOOLEAN_TRUE_LITERALS))
+_FALSE_BYTES = np.array(sorted(w.encode("utf-8") for w in BOOLEAN_FALSE_LITERALS))
 
 #: Default tuples per chunk for :func:`read_csv_chunks` (bounds the resident
 #: memory of an out-of-core scan at roughly ``chunk_size x num_columns``
 #: parsed values).
 DEFAULT_CHUNK_SIZE = 50_000
+
+# Chunk size used by read_csv to treat the whole file as one block (keeps the
+# whole-file schema-inference semantics of the row-based reader).
+_WHOLE_FILE_ROWS = 2**62
 
 
 def write_csv(relation: Relation, path: str | Path) -> None:
@@ -107,16 +131,37 @@ def _check_row_widths(
             )
 
 
+def _resolve_projection(
+    schema: Schema, columns: Sequence[str] | None
+) -> Schema:
+    """The chunk schema of a scan: ``schema`` or its ordered projection."""
+    if columns is None:
+        return schema
+    requested = set(columns)
+    unknown = sorted(requested - set(schema.names()))
+    if unknown:
+        raise RelationError(f"cannot project unknown columns: {unknown}")
+    return schema.project([name for name in schema.names() if name in requested])
+
+
 def _parse_columns(
-    header: Sequence[str], rows: Sequence[Sequence[str]], schema: Schema
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    schema: Schema,
 ) -> dict[str, np.ndarray]:
-    """Convert string rows to typed columns with vectorized numpy casts."""
+    """Convert string rows to typed columns with vectorized numpy casts.
+
+    ``schema`` may be a projection of the header: columns the schema does not
+    name are skipped entirely.
+    """
     if rows:
         transposed = list(zip(*rows))
     else:
         transposed = [() for _ in header]
     columns: dict[str, np.ndarray] = {}
     for name, raw in zip(header, transposed):
+        if name not in schema:
+            continue
         attribute = schema.attribute(name)
         stripped = np.char.strip(np.asarray(raw, dtype=str))
         if attribute.is_boolean:
@@ -161,6 +206,154 @@ def _boolean_column(name: str, stripped: np.ndarray) -> np.ndarray:
     return truthy
 
 
+# -- fast block tokenizer -------------------------------------------------------
+
+
+def _block_disqualified(text: str) -> bool:
+    """Whether a raw line block needs the legacy ``csv.reader`` semantics.
+
+    Quote characters can hide delimiters (and span lines), and blank lines
+    are skipped by the row-based reader while they would silently vanish from
+    the fast tokenizer's row accounting — both route to the legacy path.
+    """
+    return '"' in text or "\n\n" in text or text.startswith("\n")
+
+
+def _normalized_fast_block(text: str, width: int) -> str | None:
+    """Block text ready for the fast tokenizer, or ``None`` for legacy.
+
+    Normalizes line endings and the trailing newline, then validates the
+    row widths up front: every comma is a delimiter in a quote-free block,
+    so a block whose comma count does not match ``rows × (width - 1)``
+    contains mis-sized rows (narrower *or* wider than the header) and is
+    handed to the legacy reader for its exact error message.
+    """
+    if _block_disqualified(text):
+        return None
+    if "\r" in text:
+        text = text.replace("\r\n", "\n").replace("\r", "\n")
+    if not text.endswith("\n"):
+        text += "\n"
+    if text.count(",") != text.count("\n") * (width - 1):
+        return None
+    return text
+
+
+def _boolean_from_bytes(raw: np.ndarray) -> np.ndarray | None:
+    """Byte column → bool via the yes/no fast path, ``None`` to use legacy.
+
+    The overwhelmingly common literals (exactly ``yes`` / ``no``, as written
+    by :func:`write_csv`) are answered by two vectorized comparisons; any
+    leftover values go through the stripped/lowered full vocabulary, and a
+    value outside it returns ``None`` so the legacy parser can raise its
+    exact per-value error.
+    """
+    truthy = raw == b"yes"
+    falsy = raw == b"no"
+    leftover = ~(truthy | falsy)
+    if leftover.any():
+        spilled = raw[leftover]
+        # A value filling the entire fixed-width field may have been
+        # truncated by the tokenizer (e.g. a vocabulary word, padding
+        # spaces, then junk); only the legacy parser sees the original
+        # text, so defer to it.
+        if int(np.char.str_len(spilled).max()) >= raw.dtype.itemsize:
+            return None
+        values = np.char.lower(np.char.strip(spilled))
+        extra_true = np.isin(values, _TRUE_BYTES)
+        if not bool((extra_true | np.isin(values, _FALSE_BYTES)).all()):
+            return None
+        truthy[leftover] = extra_true
+    return truthy
+
+
+class _FastBlockParser:
+    """Parse quote-free line blocks with ``np.loadtxt``'s C tokenizer.
+
+    One instance per scan: it precomputes the ``usecols`` index sets of the
+    projected numeric and Boolean columns (plus the last header column as a
+    row-width sentinel, so a row with missing fields always errors even when
+    the projection would not touch it).
+    """
+
+    def __init__(self, header: Sequence[str], chunk_schema: Schema) -> None:
+        self.width = len(header)
+        positions = {name: index for index, name in enumerate(header)}
+        self.numeric_names = [
+            name for name in chunk_schema.names()
+            if chunk_schema.attribute(name).is_numeric
+        ]
+        self.boolean_names = [
+            name for name in chunk_schema.names()
+            if chunk_schema.attribute(name).is_boolean
+        ]
+        usecols = [positions[name] for name in self.numeric_names] + [
+            positions[name] for name in self.boolean_names
+        ]
+        fields = [(f"n{index}", np.float64) for index in range(len(self.numeric_names))]
+        # 8 bytes comfortably hold every Boolean vocabulary literal; longer
+        # values truncate, can no longer match the (≤5-byte) vocabulary, and
+        # fall through to the exact legacy parser.
+        fields += [(f"b{index}", "S8") for index in range(len(self.boolean_names))]
+        # Row-width sentinel: the tokenizer must reach the last field so a
+        # row with missing fields errors even under a narrow projection.
+        if self.width - 1 not in usecols:
+            usecols.append(self.width - 1)
+            fields.append(("sentinel", "S1"))
+        self.usecols = usecols
+        self.dtype = np.dtype(fields)
+        self.chunk_schema = chunk_schema
+
+    def parse(self, text: str) -> Relation | None:
+        """One block → a typed relation chunk, or ``None`` for the legacy path."""
+        normalized = _normalized_fast_block(text, self.width)
+        if normalized is None:
+            return None
+        text = normalized
+        columns: dict[str, np.ndarray] = {}
+        try:
+            # One tokenizer pass converts every requested column natively:
+            # the structured dtype parses numeric fields straight to float64
+            # in C and Boolean fields to fixed-width byte strings.
+            records = np.atleast_1d(
+                np.loadtxt(
+                    StringIO(text),
+                    delimiter=",",
+                    usecols=self.usecols,
+                    dtype=self.dtype,
+                    comments=None,
+                )
+            )
+            for index, name in enumerate(self.numeric_names):
+                columns[name] = np.ascontiguousarray(records[f"n{index}"])
+            for index, name in enumerate(self.boolean_names):
+                converted = _boolean_from_bytes(
+                    np.ascontiguousarray(records[f"b{index}"])
+                )
+                if converted is None:
+                    return None
+                columns[name] = converted
+        except ValueError:
+            return None
+        return Relation.from_columns(self.chunk_schema, columns)
+
+
+def _infer_schema_from_bytes(header: Sequence[str], matrix: np.ndarray) -> Schema:
+    """The :func:`infer_schema` column rules applied to a byte-string matrix."""
+    digest = _SchemaDigest(header)
+    digest.update_matrix(matrix)
+    return digest.schema()
+
+
+def _iter_line_blocks(handle, chunk_size: int) -> Iterator[list[str]]:
+    """Raw line blocks of at most ``chunk_size`` lines from an open file."""
+    while True:
+        block = list(islice(handle, chunk_size))
+        if not block:
+            return
+        yield block
+
+
 def read_csv(path: str | Path, schema: Schema | None = None) -> Relation:
     """Read a CSV file with a header row into a :class:`Relation`.
 
@@ -175,23 +368,79 @@ def read_csv(path: str | Path, schema: Schema | None = None) -> Relation:
         :class:`~repro.exceptions.RelationError`.
     """
     path = Path(path)
+    chunks = list(read_csv_chunks(path, schema=schema, chunk_size=_WHOLE_FILE_ROWS))
+    if chunks:
+        result = chunks[0]
+        for chunk in chunks[1:]:  # pragma: no cover - whole-file reads are one chunk
+            result = result.concat(chunk)
+        return result
+    # A header-only file yields no chunks; build the empty relation the
+    # row-based reader would have produced.
     with path.open("r", newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
-        header = _read_header(reader, path)
-        rows = [row for row in reader if row]
-
-    _check_row_widths(rows, len(header), path, first_row_number=2)
+        header = _read_header(csv.reader(handle), path)
     if schema is None:
-        schema = infer_schema(header, rows)
+        schema = infer_schema(header, [])
     else:
         _check_schema_header(schema, header, path)
-    return Relation.from_columns(schema, _parse_columns(header, rows, schema))
+    return Relation.empty(schema)
+
+
+def read_csv_first_chunk(
+    path: str | Path,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> tuple[Relation, int] | None:
+    """Fast-parse just the file's first chunk (with schema inference).
+
+    Returns ``(chunk, data_lines)`` — the parsed first chunk plus the number
+    of raw lines it covers, suitable as ``skip_lines`` for a continuation
+    :func:`read_csv_chunks` scan — or ``None`` when the first block needs
+    the legacy reader's semantics (quoting, blank lines, unusual literals).
+    :class:`repro.pipeline.CSVSource` uses this to infer its schema and keep
+    the parsed chunk, so the inference work is not repeated on the next
+    scan.
+
+    Raises
+    ------
+    RelationError
+        When the file is empty or contains a header but no data rows.
+    """
+    if chunk_size <= 0:
+        raise RelationError("chunk_size must be positive")
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        header = _read_header(csv.reader(handle), path)
+        block = list(islice(handle, chunk_size))
+    if not block:
+        raise RelationError(f"CSV file {path} contains no data rows")
+    text = _normalized_fast_block("".join(block), len(header))
+    if text is None:
+        return None
+    try:
+        matrix = np.loadtxt(
+            StringIO(text),
+            delimiter=",",
+            dtype=np.bytes_,
+            comments=None,
+            ndmin=2,
+        )
+    except ValueError:
+        return None
+    if matrix.shape[1] != len(header):
+        return None
+    schema = _infer_schema_from_bytes(header, matrix)
+    chunk = _FastBlockParser(header, schema).parse(text)
+    if chunk is None:
+        return None
+    return chunk, len(block)
 
 
 def read_csv_chunks(
     path: str | Path,
     schema: Schema | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    columns: Sequence[str] | None = None,
+    fast: bool = True,
+    skip_lines: int = 0,
 ) -> Iterator[Relation]:
     """Yield a CSV file as :class:`Relation` chunks of at most ``chunk_size`` rows.
 
@@ -205,6 +454,20 @@ def read_csv_chunks(
     example a column whose early values are all 0/1 but that is numeric
     further down would otherwise be inferred Boolean and fail mid-scan.
 
+    ``columns`` projects the scan: only the named columns are parsed and the
+    yielded chunks carry the projected schema (in schema order).  Schema
+    inference still considers every column of the file's first chunk.
+
+    ``fast=False`` disables the ``np.loadtxt`` block tokenizer and parses
+    every row through the legacy ``csv.reader`` path (the fast path falls
+    back to it automatically whenever a block needs its exact semantics —
+    quoting, blank lines, unusual literals, width errors).
+
+    ``skip_lines`` resumes a scan: that many raw data lines after the header
+    are consumed unparsed (callers pair it with
+    :func:`read_csv_first_chunk`, which reports how many lines its cached
+    chunk covers).
+
     A file with a header but no data rows yields no chunks.
     """
     if chunk_size <= 0:
@@ -215,30 +478,99 @@ def read_csv_chunks(
         header = _read_header(reader, path)
         if schema is not None:
             _check_schema_header(schema, header, path)
-
-        rows: list[list[str]] = []
-        line = 1  # the header line
-        first_row_number = 2
-        for row in reader:
-            line += 1
-            if not row:
-                continue
-            if not rows:
-                first_row_number = line
-            rows.append(row)
-            if len(rows) == chunk_size:
-                _check_row_widths(rows, len(header), path, first_row_number)
-                if schema is None:
-                    schema = infer_schema(header, rows)
-                yield Relation.from_columns(
-                    schema, _parse_columns(header, rows, schema)
+        chunk_schema = (
+            _resolve_projection(schema, columns) if schema is not None else None
+        )
+        for _ in islice(handle, skip_lines):
+            pass
+        parser: _FastBlockParser | None = None
+        # Header (and skipped) line(s); legacy error line numbers follow.
+        consumed = 1 + skip_lines
+        for block in _iter_line_blocks(handle, chunk_size) if fast else iter(()):
+            text = "".join(block)
+            if schema is None:
+                inferred = None
+                normalized = _normalized_fast_block(text, len(header))
+                if normalized is not None:
+                    try:
+                        matrix = np.loadtxt(
+                            StringIO(normalized),
+                            delimiter=",",
+                            dtype=np.bytes_,
+                            comments=None,
+                            ndmin=2,
+                        )
+                    except ValueError:
+                        matrix = None
+                    if matrix is not None and matrix.shape[1] == len(header):
+                        inferred = _infer_schema_from_bytes(header, matrix)
+                if inferred is None:
+                    yield from _legacy_chunks(
+                        chain(block, handle), header, schema, columns,
+                        path, chunk_size, consumed,
+                    )
+                    return
+                schema = inferred
+                chunk_schema = _resolve_projection(schema, columns)
+            if parser is None:
+                assert chunk_schema is not None
+                parser = _FastBlockParser(header, chunk_schema)
+            chunk = parser.parse(text)
+            if chunk is None:
+                yield from _legacy_chunks(
+                    chain(block, handle), header, schema, columns,
+                    path, chunk_size, consumed,
                 )
-                rows = []
-        if rows:
+                return
+            consumed += len(block)
+            yield chunk
+        if not fast:
+            yield from _legacy_chunks(
+                handle, header, schema, columns, path, chunk_size, consumed
+            )
+
+
+def _legacy_chunks(
+    lines: Iterable[str],
+    header: Sequence[str],
+    schema: Schema | None,
+    columns: Sequence[str] | None,
+    path: Path,
+    chunk_size: int,
+    consumed: int,
+) -> Iterator[Relation]:
+    """The row-based ``csv.reader`` chunker (fallback and ``fast=False`` path)."""
+    reader = csv.reader(iter(lines))
+    chunk_schema = (
+        _resolve_projection(schema, columns) if schema is not None else None
+    )
+    rows: list[list[str]] = []
+    line = consumed
+    first_row_number = consumed + 1
+    for row in reader:
+        line += 1
+        if not row:
+            continue
+        if not rows:
+            first_row_number = line
+        rows.append(row)
+        if len(rows) == chunk_size:
             _check_row_widths(rows, len(header), path, first_row_number)
             if schema is None:
                 schema = infer_schema(header, rows)
-            yield Relation.from_columns(schema, _parse_columns(header, rows, schema))
+                chunk_schema = _resolve_projection(schema, columns)
+            yield Relation.from_columns(
+                chunk_schema, _parse_columns(header, rows, chunk_schema)
+            )
+            rows = []
+    if rows:
+        _check_row_widths(rows, len(header), path, first_row_number)
+        if schema is None:
+            schema = infer_schema(header, rows)
+            chunk_schema = _resolve_projection(schema, columns)
+        yield Relation.from_columns(
+            chunk_schema, _parse_columns(header, rows, chunk_schema)
+        )
 
 
 def infer_csv_schema(
@@ -255,6 +587,10 @@ def infer_csv_schema(
 
         schema = infer_csv_schema("big.csv")
         source = CSVSource("big.csv", schema=schema)
+
+    The scan uses the same fast block tokenizer as :func:`read_csv_chunks`
+    (with the same legacy fallback), so inferring a wide catalog file costs
+    a fraction of parsing it.
     """
     if chunk_size <= 0:
         raise RelationError("chunk_size must be positive")
@@ -264,62 +600,135 @@ def infer_csv_schema(
     with path.open("r", newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         header = _read_header(reader, path)
-        has_values = [False] * len(header)
-        all_boolean = [True] * len(header)
-        all_numeric = [True] * len(header)
-
-        def digest(rows: list[list[str]]) -> None:
-            for index, raw in enumerate(zip(*rows)):
-                stripped = np.char.strip(np.asarray(raw, dtype=str))
-                values = stripped[stripped != ""]
-                if values.size == 0:
-                    continue
-                has_values[index] = True
-                if all_boolean[index]:
-                    all_boolean[index] = bool(
-                        np.isin(
-                            np.char.lower(values), sorted(_BOOLEAN_VOCABULARY)
-                        ).all()
+        digest = _SchemaDigest(header)
+        consumed = 1
+        for block in _iter_line_blocks(handle, chunk_size):
+            text = _normalized_fast_block("".join(block), len(header))
+            matrix = None
+            if text is not None:
+                try:
+                    matrix = np.loadtxt(
+                        StringIO(text),
+                        delimiter=",",
+                        dtype=np.bytes_,
+                        comments=None,
+                        ndmin=2,
                     )
-                if all_numeric[index]:
-                    try:
-                        values.astype(np.float64)
-                    except ValueError:
-                        try:
-                            for value in values:
-                                float(value)
-                        except ValueError:
-                            all_numeric[index] = False
+                except ValueError:
+                    matrix = None
+            if matrix is None or matrix.shape[1] != len(header):
+                _digest_legacy_rows(
+                    chain(block, handle), digest, header, path, chunk_size, consumed
+                )
+                break
+            digest.update_matrix(matrix)
+            consumed += len(block)
+    return digest.schema()
 
-        rows: list[list[str]] = []
-        first_row_number = 2
-        line = 1
-        for row in reader:
-            line += 1
-            if not row:
+
+class _SchemaDigest:
+    """Per-column boolean/numeric evidence accumulated across scan blocks."""
+
+    def __init__(self, header: Sequence[str]) -> None:
+        self.header = list(header)
+        self.has_values = [False] * len(self.header)
+        self.all_boolean = [True] * len(self.header)
+        self.all_numeric = [True] * len(self.header)
+
+    def update_matrix(self, matrix: np.ndarray) -> None:
+        """Digest one fast-path byte matrix."""
+        for index in range(len(self.header)):
+            if not (self.all_boolean[index] or self.all_numeric[index]):
                 continue
-            if not rows:
-                first_row_number = line
-            rows.append(row)
-            if len(rows) == chunk_size:
-                _check_row_widths(rows, len(header), path, first_row_number)
-                digest(rows)
-                rows = []
-        if rows:
-            _check_row_widths(rows, len(header), path, first_row_number)
-            digest(rows)
+            stripped = np.char.strip(np.ascontiguousarray(matrix[:, index]))
+            values = stripped[stripped != b""]
+            if values.size == 0:
+                continue
+            self.has_values[index] = True
+            if self.all_boolean[index]:
+                lowered = np.char.lower(values)
+                in_vocabulary = np.isin(lowered, _TRUE_BYTES) | np.isin(
+                    lowered, _FALSE_BYTES
+                )
+                self.all_boolean[index] = bool(in_vocabulary.all())
+            if self.all_numeric[index]:
+                try:
+                    values.astype(np.float64)
+                except ValueError:
+                    try:
+                        for value in values:
+                            float(value)
+                    except ValueError:
+                        self.all_numeric[index] = False
 
-    attributes: list[Attribute] = []
-    for index, name in enumerate(header):
-        if has_values[index] and all_boolean[index]:
-            attributes.append(Attribute.boolean(name))
-        elif all_numeric[index] or not has_values[index]:
-            attributes.append(Attribute.numeric(name))
-        else:
-            raise RelationError(
-                f"column {name!r} is neither boolean-like nor numeric"
-            )
-    return Schema(tuple(attributes))
+    def update_rows(self, rows: Sequence[Sequence[str]]) -> None:
+        """Digest one legacy block of string rows."""
+        for index, raw in enumerate(zip(*rows)):
+            if not (self.all_boolean[index] or self.all_numeric[index]):
+                continue
+            stripped = np.char.strip(np.asarray(raw, dtype=str))
+            values = stripped[stripped != ""]
+            if values.size == 0:
+                continue
+            self.has_values[index] = True
+            if self.all_boolean[index]:
+                self.all_boolean[index] = bool(
+                    np.isin(
+                        np.char.lower(values), sorted(_BOOLEAN_VOCABULARY)
+                    ).all()
+                )
+            if self.all_numeric[index]:
+                try:
+                    values.astype(np.float64)
+                except ValueError:
+                    try:
+                        for value in values:
+                            float(value)
+                    except ValueError:
+                        self.all_numeric[index] = False
+
+    def schema(self) -> Schema:
+        """Resolve the accumulated evidence into a schema (or raise)."""
+        attributes: list[Attribute] = []
+        for index, name in enumerate(self.header):
+            if self.has_values[index] and self.all_boolean[index]:
+                attributes.append(Attribute.boolean(name))
+            elif self.all_numeric[index] or not self.has_values[index]:
+                attributes.append(Attribute.numeric(name))
+            else:
+                raise RelationError(
+                    f"column {name!r} is neither boolean-like nor numeric"
+                )
+        return Schema(tuple(attributes))
+
+
+def _digest_legacy_rows(
+    lines: Iterable[str],
+    digest: _SchemaDigest,
+    header: Sequence[str],
+    path: Path,
+    chunk_size: int,
+    consumed: int,
+) -> None:
+    """Digest the remainder of a file through the legacy ``csv.reader``."""
+    reader = csv.reader(iter(lines))
+    rows: list[list[str]] = []
+    line = consumed
+    first_row_number = consumed + 1
+    for row in reader:
+        line += 1
+        if not row:
+            continue
+        if not rows:
+            first_row_number = line
+        rows.append(row)
+        if len(rows) == chunk_size:
+            _check_row_widths(rows, len(header), path, first_row_number)
+            digest.update_rows(rows)
+            rows = []
+    if rows:
+        _check_row_widths(rows, len(header), path, first_row_number)
+        digest.update_rows(rows)
 
 
 def infer_schema(header: Sequence[str], rows: Iterable[Sequence[str]]) -> Schema:

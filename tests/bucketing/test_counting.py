@@ -211,3 +211,228 @@ class TestChunkKernel:
             counting_module.count_value_chunk(
                 np.array([1.0, 2.0]), np.array([0.0]), weights=np.array([1.0])
             )
+
+
+class TestMaskMatrixTunables:
+    def test_chunk_elements_keyword_preserves_results(self) -> None:
+        rng = np.random.default_rng(5)
+        indices = rng.integers(0, 7, size=500)
+        masks = rng.random((9, 500)) < 0.4
+        reference = counting_module.masked_bucket_counts(indices, masks, 7)
+        for budget in (1, 3, 499, 500, 10_000):
+            tight = counting_module.masked_bucket_counts(
+                indices, masks, 7, chunk_elements=budget
+            )
+            assert np.array_equal(tight, reference)
+
+    def test_chunk_elements_env_override(self, monkeypatch) -> None:
+        rng = np.random.default_rng(6)
+        indices = rng.integers(0, 5, size=200)
+        masks = rng.random((4, 200)) < 0.5
+        reference = counting_module.masked_bucket_counts(indices, masks, 5)
+        monkeypatch.setenv("REPRO_MASK_MATRIX_CHUNK_ELEMENTS", "7")
+        assert np.array_equal(
+            counting_module.masked_bucket_counts(indices, masks, 5), reference
+        )
+
+    def test_nonpositive_budget_rejected(self, monkeypatch) -> None:
+        with pytest.raises(BucketingError):
+            counting_module.masked_bucket_counts(
+                np.zeros(1, dtype=np.int64),
+                np.ones((1, 1), dtype=bool),
+                1,
+                chunk_elements=0,
+            )
+        monkeypatch.setenv("REPRO_MASK_MATRIX_CHUNK_ELEMENTS", "-3")
+        with pytest.raises(BucketingError):
+            counting_module.masked_bucket_counts(
+                np.zeros(1, dtype=np.int64), np.ones((1, 1), dtype=bool), 1
+            )
+
+    def test_offset_dtype_narrows_when_windows_fit(self) -> None:
+        assert counting_module._offset_dtype(1_000) is np.int32
+        assert counting_module._offset_dtype(np.iinfo(np.int32).max + 1) is np.int64
+
+
+class TestPlanKernel:
+    """The fused plan kernel vs the single-request kernels, bit for bit."""
+
+    @staticmethod
+    def _payload(seed: int = 0):
+        rng = np.random.default_rng(seed)
+        n = 1_200
+        balance = rng.normal(size=n)
+        age = rng.uniform(20, 70, size=n)
+        masks = np.vstack(
+            [
+                rng.random(n) < 0.3,
+                rng.random(n) < 0.6,
+                rng.random(n) < 0.15,
+            ]
+        )
+        weights = np.vstack([rng.normal(size=n) * 10.0])
+        balance_cuts = np.quantile(balance, [0.25, 0.5, 0.75])
+        age_cuts = np.quantile(age, [0.2, 0.4, 0.6, 0.8])
+        return balance, age, masks, weights, balance_cuts, age_cuts
+
+    def test_mixed_plan_equals_single_request_kernels(self) -> None:
+        balance, age, masks, weights, balance_cuts, age_cuts = self._payload(3)
+        plan = counting_module.KernelPlan(
+            axes=(
+                counting_module.AxisSpec(column=0, cuts=balance_cuts),
+                counting_module.AxisSpec(column=1, cuts=age_cuts),
+            ),
+            segments=(
+                counting_module.ValueSegment(
+                    axis=0, mask_slots=(0, 1), weight_slots=(0,)
+                ),
+                counting_module.ValueSegment(
+                    axis=1,
+                    mask_slots=(2, 0),
+                    bound_mask_slots=(2,),
+                    with_bounds=False,
+                ),
+                counting_module.GridSegment(
+                    row_axis=1, column_axis=0, mask_slots=(1,)
+                ),
+            ),
+        )
+        result = counting_module.count_plan_chunk(plan, ((balance, age), masks, weights))
+        assert len(result.parts) == 3
+
+        first = counting_module.count_value_chunk(
+            balance, balance_cuts, masks=masks[:2], weights=weights
+        )
+        assert np.array_equal(result.parts[0].sizes, first.sizes)
+        assert np.array_equal(result.parts[0].conditional, first.conditional)
+        assert np.array_equal(result.parts[0].sums, first.sums)
+        assert np.array_equal(result.parts[0].lows, first.lows, equal_nan=True)
+        assert np.array_equal(result.parts[0].highs, first.highs, equal_nan=True)
+
+        second = counting_module.count_value_chunk(
+            age,
+            age_cuts,
+            masks=masks[[2, 0]],
+            with_bounds=False,
+            bound_masks=masks[[2]],
+        )
+        assert np.array_equal(result.parts[1].sizes, second.sizes)
+        assert np.array_equal(result.parts[1].conditional, second.conditional)
+        assert np.all(np.isnan(result.parts[1].lows))
+        assert np.array_equal(
+            result.parts[1].mask_lows, second.mask_lows, equal_nan=True
+        )
+        assert np.array_equal(
+            result.parts[1].mask_highs, second.mask_highs, equal_nan=True
+        )
+
+        third = counting_module.count_grid_chunk(
+            age, balance, age_cuts, balance_cuts, masks=masks[[1]]
+        )
+        assert np.array_equal(result.parts[2].sizes, third.sizes)
+        assert np.array_equal(result.parts[2].conditional, third.conditional)
+        assert np.array_equal(result.parts[2].row_lows, third.row_lows, equal_nan=True)
+        assert np.array_equal(
+            result.parts[2].column_highs, third.column_highs, equal_nan=True
+        )
+
+    def test_weighted_sums_bit_identical_under_fusion(self) -> None:
+        """Fused §5 sums accumulate per window in the standalone order."""
+        balance, age, masks, weights, balance_cuts, age_cuts = self._payload(9)
+        plan = counting_module.KernelPlan(
+            axes=(
+                counting_module.AxisSpec(column=0, cuts=balance_cuts),
+                counting_module.AxisSpec(column=1, cuts=age_cuts),
+            ),
+            segments=(
+                counting_module.ValueSegment(axis=0, weight_slots=(0,)),
+                counting_module.ValueSegment(axis=1, weight_slots=(0,)),
+            ),
+        )
+        result = counting_module.count_plan_chunk(plan, ((balance, age), masks, weights))
+        for axis_values, cuts, part in (
+            (balance, balance_cuts, result.parts[0]),
+            (age, age_cuts, result.parts[1]),
+        ):
+            single = counting_module.count_value_chunk(
+                axis_values, cuts, weights=weights
+            )
+            assert np.array_equal(part.sums, single.sums)
+
+    def test_plan_zeros_merge_identity(self) -> None:
+        balance, age, masks, weights, balance_cuts, age_cuts = self._payload(1)
+        plan = counting_module.KernelPlan(
+            axes=(counting_module.AxisSpec(column=0, cuts=balance_cuts),),
+            segments=(
+                counting_module.ValueSegment(axis=0, mask_slots=(0,)),
+            ),
+        )
+        counted = counting_module.count_plan_chunk(plan, ((balance,), masks, None))
+        merged = plan.zeros().merge(counted)
+        assert np.array_equal(merged.parts[0].sizes, counted.parts[0].sizes)
+        with pytest.raises(BucketingError):
+            plan.zeros().merge(counting_module.PlanChunkCounts([]))
+
+    def test_fused_window_counts_batches_match(self, monkeypatch) -> None:
+        """Tiny element budgets change batching, never the counts."""
+        rng = np.random.default_rng(12)
+        entries = []
+        for cells in (3, 5, 8):
+            indices = rng.integers(0, cells, size=400)
+            mask = rng.random(400) < 0.5
+            entries.append((indices, mask, cells))
+        reference = [
+            np.bincount(indices[mask], minlength=cells)
+            for indices, mask, cells in entries
+        ]
+        for budget in ("1", "401", "100000"):
+            monkeypatch.setenv("REPRO_MASK_MATRIX_CHUNK_ELEMENTS", budget)
+            fused = counting_module._fused_window_counts(entries)
+            for got, expected in zip(fused, reference):
+                assert np.array_equal(got, expected)
+
+
+class TestPlanKernelGuards:
+    def test_window_budget_accounts_for_cells(self) -> None:
+        """Many-cell sparse windows must not fuse into one giant bincount."""
+        rng = np.random.default_rng(4)
+        cells = 50_000
+        entries = []
+        for _ in range(6):
+            indices = rng.integers(0, cells, size=100)
+            entries.append((indices, None, cells))
+        reference = [
+            np.bincount(indices, minlength=cells) for indices, _, cells in entries
+        ]
+        # Budget holds one window (plus its indices) but never two, so each
+        # entry flushes alone instead of concatenating a 300k-cell window.
+        fused = counting_module._fused_window_counts(
+            entries, chunk_elements=60_000
+        )
+        for got, expected in zip(fused, reference):
+            assert np.array_equal(got, expected)
+        weighted = counting_module._fused_weighted_sums(
+            [
+                (indices, np.ones(indices.shape[0]), cells)
+                for indices, _, cells in entries
+            ],
+            chunk_elements=60_000,
+        )
+        for got, expected in zip(weighted, reference):
+            assert np.array_equal(got, expected.astype(np.float64))
+
+    def test_grid_segment_requires_axis_bounds(self) -> None:
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=50)
+        cuts = np.quantile(values, [0.5])
+        plan = counting_module.KernelPlan(
+            axes=(
+                counting_module.AxisSpec(column=0, cuts=cuts, with_bounds=False),
+                counting_module.AxisSpec(column=1, cuts=cuts),
+            ),
+            segments=(
+                counting_module.GridSegment(row_axis=0, column_axis=1),
+            ),
+        )
+        with pytest.raises(BucketingError):
+            counting_module.count_plan_chunk(plan, ((values, values), None, None))

@@ -97,3 +97,53 @@ class TestThroughputWorkload:
             throughput_workload("scan", -1.0, 10)
         with pytest.raises(ExperimentError):
             throughput_workload("scan", 1.0, -10)
+
+
+class TestThroughputSpeedup:
+    def test_old_seconds_adds_speedup(self) -> None:
+        row = throughput_workload("scan", 2.0, 100_000, old_seconds=10.0)
+        assert row["old_seconds"] == pytest.approx(10.0)
+        assert row["speedup"] == pytest.approx(5.0)
+
+    def test_without_baseline_no_speedup_keys(self) -> None:
+        row = throughput_workload("scan", 2.0, 100_000)
+        assert "old_seconds" not in row and "speedup" not in row
+
+    def test_negative_baseline_rejected(self) -> None:
+        with pytest.raises(ExperimentError):
+            throughput_workload("scan", 1.0, 10, old_seconds=-1.0)
+
+
+class TestBenchHistory:
+    def test_history_appends_across_runs(self, tmp_path) -> None:
+        import json
+
+        from repro.experiments import write_bench_json
+
+        path = tmp_path / "BENCH_x.json"
+        write_bench_json(path, "x", [{"name": "w", "speedup": 1.0}])
+        first = json.loads(path.read_text())
+        assert "history" not in first
+
+        write_bench_json(path, "x", [{"name": "w", "speedup": 2.0}])
+        write_bench_json(path, "x", [{"name": "w", "speedup": 3.0}])
+        record = json.loads(path.read_text())
+        # Latest stays at the top level; prior runs accumulate oldest-first.
+        assert record["workloads"][0]["speedup"] == 3.0
+        assert [run["workloads"][0]["speedup"] for run in record["history"]] == [
+            1.0,
+            2.0,
+        ]
+        assert all("history" not in run for run in record["history"])
+
+    def test_corrupt_previous_record_is_ignored(self, tmp_path) -> None:
+        import json
+
+        from repro.experiments import write_bench_json
+
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        write_bench_json(path, "x", [{"name": "w"}])
+        record = json.loads(path.read_text())
+        assert "history" not in record
+        assert record["workloads"] == [{"name": "w"}]

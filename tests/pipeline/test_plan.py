@@ -1,0 +1,366 @@
+"""Fused-scan parity suite for the :class:`ScanPlan` engine.
+
+The headline guarantees:
+
+* a plan mixing bucket + presumptive + average + grid requests produces
+  profiles **bit-identical** to running each request through today's
+  per-request builders (the ``fused=False`` reference path), across the full
+  3 sources × 3 executors matrix;
+* a mixed plan touches the source exactly **once** — boundary sampling,
+  §4.3 conjunct counting, and 2-D grid counting all ride the same physical
+  scan.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+import pytest
+
+from repro.core import BucketProfile, MiningTask, OptimizedRuleMiner, RuleKind
+from repro.datasets import bank_customers
+from repro.exceptions import PipelineError
+from repro.pipeline import (
+    EXECUTORS,
+    ChunkedSource,
+    CSVSource,
+    DataSource,
+    GridProfileBuilder,
+    ProfileBuilder,
+    RelationSource,
+    ScanPlan,
+)
+from repro.relation import Relation, write_csv
+from repro.relation.conditions import BooleanIs, NumericInRange
+
+CHUNK = 700
+BUCKETS = 40
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def relation() -> Relation:
+    relation, _ = bank_customers(3_000, seed=29)
+    return relation
+
+
+@pytest.fixture(scope="module")
+def csv_path(relation: Relation, tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("plan") / "bank.csv"
+    write_csv(relation, path)
+    return path
+
+
+def source_matrix(relation: Relation, csv_path: Path) -> dict[str, DataSource]:
+    return {
+        "relation": RelationSource(relation, chunk_size=CHUNK),
+        "chunked": ChunkedSource(
+            lambda: RelationSource(relation, chunk_size=CHUNK).chunks()
+        ),
+        "csv": CSVSource(csv_path, chunk_size=CHUNK),
+    }
+
+
+def assert_profiles_identical(left: BucketProfile, right: BucketProfile) -> None:
+    assert np.array_equal(left.sizes, right.sizes)
+    assert np.array_equal(left.values, right.values)
+    assert np.array_equal(left.lows, right.lows)
+    assert np.array_equal(left.highs, right.highs)
+    assert left.total == right.total
+
+
+class ScanCountingSource(DataSource):
+    """Wrap a source and count how many scans (of either kind) it serves."""
+
+    def __init__(self, inner: DataSource) -> None:
+        self.inner = inner
+        self.scans = 0
+
+    @property
+    def schema(self):
+        return self.inner.schema
+
+    def chunks(self) -> Iterator[Relation]:
+        self.scans += 1
+        return self.inner.chunks()
+
+    def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        self.scans += 1
+        return self.inner.scan(columns)
+
+
+def build_mixed_plan() -> tuple[ScanPlan, dict[str, int]]:
+    objective = BooleanIs("card_loan", True)
+    conjuncts = [
+        NumericInRange("age", 30.0, 60.0),
+        BooleanIs("auto_withdrawal", True),
+    ]
+    plan = ScanPlan()
+    ids = {
+        "bucket": plan.add_bucket(
+            "balance", objectives=[objective], targets=["age"]
+        ),
+        "average": plan.add_average("age", targets=["balance"]),
+        "presumptive": plan.add_presumptive("balance", objective, conjuncts),
+        "grid": plan.add_grid("age", "balance", [objective], grid=(8, 6)),
+    }
+    return plan, ids
+
+
+class TestMixedPlanParity:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_mixed_plan_matches_per_request_builders(
+        self, relation: Relation, csv_path: Path, executor: str
+    ) -> None:
+        """bucket+presumptive+average+grid in one plan == per-request builds."""
+        objective = BooleanIs("card_loan", True)
+        conjuncts = [
+            NumericInRange("age", 30.0, 60.0),
+            BooleanIs("auto_withdrawal", True),
+        ]
+        for name, source in source_matrix(relation, csv_path).items():
+            fused = ProfileBuilder(
+                num_buckets=BUCKETS, executor=executor, seed=SEED, max_workers=2
+            )
+            plan, ids = build_mixed_plan()
+            results = fused.execute_plan(source, plan)
+
+            legacy = ProfileBuilder(
+                num_buckets=BUCKETS,
+                executor=executor,
+                seed=SEED,
+                max_workers=2,
+                fused=False,
+            )
+            fresh = source_matrix(relation, csv_path)[name]
+            counts = legacy.build_counts(
+                fresh, "balance", objectives=[objective], targets=["age"]
+            )
+            assert_profiles_identical(
+                results.counts(ids["bucket"]).profile(objective),
+                counts.profile(objective),
+            )
+            assert_profiles_identical(
+                results.counts(ids["bucket"]).average_profile("age"),
+                counts.average_profile("age"),
+            )
+
+            fresh = source_matrix(relation, csv_path)[name]
+            average = legacy.build_average_profile(fresh, "age", "balance")
+            assert_profiles_identical(
+                results.counts(ids["average"]).average_profile("balance"), average
+            )
+
+            fresh = source_matrix(relation, csv_path)[name]
+            presumptive = legacy.build_presumptive_profiles(
+                fresh, "balance", objective, conjuncts
+            )
+            fused_presumptive = results.presumptive_profiles(ids["presumptive"])
+            assert list(fused_presumptive) == list(presumptive)
+            for conjunct in conjuncts:
+                assert_profiles_identical(
+                    fused_presumptive[conjunct], presumptive[conjunct]
+                )
+
+            fresh = source_matrix(relation, csv_path)[name]
+            legacy_grid = GridProfileBuilder(
+                num_buckets=BUCKETS,
+                executor=executor,
+                seed=SEED,
+                max_workers=2,
+                fused=False,
+            ).build_grid_counts(fresh, "age", "balance", [objective], grid=(8, 6))
+            fused_grid = results.grid_counts(ids["grid"])
+            assert np.array_equal(fused_grid.sizes, legacy_grid.sizes)
+            assert np.array_equal(
+                fused_grid.conditional[objective], legacy_grid.conditional[objective]
+            )
+            assert np.array_equal(fused_grid.row_lows, legacy_grid.row_lows)
+            assert np.array_equal(fused_grid.row_highs, legacy_grid.row_highs)
+            assert np.array_equal(fused_grid.column_lows, legacy_grid.column_lows)
+            assert np.array_equal(
+                fused_grid.column_highs, legacy_grid.column_highs
+            )
+            assert np.array_equal(
+                fused_grid.row_bucketing.cuts, legacy_grid.row_bucketing.cuts
+            )
+            assert np.array_equal(
+                fused_grid.column_bucketing.cuts,
+                legacy_grid.column_bucketing.cuts,
+            )
+
+    def test_fused_grid_builder_matches_unfused(
+        self, relation: Relation, csv_path: Path
+    ) -> None:
+        """GridProfileBuilder routes through the planner with identical grids."""
+        objective = BooleanIs("card_loan", True)
+        grids = []
+        for fused in (True, False):
+            builder = GridProfileBuilder(seed=SEED, fused=fused)
+            grids.append(
+                builder.build_grid_profile(
+                    CSVSource(csv_path, chunk_size=CHUNK),
+                    "age",
+                    "balance",
+                    objective,
+                    grid=(9, 7),
+                )
+            )
+        assert np.array_equal(grids[0].sizes, grids[1].sizes)
+        assert np.array_equal(grids[0].values, grids[1].values)
+        assert np.array_equal(grids[0].row_lows, grids[1].row_lows)
+        assert np.array_equal(grids[0].column_highs, grids[1].column_highs)
+
+
+class TestSingleScan:
+    def test_mixed_plan_scans_source_exactly_once(self, relation: Relation) -> None:
+        """Sampling + counting of a mixed plan ride one physical scan."""
+        source = ScanCountingSource(RelationSource(relation, chunk_size=CHUNK))
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        plan, ids = build_mixed_plan()
+        results = builder.execute_plan(source, plan)
+        assert source.scans == 1
+        assert results.counts(ids["bucket"]).total == relation.num_tuples
+
+    def test_known_bucketings_scan_source_exactly_once(
+        self, relation: Relation
+    ) -> None:
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        bucketings = builder.sample_bucketings(
+            RelationSource(relation), ["balance"]
+        )
+        source = ScanCountingSource(RelationSource(relation, chunk_size=CHUNK))
+        plan = ScanPlan()
+        request = plan.add_bucket("balance", objectives=[BooleanIs("card_loan", True)])
+        results = builder.execute_plan(source, plan, bucketings=bucketings)
+        assert source.scans == 1
+        assert np.array_equal(
+            results.bucketing(request).cuts, bucketings["balance"].cuts
+        )
+
+    def test_cache_overflow_falls_back_to_second_scan(
+        self, relation: Relation
+    ) -> None:
+        """Past the payload-cache budget the plan re-scans — same results."""
+        plan, ids = build_mixed_plan()
+        cached = ProfileBuilder(num_buckets=BUCKETS, seed=SEED).execute_plan(
+            RelationSource(relation, chunk_size=CHUNK), plan
+        )
+        source = ScanCountingSource(RelationSource(relation, chunk_size=CHUNK))
+        tight = ProfileBuilder(num_buckets=BUCKETS, seed=SEED, cache_budget_mb=0)
+        plan2, ids2 = build_mixed_plan()
+        uncached = tight.execute_plan(source, plan2)
+        assert source.scans == 2
+        objective = BooleanIs("card_loan", True)
+        assert_profiles_identical(
+            uncached.counts(ids2["bucket"]).profile(objective),
+            cached.counts(ids["bucket"]).profile(objective),
+        )
+        assert np.array_equal(
+            uncached.grid_counts(ids2["grid"]).sizes,
+            cached.grid_counts(ids["grid"]).sizes,
+        )
+
+    def test_streaming_catalog_with_conjuncts_scans_once(
+        self, relation: Relation, csv_path: Path
+    ) -> None:
+        """solve_many prefetches plain + §4.3 tasks in one physical scan."""
+        objective = BooleanIs("card_loan", True)
+        conjunct = BooleanIs("auto_withdrawal", True)
+        tasks = [
+            MiningTask("balance", objective, RuleKind.OPTIMIZED_CONFIDENCE, 0.1),
+            MiningTask("age", "balance", RuleKind.MAXIMUM_AVERAGE, 0.1),
+            MiningTask(
+                "balance",
+                objective,
+                RuleKind.OPTIMIZED_CONFIDENCE,
+                0.05,
+                presumptive=conjunct,
+            ),
+        ]
+        source = ScanCountingSource(CSVSource(csv_path, chunk_size=CHUNK))
+        miner = OptimizedRuleMiner(source, num_buckets=BUCKETS)
+        streamed = miner.solve_many(tasks)
+        assert source.scans == 1
+        assert len(streamed) == len(tasks)
+
+        reference = OptimizedRuleMiner(
+            CSVSource(csv_path, chunk_size=CHUNK),
+            num_buckets=BUCKETS,
+            fused=False,
+        )
+        reference._bucketings.update(
+            {name: miner.bucketing_for(name) for name in ("balance", "age")}
+        )
+        expected = reference.solve_many(tasks)
+        for left, right in zip(streamed, expected):
+            assert (left is None) == (right is None)
+            if left is None:
+                continue
+            assert (left.start, left.end) == (right.start, right.end)
+            assert left.support_count == right.support_count
+
+
+class TestPlanValidation:
+    def test_empty_plan_returns_empty_results(self, relation: Relation) -> None:
+        builder = ProfileBuilder(num_buckets=BUCKETS)
+        results = builder.execute_plan(RelationSource(relation), ScanPlan())
+        with pytest.raises(IndexError):
+            results.request(0)
+
+    def test_same_axis_grid_rejected(self) -> None:
+        with pytest.raises(PipelineError):
+            ScanPlan().add_grid("age", "age", [])
+
+    def test_presumptive_needs_conjuncts(self) -> None:
+        with pytest.raises(PipelineError):
+            ScanPlan().add_presumptive("age", BooleanIs("card_loan", True), [])
+
+    def test_nonpositive_bucket_overrides_rejected(self) -> None:
+        with pytest.raises(PipelineError):
+            ScanPlan().add_bucket("age", num_buckets=0)
+        with pytest.raises(PipelineError):
+            ScanPlan().add_grid("age", "balance", [], grid=(5, 0))
+
+    def test_kind_mismatch_accessors_rejected(self, relation: Relation) -> None:
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        plan = ScanPlan()
+        request = plan.add_bucket("balance", objectives=[BooleanIs("card_loan", True)])
+        results = builder.execute_plan(RelationSource(relation), plan)
+        with pytest.raises(PipelineError):
+            results.presumptive_profiles(request)
+        with pytest.raises(PipelineError):
+            results.grid_counts(request)
+
+    def test_negative_cache_budget_rejected(self) -> None:
+        with pytest.raises(PipelineError):
+            ProfileBuilder(cache_budget_mb=-1)
+
+
+class TestSharedAxes:
+    def test_same_attribute_at_two_bucket_counts(self, relation: Relation) -> None:
+        """One plan may bucket an attribute at several granularities."""
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        objective = BooleanIs("card_loan", True)
+        plan = ScanPlan()
+        coarse = plan.add_bucket("balance", objectives=[objective], num_buckets=10)
+        fine = plan.add_bucket("balance", objectives=[objective])
+        results = builder.execute_plan(RelationSource(relation, chunk_size=CHUNK), plan)
+
+        reference = ProfileBuilder(num_buckets=10, seed=SEED, fused=False)
+        expected_coarse = reference.build_profile(
+            RelationSource(relation, chunk_size=CHUNK), "balance", objective
+        )
+        assert_profiles_identical(
+            results.counts(coarse).profile(objective), expected_coarse
+        )
+        reference_fine = ProfileBuilder(
+            num_buckets=BUCKETS, seed=SEED, fused=False
+        ).build_profile(
+            RelationSource(relation, chunk_size=CHUNK), "balance", objective
+        )
+        assert_profiles_identical(
+            results.counts(fine).profile(objective), reference_fine
+        )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.exceptions import RelationError
@@ -81,3 +82,201 @@ class TestInference:
     def test_general_numeric_column(self) -> None:
         schema = infer_schema(["x"], [["0"], ["1"], ["2.5"]])
         assert schema.attribute("x").is_numeric
+
+
+class TestFastPathParity:
+    """The np.loadtxt block tokenizer vs the legacy csv.reader, bit for bit."""
+
+    @staticmethod
+    def _chunks(path, **kwargs):
+        from repro.relation.io import read_csv_chunks
+
+        return list(read_csv_chunks(path, chunk_size=3, **kwargs))
+
+    def _assert_both_paths_equal(self, path) -> None:
+        fast = self._chunks(path)
+        legacy = self._chunks(path, fast=False)
+        assert len(fast) == len(legacy)
+        for left, right in zip(fast, legacy):
+            assert left.schema == right.schema
+            assert left == right
+
+    def test_round_trip_file(self, small_relation, tmp_path) -> None:
+        path = tmp_path / "bank.csv"
+        write_csv(small_relation, path)
+        self._assert_both_paths_equal(path)
+
+    def test_quoted_fields_fall_back(self, tmp_path) -> None:
+        path = tmp_path / "quoted.csv"
+        path.write_text('x,flag\n"1.5",yes\n2.5,"no"\n3.5,yes\n4.5,no\n')
+        self._assert_both_paths_equal(path)
+
+    def test_blank_lines_fall_back(self, tmp_path) -> None:
+        path = tmp_path / "blank.csv"
+        path.write_text("x,flag\n1.0,yes\n\n2.0,no\n\n3.0,yes\n4.0,no\n")
+        self._assert_both_paths_equal(path)
+        total = sum(chunk.num_tuples for chunk in self._chunks(path))
+        assert total == 4
+
+    def test_crlf_line_endings(self, tmp_path) -> None:
+        path = tmp_path / "crlf.csv"
+        path.write_bytes(b"x,flag\r\n1.0,yes\r\n2.0,no\r\n3.0,yes\r\n4.0,no\r\n")
+        self._assert_both_paths_equal(path)
+
+    def test_whitespace_and_vocabulary_literals(self, tmp_path) -> None:
+        path = tmp_path / "vocab.csv"
+        path.write_text("x,flag\n 1.5 , TRUE\n2.5,0\n3.5 ,  yes\n4.5,N\n")
+        self._assert_both_paths_equal(path)
+        chunk = self._chunks(path)[0]
+        assert list(chunk.boolean_column("flag")) == [True, False, True]
+
+    def test_underscore_numeric_literals_fall_back(self, tmp_path) -> None:
+        path = tmp_path / "underscore.csv"
+        path.write_text("x\n1_000.5\n2.5\n3.5\n4.5\n")
+        self._assert_both_paths_equal(path)
+        assert self._chunks(path)[0].numeric_column("x")[0] == 1000.5
+
+    def test_missing_trailing_newline(self, tmp_path) -> None:
+        path = tmp_path / "notrail.csv"
+        path.write_text("x,flag\n1.0,yes\n2.0,no")
+        self._assert_both_paths_equal(path)
+
+    def test_ragged_rows_rejected_on_both_paths(self, tmp_path) -> None:
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        for fast in (True, False):
+            with pytest.raises(RelationError):
+                self._chunks(path, fast=fast)
+
+    def test_uniformly_wrong_width_rejected(self, tmp_path) -> None:
+        path = tmp_path / "wide.csv"
+        path.write_text("a,b\n1,2,9\n3,4,9\n")
+        for fast in (True, False):
+            with pytest.raises(RelationError):
+                self._chunks(path, fast=fast)
+
+    def test_bad_boolean_value_rejected(self, tmp_path) -> None:
+        from repro.relation import Attribute, Schema
+
+        path = tmp_path / "badbool.csv"
+        path.write_text("flag\nyes\nmaybe\n")
+        schema = Schema.of(Attribute.boolean("flag"))
+        for fast in (True, False):
+            with pytest.raises(RelationError):
+                self._chunks(path, schema=schema, fast=fast)
+
+
+class TestProjection:
+    def test_projected_columns_match_full_scan(self, small_relation, tmp_path) -> None:
+        from repro.relation.io import read_csv_chunks
+
+        path = tmp_path / "bank.csv"
+        write_csv(small_relation, path)
+        names = small_relation.schema.numeric_names()[:1]
+        for fast in (True, False):
+            projected = list(
+                read_csv_chunks(path, chunk_size=4, columns=names, fast=fast)
+            )
+            full = list(read_csv_chunks(path, chunk_size=4, fast=fast))
+            for left, right in zip(projected, full):
+                assert left.schema.names() == names
+                assert np.array_equal(
+                    left.numeric_column(names[0]), right.numeric_column(names[0])
+                )
+
+    def test_unknown_projection_column_rejected(self, small_relation, tmp_path) -> None:
+        from repro.relation.io import read_csv_chunks
+
+        path = tmp_path / "bank.csv"
+        write_csv(small_relation, path)
+        with pytest.raises(RelationError):
+            list(read_csv_chunks(path, columns=["nope"]))
+
+
+class TestFirstChunkResume:
+    def test_first_chunk_plus_skip_lines_equals_full_scan(
+        self, small_relation, tmp_path
+    ) -> None:
+        from repro.relation.io import read_csv_chunks, read_csv_first_chunk
+
+        path = tmp_path / "bank.csv"
+        write_csv(small_relation, path)
+        probe = read_csv_first_chunk(path, chunk_size=4)
+        assert probe is not None
+        first, lines = probe
+        rest = list(
+            read_csv_chunks(
+                path, schema=first.schema, chunk_size=4, skip_lines=lines
+            )
+        )
+        resumed = [first, *rest]
+        full = list(read_csv_chunks(path, chunk_size=4))
+        assert len(resumed) == len(full)
+        for left, right in zip(resumed, full):
+            assert left == right
+
+    def test_header_only_file_raises(self, tmp_path) -> None:
+        from repro.relation.io import read_csv_first_chunk
+
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(RelationError):
+            read_csv_first_chunk(path)
+
+    def test_quoted_first_block_returns_none(self, tmp_path) -> None:
+        from repro.relation.io import read_csv_first_chunk
+
+        path = tmp_path / "quoted.csv"
+        path.write_text('x\n"1.5"\n')
+        assert read_csv_first_chunk(path) is None
+
+
+class TestFastPathWidthAndTruncationGuards:
+    """Regressions for the review findings on the fast tokenizer."""
+
+    def test_uniformly_narrow_rows_raise_relation_error(self, tmp_path) -> None:
+        from repro.relation.io import (
+            infer_csv_schema,
+            read_csv,
+            read_csv_chunks,
+            read_csv_first_chunk,
+        )
+
+        path = tmp_path / "narrow.csv"
+        path.write_text("a,b,c\n1,2\n3,4\n")
+        with pytest.raises(RelationError):
+            read_csv(path)
+        with pytest.raises(RelationError):
+            list(read_csv_chunks(path))
+        with pytest.raises(RelationError):
+            infer_csv_schema(path)
+        assert read_csv_first_chunk(path) is None
+
+    def test_uniformly_wide_rows_raise_in_inference(self, tmp_path) -> None:
+        from repro.relation.io import infer_csv_schema
+
+        path = tmp_path / "wide.csv"
+        path.write_text("a,b\n1,2,9\n3,4,9\n")
+        with pytest.raises(RelationError):
+            infer_csv_schema(path)
+
+    def test_full_width_boolean_field_defers_to_legacy(self, tmp_path) -> None:
+        """A vocabulary word padded to the field width then truncated junk
+        must raise exactly as the legacy parser does, not silently parse."""
+        from repro.relation import Attribute, Schema
+        from repro.relation.io import read_csv_chunks
+
+        schema = Schema.of(Attribute.boolean("flag"))
+        bad = tmp_path / "truncated.csv"
+        bad.write_text("flag\nyes\ntrue    junk\n")
+        for fast in (True, False):
+            with pytest.raises(RelationError):
+                list(read_csv_chunks(bad, schema=schema, fast=fast))
+
+        # A benign value that happens to fill the width still parses, via
+        # the legacy fallback.
+        ok = tmp_path / "padded.csv"
+        ok.write_text("flag\nyes\n  true  \n")
+        for fast in (True, False):
+            chunks = list(read_csv_chunks(ok, schema=schema, fast=fast))
+            assert list(chunks[0].boolean_column("flag")) == [True, True]

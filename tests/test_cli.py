@@ -372,3 +372,104 @@ class TestExperimentCommand:
         code = main(["experiment", "figure1"])
         assert code == 0
         assert "Figure 1" in capsys.readouterr().out
+
+
+class TestStreamSchemaInference:
+    """Regression: streamed mining infers the CSV schema exactly once.
+
+    The CLI's ``--source stream`` path must run one whole-file
+    ``infer_csv_schema`` scan and pass the pinned schema through to the
+    source — no per-scan first-chunk re-inference, and nothing re-inferred
+    under a multiprocessing executor.
+    """
+
+    @pytest.fixture()
+    def bank_csv(self, tmp_path: Path) -> Path:
+        relation = generate_named_dataset("bank", 600, seed=5)
+        path = tmp_path / "bank.csv"
+        save_dataset(relation, path)
+        return path
+
+    def _count_inference_calls(self, monkeypatch) -> dict[str, int]:
+        import repro.pipeline.sources as sources_module
+        import repro.relation.io as io_module
+
+        calls = {"whole_file": 0, "first_chunk": 0, "rows": 0}
+        original_whole = io_module.infer_csv_schema
+        original_first = io_module.read_csv_first_chunk
+        original_rows = io_module.infer_schema
+
+        def counting_whole(*args, **kwargs):
+            calls["whole_file"] += 1
+            return original_whole(*args, **kwargs)
+
+        def counting_first(*args, **kwargs):
+            calls["first_chunk"] += 1
+            return original_first(*args, **kwargs)
+
+        def counting_rows(*args, **kwargs):
+            calls["rows"] += 1
+            return original_rows(*args, **kwargs)
+
+        monkeypatch.setattr(io_module, "infer_csv_schema", counting_whole)
+        monkeypatch.setattr(io_module, "read_csv_first_chunk", counting_first)
+        monkeypatch.setattr(io_module, "infer_schema", counting_rows)
+        # CSVSource binds the probe at import time; patch its reference too.
+        monkeypatch.setattr(
+            sources_module, "read_csv_first_chunk", counting_first
+        )
+        return calls
+
+    @pytest.mark.parametrize("executor", ["serial", "multiprocessing"])
+    def test_rules2d_stream_infers_schema_once(
+        self, bank_csv: Path, monkeypatch, capsys, executor: str
+    ) -> None:
+        calls = self._count_inference_calls(monkeypatch)
+        exit_code = main(
+            [
+                "rules2d",
+                str(bank_csv),
+                "--row-attribute",
+                "age",
+                "--column-attribute",
+                "balance",
+                "--objective",
+                "card_loan",
+                "--grid",
+                "8",
+                "8",
+                "--source",
+                "stream",
+                "--executor",
+                executor,
+                "--chunk-size",
+                "200",
+                "--min-support",
+                "0.01",
+            ]
+        )
+        assert exit_code in (0, 1)
+        assert calls["whole_file"] == 1
+        assert calls["first_chunk"] == 0
+        assert calls["rows"] == 0
+
+    def test_catalog_stream_infers_schema_once(
+        self, bank_csv: Path, monkeypatch, capsys
+    ) -> None:
+        calls = self._count_inference_calls(monkeypatch)
+        exit_code = main(
+            [
+                "catalog",
+                str(bank_csv),
+                "--source",
+                "stream",
+                "--chunk-size",
+                "200",
+                "--buckets",
+                "50",
+            ]
+        )
+        assert exit_code == 0
+        assert calls["whole_file"] == 1
+        assert calls["first_chunk"] == 0
+        assert calls["rows"] == 0
