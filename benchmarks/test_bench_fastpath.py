@@ -45,9 +45,11 @@ from repro.core import (
 from repro.datasets import paper_benchmark_table, planted_profile
 from repro.experiments import bench_workload, throughput_workload, time_call, write_bench_json
 from repro.mining import mine_rule_catalog
-from repro.pipeline import ChunkedSource, CSVSource
+from repro.pipeline import ChunkedSource, CSVSource, ProfileBuilder, ScanPlan
 from repro.relation import write_csv
 from repro.relation.conditions import BooleanIs
+from repro.relation.io import infer_csv_schema
+from repro.store import ProfileStore
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "BENCH_fastpath.json"
@@ -72,6 +74,19 @@ MIN_STREAMING_TUPLES_PER_SECOND = 40_000
 # Smoke floor for --quick CI runs: far below any healthy machine, so the job
 # only fails on a genuine fused-path regression, not runner noise.
 QUICK_STREAMING_TUPLES_PER_SECOND = 2_000
+
+# Floor asserted on the catalog-store workload, in --quick smoke runs too:
+# serving the whole catalog's profile construction from a warm ProfileStore
+# must beat the cold build (schema known, one fused scan + sampling) by at
+# least this factor.  Observed ~140x warm (memoized fingerprint + npz load,
+# zero physical scans, independent of the data size; a cold-process first
+# hit additionally digests the file once, still ~27x).
+MIN_STORE_WARM_SPEEDUP = 20.0
+
+# Rows for the catalog-store workload in --quick mode: the warm hit costs a
+# few milliseconds flat, so the cold side needs enough data for the floor to
+# measure the store rather than fixed overheads.
+QUICK_STORE_ROWS = 100_000
 
 
 def _selection_key(selection):
@@ -392,6 +407,158 @@ def test_bench_streaming_catalog(
     else:
         assert workload["speedup"] >= MIN_STREAMING_SPEEDUP
         assert workload["tuples_per_second"] >= MIN_STREAMING_TUPLES_PER_SECOND
+
+
+def test_bench_catalog_store(
+    sizes, bench_results, record_report, tmp_path_factory, quick
+) -> None:
+    """Persistent profile store: cold build vs warm hit vs append-10%.
+
+    The workload is the production loop the store exists for: the §1.3
+    catalog's whole profile construction (every numeric attribute bucketed
+    against every Boolean objective) over a CSV on disk.
+
+    * **cold** — empty store: one fused physical scan (sampling + counting)
+      plus the snapshot write;
+    * **warm hit** — the identical request again: fingerprint digest + npz
+      load, **zero** physical scans, bit-identical profiles (asserted);
+    * **append-10%** — the CSV grown at the tail: only the new rows are
+      parsed and counted, boundaries frozen at the snapshot.
+
+    The ``>= MIN_STORE_WARM_SPEEDUP`` floor on warm-vs-cold is asserted in
+    --quick smoke runs as well — the warm path does no data-proportional
+    work, so the floor holds at smoke sizes too.  End-to-end
+    ``mine_rule_catalog`` timings (store + cached schema + solving) ride
+    along as parameters with bit-exact rule parity asserted.
+    """
+    chunk_size = 20_000
+    num_rows = QUICK_STORE_ROWS if quick else sizes["num_tuples"]
+    relation = paper_benchmark_table(
+        num_rows,
+        num_numeric=sizes["num_numeric"],
+        num_boolean=sizes["num_boolean"],
+        seed=31,
+    )
+    head_rows = num_rows * 9 // 10
+    head = relation.take(np.arange(0, head_rows))
+    tail = relation.take(np.arange(head_rows, num_rows))
+    root = tmp_path_factory.mktemp("store-bench")
+    csv_path = root / "catalog.csv"
+    write_csv(head, csv_path)
+    # Schema known up front on both sides (the store also caches it for the
+    # end-to-end runs below), so the timings compare counting, not inference.
+    schema = infer_csv_schema(csv_path, chunk_size=chunk_size)
+    objectives = [
+        BooleanIs(name, True) for name in relation.schema.boolean_names()
+    ]
+
+    def catalog_plan() -> ScanPlan:
+        plan = ScanPlan()
+        for attribute in relation.schema.numeric_names():
+            plan.add_bucket(attribute, objectives=objectives)
+        return plan
+
+    store = ProfileStore(root / "store")
+    builder = ProfileBuilder(num_buckets=sizes["num_buckets"], seed=7)
+
+    held: dict = {}
+
+    def run_cold() -> None:
+        held["cold"] = builder.execute_plan(
+            CSVSource(csv_path, schema=schema, chunk_size=chunk_size),
+            catalog_plan(),
+            store=store,
+        )
+
+    def run_warm() -> None:
+        held["warm"] = builder.execute_plan(
+            CSVSource(csv_path, schema=schema, chunk_size=chunk_size),
+            catalog_plan(),
+            store=store,
+        )
+
+    cold_seconds = time_call(run_cold)
+    assert store.last_status == "build"
+    # The warm hit is a few milliseconds; min-of-repeats filters noise.
+    warm_seconds = time_call(run_warm, repeats=3)
+    assert store.last_status == "hit"
+    for cold_part, warm_part in zip(held["cold"].parts, held["warm"].parts):
+        assert np.array_equal(cold_part.sizes, warm_part.sizes)
+        assert np.array_equal(cold_part.conditional, warm_part.conditional)
+        assert np.array_equal(cold_part.lows, warm_part.lows, equal_nan=True)
+
+    tail_path = root / "tail.csv"
+    write_csv(tail, tail_path)
+    with csv_path.open("a", encoding="utf-8") as handle:
+        handle.writelines(
+            tail_path.read_text(encoding="utf-8").splitlines(keepends=True)[1:]
+        )
+
+    def run_append() -> None:
+        held["append"] = builder.execute_plan(
+            CSVSource(csv_path, schema=schema, chunk_size=chunk_size),
+            catalog_plan(),
+            store=store,
+        )
+
+    append_seconds = time_call(run_append)
+    assert store.last_status == "append"
+    assert held["append"].parts[0].num_tuples == num_rows
+
+    # End-to-end: the same loop through mine_rule_catalog (store + cached
+    # schema + solving), with bit-exact rule parity between cold and warm.
+    catalog_store = ProfileStore(root / "catalog-store")
+
+    def run_catalog_cold() -> None:
+        held["catalog_cold"] = mine_rule_catalog(
+            CSVSource(csv_path, chunk_size=chunk_size),
+            num_buckets=sizes["num_buckets"],
+            rng=np.random.default_rng(7),
+            store=catalog_store,
+        )
+
+    def run_catalog_warm() -> None:
+        cached = catalog_store.cached_schema(
+            CSVSource(csv_path, chunk_size=chunk_size)
+        )
+        held["catalog_warm"] = mine_rule_catalog(
+            CSVSource(csv_path, schema=cached, chunk_size=chunk_size),
+            num_buckets=sizes["num_buckets"],
+            rng=np.random.default_rng(7),
+            store=catalog_store,
+        )
+
+    catalog_cold_seconds = time_call(run_catalog_cold)
+    catalog_warm_seconds = time_call(run_catalog_warm)
+    assert catalog_store.last_status == "hit"
+    assert _catalog_rule_keys(held["catalog_cold"]) == _catalog_rule_keys(
+        held["catalog_warm"]
+    )
+
+    workload = bench_workload(
+        "catalog-store",
+        cold_seconds,
+        warm_seconds,
+        append_seconds=append_seconds,
+        append_speedup=cold_seconds / append_seconds if append_seconds else 0.0,
+        catalog_cold_seconds=catalog_cold_seconds,
+        catalog_warm_seconds=catalog_warm_seconds,
+        num_tuples=num_rows,
+        head_tuples=head_rows,
+        num_buckets=sizes["num_buckets"],
+        conditions=len(objectives),
+        chunk_size=chunk_size,
+    )
+    bench_results.append(workload)
+    record_report(
+        "Profile-store catalog benchmark",
+        f"{len(objectives)} conditions x {num_rows} tuples x "
+        f"{sizes['num_buckets']} buckets: cold {cold_seconds:.3f}s, "
+        f"warm hit {warm_seconds * 1e3:.1f}ms ({workload['speedup']:.0f}x, "
+        f"0 scans), append-10% {append_seconds:.3f}s; end-to-end catalog "
+        f"{catalog_cold_seconds:.3f}s -> {catalog_warm_seconds:.3f}s",
+    )
+    assert workload["speedup"] >= MIN_STORE_WARM_SPEEDUP
 
 
 def _pre_refactor_best_rectangle(profile, kind, min_support, min_confidence):

@@ -28,6 +28,7 @@ from repro import (
     pipeline,
     relation,
     reporting,
+    store,
 )
 from repro.bucketing import (
     Bucketing,
@@ -58,6 +59,7 @@ from repro.exceptions import (
     RelationError,
     ReproError,
     SchemaError,
+    StoreError,
 )
 from repro.pipeline import (
     ChunkedSource,
@@ -68,6 +70,7 @@ from repro.pipeline import (
     ProfileBuilder,
     RelationSource,
 )
+from repro.store import ProfileStore
 from repro.relation import (
     Attribute,
     AttributeKind,
@@ -93,6 +96,7 @@ __all__ = [
     "datasets",
     "pipeline",
     "reporting",
+    "store",
     # relational substrate
     "Attribute",
     "AttributeKind",
@@ -126,6 +130,8 @@ __all__ = [
     "ProfileBuilder",
     "GridProfile",
     "GridProfileBuilder",
+    # persistent profile store
+    "ProfileStore",
     # exceptions
     "ReproError",
     "SchemaError",
@@ -137,4 +143,5 @@ __all__ = [
     "NoFeasibleRangeError",
     "DatasetError",
     "PipelineError",
+    "StoreError",
 ]

@@ -287,6 +287,45 @@ class ChunkCounts:
             mask_highs=np.full((num_bound_masks, num_buckets), np.nan),
         )
 
+    def to_state(self) -> dict[str, np.ndarray]:
+        """Flat array mapping capturing this partial exactly (``npz``-ready).
+
+        Together with :meth:`from_state` this is the persistence contract of
+        the profile store: every field round-trips bit for bit (dtypes
+        included), so a deserialized partial merges and instantiates
+        profiles exactly like the original.
+        """
+        assert self.mask_lows is not None and self.mask_highs is not None
+        return {
+            "sizes": self.sizes,
+            "conditional": self.conditional,
+            "sums": self.sums,
+            "lows": self.lows,
+            "highs": self.highs,
+            "mask_lows": self.mask_lows,
+            "mask_highs": self.mask_highs,
+            "num_tuples": np.int64(self.num_tuples),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, np.ndarray]) -> "ChunkCounts":
+        """Rebuild a partial from :meth:`to_state` arrays (fresh copies)."""
+        try:
+            return cls(
+                sizes=np.array(state["sizes"], dtype=np.int64),
+                conditional=np.array(state["conditional"], dtype=np.int64),
+                sums=np.array(state["sums"], dtype=np.float64),
+                lows=np.array(state["lows"], dtype=np.float64),
+                highs=np.array(state["highs"], dtype=np.float64),
+                mask_lows=np.array(state["mask_lows"], dtype=np.float64),
+                mask_highs=np.array(state["mask_highs"], dtype=np.float64),
+                num_tuples=int(state["num_tuples"]),
+            )
+        except KeyError as exc:
+            raise BucketingError(
+                f"chunk-counts state is missing field {exc.args[0]!r}"
+            ) from exc
+
     def merge(self, other: "ChunkCounts") -> "ChunkCounts":
         """Accumulate another partial into this one (in place; returns self).
 
@@ -432,6 +471,36 @@ class GridChunkCounts:
             column_highs=np.full(columns, np.nan),
             num_tuples=0,
         )
+
+    def to_state(self) -> dict[str, np.ndarray]:
+        """Flat array mapping capturing this partial exactly (``npz``-ready)."""
+        return {
+            "sizes": self.sizes,
+            "conditional": self.conditional,
+            "row_lows": self.row_lows,
+            "row_highs": self.row_highs,
+            "column_lows": self.column_lows,
+            "column_highs": self.column_highs,
+            "num_tuples": np.int64(self.num_tuples),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, np.ndarray]) -> "GridChunkCounts":
+        """Rebuild a partial from :meth:`to_state` arrays (fresh copies)."""
+        try:
+            return cls(
+                sizes=np.array(state["sizes"], dtype=np.int64),
+                conditional=np.array(state["conditional"], dtype=np.int64),
+                row_lows=np.array(state["row_lows"], dtype=np.float64),
+                row_highs=np.array(state["row_highs"], dtype=np.float64),
+                column_lows=np.array(state["column_lows"], dtype=np.float64),
+                column_highs=np.array(state["column_highs"], dtype=np.float64),
+                num_tuples=int(state["num_tuples"]),
+            )
+        except KeyError as exc:
+            raise BucketingError(
+                f"grid-counts state is missing field {exc.args[0]!r}"
+            ) from exc
 
     def merge(self, other: "GridChunkCounts") -> "GridChunkCounts":
         """Accumulate another partial into this one (in place; returns self)."""
@@ -602,6 +671,52 @@ class PlanChunkCounts:
         for mine, theirs in zip(self.parts, other.parts):
             mine.merge(theirs)
         return self
+
+    def to_state(self) -> dict[str, np.ndarray]:
+        """One flat array mapping for the whole plan (``np.savez``-ready).
+
+        Part ``i``'s fields are prefixed ``part{i}.`` and tagged with a
+        ``part{i}.kind`` marker (``"value"`` or ``"grid"``), so the mapping
+        round-trips through an ``.npz`` archive with nothing but arrays —
+        the on-disk payload format of :class:`~repro.store.ProfileStore`.
+        """
+        state: dict[str, np.ndarray] = {"num_parts": np.int64(len(self.parts))}
+        for index, part in enumerate(self.parts):
+            kind = "grid" if isinstance(part, GridChunkCounts) else "value"
+            state[f"part{index}.kind"] = np.asarray(kind)
+            for field_name, array in part.to_state().items():
+                state[f"part{index}.{field_name}"] = array
+        return state
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, np.ndarray]) -> "PlanChunkCounts":
+        """Rebuild every part from :meth:`to_state` arrays (fresh copies)."""
+        if "num_parts" not in state:
+            raise BucketingError("plan-counts state is missing field 'num_parts'")
+        num_parts = int(state["num_parts"])
+        parts: list[ChunkCounts | GridChunkCounts] = []
+        for index in range(num_parts):
+            prefix = f"part{index}."
+            kind_key = prefix + "kind"
+            if kind_key not in state:
+                raise BucketingError(
+                    f"plan-counts state is missing field {kind_key!r}"
+                )
+            kind = str(np.asarray(state[kind_key]).item())
+            fields = {
+                key[len(prefix):]: value
+                for key, value in state.items()
+                if key.startswith(prefix)
+            }
+            if kind == "grid":
+                parts.append(GridChunkCounts.from_state(fields))
+            elif kind == "value":
+                parts.append(ChunkCounts.from_state(fields))
+            else:
+                raise BucketingError(
+                    f"plan-counts state part {index} has unknown kind {kind!r}"
+                )
+        return cls(parts)
 
 
 def _fused_window_counts(

@@ -53,7 +53,11 @@ batch entry points compile a whole task catalog (including every §4.3
 presumptive-conjunct group) into **one**
 :class:`~repro.pipeline.ScanPlan`, so all needed profiles come from a
 single physical scan of the data and the §1.3 catalog runs out-of-core
-without ever materializing the relation.
+without ever materializing the relation.  With a
+:class:`~repro.store.ProfileStore` (``store=``) even that scan disappears
+for repeated runs: the prefetched plan is persisted to disk and a matching
+snapshot serves every profile with zero physical scans (append-only grown
+sources count only their tail).
 """
 
 from __future__ import annotations
@@ -88,6 +92,7 @@ from repro.relation.schema import Schema
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
     from repro.pipeline.builder import ProfileBuilder
     from repro.pipeline.sources import DataSource
+    from repro.store import ProfileStore
 
 __all__ = ["OptimizedRuleMiner", "MiningSettings", "MiningTask"]
 
@@ -175,6 +180,13 @@ class OptimizedRuleMiner:
         pre-fusion one-counting-scan-per-request-group path (the reference
         baseline; results are identical).  Ignored when ``builder`` is
         given.
+    store:
+        Optional :class:`~repro.store.ProfileStore`.  The batch entry
+        points (:meth:`solve_many` / :meth:`mine_many`) over a streaming
+        source then route their one-scan prefetch through the store: a
+        matching snapshot serves every profile with **zero** physical
+        source scans, an append-only grown source counts only its tail,
+        and a fresh source executes once and is persisted for next time.
     """
 
     def __init__(
@@ -187,6 +199,7 @@ class OptimizedRuleMiner:
         executor: str = "serial",
         builder: ProfileBuilder | None = None,
         fused: bool = True,
+        store: "ProfileStore | None" = None,
     ) -> None:
         if num_buckets <= 0:
             raise OptimizationError("num_buckets must be positive")
@@ -219,6 +232,7 @@ class OptimizedRuleMiner:
             self._builder = ProfileBuilder(
                 num_buckets=num_buckets, executor=executor, seed=seed, fused=fused
             )
+        self._store = store
         self._num_buckets = int(num_buckets)
         self._bucketizer = bucketizer if bucketizer is not None else SampledEquiDepthBucketizer()
         self._engine = engine
@@ -662,8 +676,14 @@ class OptimizedRuleMiner:
             for attribute in attributes
             if attribute in self._bucketings
         }
+        # A store snapshot fixes its own boundaries, so it only serves a
+        # prefetch with no locally cached bucketings to honor (the common
+        # case: a fresh miner running a whole catalog).
         results = self._builder.execute_plan(
-            self._source, plan, bucketings=overrides
+            self._source,
+            plan,
+            bucketings=overrides,
+            store=self._store if not overrides else None,
         )
         for attribute, request_id in bucket_ids.items():
             counts = results.counts(request_id)

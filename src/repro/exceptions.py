@@ -67,3 +67,16 @@ class PipelineError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class StoreError(ReproError):
+    """A persistent profile store is corrupt, stale, or mismatched.
+
+    Raised whenever a :class:`~repro.store.ProfileStore` cannot *prove* that
+    a stored snapshot answers the request it is being asked to serve — a
+    truncated or unreadable payload file, a manifest whose self-description
+    disagrees with the payload (seed/signature mismatch), or a source whose
+    fingerprint has drifted from the stored snapshot's prefix.  The store
+    never degrades to serving possibly-wrong counts: it either raises this
+    error or rebuilds from the source.
+    """

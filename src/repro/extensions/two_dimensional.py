@@ -120,6 +120,7 @@ def mine_rectangle_rule(
     engine: str = "fast",
     executor: str = "serial",
     builder: GridProfileBuilder | None = None,
+    store: "object | None" = None,
 ) -> RectangleRule | None:
     """Best axis-aligned rectangle on a 2-D bucket grid.
 
@@ -150,6 +151,11 @@ def mine_rectangle_rule(
     executor / builder:
         Counting executor for sources (``"serial"``, ``"streaming"``,
         ``"multiprocessing"``), or a pre-configured builder overriding it.
+    store:
+        Optional :class:`~repro.store.ProfileStore` for source-backed
+        mining: a matching grid snapshot is served with zero physical
+        scans, and an append-only grown source counts only its tail.
+        Ignored for in-memory relations (they are counted directly).
     """
     if grid[0] <= 0 or grid[1] <= 0:
         raise OptimizationError("grid dimensions must be positive")
@@ -182,7 +188,8 @@ def mine_rectangle_rule(
             # counts, so the builder-wide default is irrelevant here.
             builder = GridProfileBuilder(executor=executor, seed=seed)
         profile = builder.build_grid_profile(
-            data, row_attribute, column_attribute, objective, grid=grid
+            data, row_attribute, column_attribute, objective, grid=grid,
+            store=store,
         )
     return _best_rectangle(profile, kind, min_support, min_confidence, engine)
 

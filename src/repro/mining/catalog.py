@@ -23,6 +23,7 @@ workload runs out-of-core without ever materializing the relation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +34,9 @@ from repro.exceptions import OptimizationError
 from repro.pipeline.sources import DataSource
 from repro.relation.conditions import BooleanIs, Condition
 from repro.relation.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ProfileStore
 
 __all__ = ["CatalogEntry", "RuleCatalog", "mine_rule_catalog"]
 
@@ -119,6 +123,7 @@ def mine_rule_catalog(
     engine: str = "fast",
     executor: str = "serial",
     fused: bool = True,
+    store: "ProfileStore | None" = None,
 ) -> RuleCatalog:
     """Mine optimized rules for every (numeric, Boolean) attribute pair.
 
@@ -146,6 +151,13 @@ def mine_rule_catalog(
         Whether streaming profile construction runs through the fused
         single-scan planner (default) or the pre-fusion per-request-group
         scans (identical results; the benchmark baseline).
+    store:
+        Optional :class:`~repro.store.ProfileStore`.  Re-mining the same
+        catalog (same data, thresholds aside) then performs **zero**
+        physical source scans — the whole profile prefetch is served from
+        the stored snapshot — and a CSV grown at the tail counts only its
+        new rows.  This is the cache-and-reuse discipline for running
+        ``mine_rule_catalog`` in a loop over live data.
     """
     miner = OptimizedRuleMiner(
         relation,
@@ -155,6 +167,7 @@ def mine_rule_catalog(
         engine=engine,
         executor=executor,
         fused=fused,
+        store=store,
     )
     schema = miner.schema
     numeric_names = (

@@ -26,13 +26,22 @@ from repro.pipeline.builder import (
     ScanPlan,
 )
 from repro.pipeline.grid import GridCounts, GridProfile, GridProfileBuilder
-from repro.pipeline.sources import ChunkedSource, CSVSource, DataSource, RelationSource
+from repro.pipeline.sources import (
+    ChunkedSource,
+    CSVSource,
+    DataSource,
+    RelationSource,
+    SourceFingerprint,
+    fingerprint_relation,
+)
 
 __all__ = [
     "DataSource",
     "RelationSource",
     "ChunkedSource",
     "CSVSource",
+    "SourceFingerprint",
+    "fingerprint_relation",
     "ProfileBuilder",
     "AttributeSpec",
     "AttributeCounts",

@@ -395,6 +395,21 @@ class PlanResults:
         """The resolved bucketing of a 1-D request's attribute."""
         return self._bucketings[request_id][0]
 
+    @property
+    def parts(self) -> tuple[ChunkCounts | GridChunkCounts, ...]:
+        """The merged counting partials, one per request (id order).
+
+        This is the persistence surface of the profile store: together with
+        :meth:`request_bucketings` it captures everything a plan execution
+        produced, and feeding both back into a fresh :class:`PlanResults`
+        reproduces every profile bit for bit.
+        """
+        return tuple(self._parts)
+
+    def request_bucketings(self, request_id: int) -> tuple[Bucketing, ...]:
+        """The resolved bucketing(s) of a request (two entries for grids)."""
+        return self._bucketings[request_id]
+
     def counts(self, request_id: int) -> AttributeCounts:
         """The :class:`AttributeCounts` of a bucket/average request."""
         request = self._requests[request_id]
@@ -670,6 +685,16 @@ class ProfileBuilder:
         return self._executor
 
     @property
+    def sample_factor(self) -> int:
+        """Reservoir points per bucket of the boundary sample."""
+        return self._sample_factor
+
+    @property
+    def seed(self) -> int:
+        """Base seed of the boundary-sampling RNG."""
+        return self._seed
+
+    @property
     def fused(self) -> bool:
         """Whether counting passes run through the fused scan planner."""
         return self._fused
@@ -763,52 +788,29 @@ class ProfileBuilder:
 
     # -- fused scan planning ---------------------------------------------------
 
-    def execute_plan(
-        self,
-        source: DataSource,
-        plan: ScanPlan,
-        bucketings: Mapping[str, Bucketing] | None = None,
-    ) -> PlanResults:
-        """Answer every request of ``plan`` from one fold over ``source``.
-
-        The plan compiles into one :class:`~repro.bucketing.counting.KernelPlan`
-        — shared axes, deduplicated condition slots, one segment per request
-        — and a single counting fold under the builder's executor produces
-        all the profiles.  Attributes without a ``bucketings`` override get
-        their boundaries from the reservoir pass first; during that sampling
-        scan the counting payloads are cached (up to ``cache_budget_mb``),
-        so the whole plan normally touches the source **once** — and exactly
-        once when every bucketing is supplied.  Results are bit-identical to
-        running each request through its per-request ``build_*`` method.
-        """
-        requests = list(plan.requests)
-        if not requests:
-            return PlanResults([], [], [])
-        overrides = dict(bucketings or {})
-
-        def axis_pairs(request: ProfileRequest) -> list[tuple[str, int]]:
-            pairs = [(request.attribute, request.num_buckets or self._num_buckets)]
-            if request.kind == "grid":
-                assert request.column_attribute is not None
-                pairs.append(
-                    (
-                        request.column_attribute,
-                        request.column_num_buckets or self._num_buckets,
-                    )
+    def _axis_pairs(self, request: ProfileRequest) -> list[tuple[str, int]]:
+        """The ``(attribute, bucket count)`` axis pair(s) a request buckets on."""
+        pairs = [(request.attribute, request.num_buckets or self._num_buckets)]
+        if request.kind == "grid":
+            assert request.column_attribute is not None
+            pairs.append(
+                (
+                    request.column_attribute,
+                    request.column_num_buckets or self._num_buckets,
                 )
-            return pairs
-
-        needed_pairs = list(
-            dict.fromkeys(
-                pair
-                for request in requests
-                for pair in axis_pairs(request)
-                if pair[0] not in overrides
             )
-        )
+        return pairs
 
-        # Slot compilation: one column slot per axis attribute, one mask row
-        # per distinct condition conjunction, one weight row per target.
+    def _plan_wiring(
+        self, requests: Sequence[ProfileRequest]
+    ) -> tuple[dict[str, int], list[dict], _PlanPayloadBuilder, list[str]]:
+        """Slot compilation: one column slot per axis attribute, one mask row
+        per distinct condition conjunction, one weight row per target.
+
+        Returns the column-slot table, the per-request slot wiring, the
+        payload builder that evaluates chunks into those slots, and the
+        projected source columns the payloads touch.
+        """
         column_slots: dict[str, int] = {}
         mask_slots: dict[tuple[Condition, ...], int] = {}
         weight_slots: dict[str, int] = {}
@@ -857,36 +859,25 @@ class ProfileBuilder:
         payload_builder = _PlanPayloadBuilder(
             list(column_slots), list(mask_slots), list(weight_slots)
         )
-        needed_columns = payload_builder.needed_columns()
+        return (
+            column_slots,
+            request_wiring,
+            payload_builder,
+            payload_builder.needed_columns(),
+        )
 
-        # Boundary sampling — with the counting payloads cached along the
-        # way, this is the plan's one and only pass over the source.
-        cache: list | None = None
-        sampled: dict[tuple[str, int], Bucketing] = {}
-        if needed_pairs:
-            samplers = self._make_samplers(needed_pairs)
-            if samplers:
-                cache = [] if self._cache_budget_bytes > 0 else None
-                cache_bytes = 0
-                for chunk in source.scan(needed_columns):
-                    for (attribute, _), sampler in samplers.items():
-                        sampler.extend(chunk.numeric_column(attribute))
-                    if cache is not None:
-                        payload = payload_builder.build(chunk)
-                        cache_bytes += _PlanPayloadBuilder.nbytes(payload)
-                        if cache_bytes > self._cache_budget_bytes:
-                            cache = None
-                        else:
-                            cache.append(payload)
-            sampled = self._resolve_sampled(needed_pairs, samplers)
-
-        def resolve(attribute: str, count: int) -> Bucketing:
-            if attribute in overrides:
-                return overrides[attribute]
-            return sampled[(attribute, count)]
-
-        # Kernel axes: one per distinct (attribute, bucketing), bounds kept
-        # when any non-presumptive segment reads them.
+    def _plan_kernel(
+        self,
+        requests: Sequence[ProfileRequest],
+        column_slots: Mapping[str, int],
+        request_wiring: Sequence[dict],
+        resolve,
+    ) -> tuple[KernelPlan, list[tuple[Bucketing, ...]]]:
+        """Compile the fused kernel: one axis per distinct ``(attribute,
+        bucketing)`` (bounds kept when any non-presumptive segment reads
+        them), one segment per request.  ``resolve(attribute, count)`` must
+        return the same :class:`Bucketing` object for the same pair.
+        """
         axis_ids: dict[tuple[str, int], int] = {}
         axis_specs: list[dict] = []
 
@@ -908,7 +899,7 @@ class ProfileBuilder:
         segments: list[ValueSegment | GridSegment] = []
         request_bucketings: list[tuple[Bucketing, ...]] = []
         for request, wiring in zip(requests, request_wiring):
-            pairs = axis_pairs(request)
+            pairs = self._axis_pairs(request)
             resolved = tuple(resolve(attribute, count) for attribute, count in pairs)
             request_bucketings.append(resolved)
             if request.kind == "grid":
@@ -944,6 +935,90 @@ class ProfileBuilder:
             )
             for spec in axis_specs
         ), segments=tuple(segments))
+        return kernel_plan, request_bucketings
+
+    def execute_plan(
+        self,
+        source: DataSource,
+        plan: ScanPlan,
+        bucketings: Mapping[str, Bucketing] | None = None,
+        store: "object | None" = None,
+    ) -> PlanResults:
+        """Answer every request of ``plan`` from one fold over ``source``.
+
+        The plan compiles into one :class:`~repro.bucketing.counting.KernelPlan`
+        — shared axes, deduplicated condition slots, one segment per request
+        — and a single counting fold under the builder's executor produces
+        all the profiles.  Attributes without a ``bucketings`` override get
+        their boundaries from the reservoir pass first; during that sampling
+        scan the counting payloads are cached (up to ``cache_budget_mb``),
+        so the whole plan normally touches the source **once** — and exactly
+        once when every bucketing is supplied.  Results are bit-identical to
+        running each request through its per-request ``build_*`` method.
+
+        ``store`` routes the execution through a persistent
+        :class:`~repro.store.ProfileStore`: a matching snapshot is served
+        with **zero** physical source scans, an append-only grown source
+        counts only its tail (frozen boundaries, staleness-tracked), and
+        anything else executes normally and is persisted for next time.
+        The store fixes its own boundaries, so it cannot be combined with
+        ``bucketings`` overrides.
+        """
+        if store is not None:
+            if bucketings:
+                raise PipelineError(
+                    "bucketings overrides cannot be combined with a store; "
+                    "stored snapshots fix their own boundaries"
+                )
+            results, _ = store.serve(self, source, plan)
+            return results
+        requests = list(plan.requests)
+        if not requests:
+            return PlanResults([], [], [])
+        overrides = dict(bucketings or {})
+
+        needed_pairs = list(
+            dict.fromkeys(
+                pair
+                for request in requests
+                for pair in self._axis_pairs(request)
+                if pair[0] not in overrides
+            )
+        )
+
+        column_slots, request_wiring, payload_builder, needed_columns = (
+            self._plan_wiring(requests)
+        )
+
+        # Boundary sampling — with the counting payloads cached along the
+        # way, this is the plan's one and only pass over the source.
+        cache: list | None = None
+        sampled: dict[tuple[str, int], Bucketing] = {}
+        if needed_pairs:
+            samplers = self._make_samplers(needed_pairs)
+            if samplers:
+                cache = [] if self._cache_budget_bytes > 0 else None
+                cache_bytes = 0
+                for chunk in source.scan(needed_columns):
+                    for (attribute, _), sampler in samplers.items():
+                        sampler.extend(chunk.numeric_column(attribute))
+                    if cache is not None:
+                        payload = payload_builder.build(chunk)
+                        cache_bytes += _PlanPayloadBuilder.nbytes(payload)
+                        if cache_bytes > self._cache_budget_bytes:
+                            cache = None
+                        else:
+                            cache.append(payload)
+            sampled = self._resolve_sampled(needed_pairs, samplers)
+
+        def resolve(attribute: str, count: int) -> Bucketing:
+            if attribute in overrides:
+                return overrides[attribute]
+            return sampled[(attribute, count)]
+
+        kernel_plan, request_bucketings = self._plan_kernel(
+            requests, column_slots, request_wiring, resolve
+        )
 
         if cache is not None:
             payloads: Iterator = iter(cache)
@@ -955,8 +1030,68 @@ class ProfileBuilder:
         totals = self._fold_plan(kernel_plan, payloads)
         return PlanResults(requests, totals.parts, request_bucketings)
 
+    def execute_plan_tail(
+        self,
+        source: DataSource,
+        plan: ScanPlan,
+        bucketings: Sequence[tuple[Bucketing, ...]],
+        start: int,
+        initial: PlanChunkCounts | None = None,
+    ) -> PlanResults:
+        """Fold only the source's tail into already-merged plan totals.
+
+        This is the incremental-append half of the profile store: the bucket
+        boundaries stay **frozen** at their snapshot values (``bucketings``
+        is the per-request resolution of the original execution), the fused
+        kernel counts only the chunks of ``source.scan_tail(start)``, and
+        each tail partial merges into ``initial`` in chunk order — so with
+        the serial/streaming executors the merged result is *by
+        construction* the same sequence of float additions a full re-count
+        over head-then-tail would perform, making append-then-serve
+        bit-identical to rebuild-with-frozen-boundaries.  ``initial`` is
+        mutated in place (callers pass a freshly deserialized copy); with
+        ``initial=None`` and ``start=0`` this *is* that frozen-boundary
+        rebuild — the differential harness uses exactly that as the append
+        parity oracle.
+        """
+        requests = list(plan.requests)
+        if len(requests) != len(bucketings):
+            raise PipelineError(
+                "stored bucketings do not match the plan's request count"
+            )
+        if not requests:
+            return PlanResults([], [], [])
+        column_slots, request_wiring, payload_builder, needed_columns = (
+            self._plan_wiring(requests)
+        )
+        resolved_pairs: dict[tuple[str, int], Bucketing] = {}
+        for request, resolved in zip(requests, bucketings):
+            pairs = self._axis_pairs(request)
+            if len(pairs) != len(resolved):
+                raise PipelineError(
+                    "stored bucketings do not match a request's axis count"
+                )
+            for pair, bucketing in zip(pairs, resolved):
+                resolved_pairs.setdefault(pair, bucketing)
+
+        def resolve(attribute: str, count: int) -> Bucketing:
+            return resolved_pairs[(attribute, count)]
+
+        kernel_plan, request_bucketings = self._plan_kernel(
+            requests, column_slots, request_wiring, resolve
+        )
+        payloads = (
+            payload_builder.build(chunk)
+            for chunk in source.scan_tail(start, needed_columns)
+        )
+        totals = self._fold_plan(kernel_plan, payloads, initial=initial)
+        return PlanResults(requests, totals.parts, request_bucketings)
+
     def _fold_plan(
-        self, kernel_plan: KernelPlan, payloads: Iterator
+        self,
+        kernel_plan: KernelPlan,
+        payloads: Iterator,
+        initial: PlanChunkCounts | None = None,
     ) -> PlanChunkCounts:
         """Run the fused kernel over every payload under the executor strategy.
 
@@ -966,9 +1101,11 @@ class ProfileBuilder:
         ``_PLAN_BATCH_CHUNKS`` consecutive chunks, and each worker returns
         one merged :class:`PlanChunkCounts` per batch; batches are submitted
         and merged oldest-first, so the overall merge order equals the chunk
-        order and stays bit-identical to the serial fold.
+        order and stays bit-identical to the serial fold.  ``initial``
+        seeds the fold with pre-merged totals (the store's append path)
+        instead of the plan's zeros.
         """
-        totals = kernel_plan.zeros()
+        totals = kernel_plan.zeros() if initial is None else initial
         if self._executor in ("serial", "streaming"):
             for payload in payloads:
                 totals.merge(count_plan_chunk(kernel_plan, payload))

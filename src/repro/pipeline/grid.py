@@ -181,6 +181,7 @@ class GridProfileBuilder(ProfileBuilder):
         objectives: Sequence[Condition],
         bucketings: Mapping[str, Bucketing] | None = None,
         grid: tuple[int, int] | None = None,
+        store: "object | None" = None,
     ) -> GridCounts:
         """Count every objective's cell grid in one fused scan of ``source``.
 
@@ -188,7 +189,10 @@ class GridProfileBuilder(ProfileBuilder):
         pass for their axis, e.g. to reuse boundaries from a previous build
         or from an in-memory bucketizer.  ``grid`` overrides the builder-wide
         bucket count per axis (``(rows, columns)``), so non-square grids need
-        no second builder.
+        no second builder.  ``store`` serves the grid from a persistent
+        :class:`~repro.store.ProfileStore` snapshot when one matches — zero
+        physical scans, tail-only counting on append-only growth (requires
+        the fused path and no ``bucketings`` overrides).
         """
         if row_attribute == column_attribute:
             raise PipelineError(
@@ -200,8 +204,15 @@ class GridProfileBuilder(ProfileBuilder):
             request_id = plan.add_grid(
                 row_attribute, column_attribute, objectives, grid=grid
             )
-            results = self.execute_plan(source, plan, bucketings=bucketings)
+            results = self.execute_plan(
+                source, plan, bucketings=bucketings,
+                store=store if not bucketings else None,
+            )
             return results.grid_counts(request_id)
+        if store is not None:
+            raise PipelineError(
+                "a profile store requires the fused scan planner (fused=True)"
+            )
         resolved = dict(bucketings or {})
         missing = [
             attribute
@@ -274,8 +285,9 @@ class GridProfileBuilder(ProfileBuilder):
         bucketings: Mapping[str, Bucketing] | None = None,
         grid: tuple[int, int] | None = None,
         label: str | None = None,
+        store: "object | None" = None,
     ) -> GridProfile:
-        """One objective's :class:`GridProfile` from one fused scan."""
+        """One objective's :class:`GridProfile` from one fused scan (or a store hit)."""
         counts = self.build_grid_counts(
             source,
             row_attribute,
@@ -283,5 +295,6 @@ class GridProfileBuilder(ProfileBuilder):
             [objective],
             bucketings=bucketings,
             grid=grid,
+            store=store,
         )
         return counts.profile(objective, label=label)

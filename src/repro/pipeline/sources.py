@@ -23,9 +23,11 @@ which is what makes pipeline results bit-identical across source types.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -38,7 +40,57 @@ from repro.relation.io import (
 from repro.relation.relation import Relation
 from repro.relation.schema import Attribute, Schema
 
-__all__ = ["DataSource", "RelationSource", "ChunkedSource", "CSVSource"]
+__all__ = [
+    "DataSource",
+    "RelationSource",
+    "ChunkedSource",
+    "CSVSource",
+    "SourceFingerprint",
+    "fingerprint_relation",
+]
+
+
+@dataclass(frozen=True)
+class SourceFingerprint:
+    """Content identity of (a prefix of) a data source.
+
+    ``token`` is a digest of the first ``length`` units of the source's
+    data, where the *unit* is source-defined — tuples for in-memory and
+    chunked sources, bytes for CSV files — but always the same unit the
+    source's :meth:`DataSource.scan_tail` resumes by.  Because the token
+    covers exactly the leading ``length`` units, an append-only source keeps
+    its old fingerprints valid: re-fingerprinting the grown source at the
+    stored prefix (``source.fingerprint(prefix=stored.length)``) must
+    reproduce the stored token bit for bit, which is how the profile store
+    distinguishes "same data, grown at the tail" from "different data".
+    """
+
+    token: str
+    length: int
+
+
+def fingerprint_relation(
+    relation: Relation, prefix: int | None = None
+) -> SourceFingerprint:
+    """Fingerprint the first ``prefix`` tuples of an in-memory relation.
+
+    The digest covers the schema (names and kinds, so a re-typed column
+    never collides) plus the raw bytes of every column's leading values.
+    Shared by :meth:`RelationSource.fingerprint` and usable as the
+    fingerprint hook of a :class:`ChunkedSource` whose chunks are backed by
+    in-memory relations.
+    """
+    total = relation.num_tuples
+    span = total if prefix is None else min(int(prefix), total)
+    digest = hashlib.sha256()
+    for attribute in relation.schema:
+        digest.update(
+            repr((attribute.name, attribute.kind.value)).encode("utf-8")
+        )
+    for name in relation.schema.names():
+        column = np.ascontiguousarray(relation.column(name)[:span])
+        digest.update(column.tobytes())
+    return SourceFingerprint(token=digest.hexdigest(), length=span)
 
 
 class DataSource(ABC):
@@ -71,6 +123,51 @@ class DataSource(ABC):
         by name either way.  The default implementation ignores the hint.
         """
         return self.chunks()
+
+    def fingerprint(self, prefix: int | None = None) -> SourceFingerprint | None:
+        """Content fingerprint of the source's first ``prefix`` units.
+
+        ``None`` (the default) means the source cannot be fingerprinted —
+        the profile store then never caches it.  Implementations must be
+        cheap relative to a scan (raw bytes / in-memory hashing, never a
+        parse) and **append-stable**: fingerprinting a grown source at the
+        old prefix reproduces the old token exactly.  The unit of ``prefix``
+        and of the returned ``length`` is source-defined but must match what
+        :meth:`scan_tail` resumes by.
+        """
+        return None
+
+    def scan_tail(
+        self, start: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        """A scan of only the data after marker ``start``.
+
+        ``start`` is in the units of :meth:`fingerprint` ``length`` (tuples
+        by default).  This is the append contract of the profile store: on
+        an append-only source, counting ``scan_tail(snapshot.length)`` and
+        merging into the stored partials equals a full re-count with the
+        same (frozen) bucket boundaries.  The default implementation scans
+        from the top and drops the first ``start`` tuples — correct for any
+        source, but it still touches the head; sources with cheap random
+        access (:class:`RelationSource` slices, :class:`CSVSource` byte
+        seeks) override it to touch **only** the tail.
+        """
+        if start < 0:
+            raise RelationError("scan_tail start must be non-negative")
+
+        def tail() -> Iterator[Relation]:
+            remaining = int(start)
+            for chunk in self.scan(columns):
+                if remaining >= chunk.num_tuples:
+                    remaining -= chunk.num_tuples
+                    continue
+                if remaining:
+                    yield chunk.take(np.arange(remaining, chunk.num_tuples))
+                    remaining = 0
+                else:
+                    yield chunk
+
+        return tail()
 
     @property
     def in_memory(self) -> bool:
@@ -148,6 +245,21 @@ class RelationSource(DataSource):
             self._relation.project(names), chunk_size=self._chunk_size
         ).chunks()
 
+    def fingerprint(self, prefix: int | None = None) -> SourceFingerprint:
+        """Tuple-prefix digest of the in-memory data (memory-speed, no scan)."""
+        return fingerprint_relation(self._relation, prefix)
+
+    def scan_tail(
+        self, start: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        """Slice the tail directly — the head is never copied or chunked."""
+        if start < 0:
+            raise RelationError("scan_tail start must be non-negative")
+        total = self._relation.num_tuples
+        start = min(int(start), total)
+        tail = self._relation.take(np.arange(start, total))
+        return RelationSource(tail, chunk_size=self._chunk_size).scan(columns)
+
 
 class ChunkedSource(DataSource):
     """A source backed by a factory of relation-chunk iterators.
@@ -161,15 +273,26 @@ class ChunkedSource(DataSource):
         Schema of the chunks.  When omitted it is discovered by peeking at
         the first chunk of one factory invocation.  Every scanned chunk is
         validated against it.
+    fingerprint:
+        Optional fingerprint hook ``(prefix) -> SourceFingerprint`` enabling
+        the profile store for this source.  A generic chunk factory cannot
+        be fingerprinted from the outside (the pipeline has no idea what
+        backs it), so the owner of the data supplies the identity — e.g.
+        :func:`fingerprint_relation` over the backing relation for
+        list-of-chunks feeds, or a queue's own offset/epoch bookkeeping.
+        The hook's length unit is tuples (matching the default
+        :meth:`DataSource.scan_tail`).
     """
 
     def __init__(
         self,
         factory: Callable[[], Iterable[Relation]],
         schema: Schema | None = None,
+        fingerprint: Callable[[int | None], SourceFingerprint] | None = None,
     ) -> None:
         self._factory = factory
         self._schema = schema
+        self._fingerprint = fingerprint
 
     @classmethod
     def from_arrays(
@@ -220,6 +343,19 @@ class ChunkedSource(DataSource):
                     "chunked source produced a chunk with a different schema"
                 )
             yield chunk
+
+    def fingerprint(self, prefix: int | None = None) -> SourceFingerprint | None:
+        if self._fingerprint is None:
+            return None
+        return self._fingerprint(prefix)
+
+
+#: Process-wide memo of CSV prefix digests keyed by (resolved path, size,
+#: mtime_ns, span).  Any in-place modification changes size or mtime, so a
+#: stale hit would need a same-length rewrite inside one mtime tick — the
+#: standard stat-cache tradeoff.  Bounded FIFO eviction.
+_CSV_DIGEST_CACHE: dict[tuple[str, int, int, int], str] = {}
+_CSV_DIGEST_CACHE_ENTRIES = 256
 
 
 class CSVSource(DataSource):
@@ -329,3 +465,77 @@ class CSVSource(DataSource):
             )
 
         return resumed()
+
+    def fingerprint(self, prefix: int | None = None) -> SourceFingerprint:
+        """Digest of the file's first ``prefix`` bytes (raw I/O, no parse).
+
+        The unit is **bytes** (``length`` is the file size), matching the
+        byte-offset resume of :meth:`scan_tail`.  Appending rows leaves
+        every earlier byte in place, so re-fingerprinting the grown file at
+        the stored prefix reproduces the stored token — the append-stability
+        the profile store relies on.
+
+        Digests are memoized process-wide keyed by ``(path, size, mtime,
+        span)``, so a warm store run — which fingerprints the same unchanged
+        file from several code paths (schema lookup, serve, prefix checks)
+        — hashes each span once, not once per caller.
+        """
+        stat = self._path.stat()
+        size = stat.st_size
+        span = size if prefix is None else min(int(prefix), size)
+        key = (str(self._path.resolve()), size, stat.st_mtime_ns, span)
+        token = _CSV_DIGEST_CACHE.get(key)
+        if token is None:
+            digest = hashlib.sha256()
+            with self._path.open("rb") as handle:
+                remaining = span
+                while remaining > 0:
+                    block = handle.read(min(remaining, 1 << 20))
+                    if not block:
+                        break
+                    digest.update(block)
+                    remaining -= len(block)
+            token = digest.hexdigest()
+            while len(_CSV_DIGEST_CACHE) >= _CSV_DIGEST_CACHE_ENTRIES:
+                _CSV_DIGEST_CACHE.pop(next(iter(_CSV_DIGEST_CACHE)))
+            _CSV_DIGEST_CACHE[key] = token
+        return SourceFingerprint(token=token, length=span)
+
+    def scan_tail(
+        self, start: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        """Parse only the rows after byte offset ``start`` (O(1) seek).
+
+        ``start`` must be a fingerprint length of an earlier snapshot of the
+        same file — i.e. a position just past a newline — so the resumed
+        parse sees whole rows.  A ``start`` inside a line (the file was not
+        grown append-only, or the snapshot was taken of a file without a
+        trailing newline) raises :class:`~repro.exceptions.RelationError`
+        rather than mis-parsing.
+        """
+        if start < 0:
+            raise RelationError("scan_tail start must be non-negative")
+        if start == 0:
+            # No snapshot precedes the tail: the "tail" is the whole file
+            # (a real CSV fingerprint is never shorter than its header).
+            return self.scan(columns)
+        size = self._path.stat().st_size
+        if start >= size:
+            return iter(())
+        if start > 0:
+            with self._path.open("rb") as handle:
+                handle.seek(start - 1)
+                if handle.read(1) != b"\n":
+                    raise RelationError(
+                        f"tail resume offset {start} of {self._path} does not "
+                        "sit on a line boundary; the file is not an "
+                        "append-only continuation of the snapshot"
+                    )
+        return read_csv_chunks(
+            self._path,
+            schema=self.schema,
+            chunk_size=self._chunk_size,
+            columns=columns,
+            fast=self._fast,
+            start_offset=start,
+        )

@@ -39,7 +39,8 @@ scan skip every Boolean column of a wide catalog file.
 from __future__ import annotations
 
 import csv
-from io import StringIO
+from contextlib import ExitStack
+from io import StringIO, TextIOWrapper
 from itertools import chain, islice
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -441,6 +442,7 @@ def read_csv_chunks(
     columns: Sequence[str] | None = None,
     fast: bool = True,
     skip_lines: int = 0,
+    start_offset: int | None = None,
 ) -> Iterator[Relation]:
     """Yield a CSV file as :class:`Relation` chunks of at most ``chunk_size`` rows.
 
@@ -468,14 +470,44 @@ def read_csv_chunks(
     :func:`read_csv_first_chunk`, which reports how many lines its cached
     chunk covers).
 
+    ``start_offset`` resumes a scan by *byte* position instead: the header
+    is read (and validated) from the top of the file, then parsing restarts
+    at the absolute byte offset — an O(1) seek, however much data precedes
+    it.  The offset must sit on a line boundary and needs an explicit
+    ``schema`` (a mid-file tail cannot re-infer one); it is the mechanism
+    behind :meth:`repro.pipeline.CSVSource.scan_tail`, which parses only the
+    rows appended after a stored snapshot.  Legacy-fallback error messages
+    report line numbers relative to the resume offset.
+
     A file with a header but no data rows yields no chunks.
     """
     if chunk_size <= 0:
         raise RelationError("chunk_size must be positive")
+    if start_offset is not None:
+        if start_offset < 0:
+            raise RelationError("start_offset must be non-negative")
+        if skip_lines:
+            raise RelationError("start_offset and skip_lines are mutually exclusive")
+        if schema is None:
+            raise RelationError(
+                "start_offset scans need an explicit schema; a tail of the "
+                "file cannot infer one"
+            )
     path = Path(path)
-    with path.open("r", newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
-        header = _read_header(reader, path)
+    with ExitStack() as stack:
+        if start_offset is None:
+            handle = stack.enter_context(
+                path.open("r", newline="", encoding="utf-8")
+            )
+            header = _read_header(csv.reader(handle), path)
+        else:
+            with path.open("r", newline="", encoding="utf-8") as head:
+                header = _read_header(csv.reader(head), path)
+            raw = stack.enter_context(path.open("rb"))
+            raw.seek(start_offset)
+            handle = stack.enter_context(
+                TextIOWrapper(raw, encoding="utf-8", newline="")
+            )
         if schema is not None:
             _check_schema_header(schema, header, path)
         chunk_schema = (

@@ -1,0 +1,33 @@
+"""Persistent profile store: zero-scan serving of executed scan plans.
+
+PR after PR collapsed the cost of a mining workload down to **one physical
+scan** of the data; this package removes the remaining scan for repeated
+and append-only workloads.  A :class:`ProfileStore` persists the merged
+counting partials of an executed :class:`~repro.pipeline.ScanPlan` — bucket,
+average, presumptive, and grid payloads plus the sampled reservoir
+boundaries — to disk as an ``.npz`` payload under a JSON manifest keyed by
+``(source fingerprint, plan signature, seed)``:
+
+* a repeated request over unchanged data is a **manifest hit**: the stored
+  partials deserialize straight into a
+  :class:`~repro.pipeline.PlanResults` with *zero* physical source scans;
+* an append-only grown source (a CSV grown at the tail, a
+  :class:`~repro.pipeline.ChunkedSource` with new chunks) counts **only the
+  new tuples** with the fused kernel and merges the tail partials into the
+  stored payloads in chunk order — boundaries stay frozen at their snapshot
+  values while a tracked staleness fraction rises, and crossing the
+  configurable rebuild threshold triggers a full two-pass refresh;
+* anything the store cannot *prove* matches — truncated payloads, manifest
+  mismatches, fingerprint drift — raises a typed
+  :class:`~repro.exceptions.StoreError` instead of ever serving wrong
+  counts.
+
+The differential harness in ``tests/store/`` locks the contract down:
+store-hit profiles are bit-identical to fresh scans across the full
+source × executor matrix, and append-then-serve is bit-identical to
+rebuild-with-frozen-boundaries.
+"""
+
+from repro.store.profile_store import ProfileStore, plan_signature
+
+__all__ = ["ProfileStore", "plan_signature"]

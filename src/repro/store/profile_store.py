@@ -1,0 +1,721 @@
+"""The :class:`ProfileStore`: persisted scan plans, served without scanning.
+
+On-disk layout (one directory per store)::
+
+    <directory>/
+        manifest.json       # entry metadata, keyed by payload file name
+        <entry-key>.npz     # merged PlanChunkCounts + per-request cuts + meta
+
+Every entry records the executing builder's plan signature and seed, the
+source fingerprint of the snapshot (``token`` over the first ``length``
+source units), and the staleness bookkeeping (``base_tuples`` counted when
+the boundaries were last sampled, ``num_tuples`` now).  The payload ``.npz``
+additionally embeds the signature/seed/token it was written for, so a
+manifest that disagrees with its payload is detected as corruption rather
+than trusted.
+
+Matching is content-addressed and append-aware: an exact fingerprint match
+serves with zero scans; a source whose re-digested prefix equals the stored
+token grew append-only and is counted from ``scan_tail`` into the stored
+partials; anything else is a different source and builds fresh.  The store
+never serves counts it cannot prove correct — every corruption or drift
+path raises :class:`~repro.exceptions.StoreError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import zipfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.bucketing.base import Bucketing
+from repro.bucketing.counting import (
+    ChunkCounts,
+    GridChunkCounts,
+    PlanChunkCounts,
+)
+from repro.exceptions import (
+    BucketingError,
+    RelationError,
+    SchemaError,
+    StoreError,
+)
+from repro.pipeline.builder import PlanResults, ProfileBuilder, ScanPlan
+from repro.pipeline.sources import DataSource, SourceFingerprint
+from repro.relation.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.builder import ProfileRequest
+
+__all__ = ["ProfileStore", "plan_signature"]
+
+_MANIFEST = "manifest.json"
+_MANIFEST_VERSION = 1
+
+#: Fraction of tuples counted after the boundary snapshot at which the
+#: almost-equi-depth guarantee is considered rotten enough to re-sample.
+DEFAULT_REBUILD_THRESHOLD = 0.25
+
+
+def plan_signature(builder: ProfileBuilder, plan: ScanPlan) -> str:
+    """Deterministic identity of *what* a plan execution computes.
+
+    Covers the ordered request list (kinds, attributes, condition reprs,
+    bucket-count overrides) plus the builder parameters that shape the
+    result (``num_buckets``, ``sample_factor``).  Executor choice is
+    deliberately excluded: all executors produce bit-identical profiles, so
+    a store built under ``multiprocessing`` serves ``serial`` runs and vice
+    versa.  The sampling ``seed`` is excluded too — it is a separate
+    component of the manifest key, as two seeds genuinely produce different
+    boundaries.
+    """
+    descriptor = {
+        "version": _MANIFEST_VERSION,
+        "num_buckets": builder.num_buckets,
+        "sample_factor": builder.sample_factor,
+        "requests": [
+            {
+                "kind": request.kind,
+                "attribute": request.attribute,
+                "objectives": [repr(o) for o in request.objectives],
+                "targets": list(request.targets),
+                "objective": (
+                    None if request.objective is None else repr(request.objective)
+                ),
+                "presumptives": [repr(p) for p in request.presumptives],
+                "column_attribute": request.column_attribute,
+                "num_buckets": request.num_buckets,
+                "column_num_buckets": request.column_num_buckets,
+            }
+            for request in plan.requests
+        ],
+    }
+    payload = json.dumps(descriptor, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _schema_pairs(source: DataSource) -> list[list[str]] | None:
+    """The source schema as JSON-able ``[name, kind]`` pairs (best effort)."""
+    try:
+        return [
+            [attribute.name, attribute.kind.value] for attribute in source.schema
+        ]
+    except Exception:  # pragma: no cover - schema discovery is source-defined
+        return None
+
+
+def _expected_rows(request: "ProfileRequest") -> tuple[int, int, int]:
+    """``(conditional, sums, bound_masks)`` row counts a request's part carries."""
+    if request.kind == "grid":
+        return len(request.objectives), 0, 0
+    if request.kind == "presumptive":
+        return 2 * len(request.presumptives), 0, len(request.presumptives)
+    return len(request.objectives), len(request.targets), 0
+
+
+class ProfileStore:
+    """Persist executed scan plans; serve repeats with zero physical scans.
+
+    Parameters
+    ----------
+    directory:
+        Store location (created on first write).
+    rebuild_threshold:
+        Staleness fraction — tuples appended since the boundary snapshot
+        over total tuples — past which an append triggers a full two-pass
+        refresh (fresh reservoir boundaries) instead of another frozen-
+        boundary merge.
+
+    Example
+    -------
+    >>> from repro.pipeline import CSVSource, ProfileBuilder, ScanPlan
+    >>> from repro.store import ProfileStore
+    >>> builder = ProfileBuilder(num_buckets=100, seed=7)
+    >>> plan = ScanPlan()
+    >>> _ = plan.add_bucket("balance", objectives=[objective])  # doctest: +SKIP
+    >>> store = ProfileStore("profile-store")  # doctest: +SKIP
+    >>> results = builder.execute_plan(source, plan, store=store)  # doctest: +SKIP
+    >>> store.last_status  # doctest: +SKIP
+    'build'
+    >>> results = builder.execute_plan(source, plan, store=store)  # doctest: +SKIP
+    >>> store.last_status  # zero physical scans this time  # doctest: +SKIP
+    'hit'
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+    ) -> None:
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise StoreError("rebuild_threshold must be in (0, 1]")
+        self._directory = Path(directory)
+        self._rebuild_threshold = float(rebuild_threshold)
+        self._last_status: str | None = None
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        """The store's on-disk location."""
+        return self._directory
+
+    @property
+    def rebuild_threshold(self) -> float:
+        """Staleness fraction that triggers a full boundary refresh."""
+        return self._rebuild_threshold
+
+    @property
+    def last_status(self) -> str | None:
+        """How the most recent :meth:`serve` answered.
+
+        One of ``"hit"`` (zero scans), ``"append"`` (tail-only count),
+        ``"rebuild"`` (staleness crossed the threshold), ``"build"`` (no
+        usable snapshot), or ``"unstored"`` (the source has no
+        fingerprint, so nothing was cached).
+        """
+        return self._last_status
+
+    def _manifest_path(self) -> Path:
+        return self._directory / _MANIFEST
+
+    def _read_manifest(self) -> dict:
+        path = self._manifest_path()
+        if not path.exists():
+            return {"version": _MANIFEST_VERSION, "entries": []}
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise StoreError(f"store manifest {path} is unreadable: {exc}") from exc
+        if (
+            not isinstance(manifest, dict)
+            or not isinstance(manifest.get("entries"), list)
+        ):
+            raise StoreError(f"store manifest {path} is malformed")
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise StoreError(
+                f"store manifest {path} has unsupported version "
+                f"{manifest.get('version')!r}"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest: dict) -> None:
+        self._directory.mkdir(parents=True, exist_ok=True)
+        path = self._manifest_path()
+        text = json.dumps(manifest, indent=2, sort_keys=True)
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(text, encoding="utf-8")
+        temporary.replace(path)
+
+    @staticmethod
+    def _find_candidates(
+        manifest: dict, signature: str, seed: int
+    ) -> list[dict]:
+        return [
+            entry
+            for entry in manifest["entries"]
+            if entry.get("plan_signature") == signature
+            and entry.get("seed") == seed
+        ]
+
+    # -- serialization ---------------------------------------------------------
+
+    def _payload_state(
+        self, results: PlanResults, plan: ScanPlan, signature: str, seed: int,
+        token: str,
+    ) -> dict[str, np.ndarray]:
+        state = PlanChunkCounts(list(results.parts)).to_state()
+        for request_id in range(len(plan)):
+            for axis, bucketing in enumerate(
+                results.request_bucketings(request_id)
+            ):
+                state[f"bucketing{request_id}.{axis}"] = bucketing.cuts
+        state["meta.signature"] = np.asarray(signature)
+        state["meta.seed"] = np.int64(seed)
+        state["meta.token"] = np.asarray(token)
+        return state
+
+    def _load_payload(
+        self, entry: dict, plan: ScanPlan, signature: str, seed: int
+    ) -> tuple[list[ChunkCounts | GridChunkCounts], list[tuple[Bucketing, ...]]]:
+        """Deserialize and *validate* one entry's payload.
+
+        Every failure mode — unreadable archive, truncated member, missing
+        field, meta that disagrees with the manifest or the request — is a
+        :class:`StoreError`; the store never guesses.
+        """
+        path = self._directory / entry["payload"]
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                arrays = {key: np.array(archive[key]) for key in archive.files}
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError) as exc:
+            raise StoreError(
+                f"store payload {path} is unreadable or truncated: {exc}"
+            ) from exc
+        try:
+            meta_signature = str(arrays["meta.signature"].item())
+            meta_seed = int(arrays["meta.seed"])
+            meta_token = str(arrays["meta.token"].item())
+        except KeyError as exc:
+            raise StoreError(
+                f"store payload {path} is missing its meta header"
+            ) from exc
+        if meta_signature != signature or meta_signature != entry.get(
+            "plan_signature"
+        ):
+            raise StoreError(
+                f"store payload {path} was written for a different plan "
+                "signature than the manifest claims"
+            )
+        if meta_seed != seed or meta_seed != entry.get("seed"):
+            raise StoreError(
+                f"store payload {path} was written for seed {meta_seed}, but "
+                f"the manifest entry claims seed {entry.get('seed')} and the "
+                f"builder requests seed {seed}"
+            )
+        if meta_token != entry.get("token"):
+            raise StoreError(
+                f"store payload {path} was written for a different source "
+                "fingerprint than the manifest claims"
+            )
+        try:
+            totals = PlanChunkCounts.from_state(arrays)
+        except BucketingError as exc:
+            raise StoreError(f"store payload {path} is corrupt: {exc}") from exc
+
+        requests = list(entry.get("requests", []))
+        bucketings: list[tuple[Bucketing, ...]] = []
+        for request_id, kind in enumerate(requests):
+            axes = 2 if kind == "grid" else 1
+            cuts = []
+            for axis in range(axes):
+                key = f"bucketing{request_id}.{axis}"
+                if key not in arrays:
+                    raise StoreError(
+                        f"store payload {path} is missing the bucketing of "
+                        f"request {request_id}"
+                    )
+                cuts.append(arrays[key])
+            try:
+                bucketings.append(tuple(Bucketing(c) for c in cuts))
+            except BucketingError as exc:
+                raise StoreError(
+                    f"store payload {path} holds invalid bucket cuts: {exc}"
+                ) from exc
+        if len(totals.parts) != len(requests):
+            raise StoreError(
+                f"store payload {path} holds {len(totals.parts)} parts for "
+                f"{len(requests)} requests"
+            )
+        return totals.parts, bucketings
+
+    def _validate_against_plan(
+        self,
+        parts: Sequence[ChunkCounts | GridChunkCounts],
+        bucketings: Sequence[tuple[Bucketing, ...]],
+        plan: ScanPlan,
+    ) -> None:
+        """Structural proof that a payload answers exactly this plan."""
+        requests = plan.requests
+        if len(parts) != len(requests):
+            raise StoreError(
+                "stored payload does not match the plan's request count"
+            )
+        for request, part, resolved in zip(requests, parts, bucketings):
+            conditional_rows, sum_rows, bound_rows = _expected_rows(request)
+            if request.kind == "grid":
+                if not isinstance(part, GridChunkCounts):
+                    raise StoreError(
+                        "stored payload kind does not match the grid request"
+                    )
+                shape = (resolved[0].num_buckets, resolved[1].num_buckets)
+                if part.sizes.shape != shape or part.conditional.shape != (
+                    conditional_rows,
+                    *shape,
+                ):
+                    raise StoreError(
+                        "stored grid payload shape does not match its bucketings"
+                    )
+                continue
+            if not isinstance(part, ChunkCounts):
+                raise StoreError(
+                    "stored payload kind does not match the 1-D request"
+                )
+            buckets = resolved[0].num_buckets
+            assert part.mask_lows is not None
+            if (
+                part.sizes.shape != (buckets,)
+                or part.conditional.shape != (conditional_rows, buckets)
+                or part.sums.shape != (sum_rows, buckets)
+                or part.mask_lows.shape != (bound_rows, buckets)
+            ):
+                raise StoreError(
+                    "stored payload shape does not match its request"
+                )
+
+    # -- manifest bookkeeping --------------------------------------------------
+
+    def _store_entry(
+        self,
+        manifest: dict,
+        plan: ScanPlan,
+        results: PlanResults,
+        signature: str,
+        seed: int,
+        fingerprint: SourceFingerprint,
+        base_tuples: int,
+        schema: list[list[str]] | None = None,
+        previous: dict | None = None,
+    ) -> dict:
+        entries = manifest["entries"]
+        replaced = previous
+        if replaced is None:
+            # A same-identity entry (same plan, seed, snapshot token) is a
+            # re-run of the same build: overwrite it in place.
+            for existing in entries:
+                if (
+                    existing.get("plan_signature") == signature
+                    and existing.get("seed") == seed
+                    and existing.get("token") == fingerprint.token
+                ):
+                    replaced = existing
+                    break
+        if replaced is not None:
+            payload_name = replaced["payload"]
+        else:
+            # Derive a name from the snapshot identity, but never reuse a
+            # file another entry owns: an appended entry keeps its original
+            # file name while its token advances, so a later build for the
+            # *original* token would otherwise derive that same name and
+            # clobber the appended snapshot.
+            taken = {existing.get("payload") for existing in entries}
+            stem = hashlib.sha256(
+                f"{signature}|{seed}|{fingerprint.token}".encode("utf-8")
+            ).hexdigest()[:20]
+            payload_name = stem + ".npz"
+            suffix = 1
+            while payload_name in taken:
+                payload_name = f"{stem}-{suffix}.npz"
+                suffix += 1
+        num_tuples = int(results.parts[0].num_tuples) if results.parts else 0
+        appended = max(0, num_tuples - int(base_tuples))
+        entry = {
+            "payload": payload_name,
+            "plan_signature": signature,
+            "seed": int(seed),
+            "token": fingerprint.token,
+            "length": int(fingerprint.length),
+            "num_tuples": num_tuples,
+            "base_tuples": int(base_tuples),
+            "appended_tuples": appended,
+            "staleness": (appended / num_tuples) if num_tuples else 0.0,
+            "requests": [request.kind for request in plan.requests],
+            "schema": schema,
+            "created_unix": time.time(),
+        }
+        self._directory.mkdir(parents=True, exist_ok=True)
+        state = self._payload_state(
+            results, plan, signature, seed, fingerprint.token
+        )
+        # Atomic payload write: the append/rebuild path overwrites the only
+        # good copy of a snapshot, so a crash mid-write must never leave a
+        # truncated archive behind (same discipline as the manifest).
+        target = self._directory / entry["payload"]
+        temporary = target.with_name(target.name + ".tmp")
+        with temporary.open("wb") as handle:
+            np.savez(handle, **state)
+        temporary.replace(target)
+        if replaced is not None:
+            entries[entries.index(replaced)] = entry
+        else:
+            entries.append(entry)
+        self._write_manifest(manifest)
+        return entry
+
+    # -- public API ------------------------------------------------------------
+
+    def serve(
+        self, builder: ProfileBuilder, source: DataSource, plan: ScanPlan
+    ) -> tuple[PlanResults, str]:
+        """Answer ``plan`` over ``source``, scanning as little as possible.
+
+        Returns ``(results, status)`` where ``status`` is ``"hit"`` (served
+        from disk, zero physical scans), ``"append"`` (only the source's
+        appended tail was counted and merged), ``"rebuild"`` (the append
+        crossed the staleness threshold, so boundaries were re-sampled from
+        the full source), ``"build"`` (no usable snapshot existed — full
+        execution, now persisted), or ``"unstored"`` (the source has no
+        fingerprint; executed normally, nothing cached).
+        """
+        fingerprint = source.fingerprint()
+        if fingerprint is None or len(plan) == 0:
+            self._last_status = "unstored"
+            return builder.execute_plan(source, plan), "unstored"
+        signature = plan_signature(builder, plan)
+        seed = builder.seed
+        manifest = self._read_manifest()
+        for entry in self._find_candidates(manifest, signature, seed):
+            if (
+                entry.get("token") == fingerprint.token
+                and entry.get("length") == fingerprint.length
+            ):
+                results = self._serve_hit(entry, plan, signature, seed)
+                self._last_status = "hit"
+                return results, "hit"
+        for entry in self._find_candidates(manifest, signature, seed):
+            if fingerprint.length < int(entry.get("length", 0)):
+                continue
+            prefix = source.fingerprint(int(entry["length"]))
+            if (
+                prefix is not None
+                and prefix.length == entry["length"]
+                and prefix.token == entry["token"]
+            ):
+                try:
+                    results, status = self._serve_append(
+                        builder, source, plan, manifest, entry,
+                        signature, seed, fingerprint,
+                    )
+                except RelationError:
+                    # The snapshot offset is not a clean resume point — e.g.
+                    # the snapshot was taken of a CSV without a trailing
+                    # newline, so the appended rows extend its last line.
+                    # Never guess at a tail: rebuild from the full source
+                    # and replace the snapshot.
+                    results = builder.execute_plan(source, plan)
+                    self._store_entry(
+                        manifest, plan, results, signature, seed, fingerprint,
+                        base_tuples=(
+                            int(results.parts[0].num_tuples)
+                            if results.parts
+                            else 0
+                        ),
+                        schema=_schema_pairs(source),
+                        previous=entry,
+                    )
+                    self._last_status = "build"
+                    return results, "build"
+                self._last_status = status
+                return results, status
+        results = builder.execute_plan(source, plan)
+        self._store_entry(
+            manifest, plan, results, signature, seed, fingerprint,
+            base_tuples=int(results.parts[0].num_tuples) if results.parts else 0,
+            schema=_schema_pairs(source),
+        )
+        self._last_status = "build"
+        return results, "build"
+
+    def _serve_hit(
+        self, entry: dict, plan: ScanPlan, signature: str, seed: int
+    ) -> PlanResults:
+        parts, bucketings = self._load_payload(entry, plan, signature, seed)
+        self._validate_against_plan(parts, bucketings, plan)
+        return PlanResults(list(plan.requests), parts, bucketings)
+
+    def _serve_append(
+        self,
+        builder: ProfileBuilder,
+        source: DataSource,
+        plan: ScanPlan,
+        manifest: dict,
+        entry: dict,
+        signature: str,
+        seed: int,
+        fingerprint: SourceFingerprint,
+    ) -> tuple[PlanResults, str]:
+        parts, bucketings = self._load_payload(entry, plan, signature, seed)
+        self._validate_against_plan(parts, bucketings, plan)
+        initial = PlanChunkCounts(list(parts))
+        results = builder.execute_plan_tail(
+            source, plan, bucketings, int(entry["length"]), initial
+        )
+        num_tuples = int(results.parts[0].num_tuples) if results.parts else 0
+        base = int(entry.get("base_tuples", entry.get("num_tuples", 0)))
+        staleness = (num_tuples - base) / num_tuples if num_tuples else 0.0
+        if staleness > self._rebuild_threshold:
+            # The almost-equi-depth guarantee has rotted past the configured
+            # bound: re-run the full two-pass build (fresh reservoir
+            # boundaries over all tuples) and persist it as the new snapshot.
+            results = builder.execute_plan(source, plan)
+            self._store_entry(
+                manifest, plan, results, signature, seed, fingerprint,
+                base_tuples=(
+                    int(results.parts[0].num_tuples) if results.parts else 0
+                ),
+                schema=_schema_pairs(source),
+                previous=entry,
+            )
+            return results, "rebuild"
+        self._store_entry(
+            manifest, plan, results, signature, seed, fingerprint,
+            base_tuples=base, schema=_schema_pairs(source), previous=entry,
+        )
+        return results, "append"
+
+    def get(
+        self, builder: ProfileBuilder, source: DataSource, plan: ScanPlan
+    ) -> PlanResults | None:
+        """The stored results for an *exact* snapshot match, else ``None``.
+
+        Read-only: never scans the source, never writes the store.
+        """
+        fingerprint = source.fingerprint()
+        if fingerprint is None:
+            return None
+        signature = plan_signature(builder, plan)
+        manifest = self._read_manifest()
+        for entry in self._find_candidates(manifest, signature, builder.seed):
+            if (
+                entry.get("token") == fingerprint.token
+                and entry.get("length") == fingerprint.length
+            ):
+                return self._serve_hit(entry, plan, signature, builder.seed)
+        return None
+
+    def put(
+        self,
+        builder: ProfileBuilder,
+        source: DataSource,
+        plan: ScanPlan,
+        results: PlanResults,
+    ) -> None:
+        """Persist an already-executed plan as a fresh snapshot of ``source``."""
+        fingerprint = source.fingerprint()
+        if fingerprint is None:
+            raise StoreError(
+                "the source has no fingerprint; its results cannot be stored"
+            )
+        manifest = self._read_manifest()
+        self._store_entry(
+            manifest, plan, results,
+            plan_signature(builder, plan), builder.seed, fingerprint,
+            base_tuples=int(results.parts[0].num_tuples) if results.parts else 0,
+            schema=_schema_pairs(source),
+        )
+
+    def append(
+        self, builder: ProfileBuilder, source: DataSource, plan: ScanPlan
+    ) -> PlanResults:
+        """Fold an append-only source's new tuples into the stored snapshot.
+
+        Requires a stored snapshot whose fingerprint is a *verified prefix*
+        of the current source; anything else — no snapshot, a shrunken
+        source, or head bytes that no longer digest to the stored token —
+        raises :class:`StoreError` (fingerprint drift must never merge into
+        counts it does not extend).  Crossing the staleness threshold
+        triggers the full two-pass refresh, exactly as :meth:`serve`.
+
+        Integer counts and min/max bounds merge exactly, whatever the chunk
+        geometry.  The §5 float bucket *sums* are additionally bit-identical
+        to a frozen-boundary rebuild when appends are chunk-aligned (whole
+        chunks appended — the natural shape of a growing chunked feed, or a
+        CSV head that is a multiple of the chunk size); an append that
+        splits a rebuild chunk regroups those float additions and can move
+        their last bit, exactly as re-chunking any stream would.
+        """
+        fingerprint = source.fingerprint()
+        if fingerprint is None:
+            raise StoreError("the source has no fingerprint; nothing to append to")
+        signature = plan_signature(builder, plan)
+        seed = builder.seed
+        manifest = self._read_manifest()
+        candidates = self._find_candidates(manifest, signature, seed)
+        if not candidates:
+            raise StoreError(
+                "no stored snapshot matches this plan and seed; "
+                "build the store first"
+            )
+        for entry in candidates:
+            if (
+                entry.get("token") == fingerprint.token
+                and entry.get("length") == fingerprint.length
+            ):
+                self._last_status = "hit"
+                return self._serve_hit(entry, plan, signature, seed)
+        for entry in candidates:
+            if fingerprint.length < int(entry.get("length", 0)):
+                continue
+            prefix = source.fingerprint(int(entry["length"]))
+            if (
+                prefix is not None
+                and prefix.length == entry["length"]
+                and prefix.token == entry["token"]
+            ):
+                try:
+                    results, status = self._serve_append(
+                        builder, source, plan, manifest, entry,
+                        signature, seed, fingerprint,
+                    )
+                except RelationError as exc:
+                    raise StoreError(
+                        "the stored snapshot cannot be extended: the source "
+                        f"tail does not resume on a clean row boundary ({exc})"
+                    ) from exc
+                self._last_status = status
+                return results
+        raise StoreError(
+            "source fingerprint has drifted from every stored snapshot "
+            "(the data is not an append-only continuation); refusing to "
+            "merge — rebuild the store instead"
+        )
+
+    def cached_schema(self, source: DataSource) -> Schema | None:
+        """The schema stored with any snapshot this source extends, else ``None``.
+
+        CSV schema inference parses a whole chunk of the file — for a warm
+        catalog loop that parse is the last remaining per-run data touch, so
+        the store keeps the schema the snapshot was built under and hands it
+        back to any source whose fingerprint verifies as the same data (or
+        an append-only continuation of it).  Pass the result as
+        ``CSVSource(path, schema=...)`` and a warm run never parses a row::
+
+            source = CSVSource(path, schema=store.cached_schema(CSVSource(path)))
+        """
+        fingerprint = source.fingerprint()
+        if fingerprint is None:
+            return None
+        try:
+            manifest = self._read_manifest()
+        except StoreError:
+            return None
+        prefix_cache: dict[int, SourceFingerprint | None] = {}
+        for entry in manifest["entries"]:
+            pairs = entry.get("schema")
+            if not pairs:
+                continue
+            length = int(entry.get("length", 0))
+            matches = (
+                entry.get("token") == fingerprint.token
+                and length == fingerprint.length
+            )
+            if not matches and fingerprint.length > length:
+                if length not in prefix_cache:
+                    prefix_cache[length] = source.fingerprint(length)
+                prefix = prefix_cache[length]
+                matches = (
+                    prefix is not None
+                    and prefix.length == length
+                    and prefix.token == entry.get("token")
+                )
+            if not matches:
+                continue
+            try:
+                return Schema.from_pairs(
+                    (name, kind) for name, kind in pairs
+                )
+            except (SchemaError, ValueError, TypeError) as exc:
+                raise StoreError(
+                    f"store entry {entry.get('payload')} holds an invalid "
+                    f"schema: {exc}"
+                ) from exc
+        return None
+
+    def inspect(self) -> list[dict]:
+        """Manifest entries as plain dictionaries (metadata only, no arrays)."""
+        return [dict(entry) for entry in self._read_manifest()["entries"]]

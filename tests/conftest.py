@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bucketing.counting import ChunkCounts, GridChunkCounts, PlanChunkCounts
 from repro.relation import Attribute, Relation, Schema
 
 
@@ -12,6 +13,114 @@ from repro.relation import Attribute, Relation, Schema
 def rng() -> np.random.Generator:
     """A deterministic random generator for tests."""
     return np.random.default_rng(12345)
+
+
+def _random_bounds(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """Random float bounds with NaN holes (empty buckets look like this)."""
+    bounds = rng.normal(scale=1e3, size=shape)
+    bounds[rng.random(shape) < 0.3] = np.nan
+    return bounds
+
+
+def random_chunk_counts(
+    rng: np.random.Generator,
+    num_buckets: int | None = None,
+    num_masks: int | None = None,
+    num_weights: int | None = None,
+    num_bound_masks: int | None = None,
+) -> ChunkCounts:
+    """Hypothesis-style generator: an arbitrary 1-D counting partial.
+
+    Dimensions default to random draws (including the zero-row edge cases);
+    pass explicit values to generate mergeable same-shape partials.
+    """
+    buckets = int(rng.integers(1, 12)) if num_buckets is None else num_buckets
+    masks = int(rng.integers(0, 4)) if num_masks is None else num_masks
+    weights = int(rng.integers(0, 3)) if num_weights is None else num_weights
+    bound_masks = (
+        int(rng.integers(0, 3)) if num_bound_masks is None else num_bound_masks
+    )
+    return ChunkCounts(
+        sizes=rng.integers(0, 1000, size=buckets).astype(np.int64),
+        conditional=rng.integers(0, 500, size=(masks, buckets)).astype(np.int64),
+        sums=rng.normal(scale=1e4, size=(weights, buckets)),
+        lows=_random_bounds(rng, (buckets,)),
+        highs=_random_bounds(rng, (buckets,)),
+        mask_lows=_random_bounds(rng, (bound_masks, buckets)),
+        mask_highs=_random_bounds(rng, (bound_masks, buckets)),
+        num_tuples=int(rng.integers(0, 10_000)),
+    )
+
+
+def random_grid_counts(
+    rng: np.random.Generator,
+    shape: tuple[int, int] | None = None,
+    num_masks: int | None = None,
+) -> GridChunkCounts:
+    """Hypothesis-style generator: an arbitrary 2-D grid counting partial."""
+    rows, columns = (
+        (int(rng.integers(1, 8)), int(rng.integers(1, 8)))
+        if shape is None
+        else shape
+    )
+    masks = int(rng.integers(0, 4)) if num_masks is None else num_masks
+    return GridChunkCounts(
+        sizes=rng.integers(0, 1000, size=(rows, columns)).astype(np.int64),
+        conditional=rng.integers(0, 500, size=(masks, rows, columns)).astype(
+            np.int64
+        ),
+        row_lows=_random_bounds(rng, (rows,)),
+        row_highs=_random_bounds(rng, (rows,)),
+        column_lows=_random_bounds(rng, (columns,)),
+        column_highs=_random_bounds(rng, (columns,)),
+        num_tuples=int(rng.integers(0, 10_000)),
+    )
+
+
+@pytest.fixture()
+def plan_counts_case():
+    """Factory for arbitrary :class:`PlanChunkCounts` (and same-shape batches).
+
+    ``make(rng)`` draws one random plan partial mixing 1-D and grid parts;
+    ``make(rng, like=other)`` draws a partial whose every part matches
+    ``other``'s shapes, so the two merge — the raw material of the
+    serialize → merge → deserialize round-trip suite in ``tests/store``.
+    """
+
+    def make(
+        rng: np.random.Generator, like: PlanChunkCounts | None = None
+    ) -> PlanChunkCounts:
+        parts: list[ChunkCounts | GridChunkCounts] = []
+        if like is None:
+            for _ in range(int(rng.integers(1, 5))):
+                if rng.random() < 0.4:
+                    parts.append(random_grid_counts(rng))
+                else:
+                    parts.append(random_chunk_counts(rng))
+            return PlanChunkCounts(parts)
+        for part in like.parts:
+            if isinstance(part, GridChunkCounts):
+                parts.append(
+                    random_grid_counts(
+                        rng,
+                        shape=part.sizes.shape,
+                        num_masks=part.conditional.shape[0],
+                    )
+                )
+            else:
+                assert part.mask_lows is not None
+                parts.append(
+                    random_chunk_counts(
+                        rng,
+                        num_buckets=part.sizes.shape[0],
+                        num_masks=part.conditional.shape[0],
+                        num_weights=part.sums.shape[0],
+                        num_bound_masks=part.mask_lows.shape[0],
+                    )
+                )
+        return PlanChunkCounts(parts)
+
+    return make
 
 
 @pytest.fixture()

@@ -1,0 +1,27 @@
+"""Fixtures of the profile-store suite (helpers live in ``support.py``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import bank_customers
+from repro.relation import Relation
+
+from support import HEAD_TUPLES, TAIL_TUPLES
+
+
+@pytest.fixture(scope="session")
+def head_relation() -> Relation:
+    relation, _ = bank_customers(HEAD_TUPLES, seed=41)
+    return relation
+
+
+@pytest.fixture(scope="session")
+def tail_relation() -> Relation:
+    relation, _ = bank_customers(TAIL_TUPLES, seed=97)
+    return relation
+
+
+@pytest.fixture(scope="session")
+def full_relation(head_relation: Relation, tail_relation: Relation) -> Relation:
+    return head_relation.concat(tail_relation)

@@ -1,0 +1,192 @@
+"""Shared helpers of the differential profile-store suite.
+
+Central pieces:
+
+* a chunk-aligned data layout (``HEAD`` is a whole number of ``CHUNK``-row
+  chunks, ``TAIL`` is exactly one more chunk), so append-then-serve is
+  bit-identical to rebuild-with-frozen-boundaries *including* the §5 float
+  bucket sums — integer counts are exact under any alignment;
+* :class:`CountingSource` — the scan-count guard of
+  ``tests/pipeline/test_plan.py`` extended with tail-scan and tuple
+  accounting, so tests assert **zero** scans on a store hit and
+  **exactly-the-tail** tuples on an append;
+* a fingerprintable source matrix: the same tuples as a chunked
+  ``RelationSource``, a ``ChunkedSource`` (fingerprinted via
+  :func:`repro.pipeline.fingerprint_relation`), and a ``CSVSource``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core import BucketProfile
+from repro.pipeline import (
+    ChunkedSource,
+    CSVSource,
+    DataSource,
+    PlanResults,
+    RelationSource,
+    ScanPlan,
+    fingerprint_relation,
+)
+from repro.relation import Relation, write_csv
+from repro.relation.conditions import BooleanIs, NumericInRange
+
+CHUNK = 700
+HEAD_TUPLES = 2_100  # three whole chunks
+TAIL_TUPLES = 700  # exactly one appended chunk (staleness 0.25)
+BUCKETS = 30
+SEED = 13
+
+OBJECTIVE = BooleanIs("card_loan", True)
+CONJUNCTS = (
+    NumericInRange("age", 30.0, 60.0),
+    BooleanIs("auto_withdrawal", True),
+)
+
+
+def build_mixed_plan() -> tuple[ScanPlan, dict[str, int]]:
+    """One request of every profile kind (bucket, average, presumptive, grid)."""
+    plan = ScanPlan()
+    ids = {
+        "bucket": plan.add_bucket(
+            "balance", objectives=[OBJECTIVE], targets=["age"]
+        ),
+        "average": plan.add_average("age", targets=["balance"]),
+        "presumptive": plan.add_presumptive(
+            "balance", OBJECTIVE, list(CONJUNCTS)
+        ),
+        "grid": plan.add_grid("age", "balance", [OBJECTIVE], grid=(8, 6)),
+    }
+    return plan, ids
+
+
+def write_relation_csv(path: Path, relation: Relation) -> Path:
+    write_csv(relation, path)
+    return path
+
+
+def append_csv_rows(path: Path, relation: Relation, tmp_path: Path) -> None:
+    """Grow a CSV at the tail, exactly as a live append-only feed would."""
+    scratch = tmp_path / "_append_scratch.csv"
+    write_csv(relation, scratch)
+    lines = scratch.read_text(encoding="utf-8").splitlines(keepends=True)[1:]
+    with path.open("a", encoding="utf-8") as handle:
+        handle.writelines(lines)
+
+
+def source_matrix(
+    relation: Relation, csv_path: Path
+) -> dict[str, Callable[[], DataSource]]:
+    """Fresh-source factories for the three fingerprintable source types."""
+
+    def chunked() -> ChunkedSource:
+        return ChunkedSource(
+            lambda: RelationSource(relation, chunk_size=CHUNK).chunks(),
+            fingerprint=lambda prefix: fingerprint_relation(relation, prefix),
+        )
+
+    return {
+        "relation": lambda: RelationSource(relation, chunk_size=CHUNK),
+        "chunked": chunked,
+        "csv": lambda: CSVSource(csv_path, chunk_size=CHUNK),
+    }
+
+
+class CountingSource(DataSource):
+    """The ``test_plan.py`` scan-count guard, extended for the store.
+
+    Counts full scans (``scans``), tail scans (``tail_scans``), and the
+    tuples each kind served (``tuples_served`` / ``tail_tuples_served``),
+    while forwarding the fingerprint so the store can identify the inner
+    source.  A store *hit* must leave every counter untouched; an *append*
+    must serve exactly the appended tuples through the tail path.
+    """
+
+    def __init__(self, inner: DataSource) -> None:
+        self.inner = inner
+        self.scans = 0
+        self.tail_scans = 0
+        self.tuples_served = 0
+        self.tail_tuples_served = 0
+
+    @property
+    def schema(self):
+        return self.inner.schema
+
+    def _meter(self, chunks: Iterator[Relation], tail: bool) -> Iterator[Relation]:
+        for chunk in chunks:
+            if tail:
+                self.tail_tuples_served += chunk.num_tuples
+            else:
+                self.tuples_served += chunk.num_tuples
+            yield chunk
+
+    def chunks(self) -> Iterator[Relation]:
+        self.scans += 1
+        return self._meter(self.inner.chunks(), tail=False)
+
+    def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        self.scans += 1
+        return self._meter(self.inner.scan(columns), tail=False)
+
+    def scan_tail(
+        self, start: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        self.tail_scans += 1
+        return self._meter(self.inner.scan_tail(start, columns), tail=True)
+
+    def fingerprint(self, prefix: int | None = None):
+        return self.inner.fingerprint(prefix)
+
+
+def assert_profiles_identical(left: BucketProfile, right: BucketProfile) -> None:
+    assert np.array_equal(left.sizes, right.sizes)
+    assert np.array_equal(left.values, right.values)
+    assert np.array_equal(left.lows, right.lows)
+    assert np.array_equal(left.highs, right.highs)
+    assert left.total == right.total
+
+
+def assert_results_identical(
+    left: PlanResults, right: PlanResults, ids: dict[str, int]
+) -> None:
+    """Bit-exact equality of all four profile kinds of a mixed plan."""
+    assert_profiles_identical(
+        left.counts(ids["bucket"]).profile(OBJECTIVE),
+        right.counts(ids["bucket"]).profile(OBJECTIVE),
+    )
+    assert_profiles_identical(
+        left.counts(ids["bucket"]).average_profile("age"),
+        right.counts(ids["bucket"]).average_profile("age"),
+    )
+    assert_profiles_identical(
+        left.counts(ids["average"]).average_profile("balance"),
+        right.counts(ids["average"]).average_profile("balance"),
+    )
+    left_presumptive = left.presumptive_profiles(ids["presumptive"])
+    right_presumptive = right.presumptive_profiles(ids["presumptive"])
+    assert list(left_presumptive) == list(right_presumptive)
+    for conjunct in CONJUNCTS:
+        assert_profiles_identical(
+            left_presumptive[conjunct], right_presumptive[conjunct]
+        )
+    left_grid = left.grid_counts(ids["grid"])
+    right_grid = right.grid_counts(ids["grid"])
+    assert np.array_equal(left_grid.sizes, right_grid.sizes)
+    assert np.array_equal(
+        left_grid.conditional[OBJECTIVE], right_grid.conditional[OBJECTIVE]
+    )
+    assert np.array_equal(left_grid.row_lows, right_grid.row_lows)
+    assert np.array_equal(left_grid.row_highs, right_grid.row_highs)
+    assert np.array_equal(left_grid.column_lows, right_grid.column_lows)
+    assert np.array_equal(left_grid.column_highs, right_grid.column_highs)
+    assert np.array_equal(
+        left_grid.row_bucketing.cuts, right_grid.row_bucketing.cuts
+    )
+    assert np.array_equal(
+        left_grid.column_bucketing.cuts, right_grid.column_bucketing.cuts
+    )

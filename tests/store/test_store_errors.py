@@ -1,0 +1,373 @@
+"""Corruption, mismatch, and staleness behavior of the profile store.
+
+The store's safety contract: it either *proves* a snapshot answers the
+request — exact fingerprint, verified append prefix, self-consistent
+manifest and payload — or it raises a typed
+:class:`~repro.exceptions.StoreError` / rebuilds from the source.  Wrong
+counts are never served.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from support import (
+    BUCKETS,
+    CHUNK,
+    SEED,
+    TAIL_TUPLES,
+    CountingSource,
+    append_csv_rows,
+    assert_results_identical,
+    build_mixed_plan,
+    write_relation_csv,
+)
+
+from repro.exceptions import PipelineError, StoreError
+from repro.pipeline import CSVSource, ChunkedSource, ProfileBuilder, RelationSource
+from repro.store import ProfileStore
+
+
+@pytest.fixture()
+def csv_path(head_relation, tmp_path):
+    return write_relation_csv(tmp_path / "bank.csv", head_relation)
+
+
+@pytest.fixture()
+def warm_store(csv_path, tmp_path):
+    """A store holding one mixed-plan snapshot of the head CSV."""
+    store = ProfileStore(tmp_path / "store")
+    builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+    plan, _ = build_mixed_plan()
+    builder.execute_plan(CSVSource(csv_path, chunk_size=CHUNK), plan, store=store)
+    assert store.last_status == "build"
+    return store, builder
+
+
+class TestCorruption:
+    def test_truncated_payload_raises_store_error(self, warm_store, csv_path):
+        store, builder = warm_store
+        (payload,) = store.directory.glob("*.npz")
+        payload.write_bytes(payload.read_bytes()[: payload.stat().st_size // 2])
+        with pytest.raises(StoreError, match="unreadable or truncated"):
+            builder.execute_plan(
+                CSVSource(csv_path, chunk_size=CHUNK),
+                build_mixed_plan()[0],
+                store=store,
+            )
+
+    def test_empty_payload_raises_store_error(self, warm_store, csv_path):
+        store, builder = warm_store
+        (payload,) = store.directory.glob("*.npz")
+        payload.write_bytes(b"")
+        with pytest.raises(StoreError):
+            builder.execute_plan(
+                CSVSource(csv_path, chunk_size=CHUNK),
+                build_mixed_plan()[0],
+                store=store,
+            )
+
+    def test_manifest_seed_mismatch_raises_store_error(
+        self, warm_store, csv_path
+    ):
+        """A manifest claiming another seed than its payload must not serve."""
+        store, _ = warm_store
+        manifest_path = store.directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["entries"][0]["seed"] = SEED + 1
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        impostor = ProfileBuilder(num_buckets=BUCKETS, seed=SEED + 1)
+        with pytest.raises(StoreError, match="seed"):
+            impostor.execute_plan(
+                CSVSource(csv_path, chunk_size=CHUNK),
+                build_mixed_plan()[0],
+                store=store,
+            )
+
+    def test_manifest_signature_mismatch_raises_store_error(
+        self, warm_store, csv_path, tmp_path
+    ):
+        """A payload relabeled under another plan's entry must not serve."""
+        store, builder = warm_store
+        manifest_path = store.directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        entry = manifest["entries"][0]
+        # Pretend the stored payload answers a *different* plan: compute the
+        # impostor plan's signature and relabel the entry with it.
+        from repro.store import plan_signature
+
+        other_plan = build_mixed_plan()[0]
+        other_plan.add_bucket("saving_balance")
+        entry["plan_signature"] = plan_signature(builder, other_plan)
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(StoreError, match="different plan"):
+            builder.execute_plan(
+                CSVSource(csv_path, chunk_size=CHUNK), other_plan, store=store
+            )
+
+    def test_corrupt_manifest_raises_store_error(self, warm_store, csv_path):
+        store, builder = warm_store
+        (store.directory / "manifest.json").write_text("{not json", "utf-8")
+        with pytest.raises(StoreError, match="unreadable"):
+            builder.execute_plan(
+                CSVSource(csv_path, chunk_size=CHUNK),
+                build_mixed_plan()[0],
+                store=store,
+            )
+
+
+class TestFingerprintDrift:
+    def test_mutated_head_append_raises_store_error(self, warm_store, csv_path):
+        """In-place head edits are drift, not appends — refuse to merge."""
+        store, builder = warm_store
+        data = bytearray(csv_path.read_bytes())
+        position = len(data) // 2
+        data[position] = ord("5") if data[position] != ord("5") else ord("6")
+        csv_path.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="drifted"):
+            store.append(
+                builder, CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0]
+            )
+
+    def test_shrunken_source_append_raises_store_error(
+        self, warm_store, csv_path
+    ):
+        store, builder = warm_store
+        lines = csv_path.read_text(encoding="utf-8").splitlines(keepends=True)
+        csv_path.write_text("".join(lines[: len(lines) // 2]), encoding="utf-8")
+        with pytest.raises(StoreError, match="drifted"):
+            store.append(
+                builder, CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0]
+            )
+
+    def test_drifted_source_serve_rebuilds_instead_of_serving(
+        self, warm_store, csv_path, head_relation
+    ):
+        """serve() treats drift as a different source: fresh build, never
+        the stored counts."""
+        store, builder = warm_store
+        data = bytearray(csv_path.read_bytes())
+        position = len(data) // 3
+        while not chr(data[position]).isdigit():
+            position += 1
+        data[position] = ord("7") if data[position] != ord("7") else ord("8")
+        csv_path.write_bytes(bytes(data))
+        guard = CountingSource(CSVSource(csv_path, chunk_size=CHUNK))
+        plan, ids = build_mixed_plan()
+        results = builder.execute_plan(guard, plan, store=store)
+        assert store.last_status == "build"
+        assert guard.scans >= 1
+        fresh_plan, fresh_ids = build_mixed_plan()
+        fresh = builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), fresh_plan
+        )
+        assert_results_identical(results, fresh, ids)
+
+    def test_rebuilding_original_data_never_clobbers_appended_snapshot(
+        self, head_relation, tail_relation, csv_path, tmp_path
+    ):
+        """A backup of the pre-append data builds its *own* entry; the
+        appended snapshot stays servable (payload names never collide)."""
+        backup = tmp_path / "backup.csv"
+        backup.write_bytes(csv_path.read_bytes())
+        store = ProfileStore(tmp_path / "store")
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0], store=store
+        )
+        append_csv_rows(csv_path, tail_relation, tmp_path)
+        grown = builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0], store=store
+        )
+        assert store.last_status == "append"
+        # Same content as the original snapshot, different file: a fresh
+        # build keyed by the original token must not reuse (and overwrite)
+        # the appended entry's payload file.
+        builder.execute_plan(
+            CSVSource(backup, chunk_size=CHUNK), build_mixed_plan()[0], store=store
+        )
+        assert store.last_status == "build"
+        assert len(store.inspect()) == 2
+        plan, ids = build_mixed_plan()
+        served = builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), plan, store=store
+        )
+        assert store.last_status == "hit"
+        assert_results_identical(served, grown, ids)
+
+    def test_snapshot_without_trailing_newline_rebuilds_not_crashes(
+        self, head_relation, tail_relation, csv_path, tmp_path
+    ):
+        """A snapshot ending mid-line cannot resume a tail: serve() rebuilds
+        (never guesses), append() raises StoreError."""
+        data = csv_path.read_bytes()
+        assert data.endswith(b"\n")
+        csv_path.write_bytes(data[:-1])  # strip the trailing newline
+        store = ProfileStore(tmp_path / "store")
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0], store=store
+        )
+        # Grow the file the way an appender would: finish the open line,
+        # then add rows.  The stored prefix still verifies, but its offset
+        # sits mid-line.
+        with csv_path.open("a", encoding="utf-8") as handle:
+            handle.write("\n")
+        append_csv_rows(csv_path, tail_relation, tmp_path)
+
+        with pytest.raises(StoreError, match="row boundary"):
+            store.append(
+                builder, CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0]
+            )
+
+        plan, ids = build_mixed_plan()
+        served = builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), plan, store=store
+        )
+        assert store.last_status == "build"
+        fresh = builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0]
+        )
+        assert_results_identical(served, fresh, ids)
+        # The replaced snapshot now covers the whole grown file: hit next.
+        builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0], store=store
+        )
+        assert store.last_status == "hit"
+
+    def test_append_without_snapshot_raises_store_error(
+        self, csv_path, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "empty-store")
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        with pytest.raises(StoreError, match="no stored snapshot"):
+            store.append(
+                builder, CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0]
+            )
+
+
+class TestStaleness:
+    def test_threshold_crossing_triggers_full_rebuild(
+        self, head_relation, tail_relation, csv_path, tmp_path
+    ):
+        """Past the threshold the store re-samples boundaries from the full
+        source — asserted by the scan counter and by parity with a cold
+        build over the grown data."""
+        store = ProfileStore(tmp_path / "store", rebuild_threshold=0.10)
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0], store=store
+        )
+        append_csv_rows(csv_path, tail_relation, tmp_path)  # staleness 0.25
+
+        guard = CountingSource(CSVSource(csv_path, chunk_size=CHUNK))
+        plan, ids = build_mixed_plan()
+        results = builder.execute_plan(guard, plan, store=store)
+        assert store.last_status == "rebuild"
+        # One tail scan (the threshold is only measurable in tuples after
+        # counting the tail) plus one full two-pass refresh.
+        assert guard.tail_scans == 1
+        assert guard.scans >= 1
+        assert guard.tuples_served >= head_relation.num_tuples + TAIL_TUPLES
+
+        cold_plan, cold_ids = build_mixed_plan()
+        cold = builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), cold_plan
+        )
+        assert_results_identical(results, cold, ids)
+        (entry,) = store.inspect()
+        assert entry["staleness"] == 0.0
+        assert entry["appended_tuples"] == 0
+        assert entry["base_tuples"] == head_relation.num_tuples + TAIL_TUPLES
+
+    def test_below_threshold_append_keeps_boundaries_frozen(
+        self, head_relation, tail_relation, csv_path, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "store", rebuild_threshold=0.5)
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        plan, _ = build_mixed_plan()
+        snapshot = builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), plan, store=store
+        )
+        append_csv_rows(csv_path, tail_relation, tmp_path)
+        appended_plan, _ = build_mixed_plan()
+        appended = builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), appended_plan, store=store
+        )
+        assert store.last_status == "append"
+        for request_id in range(len(plan)):
+            for before, after in zip(
+                snapshot.request_bucketings(request_id),
+                appended.request_bucketings(request_id),
+            ):
+                assert np.array_equal(before.cuts, after.cuts)
+        (entry,) = store.inspect()
+        assert entry["staleness"] == pytest.approx(0.25)
+
+    def test_invalid_rebuild_threshold_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            ProfileStore(tmp_path / "s", rebuild_threshold=0.0)
+        with pytest.raises(StoreError):
+            ProfileStore(tmp_path / "s", rebuild_threshold=1.5)
+
+
+class TestConfigurationGuards:
+    def test_store_with_bucketing_overrides_rejected(
+        self, head_relation, tmp_path
+    ):
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        bucketings = builder.sample_bucketings(
+            RelationSource(head_relation), ["balance"]
+        )
+        with pytest.raises(PipelineError, match="store"):
+            builder.execute_plan(
+                RelationSource(head_relation),
+                build_mixed_plan()[0],
+                bucketings=bucketings,
+                store=ProfileStore(tmp_path / "store"),
+            )
+
+    def test_unfingerprintable_source_executes_unstored(
+        self, head_relation, tmp_path
+    ):
+        """A plain ChunkedSource (no fingerprint hook) mines fine; the store
+        just never caches it."""
+        store = ProfileStore(tmp_path / "store")
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        source = ChunkedSource(
+            lambda: RelationSource(head_relation, chunk_size=CHUNK).chunks()
+        )
+        plan, ids = build_mixed_plan()
+        results = builder.execute_plan(source, plan, store=store)
+        assert store.last_status == "unstored"
+        assert results.counts(ids["bucket"]).total == head_relation.num_tuples
+        assert store.inspect() == []
+
+    def test_put_without_fingerprint_raises(self, head_relation, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+        source = ChunkedSource(
+            lambda: RelationSource(head_relation, chunk_size=CHUNK).chunks()
+        )
+        plan, _ = build_mixed_plan()
+        results = builder.execute_plan(source, plan)
+        with pytest.raises(StoreError, match="fingerprint"):
+            store.put(builder, source, plan, results)
+
+    def test_get_is_read_only(self, warm_store, csv_path):
+        """get() serves exact hits and never scans or writes."""
+        store, builder = warm_store
+        manifest_before = (store.directory / "manifest.json").read_bytes()
+        guard = CountingSource(CSVSource(csv_path, chunk_size=CHUNK))
+        plan, ids = build_mixed_plan()
+        results = store.get(builder, guard, plan)
+        assert results is not None
+        assert guard.scans == 0 and guard.tail_scans == 0
+        assert results.counts(ids["bucket"]).total > 0
+        assert (store.directory / "manifest.json").read_bytes() == manifest_before
+        # A different seed is a different snapshot: clean miss, still no scan.
+        other = ProfileBuilder(num_buckets=BUCKETS, seed=SEED + 5)
+        assert store.get(other, guard, build_mixed_plan()[0]) is None
+        assert guard.scans == 0

@@ -1,0 +1,196 @@
+"""Property-based (seeded, generator-driven) suite for the store payloads.
+
+Two randomized properties, each over many independently drawn cases:
+
+* **round trip** — arbitrary :class:`PlanChunkCounts` payloads survive
+  ``serialize → merge → deserialize`` bit for bit, in both orders: merging
+  deserialized copies equals deserializing the merge of the originals;
+* **solver cross-check** — profiles served from a warm store solve to the
+  same rules as the reference solvers: ``fast_maximize_ratio_many`` /
+  ``fast_maximize_support_many`` over store-served profile stacks match
+  the scalar reference oracle row by row.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from support import CHUNK, CountingSource, write_relation_csv
+
+from repro.core import (
+    fast_maximize_ratio_many,
+    fast_maximize_support_many,
+    maximize_ratio_reference,
+    maximize_support_reference,
+)
+from repro.bucketing.counting import PlanChunkCounts
+from repro.datasets import bank_customers
+from repro.pipeline import CSVSource, ProfileBuilder, ScanPlan
+from repro.relation.conditions import BooleanIs
+from repro.store import ProfileStore
+
+CASES = 40
+
+
+def _roundtrip(payload: PlanChunkCounts) -> PlanChunkCounts:
+    """serialize → npz bytes → deserialize, exactly as the store does."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload.to_state())
+    buffer.seek(0)
+    with np.load(buffer, allow_pickle=False) as archive:
+        return PlanChunkCounts.from_state(
+            {key: np.array(archive[key]) for key in archive.files}
+        )
+
+
+def _assert_payloads_identical(left: PlanChunkCounts, right: PlanChunkCounts):
+    assert len(left.parts) == len(right.parts)
+    for mine, theirs in zip(left.parts, right.parts):
+        assert type(mine) is type(theirs)
+        assert mine.num_tuples == theirs.num_tuples
+        for field in mine.to_state():
+            if field == "num_tuples":
+                continue
+            ours = getattr(mine, field)
+            other = getattr(theirs, field)
+            assert ours.dtype == other.dtype, field
+            assert np.array_equal(ours, other, equal_nan=True), field
+
+
+class TestSerializeRoundTrip:
+    def test_arbitrary_payloads_roundtrip_bit_exact(self, plan_counts_case):
+        rng = np.random.default_rng(2024)
+        for _ in range(CASES):
+            payload = plan_counts_case(rng)
+            _assert_payloads_identical(_roundtrip(payload), payload)
+
+    def test_merge_commutes_with_roundtrip(self, plan_counts_case):
+        """merge(deserialize(a), deserialize(b)) == deserialize(merge(a, b))."""
+        rng = np.random.default_rng(7_777)
+        for _ in range(CASES):
+            first = plan_counts_case(rng)
+            second = plan_counts_case(rng, like=first)
+            third = plan_counts_case(rng, like=first)
+
+            merged_then_stored = _roundtrip(
+                _roundtrip(first)
+                .merge(_roundtrip(second))
+                .merge(_roundtrip(third))
+            )
+            reference = (
+                plan_like_copy(first).merge(plan_like_copy(second)).merge(
+                    plan_like_copy(third)
+                )
+            )
+            _assert_payloads_identical(merged_then_stored, reference)
+
+    def test_deserialized_merge_matches_numpy_sums(self, plan_counts_case):
+        """The merged integers equal plain numpy sums of the partials."""
+        rng = np.random.default_rng(31_337)
+        for _ in range(CASES):
+            base = plan_counts_case(rng)
+            partials = [base] + [
+                plan_counts_case(rng, like=base) for _ in range(3)
+            ]
+            total = _roundtrip(partials[0])
+            for partial in partials[1:]:
+                total.merge(_roundtrip(partial))
+            for index, part in enumerate(total.parts):
+                stack = [p.parts[index].sizes for p in partials]
+                assert np.array_equal(part.sizes, np.sum(stack, axis=0))
+                conditional = [p.parts[index].conditional for p in partials]
+                assert np.array_equal(
+                    part.conditional, np.sum(conditional, axis=0)
+                )
+                assert part.num_tuples == sum(
+                    p.parts[index].num_tuples for p in partials
+                )
+
+
+def plan_like_copy(payload: PlanChunkCounts) -> PlanChunkCounts:
+    """An independent deep copy through the state arrays (no aliasing)."""
+    return PlanChunkCounts.from_state(payload.to_state())
+
+
+class TestStoreServedSolverParity:
+    @pytest.fixture(scope="class")
+    def served_profiles(self, tmp_path_factory):
+        """Profile stacks served from a warm store (zero scans, guarded)."""
+        relation, _ = bank_customers(2_100, seed=5)
+        objectives = [
+            BooleanIs(name, value)
+            for name in relation.schema.boolean_names()
+            for value in (True, False)
+        ]
+        csv_path = write_relation_csv(
+            tmp_path_factory.mktemp("solver") / "bank.csv", relation
+        )
+        store = ProfileStore(tmp_path_factory.mktemp("solver-store"))
+        builder = ProfileBuilder(num_buckets=25, seed=3)
+
+        def plan_of_record() -> ScanPlan:
+            plan = ScanPlan()
+            for attribute in relation.schema.numeric_names():
+                plan.add_bucket(attribute, objectives=objectives)
+            return plan
+
+        builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), plan_of_record(), store=store
+        )
+        guard = CountingSource(CSVSource(csv_path, chunk_size=CHUNK))
+        plan = plan_of_record()
+        results = builder.execute_plan(guard, plan, store=store)
+        assert store.last_status == "hit" and guard.scans == 0
+
+        stacks = []
+        for request_id in range(len(plan)):
+            counts = results.counts(request_id)
+            profiles = [
+                counts.profile(objective) for objective in objectives
+            ]
+            sizes = np.vstack([profile.sizes for profile in profiles])
+            values = np.vstack([profile.values for profile in profiles])
+            stacks.append((sizes, values, profiles[0].total))
+        return stacks
+
+    def test_ratio_solver_matches_reference_on_served_profiles(
+        self, served_profiles
+    ):
+        for sizes, values, total in served_profiles:
+            min_count = 0.1 * total
+            batched = fast_maximize_ratio_many(sizes, values, min_count)
+            for row in range(sizes.shape[0]):
+                reference = maximize_ratio_reference(
+                    sizes[row], values[row], min_count
+                )
+                if reference is None:
+                    assert batched[row] is None
+                    continue
+                assert batched[row] is not None
+                assert (batched[row].start, batched[row].end) == (
+                    reference.start,
+                    reference.end,
+                )
+                assert batched[row].support_count == reference.support_count
+                assert batched[row].objective_value == reference.objective_value
+
+    def test_support_solver_matches_reference_on_served_profiles(
+        self, served_profiles
+    ):
+        for sizes, values, total in served_profiles:
+            batched = fast_maximize_support_many(sizes, values, 0.4)
+            for row in range(sizes.shape[0]):
+                reference = maximize_support_reference(
+                    sizes[row], values[row], 0.4
+                )
+                if reference is None:
+                    assert batched[row] is None
+                    continue
+                assert batched[row] is not None
+                assert (batched[row].start, batched[row].end) == (
+                    reference.start,
+                    reference.end,
+                )
+                assert batched[row].support_count == reference.support_count
