@@ -717,6 +717,207 @@ def test_bench_rectangle_fastpath(
         assert workload["speedup"] >= MIN_RECTANGLE_SPEEDUP
 
 
+def _assert_parts_identical(left, right) -> None:
+    """Bit-exact equality of two PlanResults' counting parts (nan-aware)."""
+    assert len(left.parts) == len(right.parts)
+    for expected, actual in zip(left.parts, right.parts):
+        state_left = expected.to_state()
+        state_right = actual.to_state()
+        assert set(state_left) == set(state_right)
+        for key in state_left:
+            a = np.asarray(state_left[key])
+            b = np.asarray(state_right[key])
+            assert a.dtype == b.dtype and a.shape == b.shape
+            equal_nan = a.dtype.kind == "f"
+            assert np.array_equal(a, b, equal_nan=equal_nan), key
+
+
+def test_bench_shard_plane(
+    sizes, bench_results, record_report, tmp_path_factory, quick
+) -> None:
+    """Sharded mining vs. the serial fused scan: parity always, timing recorded.
+
+    The workload is the catalog profile construction over a CSV on disk,
+    partitioned into N=4 byte spans and counted by the thread-transport
+    :class:`~repro.shard.ShardCoordinator`.  The folded profiles must be
+    **bit-identical** to one serial scan — that is the shard plane's whole
+    contract — and the wall-clock ratio is recorded without a speedup gate:
+    the thread transport shares one interpreter, so its win is bounded by
+    how much of the counting kernel runs outside the GIL, which varies by
+    machine.  What the record buys is trajectory: a shard-plane slowdown
+    (dispatch overhead, validation cost) shows up as the ratio drifting.
+    """
+    from repro.shard import ShardCoordinator
+
+    chunk_size = 20_000
+    num_rows = 50_000 if quick else sizes["num_tuples"]
+    relation = paper_benchmark_table(
+        num_rows,
+        num_numeric=sizes["num_numeric"],
+        num_boolean=sizes["num_boolean"],
+        seed=37,
+    )
+    path = tmp_path_factory.mktemp("shard-bench") / "catalog.csv"
+    write_csv(relation, path)
+    schema = infer_csv_schema(path, chunk_size=chunk_size)
+    objectives = [
+        BooleanIs(name, True) for name in relation.schema.boolean_names()
+    ]
+    plan = ScanPlan()
+    for attribute in relation.schema.numeric_names():
+        plan.add_bucket(attribute, objectives=objectives)
+
+    held: dict = {}
+
+    def run_serial() -> None:
+        builder = ProfileBuilder(num_buckets=sizes["num_buckets"], seed=7)
+        held["serial"] = builder.execute_plan(
+            CSVSource(path, schema=schema, chunk_size=chunk_size), plan
+        )
+
+    def run_sharded() -> None:
+        builder = ProfileBuilder(num_buckets=sizes["num_buckets"], seed=7)
+        coordinator = ShardCoordinator(builder, num_shards=4, transport="thread")
+        held["sharded"] = coordinator.mine(
+            CSVSource(path, schema=schema, chunk_size=chunk_size), plan
+        )
+
+    serial_seconds = time_call(run_serial)
+    sharded_seconds = time_call(run_sharded)
+
+    run = held["sharded"]
+    assert run.complete
+    assert run.coverage["coverage"] == 1.0
+    _assert_parts_identical(held["serial"], run.results)
+
+    workload = bench_workload(
+        "shard-mining",
+        serial_seconds,
+        sharded_seconds,
+        num_shards=4,
+        transport="thread",
+        num_tuples=num_rows,
+        num_buckets=sizes["num_buckets"],
+        conditions=len(objectives),
+        chunk_size=chunk_size,
+    )
+    bench_results.append(workload)
+    record_report(
+        "Sharded mining benchmark",
+        f"{len(objectives)} conditions x {num_rows} tuples x 4 shards: "
+        f"serial {serial_seconds:.3f}s, sharded {sharded_seconds:.3f}s "
+        f"({workload['speedup']:.2f}x, bit-identical fold)",
+    )
+
+
+def test_bench_shard_recovery(
+    sizes, bench_results, record_report, tmp_path_factory, quick
+) -> None:
+    """Checkpoint/resume economics: resuming a half-dead run vs. redoing it.
+
+    A first coordinator checkpoints two of four shards and loses the other
+    two permanently (``on_exhausted="partial"``, no retries) — the
+    coordinator-killed-at-50% drill.  The timed comparison is then redo-
+    from-scratch vs. resume-from-checkpoints; the resume must recount only
+    the two unfinished shards and still fold bit-identically to the serial
+    oracle.  The asserted floor is deliberately modest (resume may not be
+    *slower* than redo by more than a noise margin); the real guarantees —
+    only-unfinished-shards and bit-exactness — are exact assertions.
+    """
+    from repro.shard import (
+        FaultSchedule,
+        FaultyWorker,
+        RetryPolicy,
+        ShardCoordinator,
+        count_shard,
+    )
+
+    chunk_size = 20_000
+    num_rows = 50_000 if quick else sizes["num_tuples"]
+    relation = paper_benchmark_table(
+        num_rows,
+        num_numeric=sizes["num_numeric"],
+        num_boolean=sizes["num_boolean"],
+        seed=41,
+    )
+    root = tmp_path_factory.mktemp("shard-recovery")
+    path = root / "catalog.csv"
+    write_csv(relation, path)
+    schema = infer_csv_schema(path, chunk_size=chunk_size)
+    objectives = [
+        BooleanIs(name, True) for name in relation.schema.boolean_names()
+    ]
+    plan = ScanPlan()
+    for attribute in relation.schema.numeric_names():
+        plan.add_bucket(attribute, objectives=objectives)
+
+    def source() -> CSVSource:
+        return CSVSource(path, schema=schema, chunk_size=chunk_size)
+
+    builder = ProfileBuilder(num_buckets=sizes["num_buckets"], seed=7)
+    serial_oracle = builder.execute_plan(source(), plan)
+
+    # The run that dies at 50%: shards 1 and 3 never finish, 0 and 2 are
+    # checkpointed on disk.
+    dead = FaultyWorker(count_shard, FaultSchedule.always("die", [1, 3]))
+    crashed = ShardCoordinator(
+        ProfileBuilder(num_buckets=sizes["num_buckets"], seed=7),
+        num_shards=4,
+        retry=RetryPolicy(max_retries=0, sleep=lambda _s: None),
+        on_exhausted="partial",
+        checkpoints=root / "checkpoints",
+        worker=dead,
+    )
+    half = crashed.mine(source(), plan)
+    assert half.coverage["failed_shards"] == [1, 3]
+
+    held: dict = {}
+
+    def run_redo() -> None:
+        builder = ProfileBuilder(num_buckets=sizes["num_buckets"], seed=7)
+        held["redo"] = ShardCoordinator(builder, num_shards=4).mine(
+            source(), plan
+        )
+
+    def run_resume() -> None:
+        builder = ProfileBuilder(num_buckets=sizes["num_buckets"], seed=7)
+        held["resume"] = ShardCoordinator(
+            builder, num_shards=4, checkpoints=root / "checkpoints"
+        ).mine(source(), plan)
+
+    redo_seconds = time_call(run_redo)
+    resume_seconds = time_call(run_resume)
+
+    resumed = held["resume"]
+    statuses = {report.index: report.status for report in resumed.reports}
+    assert statuses == {0: "checkpointed", 1: "ok", 2: "checkpointed", 3: "ok"}
+    assert resumed.complete
+    _assert_parts_identical(serial_oracle, resumed.results)
+    _assert_parts_identical(serial_oracle, held["redo"].results)
+
+    workload = bench_workload(
+        "shard-recovery",
+        redo_seconds,
+        resume_seconds,
+        num_shards=4,
+        checkpointed_shards=2,
+        num_tuples=num_rows,
+        num_buckets=sizes["num_buckets"],
+        conditions=len(objectives),
+    )
+    bench_results.append(workload)
+    record_report(
+        "Shard recovery benchmark",
+        f"coordinator killed at 50% over {num_rows} tuples: redo "
+        f"{redo_seconds:.3f}s, resume {resume_seconds:.3f}s "
+        f"({workload['speedup']:.2f}x, 2 shards served from checkpoints)",
+    )
+    if not quick:
+        # Resuming half a run must not cost more than redoing all of it
+        # (generous noise margin; the exact guarantees are asserted above).
+        assert resume_seconds <= redo_seconds * 1.25
+
+
 @pytest.fixture(scope="module", autouse=True)
 def _write_bench_file(bench_results, quick, sizes):
     """Write the accumulated workloads to BENCH_fastpath.json at teardown.

@@ -4,9 +4,23 @@ Registers the ``--quick`` flag used by the performance-regression harness in
 ``benchmarks/test_bench_fastpath.py``: quick mode shrinks the synthetic
 workloads to smoke-test sizes (CI) while the default sizes match the paper's
 catalog scenario and gate the old-vs-new speedup.
+
+Also enforces a per-test wall-clock ceiling.  The fault-injection suite
+deliberately provokes hangs and kills workers; a regression there must fail
+the run, not wedge it.  CI installs ``pytest-timeout`` (see ``setup.py``
+test extras and ``pytest.ini``); on bare environments without the plugin, a
+SIGALRM fallback below provides the same safety net where the platform
+supports it.  ``REPRO_TEST_TIMEOUT`` overrides the ceiling in seconds.
 """
 
 from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+_DEFAULT_TEST_TIMEOUT = 300.0
 
 
 def pytest_addoption(parser) -> None:
@@ -16,3 +30,39 @@ def pytest_addoption(parser) -> None:
         default=False,
         help="run benchmarks in smoke mode (tiny sizes, parity checks only)",
     )
+
+
+def _fallback_timeout(config) -> float | None:
+    """The SIGALRM ceiling, or ``None`` when the fallback must stay off."""
+    if config.pluginmanager.hasplugin("timeout"):
+        return None  # pytest-timeout is installed and owns the ceiling
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - posix-only guard
+        return None
+    raw = os.environ.get("REPRO_TEST_TIMEOUT", "")
+    try:
+        timeout = float(raw) if raw else _DEFAULT_TEST_TIMEOUT
+    except ValueError:  # pragma: no cover - defensive
+        timeout = _DEFAULT_TEST_TIMEOUT
+    return timeout if timeout > 0 else None
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    timeout = _fallback_timeout(item.config)
+    if timeout is None:
+        yield
+        return
+
+    def _expired(signum, frame):  # pragma: no cover - only fires on a hang
+        raise TimeoutError(
+            f"test exceeded the {timeout:.0f}s repository timeout ceiling "
+            "(REPRO_TEST_TIMEOUT overrides)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -18,7 +18,7 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy"],
     extras_require={
-        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "test": ["pytest", "pytest-benchmark", "pytest-timeout", "hypothesis"],
     },
     entry_points={
         "console_scripts": [

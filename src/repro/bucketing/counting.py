@@ -59,6 +59,7 @@ bit-identical to per-request scans by construction.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -86,6 +87,7 @@ __all__ = [
     "count_grid_chunk",
     "count_plan_chunk",
     "masked_bucket_counts",
+    "plan_state_checksum",
 ]
 
 #: Default upper bound on the number of elements of the temporary offset-index
@@ -652,6 +654,29 @@ class KernelPlan:
         return PlanChunkCounts(parts)
 
 
+def plan_state_checksum(state: Mapping[str, np.ndarray]) -> str:
+    """Content digest of a :meth:`PlanChunkCounts.to_state` mapping.
+
+    Covers exactly the plan-counts namespace — ``num_parts`` plus every
+    ``part{i}.*`` entry — hashing each array's name, dtype, shape, and raw
+    bytes in sorted key order, so any caller (shard workers, the profile
+    store, checkpoint files) computes the same digest for the same counts.
+    Keys outside the namespace (``meta.*`` headers, bucketing cuts, the
+    ``checksum`` entry itself) are deliberately excluded: they are validated
+    by their own mechanisms and may be added after the partial is sealed.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(state):
+        if key != "num_parts" and not key.startswith("part"):
+            continue
+        array = np.ascontiguousarray(np.asarray(state[key]))
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
 @dataclass
 class PlanChunkCounts:
     """Partial counts of one chunk for every segment of a :class:`KernelPlan`.
@@ -679,6 +704,11 @@ class PlanChunkCounts:
         ``part{i}.kind`` marker (``"value"`` or ``"grid"``), so the mapping
         round-trips through an ``.npz`` archive with nothing but arrays —
         the on-disk payload format of :class:`~repro.store.ProfileStore`.
+
+        The mapping also carries a ``checksum`` digest over every count
+        array (see :func:`plan_state_checksum`); :meth:`from_state` verifies
+        it when present, so a partial that crossed a process boundary, a
+        disk, or a network cannot be folded after a bit flip or truncation.
         """
         state: dict[str, np.ndarray] = {"num_parts": np.int64(len(self.parts))}
         for index, part in enumerate(self.parts):
@@ -686,11 +716,24 @@ class PlanChunkCounts:
             state[f"part{index}.kind"] = np.asarray(kind)
             for field_name, array in part.to_state().items():
                 state[f"part{index}.{field_name}"] = array
+        state["checksum"] = np.asarray(plan_state_checksum(state))
         return state
 
     @classmethod
     def from_state(cls, state: Mapping[str, np.ndarray]) -> "PlanChunkCounts":
-        """Rebuild every part from :meth:`to_state` arrays (fresh copies)."""
+        """Rebuild every part from :meth:`to_state` arrays (fresh copies).
+
+        A ``checksum`` entry, when present, is verified against the count
+        arrays before anything is deserialized; payloads written before the
+        checksum existed simply skip the check.
+        """
+        if "checksum" in state:
+            expected = str(np.asarray(state["checksum"]).item())
+            if plan_state_checksum(state) != expected:
+                raise BucketingError(
+                    "plan-counts state failed its checksum; the partial was "
+                    "corrupted in transit or on disk"
+                )
         if "num_parts" not in state:
             raise BucketingError("plan-counts state is missing field 'num_parts'")
         num_parts = int(state["num_parts"])

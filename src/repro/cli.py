@@ -42,6 +42,16 @@ scans of the CSV, and a file grown at the tail counts only its new rows::
     ...append rows to bank.csv...
     python -m repro store append bank.csv --store profiles/
     python -m repro store inspect --store profiles/
+
+``shard`` runs the catalog scan plan through the fault-tolerant sharded
+mining plane: the CSV is partitioned into N line-aligned byte spans, each
+counted with per-shard retries and timeouts, validated partials checkpoint
+atomically, and a killed run resumes counting only its unfinished spans::
+
+    python -m repro shard mine bank.csv --shards 8 --checkpoints ck/
+    ...coordinator killed mid-run...
+    python -m repro shard status bank.csv --shards 8 --checkpoints ck/
+    python -m repro shard resume bank.csv --shards 8 --checkpoints ck/
 """
 
 from __future__ import annotations
@@ -222,6 +232,72 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="print the store manifest (snapshots and staleness)"
     )
     inspect_parser.add_argument("--store", required=True, help="store directory")
+
+    shard_parser = subparsers.add_parser(
+        "shard",
+        help="fault-tolerant sharded mining (retries, checkpoint/resume)",
+    )
+    shard_subparsers = shard_parser.add_subparsers(
+        dest="shard_command", required=True
+    )
+    for name, description in (
+        (
+            "mine",
+            "execute the catalog scan plan of a CSV file across N shards "
+            "with per-shard retries, timeouts, and optional checkpoints",
+        ),
+        (
+            "resume",
+            "finish an interrupted sharded run: reload every checkpointed "
+            "shard partial and count only the unfinished spans",
+        ),
+        (
+            "status",
+            "report which shards of a run are checkpointed and which "
+            "spans still need counting",
+        ),
+    ):
+        sub = shard_subparsers.add_parser(name, help=description)
+        sub.add_argument("csv", help="input CSV file with a header row")
+        sub.add_argument(
+            "--shards", type=int, default=4, help="partition width (default: 4)"
+        )
+        sub.add_argument("--buckets", type=int, default=200)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--chunk-size", type=int, default=None)
+        sub.add_argument(
+            "--checkpoints",
+            default=None,
+            metavar="DIR",
+            help="checkpoint directory root (required for resume/status); "
+            "each run checkpoints under its own run-key namespace",
+        )
+        if name != "status":
+            sub.add_argument(
+                "--max-retries",
+                type=int,
+                default=2,
+                help="retries per shard before it counts as failed (default: 2)",
+            )
+            sub.add_argument(
+                "--shard-timeout",
+                type=float,
+                default=None,
+                help="seconds one shard attempt may run before it is "
+                "declared hung and retried (default: no timeout)",
+            )
+            sub.add_argument(
+                "--on-exhausted",
+                choices=("raise", "partial"),
+                default="raise",
+                help="when a shard exhausts its retries: fail the run "
+                "(default) or fold the surviving shards and report coverage",
+            )
+            sub.add_argument(
+                "--transport",
+                choices=("thread", "inline"),
+                default="thread",
+            )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper-reproduction experiments"
@@ -479,6 +555,111 @@ def _run_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _catalog_scan_plan(schema, num_buckets: int):
+    """The catalog plan (every numeric x Boolean pair) as one ScanPlan.
+
+    Mirrors the fused prefetch of ``mine_rule_catalog``: one bucket request
+    per numeric attribute carrying every Boolean objective — the profiles
+    the confidence/support catalog solvers consume.
+    """
+    from repro.pipeline.builder import ScanPlan
+    from repro.relation.conditions import BooleanIs
+    from repro.relation.schema import AttributeKind
+
+    numeric = [a.name for a in schema if a.kind == AttributeKind.NUMERIC]
+    boolean = [a.name for a in schema if a.kind == AttributeKind.BOOLEAN]
+    plan = ScanPlan()
+    objectives = [BooleanIs(attribute, True) for attribute in boolean]
+    for attribute in numeric:
+        plan.add_bucket(attribute, objectives=objectives, num_buckets=num_buckets)
+    return plan
+
+
+def _run_shard(args: argparse.Namespace) -> int:
+    from repro.exceptions import ShardError
+    from repro.pipeline import CSVSource
+    from repro.pipeline.builder import ProfileBuilder
+    from repro.relation.io import DEFAULT_CHUNK_SIZE, infer_csv_schema
+    from repro.shard import (
+        RetryPolicy,
+        ShardCoordinator,
+        checkpoint_status,
+        partition_source,
+        run_key,
+    )
+    from repro.store.profile_store import plan_signature
+
+    chunk_size = args.chunk_size or DEFAULT_CHUNK_SIZE
+    schema = infer_csv_schema(args.csv, chunk_size=chunk_size)
+    source = CSVSource(args.csv, schema=schema, chunk_size=chunk_size)
+    builder = ProfileBuilder(num_buckets=args.buckets, seed=args.seed)
+    plan = _catalog_scan_plan(schema, args.buckets)
+    if len(plan) == 0:
+        raise ShardError(
+            f"{args.csv} has no numeric x Boolean attribute pairs to profile"
+        )
+
+    if args.shard_command == "status":
+        if args.checkpoints is None:
+            raise ShardError("shard status needs --checkpoints")
+        descriptors = partition_source(source, args.shards)
+        key = run_key(plan_signature(builder, plan), builder.seed, descriptors)
+        info = checkpoint_status(args.checkpoints, key)
+        done = set(info["completed_shards"])
+        print(f"run {key}: checkpoints in {info['directory']}")
+        print(
+            f"  boundaries checkpointed: "
+            f"{'yes' if info['has_bucketings'] else 'no'}"
+        )
+        print(f"  shards: {len(done)}/{len(descriptors)} checkpointed")
+        for descriptor in descriptors:
+            state = "done" if descriptor.index in done else "pending"
+            print(
+                f"    shard {descriptor.index}: "
+                f"[{descriptor.start}, {descriptor.stop}) "
+                f"{descriptor.unit} {state}"
+            )
+        return 0
+
+    if args.shard_command == "resume" and args.checkpoints is None:
+        raise ShardError("shard resume needs --checkpoints")
+    coordinator = ShardCoordinator(
+        builder,
+        num_shards=args.shards,
+        transport=args.transport,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        shard_timeout=args.shard_timeout,
+        on_exhausted=args.on_exhausted,
+        checkpoints=args.checkpoints,
+    )
+    run = coordinator.mine(source, plan)
+    coverage = run.coverage
+    print(
+        f"run {run.run_key}: {len(run.descriptors)} shards over "
+        f"{coverage['total_units']} {coverage['unit']} "
+        f"({len(plan)} profile requests)"
+    )
+    for report in run.reports:
+        detail = f"{report.attempts} attempt(s), {report.tuples} tuples"
+        if report.status == "checkpointed":
+            detail = f"resumed from checkpoint, {report.tuples} tuples"
+        if report.error:
+            detail += f" | {report.error}"
+        print(f"  shard {report.index}: {report.status} ({detail})")
+    print(
+        f"coverage: {coverage['coverage']:.1%} "
+        f"({coverage['covered_tuples']} tuples from "
+        f"{len(coverage['completed_shards'])}/{coverage['total_shards']} shards)"
+    )
+    if not run.complete:
+        print(
+            "degraded result: shards "
+            f"{coverage['failed_shards']} are missing from the fold"
+        )
+        return 3
+    return 0
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     result = _EXPERIMENTS[args.name]()
     print(result.report())
@@ -500,6 +681,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_rules2d(args)
         if args.command == "store":
             return _run_store(args)
+        if args.command == "shard":
+            return _run_shard(args)
         if args.command == "experiment":
             return _run_experiment(args)
     except ReproError as error:

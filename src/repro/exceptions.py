@@ -65,6 +65,17 @@ class PipelineError(ReproError):
     """A data source or profile builder was configured inconsistently."""
 
 
+class ExecutorError(PipelineError):
+    """A counting executor's worker process died mid-fold.
+
+    Raised instead of the raw ``concurrent.futures`` pool exception when a
+    multiprocessing worker is killed (OOM killer, segfault, explicit kill)
+    while counting, naming the chunk batch that was in flight.  The fold is
+    abandoned — a dead worker's partial counts are unrecoverable, so the
+    executor never silently drops them.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
 
@@ -79,4 +90,51 @@ class StoreError(ReproError):
     fingerprint has drifted from the stored snapshot's prefix.  The store
     never degrades to serving possibly-wrong counts: it either raises this
     error or rebuilds from the source.
+    """
+
+
+class SourceChangedError(RelationError, StoreError):
+    """The data behind a source changed out from under an operation.
+
+    Two code paths converge on this type: a :class:`CSVSource` scan that
+    observes the file shrinking *mid-scan* (the bytes it fingerprinted no
+    longer exist, so any counts folded so far describe data that is gone),
+    and a store append whose source no longer digests to the stored
+    snapshot's prefix (the data is not an append-only continuation).  It
+    derives from both :class:`RelationError` (it is a relation-integrity
+    failure) and :class:`StoreError` (the store refuses to merge across it),
+    so existing handlers of either base keep working.
+    """
+
+
+class ShardError(ReproError):
+    """A shard of a distributed counting run failed.
+
+    Base of the shard plane's typed failure modes; carries ``shard_index``
+    and ``attempt`` so retry loops and reports can name the exact failure.
+    """
+
+    def __init__(
+        self, message: str, shard_index: int = -1, attempt: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.shard_index = int(shard_index)
+        self.attempt = int(attempt)
+
+
+class ShardTimeout(ShardError):
+    """A shard worker exceeded its per-attempt wall-clock budget."""
+
+
+class ShardCrashed(ShardError):
+    """A shard worker raised or died before returning its partial."""
+
+
+class ShardCorrupt(ShardError):
+    """A shard partial failed validation and was rejected, never folded.
+
+    Covers every tampered-or-stale shape: a checksum mismatch (bit flips,
+    truncated arrays), a fingerprint stamp naming different source data, a
+    partial claiming the wrong shard index, or a tuple count that disagrees
+    with the shard's span.
     """

@@ -55,7 +55,7 @@ from __future__ import annotations
 import os
 import zlib
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
@@ -77,7 +77,7 @@ from repro.bucketing.equidepth_sample import DEFAULT_SAMPLE_FACTOR
 from repro.bucketing.equidepth_sort import equidepth_cuts_from_sorted
 from repro.bucketing.streaming import ReservoirSampler
 from repro.core.profile import BucketProfile
-from repro.exceptions import PipelineError
+from repro.exceptions import ExecutorError, PipelineError
 from repro.pipeline.sources import DataSource
 from repro.relation.conditions import Condition
 from repro.relation.relation import Relation
@@ -88,6 +88,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (grid builds on builder)
 __all__ = [
     "AttributeSpec",
     "AttributeCounts",
+    "CompiledPlan",
     "ProfileBuilder",
     "ProfileRequest",
     "ScanPlan",
@@ -580,6 +581,42 @@ class _PlanPayloadBuilder:
         return total
 
 
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A :class:`ScanPlan` compiled against fully-resolved bucketings.
+
+    Everything a counting pass needs, with the boundary question already
+    settled: the fused :class:`~repro.bucketing.counting.KernelPlan`, the
+    payload builder that evaluates relation chunks into kernel payloads, the
+    projected source columns, and the per-request bucketing resolution.
+    This is the unit of work the shard plane hands to each worker — compile
+    once on the coordinator, count any span anywhere, merge the partials.
+    """
+
+    requests: tuple[ProfileRequest, ...]
+    kernel_plan: KernelPlan
+    payload_builder: _PlanPayloadBuilder
+    needed_columns: tuple[str, ...]
+    request_bucketings: tuple[tuple[Bucketing, ...], ...]
+
+    def count_chunks(self, chunks: Iterable[Relation]) -> PlanChunkCounts:
+        """Count relation chunks serially, merging partials in chunk order."""
+        totals = self.kernel_plan.zeros()
+        for chunk in chunks:
+            totals.merge(
+                count_plan_chunk(
+                    self.kernel_plan, self.payload_builder.build(chunk)
+                )
+            )
+        return totals
+
+    def results(self, totals: PlanChunkCounts) -> PlanResults:
+        """Wrap merged totals as the plan's :class:`PlanResults`."""
+        return PlanResults(
+            list(self.requests), totals.parts, list(self.request_bucketings)
+        )
+
+
 # Compiled plan shipped to each multiprocessing worker exactly once (via the
 # pool initializer); per-chunk traffic is then payload batches only.
 _WORKER_PLAN: KernelPlan | None = None
@@ -937,12 +974,89 @@ class ProfileBuilder:
         ), segments=tuple(segments))
         return kernel_plan, request_bucketings
 
+    def plan_axis_pairs(self, plan: ScanPlan) -> list[tuple[str, int]]:
+        """Every distinct ``(attribute, bucket count)`` axis pair of a plan."""
+        return list(
+            dict.fromkeys(
+                pair
+                for request in plan.requests
+                for pair in self._axis_pairs(request)
+            )
+        )
+
+    def sample_axis_bucketings(
+        self, source: DataSource, pairs: Sequence[tuple[str, int]]
+    ) -> dict[tuple[str, int], Bucketing]:
+        """One scan sampling boundaries for explicit ``(attribute, count)`` pairs.
+
+        The pair-keyed sibling of :meth:`sample_bucketings` — a plan may
+        bucket the same attribute at two widths (a 1-D profile and a grid
+        axis), which an attribute-keyed mapping cannot express.  Each pair's
+        reservoir draws from the attribute's own seeded generator, so the
+        boundaries are bit-identical to the sampling pass
+        :meth:`execute_plan` runs for the same pairs.
+        """
+        pairs = list(dict.fromkeys(pairs))
+        samplers = self._make_samplers(pairs)
+        if samplers:
+            columns = list(
+                dict.fromkeys(attribute for attribute, _ in samplers)
+            )
+            for chunk in source.scan(columns):
+                for (attribute, _), sampler in samplers.items():
+                    sampler.extend(chunk.numeric_column(attribute))
+        return self._resolve_sampled(pairs, samplers)
+
+    def compile_plan(
+        self,
+        plan: ScanPlan,
+        bucketings: Mapping[str | tuple[str, int], Bucketing],
+    ) -> CompiledPlan:
+        """Compile a plan against *fully-resolved* bucketings (no sampling).
+
+        ``bucketings`` must cover every axis of the plan, keyed either by
+        ``(attribute, bucket count)`` pair (exact) or by plain attribute
+        name (a fallback for every width); the boundary-sampling pass has
+        already happened (or the boundaries came from a store snapshot).
+        The compiled plan is position-independent: counting any subset of
+        the source's chunks through it and merging the partials in chunk
+        order reproduces what a full :meth:`execute_plan` fold over those
+        chunks would produce — the foundation of the shard plane's
+        scatter/gather.
+        """
+        requests = list(plan.requests)
+        column_slots, request_wiring, payload_builder, needed_columns = (
+            self._plan_wiring(requests)
+        )
+
+        def resolve(attribute: str, count: int) -> Bucketing:
+            if (attribute, count) in bucketings:
+                return bucketings[(attribute, count)]
+            if attribute in bucketings:
+                return bucketings[attribute]
+            raise PipelineError(
+                f"compile_plan received no bucketing for attribute "
+                f"{attribute!r} at {count} buckets"
+            )
+
+        kernel_plan, request_bucketings = self._plan_kernel(
+            requests, column_slots, request_wiring, resolve
+        )
+        return CompiledPlan(
+            requests=tuple(requests),
+            kernel_plan=kernel_plan,
+            payload_builder=payload_builder,
+            needed_columns=tuple(needed_columns),
+            request_bucketings=tuple(request_bucketings),
+        )
+
     def execute_plan(
         self,
         source: DataSource,
         plan: ScanPlan,
         bucketings: Mapping[str, Bucketing] | None = None,
         store: "object | None" = None,
+        shards: int | None = None,
     ) -> PlanResults:
         """Answer every request of ``plan`` from one fold over ``source``.
 
@@ -963,7 +1077,25 @@ class ProfileBuilder:
         anything else executes normally and is persisted for next time.
         The store fixes its own boundaries, so it cannot be combined with
         ``bucketings`` overrides.
+
+        ``shards`` routes the counting fold through a default-configured
+        :class:`~repro.shard.ShardCoordinator` with that many shards —
+        boundary sampling stays a single serial pass (reservoir streams are
+        scan-order-sensitive), then each shard counts its own span of the
+        source and the partials fold in shard order.  See
+        :mod:`repro.shard` for timeouts, retries, checkpoint/resume, and
+        degradation policies.
         """
+        if shards is not None:
+            if store is not None:
+                raise PipelineError(
+                    "shards cannot be combined with a store; run the "
+                    "ShardCoordinator directly and persist via store.put"
+                )
+            from repro.shard import ShardCoordinator
+
+            coordinator = ShardCoordinator(self, num_shards=shards)
+            return coordinator.mine(source, plan, bucketings=bucketings).results
         if store is not None:
             if bucketings:
                 raise PipelineError(
@@ -1117,18 +1249,34 @@ class ProfileBuilder:
             initargs=(kernel_plan,),
         ) as pool:
             window: deque = deque()
+            submitted = 0
+            merged = 0
             batch: list = []
-            for payload in payloads:
-                batch.append(payload)
-                if len(batch) == _PLAN_BATCH_CHUNKS:
+            try:
+                for payload in payloads:
+                    batch.append(payload)
+                    if len(batch) == _PLAN_BATCH_CHUNKS:
+                        window.append(pool.submit(_count_plan_batch, batch))
+                        submitted += 1
+                        batch = []
+                        if len(window) >= 2 * workers:
+                            totals.merge(window.popleft().result())
+                            merged += 1
+                if batch:
                     window.append(pool.submit(_count_plan_batch, batch))
-                    batch = []
-                    if len(window) >= 2 * workers:
-                        totals.merge(window.popleft().result())
-            if batch:
-                window.append(pool.submit(_count_plan_batch, batch))
-            while window:
-                totals.merge(window.popleft().result())
+                    submitted += 1
+                while window:
+                    totals.merge(window.popleft().result())
+                    merged += 1
+            except BrokenExecutor as exc:
+                raise ExecutorError(
+                    "a multiprocessing counting worker died while processing "
+                    f"chunk batch {merged} "
+                    f"(chunks {merged * _PLAN_BATCH_CHUNKS}.."
+                    f"{(merged + 1) * _PLAN_BATCH_CHUNKS - 1}) of the plan "
+                    "fold (out-of-memory kill or crash); its partial counts "
+                    "are unrecoverable"
+                ) from exc
         return totals
 
     # -- pass 2: counting ------------------------------------------------------
@@ -1395,12 +1543,22 @@ class ProfileBuilder:
         workers = self._max_workers or min(8, os.cpu_count() or 1)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             window: deque = deque()
-            for payload in payloads:
-                window.append(pool.submit(worker, payload))
-                if len(window) >= 2 * workers:
+            merged = 0
+            try:
+                for payload in payloads:
+                    window.append(pool.submit(worker, payload))
+                    if len(window) >= 2 * workers:
+                        merge(window.popleft().result())
+                        merged += 1
+                while window:
                     merge(window.popleft().result())
-            while window:
-                merge(window.popleft().result())
+                    merged += 1
+            except BrokenExecutor as exc:
+                raise ExecutorError(
+                    "a multiprocessing counting worker died while processing "
+                    f"chunk {merged} of the fold (out-of-memory kill or "
+                    "crash); its partial counts are unrecoverable"
+                ) from exc
 
     def build_presumptive_profiles(
         self,

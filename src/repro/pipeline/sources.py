@@ -31,7 +31,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.exceptions import RelationError
+from repro.exceptions import RelationError, SourceChangedError
 from repro.relation.io import (
     DEFAULT_CHUNK_SIZE,
     read_csv_chunks,
@@ -169,6 +169,39 @@ class DataSource(ABC):
 
         return tail()
 
+    def scan_span(
+        self, start: int, stop: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        """A scan of only the data in ``[start, stop)``.
+
+        ``start``/``stop`` are in the units of :meth:`fingerprint` ``length``
+        (tuples by default, bytes for :class:`CSVSource`) — the same units
+        :meth:`scan_tail` resumes by, so a shard plane can describe a
+        partition of the source as fingerprint-stamped spans.  Scanning
+        every span of a partition in span order yields exactly the tuples of
+        one full scan, each exactly once.  The default implementation scans
+        from the top and keeps only the window — correct for any source;
+        sources with cheap random access override it to touch only the span.
+        """
+        if start < 0:
+            raise RelationError("scan_span start must be non-negative")
+        if stop < start:
+            raise RelationError("scan_span stop must be at least start")
+
+        def window() -> Iterator[Relation]:
+            remaining = int(stop) - int(start)
+            for chunk in self.scan_tail(start, columns):
+                if remaining <= 0:
+                    return
+                if chunk.num_tuples <= remaining:
+                    remaining -= chunk.num_tuples
+                    yield chunk
+                else:
+                    yield chunk.take(np.arange(remaining))
+                    return
+
+        return window()
+
     @property
     def in_memory(self) -> bool:
         """Whether :meth:`materialize` is free (no extra memory or scan)."""
@@ -259,6 +292,20 @@ class RelationSource(DataSource):
         start = min(int(start), total)
         tail = self._relation.take(np.arange(start, total))
         return RelationSource(tail, chunk_size=self._chunk_size).scan(columns)
+
+    def scan_span(
+        self, start: int, stop: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        """Slice the span directly — tuples outside it are never touched."""
+        if start < 0:
+            raise RelationError("scan_span start must be non-negative")
+        if stop < start:
+            raise RelationError("scan_span stop must be at least start")
+        total = self._relation.num_tuples
+        start = min(int(start), total)
+        stop = min(int(stop), total)
+        window = self._relation.take(np.arange(start, stop))
+        return RelationSource(window, chunk_size=self._chunk_size).scan(columns)
 
 
 class ChunkedSource(DataSource):
@@ -435,15 +482,58 @@ class CSVSource(DataSource):
     def chunks(self) -> Iterator[Relation]:
         return self.scan()
 
+    def _guarded(self, chunks: Iterator[Relation]) -> Iterator[Relation]:
+        """Detect the file shrinking *mid-scan* as a typed error.
+
+        A file truncated below its size at scan start invalidates every
+        fingerprint taken of the missing bytes; depending on where the
+        reader was, the raw symptom is an arbitrary parse error — or, worse,
+        a silent early EOF that would under-count without complaint.  Both
+        shapes are converted to :class:`~repro.exceptions.SourceChangedError`
+        by re-stat-ing the file when the scan errors *and* when it
+        completes.  Growth (an append-only feed) stays legal.
+        """
+        expected = self._path.stat().st_size
+
+        def shrunk() -> int | None:
+            try:
+                size = self._path.stat().st_size
+            except OSError:
+                return 0
+            return size if size < expected else None
+
+        def guarded() -> Iterator[Relation]:
+            try:
+                yield from chunks
+            except (RelationError, OSError, ValueError) as exc:
+                size = shrunk()
+                if size is not None:
+                    raise SourceChangedError(
+                        f"CSV file {self._path} shrank mid-scan from "
+                        f"{expected} to {size} bytes; the scanned prefix no "
+                        "longer exists"
+                    ) from exc
+                raise
+            size = shrunk()
+            if size is not None:
+                raise SourceChangedError(
+                    f"CSV file {self._path} shrank mid-scan from {expected} "
+                    f"to {size} bytes; the scan ended early on truncated data"
+                )
+
+        return guarded()
+
     def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
         schema = self.schema
         if self._first_chunk is None:
-            return read_csv_chunks(
-                self._path,
-                schema=schema,
-                chunk_size=self._chunk_size,
-                columns=columns,
-                fast=self._fast,
+            return self._guarded(
+                read_csv_chunks(
+                    self._path,
+                    schema=schema,
+                    chunk_size=self._chunk_size,
+                    columns=columns,
+                    fast=self._fast,
+                )
             )
         first, lines = self._first_chunk
 
@@ -464,7 +554,7 @@ class CSVSource(DataSource):
                 skip_lines=lines,
             )
 
-        return resumed()
+        return self._guarded(resumed())
 
     def fingerprint(self, prefix: int | None = None) -> SourceFingerprint:
         """Digest of the file's first ``prefix`` bytes (raw I/O, no parse).
@@ -538,4 +628,63 @@ class CSVSource(DataSource):
             columns=columns,
             fast=self._fast,
             start_offset=start,
+        )
+
+    def data_start(self) -> int:
+        """Byte offset of the first data row (one past the header newline)."""
+        with self._path.open("rb") as handle:
+            handle.readline()
+            return handle.tell()
+
+    def scan_span(
+        self, start: int, stop: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        """Parse only the rows of byte span ``[start, stop)`` (O(1) seek).
+
+        Both offsets must sit on line boundaries — :func:`csv_byte_spans`
+        in :mod:`repro.shard.descriptors` produces exactly such partitions —
+        and ``start`` must be at or past the first data row.  A ``start``
+        inside a line raises :class:`~repro.exceptions.RelationError` rather
+        than mis-parsing; a file that shrinks mid-span raises
+        :class:`~repro.exceptions.SourceChangedError`.
+        """
+        if start < 0:
+            raise RelationError("scan_span start must be non-negative")
+        if stop < start:
+            raise RelationError("scan_span stop must be at least start")
+        size = self._path.stat().st_size
+        stop = min(int(stop), size)
+        if start >= stop:
+            return iter(())
+        with self._path.open("rb") as handle:
+            handle.readline()
+            data_start = handle.tell()
+            if start < data_start:
+                raise RelationError(
+                    f"span start {start} of {self._path} sits inside the "
+                    "header row"
+                )
+            handle.seek(start - 1)
+            if handle.read(1) != b"\n":
+                raise RelationError(
+                    f"span start {start} of {self._path} does not sit on a "
+                    "line boundary"
+                )
+            if stop < size:
+                handle.seek(stop - 1)
+                if handle.read(1) != b"\n":
+                    raise RelationError(
+                        f"span stop {stop} of {self._path} does not sit on a "
+                        "line boundary"
+                    )
+        return self._guarded(
+            read_csv_chunks(
+                self._path,
+                schema=self.schema,
+                chunk_size=self._chunk_size,
+                columns=columns,
+                fast=self._fast,
+                start_offset=start,
+                stop_offset=stop,
+            )
         )

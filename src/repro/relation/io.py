@@ -39,6 +39,7 @@ scan skip every Boolean column of a wide catalog file.
 from __future__ import annotations
 
 import csv
+import io as io_module
 from contextlib import ExitStack
 from io import StringIO, TextIOWrapper
 from itertools import chain, islice
@@ -435,6 +436,36 @@ def read_csv_first_chunk(
     return chunk, len(block)
 
 
+class _BoundedRaw(io_module.RawIOBase):
+    """A read-only raw stream serving at most ``limit`` bytes of ``handle``.
+
+    Wrapping the seeked binary file in this (plus a ``TextIOWrapper``) is
+    what turns a byte span ``[start, stop)`` of a CSV file into an ordinary
+    line stream for the chunk parsers: reads simply hit EOF at ``stop``, so
+    a span whose boundaries sit on line starts yields exactly its rows.
+    """
+
+    def __init__(self, handle, limit: int) -> None:
+        super().__init__()
+        self._handle = handle
+        self._remaining = int(limit)
+
+    def readable(self) -> bool:  # pragma: no cover - io protocol plumbing
+        return True
+
+    def readinto(self, buffer) -> int:
+        if self._remaining <= 0:
+            return 0
+        view = memoryview(buffer)
+        if len(view) > self._remaining:
+            view = view[: self._remaining]
+        block = self._handle.read(len(view))
+        read = len(block)
+        view[:read] = block
+        self._remaining -= read
+        return read
+
+
 def read_csv_chunks(
     path: str | Path,
     schema: Schema | None = None,
@@ -443,6 +474,7 @@ def read_csv_chunks(
     fast: bool = True,
     skip_lines: int = 0,
     start_offset: int | None = None,
+    stop_offset: int | None = None,
 ) -> Iterator[Relation]:
     """Yield a CSV file as :class:`Relation` chunks of at most ``chunk_size`` rows.
 
@@ -479,6 +511,11 @@ def read_csv_chunks(
     rows appended after a stored snapshot.  Legacy-fallback error messages
     report line numbers relative to the resume offset.
 
+    ``stop_offset`` additionally bounds a ``start_offset`` scan: parsing
+    stops at that absolute byte position (exclusive), which must also sit on
+    a line boundary.  Together they scan exactly the rows of a byte span —
+    the shard-descriptor contract of :meth:`repro.pipeline.CSVSource.scan_span`.
+
     A file with a header but no data rows yields no chunks.
     """
     if chunk_size <= 0:
@@ -493,6 +530,11 @@ def read_csv_chunks(
                 "start_offset scans need an explicit schema; a tail of the "
                 "file cannot infer one"
             )
+    if stop_offset is not None:
+        if start_offset is None:
+            raise RelationError("stop_offset requires start_offset")
+        if stop_offset < start_offset:
+            raise RelationError("stop_offset must be at least start_offset")
     path = Path(path)
     with ExitStack() as stack:
         if start_offset is None:
@@ -505,6 +547,12 @@ def read_csv_chunks(
                 header = _read_header(csv.reader(head), path)
             raw = stack.enter_context(path.open("rb"))
             raw.seek(start_offset)
+            if stop_offset is not None:
+                raw = stack.enter_context(
+                    io_module.BufferedReader(
+                        _BoundedRaw(raw, stop_offset - start_offset)
+                    )
+                )
             handle = stack.enter_context(
                 TextIOWrapper(raw, encoding="utf-8", newline="")
             )

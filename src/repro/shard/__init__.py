@@ -1,0 +1,59 @@
+"""Fault-tolerant sharded mining plane.
+
+The serial story so far computes every profile of a
+:class:`~repro.pipeline.ScanPlan` in one fused scan; this package scatters
+that scan across N shards and folds the partials back — and keeps the
+answer *provably* right when shards crash, hang, or return garbage:
+
+* :mod:`repro.shard.descriptors` — fingerprint-stamped span partitions
+  (byte spans for CSV files, tuple spans for everything else) that cover
+  the source exactly once;
+* :mod:`repro.shard.retry` — bounded exponential backoff with
+  deterministic jitter, clock and sleep injectable;
+* :mod:`repro.shard.coordinator` — the scatter/gather brain: serial
+  boundary sampling, per-shard timeout + retry, checksummed and
+  token-stamped partial validation, atomic checkpoint/resume, and
+  graceful degradation with exact coverage metadata;
+* :mod:`repro.shard.faults` — seeded fault injection (crash, hang,
+  truncate, bit-flip, stale token, permanent death) for drills and the
+  differential test suite.
+
+Entry points: ``builder.execute_plan(source, plan, shards=N)`` for the
+default configuration, or drive a :class:`ShardCoordinator` directly for
+timeouts, retries, checkpoints, and degradation policies.  The CLI mirrors
+this as ``repro shard mine | resume | status``.
+"""
+
+from repro.shard.coordinator import (
+    ShardCoordinator,
+    ShardReport,
+    ShardRun,
+    checkpoint_status,
+    count_shard,
+)
+from repro.shard.descriptors import (
+    ShardDescriptor,
+    csv_byte_spans,
+    partition_source,
+    run_key,
+)
+from repro.shard.faults import FaultSchedule, FaultySource, FaultyWorker
+from repro.shard.retry import RetryPolicy
+from repro.store.profile_store import ShardCheckpointStore
+
+__all__ = [
+    "FaultSchedule",
+    "FaultySource",
+    "FaultyWorker",
+    "RetryPolicy",
+    "ShardCheckpointStore",
+    "ShardCoordinator",
+    "ShardDescriptor",
+    "ShardReport",
+    "ShardRun",
+    "checkpoint_status",
+    "count_shard",
+    "csv_byte_spans",
+    "partition_source",
+    "run_key",
+]

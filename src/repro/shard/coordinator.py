@@ -1,0 +1,642 @@
+"""The :class:`ShardCoordinator`: scatter/gather counting that survives faults.
+
+One sharded mining run is three phases:
+
+1. **Sample** — boundary sampling stays a *single serial pass* over the
+   source (reservoir RNG streams are scan-order-sensitive; splitting them
+   would change the sampled boundaries).  The pass also counts tuples, which
+   tuple-span partitioning needs for free.
+2. **Scatter** — the source is partitioned into fingerprint-stamped
+   :class:`~repro.shard.descriptors.ShardDescriptor` spans and each is
+   dispatched to a worker, which counts exactly its span through the frozen
+   :class:`~repro.pipeline.builder.CompiledPlan` and returns a checksummed,
+   stamped partial.  Failures are typed — :class:`ShardTimeout`,
+   :class:`ShardCrashed`, :class:`ShardCorrupt` — and retried under a
+   bounded backoff policy; validated partials are checkpointed atomically so
+   a killed coordinator resumes only the unfinished shards.
+3. **Gather** — partials fold in shard-index order.  Integer counts,
+   min/max bounds, and tuple totals merge exactly under any partition, so
+   the folded profiles are bit-identical to one serial scan.  (§5 float
+   bucket *sums* are left-fold order-dependent across chunk boundaries,
+   exactly as re-chunking any stream is — the differential suite pins
+   bit-exactness on sum-free plans, which is every catalog plan.)
+
+When retries are exhausted the coordinator either raises the last typed
+error (``on_exhausted="raise"``) or degrades gracefully
+(``on_exhausted="partial"``): the fold proceeds over the surviving shards
+and the returned :class:`ShardRun` carries exact coverage metadata — which
+spans are represented, which are missing, and what fraction of the source
+the counts cover.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.bucketing.base import Bucketing
+from repro.bucketing.counting import PlanChunkCounts, count_plan_chunk
+from repro.exceptions import (
+    BucketingError,
+    ShardCorrupt,
+    ShardCrashed,
+    ShardError,
+    ShardTimeout,
+)
+from repro.pipeline.builder import (
+    CompiledPlan,
+    PlanResults,
+    ProfileBuilder,
+    ScanPlan,
+)
+from repro.pipeline.sources import CSVSource, DataSource
+from repro.relation import Relation, Schema
+from repro.shard.descriptors import ShardDescriptor, partition_source
+from repro.shard.descriptors import run_key as compute_run_key
+from repro.shard.retry import RetryPolicy
+from repro.store.profile_store import (
+    ProfileStore,
+    ShardCheckpointStore,
+    plan_signature,
+)
+
+__all__ = [
+    "ShardCoordinator",
+    "ShardReport",
+    "ShardRun",
+    "checkpoint_status",
+    "count_shard",
+]
+
+TRANSPORTS = ("thread", "inline")
+_BUCKETING_PREFIX = "cuts."
+
+
+def count_shard(
+    compiled: CompiledPlan,
+    source: DataSource,
+    descriptor: ShardDescriptor,
+    attempt: int = 0,
+) -> dict[str, np.ndarray]:
+    """The default worker: count one shard's span into a stamped partial.
+
+    The contract any worker must honor: scan exactly
+    ``[descriptor.start, descriptor.stop)`` of ``source`` through
+    ``compiled``, and return the partial's ``to_state()`` dictionary (self-
+    checksummed) stamped with the shard index, the source fingerprint token
+    the shard was cut from, and the number of tuples actually counted.  The
+    state is pure serializable arrays — the same contract works in-process,
+    over a process pool, or across a wire.
+    """
+    totals = compiled.kernel_plan.zeros()
+    tuples = 0
+    columns = list(compiled.needed_columns)
+    for chunk in source.scan_span(descriptor.start, descriptor.stop, columns):
+        tuples += chunk.num_tuples
+        totals.merge(
+            count_plan_chunk(
+                compiled.kernel_plan, compiled.payload_builder.build(chunk)
+            )
+        )
+    state = totals.to_state()
+    state["shard.index"] = np.asarray(np.int64(descriptor.index))
+    state["shard.token"] = np.asarray(descriptor.token)
+    state["shard.tuples"] = np.asarray(np.int64(tuples))
+    return state
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """How one shard fared: attempts spent, terminal status, typed error."""
+
+    index: int
+    status: str  # "ok" | "checkpointed" | "failed"
+    attempts: int
+    tuples: int
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class ShardRun:
+    """Everything a sharded mining run produced.
+
+    ``results`` folds the surviving shards; ``coverage`` says exactly what
+    "surviving" meant — a complete run covers fraction ``1.0`` and lists no
+    failed shards, a degraded run (``on_exhausted="partial"``) accounts for
+    every missing span.
+    """
+
+    results: PlanResults
+    run_key: str
+    descriptors: tuple[ShardDescriptor, ...]
+    reports: tuple[ShardReport, ...]
+    coverage: dict
+
+    @property
+    def complete(self) -> bool:
+        """Whether every shard of the partition is in the fold."""
+        return not self.coverage["failed_shards"]
+
+
+class _TupleCountingSource(DataSource):
+    """Delegating proxy that tallies tuples as scans stream through it.
+
+    Lets the coordinator's single sampling pass double as the tuple count
+    that tuple-span partitioning needs — no extra scan.
+    """
+
+    def __init__(self, inner: DataSource) -> None:
+        self._inner = inner
+        self.total: int | None = None
+
+    @property
+    def schema(self) -> Schema:
+        return self._inner.schema
+
+    def chunks(self) -> Iterator[Relation]:
+        return self._counted(self._inner.chunks())
+
+    def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        return self._counted(self._inner.scan(columns))
+
+    def _counted(self, chunks: Iterator[Relation]) -> Iterator[Relation]:
+        def stream() -> Iterator[Relation]:
+            total = 0
+            for chunk in chunks:
+                total += chunk.num_tuples
+                yield chunk
+            self.total = total
+
+        return stream()
+
+
+def checkpoint_status(
+    checkpoints: ProfileStore | ShardCheckpointStore | str | Path,
+    run_key: str | None = None,
+) -> dict:
+    """What a run's checkpoint namespace holds (for ``repro shard status``)."""
+    store = _open_checkpoints(checkpoints, run_key)
+    if store is None:
+        raise ShardError("checkpoint_status needs a checkpoint location")
+    return {
+        "directory": str(store.directory),
+        "completed_shards": store.completed(),
+        "has_bucketings": store.load_meta() is not None,
+    }
+
+
+def _open_checkpoints(
+    checkpoints: ProfileStore | ShardCheckpointStore | str | Path | None,
+    run_key: str | None,
+) -> ShardCheckpointStore | None:
+    if checkpoints is None:
+        return None
+    if isinstance(checkpoints, ShardCheckpointStore):
+        return checkpoints
+    if isinstance(checkpoints, ProfileStore):
+        if run_key is None:
+            raise ShardError("a ProfileStore checkpoint target needs a run key")
+        return checkpoints.checkpoints(run_key)
+    root = Path(checkpoints)
+    if run_key is None:
+        raise ShardError("a directory checkpoint target needs a run key")
+    return ShardCheckpointStore(root / run_key)
+
+
+class ShardCoordinator:
+    """Partition, dispatch, retry, checkpoint, and fold a sharded count.
+
+    Parameters
+    ----------
+    builder:
+        The :class:`ProfileBuilder` whose sampling seed and bucket counts
+        define the run.  Boundary sampling runs through it serially, so a
+        sharded run is bit-identical to ``builder.execute_plan`` for every
+        merge-exact payload.
+    num_shards:
+        Requested partition width (the actual partition may hold fewer
+        shards when the data is too small to split further).
+    transport:
+        ``"thread"`` (default) dispatches shards to an in-process thread
+        pool and enforces ``shard_timeout`` per attempt; ``"inline"`` runs
+        shards sequentially in the caller's thread — fully deterministic
+        scheduling, but hangs cannot be preempted, so ``shard_timeout`` is
+        ignored.
+    retry:
+        A :class:`RetryPolicy`; defaults to 2 retries with exponential
+        backoff and deterministic jitter.
+    shard_timeout:
+        Seconds one attempt may run before it is declared
+        :class:`ShardTimeout` (``None`` waits forever).
+    on_exhausted:
+        ``"raise"`` (default) re-raises the exhausted shard's last typed
+        error; ``"partial"`` folds the surviving shards and reports exact
+        coverage metadata instead.
+    checkpoints:
+        Where to persist validated partials: a :class:`ProfileStore` (the
+        run gets a namespace under ``<store>/checkpoints/<run_key>/``), a
+        directory root, a ready :class:`ShardCheckpointStore`, or ``None``
+        to disable checkpointing.
+    worker:
+        The shard-counting callable, ``worker(compiled, source, descriptor,
+        attempt) -> state``; defaults to :func:`count_shard`.  The fault
+        harness (:mod:`repro.shard.faults`) wraps this hook.
+    """
+
+    def __init__(
+        self,
+        builder: ProfileBuilder,
+        num_shards: int = 4,
+        transport: str = "thread",
+        retry: RetryPolicy | None = None,
+        shard_timeout: float | None = None,
+        on_exhausted: str = "raise",
+        checkpoints: ProfileStore | ShardCheckpointStore | str | Path | None = None,
+        worker: Callable | None = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ShardError("num_shards must be positive")
+        if transport not in TRANSPORTS:
+            raise ShardError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        if on_exhausted not in ("raise", "partial"):
+            raise ShardError(
+                f"unknown on_exhausted policy {on_exhausted!r}; "
+                "expected 'raise' or 'partial'"
+            )
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ShardError("shard_timeout must be positive")
+        self._builder = builder
+        self._num_shards = int(num_shards)
+        self._transport = transport
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._shard_timeout = shard_timeout
+        self._on_exhausted = on_exhausted
+        self._checkpoints = checkpoints
+        self._worker = worker if worker is not None else count_shard
+
+    # -- phase 1: sample + partition -------------------------------------------
+
+    def _resolve_bucketings(
+        self,
+        source: DataSource,
+        plan: ScanPlan,
+        provided: Mapping[str, Bucketing] | None,
+        checkpoints: ShardCheckpointStore | None,
+    ) -> tuple[dict[tuple[str, int], Bucketing], int | None]:
+        """Frozen per-axis boundaries + the tuple total (if counted).
+
+        Keys are ``(attribute, bucket count)`` pairs — a plan may bucket the
+        same attribute at two widths.  Resolution order: caller-provided
+        (pair- or attribute-keyed), then checkpointed (a resumed run must
+        reuse the exact boundaries its partials were counted under), then
+        one serial sampling pass.  The sampling scan runs through a counting
+        proxy, so non-CSV partitioning gets its tuple total free.
+        """
+        pairs = self._builder.plan_axis_pairs(plan)
+        overrides = dict(provided or {})
+        resolved: dict[tuple[str, int], Bucketing] = {}
+        for attribute, count in pairs:
+            if (attribute, count) in overrides:
+                resolved[(attribute, count)] = overrides[(attribute, count)]
+            elif attribute in overrides:
+                resolved[(attribute, count)] = overrides[attribute]
+        missing = [pair for pair in pairs if pair not in resolved]
+        if missing and checkpoints is not None:
+            saved = checkpoints.load_meta()
+            if saved is not None:
+                for attribute, count in list(missing):
+                    key = f"{_BUCKETING_PREFIX}{count:d}.{attribute}"
+                    if key in saved:
+                        resolved[(attribute, count)] = Bucketing(saved[key])
+                missing = [pair for pair in missing if pair not in resolved]
+        total: int | None = None
+        if missing:
+            proxy = _TupleCountingSource(source)
+            resolved.update(
+                self._builder.sample_axis_bucketings(proxy, missing)
+            )
+            total = proxy.total
+        return resolved, total
+
+    def _count_tuples(self, source: DataSource) -> int:
+        total = 0
+        for chunk in source.scan():
+            total += chunk.num_tuples
+        return total
+
+    # -- phase 2: dispatch with retry ------------------------------------------
+
+    def _attempt(
+        self,
+        compiled: CompiledPlan,
+        source: DataSource,
+        descriptor: ShardDescriptor,
+        attempt: int,
+    ) -> dict[str, np.ndarray]:
+        """One worker attempt, with the transport's timeout discipline."""
+        if self._transport == "inline" or self._shard_timeout is None:
+            try:
+                return self._worker(compiled, source, descriptor, attempt)
+            except ShardError:
+                raise
+            except Exception as exc:
+                raise ShardCrashed(
+                    f"shard {descriptor.index} worker crashed on attempt "
+                    f"{attempt}: {exc}",
+                    shard_index=descriptor.index,
+                    attempt=attempt,
+                ) from exc
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            future = pool.submit(
+                self._worker, compiled, source, descriptor, attempt
+            )
+            try:
+                return future.result(timeout=self._shard_timeout)
+            except FuturesTimeoutError as exc:
+                raise ShardTimeout(
+                    f"shard {descriptor.index} attempt {attempt} exceeded "
+                    f"the {self._shard_timeout}s shard timeout",
+                    shard_index=descriptor.index,
+                    attempt=attempt,
+                ) from exc
+            except ShardError:
+                raise
+            except Exception as exc:
+                raise ShardCrashed(
+                    f"shard {descriptor.index} worker crashed on attempt "
+                    f"{attempt}: {exc}",
+                    shard_index=descriptor.index,
+                    attempt=attempt,
+                ) from exc
+        finally:
+            # Never block on a hung worker thread; it dies with its fault.
+            pool.shutdown(wait=False)
+
+    def _validate_partial(
+        self, descriptor: ShardDescriptor, state: Mapping[str, np.ndarray]
+    ) -> PlanChunkCounts:
+        """Admit a partial to the fold only with its identity proven.
+
+        Checks, in order: the stamp exists; it names *this* shard; it was
+        counted against the data the partition was cut from (token match);
+        the counting arrays survive their checksum; and — for tuple spans —
+        every tuple of the span is accounted for.
+        """
+        for key in ("shard.index", "shard.token", "shard.tuples"):
+            if key not in state:
+                raise ShardCorrupt(
+                    f"shard {descriptor.index} partial is missing its "
+                    f"{key!r} stamp",
+                    shard_index=descriptor.index,
+                )
+        stamped_index = int(np.asarray(state["shard.index"]))
+        if stamped_index != descriptor.index:
+            raise ShardCorrupt(
+                f"shard {descriptor.index} received a partial stamped for "
+                f"shard {stamped_index}",
+                shard_index=descriptor.index,
+            )
+        stamped_token = str(np.asarray(state["shard.token"]).item())
+        if stamped_token != descriptor.token:
+            raise ShardCorrupt(
+                f"shard {descriptor.index} partial was counted against "
+                "different data than this partition (stale fingerprint "
+                "token); refusing to fold it",
+                shard_index=descriptor.index,
+            )
+        try:
+            partial = PlanChunkCounts.from_state(state)
+        except (BucketingError, KeyError, ValueError) as exc:
+            raise ShardCorrupt(
+                f"shard {descriptor.index} partial failed validation: {exc}",
+                shard_index=descriptor.index,
+            ) from exc
+        tuples = int(np.asarray(state["shard.tuples"]))
+        if descriptor.unit == "tuples" and tuples != descriptor.length:
+            raise ShardCorrupt(
+                f"shard {descriptor.index} counted {tuples} tuples for a "
+                f"span of {descriptor.length}; tuples were lost or "
+                "double-counted",
+                shard_index=descriptor.index,
+            )
+        return partial
+
+    def _run_shard(
+        self,
+        compiled: CompiledPlan,
+        source: DataSource,
+        descriptor: ShardDescriptor,
+        checkpoints: ShardCheckpointStore | None,
+    ) -> tuple[ShardDescriptor, dict | None, ShardReport]:
+        """One shard's full life: attempts, validation, checkpoint."""
+        attempt = 0
+        while True:
+            try:
+                state = self._attempt(compiled, source, descriptor, attempt)
+                self._validate_partial(descriptor, state)
+            except ShardError as error:
+                attempt += 1
+                if self._retry.allows(attempt):
+                    self._retry.wait(descriptor.index, attempt)
+                    continue
+                report = ShardReport(
+                    index=descriptor.index,
+                    status="failed",
+                    attempts=attempt,
+                    tuples=0,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                return descriptor, None, report
+            if checkpoints is not None:
+                checkpoints.save(descriptor.index, dict(state))
+            report = ShardReport(
+                index=descriptor.index,
+                status="ok",
+                attempts=attempt + 1,
+                tuples=int(np.asarray(state["shard.tuples"])),
+            )
+            return descriptor, dict(state), report
+
+    # -- phase 3: gather --------------------------------------------------------
+
+    def mine(
+        self,
+        source: DataSource,
+        plan: ScanPlan,
+        bucketings: Mapping[str, Bucketing] | None = None,
+    ) -> ShardRun:
+        """Execute ``plan`` over ``source`` as a fault-tolerant sharded fold.
+
+        Resumable by construction: with a checkpoint target configured,
+        re-invoking ``mine`` after a crash reloads the frozen boundaries and
+        every validated partial, re-counts only the unfinished shards, and
+        folds — checkpoints that fail validation on reload (torn files,
+        stale tokens) are discarded and recounted, never folded.
+        """
+        requests = list(plan.requests)
+        if not requests:
+            empty = PlanResults([], [], [])
+            return ShardRun(
+                results=empty,
+                run_key="",
+                descriptors=(),
+                reports=(),
+                coverage=_coverage((), {}, []),
+            )
+        signature = plan_signature(self._builder, plan)
+        seed = self._builder.seed
+
+        if isinstance(source, CSVSource):
+            # Byte-span partitioning needs no scan: the run key (and with it
+            # the checkpoint namespace) exists before any sampling, so a
+            # resumed run can reload its frozen boundaries instead of
+            # re-sampling.
+            descriptors = partition_source(source, self._num_shards)
+            key = compute_run_key(signature, seed, descriptors)
+            checkpoints = _open_checkpoints(self._checkpoints, key)
+            resolved, _ = self._resolve_bucketings(
+                source, plan, bucketings, checkpoints
+            )
+        else:
+            resolved, total = self._resolve_bucketings(
+                source, plan, bucketings, None
+            )
+            if total is None:
+                total = self._count_tuples(source)
+            descriptors = partition_source(source, self._num_shards, total)
+            key = compute_run_key(signature, seed, descriptors)
+            checkpoints = _open_checkpoints(self._checkpoints, key)
+        if checkpoints is not None:
+            checkpoints.save_meta(
+                {
+                    f"{_BUCKETING_PREFIX}{count:d}.{attribute}": bucketing.cuts
+                    for (attribute, count), bucketing in resolved.items()
+                }
+            )
+        compiled = self._builder.compile_plan(plan, resolved)
+
+        partials: dict[int, PlanChunkCounts] = {}
+        reports: dict[int, ShardReport] = {}
+        pending: list[ShardDescriptor] = []
+        for descriptor in descriptors:
+            state = (
+                checkpoints.load(descriptor.index)
+                if checkpoints is not None
+                else None
+            )
+            if state is not None:
+                try:
+                    partials[descriptor.index] = self._validate_partial(
+                        descriptor, state
+                    )
+                except ShardCorrupt:
+                    checkpoints.discard(descriptor.index)
+                else:
+                    reports[descriptor.index] = ShardReport(
+                        index=descriptor.index,
+                        status="checkpointed",
+                        attempts=0,
+                        tuples=int(np.asarray(state["shard.tuples"])),
+                    )
+                    continue
+            pending.append(descriptor)
+
+        outcomes: list[tuple[ShardDescriptor, dict | None, ShardReport]] = []
+        if pending:
+            if self._transport == "inline":
+                for descriptor in pending:
+                    outcomes.append(
+                        self._run_shard(compiled, source, descriptor, checkpoints)
+                    )
+            else:
+                with ThreadPoolExecutor(max_workers=len(pending)) as pool:
+                    futures = [
+                        pool.submit(
+                            self._run_shard,
+                            compiled,
+                            source,
+                            descriptor,
+                            checkpoints,
+                        )
+                        for descriptor in pending
+                    ]
+                    outcomes = [future.result() for future in futures]
+        failures: list[ShardReport] = []
+        for descriptor, state, report in outcomes:
+            reports[descriptor.index] = report
+            if state is None:
+                failures.append(report)
+            else:
+                partials[descriptor.index] = PlanChunkCounts.from_state(state)
+
+        if failures and self._on_exhausted == "raise":
+            worst = failures[0]
+            raise ShardError(
+                f"shard {worst.index} exhausted its "
+                f"{self._retry.max_retries} retries ({worst.error}); "
+                "re-run with on_exhausted='partial' to fold the surviving "
+                "shards, or resume from the checkpoints",
+                shard_index=worst.index,
+                attempt=worst.attempts,
+            )
+
+        totals = compiled.kernel_plan.zeros()
+        for descriptor in descriptors:
+            if descriptor.index in partials:
+                totals.merge(partials[descriptor.index])
+        results = compiled.results(totals)
+        coverage = _coverage(descriptors, partials, list(reports.values()))
+        if checkpoints is not None and not coverage["failed_shards"]:
+            checkpoints.clear()
+        ordered = tuple(
+            reports[descriptor.index] for descriptor in descriptors
+        )
+        return ShardRun(
+            results=results,
+            run_key=key,
+            descriptors=tuple(descriptors),
+            reports=ordered,
+            coverage=coverage,
+        )
+
+
+def _coverage(
+    descriptors: Sequence[ShardDescriptor],
+    partials: Mapping[int, PlanChunkCounts],
+    reports: Sequence[ShardReport],
+) -> dict:
+    """Exact accounting of what a (possibly degraded) fold represents."""
+    completed = sorted(index for index in partials)
+    failed = sorted(
+        descriptor.index
+        for descriptor in descriptors
+        if descriptor.index not in partials
+    )
+    total_units = sum(descriptor.length for descriptor in descriptors)
+    covered_units = sum(
+        descriptor.length
+        for descriptor in descriptors
+        if descriptor.index in partials
+    )
+    covered_tuples = sum(
+        report.tuples for report in reports if report.status != "failed"
+    )
+    return {
+        "total_shards": len(descriptors),
+        "completed_shards": completed,
+        "failed_shards": failed,
+        "unit": descriptors[0].unit if descriptors else "tuples",
+        "total_units": total_units,
+        "covered_units": covered_units,
+        "coverage": (covered_units / total_units) if total_units else 1.0,
+        "covered_tuples": covered_tuples,
+    }

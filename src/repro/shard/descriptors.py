@@ -1,0 +1,168 @@
+"""Shard descriptors: fingerprint-stamped spans partitioning a data source.
+
+A :class:`ShardDescriptor` names one span of a source in the source's own
+fingerprint units — tuples for in-memory and chunked sources, bytes for CSV
+files — so a worker anywhere can count exactly its slice via
+:meth:`~repro.pipeline.DataSource.scan_span` and stamp the resulting partial
+with the identity of the data it counted.  Partitions are exact covers: the
+spans are contiguous, non-overlapping, and union to the full data region, so
+folding every shard's partial in span order reproduces one full scan with
+zero lost or double-counted tuples.
+
+CSV partitioning never parses the file: split points are chosen by byte
+arithmetic plus one ``readline`` per boundary to land on the next line start
+(the same O(1)-seek discipline as :meth:`CSVSource.scan_tail`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ShardError
+from repro.pipeline.sources import CSVSource, DataSource
+
+__all__ = ["ShardDescriptor", "csv_byte_spans", "partition_source", "run_key"]
+
+
+@dataclass(frozen=True)
+class ShardDescriptor:
+    """One shard's span of a partitioned source.
+
+    Attributes
+    ----------
+    index:
+        Position of the shard in the partition (fold order).
+    start / stop:
+        Half-open span ``[start, stop)`` in ``unit`` units.
+    unit:
+        ``"tuples"`` or ``"bytes"`` — the source's fingerprint unit.
+    token:
+        Fingerprint token of the *whole* source at partition time (empty
+        when the source has no fingerprint).  Workers stamp their partials
+        with it, so a partial computed against different data — an older
+        file, the wrong file — is rejected as
+        :class:`~repro.exceptions.ShardCorrupt` instead of folded.
+    """
+
+    index: int
+    start: int
+    stop: int
+    unit: str
+    token: str = ""
+
+    @property
+    def length(self) -> int:
+        """Span extent in the descriptor's units."""
+        return self.stop - self.start
+
+    def describe(self) -> dict:
+        """JSON-able form (checkpoint metadata, status reports)."""
+        return {
+            "index": self.index,
+            "start": self.start,
+            "stop": self.stop,
+            "unit": self.unit,
+            "token": self.token,
+        }
+
+
+def csv_byte_spans(path: str | Path, num_shards: int) -> list[tuple[int, int]]:
+    """Line-aligned byte spans partitioning a CSV file's data region.
+
+    The data region runs from one past the header newline to end of file.
+    Target boundaries are placed at equal byte fractions, then each is
+    advanced to the next line start with a single ``readline`` — no parsing,
+    no full read.  Empty spans (more shards than lines) are dropped, so the
+    result may hold fewer spans than requested.
+    """
+    if num_shards <= 0:
+        raise ShardError("num_shards must be positive")
+    path = Path(path)
+    size = path.stat().st_size
+    with path.open("rb") as handle:
+        handle.readline()
+        data_start = handle.tell()
+        if data_start >= size:
+            return []
+        bounds = [data_start]
+        data_bytes = size - data_start
+        for shard in range(1, num_shards):
+            target = data_start + (data_bytes * shard) // num_shards
+            if target <= bounds[-1]:
+                continue
+            handle.seek(target)
+            handle.readline()
+            boundary = handle.tell()
+            if boundary >= size:
+                break
+            if boundary > bounds[-1]:
+                bounds.append(boundary)
+    bounds.append(size)
+    return [
+        (start, stop)
+        for start, stop in zip(bounds, bounds[1:])
+        if stop > start
+    ]
+
+
+def partition_source(
+    source: DataSource,
+    num_shards: int,
+    total_tuples: int | None = None,
+) -> list[ShardDescriptor]:
+    """Partition a source into shard descriptors (an exact cover).
+
+    CSV sources partition by byte spans (cheap seeks, workers touch only
+    their bytes); every other source partitions ``[0, total_tuples)`` into
+    near-equal tuple spans — the caller supplies the total, normally counted
+    for free during the coordinator's boundary-sampling pass.
+    """
+    if num_shards <= 0:
+        raise ShardError("num_shards must be positive")
+    fingerprint = source.fingerprint()
+    token = fingerprint.token if fingerprint is not None else ""
+    if isinstance(source, CSVSource):
+        spans = csv_byte_spans(source.path, num_shards)
+        return [
+            ShardDescriptor(index, start, stop, "bytes", token)
+            for index, (start, stop) in enumerate(spans)
+        ]
+    if total_tuples is None:
+        raise ShardError(
+            "partitioning a non-CSV source needs total_tuples (count it "
+            "during the sampling pass)"
+        )
+    total = int(total_tuples)
+    descriptors: list[ShardDescriptor] = []
+    for shard in range(num_shards):
+        start = (total * shard) // num_shards
+        stop = (total * (shard + 1)) // num_shards
+        if stop > start:
+            descriptors.append(
+                ShardDescriptor(len(descriptors), start, stop, "tuples", token)
+            )
+    return descriptors
+
+
+def run_key(
+    signature: str, seed: int, descriptors: list[ShardDescriptor]
+) -> str:
+    """Identity of one sharded run: plan signature, seed, and partition.
+
+    Checkpoints are namespaced by this digest, so a resume only ever folds
+    partials written for the *same* plan, seed, source data, and span layout
+    — changing any of them lands in a fresh namespace and recounts.
+    """
+    payload = json.dumps(
+        {
+            "signature": signature,
+            "seed": int(seed),
+            "shards": [descriptor.describe() for descriptor in descriptors],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]

@@ -1,0 +1,218 @@
+"""Fault injection for the sharded mining plane.
+
+Shipped as library code, not test scaffolding: operators can rehearse
+failure drills against real stores, and the differential test suite drives
+the same injectors.  Faults are *seeded schedules* — a
+:class:`FaultSchedule` maps ``(shard_index, attempt)`` to a fault kind, so
+a run with a given seed misbehaves identically every time and the
+coordinator's recovery can be asserted bit-for-bit against a fault-free
+oracle.
+
+Fault kinds
+-----------
+``"crash"``
+    The worker raises mid-count (process died, machine rebooted).
+``"hang"``
+    The worker stalls past the shard timeout before answering.
+``"truncate"``
+    The partial arrives with a piece missing (torn file, short read).
+``"bitflip"``
+    The partial arrives with a flipped bit (disk or network corruption).
+``"wrong_token"``
+    The partial was computed against *different data* (stale worker cache).
+``"die"``
+    The worker host is gone for good — every attempt fails.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.pipeline.sources import DataSource
+from repro.relation import Relation, Schema
+
+__all__ = ["FAULT_KINDS", "FaultSchedule", "FaultyWorker", "FaultySource"]
+
+FAULT_KINDS = ("crash", "hang", "truncate", "bitflip", "wrong_token", "die")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Deterministic map from ``(shard_index, attempt)`` to a fault kind.
+
+    ``faults`` maps a shard index to the fault kind per attempt (attempts
+    beyond the listed ones succeed).  A ``"die"`` entry applies to every
+    attempt of that shard regardless of position.
+    """
+
+    faults: dict[int, tuple[str, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def always(cls, kind: str, shards: Sequence[int], attempts: int = 1) -> FaultSchedule:
+        """Inject ``kind`` for the first ``attempts`` attempts of ``shards``."""
+        return cls({int(shard): (kind,) * attempts for shard in shards})
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_shards: int,
+        rate: float = 0.5,
+        attempts: int = 2,
+        kinds: Sequence[str] = ("crash", "hang", "truncate", "bitflip"),
+    ) -> FaultSchedule:
+        """Seeded random schedule: each attempt faults with ``rate``."""
+        rng = random.Random(seed)
+        faults: dict[int, tuple[str, ...]] = {}
+        for shard in range(num_shards):
+            plan = tuple(
+                rng.choice(list(kinds)) if rng.random() < rate else "ok"
+                for _ in range(attempts)
+            )
+            if any(kind != "ok" for kind in plan):
+                faults[shard] = plan
+        return cls(faults)
+
+    def kind(self, shard_index: int, attempt: int) -> str:
+        """Fault kind for one attempt (``"ok"`` when none is scheduled)."""
+        plan = self.faults.get(int(shard_index), ())
+        if "die" in plan:
+            return "die"
+        if 0 <= attempt < len(plan):
+            return plan[attempt]
+        return "ok"
+
+
+def _corrupt_truncate(state: dict) -> dict:
+    """Drop the last counting key — a torn write / short read."""
+    state = dict(state)
+    keys = sorted(key for key in state if key.startswith("part"))
+    if keys:
+        del state[keys[-1]]
+    return state
+
+
+def _corrupt_bitflip(state: dict) -> dict:
+    """Flip one bit inside the first non-empty counting array."""
+    state = dict(state)
+    for key in sorted(state):
+        if not key.startswith("part"):
+            continue
+        array = np.asarray(state[key])
+        if array.nbytes == 0:
+            continue
+        flipped = array.copy()
+        flat = flipped.view(np.uint8).reshape(-1)
+        flat[0] ^= 1
+        state[key] = flipped
+        return state
+    return state
+
+
+@dataclass
+class FaultyWorker:
+    """Wrap a shard worker so it fails on the schedule's say-so.
+
+    Matches the coordinator's worker contract
+    ``worker(compiled, source, descriptor, attempt) -> state dict`` and
+    delegates to ``inner`` when no fault is scheduled.  Hangs are real but
+    short (``hang_seconds``); pair them with a smaller ``shard_timeout`` so
+    the coordinator observes a timeout without the suite actually waiting.
+    """
+
+    inner: Callable
+    schedule: FaultSchedule
+    hang_seconds: float = 0.05
+    calls: list = field(default_factory=list)
+
+    def __call__(self, compiled, source, descriptor, attempt: int = 0) -> dict:
+        kind = self.schedule.kind(descriptor.index, attempt)
+        self.calls.append((descriptor.index, attempt, kind))
+        if kind in ("crash", "die"):
+            raise RuntimeError(
+                f"injected {kind} on shard {descriptor.index} attempt {attempt}"
+            )
+        if kind == "hang":
+            time.sleep(self.hang_seconds)
+            return self.inner(compiled, source, descriptor, attempt)
+        state = self.inner(compiled, source, descriptor, attempt)
+        if kind == "truncate":
+            return _corrupt_truncate(state)
+        if kind == "bitflip":
+            return _corrupt_bitflip(state)
+        if kind == "wrong_token":
+            state = dict(state)
+            state["shard.token"] = np.asarray("stale-token-from-other-data")
+            return state
+        return state
+
+
+class FaultySource(DataSource):
+    """Wrap a source so span scans misbehave on a per-call schedule.
+
+    ``schedule`` is consumed one kind per :meth:`scan_span` call, in call
+    order: ``"crash"`` raises after ``after_chunks`` chunks (I/O error
+    mid-scan), ``"truncate"`` ends the stream silently early (the
+    coordinator's tuple accounting must catch it), anything else scans
+    normally.  Whole-source scans are never faulted — sampling stays clean.
+    """
+
+    def __init__(
+        self,
+        inner: DataSource,
+        schedule: Sequence[str] = (),
+        after_chunks: int = 1,
+    ) -> None:
+        self._inner = inner
+        self._schedule = list(schedule)
+        self._after_chunks = int(after_chunks)
+        self.span_calls = 0
+
+    @property
+    def schema(self) -> Schema:
+        return self._inner.schema
+
+    def chunks(self) -> Iterator[Relation]:
+        return self._inner.chunks()
+
+    def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        return self._inner.scan(columns)
+
+    def fingerprint(self, prefix: int | None = None):
+        return self._inner.fingerprint(prefix)
+
+    def scan_tail(
+        self, start: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        return self._inner.scan_tail(start, columns)
+
+    def scan_span(
+        self, start: int, stop: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        index = self.span_calls
+        self.span_calls += 1
+        kind = self._schedule[index] if index < len(self._schedule) else "ok"
+        chunks = self._inner.scan_span(start, stop, columns)
+        if kind == "ok":
+            return chunks
+
+        def faulted() -> Iterator[Relation]:
+            served = 0
+            for chunk in chunks:
+                if served >= self._after_chunks:
+                    if kind == "crash":
+                        raise OSError(
+                            f"injected I/O failure in span [{start}, {stop}) "
+                            f"after {served} chunks"
+                        )
+                    return  # "truncate": silent early end of stream
+                yield chunk
+                served += 1
+
+        return faulted()

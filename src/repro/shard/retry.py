@@ -1,0 +1,60 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The coordinator retries a failed shard a bounded number of times, sleeping
+between attempts.  The delay doubles per attempt up to a cap, plus a jitter
+term derived from ``(shard_index, attempt)`` — deterministic, so two runs of
+the same fault schedule back off identically, yet distinct across shards so
+a herd of failures does not retry in lockstep.  Clock and sleep are
+injectable for tests: the fault-injection suite runs with a no-op sleep and
+a fake clock, so even schedules with long nominal backoffs finish instantly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["RetryPolicy"]
+
+
+def _jitter_fraction(shard_index: int, attempt: int) -> float:
+    """Deterministic pseudo-random fraction in ``[0, 1)``."""
+    digest = hashlib.sha256(f"{shard_index}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a shard, and how long to wait in between.
+
+    ``max_retries`` counts *re*-tries: a shard is attempted at most
+    ``max_retries + 1`` times.  The delay before retry ``attempt`` (1-based)
+    is ``min(base_delay * 2**(attempt-1), max_delay)`` scaled by a
+    deterministic jitter factor in ``[1, 1 + jitter)``.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    sleep: Callable[[float], None] = field(default=time.sleep, compare=False)
+
+    def delay(self, shard_index: int, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of ``shard_index``."""
+        if attempt <= 0:
+            return 0.0
+        backoff = min(self.base_delay * (2.0 ** (attempt - 1)), self.max_delay)
+        return backoff * (1.0 + self.jitter * _jitter_fraction(shard_index, attempt))
+
+    def wait(self, shard_index: int, attempt: int) -> float:
+        """Sleep out the backoff; returns the delay actually waited."""
+        delay = self.delay(shard_index, attempt)
+        if delay > 0.0:
+            self.sleep(delay)
+        return delay
+
+    def allows(self, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (0-based) may still run."""
+        return attempt <= self.max_retries

@@ -28,6 +28,10 @@ source × executor matrix, and append-then-serve is bit-identical to
 rebuild-with-frozen-boundaries.
 """
 
-from repro.store.profile_store import ProfileStore, plan_signature
+from repro.store.profile_store import (
+    ProfileStore,
+    ShardCheckpointStore,
+    plan_signature,
+)
 
-__all__ = ["ProfileStore", "plan_signature"]
+__all__ = ["ProfileStore", "ShardCheckpointStore", "plan_signature"]

@@ -43,6 +43,7 @@ from repro.exceptions import (
     BucketingError,
     RelationError,
     SchemaError,
+    SourceChangedError,
     StoreError,
 )
 from repro.pipeline.builder import PlanResults, ProfileBuilder, ScanPlan
@@ -52,7 +53,7 @@ from repro.relation.schema import Schema
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pipeline.builder import ProfileRequest
 
-__all__ = ["ProfileStore", "plan_signature"]
+__all__ = ["ProfileStore", "ShardCheckpointStore", "plan_signature"]
 
 _MANIFEST = "manifest.json"
 _MANIFEST_VERSION = 1
@@ -385,7 +386,9 @@ class ProfileStore:
                 ):
                     replaced = existing
                     break
-        if replaced is not None:
+        if replaced is not None and replaced.get("token") == fingerprint.token:
+            # Same snapshot identity: the atomic tmp+replace below swaps
+            # equivalent content under the same name, safe at any crash point.
             payload_name = replaced["payload"]
         else:
             # Derive a name from the snapshot identity, but never reuse a
@@ -435,6 +438,16 @@ class ProfileStore:
         else:
             entries.append(entry)
         self._write_manifest(manifest)
+        # When the snapshot advanced to a new token, the payload went to a
+        # *new* file: at every crash point above, the manifest still named a
+        # payload that fully existed (old entry + old file before the
+        # manifest write, new entry + new file after).  Only now, with the
+        # manifest durably pointing at the new file, is the old one garbage.
+        if replaced is not None and replaced["payload"] != entry["payload"]:
+            try:
+                (self._directory / replaced["payload"]).unlink()
+            except OSError:  # pragma: no cover - cleanup is best-effort
+                pass
         return entry
 
     # -- public API ------------------------------------------------------------
@@ -659,7 +672,7 @@ class ProfileStore:
                     ) from exc
                 self._last_status = status
                 return results
-        raise StoreError(
+        raise SourceChangedError(
             "source fingerprint has drifted from every stored snapshot "
             "(the data is not an append-only continuation); refusing to "
             "merge — rebuild the store instead"
@@ -719,3 +732,107 @@ class ProfileStore:
     def inspect(self) -> list[dict]:
         """Manifest entries as plain dictionaries (metadata only, no arrays)."""
         return [dict(entry) for entry in self._read_manifest()["entries"]]
+
+    def checkpoints(self, run_key: str) -> "ShardCheckpointStore":
+        """The shard-checkpoint namespace for one sharded run.
+
+        Rooted at ``<store>/checkpoints/<run_key>/``, isolated from the
+        snapshot payloads and the manifest — a killed coordinator never
+        leaves the snapshot area half-written, and two different runs never
+        see each other's partials.
+        """
+        if not run_key or any(sep in run_key for sep in ("/", "\\", "..")):
+            raise StoreError(f"invalid checkpoint run key {run_key!r}")
+        return ShardCheckpointStore(self._directory / "checkpoints" / run_key)
+
+
+class ShardCheckpointStore:
+    """Atomic per-shard checkpoint files for one sharded mining run.
+
+    Layout (one directory per run key)::
+
+        <directory>/
+            meta.npz          # frozen bucket boundaries (sampling pass)
+            shard00003.npz    # one validated partial per completed shard
+
+    Every write goes through the store's tmp-then-replace discipline, so a
+    coordinator killed at *any* instant leaves each checkpoint either whole
+    or absent — never torn.  Reads are deliberately forgiving: an unreadable
+    archive is reported as missing (the coordinator just recounts that
+    shard), because a checkpoint is a pure optimization over the source of
+    truth, the data itself.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        """The run's checkpoint directory."""
+        return self._directory
+
+    def _shard_path(self, index: int) -> Path:
+        return self._directory / f"shard{int(index):05d}.npz"
+
+    def _write(self, path: Path, state: dict[str, np.ndarray]) -> None:
+        self._directory.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_name(path.name + ".tmp")
+        with temporary.open("wb") as handle:
+            np.savez(handle, **state)
+        temporary.replace(path)
+
+    @staticmethod
+    def _read(path: Path) -> dict[str, np.ndarray] | None:
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                return {key: np.array(archive[key]) for key in archive.files}
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError):
+            return None
+
+    def save(self, index: int, state: dict[str, np.ndarray]) -> None:
+        """Atomically persist one shard's validated partial."""
+        self._write(self._shard_path(index), state)
+
+    def load(self, index: int) -> dict[str, np.ndarray] | None:
+        """One shard's checkpointed partial, or ``None`` if absent/unreadable."""
+        return self._read(self._shard_path(index))
+
+    def discard(self, index: int) -> None:
+        """Drop one shard's checkpoint (it failed validation on reload)."""
+        try:
+            self._shard_path(index).unlink()
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            pass
+
+    def completed(self) -> list[int]:
+        """Sorted indices of shards with a checkpoint file on disk."""
+        if not self._directory.is_dir():
+            return []
+        indices = []
+        for path in self._directory.glob("shard*.npz"):
+            digits = path.stem[len("shard"):]
+            if digits.isdigit():
+                indices.append(int(digits))
+        return sorted(indices)
+
+    def save_meta(self, state: dict[str, np.ndarray]) -> None:
+        """Persist run-level arrays (the frozen bucket boundaries)."""
+        self._write(self._directory / "meta.npz", state)
+
+    def load_meta(self) -> dict[str, np.ndarray] | None:
+        """Run-level arrays, or ``None`` if absent/unreadable."""
+        return self._read(self._directory / "meta.npz")
+
+    def clear(self) -> None:
+        """Delete the whole run namespace (the fold completed)."""
+        if not self._directory.is_dir():
+            return
+        for path in self._directory.iterdir():
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - cleanup is best-effort
+                pass
+        try:
+            self._directory.rmdir()
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            pass

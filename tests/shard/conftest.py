@@ -1,0 +1,56 @@
+"""Fixtures of the sharded-mining suite (helpers live in ``shard_support.py``)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import bank_customers
+from repro.pipeline import RelationSource, ScanPlan
+from repro.pipeline.builder import ProfileBuilder
+from repro.relation import Relation, write_csv
+from repro.relation.conditions import BooleanIs, NumericInRange
+
+from shard_support import BUCKETS, CHUNK, ROWS, SEED
+
+OBJECTIVE = BooleanIs("card_loan", True)
+
+
+@pytest.fixture(scope="session")
+def relation() -> Relation:
+    relation, _ = bank_customers(ROWS, seed=29)
+    return relation
+
+
+@pytest.fixture(scope="session")
+def csv_path(tmp_path_factory, relation: Relation) -> Path:
+    path = tmp_path_factory.mktemp("shard-data") / "bank.csv"
+    write_csv(relation, path)
+    return path
+
+
+@pytest.fixture()
+def builder() -> ProfileBuilder:
+    return ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def plan() -> ScanPlan:
+    """A sum-free mixed plan: bucket, presumptive, and grid requests."""
+    plan = ScanPlan()
+    plan.add_bucket("balance", objectives=[OBJECTIVE])
+    plan.add_presumptive(
+        "balance", OBJECTIVE, [NumericInRange("age", 30.0, 60.0)]
+    )
+    plan.add_grid("age", "balance", [OBJECTIVE], grid=(8, 6))
+    return plan
+
+
+@pytest.fixture(scope="session")
+def serial_results(relation: Relation, plan: ScanPlan):
+    """The fresh-scan oracle every faulted run must reproduce bit-for-bit."""
+    builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+    return builder.execute_plan(
+        RelationSource(relation, chunk_size=CHUNK), plan
+    )

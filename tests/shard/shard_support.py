@@ -1,0 +1,57 @@
+"""Shared helpers of the sharded-mining fault-injection suite.
+
+The suite's core assertion is *differential*: whatever faults a run
+survives, its folded profiles must be **bit-identical** to one serial scan
+of the same data.  ``assert_results_identical`` compares the full serialized
+state of every request's counting part (sizes, conditionals, bounds, tuple
+totals, checksums) plus the resolved bucket boundaries — nan-aware, because
+empty buckets carry ``nan`` data bounds and ``nan != nan``.
+
+The plans used here are sum-free (no §5 average targets): integer counts
+and min/max bounds merge exactly under *any* partition of the scan, while
+float bucket sums are left-fold order-dependent — the same caveat the
+profile store documents for non-chunk-aligned appends.  Catalog plans are
+sum-free, so this is the production shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline import PlanResults
+
+BUCKETS = 24
+CHUNK = 400
+ROWS = 4_000
+SEED = 17
+
+
+def assert_arrays_identical(left: np.ndarray, right: np.ndarray, label: str) -> None:
+    left = np.asarray(left)
+    right = np.asarray(right)
+    assert left.shape == right.shape, label
+    assert left.dtype == right.dtype, label
+    if left.dtype.kind == "f":
+        assert np.array_equal(left, right, equal_nan=True), label
+    else:
+        assert np.array_equal(left, right), label
+
+
+def assert_results_identical(left: PlanResults, right: PlanResults) -> None:
+    """Bit-exact equality of every part state and every resolved bucketing."""
+    assert len(left.parts) == len(right.parts)
+    for index, (expected, actual) in enumerate(zip(left.parts, right.parts)):
+        state_left = expected.to_state()
+        state_right = actual.to_state()
+        assert set(state_left) == set(state_right)
+        for key in state_left:
+            assert_arrays_identical(
+                state_left[key], state_right[key], f"part {index} key {key}"
+            )
+    for index in range(len(left.parts)):
+        for axis, (expected, actual) in enumerate(
+            zip(left.request_bucketings(index), right.request_bucketings(index))
+        ):
+            assert_arrays_identical(
+                expected.cuts, actual.cuts, f"request {index} axis {axis} cuts"
+            )

@@ -1,0 +1,292 @@
+"""Checkpoint/resume: a killed coordinator recounts only the unfinished shards.
+
+The centrepiece is a *real* kill: a subprocess coordinator ``os._exit``\\ s at
+a chosen checkpoint boundary, and the parent resumes the run in-process,
+asserting both that only the unfinished shards are recounted and that the
+resumed fold is bit-identical to the serial oracle.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StoreError
+from repro.pipeline import CSVSource, RelationSource
+from repro.shard import (
+    FaultSchedule,
+    FaultyWorker,
+    RetryPolicy,
+    ShardCheckpointStore,
+    ShardCoordinator,
+    checkpoint_status,
+    count_shard,
+)
+from repro.store import ProfileStore
+
+from shard_support import BUCKETS, CHUNK, SEED, assert_results_identical
+
+NO_RETRY = RetryPolicy(max_retries=0, sleep=lambda _seconds: None)
+
+
+@dataclass
+class SpyWorker:
+    """Delegates to :func:`count_shard`, remembering which shards it counted."""
+
+    calls: list = field(default_factory=list)
+
+    def __call__(self, compiled, source, descriptor, attempt: int = 0):
+        self.calls.append(descriptor.index)
+        return count_shard(compiled, source, descriptor, attempt)
+
+
+def _degraded_run(builder, plan, source, root, dead_shards):
+    """A first pass whose ``dead_shards`` never finish, leaving checkpoints."""
+    worker = FaultyWorker(count_shard, FaultSchedule.always("die", dead_shards))
+    coordinator = ShardCoordinator(
+        builder,
+        num_shards=4,
+        retry=NO_RETRY,
+        on_exhausted="partial",
+        checkpoints=root,
+        worker=worker,
+    )
+    run = coordinator.mine(source, plan)
+    assert run.coverage["failed_shards"] == sorted(dead_shards)
+    return run
+
+
+class TestResume:
+    def test_resume_recounts_only_the_unfinished_shards(
+        self, builder, plan, serial_results, relation, tmp_path
+    ):
+        source = RelationSource(relation, chunk_size=CHUNK)
+        first = _degraded_run(builder, plan, source, tmp_path, [1, 2])
+        store = ShardCheckpointStore(tmp_path / first.run_key)
+        assert store.completed() == [0, 3]
+
+        spy = SpyWorker()
+        coordinator = ShardCoordinator(
+            builder, num_shards=4, checkpoints=tmp_path, worker=spy
+        )
+        resumed = coordinator.mine(source, plan)
+        assert resumed.run_key == first.run_key
+        assert sorted(spy.calls) == [1, 2]  # the survivors came from disk
+        assert resumed.complete
+        assert_results_identical(serial_results, resumed.results)
+        statuses = {r.index: r.status for r in resumed.reports}
+        assert statuses == {0: "checkpointed", 1: "ok", 2: "ok", 3: "checkpointed"}
+
+    def test_resume_reuses_the_checkpointed_boundaries(
+        self, builder, plan, csv_path, tmp_path
+    ):
+        source = CSVSource(csv_path, chunk_size=CHUNK)
+        first = _degraded_run(builder, plan, source, tmp_path, [0])
+        store = ShardCheckpointStore(tmp_path / first.run_key)
+        meta = store.load_meta()
+        assert meta is not None and len(meta) > 0
+
+        # Resuming must load the frozen cuts rather than re-sampling: poison
+        # the sampler and watch the run succeed anyway.
+        class NoSampling:
+            def __getattr__(self, name):
+                if name == "sample_axis_bucketings":
+                    raise AssertionError("resume re-sampled the source")
+                return getattr(builder, name)
+
+        coordinator = ShardCoordinator(
+            NoSampling(), num_shards=4, checkpoints=tmp_path
+        )
+        resumed = coordinator.mine(source, plan)
+        assert resumed.complete
+
+    def test_corrupt_and_stale_checkpoints_are_recounted(
+        self, builder, plan, serial_results, relation, tmp_path
+    ):
+        source = RelationSource(relation, chunk_size=CHUNK)
+        first = _degraded_run(builder, plan, source, tmp_path, [2, 3])
+        store = ShardCheckpointStore(tmp_path / first.run_key)
+        assert store.completed() == [0, 1]
+
+        # Shard 0: torn file on disk.  Shard 1: stale fingerprint token.
+        torn = store.directory / "shard00000.npz"
+        torn.write_bytes(torn.read_bytes()[: torn.stat().st_size // 2])
+        state = store.load(1)
+        state["shard.token"] = np.asarray("stale-token-from-other-data")
+        store.save(1, state)
+
+        spy = SpyWorker()
+        coordinator = ShardCoordinator(
+            builder, num_shards=4, checkpoints=tmp_path, worker=spy
+        )
+        resumed = coordinator.mine(source, plan)
+        assert sorted(spy.calls) == [0, 1, 2, 3]  # nothing bad was folded
+        assert resumed.complete
+        assert_results_identical(serial_results, resumed.results)
+
+    def test_complete_runs_clear_their_checkpoints(
+        self, builder, plan, relation, tmp_path
+    ):
+        source = RelationSource(relation, chunk_size=CHUNK)
+        run = ShardCoordinator(
+            builder, num_shards=4, checkpoints=tmp_path
+        ).mine(source, plan)
+        assert run.complete
+        store = ShardCheckpointStore(tmp_path / run.run_key)
+        assert store.completed() == []
+        assert store.load_meta() is None
+        leftovers = (
+            list(store.directory.glob("*")) if store.directory.is_dir() else []
+        )
+        assert leftovers == []
+
+    def test_degraded_runs_keep_checkpoints_and_report_status(
+        self, builder, plan, relation, tmp_path
+    ):
+        source = RelationSource(relation, chunk_size=CHUNK)
+        first = _degraded_run(builder, plan, source, tmp_path, [3])
+        status = checkpoint_status(tmp_path, first.run_key)
+        assert status["completed_shards"] == [0, 1, 2]
+        assert status["has_bucketings"] is True
+        store = ShardCheckpointStore(tmp_path / first.run_key)
+        assert list(store.directory.glob("*.tmp")) == []
+
+
+_KILL_SCRIPT = """\
+import os
+import sys
+
+sys.path.insert(0, sys.argv[1])
+
+from repro.pipeline import CSVSource
+from repro.pipeline.builder import ProfileBuilder
+from repro.relation.conditions import BooleanIs, NumericInRange
+from repro.pipeline import ScanPlan
+from repro.shard import ShardCoordinator, count_shard
+
+csv_path, checkpoint_root = sys.argv[2], sys.argv[3]
+kill_after = int(sys.argv[4])
+
+objective = BooleanIs("card_loan", True)
+plan = ScanPlan()
+plan.add_bucket("balance", objectives=[objective])
+plan.add_presumptive("balance", objective, [NumericInRange("age", 30.0, 60.0)])
+plan.add_grid("age", "balance", [objective], grid=(8, 6))
+
+finished = 0
+
+
+def dying_worker(compiled, source, descriptor, attempt=0):
+    global finished
+    if finished >= kill_after:
+        os._exit(17)  # the machine is gone: no cleanup, no atexit
+    state = count_shard(compiled, source, descriptor, attempt)
+    finished += 1
+    return state
+
+
+builder = ProfileBuilder(num_buckets={buckets}, seed={seed})
+coordinator = ShardCoordinator(
+    builder,
+    num_shards=4,
+    transport="inline",
+    checkpoints=checkpoint_root,
+    worker=dying_worker,
+)
+coordinator.mine(CSVSource(csv_path, chunk_size={chunk}), plan)
+os._exit(0)
+"""
+
+
+class TestKilledCoordinator:
+    @pytest.mark.parametrize("kill_after", [0, 1, 2, 3])
+    def test_kill_at_any_checkpoint_boundary_then_resume(
+        self, builder, plan, serial_results, csv_path, tmp_path, kill_after
+    ):
+        script = tmp_path / "killed_coordinator.py"
+        script.write_text(
+            _KILL_SCRIPT.format(buckets=BUCKETS, seed=SEED, chunk=CHUNK),
+            encoding="utf-8",
+        )
+        root = tmp_path / "checkpoints"
+        src = Path(__file__).resolve().parents[2] / "src"
+        outcome = subprocess.run(
+            [
+                sys.executable,
+                str(script),
+                str(src),
+                str(csv_path),
+                str(root),
+                str(kill_after),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert outcome.returncode == 17, outcome.stderr
+
+        (run_dir,) = [p for p in root.iterdir() if p.is_dir()]
+        store = ShardCheckpointStore(run_dir)
+        assert store.completed() == list(range(kill_after))
+        assert list(run_dir.glob("*.tmp")) == []  # atomic writes only
+
+        spy = SpyWorker()
+        coordinator = ShardCoordinator(
+            builder, num_shards=4, checkpoints=root, worker=spy
+        )
+        resumed = coordinator.mine(CSVSource(csv_path, chunk_size=CHUNK), plan)
+        assert resumed.run_key == run_dir.name
+        assert sorted(spy.calls) == list(range(kill_after, 4))
+        assert resumed.complete
+        assert resumed.coverage["coverage"] == 1.0
+        assert_results_identical(serial_results, resumed.results)
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "run")
+        state = {
+            "part0.sizes": np.arange(5, dtype=np.int64),
+            "shard.tuples": np.asarray(np.int64(41)),
+        }
+        store.save(3, state)
+        loaded = store.load(3)
+        assert set(loaded) == set(state)
+        assert np.array_equal(loaded["part0.sizes"], state["part0.sizes"])
+        assert store.completed() == [3]
+        assert store.load(4) is None
+
+    def test_unreadable_checkpoint_reads_as_missing(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "run")
+        store.save(0, {"x": np.zeros(3)})
+        path = store.directory / "shard00000.npz"
+        path.write_bytes(b"not an npz archive")
+        assert store.load(0) is None
+
+    def test_meta_roundtrip_and_clear(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "run")
+        store.save_meta({"cuts.24.balance": np.linspace(0.0, 1.0, 25)})
+        meta = store.load_meta()
+        assert list(meta) == ["cuts.24.balance"]
+        store.save(0, {"x": np.zeros(2)})
+        store.clear()
+        assert store.completed() == []
+        assert store.load_meta() is None
+
+    def test_profile_store_namespaces_checkpoints(self, tmp_path):
+        store = ProfileStore(tmp_path / "catalog")
+        checkpoints = store.checkpoints("abc123")
+        assert checkpoints.directory == (
+            tmp_path / "catalog" / "checkpoints" / "abc123"
+        )
+
+    @pytest.mark.parametrize("bad", ["../escape", "a/b", "a\\b", ""])
+    def test_run_keys_cannot_escape_the_store(self, tmp_path, bad):
+        store = ProfileStore(tmp_path / "catalog")
+        with pytest.raises(StoreError):
+            store.checkpoints(bad)

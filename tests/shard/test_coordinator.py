@@ -1,0 +1,255 @@
+"""The differential fault-injection harness.
+
+Every test folds a sharded run — faulted or not — and asserts the result is
+**bit-identical** to the serial fresh-scan oracle: zero lost tuples, zero
+double-counted tuples, whatever was injected.  Degraded runs must instead
+account for exactly the spans they lost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    PipelineError,
+    ShardCrashed,
+    ShardError,
+    ShardTimeout,
+)
+from repro.pipeline import CSVSource, RelationSource
+from repro.shard import (
+    FaultSchedule,
+    FaultySource,
+    FaultyWorker,
+    RetryPolicy,
+    ShardCoordinator,
+    count_shard,
+)
+
+from shard_support import CHUNK, ROWS, assert_results_identical
+
+NO_SLEEP = RetryPolicy(max_retries=2, sleep=lambda _seconds: None)
+
+
+@pytest.fixture(params=["relation", "csv"])
+def source(request, relation, csv_path):
+    if request.param == "relation":
+        return RelationSource(relation, chunk_size=CHUNK)
+    return CSVSource(csv_path, chunk_size=CHUNK)
+
+
+class TestParity:
+    @pytest.mark.parametrize("transport", ["inline", "thread"])
+    @pytest.mark.parametrize("num_shards", [1, 3, 4])
+    def test_sharded_equals_serial(
+        self, builder, plan, serial_results, source, transport, num_shards
+    ):
+        coordinator = ShardCoordinator(
+            builder, num_shards=num_shards, transport=transport
+        )
+        run = coordinator.mine(source, plan)
+        assert run.complete
+        assert run.coverage["coverage"] == 1.0
+        assert run.coverage["covered_tuples"] == ROWS
+        assert_results_identical(serial_results, run.results)
+
+    def test_execute_plan_routes_shards(
+        self, builder, plan, serial_results, source
+    ):
+        results = builder.execute_plan(source, plan, shards=3)
+        assert_results_identical(serial_results, results)
+
+    def test_shards_cannot_combine_with_a_store(
+        self, builder, plan, source, tmp_path
+    ):
+        from repro.store import ProfileStore
+
+        with pytest.raises(PipelineError, match="store"):
+            builder.execute_plan(
+                source, plan, store=ProfileStore(tmp_path), shards=2
+            )
+
+    def test_empty_plan_is_trivially_complete(self, builder, source):
+        from repro.pipeline import ScanPlan
+
+        run = ShardCoordinator(builder, num_shards=4).mine(source, ScanPlan())
+        assert run.complete
+        assert not run.results.parts
+
+
+class TestFaultRecovery:
+    @pytest.mark.parametrize(
+        "kind", ["crash", "truncate", "bitflip", "wrong_token"]
+    )
+    def test_seeded_worker_faults_recover_bit_identically(
+        self, builder, plan, serial_results, source, kind
+    ):
+        schedule = FaultSchedule.always(kind, [0, 2], attempts=1)
+        worker = FaultyWorker(count_shard, schedule)
+        coordinator = ShardCoordinator(
+            builder, num_shards=4, retry=NO_SLEEP, worker=worker
+        )
+        run = coordinator.mine(source, plan)
+        assert run.complete
+        assert_results_identical(serial_results, run.results)
+        # The faulted shards burned exactly one extra attempt each.
+        by_index = {report.index: report for report in run.reports}
+        assert by_index[0].attempts == 2
+        assert by_index[2].attempts == 2
+        assert by_index[1].attempts == 1
+
+    def test_hang_is_preempted_and_retried(
+        self, builder, plan, serial_results, source
+    ):
+        schedule = FaultSchedule.always("hang", [1], attempts=1)
+        worker = FaultyWorker(count_shard, schedule, hang_seconds=0.25)
+        coordinator = ShardCoordinator(
+            builder,
+            num_shards=4,
+            shard_timeout=0.05,
+            retry=NO_SLEEP,
+            worker=worker,
+        )
+        run = coordinator.mine(source, plan)
+        assert run.complete
+        assert_results_identical(serial_results, run.results)
+
+    def test_random_seeded_schedule_recovers(
+        self, builder, plan, serial_results, source
+    ):
+        schedule = FaultSchedule.random(
+            seed=5,
+            num_shards=4,
+            rate=0.75,
+            attempts=2,
+            kinds=("crash", "truncate", "bitflip"),
+        )
+        assert schedule.faults  # the seed really injects something
+        worker = FaultyWorker(count_shard, schedule)
+        coordinator = ShardCoordinator(
+            builder,
+            num_shards=4,
+            retry=RetryPolicy(max_retries=3, sleep=lambda _seconds: None),
+            worker=worker,
+        )
+        run = coordinator.mine(source, plan)
+        assert run.complete
+        assert_results_identical(serial_results, run.results)
+
+    def test_truncating_source_is_caught_by_tuple_accounting(
+        self, builder, plan, serial_results, relation
+    ):
+        # The stream ends silently early — no exception, just missing data.
+        # The per-shard tuple accounting must refuse the partial.
+        faulty = FaultySource(
+            RelationSource(relation, chunk_size=CHUNK),
+            schedule=["truncate"],
+            after_chunks=1,
+        )
+        coordinator = ShardCoordinator(
+            builder, num_shards=4, transport="inline", retry=NO_SLEEP
+        )
+        run = coordinator.mine(faulty, plan)
+        assert run.complete
+        assert_results_identical(serial_results, run.results)
+
+    def test_crashing_source_scan_is_retried(
+        self, builder, plan, serial_results, relation
+    ):
+        faulty = FaultySource(
+            RelationSource(relation, chunk_size=CHUNK),
+            schedule=["crash"],
+            after_chunks=1,
+        )
+        coordinator = ShardCoordinator(
+            builder, num_shards=4, transport="inline", retry=NO_SLEEP
+        )
+        run = coordinator.mine(faulty, plan)
+        assert run.complete
+        assert_results_identical(serial_results, run.results)
+
+
+class TestExhaustion:
+    def test_exhausted_shard_raises_a_typed_error(
+        self, builder, plan, source
+    ):
+        schedule = FaultSchedule.always("die", [2])
+        worker = FaultyWorker(count_shard, schedule)
+        coordinator = ShardCoordinator(
+            builder,
+            num_shards=4,
+            retry=RetryPolicy(max_retries=1, sleep=lambda _seconds: None),
+            worker=worker,
+        )
+        with pytest.raises(ShardError) as excinfo:
+            coordinator.mine(source, plan)
+        assert excinfo.value.shard_index == 2
+        assert "ShardCrashed" in str(excinfo.value)
+
+    def test_partial_coverage_matches_surviving_shards_exactly(
+        self, builder, plan, serial_results, source
+    ):
+        schedule = FaultSchedule.always("die", [1, 3])
+        worker = FaultyWorker(count_shard, schedule)
+        coordinator = ShardCoordinator(
+            builder,
+            num_shards=4,
+            retry=RetryPolicy(max_retries=0, sleep=lambda _seconds: None),
+            on_exhausted="partial",
+            worker=worker,
+        )
+        run = coordinator.mine(source, plan)
+        assert not run.complete
+        coverage = run.coverage
+        assert coverage["failed_shards"] == [1, 3]
+        assert coverage["completed_shards"] == [0, 2]
+        surviving = [
+            descriptor
+            for descriptor in run.descriptors
+            if descriptor.index in (0, 2)
+        ]
+        assert coverage["covered_units"] == sum(d.length for d in surviving)
+        assert coverage["total_units"] == sum(
+            d.length for d in run.descriptors
+        )
+        assert coverage["coverage"] == pytest.approx(
+            coverage["covered_units"] / coverage["total_units"]
+        )
+        # The degraded fold holds exactly the surviving tuples.
+        folded = run.results.parts[0].num_tuples
+        assert folded == coverage["covered_tuples"]
+        assert folded < serial_results.parts[0].num_tuples
+
+    def test_failed_reports_carry_the_typed_error(self, builder, plan, source):
+        schedule = FaultSchedule.always("die", [0])
+        worker = FaultyWorker(count_shard, schedule)
+        coordinator = ShardCoordinator(
+            builder,
+            num_shards=2,
+            retry=RetryPolicy(max_retries=0, sleep=lambda _seconds: None),
+            on_exhausted="partial",
+            worker=worker,
+        )
+        run = coordinator.mine(source, plan)
+        failed = [r for r in run.reports if r.status == "failed"]
+        assert len(failed) == 1
+        assert "ShardCrashed" in failed[0].error
+
+
+class TestConfiguration:
+    def test_invalid_settings_are_typed(self, builder):
+        with pytest.raises(ShardError):
+            ShardCoordinator(builder, num_shards=0)
+        with pytest.raises(ShardError):
+            ShardCoordinator(builder, transport="carrier-pigeon")
+        with pytest.raises(ShardError):
+            ShardCoordinator(builder, on_exhausted="shrug")
+        with pytest.raises(ShardError):
+            ShardCoordinator(builder, shard_timeout=0.0)
+
+    def test_error_hierarchy(self):
+        assert issubclass(ShardTimeout, ShardError)
+        assert issubclass(ShardCrashed, ShardError)
+        error = ShardTimeout("slow", shard_index=3, attempt=1)
+        assert error.shard_index == 3
+        assert error.attempt == 1

@@ -1,0 +1,146 @@
+"""Shard descriptors: partitions are exact covers, spans scan cleanly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RelationError, ShardError
+from repro.pipeline import CSVSource, RelationSource
+from repro.shard import (
+    ShardDescriptor,
+    csv_byte_spans,
+    partition_source,
+    run_key,
+)
+
+from shard_support import CHUNK, ROWS
+
+
+class TestCsvByteSpans:
+    def test_spans_cover_the_data_region_exactly(self, csv_path):
+        size = csv_path.stat().st_size
+        with csv_path.open("rb") as handle:
+            handle.readline()
+            data_start = handle.tell()
+        spans = csv_byte_spans(csv_path, 4)
+        assert spans[0][0] == data_start
+        assert spans[-1][1] == size
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert stop == start  # contiguous, no gap, no overlap
+
+    def test_every_boundary_sits_on_a_line_start(self, csv_path):
+        data = csv_path.read_bytes()
+        for start, stop in csv_byte_spans(csv_path, 7):
+            assert data[start - 1 : start] == b"\n"
+            if stop < len(data):
+                assert data[stop - 1 : stop] == b"\n"
+
+    def test_more_shards_than_lines_drops_empty_spans(self, tmp_path):
+        path = tmp_path / "tiny.csv"
+        path.write_text("a:numeric\n1.0\n2.0\n", encoding="utf-8")
+        spans = csv_byte_spans(path, 50)
+        assert 1 <= len(spans) <= 2
+        assert spans[-1][1] == path.stat().st_size
+
+    def test_header_only_file_yields_no_spans(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a:numeric\n", encoding="utf-8")
+        assert csv_byte_spans(path, 4) == []
+
+    def test_invalid_shard_count_is_typed(self, csv_path):
+        with pytest.raises(ShardError):
+            csv_byte_spans(csv_path, 0)
+
+
+class TestPartitionSource:
+    def test_csv_partition_uses_byte_spans(self, csv_path):
+        source = CSVSource(csv_path, chunk_size=CHUNK)
+        descriptors = partition_source(source, 4)
+        assert [d.unit for d in descriptors] == ["bytes"] * len(descriptors)
+        assert [d.index for d in descriptors] == list(range(len(descriptors)))
+        token = source.fingerprint().token
+        assert all(d.token == token for d in descriptors)
+
+    def test_tuple_partition_covers_every_tuple_once(self, relation):
+        source = RelationSource(relation, chunk_size=CHUNK)
+        descriptors = partition_source(source, 5, total_tuples=ROWS)
+        assert descriptors[0].start == 0
+        assert descriptors[-1].stop == ROWS
+        for left, right in zip(descriptors, descriptors[1:]):
+            assert left.stop == right.start
+        assert sum(d.length for d in descriptors) == ROWS
+
+    def test_tuple_partition_requires_a_total(self, relation):
+        source = RelationSource(relation, chunk_size=CHUNK)
+        with pytest.raises(ShardError, match="total_tuples"):
+            partition_source(source, 4)
+
+    def test_spans_scan_to_exactly_one_full_scan(self, csv_path, relation):
+        for source, descriptors in (
+            (
+                CSVSource(csv_path, chunk_size=CHUNK),
+                partition_source(CSVSource(csv_path, chunk_size=CHUNK), 4),
+            ),
+            (
+                RelationSource(relation, chunk_size=CHUNK),
+                partition_source(
+                    RelationSource(relation, chunk_size=CHUNK),
+                    4,
+                    total_tuples=ROWS,
+                ),
+            ),
+        ):
+            pieces = [
+                np.concatenate(
+                    [
+                        chunk.numeric_column("balance")
+                        for chunk in source.scan_span(
+                            descriptor.start, descriptor.stop, ["balance"]
+                        )
+                    ]
+                )
+                for descriptor in descriptors
+            ]
+            stitched = np.concatenate(pieces)
+            full = np.concatenate(
+                [
+                    chunk.numeric_column("balance")
+                    for chunk in source.scan(["balance"])
+                ]
+            )
+            assert np.array_equal(stitched, full)
+
+    def test_csv_span_must_start_on_a_line_boundary(self, csv_path):
+        source = CSVSource(csv_path, chunk_size=CHUNK)
+        (start, stop) = csv_byte_spans(csv_path, 2)[1]
+        with pytest.raises(RelationError, match="line"):
+            list(source.scan_span(start + 1, stop))
+
+
+class TestRunKey:
+    def _descriptors(self):
+        return [
+            ShardDescriptor(0, 0, 100, "tuples", "tok"),
+            ShardDescriptor(1, 100, 200, "tuples", "tok"),
+        ]
+
+    def test_deterministic(self):
+        assert run_key("sig", 7, self._descriptors()) == run_key(
+            "sig", 7, self._descriptors()
+        )
+
+    def test_sensitive_to_every_identity_component(self):
+        base = run_key("sig", 7, self._descriptors())
+        assert run_key("other", 7, self._descriptors()) != base
+        assert run_key("sig", 8, self._descriptors()) != base
+        moved = [
+            ShardDescriptor(0, 0, 150, "tuples", "tok"),
+            ShardDescriptor(1, 150, 200, "tuples", "tok"),
+        ]
+        assert run_key("sig", 7, moved) != base
+        stale = [
+            ShardDescriptor(0, 0, 100, "tuples", "other-data"),
+            ShardDescriptor(1, 100, 200, "tuples", "other-data"),
+        ]
+        assert run_key("sig", 7, stale) != base

@@ -1,0 +1,50 @@
+"""Retry policy: bounded, exponential, deterministically jittered."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic(self):
+        policy = RetryPolicy(max_retries=3, base_delay=0.1, max_delay=1.0)
+        again = RetryPolicy(max_retries=3, base_delay=0.1, max_delay=1.0)
+        for shard in range(4):
+            for attempt in range(1, 5):
+                assert policy.delay(shard, attempt) == again.delay(shard, attempt)
+
+    def test_backoff_doubles_up_to_the_cap(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        assert policy.delay(0, 1) == pytest.approx(0.1)
+        assert policy.delay(0, 2) == pytest.approx(0.2)
+        assert policy.delay(0, 3) == pytest.approx(0.4)
+        assert policy.delay(0, 4) == pytest.approx(0.5)  # capped
+        assert policy.delay(0, 9) == pytest.approx(0.5)
+
+    def test_jitter_stays_within_its_band_and_spreads_shards(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.25)
+        delays = {shard: policy.delay(shard, 1) for shard in range(16)}
+        for delay in delays.values():
+            assert 0.1 <= delay < 0.1 * 1.25
+        assert len(set(delays.values())) > 1  # a herd does not retry in lockstep
+
+    def test_attempt_zero_never_waits(self):
+        policy = RetryPolicy(base_delay=5.0)
+        assert policy.delay(3, 0) == 0.0
+
+    def test_allows_counts_retries_not_attempts(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.allows(0)  # the first attempt
+        assert policy.allows(1)
+        assert policy.allows(2)
+        assert not policy.allows(3)
+        assert not RetryPolicy(max_retries=0).allows(1)
+
+    def test_wait_uses_the_injected_sleep(self):
+        slept = []
+        policy = RetryPolicy(base_delay=0.2, jitter=0.0, sleep=slept.append)
+        waited = policy.wait(1, 2)
+        assert slept == [waited]
+        assert waited == pytest.approx(0.4)

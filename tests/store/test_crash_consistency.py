@@ -1,0 +1,176 @@
+"""Crash-consistency of the store's write path.
+
+The contract: at *every* crash point of a snapshot write — before the
+payload lands, between the payload write and the manifest update, after the
+manifest update — a reopened store serves either the old snapshot or the
+new one, correctly, and never a mixed state.  The write sequence that makes
+this true: new-name payload first (tmp + atomic replace), manifest second,
+old payload unlinked last.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+from support import (
+    BUCKETS,
+    CHUNK,
+    HEAD_TUPLES,
+    SEED,
+    TAIL_TUPLES,
+    append_csv_rows,
+    assert_results_identical,
+    build_mixed_plan,
+    write_relation_csv,
+)
+
+from repro.exceptions import SourceChangedError, StoreError
+from repro.pipeline import CSVSource, ProfileBuilder
+from repro.store import ProfileStore
+
+
+@pytest.fixture()
+def csv_path(head_relation, tmp_path):
+    return write_relation_csv(tmp_path / "bank.csv", head_relation)
+
+
+@pytest.fixture()
+def warm_store(csv_path, tmp_path):
+    store = ProfileStore(tmp_path / "store")
+    builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+    plan, _ = build_mixed_plan()
+    builder.execute_plan(CSVSource(csv_path, chunk_size=CHUNK), plan, store=store)
+    assert store.last_status == "build"
+    return store, builder
+
+
+def _manifest(store: ProfileStore) -> dict:
+    path = store.directory / "manifest.json"
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _assert_self_consistent(store: ProfileStore) -> None:
+    """Every payload the on-disk manifest names exists, and nothing is torn."""
+    for entry in _manifest(store)["entries"]:
+        assert (store.directory / entry["payload"]).exists()
+    assert list(store.directory.glob("*.tmp")) == []
+
+
+class TestCrashDuringAppend:
+    def test_kill_between_payload_and_manifest_keeps_the_old_snapshot(
+        self, warm_store, csv_path, tail_relation, full_relation, tmp_path
+    ):
+        """The named crash point of the write sequence, driven for real."""
+        store, builder = warm_store
+        before = _manifest(store)
+        plan, ids = build_mixed_plan()
+        # A pristine copy of the pre-crash store: the oracle is the append a
+        # healthy store would have produced (same frozen boundaries).
+        control_dir = tmp_path / "control-store"
+        shutil.copytree(store.directory, control_dir)
+        append_csv_rows(csv_path, tail_relation, tmp_path)
+
+        def power_loss(_manifest_dict):
+            raise OSError("injected power loss before the manifest landed")
+
+        store._write_manifest = power_loss
+        with pytest.raises(OSError, match="power loss"):
+            store.append(builder, CSVSource(csv_path, chunk_size=CHUNK), plan)
+
+        # The durable state is exactly the old snapshot: the manifest still
+        # names the old payload (which exists in full), the half-finished
+        # new payload is a harmless orphan, and nothing is torn.
+        reopened = ProfileStore(store.directory)
+        assert _manifest(reopened) == before
+        _assert_self_consistent(reopened)
+
+        # A reopened store picks the run back up: the old snapshot is a
+        # verified prefix of the grown file, so this is a plain append —
+        # and the counts are bit-identical to a fresh full execution.
+        results = reopened.append(
+            builder, CSVSource(csv_path, chunk_size=CHUNK), plan
+        )
+        oracle = ProfileStore(control_dir).append(
+            ProfileBuilder(num_buckets=BUCKETS, seed=SEED),
+            CSVSource(csv_path, chunk_size=CHUNK),
+            plan,
+        )
+        assert_results_identical(results, oracle, ids)
+        entry = _manifest(reopened)["entries"][0]
+        assert entry["num_tuples"] == HEAD_TUPLES + TAIL_TUPLES
+        _assert_self_consistent(reopened)
+
+    def test_kill_before_the_payload_write_changes_nothing(
+        self, warm_store, csv_path, tail_relation, tmp_path
+    ):
+        store, builder = warm_store
+        plan, _ = build_mixed_plan()
+        snapshot = {
+            path.name: path.read_bytes()
+            for path in store.directory.iterdir()
+        }
+        append_csv_rows(csv_path, tail_relation, tmp_path)
+
+        def power_loss(*_args, **_kwargs):
+            raise OSError("injected power loss before the payload write")
+
+        store._payload_state = power_loss
+        with pytest.raises(OSError, match="power loss"):
+            store.append(builder, CSVSource(csv_path, chunk_size=CHUNK), plan)
+
+        after = {
+            path.name: path.read_bytes()
+            for path in store.directory.iterdir()
+        }
+        assert after == snapshot  # byte-identical: the crash wrote nothing
+
+    def test_served_hit_after_recovered_append_is_zero_scan(
+        self, warm_store, csv_path, tail_relation, tmp_path
+    ):
+        """After crash + successful retry, the snapshot serves as a hit."""
+        store, builder = warm_store
+        plan, _ = build_mixed_plan()
+        append_csv_rows(csv_path, tail_relation, tmp_path)
+        original = ProfileStore._write_manifest
+
+        calls = {"count": 0}
+
+        def flaky(manifest_dict):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise OSError("injected power loss")
+            return original(store, manifest_dict)
+
+        store._write_manifest = flaky
+        with pytest.raises(OSError):
+            store.append(builder, CSVSource(csv_path, chunk_size=CHUNK), plan)
+        store.append(builder, CSVSource(csv_path, chunk_size=CHUNK), plan)
+
+        reopened = ProfileStore(store.directory)
+        builder.execute_plan(
+            CSVSource(csv_path, chunk_size=CHUNK), plan, store=reopened
+        )
+        assert reopened.last_status == "hit"
+        _assert_self_consistent(reopened)
+
+
+class TestAppendDrift:
+    def test_drifted_head_raises_source_changed_error(
+        self, warm_store, csv_path
+    ):
+        """PR-5's append guard and the scanner share one typed error."""
+        store, builder = warm_store
+        data = bytearray(csv_path.read_bytes())
+        position = len(data) // 2
+        data[position] = ord("5") if data[position] != ord("5") else ord("6")
+        csv_path.write_bytes(bytes(data))
+        with pytest.raises(SourceChangedError):
+            store.append(
+                builder, CSVSource(csv_path, chunk_size=CHUNK), build_mixed_plan()[0]
+            )
+
+    def test_source_changed_error_is_still_a_store_error(self):
+        # Existing catch sites (`except StoreError`) keep working unchanged.
+        assert issubclass(SourceChangedError, StoreError)
