@@ -52,6 +52,7 @@ from repro.exceptions import (
     BucketingError,
     ConditionError,
     DatasetError,
+    KernelError,
     NoFeasibleRangeError,
     OptimizationError,
     PipelineError,
@@ -61,14 +62,18 @@ from repro.exceptions import (
     SchemaError,
     StoreError,
 )
+from repro.kernels import HAVE_NUMBA, KERNEL_TIERS, resolve_kernel_tier
 from repro.pipeline import (
     ChunkedSource,
     CSVSource,
     DataSource,
     GridProfile,
     GridProfileBuilder,
+    NpyDirectorySource,
+    ParquetSource,
     ProfileBuilder,
     RelationSource,
+    write_columnar,
 )
 from repro.store import ProfileStore
 from repro.relation import (
@@ -132,6 +137,14 @@ __all__ = [
     "GridProfileBuilder",
     # persistent profile store
     "ProfileStore",
+    # columnar sources
+    "NpyDirectorySource",
+    "ParquetSource",
+    "write_columnar",
+    # kernel tiers
+    "HAVE_NUMBA",
+    "KERNEL_TIERS",
+    "resolve_kernel_tier",
     # exceptions
     "ReproError",
     "SchemaError",
@@ -144,4 +157,5 @@ __all__ = [
     "DatasetError",
     "PipelineError",
     "StoreError",
+    "KernelError",
 ]

@@ -67,7 +67,8 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.bucketing.base import Bucketing
-from repro.exceptions import BucketingError
+from repro.exceptions import BucketingError, KernelError
+from repro.kernels import load_compiled
 from repro.relation.conditions import Condition
 from repro.relation.relation import Relation
 
@@ -211,11 +212,16 @@ def masked_bucket_counts(
     chunk_rows = max(1, budget // max(1, num_tuples))
     dtype = _offset_dtype(min(num_masks, chunk_rows) * num_buckets)
     narrow = indices.astype(dtype, copy=False)
+    # One offset table for the whole call, sized to the widest window and
+    # sliced per window — every window shares the same row offsets, so
+    # rebuilding the table inside the loop was pure allocation churn.
+    offsets = (
+        np.arange(min(num_masks, chunk_rows), dtype=dtype) * dtype(num_buckets)
+    )[:, None]
     for begin in range(0, num_masks, chunk_rows):
         stop = min(begin + chunk_rows, num_masks)
         rows = stop - begin
-        offsets = (np.arange(rows, dtype=dtype) * dtype(num_buckets))[:, None]
-        flat = (narrow[None, :] + offsets)[masks[begin:stop]]
+        flat = (narrow[None, :] + offsets[:rows])[masks[begin:stop]]
         counts[begin:stop] = np.bincount(
             flat, minlength=rows * num_buckets
         ).reshape(rows, num_buckets)
@@ -886,6 +892,7 @@ def count_plan_chunk(
     payload: tuple[
         Sequence[np.ndarray], np.ndarray | None, np.ndarray | None
     ],
+    tier: str = "numpy",
 ) -> PlanChunkCounts:
     """The fused counting kernel: one chunk answers every plan segment.
 
@@ -897,7 +904,19 @@ def count_plan_chunk(
     single-request kernels :func:`count_value_chunk` and
     :func:`count_grid_chunk` are this function applied to a one-segment
     plan, so fused and per-request scans are bit-identical by construction.
+
+    ``tier`` selects the already-resolved kernel tier: ``"numpy"`` runs the
+    vectorized path above; ``"compiled"`` routes assignment, bounds, and
+    every (conditional) count through the fused Numba loops of
+    :mod:`repro.kernels.compiled` — no offset-index or mask-gather
+    temporaries at all — and is bit-identical by the kernel parity oracles.
     """
+    if tier not in ("numpy", "compiled"):
+        raise KernelError(
+            f"count_plan_chunk expects a resolved kernel tier "
+            f"('numpy' or 'compiled'), got {tier!r}"
+        )
+    kernels = load_compiled() if tier == "compiled" else None
     columns, masks, weights = payload
     if not plan.axes:
         raise BucketingError("a kernel plan needs at least one axis")
@@ -912,11 +931,19 @@ def count_plan_chunk(
         bucketing = Bucketing(axis.cuts)
         axis_values.append(values)
         axis_bucketings.append(bucketing)
-        axis_indices.append(bucketing.assign(values))
+        if kernels is not None:
+            indices = kernels.assign_buckets(values, bucketing.cuts)
+            bounds = (
+                kernels.bucket_value_bounds(values, indices, bucketing.num_buckets)
+                if axis.with_bounds
+                else None
+            )
+        else:
+            indices = bucketing.assign(values)
+            bounds = bucketing.data_bounds(values) if axis.with_bounds else None
+        axis_indices.append(indices)
         axis_cells.append(bucketing.num_buckets)
-        axis_bounds.append(
-            bucketing.data_bounds(values) if axis.with_bounds else None
-        )
+        axis_bounds.append(bounds)
     num_tuples = int(axis_values[0].shape[0])
 
     segment_indices: list[np.ndarray] = []
@@ -941,29 +968,58 @@ def count_plan_chunk(
             segment_indices.append(axis_indices[segment.axis])
             segment_cells.append(axis_cells[segment.axis])
 
-    size_rows = _fused_window_counts(
-        [
-            (indices, None, cells)
+    if kernels is not None:
+        size_rows = [
+            kernels.bucket_counts(indices, cells)
             for indices, cells in zip(segment_indices, segment_cells)
         ]
-    )
-    conditional_entries: list[tuple[np.ndarray, np.ndarray | None, int]] = []
-    for position, segment in enumerate(plan.segments):
-        for slot in segment.mask_slots:
-            conditional_entries.append(
-                (segment_indices[position], masks[slot], segment_cells[position])
+        conditional_rows = []
+        for position, segment in enumerate(plan.segments):
+            if not segment.mask_slots:
+                continue
+            slot_rows = kernels.masked_counts_slots(
+                segment_indices[position],
+                masks,
+                np.asarray(segment.mask_slots, dtype=np.int64),
+                segment_cells[position],
             )
-    conditional_rows = _fused_window_counts(conditional_entries)
+            conditional_rows.extend(slot_rows)
+        sum_rows = []
+        for position, segment in enumerate(plan.segments):
+            if isinstance(segment, GridSegment):
+                continue
+            for slot in segment.weight_slots:
+                sum_rows.append(
+                    kernels.weighted_bucket_sums(
+                        segment_indices[position],
+                        weights[slot],
+                        segment_cells[position],
+                    )
+                )
+    else:
+        size_rows = _fused_window_counts(
+            [
+                (indices, None, cells)
+                for indices, cells in zip(segment_indices, segment_cells)
+            ]
+        )
+        conditional_entries: list[tuple[np.ndarray, np.ndarray | None, int]] = []
+        for position, segment in enumerate(plan.segments):
+            for slot in segment.mask_slots:
+                conditional_entries.append(
+                    (segment_indices[position], masks[slot], segment_cells[position])
+                )
+        conditional_rows = _fused_window_counts(conditional_entries)
 
-    weight_entries: list[tuple[np.ndarray, np.ndarray, int]] = []
-    for position, segment in enumerate(plan.segments):
-        if isinstance(segment, GridSegment):
-            continue
-        for slot in segment.weight_slots:
-            weight_entries.append(
-                (segment_indices[position], weights[slot], segment_cells[position])
-            )
-    sum_rows = _fused_weighted_sums(weight_entries)
+        weight_entries: list[tuple[np.ndarray, np.ndarray, int]] = []
+        for position, segment in enumerate(plan.segments):
+            if isinstance(segment, GridSegment):
+                continue
+            for slot in segment.weight_slots:
+                weight_entries.append(
+                    (segment_indices[position], weights[slot], segment_cells[position])
+                )
+        sum_rows = _fused_weighted_sums(weight_entries)
 
     parts: list[ChunkCounts | GridChunkCounts] = []
     conditional_cursor = 0
@@ -1004,9 +1060,17 @@ def count_plan_chunk(
         mask_lows = np.full((len(segment.bound_mask_slots), cells), np.nan)
         mask_highs = np.full((len(segment.bound_mask_slots), cells), np.nan)
         for row, slot in enumerate(segment.bound_mask_slots):
-            mask_lows[row], mask_highs[row] = axis_bucketings[
-                segment.axis
-            ].data_bounds(axis_values[segment.axis][masks[slot]])
+            if kernels is not None:
+                mask_lows[row], mask_highs[row] = kernels.masked_bucket_value_bounds(
+                    axis_values[segment.axis],
+                    segment_indices[position],
+                    masks[slot],
+                    cells,
+                )
+            else:
+                mask_lows[row], mask_highs[row] = axis_bucketings[
+                    segment.axis
+                ].data_bounds(axis_values[segment.axis][masks[slot]])
         parts.append(
             ChunkCounts(
                 sizes=size_rows[position],

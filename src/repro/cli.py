@@ -24,6 +24,16 @@ bounding the resident memory::
 
     python -m repro catalog bank.csv --source stream --executor multiprocessing
 
+``--source npy`` / ``--source parquet`` scan zero-copy columnar data instead
+of CSV: a memory-mapped ``.npy`` column directory (see ``repro.pipeline.
+write_columnar``) or an Arrow/Parquet file (needs ``pyarrow``).  ``--path``
+names the data directory/file when it differs from the positional argument.
+``--kernel-tier auto|numpy|compiled`` (or ``REPRO_KERNEL_TIER``) selects the
+counting/solver kernel tier; all tiers are bit-identical, so stores, shards,
+and checkpoints interoperate freely across tiers::
+
+    python -m repro catalog bank_columns/ --source npy --kernel-tier auto
+
 ``rules2d`` mines the §1.4 two-dimensional rectangle rules on a bucket grid
 (streamed grids are built by the pipeline's 2-D kernel, never materializing
 the relation)::
@@ -211,8 +221,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     ):
         sub = store_subparsers.add_parser(name, help=description)
-        sub.add_argument("csv", help="input CSV file with a header row")
+        sub.add_argument(
+            "csv",
+            help="input CSV file with a header row (or the columnar data "
+            "path when --source npy/parquet)",
+        )
         sub.add_argument("--store", required=True, help="store directory")
+        sub.add_argument(
+            "--source",
+            choices=("stream", "npy", "parquet"),
+            default="stream",
+            help="scan a CSV out-of-core (default), a memory-mapped .npy "
+            "column directory, or an Arrow/Parquet file",
+        )
+        sub.add_argument(
+            "--path",
+            default=None,
+            metavar="DIR",
+            help="data path for --source npy/parquet (defaults to the "
+            "positional file argument)",
+        )
         sub.add_argument("--buckets", type=int, default=200)
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument(
@@ -228,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
             default="serial",
         )
         sub.add_argument("--chunk-size", type=int, default=None)
+        _add_kernel_tier_argument(sub)
     inspect_parser = store_subparsers.add_parser(
         "inspect", help="print the store manifest (snapshots and staleness)"
     )
@@ -258,13 +287,32 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     ):
         sub = shard_subparsers.add_parser(name, help=description)
-        sub.add_argument("csv", help="input CSV file with a header row")
+        sub.add_argument(
+            "csv",
+            help="input CSV file with a header row (or the columnar data "
+            "path when --source npy/parquet)",
+        )
+        sub.add_argument(
+            "--source",
+            choices=("stream", "npy", "parquet"),
+            default="stream",
+            help="shard a CSV by byte spans (default) or a columnar "
+            "source by tuple spans",
+        )
+        sub.add_argument(
+            "--path",
+            default=None,
+            metavar="DIR",
+            help="data path for --source npy/parquet (defaults to the "
+            "positional file argument)",
+        )
         sub.add_argument(
             "--shards", type=int, default=4, help="partition width (default: 4)"
         )
         sub.add_argument("--buckets", type=int, default=200)
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument("--chunk-size", type=int, default=None)
+        _add_kernel_tier_argument(sub)
         sub.add_argument(
             "--checkpoints",
             default=None,
@@ -310,23 +358,43 @@ def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
     """The shared DataSource flags of the ``mine`` and ``catalog`` commands."""
     parser.add_argument(
         "--source",
-        choices=("memory", "stream"),
+        choices=("memory", "stream", "npy", "parquet"),
         default="memory",
-        help="how the CSV is read: fully loaded into memory (default) or "
-        "scanned out-of-core in chunks through the pipeline",
+        help="how the data is read: CSV fully loaded into memory (default), "
+        "CSV scanned out-of-core in chunks, a memory-mapped .npy column "
+        "directory, or an Arrow/Parquet file (needs pyarrow)",
+    )
+    parser.add_argument(
+        "--path",
+        default=None,
+        metavar="DIR",
+        help="data path for --source npy/parquet (defaults to the "
+        "positional file argument)",
     )
     parser.add_argument(
         "--executor",
         choices=("serial", "streaming", "multiprocessing"),
         default="serial",
-        help="where the counting kernel runs for --source stream "
+        help="where the counting kernel runs for source-backed scans "
         "(all executors produce identical results)",
     )
     parser.add_argument(
         "--chunk-size",
         type=int,
         default=None,
-        help="tuples per chunk for --source stream (default: 50000)",
+        help="tuples per chunk for source-backed scans (default: 50000)",
+    )
+    _add_kernel_tier_argument(parser)
+
+
+def _add_kernel_tier_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel-tier",
+        choices=("auto", "numpy", "compiled"),
+        default=None,
+        help="counting/solver kernel tier: compiled (numba) when available "
+        "under auto, pure numpy otherwise; all tiers are bit-identical "
+        "(default: REPRO_KERNEL_TIER or auto)",
     )
 
 
@@ -348,9 +416,10 @@ def _open_store(args: argparse.Namespace):
     from repro.exceptions import StoreError
     from repro.store import ProfileStore
 
-    if getattr(args, "source", "stream") != "stream":
+    if getattr(args, "source", "stream") not in ("stream", "npy", "parquet"):
         raise StoreError(
-            "--store caches source-backed scans; pass --source stream"
+            "--store caches source-backed scans; pass --source "
+            "stream/npy/parquet"
         )
     return ProfileStore(args.store)
 
@@ -360,6 +429,8 @@ def _load_mining_data(args: argparse.Namespace, store=None):
     from repro.pipeline import CSVSource
     from repro.relation.io import DEFAULT_CHUNK_SIZE, infer_csv_schema
 
+    if args.source in ("npy", "parquet"):
+        return _open_columnar_source(args)
     if args.source == "stream":
         chunk_size = args.chunk_size or DEFAULT_CHUNK_SIZE
         schema = None
@@ -381,6 +452,23 @@ def _load_mining_data(args: argparse.Namespace, store=None):
     return load_dataset(args.csv)
 
 
+def _open_columnar_source(args: argparse.Namespace):
+    """The zero-copy columnar source selected by ``--source npy/parquet``.
+
+    ``--path`` names the column directory / Parquet file; without it the
+    positional file argument doubles as the data path, so
+    ``repro catalog profiles.npy/ --source npy`` reads naturally.
+    """
+    from repro.pipeline import NpyDirectorySource, ParquetSource
+    from repro.relation.io import DEFAULT_CHUNK_SIZE
+
+    path = args.path or args.csv
+    chunk_size = args.chunk_size or DEFAULT_CHUNK_SIZE
+    if args.source == "npy":
+        return NpyDirectorySource(path, chunk_size=chunk_size)
+    return ParquetSource(path, chunk_size=chunk_size)
+
+
 def _run_dataset(args: argparse.Namespace) -> int:
     relation = generate_named_dataset(args.name, args.rows, seed=args.seed)
     path = save_dataset(relation, args.out)
@@ -398,6 +486,7 @@ def _run_mine(args: argparse.Namespace) -> int:
         rng=np.random.default_rng(args.seed),
         engine=args.engine,
         executor=args.executor,
+        kernel_tier=args.kernel_tier,
     )
     if args.kind == "confidence":
         rule = miner.optimized_confidence_rule(
@@ -441,6 +530,7 @@ def _run_catalog(args: argparse.Namespace) -> int:
         engine=args.engine,
         executor=args.executor,
         store=store,
+        kernel_tier=args.kernel_tier,
     )
     if store is not None:
         print(f"profile store: {store.last_status} ({store.directory})")
@@ -486,6 +576,7 @@ def _run_rules2d(args: argparse.Namespace) -> int:
         engine=args.engine,
         executor=args.executor,
         store=store,
+        kernel_tier=args.kernel_tier,
     )
     if store is not None:
         print(f"profile store: {store.last_status} ({store.directory})")
@@ -532,7 +623,12 @@ def _run_store(args: argparse.Namespace) -> int:
     # runs — so the signatures match by construction and warm catalog runs
     # are zero-scan hits.
     data = _load_mining_data(
-        argparse.Namespace(csv=args.csv, source="stream", chunk_size=args.chunk_size),
+        argparse.Namespace(
+            csv=args.csv,
+            source=args.source,
+            path=args.path,
+            chunk_size=args.chunk_size,
+        ),
         store=store,
     )
     catalog = mine_rule_catalog(
@@ -541,6 +637,7 @@ def _run_store(args: argparse.Namespace) -> int:
         rng=np.random.default_rng(args.seed),
         executor=args.executor,
         store=store,
+        kernel_tier=args.kernel_tier,
     )
     status = store.last_status
     print(
@@ -590,9 +687,15 @@ def _run_shard(args: argparse.Namespace) -> int:
     from repro.store.profile_store import plan_signature
 
     chunk_size = args.chunk_size or DEFAULT_CHUNK_SIZE
-    schema = infer_csv_schema(args.csv, chunk_size=chunk_size)
-    source = CSVSource(args.csv, schema=schema, chunk_size=chunk_size)
-    builder = ProfileBuilder(num_buckets=args.buckets, seed=args.seed)
+    if args.source in ("npy", "parquet"):
+        source = _open_columnar_source(args)
+        schema = source.schema
+    else:
+        schema = infer_csv_schema(args.csv, chunk_size=chunk_size)
+        source = CSVSource(args.csv, schema=schema, chunk_size=chunk_size)
+    builder = ProfileBuilder(
+        num_buckets=args.buckets, seed=args.seed, kernel_tier=args.kernel_tier
+    )
     plan = _catalog_scan_plan(schema, args.buckets)
     if len(plan) == 0:
         raise ShardError(
@@ -602,7 +705,10 @@ def _run_shard(args: argparse.Namespace) -> int:
     if args.shard_command == "status":
         if args.checkpoints is None:
             raise ShardError("shard status needs --checkpoints")
-        descriptors = partition_source(source, args.shards)
+        # Columnar sources partition by tuple spans, which need the (cheap,
+        # metadata-only) row count; CSV byte spans need nothing.
+        total = None if args.source == "stream" else source.num_rows
+        descriptors = partition_source(source, args.shards, total)
         key = run_key(plan_signature(builder, plan), builder.seed, descriptors)
         info = checkpoint_status(args.checkpoints, key)
         done = set(info["completed_shards"])

@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.rules import RangeSelection
 from repro.core.validation import validate_bucket_arrays, validate_threshold
 from repro.exceptions import HullInvariantWarning, ProfileError
+from repro.kernels import load_compiled, resolve_kernel_tier
 
 __all__ = [
     "fast_maximize_ratio",
@@ -426,6 +427,7 @@ def fast_maximize_ratio_many(
     values: np.ndarray,
     min_support_count: float | np.ndarray,
     total: float | np.ndarray | None = None,
+    kernel_tier: str | None = None,
 ) -> list[RangeSelection | None]:
     """Solve :func:`fast_maximize_ratio` for every row of a stacked profile.
 
@@ -438,6 +440,11 @@ def fast_maximize_ratio_many(
         Scalar or per-row minimum tuple count.
     total:
         Scalar or per-row total; defaults to each row's own ``Σ u_i``.
+    kernel_tier:
+        ``"auto"``/``"numpy"``/``"compiled"`` (default: the
+        ``REPRO_KERNEL_TIER`` environment variable, then ``"auto"``).  The
+        compiled tier runs the same pair sweep as one Numba loop per row,
+        bit-identical including tie-breaking.
 
     Returns
     -------
@@ -462,6 +469,25 @@ def fast_maximize_ratio_many(
         np.maximum(np.asarray(min_support_count, dtype=np.float64), 0.0),
         (num_rows,),
     )
+
+    if resolve_kernel_tier(kernel_tier) == "compiled":
+        kernels = load_compiled()
+        raw_starts, raw_ends, counts, objectives = kernels.maximize_ratio_many(
+            np.ascontiguousarray(sizes),
+            np.ascontiguousarray(values),
+            np.ascontiguousarray(min_counts),
+        )
+        next_kept, previous_kept = _kept_neighbors(sizes)
+        compiled_results: list[RangeSelection | None] = [None] * num_rows
+        for row in np.flatnonzero(raw_starts >= 0):
+            compiled_results[int(row)] = RangeSelection(
+                start=int(next_kept[row, raw_starts[row]]),
+                end=int(previous_kept[row, raw_ends[row]]),
+                support_count=float(counts[row]),
+                objective_value=float(objectives[row]),
+                total_count=float(totals[row]),
+            )
+        return compiled_results
 
     prefix_sizes = np.concatenate(
         (np.zeros((num_rows, 1)), np.cumsum(sizes, axis=1)), axis=1
@@ -528,6 +554,7 @@ def fast_maximize_support_many(
     values: np.ndarray,
     min_ratio: float,
     total: float | np.ndarray | None = None,
+    kernel_tier: str | None = None,
 ) -> list[RangeSelection | None]:
     """Solve :func:`fast_maximize_support` for every row of a stacked profile.
 
@@ -550,6 +577,39 @@ def fast_maximize_support_many(
         raise ProfileError(f"min_ratio must be finite, got {min_ratio}")
     num_rows, num_buckets = sizes.shape
     totals = _stacked_totals(sizes, total)
+
+    if resolve_kernel_tier(kernel_tier) == "compiled":
+        kernels = load_compiled()
+        raw_starts, end_pointers = kernels.maximize_support_many(
+            np.ascontiguousarray(sizes),
+            np.ascontiguousarray(values),
+            min_ratio,
+        )
+        compiled_prefix_sizes = np.concatenate(
+            (np.zeros((num_rows, 1)), np.cumsum(sizes, axis=1)), axis=1
+        )
+        compiled_prefix_values = np.concatenate(
+            (np.zeros((num_rows, 1)), np.cumsum(values, axis=1)), axis=1
+        )
+        next_kept, previous_kept = _kept_neighbors(sizes)
+        compiled_results: list[RangeSelection | None] = [None] * num_rows
+        for row in np.flatnonzero(raw_starts >= 0):
+            start = int(next_kept[row, raw_starts[row]])
+            end = int(previous_kept[row, end_pointers[row] - 1])
+            compiled_results[int(row)] = RangeSelection(
+                start=start,
+                end=end,
+                support_count=float(
+                    compiled_prefix_sizes[row, end + 1]
+                    - compiled_prefix_sizes[row, start]
+                ),
+                objective_value=float(
+                    compiled_prefix_values[row, end + 1]
+                    - compiled_prefix_values[row, start]
+                ),
+                total_count=float(totals[row]),
+            )
+        return compiled_results
 
     gains = values - min_ratio * sizes
     cumulative_gain = np.concatenate(

@@ -170,6 +170,11 @@ class OptimizedRuleMiner:
         Counting executor for streaming sources (``"serial"``,
         ``"streaming"``, or ``"multiprocessing"``); ignored for in-memory
         data.
+    kernel_tier:
+        ``"auto"``/``"numpy"``/``"compiled"`` kernel tier for the streaming
+        counting passes (default: the ``REPRO_KERNEL_TIER`` environment
+        variable, then ``"auto"``); ignored when ``builder`` is supplied
+        and for in-memory data.  Tiers are bit-interchangeable.
     builder:
         Optional pre-configured :class:`~repro.pipeline.ProfileBuilder`
         (overrides ``executor``; its ``num_buckets`` governs streaming
@@ -200,6 +205,7 @@ class OptimizedRuleMiner:
         builder: ProfileBuilder | None = None,
         fused: bool = True,
         store: "ProfileStore | None" = None,
+        kernel_tier: str | None = None,
     ) -> None:
         if num_buckets <= 0:
             raise OptimizationError("num_buckets must be positive")
@@ -230,7 +236,11 @@ class OptimizedRuleMiner:
                 else 0
             )
             self._builder = ProfileBuilder(
-                num_buckets=num_buckets, executor=executor, seed=seed, fused=fused
+                num_buckets=num_buckets,
+                executor=executor,
+                seed=seed,
+                fused=fused,
+                kernel_tier=kernel_tier,
             )
         self._store = store
         self._num_buckets = int(num_buckets)

@@ -76,6 +76,16 @@ class ExecutorError(PipelineError):
     """
 
 
+class KernelError(PipelineError):
+    """A kernel tier was requested that cannot be provided.
+
+    Raised when ``kernel_tier="compiled"`` is selected explicitly but the
+    optional ``numba`` dependency is missing, or when an unknown tier name
+    reaches the kernel dispatcher.  ``kernel_tier="auto"`` never raises —
+    it silently falls back to the pure-NumPy tier.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
 

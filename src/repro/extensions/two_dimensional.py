@@ -121,6 +121,7 @@ def mine_rectangle_rule(
     executor: str = "serial",
     builder: GridProfileBuilder | None = None,
     store: "object | None" = None,
+    kernel_tier: str | None = None,
 ) -> RectangleRule | None:
     """Best axis-aligned rectangle on a 2-D bucket grid.
 
@@ -156,6 +157,10 @@ def mine_rectangle_rule(
         mining: a matching grid snapshot is served with zero physical
         scans, and an append-only grown source counts only its tail.
         Ignored for in-memory relations (they are counted directly).
+    kernel_tier:
+        Counting kernel tier for source-backed mining (``"auto"`` /
+        ``"numpy"`` / ``"compiled"``; tiers are bit-identical).  Ignored
+        when ``builder`` is supplied or for in-memory relations.
     """
     if grid[0] <= 0 or grid[1] <= 0:
         raise OptimizationError("grid dimensions must be positive")
@@ -186,7 +191,9 @@ def mine_rectangle_rule(
             seed = 0 if rng is None else int(rng.integers(0, 2**32))
             # The per-axis ``grid`` override below governs both bucket
             # counts, so the builder-wide default is irrelevant here.
-            builder = GridProfileBuilder(executor=executor, seed=seed)
+            builder = GridProfileBuilder(
+                executor=executor, seed=seed, kernel_tier=kernel_tier
+            )
         profile = builder.build_grid_profile(
             data, row_attribute, column_attribute, objective, grid=grid,
             store=store,

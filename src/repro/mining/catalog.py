@@ -124,6 +124,7 @@ def mine_rule_catalog(
     executor: str = "serial",
     fused: bool = True,
     store: "ProfileStore | None" = None,
+    kernel_tier: str | None = None,
 ) -> RuleCatalog:
     """Mine optimized rules for every (numeric, Boolean) attribute pair.
 
@@ -151,6 +152,11 @@ def mine_rule_catalog(
         Whether streaming profile construction runs through the fused
         single-scan planner (default) or the pre-fusion per-request-group
         scans (identical results; the benchmark baseline).
+    kernel_tier:
+        ``"auto"``/``"numpy"``/``"compiled"`` kernel tier for streaming
+        counting (default: the ``REPRO_KERNEL_TIER`` environment variable,
+        then ``"auto"``).  Tiers are bit-interchangeable; ignored for
+        in-memory data.
     store:
         Optional :class:`~repro.store.ProfileStore`.  Re-mining the same
         catalog (same data, thresholds aside) then performs **zero**
@@ -168,6 +174,7 @@ def mine_rule_catalog(
         executor=executor,
         fused=fused,
         store=store,
+        kernel_tier=kernel_tier,
     )
     schema = miner.schema
     numeric_names = (

@@ -27,12 +27,16 @@ from repro.pipeline.builder import (
 )
 from repro.pipeline.grid import GridCounts, GridProfile, GridProfileBuilder
 from repro.pipeline.sources import (
+    HAVE_PYARROW,
     ChunkedSource,
     CSVSource,
     DataSource,
+    NpyDirectorySource,
+    ParquetSource,
     RelationSource,
     SourceFingerprint,
     fingerprint_relation,
+    write_columnar,
 )
 
 __all__ = [
@@ -40,6 +44,10 @@ __all__ = [
     "RelationSource",
     "ChunkedSource",
     "CSVSource",
+    "NpyDirectorySource",
+    "ParquetSource",
+    "write_columnar",
+    "HAVE_PYARROW",
     "SourceFingerprint",
     "fingerprint_relation",
     "ProfileBuilder",

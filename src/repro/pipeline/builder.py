@@ -78,6 +78,7 @@ from repro.bucketing.equidepth_sort import equidepth_cuts_from_sorted
 from repro.bucketing.streaming import ReservoirSampler
 from repro.core.profile import BucketProfile
 from repro.exceptions import ExecutorError, PipelineError
+from repro.kernels import resolve_kernel_tier
 from repro.pipeline.sources import DataSource
 from repro.relation.conditions import Condition
 from repro.relation.relation import Relation
@@ -598,6 +599,11 @@ class CompiledPlan:
     payload_builder: _PlanPayloadBuilder
     needed_columns: tuple[str, ...]
     request_bucketings: tuple[tuple[Bucketing, ...], ...]
+    # Resolved kernel tier the counting passes run under.  Deliberately NOT
+    # part of the plan signature: tiers are bit-interchangeable, so stores
+    # and checkpoints are shared freely across tiers.  Defaulted last so
+    # plans pickled by older coordinators keep loading.
+    kernel_tier: str = "numpy"
 
     def count_chunks(self, chunks: Iterable[Relation]) -> PlanChunkCounts:
         """Count relation chunks serially, merging partials in chunk order."""
@@ -605,7 +611,9 @@ class CompiledPlan:
         for chunk in chunks:
             totals.merge(
                 count_plan_chunk(
-                    self.kernel_plan, self.payload_builder.build(chunk)
+                    self.kernel_plan,
+                    self.payload_builder.build(chunk),
+                    tier=self.kernel_tier,
                 )
             )
         return totals
@@ -620,12 +628,14 @@ class CompiledPlan:
 # Compiled plan shipped to each multiprocessing worker exactly once (via the
 # pool initializer); per-chunk traffic is then payload batches only.
 _WORKER_PLAN: KernelPlan | None = None
+_WORKER_TIER: str = "numpy"
 
 
-def _init_plan_worker(plan: KernelPlan) -> None:
+def _init_plan_worker(plan: KernelPlan, tier: str = "numpy") -> None:
     """Process-pool initializer: pin the fused plan in the worker process."""
-    global _WORKER_PLAN
+    global _WORKER_PLAN, _WORKER_TIER
     _WORKER_PLAN = plan
+    _WORKER_TIER = tier
 
 
 def _count_plan_batch(batch: list) -> PlanChunkCounts:
@@ -633,7 +643,7 @@ def _count_plan_batch(batch: list) -> PlanChunkCounts:
     assert _WORKER_PLAN is not None
     totals: PlanChunkCounts | None = None
     for payload in batch:
-        part = count_plan_chunk(_WORKER_PLAN, payload)
+        part = count_plan_chunk(_WORKER_PLAN, payload, tier=_WORKER_TIER)
         totals = part if totals is None else totals.merge(part)
     assert totals is not None
     return totals
@@ -673,6 +683,14 @@ class ProfileBuilder:
         so a plan needs only one physical source scan; past the budget the
         plan falls back to a separate counting scan.  Default: the
         ``REPRO_PLAN_CACHE_MB`` environment variable, else 512.
+    kernel_tier:
+        ``"auto"``, ``"numpy"``, or ``"compiled"`` — which kernel tier the
+        counting passes run (default: the ``REPRO_KERNEL_TIER`` environment
+        variable, then ``"auto"``).  Resolved once at construction;
+        ``"auto"`` picks the compiled Numba kernels when numba is
+        installed and the NumPy kernels otherwise.  Tiers are
+        bit-interchangeable, so the choice never affects results, plan
+        signatures, or store compatibility.
     """
 
     def __init__(
@@ -685,6 +703,7 @@ class ProfileBuilder:
         max_workers: int | None = None,
         fused: bool = True,
         cache_budget_mb: int | None = None,
+        kernel_tier: str | None = None,
     ) -> None:
         if num_buckets <= 0:
             raise PipelineError("num_buckets must be positive")
@@ -708,6 +727,7 @@ class ProfileBuilder:
         self._max_workers = max_workers
         self._fused = bool(fused)
         self._cache_budget_bytes = int(cache_budget_mb) * 1024 * 1024
+        self._kernel_tier = resolve_kernel_tier(kernel_tier)
 
     # -- configuration ---------------------------------------------------------
 
@@ -735,6 +755,11 @@ class ProfileBuilder:
     def fused(self) -> bool:
         """Whether counting passes run through the fused scan planner."""
         return self._fused
+
+    @property
+    def kernel_tier(self) -> str:
+        """The resolved kernel tier (``"numpy"`` or ``"compiled"``)."""
+        return self._kernel_tier
 
     # -- pass 1: boundary sampling ---------------------------------------------
 
@@ -1048,6 +1073,7 @@ class ProfileBuilder:
             payload_builder=payload_builder,
             needed_columns=tuple(needed_columns),
             request_bucketings=tuple(request_bucketings),
+            kernel_tier=self._kernel_tier,
         )
 
     def execute_plan(
@@ -1240,13 +1266,15 @@ class ProfileBuilder:
         totals = kernel_plan.zeros() if initial is None else initial
         if self._executor in ("serial", "streaming"):
             for payload in payloads:
-                totals.merge(count_plan_chunk(kernel_plan, payload))
+                totals.merge(
+                    count_plan_chunk(kernel_plan, payload, tier=self._kernel_tier)
+                )
             return totals
         workers = self._max_workers or min(8, os.cpu_count() or 1)
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_plan_worker,
-            initargs=(kernel_plan,),
+            initargs=(kernel_plan, self._kernel_tier),
         ) as pool:
             window: deque = deque()
             submitted = 0

@@ -13,7 +13,14 @@ paper's deployment scenarios:
   (message queues, database cursors, generator pipelines);
 * :class:`CSVSource` — out-of-core scanning of a CSV file via
   :func:`repro.relation.io.read_csv_chunks`, the closest analogue of the
-  paper's database file on disk.
+  paper's database file on disk;
+* :class:`NpyDirectorySource` — a zero-copy columnar layout: one
+  memory-mapped ``.npy`` file per column (written by
+  :func:`write_columnar`), scans yielding dtype-stable slice *views*
+  straight into the counting kernels with no per-chunk parse or copy;
+* :class:`ParquetSource` — Arrow/Parquet files through the optional
+  ``pyarrow`` dependency, with per-column projection pushed into the
+  Parquet reader.
 
 Chunks are small :class:`Relation` objects so objective
 :class:`~repro.relation.conditions.Condition`\\ s evaluate on them unchanged;
@@ -24,6 +31,9 @@ which is what makes pipeline results bit-identical across source types.
 from __future__ import annotations
 
 import hashlib
+import importlib.util
+import json
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
@@ -38,16 +48,24 @@ from repro.relation.io import (
     read_csv_first_chunk,
 )
 from repro.relation.relation import Relation
-from repro.relation.schema import Attribute, Schema
+from repro.relation.schema import Attribute, AttributeKind, Schema
 
 __all__ = [
     "DataSource",
     "RelationSource",
     "ChunkedSource",
     "CSVSource",
+    "NpyDirectorySource",
+    "ParquetSource",
     "SourceFingerprint",
     "fingerprint_relation",
+    "write_columnar",
+    "HAVE_PYARROW",
 ]
+
+#: Whether the optional ``pyarrow`` dependency is importable (probed without
+#: importing it, so merely loading this module never pays Arrow's startup).
+HAVE_PYARROW = importlib.util.find_spec("pyarrow") is not None
 
 
 @dataclass(frozen=True)
@@ -688,3 +706,491 @@ class CSVSource(DataSource):
                 stop_offset=stop,
             )
         )
+
+
+#: Process-wide memo of columnar prefix digests keyed by the source's pinned
+#: file identities plus the span.  Same stat-cache tradeoff (and the same
+#: bounded FIFO eviction) as the CSV digest cache above.
+_COLUMNAR_DIGEST_CACHE: dict[tuple, str] = {}
+_COLUMNAR_DIGEST_CACHE_ENTRIES = 256
+
+#: Manifest file naming the column order and kinds of a columnar directory.
+COLUMNAR_MANIFEST = "columns.json"
+
+#: Rows hashed per block when fingerprinting a columnar source (bounds the
+#: resident memory of a digest over a memory-mapped column).
+_COLUMNAR_DIGEST_BLOCK_ROWS = 1 << 20
+
+
+def _canonical_dtype(kind: AttributeKind) -> np.dtype:
+    """The dtype relation columns carry: float64 numeric, bool Boolean."""
+    return np.dtype(bool) if kind is AttributeKind.BOOLEAN else np.dtype(np.float64)
+
+
+def write_columnar(
+    relation: Relation, directory: str | Path, append: bool = False
+) -> Path:
+    """Write (or append) a relation as a column directory of ``.npy`` files.
+
+    The layout is one ``<name>.npy`` per column in the relation's canonical
+    dtypes (float64 numeric, bool Boolean) plus a ``columns.json`` manifest
+    pinning the attribute order and kinds.  ``append=True`` requires an
+    existing directory with an identical schema and rewrites each column
+    file with the new rows concatenated — the leading values are preserved
+    bit for bit, so fingerprints taken before the append stay valid (the
+    columnar fingerprint hashes array *values*, never the ``.npy`` file
+    bytes, precisely because a rewrite changes the header).
+
+    Every rewrite lands via a temporary file and ``os.replace``, so readers
+    that already memory-mapped the old file keep their consistent snapshot
+    and a crash mid-write never corrupts the directory.
+    """
+    directory = Path(directory)
+    manifest_path = directory / COLUMNAR_MANIFEST
+    if append:
+        if not manifest_path.exists():
+            raise RelationError(
+                f"cannot append to {directory}: no {COLUMNAR_MANIFEST} manifest "
+                "(write the directory first with append=False)"
+            )
+        existing = NpyDirectorySource(directory)
+        if existing.schema != relation.schema:
+            raise RelationError(
+                f"cannot append to {directory}: schema mismatch with the "
+                "existing column directory"
+            )
+    directory.mkdir(parents=True, exist_ok=True)
+    for attribute in relation.schema:
+        dtype = _canonical_dtype(attribute.kind)
+        column = np.ascontiguousarray(relation.column(attribute.name), dtype=dtype)
+        if append:
+            head = np.ascontiguousarray(
+                existing._column(attribute.name), dtype=dtype
+            )
+            column = np.concatenate([head, column])
+        target = directory / f"{attribute.name}.npy"
+        # np.save appends ".npy" to names without the suffix, so the
+        # temporary must end with it for the replace to find the file.
+        temporary = directory / f".{attribute.name}.tmp.npy"
+        np.save(temporary, column)
+        os.replace(temporary, target)
+    if not append:
+        manifest = {
+            "columns": [
+                [attribute.name, attribute.kind.value]
+                for attribute in relation.schema
+            ]
+        }
+        temporary = directory / (COLUMNAR_MANIFEST + ".tmp")
+        temporary.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        os.replace(temporary, manifest_path)
+    return directory
+
+
+class NpyDirectorySource(DataSource):
+    """Zero-copy scanning of a memory-mapped ``.npy`` column directory.
+
+    Parameters
+    ----------
+    path:
+        Either a directory written by :func:`write_columnar` (one
+        ``<name>.npy`` per column plus a ``columns.json`` manifest) or a
+        single ``.npz`` archive (column order and dtypes taken from the
+        archive; loaded into memory, a convenience rather than the
+        zero-copy path).
+    chunk_size:
+        Maximum tuples per chunk.  Chunks are raw slice *views* of the
+        memory-mapped columns — no parse, no copy — handed to the counting
+        kernels dtype-stable, so a scan's only data movement is the page
+        cache faulting mapped pages in.
+
+    The source pins its data at open time: columns are memory-mapped once,
+    and :meth:`fingerprint` hashes those pinned arrays, so a directory
+    rewritten behind an open source keeps serving (and fingerprinting) the
+    snapshot it opened.  Open a fresh source to observe appended rows.
+
+    The fingerprint unit is **rows**, and the digest scheme is exactly that
+    of :func:`fingerprint_relation` over the delivered values — so the same
+    data fingerprints identically whether it is served from memory or from
+    a column directory, and appends (which rewrite the ``.npy`` header)
+    never invalidate a stored prefix token.
+    """
+
+    def __init__(
+        self, path: str | Path, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> None:
+        if chunk_size <= 0:
+            raise RelationError("chunk_size must be positive")
+        self._path = Path(path)
+        self._chunk_size = int(chunk_size)
+        names_kinds: list[tuple[str, AttributeKind]] = []
+        arrays: list[np.ndarray] = []
+        stat_keys: list[tuple[str, int, int]] = []
+        if self._path.is_dir():
+            manifest_path = self._path / COLUMNAR_MANIFEST
+            if not manifest_path.exists():
+                raise RelationError(
+                    f"column directory {self._path} has no {COLUMNAR_MANIFEST} "
+                    "manifest"
+                )
+            try:
+                manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+                entries = [
+                    (str(name), AttributeKind(str(kind)))
+                    for name, kind in manifest["columns"]
+                ]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise RelationError(
+                    f"column directory {self._path} has a malformed "
+                    f"{COLUMNAR_MANIFEST} manifest"
+                ) from exc
+            for name, kind in entries:
+                column_path = self._path / f"{name}.npy"
+                if not column_path.exists():
+                    raise RelationError(
+                        f"column directory {self._path} is missing "
+                        f"{column_path.name}"
+                    )
+                stat = column_path.stat()
+                stat_keys.append(
+                    (str(column_path.resolve()), stat.st_size, stat.st_mtime_ns)
+                )
+                arrays.append(np.load(column_path, mmap_mode="r"))
+                names_kinds.append((name, kind))
+        elif self._path.suffix == ".npz" and self._path.exists():
+            stat = self._path.stat()
+            stat_keys.append(
+                (str(self._path.resolve()), stat.st_size, stat.st_mtime_ns)
+            )
+            with np.load(self._path) as archive:
+                for name in archive.files:
+                    column = archive[name]
+                    kind = (
+                        AttributeKind.BOOLEAN
+                        if column.dtype == np.dtype(bool)
+                        else AttributeKind.NUMERIC
+                    )
+                    arrays.append(column)
+                    names_kinds.append((name, kind))
+        else:
+            raise RelationError(
+                f"columnar path {self._path} is neither a column directory "
+                "nor a .npz archive"
+            )
+        if not arrays:
+            raise RelationError(f"columnar source {self._path} has no columns")
+        num_rows: int | None = None
+        for (name, kind), column in zip(names_kinds, arrays):
+            if column.ndim != 1:
+                raise RelationError(
+                    f"columnar source {self._path}: column {name!r} is "
+                    f"{column.ndim}-dimensional, expected 1-D"
+                )
+            if num_rows is None:
+                num_rows = int(column.shape[0])
+            elif int(column.shape[0]) != num_rows:
+                raise RelationError(
+                    f"columnar source {self._path}: column {name!r} has "
+                    f"{column.shape[0]} rows, expected {num_rows}"
+                )
+        self._num_rows = int(num_rows or 0)
+        self._schema = Schema.of(
+            *[
+                Attribute.numeric(name)
+                if kind is AttributeKind.NUMERIC
+                else Attribute.boolean(name)
+                for name, kind in names_kinds
+            ]
+        )
+        self._arrays = dict(zip((name for name, _ in names_kinds), arrays))
+        self._stat_key = tuple(stat_keys)
+        # Columns whose stored dtype already is the canonical relation dtype
+        # are served as raw slice views; anything else is cast per chunk.
+        self._conforming = {
+            name: self._arrays[name].dtype == _canonical_dtype(kind)
+            for name, kind in names_kinds
+        }
+
+    @property
+    def path(self) -> Path:
+        """The column directory (or ``.npz`` archive) being scanned."""
+        return self._path
+
+    @property
+    def chunk_size(self) -> int:
+        """Maximum tuples per chunk."""
+        return self._chunk_size
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        """Total rows pinned at open time."""
+        return self._num_rows
+
+    def _column(self, name: str, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """A canonical-dtype view (or cast) of one column's row span."""
+        column = self._arrays[name][start : self._num_rows if stop is None else stop]
+        if self._conforming[name]:
+            return column
+        kind = self._schema.attribute(name).kind
+        return np.asarray(column, dtype=_canonical_dtype(kind))
+
+    def _window(self, start: int, stop: int) -> Iterator[Relation]:
+        names = self._schema.names()
+        schema = self._schema
+        for begin in range(start, stop, self._chunk_size):
+            end = min(begin + self._chunk_size, stop)
+            yield Relation(
+                schema,
+                tuple(self._column(name, begin, end) for name in names),
+            )
+
+    def _projected_window(
+        self, start: int, stop: int, columns: Sequence[str] | None
+    ) -> Iterator[Relation]:
+        if columns is None:
+            return self._window(start, stop)
+        requested = set(columns)
+        names = [name for name in self._schema.names() if name in requested]
+        if len(names) == len(self._schema):
+            return self._window(start, stop)
+        schema = self._schema.project(names)
+
+        def projected() -> Iterator[Relation]:
+            for begin in range(start, stop, self._chunk_size):
+                end = min(begin + self._chunk_size, stop)
+                yield Relation(
+                    schema,
+                    tuple(self._column(name, begin, end) for name in names),
+                )
+
+        return projected()
+
+    def chunks(self) -> Iterator[Relation]:
+        return self._window(0, self._num_rows)
+
+    def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        return self._projected_window(0, self._num_rows, columns)
+
+    def scan_tail(
+        self, start: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        """Slice the tail directly — head pages are never faulted in."""
+        if start < 0:
+            raise RelationError("scan_tail start must be non-negative")
+        start = min(int(start), self._num_rows)
+        return self._projected_window(start, self._num_rows, columns)
+
+    def scan_span(
+        self, start: int, stop: int, columns: Sequence[str] | None = None
+    ) -> Iterator[Relation]:
+        """Slice the span directly — rows outside it are never touched."""
+        if start < 0:
+            raise RelationError("scan_span start must be non-negative")
+        if stop < start:
+            raise RelationError("scan_span stop must be at least start")
+        start = min(int(start), self._num_rows)
+        stop = min(int(stop), self._num_rows)
+        return self._projected_window(start, stop, columns)
+
+    def fingerprint(self, prefix: int | None = None) -> SourceFingerprint:
+        """Row-prefix digest of the delivered column values.
+
+        Identical scheme (and therefore identical tokens) to
+        :func:`fingerprint_relation`: schema entries, then each column's
+        leading values as raw bytes.  Hashing values rather than file bytes
+        is what makes the fingerprint append-stable — rewriting a longer
+        ``.npy`` changes its header, but never the leading values.  Digests
+        are memoized process-wide keyed by the pinned file identities.
+        """
+        span = (
+            self._num_rows
+            if prefix is None
+            else min(int(prefix), self._num_rows)
+        )
+        key = (self._stat_key, span)
+        token = _COLUMNAR_DIGEST_CACHE.get(key)
+        if token is None:
+            digest = hashlib.sha256()
+            for attribute in self._schema:
+                digest.update(
+                    repr((attribute.name, attribute.kind.value)).encode("utf-8")
+                )
+            for name in self._schema.names():
+                for begin in range(0, span, _COLUMNAR_DIGEST_BLOCK_ROWS):
+                    end = min(begin + _COLUMNAR_DIGEST_BLOCK_ROWS, span)
+                    digest.update(
+                        np.ascontiguousarray(self._column(name, begin, end)).tobytes()
+                    )
+            token = digest.hexdigest()
+            while len(_COLUMNAR_DIGEST_CACHE) >= _COLUMNAR_DIGEST_CACHE_ENTRIES:
+                _COLUMNAR_DIGEST_CACHE.pop(next(iter(_COLUMNAR_DIGEST_CACHE)))
+            _COLUMNAR_DIGEST_CACHE[key] = token
+        return SourceFingerprint(token=token, length=span)
+
+
+class ParquetSource(DataSource):
+    """Arrow/Parquet scanning through the optional ``pyarrow`` dependency.
+
+    Parameters
+    ----------
+    path:
+        A Parquet file.  Boolean Arrow columns become Boolean attributes,
+        everything else is read as numeric float64.
+    chunk_size:
+        Maximum tuples per chunk (``batch_size`` of the underlying
+        ``iter_batches`` reader).  Column projection is pushed into the
+        Parquet reader, so deselected columns are never decoded.
+
+    The fingerprint unit is **rows** with the same value-digest scheme as
+    :class:`NpyDirectorySource` (and :func:`fingerprint_relation`).  Unlike
+    the CSV byte digest this must decode the column data, so it is cached
+    per ``(file identity, span)`` — the store fingerprints a warm source
+    once, not once per lookup.  :meth:`scan_tail` uses the default
+    drop-the-head implementation: Parquet's row groups make an exact
+    row-offset seek reader-dependent, and the append workflow for columnar
+    data is the ``.npy`` directory layout.
+    """
+
+    def __init__(
+        self, path: str | Path, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> None:
+        if chunk_size <= 0:
+            raise RelationError("chunk_size must be positive")
+        if not HAVE_PYARROW:
+            raise RelationError(
+                "ParquetSource requires the optional pyarrow dependency, "
+                "which is not installed; convert the data to a .npy column "
+                "directory with write_columnar instead"
+            )
+        import pyarrow.parquet as parquet
+
+        self._parquet = parquet
+        self._path = Path(path)
+        self._chunk_size = int(chunk_size)
+        if not self._path.exists():
+            raise RelationError(f"Parquet file {self._path} does not exist")
+        stat = self._path.stat()
+        self._stat_key = (str(self._path.resolve()), stat.st_size, stat.st_mtime_ns)
+        handle = parquet.ParquetFile(self._path)
+        try:
+            arrow_schema = handle.schema_arrow
+            self._num_rows = int(handle.metadata.num_rows)
+        finally:
+            handle.close()
+        import pyarrow
+
+        attributes = []
+        self._kinds: dict[str, AttributeKind] = {}
+        for field in arrow_schema:
+            kind = (
+                AttributeKind.BOOLEAN
+                if field.type == pyarrow.bool_()
+                else AttributeKind.NUMERIC
+            )
+            self._kinds[field.name] = kind
+            attributes.append(
+                Attribute.numeric(field.name)
+                if kind is AttributeKind.NUMERIC
+                else Attribute.boolean(field.name)
+            )
+        if not attributes:
+            raise RelationError(f"Parquet file {self._path} has no columns")
+        self._schema = Schema.of(*attributes)
+
+    @property
+    def path(self) -> Path:
+        """The Parquet file being scanned."""
+        return self._path
+
+    @property
+    def chunk_size(self) -> int:
+        """Maximum tuples per chunk."""
+        return self._chunk_size
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        """Total rows per the Parquet footer metadata."""
+        return self._num_rows
+
+    def chunks(self) -> Iterator[Relation]:
+        return self.scan()
+
+    def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        if columns is None:
+            names = self._schema.names()
+            schema = self._schema
+        else:
+            requested = set(columns)
+            names = [name for name in self._schema.names() if name in requested]
+            schema = (
+                self._schema
+                if len(names) == len(self._schema)
+                else self._schema.project(names)
+            )
+
+        def batches() -> Iterator[Relation]:
+            handle = self._parquet.ParquetFile(self._path)
+            try:
+                for batch in handle.iter_batches(
+                    batch_size=self._chunk_size, columns=names
+                ):
+                    arrays = []
+                    for name in names:
+                        column = batch.column(name).to_numpy(zero_copy_only=False)
+                        arrays.append(
+                            np.ascontiguousarray(
+                                column, dtype=_canonical_dtype(self._kinds[name])
+                            )
+                        )
+                    yield Relation(schema, tuple(arrays))
+            finally:
+                handle.close()
+
+        return batches()
+
+    def fingerprint(self, prefix: int | None = None) -> SourceFingerprint:
+        """Row-prefix digest of the delivered column values (cached)."""
+        span = (
+            self._num_rows
+            if prefix is None
+            else min(int(prefix), self._num_rows)
+        )
+        key = (self._stat_key, span)
+        token = _COLUMNAR_DIGEST_CACHE.get(key)
+        if token is None:
+            digest = hashlib.sha256()
+            for attribute in self._schema:
+                digest.update(
+                    repr((attribute.name, attribute.kind.value)).encode("utf-8")
+                )
+            handle = self._parquet.ParquetFile(self._path)
+            try:
+                for name in self._schema.names():
+                    remaining = span
+                    dtype = _canonical_dtype(self._kinds[name])
+                    for batch in handle.iter_batches(
+                        batch_size=self._chunk_size, columns=[name]
+                    ):
+                        if remaining <= 0:
+                            break
+                        column = batch.column(name).to_numpy(zero_copy_only=False)
+                        block = np.ascontiguousarray(
+                            column[:remaining], dtype=dtype
+                        )
+                        digest.update(block.tobytes())
+                        remaining -= block.shape[0]
+            finally:
+                handle.close()
+            token = digest.hexdigest()
+            while len(_COLUMNAR_DIGEST_CACHE) >= _COLUMNAR_DIGEST_CACHE_ENTRIES:
+                _COLUMNAR_DIGEST_CACHE.pop(next(iter(_COLUMNAR_DIGEST_CACHE)))
+            _COLUMNAR_DIGEST_CACHE[key] = token
+        return SourceFingerprint(token=token, length=span)

@@ -96,6 +96,33 @@ class TestMaskedBucketCounts:
         chunked = masked_bucket_counts(indices, masks, num_buckets)
         assert np.array_equal(full, chunked)
 
+    def test_offset_table_built_once_across_windows(self, monkeypatch) -> None:
+        """The row-offset table is hoisted out of the window loop.
+
+        The int32-narrowed kernel once rebuilt ``np.arange(rows) * M`` for
+        every window of the chunked pass; the table is window-invariant, so
+        one allocation must serve the whole call.
+        """
+        rng = np.random.default_rng(7)
+        num_buckets = 5
+        indices = rng.integers(0, num_buckets, size=60)
+        masks = rng.random((13, 60)) < 0.5
+        expected = masked_bucket_counts(indices, masks, num_buckets)
+        calls = {"arange": 0}
+        real_arange = np.arange
+
+        def counting_arange(*args, **kwargs):
+            calls["arange"] += 1
+            return real_arange(*args, **kwargs)
+
+        monkeypatch.setattr(np, "arange", counting_arange)
+        # budget 120 / 60 tuples -> 2-row windows -> 7 windows over 13 rows.
+        counts = masked_bucket_counts(
+            indices, masks, num_buckets, chunk_elements=120
+        )
+        assert calls["arange"] == 1
+        assert np.array_equal(counts, expected)
+
     def test_empty_mask_set(self) -> None:
         counts = masked_bucket_counts(
             np.zeros(10, dtype=np.int64), np.empty((0, 10), dtype=bool), 4

@@ -1,0 +1,431 @@
+"""Zero-copy columnar sources: contract, parity, and store integration.
+
+Satellite suite of the kernel-tier PR: the memory-mapped ``.npy`` column
+directory and the Arrow/Parquet source must be *indistinguishable* from the
+CSV pipeline — bit-identical profiles and grids across every executor, the
+same fingerprint tokens as an in-memory relation over the same rows, and
+full ProfileStore behavior (warm hits, tail-only appends) with zero parsing.
+Parquet cases run wherever pyarrow is installed and skip elsewhere; the
+``.npy`` path has no optional dependency and always runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import bank_customers
+from repro.exceptions import RelationError
+from repro.pipeline import (
+    HAVE_PYARROW,
+    CSVSource,
+    NpyDirectorySource,
+    ParquetSource,
+    ProfileBuilder,
+    RelationSource,
+    ScanPlan,
+    fingerprint_relation,
+    write_columnar,
+)
+from repro.relation import BooleanIs, Relation, write_csv
+
+needs_pyarrow = pytest.mark.skipif(
+    not HAVE_PYARROW, reason="pyarrow is not installed"
+)
+
+CHUNK = 700  # uneven divisor of the row count: chunks straddle boundaries
+
+
+@pytest.fixture(scope="module")
+def relation() -> Relation:
+    relation, _ = bank_customers(3_000, seed=23)
+    return relation
+
+
+@pytest.fixture(scope="module")
+def csv_path(relation: Relation, tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("columnar") / "bank.csv"
+    write_csv(relation, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def npy_path(relation: Relation, tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("columnar") / "bank_columns"
+    write_columnar(relation, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def parquet_path(relation: Relation, tmp_path_factory) -> Path:
+    if not HAVE_PYARROW:
+        pytest.skip("pyarrow is not installed")
+    import pyarrow
+    import pyarrow.parquet
+
+    path = tmp_path_factory.mktemp("columnar") / "bank.parquet"
+    table = pyarrow.table(
+        {name: np.asarray(relation.column(name)) for name in relation.schema.names()}
+    )
+    pyarrow.parquet.write_table(table, path)
+    return path
+
+
+def _concat(chunks) -> Relation:
+    result = None
+    for chunk in chunks:
+        result = chunk if result is None else result.concat(chunk)
+    assert result is not None
+    return result
+
+
+def _rule_keys(catalog) -> list[tuple]:
+    return [
+        (entry.rule.attribute, entry.rule.low, entry.rule.high)
+        for entry in catalog.top(10)
+    ]
+
+
+def _append_csv_rows(path: Path, tail: Relation) -> None:
+    """Grow a CSV file at the tail using ``write_csv``'s own formatting."""
+    import csv as csv_module
+
+    names = tail.schema.names()
+    with Path(path).open("a", encoding="utf-8", newline="") as handle:
+        writer = csv_module.writer(handle)
+        for row in tail.iter_rows():
+            writer.writerow(
+                ("yes" if value else "no")
+                if isinstance(value, bool)
+                else repr(float(value))
+                for value in (row[name] for name in names)
+            )
+
+
+class TestNpyDirectoryContract:
+    def test_schema_and_rows(self, relation, npy_path) -> None:
+        source = NpyDirectorySource(npy_path, chunk_size=CHUNK)
+        assert source.schema == relation.schema
+        assert source.num_rows == relation.num_tuples
+        assert not source.in_memory
+
+    def test_chunks_reproduce_the_relation(self, relation, npy_path) -> None:
+        source = NpyDirectorySource(npy_path, chunk_size=CHUNK)
+        chunks = list(source.chunks())
+        assert all(chunk.num_tuples <= CHUNK for chunk in chunks)
+        assert _concat(chunks) == relation
+
+    def test_chunks_are_mmap_views(self, npy_path) -> None:
+        import mmap
+
+        source = NpyDirectorySource(npy_path, chunk_size=CHUNK)
+        chunk = next(iter(source.chunks()))
+        column = chunk.column("balance")
+        # The base chain of a zero-copy slice ends at the file mapping
+        # itself (np.memmap, whose own base is the raw mmap object) —
+        # a copied column would have no base at all.
+        bases = []
+        base = column
+        while getattr(base, "base", None) is not None:
+            base = base.base
+            bases.append(base)
+        assert any(
+            isinstance(entry, (np.memmap, mmap.mmap)) for entry in bases
+        )
+
+    def test_projection_pushdown(self, relation, npy_path) -> None:
+        source = NpyDirectorySource(npy_path, chunk_size=CHUNK)
+        projected = _concat(source.scan(columns=["balance", "card_loan"]))
+        assert projected.schema.names() == ["balance", "card_loan"]
+        assert np.array_equal(
+            projected.column("balance"), relation.column("balance")
+        )
+
+    def test_scan_tail_and_span(self, relation, npy_path) -> None:
+        source = NpyDirectorySource(npy_path, chunk_size=CHUNK)
+        tail = _concat(source.scan_tail(2_500))
+        assert tail.num_tuples == 500
+        assert np.array_equal(
+            tail.column("balance"), relation.column("balance")[2_500:]
+        )
+        span = _concat(source.scan_span(100, 350))
+        assert span.num_tuples == 250
+        assert np.array_equal(
+            span.column("age"), relation.column("age")[100:350]
+        )
+
+    def test_fingerprint_matches_in_memory_relation(
+        self, relation, npy_path
+    ) -> None:
+        source = NpyDirectorySource(npy_path, chunk_size=CHUNK)
+        theirs = fingerprint_relation(relation)
+        ours = source.fingerprint()
+        assert ours.token == theirs.token
+        assert ours.length == theirs.length
+        half = source.fingerprint(prefix=1_500)
+        assert half.token == fingerprint_relation(relation.head(1_500)).token
+
+    def test_missing_directory_rejected(self, tmp_path) -> None:
+        with pytest.raises(RelationError):
+            NpyDirectorySource(tmp_path / "nowhere")
+
+    def test_ragged_columns_rejected(self, relation, tmp_path) -> None:
+        target = tmp_path / "ragged"
+        write_columnar(relation, target)
+        np.save(target / "balance.npy", np.zeros(7))
+        with pytest.raises(RelationError):
+            NpyDirectorySource(target)
+
+
+class TestWriteColumnar:
+    def test_append_extends_columns(self, relation, tmp_path) -> None:
+        target = tmp_path / "grow"
+        write_columnar(relation.head(2_000), target)
+        write_columnar(relation.take(np.arange(2_000, 3_000)), target, append=True)
+        assert _concat(NpyDirectorySource(target).chunks()) == relation
+
+    def test_append_keeps_prefix_fingerprint(self, relation, tmp_path) -> None:
+        target = tmp_path / "stable"
+        write_columnar(relation.head(2_000), target)
+        before = NpyDirectorySource(target).fingerprint()
+        write_columnar(relation.take(np.arange(2_000, 3_000)), target, append=True)
+        grown = NpyDirectorySource(target)
+        assert grown.fingerprint(prefix=2_000).token == before.token
+        tail = _concat(grown.scan_tail(2_000))
+        assert tail.num_tuples == 1_000
+
+    def test_append_schema_mismatch_rejected(self, relation, tmp_path) -> None:
+        target = tmp_path / "mismatch"
+        write_columnar(relation, target)
+        other = relation.project(["balance", "card_loan"])
+        with pytest.raises(RelationError):
+            write_columnar(other, target, append=True)
+
+    def test_npz_archive_round_trip(self, relation, tmp_path) -> None:
+        archive = tmp_path / "bank.npz"
+        np.savez(
+            archive,
+            **{
+                name: np.asarray(relation.column(name))
+                for name in relation.schema.names()
+            },
+        )
+        source = NpyDirectorySource(archive, chunk_size=CHUNK)
+        assert source.schema == relation.schema
+        assert _concat(source.chunks()) == relation
+
+
+@needs_pyarrow
+class TestParquetContract:
+    def test_schema_rows_and_chunks(self, relation, parquet_path) -> None:
+        source = ParquetSource(parquet_path, chunk_size=CHUNK)
+        assert source.schema == relation.schema
+        assert source.num_rows == relation.num_tuples
+        assert _concat(source.chunks()) == relation
+
+    def test_projection_and_tail(self, relation, parquet_path) -> None:
+        source = ParquetSource(parquet_path, chunk_size=CHUNK)
+        projected = _concat(source.scan(columns=["age"]))
+        assert projected.schema.names() == ["age"]
+        tail = _concat(source.scan_tail(2_900))
+        assert np.array_equal(
+            tail.column("balance"), relation.column("balance")[2_900:]
+        )
+
+    def test_fingerprint_matches_in_memory_relation(
+        self, relation, parquet_path
+    ) -> None:
+        source = ParquetSource(parquet_path, chunk_size=CHUNK)
+        assert source.fingerprint().token == fingerprint_relation(relation).token
+
+
+@pytest.mark.skipif(HAVE_PYARROW, reason="pyarrow is installed")
+def test_parquet_without_pyarrow_degrades_gracefully(tmp_path) -> None:
+    with pytest.raises(RelationError):
+        ParquetSource(tmp_path / "bank.parquet")
+
+
+def _all_sources(relation, csv_path, npy_path, parquet_path=None):
+    sources = {
+        "memory": RelationSource(relation, chunk_size=CHUNK),
+        "csv": CSVSource(
+            csv_path, schema=relation.schema, chunk_size=CHUNK
+        ),
+        "npy": NpyDirectorySource(npy_path, chunk_size=CHUNK),
+    }
+    if parquet_path is not None:
+        sources["parquet"] = ParquetSource(parquet_path, chunk_size=CHUNK)
+    return sources
+
+
+class TestCrossSourceParity:
+    """CSV, mmap-``.npy``, and Arrow sources are bit-interchangeable."""
+
+    @pytest.mark.parametrize(
+        "executor", ["serial", "streaming", "multiprocessing"]
+    )
+    def test_profiles_bit_identical(
+        self, relation, csv_path, npy_path, executor, request
+    ) -> None:
+        parquet_path = (
+            request.getfixturevalue("parquet_path") if HAVE_PYARROW else None
+        )
+        plan = ScanPlan()
+        bucket_id = plan.add_bucket(
+            "balance",
+            objectives=[BooleanIs("card_loan"), BooleanIs("auto_withdrawal")],
+        )
+        grid_id = plan.add_grid(
+            "age", "balance", [BooleanIs("card_loan")], grid=(8, 8)
+        )
+        profiles = {}
+        grids = {}
+        for name, source in _all_sources(
+            relation, csv_path, npy_path, parquet_path
+        ).items():
+            builder = ProfileBuilder(num_buckets=16, seed=5, executor=executor)
+            results = builder.execute_plan(source, plan)
+            profiles[name] = results.counts(bucket_id)
+            grids[name] = results.grid_counts(grid_id)
+        reference_profile = profiles.pop("memory")
+        reference_grid = grids.pop("memory")
+        for name, counts in profiles.items():
+            assert np.array_equal(counts.sizes, reference_profile.sizes), name
+            for objective, row in counts.conditional.items():
+                assert np.array_equal(
+                    row, reference_profile.conditional[objective]
+                ), (name, objective)
+            assert np.array_equal(
+                counts.lows, reference_profile.lows, equal_nan=True
+            ), name
+            assert np.array_equal(
+                counts.highs, reference_profile.highs, equal_nan=True
+            ), name
+        for name, grid in grids.items():
+            assert np.array_equal(grid.sizes, reference_grid.sizes), name
+            for objective, cells in grid.conditional.items():
+                assert np.array_equal(
+                    cells, reference_grid.conditional[objective]
+                ), (name, objective)
+
+    def test_catalog_rules_identical(
+        self, relation, csv_path, npy_path
+    ) -> None:
+        from repro.mining import mine_rule_catalog
+
+        catalogs = {}
+        sources = _all_sources(relation, csv_path, npy_path)
+        # The in-memory path buckets with the exact sort-based bucketizer,
+        # not the streamed reservoir pass, so it is deliberately excluded:
+        # the parity contract is among the streamed file sources.
+        sources.pop("memory")
+        for name, source in sources.items():
+            catalog = mine_rule_catalog(
+                source, num_buckets=12, rng=np.random.default_rng(2)
+            )
+            catalogs[name] = [
+                (entry.rule.attribute, entry.rule.low, entry.rule.high)
+                for entry in catalog.top(10)
+            ]
+        assert catalogs["npy"] == catalogs["csv"]
+        for name, rules in catalogs.items():
+            assert rules == catalogs["csv"], name
+
+
+class TestColumnarProfileStore:
+    def test_warm_hit_and_append(self, relation, tmp_path) -> None:
+        from repro.mining import mine_rule_catalog
+        from repro.store import ProfileStore
+
+        data_dir = tmp_path / "columns"
+        write_columnar(relation.head(2_400), data_dir)
+        store = ProfileStore(tmp_path / "store")
+
+        def run():
+            source = NpyDirectorySource(data_dir, chunk_size=CHUNK)
+            return mine_rule_catalog(
+                source,
+                num_buckets=12,
+                rng=np.random.default_rng(9),
+                store=store,
+            )
+
+        cold = run()
+        assert store.last_status == "build"
+        warm = run()
+        assert store.last_status == "hit"
+        assert len(warm) == len(cold)
+
+        write_columnar(relation.take(np.arange(2_400, 3_000)), data_dir, append=True)
+        grown = run()
+        assert store.last_status == "append"
+        assert grown.num_tuples == 3_000
+        # The appended snapshot serves the next run warm, unchanged.
+        again = run()
+        assert store.last_status == "hit"
+        assert _rule_keys(again) == _rule_keys(grown)
+
+    def test_append_parity_with_csv_store(self, relation, tmp_path) -> None:
+        """Frozen-boundary appends match bit for bit across source types."""
+        from repro.mining import mine_rule_catalog
+        from repro.store import ProfileStore
+
+        head, tail = relation.head(2_400), relation.take(np.arange(2_400, 3_000))
+        data_dir = tmp_path / "columns"
+        csv_file = tmp_path / "rows.csv"
+        write_columnar(head, data_dir)
+        write_csv(head, csv_file)
+
+        def run(make_source, store):
+            return mine_rule_catalog(
+                make_source(),
+                num_buckets=12,
+                rng=np.random.default_rng(9),
+                store=store,
+            )
+
+        npy_store = ProfileStore(tmp_path / "npy_store")
+        csv_store = ProfileStore(tmp_path / "csv_store")
+        npy = lambda: NpyDirectorySource(data_dir, chunk_size=CHUNK)
+        csv = lambda: CSVSource(
+            csv_file, schema=relation.schema, chunk_size=CHUNK
+        )
+        assert _rule_keys(run(npy, npy_store)) == _rule_keys(
+            run(csv, csv_store)
+        )
+
+        write_columnar(tail, data_dir, append=True)
+        _append_csv_rows(csv_file, tail)
+        grown_npy = run(npy, npy_store)
+        assert npy_store.last_status == "append"
+        grown_csv = run(csv, csv_store)
+        assert csv_store.last_status == "append"
+        assert _rule_keys(grown_npy) == _rule_keys(grown_csv)
+
+
+class TestColumnarSharding:
+    def test_shard_mine_matches_unsharded(self, relation, npy_path) -> None:
+        from repro.shard import ShardCoordinator
+
+        source = NpyDirectorySource(npy_path, chunk_size=CHUNK)
+        plan = ScanPlan()
+        request = plan.add_bucket("balance", objectives=[BooleanIs("card_loan")])
+        builder = ProfileBuilder(num_buckets=16, seed=5)
+        coordinator = ShardCoordinator(
+            ProfileBuilder(num_buckets=16, seed=5),
+            num_shards=3,
+            transport="inline",
+        )
+        run = coordinator.mine(source, plan)
+        assert run.complete
+        assert run.coverage["unit"] == "tuples"
+        direct = builder.execute_plan(source, plan)
+        assert np.array_equal(
+            run.results.counts(request).sizes, direct.counts(request).sizes
+        )
+        assert np.array_equal(
+            run.results.counts(request).conditional[BooleanIs("card_loan")],
+            direct.counts(request).conditional[BooleanIs("card_loan")],
+        )
