@@ -851,6 +851,150 @@ def test_bench_catalog_store(
     assert workload["speedup"] >= MIN_STORE_WARM_SPEEDUP
 
 
+class _ScanMeter:
+    """Wraps a source, counting full scans vs tail scans (fingerprints free)."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.scans = 0
+        self.tail_scans = 0
+
+    @property
+    def schema(self):
+        return self.inner.schema
+
+    def chunks(self):
+        self.scans += 1
+        return self.inner.chunks()
+
+    def scan(self, columns=None):
+        self.scans += 1
+        return self.inner.scan(columns)
+
+    def scan_tail(self, start, columns=None):
+        self.tail_scans += 1
+        return self.inner.scan_tail(start, columns)
+
+    def scan_span(self, start, stop, columns=None):
+        self.tail_scans += 1
+        return self.inner.scan_span(start, stop, columns)
+
+    def fingerprint(self, prefix=None):
+        return self.inner.fingerprint(prefix)
+
+
+def test_bench_ingest_steady_state(
+    sizes, bench_results, record_report, tmp_path_factory, quick
+) -> None:
+    """Continuous ingestion: N daemon fold cycles cost tail scans only.
+
+    The workload is the ingest daemon's production loop: a CSV feed grows
+    at the tail five times, and each ``once()`` cycle folds the new rows
+    into the warm store.  A scan meter on the source proves the steady
+    state does **zero** full scans — after the cold build, every cycle is
+    one tail scan (drift tracking taps those same chunks, adding nothing)
+    — and a final no-growth cycle is a pure warm hit held to the PR-5
+    ``MIN_STORE_WARM_SPEEDUP`` floor, daemon overhead (fingerprint digest,
+    drift state write) included.
+    """
+    from repro.ingest import IngestDaemon, ManualRefreezePolicy
+
+    chunk_size = 20_000
+    num_rows = QUICK_STORE_ROWS if quick else sizes["num_tuples"]
+    cycles = 5
+    # 5 appends of 4% each: cumulative staleness 20%, under the store's
+    # 25% rebuild threshold, so every fold stays on the tail-only path.
+    tail_rows = num_rows * 4 // 100
+    head_rows = num_rows - cycles * tail_rows
+    relation = paper_benchmark_table(
+        num_rows,
+        num_numeric=sizes["num_numeric"],
+        num_boolean=sizes["num_boolean"],
+        seed=37,
+    )
+    root = tmp_path_factory.mktemp("ingest-bench")
+    csv_path = root / "feed.csv"
+    write_csv(relation.take(np.arange(0, head_rows)), csv_path)
+    schema = infer_csv_schema(csv_path, chunk_size=chunk_size)
+    objectives = [
+        BooleanIs(name, True) for name in relation.schema.boolean_names()
+    ]
+    plan = ScanPlan()
+    for attribute in relation.schema.numeric_names():
+        plan.add_bucket(attribute, objectives=objectives)
+
+    meter = {}
+
+    def source_factory():
+        meter["last"] = _ScanMeter(
+            CSVSource(csv_path, schema=schema, chunk_size=chunk_size)
+        )
+        return meter["last"]
+
+    daemon = IngestDaemon(
+        ProfileBuilder(num_buckets=sizes["num_buckets"], seed=7),
+        source_factory,
+        plan,
+        ProfileStore(root / "store"),
+        policy=ManualRefreezePolicy(),
+    )
+
+    build_seconds = time_call(lambda: meter.setdefault("build", daemon.once()))
+    assert meter["build"].status == "build"
+
+    def grow() -> None:
+        start = head_rows + len(meter.setdefault("appends", [])) * tail_rows
+        tail_path = root / "tail.csv"
+        write_csv(relation.take(np.arange(start, start + tail_rows)), tail_path)
+        with csv_path.open("a", encoding="utf-8") as handle:
+            handle.writelines(
+                tail_path.read_text(encoding="utf-8").splitlines(keepends=True)[1:]
+            )
+
+    append_seconds = 0.0
+    full_scans = tail_scans = 0
+    for _ in range(cycles):
+        grow()
+        append_seconds += time_call(
+            lambda: meter["appends"].append(daemon.once())
+        )
+        full_scans += meter["last"].scans
+        tail_scans += meter["last"].tail_scans
+    assert [report.status for report in meter["appends"]] == ["append"] * cycles
+    assert full_scans == 0  # the steady state never re-reads the head
+    assert tail_scans == cycles
+    assert meter["appends"][-1].observed_length == csv_path.stat().st_size
+
+    # No growth: a pure warm hit, daemon overhead included.
+    hit_seconds = time_call(lambda: meter.setdefault("hit", daemon.once()), repeats=3)
+    assert meter["hit"].status == "hit"
+    assert meter["last"].scans == 0 and meter["last"].tail_scans == 0
+
+    workload = bench_workload(
+        "ingest-steady-state",
+        build_seconds,
+        hit_seconds,
+        cycles=cycles,
+        append_seconds_total=append_seconds,
+        append_seconds_per_cycle=append_seconds / cycles,
+        num_tuples=num_rows,
+        head_tuples=head_rows,
+        tail_tuples_per_cycle=tail_rows,
+        num_buckets=sizes["num_buckets"],
+        conditions=len(objectives),
+        chunk_size=chunk_size,
+    )
+    bench_results.append(workload)
+    record_report(
+        "Ingest steady-state benchmark",
+        f"{cycles} fold cycles x {tail_rows} appended tuples over a "
+        f"{head_rows}-tuple head: build {build_seconds:.3f}s, "
+        f"{append_seconds / cycles:.3f}s/cycle (tail scans only), warm hit "
+        f"{hit_seconds * 1e3:.1f}ms ({workload['speedup']:.0f}x)",
+    )
+    assert workload["speedup"] >= MIN_STORE_WARM_SPEEDUP
+
+
 def _pre_refactor_best_rectangle(profile, kind, min_support, min_confidence):
     """The seed implementation of the rectangle band search, verbatim.
 

@@ -53,6 +53,21 @@ scans of the CSV, and a file grown at the tail counts only its new rows::
     python -m repro store append bank.csv --store profiles/
     python -m repro store inspect --store profiles/
 
+``store verify`` audits every snapshot (payload presence, embedded meta,
+npz integrity) without serving anything, and exits 3 listing the
+offending snapshots on corruption.
+
+``ingest`` runs the crash-safe continuous-mining daemon against a growing
+source: every cycle polls the file, folds only the appended tuples into
+the store (journaled — ``kill -9`` at any byte is recoverable), tracks
+per-attribute drift between the frozen bucket boundaries and the tail,
+and re-freezes the boundaries when the policy says so::
+
+    python -m repro store build bank.csv --store profiles/
+    python -m repro ingest run bank.csv --store profiles/ --interval 5
+    python -m repro ingest once bank.csv --store profiles/
+    python -m repro ingest status bank.csv --store profiles/
+
 ``shard`` runs the catalog scan plan through the fault-tolerant sharded
 mining plane: the CSV is partitioned into N line-aligned byte spans, each
 counted with per-shard retries and timeouts, validated partials checkpoint
@@ -261,6 +276,135 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="print the store manifest (snapshots and staleness)"
     )
     inspect_parser.add_argument("--store", required=True, help="store directory")
+    verify_parser = store_subparsers.add_parser(
+        "verify",
+        help="audit every snapshot (payload presence, embedded meta, npz "
+        "integrity) without serving; exit 3 listing corrupt snapshots",
+    )
+    verify_parser.add_argument("--store", required=True, help="store directory")
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="crash-safe continuous mining: poll a growing source, fold "
+        "only its tail, re-freeze boundaries on drift",
+    )
+    ingest_subparsers = ingest_parser.add_subparsers(
+        dest="ingest_command", required=True
+    )
+    for name, description in (
+        (
+            "run",
+            "poll the source every --interval seconds, folding appended "
+            "tuples into the store and re-freezing on the policy's say-so",
+        ),
+        (
+            "once",
+            "run exactly one ingest cycle (poll, fold, drift check) and "
+            "print its report",
+        ),
+        (
+            "status",
+            "report the daemon's persisted state and drift readings "
+            "without scanning the source",
+        ),
+    ):
+        sub = ingest_subparsers.add_parser(name, help=description)
+        sub.add_argument(
+            "csv",
+            help="input CSV file with a header row (or the columnar data "
+            "path when --source npy/parquet)",
+        )
+        sub.add_argument("--store", required=True, help="store directory")
+        sub.add_argument(
+            "--source",
+            choices=("stream", "npy", "parquet"),
+            default="stream",
+            help="scan a CSV out-of-core (default), a memory-mapped .npy "
+            "column directory, or an Arrow/Parquet file",
+        )
+        sub.add_argument(
+            "--path",
+            default=None,
+            metavar="DIR",
+            help="data path for --source npy/parquet (defaults to the "
+            "positional file argument)",
+        )
+        sub.add_argument("--buckets", type=int, default=200)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--chunk-size", type=int, default=None)
+        _add_kernel_tier_argument(sub)
+        if name == "status":
+            continue
+        sub.add_argument(
+            "--policy",
+            choices=("threshold", "scheduled", "manual"),
+            default="threshold",
+            help="re-freeze policy: drift thresholds (default), every "
+            "--every-cycles folds, or only on explicit request",
+        )
+        sub.add_argument(
+            "--max-staleness",
+            type=float,
+            default=0.25,
+            help="threshold policy: staleness ratio that re-freezes "
+            "(default: 0.25)",
+        )
+        sub.add_argument(
+            "--max-occupancy-shift",
+            type=float,
+            default=0.25,
+            help="threshold policy: total-variation distance between frozen "
+            "and tail bucket occupancy that re-freezes (default: 0.25)",
+        )
+        sub.add_argument(
+            "--max-kl",
+            type=float,
+            default=0.5,
+            help="threshold policy: KL divergence (nats) of the tail from "
+            "the frozen occupancy that re-freezes (default: 0.5)",
+        )
+        sub.add_argument(
+            "--max-out-of-range",
+            type=float,
+            default=0.25,
+            help="threshold policy: fraction of appended values outside the "
+            "frozen cut range that re-freezes (default: 0.25)",
+        )
+        sub.add_argument(
+            "--every-cycles",
+            type=int,
+            default=10,
+            help="scheduled policy: re-freeze every N fold cycles "
+            "(default: 10)",
+        )
+        sub.add_argument(
+            "--on-source-changed",
+            choices=("raise", "serve-stale"),
+            default="raise",
+            help="when the source was rewritten (not appended): fail the "
+            "cycle (default) or degrade and keep serving the stored "
+            "snapshot",
+        )
+        sub.add_argument(
+            "--max-failures",
+            type=int,
+            default=3,
+            help="consecutive degraded cycles before the daemon gives up "
+            "with a typed error (default: 3)",
+        )
+        if name == "run":
+            sub.add_argument(
+                "--interval",
+                type=float,
+                default=5.0,
+                help="seconds between polls (default: 5)",
+            )
+            sub.add_argument(
+                "--cycles",
+                type=int,
+                default=None,
+                help="stop after N cycles (default: run until killed)",
+            )
 
     shard_parser = subparsers.add_parser(
         "shard",
@@ -320,6 +464,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="checkpoint directory root (required for resume/status); "
             "each run checkpoints under its own run-key namespace",
         )
+        if name == "status":
+            sub.add_argument(
+                "--gc",
+                action="store_true",
+                help="remove orphaned checkpoint run directories (every run "
+                "key except this run's) after reporting",
+            )
         if name != "status":
             sub.add_argument(
                 "--max-retries",
@@ -590,6 +741,26 @@ def _run_rules2d(args: argparse.Namespace) -> int:
 def _run_store(args: argparse.Namespace) -> int:
     from repro.store import ProfileStore
 
+    if args.store_command == "verify":
+        store = ProfileStore(args.store)
+        findings = store.verify()
+        entries = store.inspect()
+        if not findings:
+            print(
+                f"store {store.directory} is sound "
+                f"({len(entries)} snapshot(s) verified)"
+            )
+            return 0
+        print(
+            f"store {store.directory} is corrupt: "
+            f"{len(findings)} problem(s)",
+            file=sys.stderr,
+        )
+        for finding in findings:
+            payload = finding.get("payload") or "<manifest>"
+            print(f"  {payload}: {finding['problem']}", file=sys.stderr)
+        return 3
+
     if args.store_command == "inspect":
         store = ProfileStore(args.store)
         entries = store.inspect()
@@ -657,7 +828,12 @@ def _catalog_scan_plan(schema, num_buckets: int):
 
     Mirrors the fused prefetch of ``mine_rule_catalog``: one bucket request
     per numeric attribute carrying every Boolean objective — the profiles
-    the confidence/support catalog solvers consume.
+    the confidence/support catalog solvers consume.  The bucket count rides
+    on the *builder* (as the miner's prefetch leaves per-request overrides
+    unset), so the plan signature matches the snapshots ``store build`` and
+    ``catalog --store`` create and ``shard``/``ingest`` interoperate with
+    them.  ``num_buckets`` is accepted for the call sites' readability but
+    intentionally not baked into the requests.
     """
     from repro.pipeline.builder import ScanPlan
     from repro.relation.conditions import BooleanIs
@@ -668,7 +844,7 @@ def _catalog_scan_plan(schema, num_buckets: int):
     plan = ScanPlan()
     objectives = [BooleanIs(attribute, True) for attribute in boolean]
     for attribute in numeric:
-        plan.add_bucket(attribute, objectives=objectives, num_buckets=num_buckets)
+        plan.add_bucket(attribute, objectives=objectives)
     return plan
 
 
@@ -725,6 +901,16 @@ def _run_shard(args: argparse.Namespace) -> int:
                 f"[{descriptor.start}, {descriptor.stop}) "
                 f"{descriptor.unit} {state}"
             )
+        if args.gc:
+            from repro.shard import gc_checkpoints
+
+            removed = gc_checkpoints(args.checkpoints, [key])
+            if removed:
+                print(f"  gc: removed {len(removed)} orphaned run(s):")
+                for name in removed:
+                    print(f"    {name}")
+            else:
+                print("  gc: no orphaned checkpoint runs")
         return 0
 
     if args.shard_command == "resume" and args.checkpoints is None:
@@ -766,6 +952,112 @@ def _run_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ingest(args: argparse.Namespace) -> int:
+    from repro.exceptions import IngestError
+    from repro.ingest import (
+        IngestDaemon,
+        IngestReport,
+        ManualRefreezePolicy,
+        ScheduledRefreezePolicy,
+        ThresholdRefreezePolicy,
+    )
+    from repro.pipeline import CSVSource
+    from repro.pipeline.builder import ProfileBuilder
+    from repro.relation.io import DEFAULT_CHUNK_SIZE, infer_csv_schema
+    from repro.store import ProfileStore
+
+    store = ProfileStore(args.store)
+    chunk_size = args.chunk_size or DEFAULT_CHUNK_SIZE
+    if args.source in ("npy", "parquet"):
+        def source_factory():
+            return _open_columnar_source(args)
+
+        schema = source_factory().schema
+    else:
+        schema = store.cached_schema(CSVSource(args.csv, chunk_size=chunk_size))
+        if schema is None:
+            schema = infer_csv_schema(args.csv, chunk_size=chunk_size)
+        csv_schema = schema
+
+        def source_factory():
+            return CSVSource(args.csv, schema=csv_schema, chunk_size=chunk_size)
+
+    import numpy as np
+
+    # Derive the boundary-sampling seed exactly as OptimizedRuleMiner does
+    # from its rng, so the daemon folds into the same store entry that
+    # `store build` / `catalog --store` created for this --seed.
+    seed = int(np.random.default_rng(args.seed).integers(0, 2**32))
+    builder = ProfileBuilder(
+        num_buckets=args.buckets, seed=seed, kernel_tier=args.kernel_tier
+    )
+    plan = _catalog_scan_plan(schema, args.buckets)
+    if len(plan) == 0:
+        raise IngestError(
+            f"{args.csv} has no numeric x Boolean attribute pairs to profile"
+        )
+
+    if args.ingest_command == "status":
+        daemon = IngestDaemon(builder, source_factory, plan, store)
+        info = daemon.status()
+        print(f"ingest into {store.directory}:")
+        print(f"  cycles: {info['cycle']} ({info['cycles_since_refreeze']} since re-freeze)")
+        print(f"  stored tuples: {info['stored_tuples']} (staleness {info['staleness']:.1%})")
+        print(f"  observed length: {info['observed_length']}")
+        for attribute, reading in sorted(info["drift"].items()):
+            print(
+                f"  drift {attribute!r}: {reading['appended']} appended, "
+                f"shift {reading['occupancy_shift']:.3f}, "
+                f"KL {reading['kl_divergence']:.3f}, "
+                f"out-of-range {reading['out_of_range_mass']:.3f}"
+            )
+        return 0
+
+    if args.policy == "scheduled":
+        policy = ScheduledRefreezePolicy(args.every_cycles)
+    elif args.policy == "manual":
+        policy = ManualRefreezePolicy()
+    else:
+        policy = ThresholdRefreezePolicy(
+            max_staleness=args.max_staleness,
+            max_occupancy_shift=args.max_occupancy_shift,
+            max_kl=args.max_kl,
+            max_out_of_range=args.max_out_of_range,
+        )
+    daemon = IngestDaemon(
+        builder,
+        source_factory,
+        plan,
+        store,
+        policy=policy,
+        max_failures=args.max_failures,
+        on_source_changed=args.on_source_changed,
+    )
+
+    def describe(report: IngestReport) -> None:
+        line = (
+            f"cycle {report.cycle}: {report.status} | "
+            f"length {report.observed_length}, "
+            f"{report.appended} appended since freeze, "
+            f"staleness {report.staleness:.1%}"
+        )
+        if report.refreeze_reason:
+            line += f" | re-freeze: {report.refreeze_reason}"
+        if report.error:
+            line += f" | {report.error}"
+        print(line)
+
+    if args.ingest_command == "once":
+        report = daemon.once()
+        describe(report)
+        return 3 if report.degraded else 0
+
+    reports = daemon.run(
+        cycles=args.cycles, interval=args.interval, on_report=describe
+    )
+    return 3 if any(report.degraded for report in reports) else 0
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     result = _EXPERIMENTS[args.name]()
     print(result.report())
@@ -789,6 +1081,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_store(args)
         if args.command == "shard":
             return _run_shard(args)
+        if args.command == "ingest":
+            return _run_ingest(args)
         if args.command == "experiment":
             return _run_experiment(args)
     except ReproError as error:

@@ -117,6 +117,17 @@ class SourceChangedError(RelationError, StoreError):
     """
 
 
+class IngestError(ReproError):
+    """The continuous-ingestion daemon cannot make progress.
+
+    Raised when the ingest loop exhausts its retry budget against a source
+    that stays unreadable, or when its persisted state disagrees with the
+    store in a way reconciliation cannot heal.  Transient failures inside
+    the loop never raise — they surface as ``degraded`` cycle reports while
+    the daemon keeps serving the last good snapshot.
+    """
+
+
 class ShardError(ReproError):
     """A shard of a distributed counting run failed.
 

@@ -1,0 +1,45 @@
+"""Crash-safe continuous ingestion: poll, fold the tail, watch for drift.
+
+The store made repeated catalogs free and appends tail-only; this package
+runs that loop unattended.  An :class:`IngestDaemon` polls a
+fingerprint-capable source, folds only the new tuples into the
+:class:`~repro.store.ProfileStore` snapshot (every mutation journaled
+through :mod:`repro.store.wal`, so ``kill -9`` at any byte is recoverable),
+measures per-attribute drift between the frozen bucket boundaries and the
+appended tail (:mod:`repro.ingest.drift`), and lets a pluggable
+:class:`~repro.ingest.policy.RefreezePolicy` decide when the boundaries
+re-freeze via a full rebuild.
+
+CLI: ``repro ingest run | once | status``.  The chaos drill in
+``tests/ingest`` SIGKILLs a real subprocess daemon at every journal
+boundary and asserts the reopened store serves a catalog bit-identical to
+an uninterrupted oracle.
+"""
+
+from repro.ingest.daemon import IngestDaemon, IngestReport, STATE_FILE_NAME
+from repro.ingest.drift import (
+    AttributeDriftTracker,
+    DEFAULT_RESERVOIR_CAPACITY,
+    DriftMetrics,
+    DriftTracker,
+)
+from repro.ingest.policy import (
+    ManualRefreezePolicy,
+    RefreezePolicy,
+    ScheduledRefreezePolicy,
+    ThresholdRefreezePolicy,
+)
+
+__all__ = [
+    "AttributeDriftTracker",
+    "DEFAULT_RESERVOIR_CAPACITY",
+    "DriftMetrics",
+    "DriftTracker",
+    "IngestDaemon",
+    "IngestReport",
+    "ManualRefreezePolicy",
+    "RefreezePolicy",
+    "STATE_FILE_NAME",
+    "ScheduledRefreezePolicy",
+    "ThresholdRefreezePolicy",
+]

@@ -1,0 +1,308 @@
+"""Per-attribute drift metrics between frozen cuts and the appended tail.
+
+The store's append path keeps bucket boundaries **frozen** at their
+snapshot values while new tuples fold in — cheap, bit-exact, but blind:
+if the appended data's *distribution* has moved, the frozen cuts slice it
+badly long before the staleness ratio says so.  This module watches the
+appended tuples as they stream past and quantifies how far they have
+drifted from the frozen snapshot, per bucket-request attribute:
+
+``staleness``
+    The store's own bookkeeping — appended tuples over total tuples.
+``out_of_range_mass``
+    Fraction of appended values falling outside the frozen cut range
+    (strictly below the first cut or above the last).  Equi-depth cuts
+    put roughly ``2/M`` of the snapshot there; appended mass far beyond
+    that means the data's support has shifted.
+``occupancy_shift``
+    Total-variation distance (half the L1) between the snapshot's
+    normalized bucket occupancy and the appended tail's occupancy under
+    the *same frozen cuts*.  0 means the tail fills buckets exactly like
+    the snapshot did; 1 means disjoint occupancy.
+``kl_divergence``
+    Kullback–Leibler divergence of the tail occupancy from the snapshot
+    occupancy (add-one smoothed so empty buckets stay finite), in nats.
+
+A bounded seeded :class:`~repro.bucketing.streaming.ReservoirSampler`
+additionally keeps a uniform sample of the appended values per attribute,
+so a re-freeze decision (or an operator) can inspect *where* the tail
+mass actually sits — not just that it moved.
+
+Everything here is exactly serializable: :meth:`DriftTracker.to_state`
+round-trips through JSON so the ingest daemon's crash-safe state file can
+carry the tracker across process restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.bucketing.base import Bucketing
+from repro.bucketing.streaming import ReservoirSampler
+from repro.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.pipeline.builder import PlanResults
+
+__all__ = [
+    "AttributeDriftTracker",
+    "DEFAULT_RESERVOIR_CAPACITY",
+    "DriftMetrics",
+    "DriftTracker",
+]
+
+DEFAULT_RESERVOIR_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class DriftMetrics:
+    """One attribute's drift reading; see the module docstring for units."""
+
+    attribute: str
+    appended: int
+    out_of_range_mass: float
+    occupancy_shift: float
+    kl_divergence: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the CLI's ``ingest status`` payload)."""
+        return {
+            "attribute": self.attribute,
+            "appended": int(self.appended),
+            "out_of_range_mass": float(self.out_of_range_mass),
+            "occupancy_shift": float(self.occupancy_shift),
+            "kl_divergence": float(self.kl_divergence),
+        }
+
+
+class AttributeDriftTracker:
+    """Frozen-cut histogram + reservoir over one attribute's appended tail."""
+
+    def __init__(
+        self,
+        attribute: str,
+        cuts: np.ndarray,
+        base_occupancy: np.ndarray,
+        seed: int,
+        reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+    ) -> None:
+        self.attribute = str(attribute)
+        self._bucketing = Bucketing.from_cuts(np.asarray(cuts, dtype=np.float64))
+        self._base = np.asarray(base_occupancy, dtype=np.float64).copy()
+        self._tail = np.zeros(self._bucketing.num_buckets, dtype=np.int64)
+        self._below = 0
+        self._above = 0
+        self._seed = int(seed)
+        self._capacity = int(reservoir_capacity)
+        self._reservoir = ReservoirSampler(
+            self._capacity, rng=np.random.default_rng(self._seed)
+        )
+
+    @property
+    def appended(self) -> int:
+        """Number of appended values observed since the last freeze."""
+        return int(self._tail.sum())
+
+    @property
+    def cuts(self) -> np.ndarray:
+        """The frozen interior cut points drift is measured against."""
+        return self._bucketing.cuts
+
+    def observe(self, values: np.ndarray) -> None:
+        """Fold one chunk of appended values into the tail statistics."""
+        chunk = np.asarray(values, dtype=np.float64).ravel()
+        if chunk.size == 0:
+            return
+        self._tail += self._bucketing.counts(chunk).astype(np.int64)
+        cuts = self._bucketing.cuts
+        if cuts.size:
+            self._below += int(np.count_nonzero(chunk < cuts[0]))
+            self._above += int(np.count_nonzero(chunk > cuts[-1]))
+        self._reservoir.extend(chunk)
+
+    def sample(self) -> np.ndarray:
+        """Uniform sample of the appended values (at most ``capacity``)."""
+        return self._reservoir.sample()
+
+    def metrics(self) -> DriftMetrics:
+        """The current drift reading for this attribute."""
+        appended = self.appended
+        if appended == 0:
+            return DriftMetrics(self.attribute, 0, 0.0, 0.0, 0.0)
+        out_of_range = (self._below + self._above) / appended
+        base_total = float(self._base.sum())
+        if base_total <= 0:
+            return DriftMetrics(self.attribute, appended, out_of_range, 0.0, 0.0)
+        base_p = self._base / base_total
+        tail_p = self._tail / float(appended)
+        occupancy_shift = 0.5 * float(np.abs(base_p - tail_p).sum())
+        # Add-one smoothing keeps the divergence finite when the tail lands
+        # in buckets the snapshot never filled (the interesting case).
+        buckets = self._base.shape[0]
+        smooth_base = (self._base + 1.0) / (base_total + buckets)
+        smooth_tail = (self._tail + 1.0) / (appended + buckets)
+        kl = float(np.sum(smooth_tail * np.log(smooth_tail / smooth_base)))
+        return DriftMetrics(
+            self.attribute, appended, out_of_range, occupancy_shift, max(0.0, kl)
+        )
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of the tracker."""
+        return {
+            "attribute": self.attribute,
+            "cuts": [float(cut) for cut in self._bucketing.cuts],
+            "base_occupancy": [float(size) for size in self._base],
+            "tail_counts": [int(count) for count in self._tail],
+            "below": int(self._below),
+            "above": int(self._above),
+            "seed": int(self._seed),
+            "capacity": int(self._capacity),
+            "reservoir": [float(value) for value in self._reservoir.sample()],
+            "seen": int(self._reservoir.seen),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "AttributeDriftTracker":
+        """Rebuild a tracker from :meth:`to_state` output.
+
+        The reservoir is restored from its persisted sample; continued
+        sampling draws from a generator re-seeded with the persisted
+        ``seen`` count folded in, so a restored tracker remains
+        deterministic for a given state without replaying the full stream.
+        """
+        seen = int(state.get("seen", 0))
+        tracker = cls(
+            attribute=str(state["attribute"]),
+            cuts=np.asarray(state["cuts"], dtype=np.float64),
+            base_occupancy=np.asarray(state["base_occupancy"], dtype=np.float64),
+            seed=int(state["seed"]),
+            reservoir_capacity=int(state["capacity"]),
+        )
+        tracker._tail = np.asarray(state["tail_counts"], dtype=np.int64).copy()
+        tracker._below = int(state["below"])
+        tracker._above = int(state["above"])
+        tracker._reservoir = ReservoirSampler(
+            tracker._capacity,
+            rng=np.random.default_rng((tracker._seed, seen)),
+        )
+        tracker._reservoir.extend(np.asarray(state["reservoir"], dtype=np.float64))
+        tracker._reservoir._seen = max(seen, tracker._reservoir.seen)
+        return tracker
+
+
+class DriftTracker:
+    """Drift trackers for every bucket/average attribute of a plan's results.
+
+    Frozen at a snapshot by :meth:`from_results` (one tracker per
+    bucket/average request, keyed by attribute; grid and presumptive
+    requests share the same attributes or are re-frozen wholesale, so they
+    carry no tracker of their own), fed appended chunks by
+    :meth:`observe`, and re-frozen by :meth:`reset` when the boundaries
+    rebuild.
+    """
+
+    def __init__(self, trackers: Mapping[str, AttributeDriftTracker]) -> None:
+        self._trackers = dict(trackers)
+
+    @classmethod
+    def from_results(
+        cls,
+        results: "PlanResults",
+        seed: int,
+        reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+    ) -> "DriftTracker":
+        """Freeze trackers at an executed plan's cuts and occupancies."""
+        trackers: dict[str, AttributeDriftTracker] = {}
+        for request_id, part in enumerate(results.parts):
+            request = results.request(request_id)
+            if request.kind not in ("bucket", "average"):
+                continue
+            if request.attribute in trackers:
+                continue
+            trackers[request.attribute] = AttributeDriftTracker(
+                attribute=request.attribute,
+                cuts=results.bucketing(request_id).cuts,
+                base_occupancy=np.asarray(part.sizes, dtype=np.float64),
+                seed=(int(seed) + len(trackers)) & 0x7FFFFFFF,
+                reservoir_capacity=reservoir_capacity,
+            )
+        return cls(trackers)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Tracked attribute names, in request order."""
+        return tuple(self._trackers)
+
+    def __len__(self) -> int:
+        return len(self._trackers)
+
+    @property
+    def appended(self) -> int:
+        """Appended tuples observed since the last freeze (max over attrs)."""
+        if not self._trackers:
+            return 0
+        return max(tracker.appended for tracker in self._trackers.values())
+
+    def observe(self, relation: Relation) -> None:
+        """Fold one appended chunk; attributes absent from it are skipped."""
+        names = set(relation.schema.names())
+        for attribute, tracker in self._trackers.items():
+            if attribute in names:
+                tracker.observe(relation.column(attribute))
+
+    def metrics(self) -> dict[str, DriftMetrics]:
+        """Current drift reading per tracked attribute."""
+        return {
+            attribute: tracker.metrics()
+            for attribute, tracker in self._trackers.items()
+        }
+
+    def max_metrics(self) -> DriftMetrics | None:
+        """The worst reading across attributes (``None`` when untracked)."""
+        readings = list(self.metrics().values())
+        if not readings:
+            return None
+        return max(
+            readings,
+            key=lambda m: (m.occupancy_shift, m.kl_divergence, m.out_of_range_mass),
+        )
+
+    def reset(
+        self,
+        results: "PlanResults",
+        seed: int,
+        reservoir_capacity: int | None = None,
+    ) -> None:
+        """Re-freeze at a rebuilt snapshot's cuts and occupancies."""
+        capacity = (
+            reservoir_capacity
+            if reservoir_capacity is not None
+            else next(
+                (t._capacity for t in self._trackers.values()),
+                DEFAULT_RESERVOIR_CAPACITY,
+            )
+        )
+        self._trackers = DriftTracker.from_results(
+            results, seed, reservoir_capacity=capacity
+        )._trackers
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of every tracker."""
+        return {
+            "version": 1,
+            "trackers": [
+                tracker.to_state() for tracker in self._trackers.values()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "DriftTracker":
+        """Rebuild the tracker set from :meth:`to_state` output."""
+        trackers = {}
+        for tracker_state in state.get("trackers", []):
+            tracker = AttributeDriftTracker.from_state(tracker_state)
+            trackers[tracker.attribute] = tracker
+        return cls(trackers)

@@ -1,0 +1,164 @@
+"""Pluggable re-freeze policies: when do frozen boundaries get rebuilt?
+
+The append path keeps boundaries frozen forever; the store's own rebuild
+trigger is the staleness *ratio* alone.  A :class:`RefreezePolicy` owns
+the richer decision: given the per-attribute drift reading (see
+:mod:`repro.ingest.drift`), the store's staleness, and the fold cycle
+count since the last freeze, it answers *re-freeze now?* with a reason
+string — the daemon logs the reason, runs
+:meth:`~repro.store.ProfileStore.refresh`, and resets the drift trackers.
+
+Three implementations cover the operating modes:
+
+* :class:`ThresholdRefreezePolicy` — re-freeze as soon as any metric
+  (staleness, occupancy shift, KL, out-of-range mass) crosses its knob;
+* :class:`ScheduledRefreezePolicy` — re-freeze every N fold cycles
+  regardless of drift (predictable-cost operations);
+* :class:`ManualRefreezePolicy` — never re-freeze on its own; an
+  operator (or test) arms the next cycle explicitly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from repro.ingest.drift import DriftMetrics
+
+__all__ = [
+    "ManualRefreezePolicy",
+    "RefreezePolicy",
+    "ScheduledRefreezePolicy",
+    "ThresholdRefreezePolicy",
+]
+
+
+class RefreezePolicy(ABC):
+    """Decide whether the frozen boundaries should rebuild this cycle."""
+
+    @abstractmethod
+    def decide(
+        self,
+        metrics: Mapping[str, DriftMetrics],
+        *,
+        staleness: float,
+        cycles_since_refreeze: int,
+    ) -> str | None:
+        """A human-readable reason to re-freeze now, or ``None`` to hold.
+
+        ``metrics`` maps attribute name to its current drift reading,
+        ``staleness`` is the store entry's appended-over-total ratio, and
+        ``cycles_since_refreeze`` counts daemon fold cycles since the
+        boundaries last froze (0 on the cycle right after a freeze).
+        """
+
+
+class ThresholdRefreezePolicy(RefreezePolicy):
+    """Re-freeze when any drift metric crosses its threshold.
+
+    A threshold of ``None`` disables that trigger.  ``min_appended``
+    guards against deciding off a handful of tuples: no drift trigger
+    fires until at least that many appended tuples were observed on the
+    triggering attribute (staleness fires regardless — it is the store's
+    own exactly-tracked ratio).
+    """
+
+    def __init__(
+        self,
+        max_staleness: float | None = 0.25,
+        max_occupancy_shift: float | None = 0.25,
+        max_kl: float | None = 0.5,
+        max_out_of_range: float | None = 0.25,
+        min_appended: int = 32,
+    ) -> None:
+        self.max_staleness = max_staleness
+        self.max_occupancy_shift = max_occupancy_shift
+        self.max_kl = max_kl
+        self.max_out_of_range = max_out_of_range
+        self.min_appended = int(min_appended)
+
+    def decide(
+        self,
+        metrics: Mapping[str, DriftMetrics],
+        *,
+        staleness: float,
+        cycles_since_refreeze: int,
+    ) -> str | None:
+        if self.max_staleness is not None and staleness > self.max_staleness:
+            return (
+                f"staleness {staleness:.3f} exceeds "
+                f"threshold {self.max_staleness:.3f}"
+            )
+        for attribute, reading in metrics.items():
+            if reading.appended < self.min_appended:
+                continue
+            if (
+                self.max_occupancy_shift is not None
+                and reading.occupancy_shift > self.max_occupancy_shift
+            ):
+                return (
+                    f"occupancy shift {reading.occupancy_shift:.3f} on "
+                    f"{attribute!r} exceeds threshold "
+                    f"{self.max_occupancy_shift:.3f}"
+                )
+            if self.max_kl is not None and reading.kl_divergence > self.max_kl:
+                return (
+                    f"KL divergence {reading.kl_divergence:.3f} on "
+                    f"{attribute!r} exceeds threshold {self.max_kl:.3f}"
+                )
+            if (
+                self.max_out_of_range is not None
+                and reading.out_of_range_mass > self.max_out_of_range
+            ):
+                return (
+                    f"out-of-range mass {reading.out_of_range_mass:.3f} on "
+                    f"{attribute!r} exceeds threshold "
+                    f"{self.max_out_of_range:.3f}"
+                )
+        return None
+
+
+class ScheduledRefreezePolicy(RefreezePolicy):
+    """Re-freeze every ``every_cycles`` fold cycles, drift or no drift."""
+
+    def __init__(self, every_cycles: int) -> None:
+        if every_cycles <= 0:
+            raise ValueError("every_cycles must be positive")
+        self.every_cycles = int(every_cycles)
+
+    def decide(
+        self,
+        metrics: Mapping[str, DriftMetrics],
+        *,
+        staleness: float,
+        cycles_since_refreeze: int,
+    ) -> str | None:
+        if cycles_since_refreeze >= self.every_cycles:
+            return (
+                f"scheduled re-freeze after {cycles_since_refreeze} cycles "
+                f"(every {self.every_cycles})"
+            )
+        return None
+
+
+class ManualRefreezePolicy(RefreezePolicy):
+    """Hold frozen boundaries until :meth:`request` arms the next cycle."""
+
+    def __init__(self) -> None:
+        self._requested = False
+
+    def request(self) -> None:
+        """Arm a one-shot re-freeze for the next daemon cycle."""
+        self._requested = True
+
+    def decide(
+        self,
+        metrics: Mapping[str, DriftMetrics],
+        *,
+        staleness: float,
+        cycles_since_refreeze: int,
+    ) -> str | None:
+        if self._requested:
+            self._requested = False
+            return "manual re-freeze requested"
+        return None

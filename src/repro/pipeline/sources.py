@@ -808,6 +808,14 @@ class NpyDirectorySource(DataSource):
     and :meth:`fingerprint` hashes those pinned arrays, so a directory
     rewritten behind an open source keeps serving (and fingerprinting) the
     snapshot it opened.  Open a fresh source to observe appended rows.
+    :func:`write_columnar` grows a directory by *replacing* each column
+    file (new inode), which leaves pinned mappings intact — but a column
+    file truncated or mutated **in place** (same inode) changes the bytes
+    under the live mapping, so every scan and fingerprint re-stats the
+    pinned files first and raises
+    :class:`~repro.exceptions.SourceChangedError` when a pinned inode's
+    size or mtime moved (an in-place rewrite inside one mtime tick is the
+    standard stat-cache blind spot).
 
     The fingerprint unit is **rows**, and the digest scheme is exactly that
     of :func:`fingerprint_relation` over the delivered values — so the same
@@ -826,6 +834,7 @@ class NpyDirectorySource(DataSource):
         names_kinds: list[tuple[str, AttributeKind]] = []
         arrays: list[np.ndarray] = []
         stat_keys: list[tuple[str, int, int]] = []
+        pinned: list[tuple[Path, int, int, int]] = []
         if self._path.is_dir():
             manifest_path = self._path / COLUMNAR_MANIFEST
             if not manifest_path.exists():
@@ -854,6 +863,9 @@ class NpyDirectorySource(DataSource):
                 stat = column_path.stat()
                 stat_keys.append(
                     (str(column_path.resolve()), stat.st_size, stat.st_mtime_ns)
+                )
+                pinned.append(
+                    (column_path, stat.st_ino, stat.st_size, stat.st_mtime_ns)
                 )
                 arrays.append(np.load(column_path, mmap_mode="r"))
                 names_kinds.append((name, kind))
@@ -904,6 +916,7 @@ class NpyDirectorySource(DataSource):
         )
         self._arrays = dict(zip((name for name, _ in names_kinds), arrays))
         self._stat_key = tuple(stat_keys)
+        self._pinned = tuple(pinned)
         # Columns whose stored dtype already is the canonical relation dtype
         # are served as raw slice views; anything else is cast per chunk.
         self._conforming = {
@@ -929,6 +942,31 @@ class NpyDirectorySource(DataSource):
     def num_rows(self) -> int:
         """Total rows pinned at open time."""
         return self._num_rows
+
+    def _check_pinned(self) -> None:
+        """Refuse to serve a mapping whose backing file changed in place.
+
+        A column file *replaced* wholesale (``write_columnar`` append, or
+        an unlink) leaves the pinned mapping reading the intact old inode —
+        the documented grow-behind-a-reader workflow, still legal.  A file
+        truncated or rewritten **in place** keeps its inode, so the mapped
+        pages themselves changed (or vanished: touching truncated pages is
+        a bus error): that is drift, surfaced as the same typed error the
+        CSV scanner raises when its file shrinks mid-scan.
+        """
+        for path, inode, size, mtime_ns in self._pinned:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # unlinked/replaced: the mapping holds the snapshot
+            if stat.st_ino != inode:
+                continue  # replaced wholesale: the mapping holds the snapshot
+            if stat.st_size != size or stat.st_mtime_ns != mtime_ns:
+                raise SourceChangedError(
+                    f"column file {path} was modified in place since this "
+                    f"source pinned it (size {size} -> {stat.st_size}); the "
+                    "mapped snapshot no longer exists"
+                )
 
     def _column(self, name: str, start: int = 0, stop: int | None = None) -> np.ndarray:
         """A canonical-dtype view (or cast) of one column's row span."""
@@ -970,9 +1008,11 @@ class NpyDirectorySource(DataSource):
         return projected()
 
     def chunks(self) -> Iterator[Relation]:
+        self._check_pinned()
         return self._window(0, self._num_rows)
 
     def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        self._check_pinned()
         return self._projected_window(0, self._num_rows, columns)
 
     def scan_tail(
@@ -981,6 +1021,7 @@ class NpyDirectorySource(DataSource):
         """Slice the tail directly — head pages are never faulted in."""
         if start < 0:
             raise RelationError("scan_tail start must be non-negative")
+        self._check_pinned()
         start = min(int(start), self._num_rows)
         return self._projected_window(start, self._num_rows, columns)
 
@@ -992,6 +1033,7 @@ class NpyDirectorySource(DataSource):
             raise RelationError("scan_span start must be non-negative")
         if stop < start:
             raise RelationError("scan_span stop must be at least start")
+        self._check_pinned()
         start = min(int(start), self._num_rows)
         stop = min(int(stop), self._num_rows)
         return self._projected_window(start, stop, columns)
@@ -1006,6 +1048,7 @@ class NpyDirectorySource(DataSource):
         ``.npy`` changes its header, but never the leading values.  Digests
         are memoized process-wide keyed by the pinned file identities.
         """
+        self._check_pinned()
         span = (
             self._num_rows
             if prefix is None
@@ -1053,6 +1096,17 @@ class ParquetSource(DataSource):
     drop-the-head implementation: Parquet's row groups make an exact
     row-offset seek reader-dependent, and the append workflow for columnar
     data is the ``.npy`` directory layout.
+
+    Unlike the ``.npy`` directory source, a Parquet file is re-read from
+    disk on every scan — there is no pinned memory mapping to keep serving
+    the open-time snapshot.  The source therefore pins the file's identity
+    (size and mtime) at construction and every scan or fingerprint
+    re-checks it: *any* change to the file — growth included, since a
+    Parquet rewrite re-encodes row groups wholesale — raises
+    :class:`~repro.exceptions.SourceChangedError`.  Appending to Parquet
+    data is legal, but requires opening a fresh instance over the rewritten
+    file; the value-digest fingerprint scheme keeps prefix tokens stable
+    across such rewrites, so store append detection still works.
     """
 
     def __init__(
@@ -1120,10 +1174,35 @@ class ParquetSource(DataSource):
         """Total rows per the Parquet footer metadata."""
         return self._num_rows
 
+    def _check_pinned(self) -> None:
+        """Raise unless the file still matches its construction-time pin.
+
+        Every scan re-reads the file from disk, so a changed file would
+        silently serve different tuples than the pinned fingerprint
+        promises.  Re-stat eagerly: a missing file or any size/mtime
+        difference means the snapshot this instance was opened against is
+        gone — the caller must open a fresh :class:`ParquetSource`.
+        """
+        try:
+            stat = self._path.stat()
+        except OSError as error:
+            raise SourceChangedError(
+                f"Parquet file {self._path} disappeared after this source "
+                "was opened; open a fresh ParquetSource over the new data"
+            ) from error
+        key = (str(self._path.resolve()), stat.st_size, stat.st_mtime_ns)
+        if key != self._stat_key:
+            raise SourceChangedError(
+                f"Parquet file {self._path} changed after this source was "
+                "opened (size or mtime differs from the pinned snapshot); "
+                "open a fresh ParquetSource over the rewritten file"
+            )
+
     def chunks(self) -> Iterator[Relation]:
         return self.scan()
 
     def scan(self, columns: Sequence[str] | None = None) -> Iterator[Relation]:
+        self._check_pinned()
         if columns is None:
             names = self._schema.names()
             schema = self._schema
@@ -1158,6 +1237,7 @@ class ParquetSource(DataSource):
 
     def fingerprint(self, prefix: int | None = None) -> SourceFingerprint:
         """Row-prefix digest of the delivered column values (cached)."""
+        self._check_pinned()
         span = (
             self._num_rows
             if prefix is None

@@ -30,6 +30,7 @@ from repro.shard.coordinator import (
     ShardRun,
     checkpoint_status,
     count_shard,
+    gc_checkpoints,
 )
 from repro.shard.descriptors import (
     ShardDescriptor,
@@ -37,15 +38,26 @@ from repro.shard.descriptors import (
     partition_source,
     run_key,
 )
-from repro.shard.faults import FaultSchedule, FaultySource, FaultyWorker
+from repro.shard.faults import (
+    CRASH_POINT_ENV,
+    CrashSchedule,
+    FaultSchedule,
+    FaultySource,
+    FaultyWorker,
+    STORE_CRASH_POINTS,
+    crash_point,
+)
 from repro.shard.retry import RetryPolicy
 from repro.store.profile_store import ShardCheckpointStore
 
 __all__ = [
+    "CRASH_POINT_ENV",
+    "CrashSchedule",
     "FaultSchedule",
     "FaultySource",
     "FaultyWorker",
     "RetryPolicy",
+    "STORE_CRASH_POINTS",
     "ShardCheckpointStore",
     "ShardCoordinator",
     "ShardDescriptor",
@@ -53,7 +65,9 @@ __all__ = [
     "ShardRun",
     "checkpoint_status",
     "count_shard",
+    "crash_point",
     "csv_byte_spans",
+    "gc_checkpoints",
     "partition_source",
     "run_key",
 ]

@@ -191,6 +191,37 @@ def checkpoint_status(
     }
 
 
+def gc_checkpoints(
+    root: ProfileStore | str | Path,
+    active_run_keys: Sequence[str] = (),
+) -> list[str]:
+    """Delete orphan run namespaces under a checkpoint root.
+
+    Completed folds clear their own namespace, but a run that was abandoned
+    — or whose run key changed because the source grew or the plan moved —
+    leaves its directory behind forever.  This removes every run directory
+    except the ones named in ``active_run_keys`` (the run an operator is
+    still resuming must survive; ``repro shard status --gc`` passes the
+    current run key).  Returns the removed run keys, sorted.
+    """
+    directory = (
+        root.directory / "checkpoints"
+        if isinstance(root, ProfileStore)
+        else Path(root)
+    )
+    removed: list[str] = []
+    if not directory.is_dir():
+        return removed
+    keep = {str(key) for key in active_run_keys}
+    for child in sorted(directory.iterdir()):
+        if not child.is_dir() or child.name in keep:
+            continue
+        ShardCheckpointStore(child).clear()
+        if not child.exists():
+            removed.append(child.name)
+    return removed
+
+
 def _open_checkpoints(
     checkpoints: ProfileStore | ShardCheckpointStore | str | Path | None,
     run_key: str | None,

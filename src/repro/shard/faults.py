@@ -22,6 +22,12 @@ Fault kinds
     The partial was computed against *different data* (stale worker cache).
 ``"die"``
     The worker host is gone for good — every attempt fails.
+
+Beyond the scheduled in-process faults, :class:`CrashSchedule` arms the
+store's write-sequence crash points (see :mod:`repro.store.wal`) through
+the environment, so a drill can launch a *real* subprocess daemon and
+``SIGKILL`` it at any journal boundary — the chaos harness in
+``tests/ingest`` drives the full kill matrix this way.
 """
 
 from __future__ import annotations
@@ -36,8 +42,50 @@ import numpy as np
 
 from repro.pipeline.sources import DataSource
 from repro.relation import Relation, Schema
+from repro.store.wal import CRASH_POINT_ENV, STORE_CRASH_POINTS, crash_point
 
-__all__ = ["FAULT_KINDS", "FaultSchedule", "FaultyWorker", "FaultySource"]
+__all__ = [
+    "CRASH_POINT_ENV",
+    "CrashSchedule",
+    "FAULT_KINDS",
+    "FaultSchedule",
+    "FaultySource",
+    "FaultyWorker",
+    "STORE_CRASH_POINTS",
+    "crash_point",
+]
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """Armed crash points for a subprocess drill, carried via environment.
+
+    The store's write path calls :func:`repro.store.wal.crash_point` at
+    each stage of its journaled sequence; a schedule names the stages that
+    must die.  ``environment()`` produces the variables to merge into a
+    subprocess's ``env`` — the child ``SIGKILL``\\ s itself the instant it
+    reaches an armed point, no cleanup, no ``atexit``.  ``matrix()`` is
+    the full kill matrix over every journal boundary, one schedule per
+    stage, which is exactly the chaos drill's parameter list.
+    """
+
+    points: tuple[str, ...] = ()
+
+    @classmethod
+    def at(cls, *points: str) -> "CrashSchedule":
+        """A schedule arming exactly the named points."""
+        return cls(tuple(points))
+
+    @classmethod
+    def matrix(cls) -> list["CrashSchedule"]:
+        """One single-point schedule per store write-sequence stage."""
+        return [cls((point,)) for point in STORE_CRASH_POINTS]
+
+    def environment(self) -> dict[str, str]:
+        """Environment variables arming this schedule in a subprocess."""
+        if not self.points:
+            return {}
+        return {CRASH_POINT_ENV: ",".join(self.points)}
 
 FAULT_KINDS = ("crash", "hang", "truncate", "bitflip", "wrong_token", "die")
 

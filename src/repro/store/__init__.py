@@ -22,6 +22,14 @@ boundaries — to disk as an ``.npz`` payload under a JSON manifest keyed by
   :class:`~repro.exceptions.StoreError` instead of ever serving wrong
   counts.
 
+Every mutation is transactional through the write-ahead intent journal in
+:mod:`repro.store.wal` (journal record → payload tmp-write → atomic
+manifest swap → journal commit): a process killed at any byte reopens to
+either the old snapshot or the new one in full, with the journal replayed
+or rolled back on the next open.  ``ProfileStore.verify()`` audits every
+snapshot read-only, and ``ProfileStore.refresh()`` forces the full
+boundary re-freeze the ingest daemon's drift policies trigger.
+
 The differential harness in ``tests/store/`` locks the contract down:
 store-hit profiles are bit-identical to fresh scans across the full
 source × executor matrix, and append-then-serve is bit-identical to
@@ -33,5 +41,19 @@ from repro.store.profile_store import (
     ShardCheckpointStore,
     plan_signature,
 )
+from repro.store.wal import (
+    CRASH_POINT_ENV,
+    IntentJournal,
+    STORE_CRASH_POINTS,
+    crash_point,
+)
 
-__all__ = ["ProfileStore", "ShardCheckpointStore", "plan_signature"]
+__all__ = [
+    "CRASH_POINT_ENV",
+    "IntentJournal",
+    "ProfileStore",
+    "STORE_CRASH_POINTS",
+    "ShardCheckpointStore",
+    "crash_point",
+    "plan_signature",
+]

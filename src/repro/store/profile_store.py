@@ -49,6 +49,7 @@ from repro.exceptions import (
 from repro.pipeline.builder import PlanResults, ProfileBuilder, ScanPlan
 from repro.pipeline.sources import DataSource, SourceFingerprint
 from repro.relation.schema import Schema
+from repro.store.wal import IntentJournal, crash_point
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pipeline.builder import ProfileRequest
@@ -158,6 +159,7 @@ class ProfileStore:
         self._directory = Path(directory)
         self._rebuild_threshold = float(rebuild_threshold)
         self._last_status: str | None = None
+        self._journal = IntentJournal(self._directory)
 
     # -- plumbing --------------------------------------------------------------
 
@@ -186,6 +188,10 @@ class ProfileStore:
         return self._directory / _MANIFEST
 
     def _read_manifest(self) -> dict:
+        # A crashed write leaves its intent in the journal; resolving it
+        # here means merely *opening* the store heals it — every public
+        # operation starts with a manifest read.
+        self._journal.recover()
         path = self._manifest_path()
         if not path.exists():
             return {"version": _MANIFEST_VERSION, "entries": []}
@@ -422,9 +428,30 @@ class ProfileStore:
             "created_unix": time.time(),
         }
         self._directory.mkdir(parents=True, exist_ok=True)
+        # Serialize in memory before any byte lands: a failure here (or a
+        # kill at the pre-journal crash point) leaves the directory
+        # byte-identical to its pre-write state.
         state = self._payload_state(
             results, plan, signature, seed, fingerprint.token
         )
+        # The write-ahead intent: journal record -> payload tmp+replace ->
+        # manifest tmp+replace -> journal commit.  Each step is atomic, and
+        # the journal names the in-flight payload, so recovery on the next
+        # open rolls the write forward (manifest already swapped) or back
+        # (orphan payload unlinked) — never a mixed state.  The crash points
+        # are the chaos-drill hooks (see repro.store.wal).
+        crash_point("store.pre_journal")
+        self._journal.begin(
+            {
+                "op": "store-entry",
+                "payload": entry["payload"],
+                "plan_signature": signature,
+                "seed": int(seed),
+                "token": fingerprint.token,
+                "replaced": None if replaced is None else replaced["payload"],
+            }
+        )
+        crash_point("store.post_journal")
         # Atomic payload write: the append/rebuild path overwrites the only
         # good copy of a snapshot, so a crash mid-write must never leave a
         # truncated archive behind (same discipline as the manifest).
@@ -433,11 +460,14 @@ class ProfileStore:
         with temporary.open("wb") as handle:
             np.savez(handle, **state)
         temporary.replace(target)
+        crash_point("store.post_payload")
         if replaced is not None:
             entries[entries.index(replaced)] = entry
         else:
             entries.append(entry)
         self._write_manifest(manifest)
+        crash_point("store.pre_commit")
+        self._journal.commit()
         # When the snapshot advanced to a new token, the payload went to a
         # *new* file: at every crash point above, the manifest still named a
         # payload that fully existed (old entry + old file before the
@@ -677,6 +707,135 @@ class ProfileStore:
             "(the data is not an append-only continuation); refusing to "
             "merge — rebuild the store instead"
         )
+
+    def refresh(
+        self, builder: ProfileBuilder, source: DataSource, plan: ScanPlan
+    ) -> PlanResults:
+        """Force the full two-pass rebuild and persist it as the new snapshot.
+
+        The explicit re-freeze entry point: boundaries are re-sampled from
+        the *entire* current source (fresh reservoir pass), the plan is
+        re-counted under them, and the result replaces any stored snapshot
+        of the same plan and seed — exactly the refresh :meth:`serve` runs
+        when staleness crosses the threshold, but on the caller's say-so
+        (the ingest daemon's drift policies trigger it when frozen cuts have
+        drifted even though staleness has not).
+        """
+        fingerprint = source.fingerprint()
+        if fingerprint is None:
+            raise StoreError(
+                "the source has no fingerprint; nothing to refresh"
+            )
+        signature = plan_signature(builder, plan)
+        seed = builder.seed
+        manifest = self._read_manifest()
+        candidates = self._find_candidates(manifest, signature, seed)
+        previous = candidates[0] if candidates else None
+        results = builder.execute_plan(source, plan)
+        self._store_entry(
+            manifest, plan, results, signature, seed, fingerprint,
+            base_tuples=int(results.parts[0].num_tuples) if results.parts else 0,
+            schema=_schema_pairs(source),
+            previous=previous,
+        )
+        self._last_status = "rebuild"
+        return results
+
+    def verify(self) -> list[dict]:
+        """Read-only audit of every snapshot: payload presence, embedded
+        meta, and npz integrity — without serving anything.
+
+        Walks the manifest and re-runs the checks :meth:`serve` would apply
+        (readable archive, meta header matching the manifest's
+        signature/seed/token, parseable counting state, the bucketing of
+        every request) against each entry's payload.  Returns one finding
+        per problem as ``{"payload": name, "problem": description}`` — an
+        empty list means the store is sound.  Never scans a source and
+        never writes (beyond resolving a crashed write's journal, which any
+        open does).
+        """
+        try:
+            manifest = self._read_manifest()
+        except StoreError as exc:
+            return [{"payload": None, "problem": str(exc)}]
+        findings: list[dict] = []
+
+        def flag(entry: dict, problem: str) -> None:
+            findings.append(
+                {"payload": entry.get("payload"), "problem": problem}
+            )
+
+        for entry in manifest["entries"]:
+            name = entry.get("payload")
+            if not isinstance(name, str) or not name:
+                flag(entry, "manifest entry has no payload file name")
+                continue
+            path = self._directory / name
+            if not path.exists():
+                flag(entry, "payload file is missing")
+                continue
+            try:
+                with np.load(path, allow_pickle=False) as archive:
+                    arrays = {
+                        key: np.array(archive[key]) for key in archive.files
+                    }
+            except (
+                OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError
+            ) as exc:
+                flag(entry, f"payload is unreadable or truncated: {exc}")
+                continue
+            try:
+                meta_signature = str(arrays["meta.signature"].item())
+                meta_seed = int(arrays["meta.seed"])
+                meta_token = str(arrays["meta.token"].item())
+            except KeyError:
+                flag(entry, "payload is missing its meta header")
+                continue
+            if meta_signature != entry.get("plan_signature"):
+                flag(entry, "payload plan signature disagrees with manifest")
+            if meta_seed != entry.get("seed"):
+                flag(entry, "payload seed disagrees with manifest")
+            if meta_token != entry.get("token"):
+                flag(entry, "payload fingerprint disagrees with manifest")
+            try:
+                totals = PlanChunkCounts.from_state(arrays)
+            except BucketingError as exc:
+                flag(entry, f"payload counting state is corrupt: {exc}")
+                continue
+            requests = list(entry.get("requests", []))
+            if len(totals.parts) != len(requests):
+                flag(
+                    entry,
+                    f"payload holds {len(totals.parts)} parts for "
+                    f"{len(requests)} requests",
+                )
+            for request_id, kind in enumerate(requests):
+                for axis in range(2 if kind == "grid" else 1):
+                    key = f"bucketing{request_id}.{axis}"
+                    if key not in arrays:
+                        flag(
+                            entry,
+                            f"payload is missing the bucketing of request "
+                            f"{request_id}",
+                        )
+                        continue
+                    try:
+                        Bucketing(arrays[key])
+                    except BucketingError as exc:
+                        flag(
+                            entry,
+                            f"request {request_id} holds invalid bucket "
+                            f"cuts: {exc}",
+                        )
+            if totals.parts:
+                num_tuples = int(totals.parts[0].num_tuples)
+                if num_tuples != int(entry.get("num_tuples", -1)):
+                    flag(
+                        entry,
+                        f"payload counts {num_tuples} tuples but the "
+                        f"manifest claims {entry.get('num_tuples')}",
+                    )
+        return findings
 
     def cached_schema(self, source: DataSource) -> Schema | None:
         """The schema stored with any snapshot this source extends, else ``None``.

@@ -1,0 +1,212 @@
+"""Write-ahead intent journal for :class:`~repro.store.ProfileStore`.
+
+Every store mutation follows one fixed write sequence::
+
+    journal record          (tmp + atomic replace of journal.json)
+    payload write           (tmp + atomic replace of <entry>.npz)
+    manifest swap           (tmp + atomic replace of manifest.json)
+    journal commit          (unlink journal.json)
+
+Each step is individually atomic, so a process killed at *any* byte leaves
+exactly one of five on-disk states — and the journal names which one.  On
+the next open, :meth:`IntentJournal.recover` inspects the manifest:
+
+* the manifest already names the journaled payload → the swap landed; the
+  write **rolls forward** (the replaced payload file is garbage, unlink it);
+* the manifest does not name it → the swap never landed; the write **rolls
+  back** (the new payload file, if any, is an orphan, unlink it).
+
+Either way the store reopens to exactly the old snapshot or exactly the new
+one, never a mix.  A journal that is itself torn (the process died inside
+the journal's own tmp write) reads as *no intent* — nothing else was
+written yet, so there is nothing to undo beyond sweeping the tmp file.
+
+The module also hosts the crash-point hooks the chaos drills arm: naming a
+stage in the ``REPRO_CRASH_POINTS`` environment variable makes the process
+``SIGKILL`` itself the instant the write sequence reaches that stage — a
+real ``kill -9``, no cleanup, no ``atexit`` — which is how the test
+harness drives a subprocess daemon into every journal boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from pathlib import Path
+
+from repro.exceptions import StoreError
+
+__all__ = [
+    "CRASH_POINT_ENV",
+    "IntentJournal",
+    "STORE_CRASH_POINTS",
+    "crash_point",
+]
+
+_JOURNAL = "journal.json"
+_JOURNAL_VERSION = 1
+
+#: Environment variable holding a comma-separated list of armed crash points.
+CRASH_POINT_ENV = "REPRO_CRASH_POINTS"
+
+#: The four stages of the store's write sequence, in write order — the kill
+#: matrix the chaos drills iterate.
+STORE_CRASH_POINTS = (
+    "store.pre_journal",
+    "store.post_journal",
+    "store.post_payload",
+    "store.pre_commit",
+)
+
+
+def crash_point(name: str) -> None:
+    """Die by ``SIGKILL`` when ``name`` is armed via ``REPRO_CRASH_POINTS``.
+
+    A no-op unless the environment variable names this exact point, so the
+    hooks cost one ``os.environ`` lookup in production.  The kill is the
+    real signal, not an exception: no ``finally`` blocks run, no buffers
+    flush — the closest a test can get to yanking the power cord.
+    """
+    armed = os.environ.get(CRASH_POINT_ENV)
+    if not armed:
+        return
+    if name in {point.strip() for point in armed.split(",") if point.strip()}:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+class IntentJournal:
+    """The store's single-slot write-ahead intent log.
+
+    One mutation is in flight at a time (the store is a single-writer
+    design), so the journal is one JSON file holding one intent record:
+    the payload file the write will land, the identity it lands under
+    (plan signature, seed, fingerprint token), and the payload file it
+    replaces.  :meth:`begin` writes it atomically, :meth:`commit` removes
+    it; :meth:`recover` resolves a record left behind by a crash.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+
+    @property
+    def path(self) -> Path:
+        """The journal file location."""
+        return self._directory / _JOURNAL
+
+    def begin(self, record: dict) -> None:
+        """Durably record the intent before any other byte is written."""
+        self._directory.mkdir(parents=True, exist_ok=True)
+        payload = dict(record)
+        payload["version"] = _JOURNAL_VERSION
+        temporary = self.path.with_name(self.path.name + ".tmp")
+        temporary.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        temporary.replace(self.path)
+
+    def commit(self) -> None:
+        """The manifest durably names the new payload: retire the intent."""
+        try:
+            self.path.unlink()
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            pass
+
+    def pending(self) -> dict | None:
+        """The in-flight intent record, or ``None`` when no write crashed.
+
+        A torn or malformed journal file reads as ``None`` too: the journal
+        write is the *first* step of the sequence, so a journal that never
+        became durable proves nothing else was written.
+        """
+        try:
+            record = json.loads(self.path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("version") != _JOURNAL_VERSION
+            or not isinstance(record.get("payload"), str)
+        ):
+            return None
+        return record
+
+    def recover(self) -> str | None:
+        """Resolve a crashed write; returns ``"forward"``, ``"rollback"``,
+        or ``None`` when the store is clean.
+
+        Must run before the manifest is trusted — the store calls it at the
+        top of every manifest read, so merely opening the store heals it.
+        """
+        record = self.pending()
+        had_journal_tmp = (
+            self._directory / (_JOURNAL + ".tmp")
+        ).exists()
+        if record is None:
+            if had_journal_tmp or self.path.exists():
+                # A torn journal (or an unreadable one): the intent never
+                # became durable, so only the journal debris needs sweeping.
+                self.commit()
+                self._sweep()
+                return "rollback"
+            return None
+        manifest_path = self._directory / "manifest.json"
+        entries: list[dict] = []
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+                entries = list(manifest.get("entries") or [])
+            except (OSError, ValueError) as exc:
+                raise StoreError(
+                    f"store manifest {manifest_path} is unreadable during "
+                    f"journal recovery: {exc}"
+                ) from exc
+
+        def referenced(name: str) -> bool:
+            return any(entry.get("payload") == name for entry in entries)
+
+        committed = any(
+            entry.get("payload") == record["payload"]
+            and entry.get("token") == record.get("token")
+            and entry.get("plan_signature") == record.get("plan_signature")
+            and entry.get("seed") == record.get("seed")
+            for entry in entries
+        )
+        if committed:
+            # Roll forward: the swap landed, so the replaced payload file is
+            # the garbage the crashed process never got to unlink.
+            replaced = record.get("replaced")
+            if (
+                isinstance(replaced, str)
+                and replaced != record["payload"]
+                and not referenced(replaced)
+            ):
+                self._unlink(replaced)
+            action = "forward"
+        else:
+            # Roll back: the swap never landed, so the new payload file (if
+            # the crash came after its write) is an orphan no entry names.
+            if not referenced(record["payload"]):
+                self._unlink(record["payload"])
+            action = "rollback"
+        self.commit()
+        self._sweep()
+        return action
+
+    def _unlink(self, name: str) -> None:
+        try:
+            (self._directory / name).unlink()
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            pass
+
+    def _sweep(self) -> None:
+        """Drop tmp files a crash left mid-replace (top level only)."""
+        if not self._directory.is_dir():
+            return
+        for path in self._directory.glob("*.tmp"):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - cleanup is best-effort
+                pass

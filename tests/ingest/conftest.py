@@ -1,0 +1,28 @@
+"""Fixtures of the continuous-ingestion suite (helpers in ``ingest_support``)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from ingest_support import (
+    head_relation as _head,
+    tail_relation as _tail,
+    write_relation_csv,
+)
+
+
+@pytest.fixture(scope="session")
+def head_relation():
+    return _head()
+
+
+@pytest.fixture(scope="session")
+def tail_relation():
+    return _tail()
+
+
+@pytest.fixture()
+def head_csv(tmp_path: Path, head_relation) -> Path:
+    return write_relation_csv(tmp_path / "feed.csv", head_relation)

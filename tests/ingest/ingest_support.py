@@ -1,0 +1,105 @@
+"""Shared helpers of the continuous-ingestion suite.
+
+The chaos drill and the drift gate both compare *served catalogs* bit for
+bit, so the central helper is :func:`assert_results_equal` — exact array
+equality over every bucket request of a plan's results.  Everything is
+keyed the way the CLI keys it (``--buckets``/``--seed`` with the miner's
+derived boundary seed), so in-process daemons, subprocess daemons, and
+``repro ingest`` invocations all fold into the same store entry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.cli import _catalog_scan_plan
+from repro.datasets import bank_customers
+from repro.pipeline import CSVSource, PlanResults, ScanPlan
+from repro.pipeline.builder import ProfileBuilder
+from repro.relation import Relation, write_csv
+
+BUCKETS = 24
+SEED = 13
+CHUNK = 500
+HEAD_TUPLES = 1_500  # three whole chunks
+TAIL_TUPLES = 500  # exactly one appended chunk
+
+#: The boundary-sampling seed the miner derives from ``--seed`` — using it
+#: directly makes ProfileBuilder-based tests key the same store entries the
+#: CLI creates.
+BUILDER_SEED = int(np.random.default_rng(SEED).integers(0, 2**32))
+
+
+def make_builder(**overrides) -> ProfileBuilder:
+    """A builder keyed exactly as ``repro ingest --buckets/--seed`` is."""
+    options = {"num_buckets": BUCKETS, "seed": BUILDER_SEED}
+    options.update(overrides)
+    return ProfileBuilder(**options)
+
+
+def catalog_plan(schema) -> ScanPlan:
+    """The CLI's catalog plan for a schema (signature-compatible)."""
+    return _catalog_scan_plan(schema, BUCKETS)
+
+
+def head_relation() -> Relation:
+    relation, _ = bank_customers(HEAD_TUPLES, seed=41)
+    return relation
+
+
+def tail_relation(seed: int = 97) -> Relation:
+    relation, _ = bank_customers(TAIL_TUPLES, seed=seed)
+    return relation
+
+
+def shifted_tail_relation(seed: int = 97, shift: float = 6.0) -> Relation:
+    """A tail whose numeric distributions moved far from the head's."""
+    relation, _ = bank_customers(TAIL_TUPLES, seed=seed)
+    columns = {}
+    for attribute in relation.schema:
+        values = relation.column(attribute.name)
+        if attribute.kind.value == "numeric":
+            spread = float(np.std(values)) or 1.0
+            values = values + shift * spread
+        columns[attribute.name] = values
+    return Relation.from_columns(relation.schema, columns)
+
+
+def write_relation_csv(path: Path, relation: Relation) -> Path:
+    write_csv(relation, path)
+    return path
+
+
+def append_csv_rows(path: Path, relation: Relation, tmp_path: Path) -> None:
+    """Grow a CSV at the tail, exactly as a live append-only feed would."""
+    scratch = tmp_path / "_append_scratch.csv"
+    write_csv(relation, scratch)
+    lines = scratch.read_text(encoding="utf-8").splitlines(keepends=True)[1:]
+    with path.open("a", encoding="utf-8") as handle:
+        handle.writelines(lines)
+
+
+def csv_source(path: Path) -> CSVSource:
+    return CSVSource(path, chunk_size=CHUNK)
+
+
+def assert_results_equal(left: PlanResults, right: PlanResults) -> None:
+    """Bit-exact equality of every bucket request of two plan results."""
+    assert len(left.parts) == len(right.parts)
+    for request_id in range(len(left.parts)):
+        request = left.request(request_id)
+        assert request.kind == right.request(request_id).kind
+        assert request.attribute == right.request(request_id).attribute
+        left_part, right_part = left.parts[request_id], right.parts[request_id]
+        assert left_part.num_tuples == right_part.num_tuples
+        assert np.array_equal(left_part.sizes, right_part.sizes)
+        assert np.array_equal(left_part.conditional, right_part.conditional)
+        assert np.array_equal(left_part.lows, right_part.lows)
+        assert np.array_equal(left_part.highs, right_part.highs)
+        for left_bucketing, right_bucketing in zip(
+            left.request_bucketings(request_id),
+            right.request_bucketings(request_id),
+        ):
+            assert np.array_equal(left_bucketing.cuts, right_bucketing.cuts)

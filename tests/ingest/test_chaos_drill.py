@@ -1,0 +1,181 @@
+"""Chaos drill: SIGKILL a live ingest at every journal boundary.
+
+This is the PR's crash-consistency gate, run against the *real* binary:
+a subprocess ``repro ingest once`` folds an appended tail into a warm
+store and kills itself (``SIGKILL`` — no cleanup, no ``atexit``) at one
+armed stage of the store's journaled write sequence.  For every stage
+the reopened store must
+
+* pass a full :meth:`ProfileStore.verify` audit, and
+* serve a catalog **bit-identical** to exactly one oracle — the
+  pre-append snapshot (crash before the manifest swap) or the fully
+  appended snapshot (crash after it) — never a mix of the two.
+
+A follow-up in-process ``repro ingest once`` must then converge every
+survivor to the appended oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from ingest_support import (
+    BUCKETS,
+    CHUNK,
+    SEED,
+    append_csv_rows,
+    assert_results_equal,
+    catalog_plan,
+    csv_source,
+    make_builder,
+    write_relation_csv,
+)
+
+from repro.cli import main
+from repro.shard import CrashSchedule
+from repro.store import ProfileStore
+from repro.store.wal import STORE_CRASH_POINTS
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Stages whose crash must leave the store at the *old* snapshot; only a
+#: kill after the manifest swap may surface the appended one.
+PRE_COMMIT_POINTS = (
+    "store.pre_journal",
+    "store.post_journal",
+    "store.post_payload",
+)
+
+
+def _ingest_once(csv_path: Path, store_dir: Path, extra_env: dict | None = None):
+    """Run ``repro ingest once`` in a real subprocess."""
+    command = [
+        sys.executable, "-m", "repro", "ingest", "once", str(csv_path),
+        "--store", str(store_dir),
+        "--buckets", str(BUCKETS), "--seed", str(SEED),
+        "--chunk-size", str(CHUNK),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    env.update(extra_env or {})
+    return subprocess.run(command, env=env, capture_output=True, text=True)
+
+
+@pytest.fixture(scope="module")
+def drill(tmp_path_factory, request):
+    """Warm store + oracles, built once; each drill copies the store."""
+    root = tmp_path_factory.mktemp("chaos")
+    head = request.getfixturevalue("head_relation")
+    tail = request.getfixturevalue("tail_relation")
+
+    head_csv = write_relation_csv(root / "head.csv", head)
+    full_csv = write_relation_csv(root / "full.csv", head)
+    append_csv_rows(full_csv, tail, root)
+
+    warm = root / "warm-store"
+    completed = _ingest_once(head_csv, warm)
+    assert completed.returncode == 0, completed.stderr
+
+    plan = catalog_plan(csv_source(head_csv).schema)
+    head_oracle = make_builder().execute_plan(csv_source(head_csv), plan)
+    # The appended oracle is what an *uninterrupted* fold produces: serve
+    # through a pristine copy of the warm store, not a cold rebuild.
+    oracle_store_dir = root / "oracle-store"
+    shutil.copytree(warm, oracle_store_dir)
+    oracle_store = ProfileStore(oracle_store_dir)
+    tail_oracle = oracle_store.append(
+        make_builder(), csv_source(full_csv), plan
+    )
+    return {
+        "root": root,
+        "warm": warm,
+        "head_csv": head_csv,
+        "full_csv": full_csv,
+        "plan": plan,
+        "head_oracle": head_oracle,
+        "tail_oracle": tail_oracle,
+    }
+
+
+def _served(store_dir: Path, csv_path: Path, plan):
+    """What a reopened store serves for ``csv_path`` — None if no snapshot."""
+    return ProfileStore(store_dir).get(make_builder(), csv_source(csv_path), plan)
+
+
+class TestKillMatrix:
+    @pytest.mark.parametrize(
+        "schedule", CrashSchedule.matrix(), ids=lambda s: s.points[0]
+    )
+    def test_kill_at_every_journal_boundary_is_atomic(self, schedule, drill):
+        point = schedule.points[0]
+        victim = drill["root"] / f"victim-{point.replace('.', '-')}"
+        shutil.copytree(drill["warm"], victim)
+
+        crashed = _ingest_once(
+            drill["full_csv"], victim, extra_env=schedule.environment()
+        )
+        assert crashed.returncode == -9, (
+            f"{point}: expected a SIGKILL death, got rc={crashed.returncode}\n"
+            f"{crashed.stderr}"
+        )
+
+        # The reopened store must audit clean...
+        reopened = ProfileStore(victim)
+        assert reopened.verify() == [], f"{point}: corrupt store after kill"
+
+        # ...and serve exactly one world, bit for bit.
+        plan = drill["plan"]
+        old = _served(victim, drill["head_csv"], plan)
+        new = _served(victim, drill["full_csv"], plan)
+        if point in PRE_COMMIT_POINTS:
+            assert new is None, f"{point}: appended snapshot leaked pre-commit"
+            assert old is not None, f"{point}: pre-append snapshot lost"
+            assert_results_equal(old, drill["head_oracle"])
+        else:  # store.pre_commit: manifest already swapped — fully appended
+            assert new is not None, f"{point}: committed snapshot lost"
+            assert_results_equal(new, drill["tail_oracle"])
+
+        # A plain retry converges every survivor to the appended oracle.
+        retried = _ingest_once(drill["full_csv"], victim)
+        assert retried.returncode == 0, retried.stderr
+        converged = _served(victim, drill["full_csv"], plan)
+        assert converged is not None
+        assert_results_equal(converged, drill["tail_oracle"])
+
+
+class TestDrillHarness:
+    def test_matrix_covers_every_store_stage(self):
+        points = tuple(s.points[0] for s in CrashSchedule.matrix())
+        assert points == STORE_CRASH_POINTS
+
+    def test_unarmed_subprocess_completes_normally(self, drill):
+        victim = drill["root"] / "victim-unarmed"
+        shutil.copytree(drill["warm"], victim)
+        completed = _ingest_once(drill["full_csv"], victim)
+        assert completed.returncode == 0, completed.stderr
+        served = _served(victim, drill["full_csv"], drill["plan"])
+        assert served is not None
+        assert_results_equal(served, drill["tail_oracle"])
+
+    def test_in_process_cli_folds_like_the_subprocess(self, drill, capsys):
+        victim = drill["root"] / "victim-inproc"
+        shutil.copytree(drill["warm"], victim)
+        exit_code = main(
+            [
+                "ingest", "once", str(drill["full_csv"]),
+                "--store", str(victim),
+                "--buckets", str(BUCKETS), "--seed", str(SEED),
+                "--chunk-size", str(CHUNK),
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        served = _served(victim, drill["full_csv"], drill["plan"])
+        assert served is not None
+        assert_results_equal(served, drill["tail_oracle"])

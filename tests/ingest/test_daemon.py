@@ -1,0 +1,233 @@
+"""Daemon behavior: fold cycles, drift-driven re-freeze, degraded modes.
+
+The acceptance gate here is the *drift gate*: a distribution shift in the
+appended tail must trip the threshold policy, and the re-frozen store
+must serve a catalog bit-identical to a cold full rebuild over the same
+data.  The crash matrix lives in ``test_chaos_drill.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from ingest_support import (
+    append_csv_rows,
+    assert_results_equal,
+    catalog_plan,
+    csv_source,
+    make_builder,
+    shifted_tail_relation,
+    write_relation_csv,
+)
+
+from repro.exceptions import IngestError, SourceChangedError
+from repro.ingest import (
+    IngestDaemon,
+    ManualRefreezePolicy,
+    ScheduledRefreezePolicy,
+    ThresholdRefreezePolicy,
+)
+from repro.shard import RetryPolicy
+from repro.store import ProfileStore
+
+
+NO_WAIT = RetryPolicy(max_retries=2, base_delay=0.0, sleep=lambda _: None)
+
+
+def _daemon(csv_path: Path, store: ProfileStore, **kwargs) -> IngestDaemon:
+    builder = make_builder()
+    plan = catalog_plan(csv_source(csv_path).schema)
+    kwargs.setdefault("retry", NO_WAIT)
+    return IngestDaemon(
+        builder, lambda: csv_source(csv_path), plan, store, **kwargs
+    )
+
+
+class TestFoldCycles:
+    def test_first_cycle_builds_then_hits(self, head_csv, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        daemon = _daemon(head_csv, store)
+        assert daemon.once().status == "build"
+        assert daemon.once().status == "hit"
+
+    def test_appended_tail_folds_and_is_drift_tracked(
+        self, head_csv, tail_relation, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "store")
+        daemon = _daemon(head_csv, store, policy=ManualRefreezePolicy())
+        daemon.once()
+        append_csv_rows(head_csv, tail_relation, tmp_path)
+        report = daemon.once()
+        assert report.status == "append"
+        assert report.appended == tail_relation.num_tuples
+        assert report.staleness > 0.0
+        assert set(report.drift)  # every numeric attribute has a reading
+
+    def test_state_survives_daemon_restart(
+        self, head_csv, tail_relation, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "store")
+        first = _daemon(head_csv, store, policy=ManualRefreezePolicy())
+        first.once()
+        append_csv_rows(head_csv, tail_relation, tmp_path)
+        first.once()
+        # A fresh daemon (new process, same store) restores the trackers.
+        second = _daemon(head_csv, store, policy=ManualRefreezePolicy())
+        status = second.status()
+        assert status["observed_length"] == first.status()["observed_length"]
+        drift = status["drift"]
+        assert any(
+            reading["appended"] == tail_relation.num_tuples
+            for reading in drift.values()
+        )
+
+    def test_state_file_is_valid_json_inside_the_store(self, head_csv, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        daemon = _daemon(head_csv, store)
+        daemon.once()
+        state = json.loads(daemon.state_path.read_text(encoding="utf-8"))
+        assert state["version"] == 1
+        assert daemon.state_path.parent == store.directory
+
+    def test_gap_heal_observes_out_of_band_appends(
+        self, head_csv, tail_relation, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "store")
+        daemon = _daemon(head_csv, store, policy=ManualRefreezePolicy())
+        daemon.once()
+        # Another process folds the tail while no daemon is watching.
+        append_csv_rows(head_csv, tail_relation, tmp_path)
+        builder = make_builder()
+        store.append(builder, csv_source(head_csv), catalog_plan(csv_source(head_csv).schema))
+        # A restarted daemon heals the tracker gap with a span scan.
+        revived = _daemon(head_csv, store, policy=ManualRefreezePolicy())
+        report = revived.once()
+        assert report.status == "hit"
+        assert report.appended == tail_relation.num_tuples
+
+
+class TestDriftGate:
+    def test_shifted_tail_trips_threshold_and_matches_cold_rebuild(
+        self, head_csv, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "store")
+        policy = ThresholdRefreezePolicy(max_staleness=None)
+        daemon = _daemon(head_csv, store, policy=policy)
+        daemon.once()
+        append_csv_rows(head_csv, shifted_tail_relation(), tmp_path)
+        report = daemon.once()
+        assert report.status == "rebuild"
+        assert report.refreeze_reason is not None
+        # The re-frozen snapshot serves bit-identically to a cold rebuild
+        # over the same full data.
+        builder = make_builder()
+        source = csv_source(head_csv)
+        plan = catalog_plan(source.schema)
+        served = store.get(builder, source, plan)
+        assert served is not None
+        cold = make_builder().execute_plan(csv_source(head_csv), plan)
+        assert_results_equal(served, cold)
+
+    def test_unshifted_tail_does_not_trip_drift_thresholds(
+        self, head_csv, tail_relation, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "store")
+        # Same-distribution tail: only the staleness trigger is disarmed;
+        # every drift trigger stays armed and must hold.
+        policy = ThresholdRefreezePolicy(max_staleness=None)
+        daemon = _daemon(head_csv, store, policy=policy)
+        daemon.once()
+        append_csv_rows(head_csv, tail_relation, tmp_path)
+        report = daemon.once()
+        assert report.status == "append"
+        assert report.refreeze_reason is None
+
+    def test_scheduled_policy_refreezes_on_cadence(self, head_csv, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        daemon = _daemon(head_csv, store, policy=ScheduledRefreezePolicy(2))
+        assert daemon.once().status == "build"
+        assert daemon.once().status == "hit"  # 1 cycle since freeze
+        report = daemon.once()  # 2 cycles since freeze: cadence fires
+        assert report.status == "rebuild"
+        assert "scheduled" in (report.refreeze_reason or "")
+
+    def test_manual_policy_refreezes_only_on_request(self, head_csv, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        policy = ManualRefreezePolicy()
+        daemon = _daemon(head_csv, store, policy=policy)
+        daemon.once()
+        assert daemon.once().status == "hit"
+        policy.request()
+        assert daemon.once().status == "rebuild"
+
+
+class TestDegradedModes:
+    def test_unreadable_source_degrades_and_store_stays_warm(
+        self, head_csv, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "store")
+        daemon = _daemon(head_csv, store)
+        daemon.once()
+        head_csv.rename(head_csv.with_suffix(".gone"))
+        report = daemon.once()
+        assert report.degraded
+        assert report.error is not None
+        # The store still serves the last snapshot untouched.
+        head_csv.with_suffix(".gone").rename(head_csv)
+        assert daemon.once().status == "hit"
+
+    def test_consecutive_failures_escalate_to_ingest_error(
+        self, head_csv, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "store")
+        daemon = _daemon(head_csv, store, max_failures=2)
+        daemon.once()
+        head_csv.rename(head_csv.with_suffix(".gone"))
+        assert daemon.once().degraded
+        with pytest.raises(IngestError):
+            daemon.once()
+
+    def test_rewritten_source_raises_by_default(
+        self, head_csv, head_relation, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "store")
+        daemon = _daemon(head_csv, store)
+        daemon.once()
+        # Rewrite the file wholesale: same schema, different head bytes.
+        shuffled = head_relation.take(
+            np.arange(head_relation.num_tuples)[::-1]
+        )
+        write_relation_csv(head_csv, shuffled)
+        with pytest.raises(SourceChangedError):
+            daemon.once()
+
+    def test_rewritten_source_can_serve_stale_instead(
+        self, head_csv, head_relation, tmp_path
+    ):
+        store = ProfileStore(tmp_path / "store")
+        daemon = _daemon(head_csv, store, on_source_changed="serve-stale")
+        daemon.once()
+        shuffled = head_relation.take(
+            np.arange(head_relation.num_tuples)[::-1]
+        )
+        write_relation_csv(head_csv, shuffled)
+        report = daemon.once()
+        assert report.degraded
+        assert "source changed" in (report.error or "")
+
+    def test_run_stops_after_the_requested_cycles(self, head_csv, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        daemon = _daemon(head_csv, store)
+        naps: list[float] = []
+        reports = daemon.run(cycles=3, interval=0.5, sleep=naps.append)
+        assert [report.status for report in reports] == ["build", "hit", "hit"]
+        assert naps == [0.5, 0.5]  # no sleep after the final cycle
+
+    def test_invalid_on_source_changed_is_rejected(self, head_csv, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        with pytest.raises(IngestError):
+            _daemon(head_csv, store, on_source_changed="explode")

@@ -1,0 +1,194 @@
+"""Drift metrics and re-freeze policies: the daemon's decision inputs."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from ingest_support import catalog_plan, csv_source, make_builder
+
+from repro.ingest import (
+    AttributeDriftTracker,
+    DriftTracker,
+    ManualRefreezePolicy,
+    ScheduledRefreezePolicy,
+    ThresholdRefreezePolicy,
+)
+
+
+def _tracker(cuts=(0.0, 1.0, 2.0), base=(25, 25, 25, 25), seed=7, capacity=64):
+    return AttributeDriftTracker(
+        "x",
+        np.asarray(cuts, dtype=np.float64),
+        np.asarray(base, dtype=np.float64),
+        seed=seed,
+        reservoir_capacity=capacity,
+    )
+
+
+class TestAttributeDrift:
+    def test_no_appended_values_reads_zero_everywhere(self):
+        metrics = _tracker().metrics()
+        assert metrics.appended == 0
+        assert metrics.out_of_range_mass == 0.0
+        assert metrics.occupancy_shift == 0.0
+        assert metrics.kl_divergence == 0.0
+
+    def test_tail_matching_the_base_occupancy_reads_near_zero(self):
+        tracker = _tracker()
+        # 1 value per bucket of the frozen cuts (0 | 1 | 2 boundaries),
+        # mirroring the uniform base occupancy exactly.
+        tracker.observe(np.array([-0.5, 0.5, 1.5, 2.5] * 25))
+        metrics = tracker.metrics()
+        assert metrics.appended == 100
+        assert metrics.occupancy_shift == pytest.approx(0.0)
+        assert metrics.kl_divergence == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_tail_moves_every_metric(self):
+        tracker = _tracker()
+        tracker.observe(np.full(100, 50.0))  # far above the last cut
+        metrics = tracker.metrics()
+        assert metrics.out_of_range_mass == pytest.approx(1.0)
+        # All tail mass in the last bucket vs a uniform base: TV = 3/4.
+        assert metrics.occupancy_shift == pytest.approx(0.75)
+        assert metrics.kl_divergence > 0.5
+
+    def test_out_of_range_counts_both_sides(self):
+        tracker = _tracker()
+        tracker.observe(np.array([-10.0, -10.0, 10.0, 0.5]))
+        assert tracker.metrics().out_of_range_mass == pytest.approx(3 / 4)
+
+    def test_occupancy_shift_is_bounded_by_one(self):
+        tracker = _tracker(base=(100, 0, 0, 0))
+        tracker.observe(np.full(50, 50.0))
+        assert 0.0 <= tracker.metrics().occupancy_shift <= 1.0
+
+    def test_reservoir_is_bounded_and_samples_the_tail(self):
+        tracker = _tracker(capacity=16)
+        tracker.observe(np.arange(1000, dtype=np.float64))
+        sample = tracker.sample()
+        assert sample.shape == (16,)
+        assert np.all((sample >= 0) & (sample < 1000))
+
+    def test_state_round_trips_through_json(self):
+        tracker = _tracker(capacity=8)
+        tracker.observe(np.array([-5.0, 0.5, 1.5, 99.0, 0.2]))
+        state = json.loads(json.dumps(tracker.to_state()))
+        restored = AttributeDriftTracker.from_state(state)
+        original = tracker.metrics()
+        recovered = restored.metrics()
+        assert recovered == original
+        assert np.array_equal(restored.cuts, tracker.cuts)
+        assert np.array_equal(
+            np.sort(restored.sample()), np.sort(tracker.sample())
+        )
+
+    def test_restored_tracker_keeps_accumulating(self):
+        tracker = _tracker()
+        tracker.observe(np.full(10, 50.0))
+        restored = AttributeDriftTracker.from_state(tracker.to_state())
+        restored.observe(np.full(10, 50.0))
+        assert restored.metrics().appended == 20
+        assert restored.metrics().out_of_range_mass == pytest.approx(1.0)
+
+
+class TestDriftTrackerCollection:
+    def test_from_results_tracks_every_numeric_attribute(self, head_csv):
+        builder = make_builder()
+        source = csv_source(head_csv)
+        plan = catalog_plan(source.schema)
+        results = builder.execute_plan(source, plan)
+        tracker = DriftTracker.from_results(results, builder.seed)
+        numeric = {
+            results.request(rid).attribute for rid in range(len(results.parts))
+        }
+        assert set(tracker.attributes) == numeric
+
+    def test_observe_skips_attributes_absent_from_the_chunk(self, head_csv):
+        builder = make_builder()
+        source = csv_source(head_csv)
+        plan = catalog_plan(source.schema)
+        results = builder.execute_plan(source, plan)
+        tracker = DriftTracker.from_results(results, builder.seed)
+        first = next(csv_source(head_csv).scan([tracker.attributes[0]]))
+        tracker.observe(first)
+        metrics = tracker.metrics()
+        assert metrics[tracker.attributes[0]].appended == first.num_tuples
+        for other in tracker.attributes[1:]:
+            assert metrics[other].appended == 0
+
+    def test_collection_state_round_trips_through_json(self, head_csv):
+        builder = make_builder()
+        source = csv_source(head_csv)
+        plan = catalog_plan(source.schema)
+        results = builder.execute_plan(source, plan)
+        tracker = DriftTracker.from_results(results, builder.seed)
+        tracker.observe(next(csv_source(head_csv).scan()))
+        restored = DriftTracker.from_state(
+            json.loads(json.dumps(tracker.to_state()))
+        )
+        assert restored.attributes == tracker.attributes
+        assert restored.metrics() == tracker.metrics()
+
+
+class TestPolicies:
+    def test_threshold_holds_on_clean_metrics(self):
+        policy = ThresholdRefreezePolicy()
+        # 10 buckets: the outer-bucket mass (which counts as out-of-range
+        # against the frozen cut span) is 2/10, under the 0.25 knob —
+        # realistic bucket counts keep it far smaller still.
+        tracker = _tracker(cuts=np.arange(1.0, 10.0), base=(10,) * 10)
+        tracker.observe(np.tile(np.arange(10, dtype=np.float64) + 0.5, 10))
+        decision = policy.decide(
+            {"x": tracker.metrics()}, staleness=0.05, cycles_since_refreeze=3
+        )
+        assert decision is None
+
+    def test_threshold_trips_on_staleness(self):
+        policy = ThresholdRefreezePolicy(max_staleness=0.25)
+        assert (
+            policy.decide({}, staleness=0.30, cycles_since_refreeze=1)
+            is not None
+        )
+
+    def test_threshold_trips_on_occupancy_shift(self):
+        policy = ThresholdRefreezePolicy(max_staleness=None)
+        tracker = _tracker()
+        tracker.observe(np.full(100, 50.0))
+        reason = policy.decide(
+            {"x": tracker.metrics()}, staleness=0.0, cycles_since_refreeze=1
+        )
+        assert reason is not None and "occupancy shift" in reason
+
+    def test_threshold_respects_min_appended_guard(self):
+        policy = ThresholdRefreezePolicy(max_staleness=None, min_appended=32)
+        tracker = _tracker()
+        tracker.observe(np.full(10, 50.0))  # drifted, but only 10 tuples
+        assert (
+            policy.decide(
+                {"x": tracker.metrics()}, staleness=0.0, cycles_since_refreeze=1
+            )
+            is None
+        )
+
+    def test_scheduled_fires_every_n_cycles(self):
+        policy = ScheduledRefreezePolicy(every_cycles=3)
+        assert policy.decide({}, staleness=0.0, cycles_since_refreeze=2) is None
+        assert (
+            policy.decide({}, staleness=0.0, cycles_since_refreeze=3) is not None
+        )
+
+    def test_scheduled_rejects_nonpositive_cadence(self):
+        with pytest.raises(ValueError):
+            ScheduledRefreezePolicy(every_cycles=0)
+
+    def test_manual_fires_only_once_per_request(self):
+        policy = ManualRefreezePolicy()
+        assert policy.decide({}, staleness=0.9, cycles_since_refreeze=9) is None
+        policy.request()
+        assert (
+            policy.decide({}, staleness=0.0, cycles_since_refreeze=0) is not None
+        )
+        assert policy.decide({}, staleness=0.0, cycles_since_refreeze=1) is None

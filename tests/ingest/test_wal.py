@@ -1,0 +1,166 @@
+"""Unit tests of the write-ahead intent journal (``repro.store.wal``).
+
+The chaos drill (``test_chaos_drill.py``) proves the journal end to end
+with real SIGKILLed processes; these tests pin the recovery state machine
+itself — forward-roll, rollback, torn records, and sweep behavior — at
+the function level where every branch is cheap to reach.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store.wal import (
+    CRASH_POINT_ENV,
+    IntentJournal,
+    STORE_CRASH_POINTS,
+    crash_point,
+)
+
+
+def _record(payload: str = "snap.npz", replaced: str | None = None) -> dict:
+    return {
+        "op": "store-entry",
+        "payload": payload,
+        "plan_signature": "sig",
+        "seed": 13,
+        "token": "token-a",
+        "replaced": replaced,
+    }
+
+
+def _manifest(directory: Path, entries: list[dict]) -> None:
+    (directory / "manifest.json").write_text(
+        json.dumps({"version": 1, "entries": entries}), encoding="utf-8"
+    )
+
+
+def _entry(payload: str = "snap.npz") -> dict:
+    return {
+        "payload": payload,
+        "plan_signature": "sig",
+        "seed": 13,
+        "token": "token-a",
+    }
+
+
+class TestJournalLifecycle:
+    def test_begin_then_pending_round_trips_the_record(self, tmp_path: Path):
+        journal = IntentJournal(tmp_path)
+        journal.begin(_record())
+        pending = journal.pending()
+        assert pending is not None
+        assert pending["payload"] == "snap.npz"
+        assert pending["replaced"] is None
+
+    def test_commit_clears_the_journal(self, tmp_path: Path):
+        journal = IntentJournal(tmp_path)
+        journal.begin(_record())
+        journal.commit()
+        assert journal.pending() is None
+        assert not journal.path.exists()
+
+    def test_commit_without_begin_is_a_no_op(self, tmp_path: Path):
+        IntentJournal(tmp_path).commit()  # must not raise
+
+    def test_torn_journal_bytes_are_no_intent(self, tmp_path: Path):
+        journal = IntentJournal(tmp_path)
+        journal.begin(_record())
+        journal.path.write_bytes(journal.path.read_bytes()[:10])
+        assert journal.pending() is None
+
+    def test_unknown_version_is_no_intent(self, tmp_path: Path):
+        journal = IntentJournal(tmp_path)
+        record = dict(_record())
+        journal.begin(record)
+        raw = json.loads(journal.path.read_text(encoding="utf-8"))
+        raw["version"] = 99
+        journal.path.write_text(json.dumps(raw), encoding="utf-8")
+        assert journal.pending() is None
+
+
+class TestRecovery:
+    def test_no_journal_means_nothing_to_recover(self, tmp_path: Path):
+        assert IntentJournal(tmp_path).recover() is None
+
+    def test_uncommitted_payload_rolls_back(self, tmp_path: Path):
+        """Journal present, manifest never swapped: the orphan payload dies."""
+        journal = IntentJournal(tmp_path)
+        _manifest(tmp_path, [])
+        journal.begin(_record("snap.npz"))
+        (tmp_path / "snap.npz").write_bytes(b"half-written payload")
+        assert journal.recover() == "rollback"
+        assert not (tmp_path / "snap.npz").exists()
+        assert journal.pending() is None
+
+    def test_committed_payload_rolls_forward(self, tmp_path: Path):
+        """Manifest already names the payload: keep it, drop the replaced."""
+        journal = IntentJournal(tmp_path)
+        _manifest(tmp_path, [_entry("snap.npz")])
+        (tmp_path / "snap.npz").write_bytes(b"the new snapshot")
+        (tmp_path / "old.npz").write_bytes(b"the replaced snapshot")
+        journal.begin(_record("snap.npz", replaced="old.npz"))
+        assert journal.recover() == "forward"
+        assert (tmp_path / "snap.npz").exists()
+        assert not (tmp_path / "old.npz").exists()
+        assert journal.pending() is None
+
+    def test_forward_roll_keeps_a_still_referenced_replaced_payload(
+        self, tmp_path: Path
+    ):
+        journal = IntentJournal(tmp_path)
+        _manifest(tmp_path, [_entry("snap.npz"), _entry("old.npz")])
+        (tmp_path / "snap.npz").write_bytes(b"new")
+        (tmp_path / "old.npz").write_bytes(b"still referenced elsewhere")
+        journal.begin(_record("snap.npz", replaced="old.npz"))
+        assert journal.recover() == "forward"
+        assert (tmp_path / "old.npz").exists()
+
+    def test_rollback_keeps_a_still_referenced_payload(self, tmp_path: Path):
+        """In-place re-write crash: the file is the *old* snapshot's — keep it."""
+        journal = IntentJournal(tmp_path)
+        _manifest(tmp_path, [_entry("snap.npz")])
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["entries"][0]["token"] = "token-old"
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        (tmp_path / "snap.npz").write_bytes(b"old snapshot bytes")
+        journal.begin(_record("snap.npz"))
+        assert journal.recover() == "rollback"
+        assert (tmp_path / "snap.npz").exists()
+
+    def test_recovery_sweeps_orphaned_tmp_files(self, tmp_path: Path):
+        journal = IntentJournal(tmp_path)
+        _manifest(tmp_path, [])
+        journal.begin(_record())
+        (tmp_path / "snap.npz.tmp").write_bytes(b"torn tmp write")
+        journal.recover()
+        assert not (tmp_path / "snap.npz.tmp").exists()
+
+    def test_unreadable_manifest_with_pending_intent_raises(self, tmp_path: Path):
+        journal = IntentJournal(tmp_path)
+        (tmp_path / "manifest.json").write_text("{not json", encoding="utf-8")
+        journal.begin(_record())
+        with pytest.raises(StoreError):
+            journal.recover()
+
+
+class TestCrashPoints:
+    def test_the_store_matrix_names_every_journal_stage(self):
+        assert STORE_CRASH_POINTS == (
+            "store.pre_journal",
+            "store.post_journal",
+            "store.post_payload",
+            "store.pre_commit",
+        )
+
+    def test_unarmed_crash_point_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv(CRASH_POINT_ENV, raising=False)
+        crash_point("store.pre_journal")  # must not kill the test process
+
+    def test_armed_other_point_is_a_no_op(self, monkeypatch):
+        monkeypatch.setenv(CRASH_POINT_ENV, "store.post_payload")
+        crash_point("store.pre_journal")  # must not kill the test process

@@ -17,7 +17,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import bank_customers
-from repro.exceptions import RelationError
+from repro.exceptions import RelationError, SourceChangedError
 from repro.pipeline import (
     HAVE_PYARROW,
     CSVSource,
@@ -403,6 +403,121 @@ class TestColumnarProfileStore:
         grown_csv = run(csv, csv_store)
         assert csv_store.last_status == "append"
         assert _rule_keys(grown_npy) == _rule_keys(grown_csv)
+
+
+class TestNpyTailDriftGuards:
+    """In-place mutation between fingerprint and scan_tail must surface.
+
+    A column file *replaced* wholesale keeps the old inode alive under the
+    pinned mapping — the legal grow-behind-a-reader workflow.  A file
+    truncated or rewritten in place invalidates the mapped pages, so every
+    scanning entry point raises :class:`SourceChangedError` instead of
+    serving tuples the fingerprint never covered.
+    """
+
+    @pytest.fixture()
+    def pinned(self, relation, tmp_path):
+        target = tmp_path / "columns"
+        write_columnar(relation.head(2_000), target)
+        source = NpyDirectorySource(target, chunk_size=CHUNK)
+        source.fingerprint()  # the daemon's first step: pin the snapshot
+        return source, target
+
+    def _truncate_in_place(self, target: Path, rows: int) -> None:
+        path = target / "balance.npy"
+        values = np.load(path)
+        with path.open("r+b") as handle:  # same inode: no tmp+replace
+            handle.truncate(0)
+            np.save(handle, values[:rows])
+
+    def test_in_place_truncation_fails_scan_tail(self, pinned) -> None:
+        source, target = pinned
+        self._truncate_in_place(target, 1_000)
+        with pytest.raises(SourceChangedError):
+            _concat(source.scan_tail(1_500))
+
+    def test_in_place_mutation_fails_every_scan(self, pinned) -> None:
+        source, target = pinned
+        path = target / "age.npy"
+        values = np.load(path)
+        with path.open("r+b") as handle:
+            handle.truncate(0)
+            np.save(handle, values[::-1].copy())
+        with pytest.raises(SourceChangedError):
+            _concat(source.scan())
+        with pytest.raises(SourceChangedError):
+            _concat(source.scan_span(0, 100))
+        with pytest.raises(SourceChangedError):
+            source.fingerprint()
+
+    def test_growth_stays_legal(self, relation, pinned) -> None:
+        source, target = pinned
+        before = source.fingerprint()
+        write_columnar(
+            relation.take(np.arange(2_000, 3_000)), target, append=True
+        )
+        # The pinned source still serves its consistent snapshot...
+        assert source.fingerprint().token == before.token
+        assert _concat(source.chunks()).num_tuples == 2_000
+        # ...and a fresh source sees the growth with the same prefix.
+        grown = NpyDirectorySource(target, chunk_size=CHUNK)
+        assert grown.fingerprint(prefix=2_000).token == before.token
+        assert _concat(grown.scan_tail(2_000)).num_tuples == 1_000
+
+
+@needs_pyarrow
+class TestParquetTailDriftGuards:
+    """Parquet has no per-column inodes: *any* in-place change is drift."""
+
+    @pytest.fixture()
+    def pinned(self, relation, tmp_path):
+        import pyarrow
+        import pyarrow.parquet
+
+        path = tmp_path / "feed.parquet"
+
+        def write(rows: Relation) -> None:
+            table = pyarrow.table(
+                {
+                    name: np.asarray(rows.column(name))
+                    for name in rows.schema.names()
+                }
+            )
+            pyarrow.parquet.write_table(table, path)
+
+        write(relation.head(2_000))
+        source = ParquetSource(path, chunk_size=CHUNK)
+        source.fingerprint()
+        return source, path, write
+
+    def test_rewritten_file_fails_scans(self, relation, pinned) -> None:
+        source, path, write = pinned
+        write(relation.head(1_000))  # shrink in place
+        with pytest.raises(SourceChangedError):
+            _concat(source.scan())
+        with pytest.raises(SourceChangedError):
+            _concat(source.scan_tail(500))
+        with pytest.raises(SourceChangedError):
+            source.fingerprint()
+
+    def test_deleted_file_fails_scans(self, pinned) -> None:
+        source, path, _ = pinned
+        path.unlink()
+        with pytest.raises(SourceChangedError):
+            _concat(source.scan())
+
+    def test_growth_needs_a_fresh_source_which_keeps_the_prefix(
+        self, relation, pinned
+    ) -> None:
+        source, path, write = pinned
+        before = source.fingerprint()
+        write(relation)  # grow: head rows identical, 1 000 appended
+        with pytest.raises(SourceChangedError):
+            _concat(source.scan())  # the pinned instance refuses
+        grown = ParquetSource(path, chunk_size=CHUNK)
+        # Fingerprints hash values, not file bytes: the prefix token holds.
+        assert grown.fingerprint(prefix=2_000).token == before.token
+        assert _concat(grown.scan_tail(2_000)).num_tuples == 1_000
 
 
 class TestColumnarSharding:

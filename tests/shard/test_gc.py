@@ -1,0 +1,131 @@
+"""Checkpoint garbage collection: orphans die, live runs survive.
+
+``gc_checkpoints`` must never touch the run an operator is still
+resuming — losing a half-finished run's checkpoints silently restarts
+the whole fold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.shard import (
+    FaultSchedule,
+    FaultyWorker,
+    RetryPolicy,
+    ShardCheckpointStore,
+    ShardCoordinator,
+    count_shard,
+    gc_checkpoints,
+)
+from repro.store import ProfileStore
+
+from shard_support import CHUNK, assert_results_identical
+from repro.pipeline import RelationSource
+
+NO_RETRY = RetryPolicy(max_retries=0, sleep=lambda _seconds: None)
+
+
+def _abandoned_run(builder, plan, source, root, dead_shards=(1,)):
+    """A run whose ``dead_shards`` never finish — checkpoints stay on disk."""
+    worker = FaultyWorker(
+        count_shard, FaultSchedule.always("die", list(dead_shards))
+    )
+    coordinator = ShardCoordinator(
+        builder,
+        num_shards=4,
+        retry=NO_RETRY,
+        on_exhausted="partial",
+        checkpoints=root,
+        worker=worker,
+    )
+    return coordinator.mine(source, plan)
+
+
+def _orphan(root, name="orphan-run"):
+    store = ShardCheckpointStore(root / name)
+    store.save(0, {"x": np.zeros(3)})
+    return root / name
+
+
+class TestGcCheckpoints:
+    def test_orphan_runs_are_removed(self, tmp_path):
+        first = _orphan(tmp_path, "stale-a")
+        second = _orphan(tmp_path, "stale-b")
+        removed = gc_checkpoints(tmp_path)
+        assert removed == ["stale-a", "stale-b"]
+        assert not first.exists() and not second.exists()
+
+    def test_active_run_keys_are_pinned(self, tmp_path):
+        _orphan(tmp_path, "stale")
+        live = _orphan(tmp_path, "live")
+        removed = gc_checkpoints(tmp_path, ["live"])
+        assert removed == ["stale"]
+        assert live.exists()
+
+    def test_missing_root_is_a_clean_no_op(self, tmp_path):
+        assert gc_checkpoints(tmp_path / "never-created") == []
+
+    def test_profile_store_root_gcs_its_checkpoint_namespace(self, tmp_path):
+        store = ProfileStore(tmp_path / "catalog")
+        store.checkpoints("stale").save(0, {"x": np.zeros(2)})
+        removed = gc_checkpoints(store)
+        assert removed == ["stale"]
+
+    def test_unfinished_run_survives_gc_and_still_resumes(
+        self, builder, plan, serial_results, relation, tmp_path
+    ):
+        """The PR's pinning gate: GC around a live run, then resume it."""
+        source = RelationSource(relation, chunk_size=CHUNK)
+        interrupted = _abandoned_run(builder, plan, source, tmp_path)
+        _orphan(tmp_path, "aaa-older-run")
+
+        removed = gc_checkpoints(tmp_path, [interrupted.run_key])
+        assert removed == ["aaa-older-run"]
+        survivors = ShardCheckpointStore(tmp_path / interrupted.run_key)
+        assert survivors.completed() == [0, 2, 3]
+
+        resumed = ShardCoordinator(
+            builder, num_shards=4, checkpoints=tmp_path
+        ).mine(source, plan)
+        assert resumed.complete
+        assert_results_identical(serial_results, resumed.results)
+
+
+class TestStatusGcCli:
+    def test_shard_status_gc_removes_orphans_and_reports(
+        self, csv_path, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        _orphan(tmp_path, "stale-run")
+        exit_code = main(
+            [
+                "shard", "status", str(csv_path),
+                "--shards", "4",
+                "--checkpoints", str(tmp_path),
+                "--gc",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code in (0, 3)  # nothing checkpointed for *this* run
+        assert "gc: removed 1 orphaned run(s)" in out
+        assert "stale-run" in out
+        assert not (tmp_path / "stale-run").exists()
+
+    def test_shard_status_gc_reports_nothing_to_do(
+        self, csv_path, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        exit_code = main(
+            [
+                "shard", "status", str(csv_path),
+                "--shards", "4",
+                "--checkpoints", str(tmp_path),
+                "--gc",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code in (0, 3)
+        assert "gc: no orphaned checkpoint runs" in out

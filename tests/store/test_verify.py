@@ -1,0 +1,109 @@
+"""``ProfileStore.verify`` and ``repro store verify``: the offline audit.
+
+Verification walks the manifest and re-runs every check ``serve`` would
+apply — without serving, scanning, or writing — so an operator can audit
+a store that is still being appended to by a live daemon.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from support import BUCKETS, CHUNK, SEED, build_mixed_plan, write_relation_csv
+
+from repro.pipeline import CSVSource
+from repro.pipeline.builder import ProfileBuilder
+from repro.store import ProfileStore
+
+
+@pytest.fixture()
+def built_store(tmp_path, head_relation):
+    """A store with one real snapshot, plus its source and plan."""
+    csv_path = write_relation_csv(tmp_path / "bank.csv", head_relation)
+    builder = ProfileBuilder(num_buckets=BUCKETS, seed=SEED)
+    plan, _ = build_mixed_plan()
+    store = ProfileStore(tmp_path / "store")
+    _, status = store.serve(builder, CSVSource(csv_path, chunk_size=CHUNK), plan)
+    assert status == "build"
+    return store
+
+
+def _payload_path(store: ProfileStore):
+    (entry,) = store.inspect()
+    return store.directory / entry["payload"]
+
+
+class TestVerify:
+    def test_sound_store_has_no_findings(self, built_store):
+        assert built_store.verify() == []
+
+    def test_empty_store_is_sound(self, tmp_path):
+        assert ProfileStore(tmp_path / "empty").verify() == []
+
+    def test_missing_payload_is_flagged(self, built_store):
+        payload = _payload_path(built_store)
+        payload.unlink()
+        findings = built_store.verify()
+        assert len(findings) == 1
+        assert findings[0]["payload"] == payload.name
+        assert "missing" in findings[0]["problem"]
+
+    def test_truncated_payload_is_flagged(self, built_store):
+        payload = _payload_path(built_store)
+        payload.write_bytes(payload.read_bytes()[: payload.stat().st_size // 2])
+        findings = built_store.verify()
+        assert findings and findings[0]["payload"] == payload.name
+
+    def test_meta_mismatch_is_flagged(self, built_store):
+        """A payload swapped in from another entry must not pass the audit."""
+        manifest_path = built_store.directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["entries"][0]["token"] = "some-other-snapshot-token"
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        findings = ProfileStore(built_store.directory).verify()
+        assert findings
+        assert any("disagrees with manifest" in f["problem"] for f in findings)
+
+    def test_unreadable_manifest_is_one_finding(self, built_store):
+        (built_store.directory / "manifest.json").write_text(
+            "{torn", encoding="utf-8"
+        )
+        findings = ProfileStore(built_store.directory).verify()
+        assert len(findings) == 1
+        assert findings[0]["payload"] is None
+
+    def test_verify_is_read_only(self, built_store):
+        before = {
+            path.name: path.stat().st_mtime_ns
+            for path in built_store.directory.iterdir()
+        }
+        built_store.verify()
+        after = {
+            path.name: path.stat().st_mtime_ns
+            for path in built_store.directory.iterdir()
+        }
+        assert after == before
+
+
+class TestVerifyCli:
+    def _run(self, store_dir, capsys):
+        from repro.cli import main
+
+        code = main(["store", "verify", "--store", str(store_dir)])
+        return code, capsys.readouterr()
+
+    def test_sound_store_exits_zero(self, built_store, capsys):
+        code, captured = self._run(built_store.directory, capsys)
+        assert code == 0
+        assert "sound" in captured.out
+
+    def test_corrupt_store_exits_three_listing_offenders(
+        self, built_store, capsys
+    ):
+        payload = _payload_path(built_store)
+        payload.write_bytes(b"not an npz archive")
+        code, captured = self._run(built_store.directory, capsys)
+        assert code == 3
+        assert payload.name in captured.err
