@@ -124,6 +124,18 @@ MIN_COLUMNAR_TUPLES_PER_SECOND = 150_000
 # margin, same rationale as QUICK_STREAMING_TUPLES_PER_SECOND).
 QUICK_COLUMNAR_TUPLES_PER_SECOND = 5_000
 
+# Floors asserted on the HTTP service plane serving the warm catalog with
+# one worker process: sustained closed-loop throughput and tail latency
+# over persistent connections.  The warm path is a stat + memoized
+# fingerprint + response-LRU hit + JSON encode — independent of the data
+# size — so the floors hold at any scale (observed well above both).
+MIN_SERVICE_RPS = 500.0
+MAX_SERVICE_P99_MS = 50.0
+
+# Smoke floor for --quick CI runs of the service workload (runner noise
+# margin; shared-runner schedulers can stall a thread for tens of ms).
+QUICK_SERVICE_RPS = 50.0
+
 
 def _selection_key(selection):
     if selection is None:
@@ -1350,6 +1362,147 @@ def test_bench_shard_recovery(
         # Resuming half a run must not cost more than redoing all of it
         # (generous noise margin; the exact guarantees are asserted above).
         assert resume_seconds <= redo_seconds * 1.25
+
+
+def test_bench_service_latency(
+    sizes, bench_results, record_report, tmp_path_factory, quick
+) -> None:
+    """HTTP service plane: sustained RPS and latency over the warm catalog.
+
+    The workload is the service's production shape: one server process
+    (stdlib asyncio tier, 8 worker threads) over a warm profile store,
+    hammered closed-loop by 4 clients on persistent keep-alive
+    connections, every request an authenticated ``GET /v1/catalog``.
+    After the single cold request builds the snapshot and fills the
+    response cache, each request is a stat + memoized fingerprint +
+    LRU hit + JSON encode — the measured numbers are the serving stack
+    itself (HTTP parse, thread dispatch, auth, cache), not mining.
+
+    Gates: ``>= MIN_SERVICE_RPS`` with ``p99 <= MAX_SERVICE_P99_MS`` at
+    default size; --quick smoke runs assert the noise-margin
+    ``QUICK_SERVICE_RPS`` floor only and leave the committed record
+    untouched (same discipline as every other workload here).
+    """
+    import http.client
+    import threading
+    import time
+
+    from repro.service import BackgroundServer, RuleService, ServiceConfig
+
+    token = "bench-token"
+    num_rows = 5_000 if quick else 50_000
+    relation = paper_benchmark_table(
+        num_rows,
+        num_numeric=sizes["num_numeric"],
+        num_boolean=sizes["num_boolean"],
+        seed=37,
+    )
+    root = tmp_path_factory.mktemp("service-bench")
+    csv_path = root / "catalog.csv"
+    write_csv(relation, csv_path)
+    service = RuleService(
+        ServiceConfig(
+            data=str(csv_path),
+            store=str(root / "store"),
+            token=token,
+            num_buckets=sizes["num_buckets"],
+            seed=7,
+        )
+    )
+
+    clients = 4
+    requests_per_client = 75 if quick else 750
+    headers = {"Authorization": f"Bearer {token}"}
+
+    with BackgroundServer(service, workers=8) as server:
+        # One cold request builds the snapshot and fills the response cache;
+        # the measured window is pure warm serving.
+        warm_connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=120
+        )
+        warm_connection.request("GET", "/v1/catalog", headers=headers)
+        response = warm_connection.getresponse()
+        assert response.status == 200
+        response.read()
+        warm_connection.close()
+
+        latencies: list[list[float]] = [[] for _ in range(clients)]
+        errors: list = []
+        barrier = threading.Barrier(clients + 1)
+
+        def worker(slot: int) -> None:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=120
+            )
+            try:
+                barrier.wait()
+                for _ in range(requests_per_client):
+                    begin = time.perf_counter()
+                    connection.request("GET", "/v1/catalog", headers=headers)
+                    reply = connection.getresponse()
+                    body = reply.read()
+                    latencies[slot].append(time.perf_counter() - begin)
+                    if reply.status != 200 or not body:
+                        raise AssertionError(
+                            f"request failed: {reply.status} {body[:200]!r}"
+                        )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+            finally:
+                connection.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        load_begin = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=600)
+        load_seconds = time.perf_counter() - load_begin
+        assert not errors, errors
+
+    samples = np.array([value for bucket in latencies for value in bucket])
+    total_requests = clients * requests_per_client
+    assert samples.size == total_requests
+    rps = total_requests / load_seconds
+    p50_ms = float(np.percentile(samples, 50) * 1e3)
+    p99_ms = float(np.percentile(samples, 99) * 1e3)
+
+    metrics = service.metrics()
+    # The load window was pure warm serving: one mining batch ever ran.
+    assert metrics["solve_batches"] == 1
+    assert metrics["cache_hits"] >= total_requests
+
+    workload = {
+        "name": "service-latency",
+        "rps": rps,
+        "p50_ms": p50_ms,
+        "p99_ms": p99_ms,
+        "parameters": {
+            "num_tuples": num_rows,
+            "num_buckets": sizes["num_buckets"],
+            "clients": clients,
+            "requests": total_requests,
+            "workers": 8,
+            "tier": "stdlib",
+            "endpoint": "/v1/catalog",
+        },
+    }
+    bench_results.append(workload)
+    record_report(
+        "Service latency benchmark",
+        f"{clients} clients x {requests_per_client} warm catalog requests "
+        f"over {num_rows} tuples: {rps:.0f} req/s, p50 {p50_ms:.2f}ms, "
+        f"p99 {p99_ms:.2f}ms (1 solve batch, {metrics['cache_hits']} cache hits)",
+    )
+    if quick:
+        assert rps >= QUICK_SERVICE_RPS
+    else:
+        assert rps >= MIN_SERVICE_RPS
+        assert p99_ms <= MAX_SERVICE_P99_MS
 
 
 @pytest.fixture(scope="module", autouse=True)

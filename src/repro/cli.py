@@ -77,6 +77,17 @@ atomically, and a killed run resumes counting only its unfinished spans::
     ...coordinator killed mid-run...
     python -m repro shard status bank.csv --shards 8 --checkpoints ck/
     python -m repro shard resume bank.csv --shards 8 --checkpoints ck/
+
+``serve`` puts the mining stack behind an HTTP API fed from a warm profile
+store: repeated requests over unchanged data are fingerprint-keyed cache
+hits, concurrent identical requests coalesce into one solver batch, and
+every library error maps to a typed JSON body::
+
+    python -m repro store build bank.csv --store profiles/
+    REPRO_TOKEN=secret python -m repro serve bank.csv --store profiles/ \\
+        --token-env REPRO_TOKEN --port 8000
+    curl -H 'Authorization: Bearer secret' \\
+        'http://127.0.0.1:8000/v1/catalog?top=5'
 """
 
 from __future__ import annotations
@@ -498,6 +509,72 @@ def build_parser() -> argparse.ArgumentParser:
                 default="thread",
             )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve mining over HTTP from a warm profile store",
+    )
+    serve_parser.add_argument(
+        "csv",
+        help="input CSV file with a header row (or the columnar data path "
+        "when --source npy/parquet)",
+    )
+    serve_parser.add_argument(
+        "--source",
+        choices=("stream", "npy", "parquet"),
+        default="stream",
+        help="how the data is read per request (in-memory loading is not "
+        "served; the service relies on fingerprintable sources)",
+    )
+    serve_parser.add_argument(
+        "--path",
+        default=None,
+        metavar="DIR",
+        help="data path for --source npy/parquet (defaults to the "
+        "positional file argument)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8000, help="listen port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--token",
+        default=None,
+        help="require this bearer token on every /v1 and /metrics request "
+        "(prefer --token-env; argv leaks into process listings)",
+    )
+    serve_parser.add_argument(
+        "--token-env",
+        default=None,
+        metavar="NAME",
+        help="read the bearer token from this environment variable",
+    )
+    serve_parser.add_argument("--buckets", type=int, default=200)
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--min-support", type=float, default=0.10)
+    serve_parser.add_argument("--min-confidence", type=float, default=0.50)
+    serve_parser.add_argument("--top", type=int, default=20)
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="request worker threads of the stdlib tier (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--tier",
+        choices=("auto", "stdlib", "fastapi"),
+        default=None,
+        help="HTTP front-end tier (default: REPRO_SERVICE_TIER or auto; "
+        "both tiers run the identical request handler)",
+    )
+    serve_parser.add_argument(
+        "--executor",
+        choices=("serial", "streaming", "multiprocessing"),
+        default="serial",
+    )
+    serve_parser.add_argument("--chunk-size", type=int, default=None)
+    _add_kernel_tier_argument(serve_parser)
+    _add_store_argument(serve_parser)
+
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper-reproduction experiments"
     )
@@ -824,28 +901,17 @@ def _run_store(args: argparse.Namespace) -> int:
 
 
 def _catalog_scan_plan(schema, num_buckets: int):
-    """The catalog plan (every numeric x Boolean pair) as one ScanPlan.
+    """The catalog plan shared with every snapshot-compatible surface.
 
-    Mirrors the fused prefetch of ``mine_rule_catalog``: one bucket request
-    per numeric attribute carrying every Boolean objective — the profiles
-    the confidence/support catalog solvers consume.  The bucket count rides
-    on the *builder* (as the miner's prefetch leaves per-request overrides
-    unset), so the plan signature matches the snapshots ``store build`` and
-    ``catalog --store`` create and ``shard``/``ingest`` interoperate with
-    them.  ``num_buckets`` is accepted for the call sites' readability but
-    intentionally not baked into the requests.
+    Delegates to :func:`repro.mining.catalog_scan_plan` (the service plane
+    uses the same helper, so its snapshots interoperate with ``store
+    build`` / ``catalog --store`` / ``shard`` / ``ingest``).  ``num_buckets``
+    is accepted for the call sites' readability but intentionally not baked
+    into the requests — the bucket count rides on the builder.
     """
-    from repro.pipeline.builder import ScanPlan
-    from repro.relation.conditions import BooleanIs
-    from repro.relation.schema import AttributeKind
+    from repro.mining import catalog_scan_plan
 
-    numeric = [a.name for a in schema if a.kind == AttributeKind.NUMERIC]
-    boolean = [a.name for a in schema if a.kind == AttributeKind.BOOLEAN]
-    plan = ScanPlan()
-    objectives = [BooleanIs(attribute, True) for attribute in boolean]
-    for attribute in numeric:
-        plan.add_bucket(attribute, objectives=objectives)
-    return plan
+    return catalog_scan_plan(schema)
 
 
 def _run_shard(args: argparse.Namespace) -> int:
@@ -1058,6 +1124,67 @@ def _run_ingest(args: argparse.Namespace) -> int:
     return 3 if any(report.degraded for report in reports) else 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.exceptions import ServiceError
+    from repro.service import (
+        RuleService,
+        ServiceConfig,
+        resolve_service_tier,
+        serve_forever,
+    )
+
+    token = args.token
+    if args.token_env is not None:
+        token = os.environ.get(args.token_env)
+        if not token:
+            raise ServiceError(
+                f"--token-env {args.token_env} is not set in the environment",
+                status=500,
+            )
+    config = ServiceConfig(
+        data=args.path or args.csv,
+        source=args.source,
+        store=args.store,
+        num_buckets=args.buckets,
+        seed=args.seed,
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        engine="fast",
+        executor=args.executor,
+        kernel_tier=args.kernel_tier,
+        chunk_size=args.chunk_size,
+        token=token,
+        top=args.top,
+    )
+    service = RuleService(config)
+    tier = resolve_service_tier(args.tier)
+    auth = "bearer-token auth" if token else "no auth (pass --token/--token-env)"
+    print(
+        f"serving {config.data} ({config.source}) on "
+        f"http://{args.host}:{args.port} [{tier} tier, {auth}, "
+        f"store: {config.store or 'disabled'}]",
+        flush=True,
+    )
+    if tier == "fastapi":  # pragma: no cover - needs fastapi + uvicorn
+        import json as _json
+
+        import uvicorn
+
+        from repro.service.fastapi_app import CONFIG_ENV, build_fastapi_app
+
+        # Stamp the config for any worker re-exec (uvicorn reload/workers).
+        os.environ.setdefault(
+            CONFIG_ENV,
+            _json.dumps({k: getattr(config, k) for k in ServiceConfig.__dataclass_fields__ if k != "extra"}),
+        )
+        uvicorn.run(build_fastapi_app(service), host=args.host, port=args.port)
+        return 0
+    serve_forever(service, host=args.host, port=args.port, workers=args.workers)
+    return 0
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     result = _EXPERIMENTS[args.name]()
     print(result.report())
@@ -1083,6 +1210,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_shard(args)
         if args.command == "ingest":
             return _run_ingest(args)
+        if args.command == "serve":
+            return _run_serve(args)
         if args.command == "experiment":
             return _run_experiment(args)
     except ReproError as error:

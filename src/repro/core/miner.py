@@ -62,6 +62,7 @@ sources count only their tail).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -256,6 +257,14 @@ class OptimizedRuleMiner:
         # mask evaluation per objective condition, shared across attributes.
         self._assignments: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
         self._masks: dict[Condition, np.ndarray] = {}
+        # One re-entrant lock guards every cache above plus the shared rng.
+        # Concurrent solves serialize *cache population* only: the first
+        # thread fills the caches in exact serial order (so the rng draw
+        # order — and therefore every sampled bucket boundary — matches a
+        # single-threaded run), later threads find everything cached and
+        # trigger zero additional scans.  The solvers themselves are pure
+        # functions of immutable profiles and run outside the lock.
+        self._cache_lock = threading.RLock()
 
     # -- plumbing -------------------------------------------------------------
 
@@ -306,23 +315,24 @@ class OptimizedRuleMiner:
 
     def bucketing_for(self, attribute: str) -> Bucketing:
         """The (cached) bucketing of a numeric attribute."""
-        if attribute not in self._bucketings:
-            schema_attribute = self.schema.attribute(attribute)
-            if not schema_attribute.is_numeric:
-                raise SchemaError(f"attribute {attribute!r} is not numeric")
-            if self._relation is None:
-                assert self._source is not None
-                self._bucketings.update(
-                    self._builder.sample_bucketings(self._source, [attribute])
-                )
-            else:
-                values = self._relation.numeric_column(attribute)
-                requested = min(self._num_buckets, int(np.unique(values).size))
-                requested = max(requested, 1)
-                self._bucketings[attribute] = self._bucketizer.build(
-                    values, requested, rng=self._rng
-                )
-        return self._bucketings[attribute]
+        with self._cache_lock:
+            if attribute not in self._bucketings:
+                schema_attribute = self.schema.attribute(attribute)
+                if not schema_attribute.is_numeric:
+                    raise SchemaError(f"attribute {attribute!r} is not numeric")
+                if self._relation is None:
+                    assert self._source is not None
+                    self._bucketings.update(
+                        self._builder.sample_bucketings(self._source, [attribute])
+                    )
+                else:
+                    values = self._relation.numeric_column(attribute)
+                    requested = min(self._num_buckets, int(np.unique(values).size))
+                    requested = max(requested, 1)
+                    self._bucketings[attribute] = self._bucketizer.build(
+                        values, requested, rng=self._rng
+                    )
+            return self._bucketings[attribute]
 
     def condition_mask(self, condition: Condition) -> np.ndarray:
         """The (cached) Boolean tuple mask of an objective condition.
@@ -332,11 +342,12 @@ class OptimizedRuleMiner:
         render to the same string never collide.  In-memory data only: a
         streaming source has no whole-relation mask.
         """
-        if condition not in self._masks:
-            self._masks[condition] = np.asarray(
-                condition.mask(self.relation), dtype=bool
-            )
-        return self._masks[condition]
+        with self._cache_lock:
+            if condition not in self._masks:
+                self._masks[condition] = np.asarray(
+                    condition.mask(self.relation), dtype=bool
+                )
+            return self._masks[condition]
 
     def _assignment_for(
         self, attribute: str
@@ -347,19 +358,20 @@ class OptimizedRuleMiner:
         the non-empty buckets (profiles drop empty buckets, as the solvers
         require ``u_i >= 1``).
         """
-        if attribute not in self._assignments:
-            bucketing = self.bucketing_for(attribute)
-            values = np.asarray(
-                self._relation.numeric_column(attribute), dtype=np.float64
-            )
-            indices = bucketing.assign(values)
-            sizes = np.bincount(indices, minlength=bucketing.num_buckets).astype(
-                np.int64
-            )
-            lows, highs = bucketing.data_bounds(values)
-            keep = sizes > 0
-            self._assignments[attribute] = (indices, sizes, lows, highs, keep)
-        return self._assignments[attribute]
+        with self._cache_lock:
+            if attribute not in self._assignments:
+                bucketing = self.bucketing_for(attribute)
+                values = np.asarray(
+                    self._relation.numeric_column(attribute), dtype=np.float64
+                )
+                indices = bucketing.assign(values)
+                sizes = np.bincount(indices, minlength=bucketing.num_buckets).astype(
+                    np.int64
+                )
+                lows, highs = bucketing.data_bounds(values)
+                keep = sizes > 0
+                self._assignments[attribute] = (indices, sizes, lows, highs, keep)
+            return self._assignments[attribute]
 
     def profile_for(
         self,
@@ -369,36 +381,37 @@ class OptimizedRuleMiner:
     ) -> BucketProfile:
         """The (cached) bucket profile of an attribute/objective pair."""
         key = (attribute, objective, presumptive)
-        if key not in self._profiles:
-            if self._relation is None:
-                assert self._source is not None
-                self._profiles[key] = self._builder.build_profile(
-                    self._source,
-                    attribute,
-                    objective,
-                    presumptive=presumptive,
-                    bucketing=self.bucketing_for(attribute),
-                )
-            elif presumptive is not None:
-                self._profiles[key] = self._presumptive_profile_from_caches(
-                    attribute, objective, presumptive
-                )
-            else:
-                indices, sizes, lows, highs, keep = self._assignment_for(attribute)
-                mask = self.condition_mask(objective)
-                matched = np.bincount(
-                    indices[mask], minlength=sizes.shape[0]
-                ).astype(np.int64)
-                self._profiles[key] = BucketProfile(
-                    attribute=attribute,
-                    objective_label=str(objective),
-                    sizes=sizes[keep].astype(np.float64),
-                    values=matched[keep].astype(np.float64),
-                    lows=lows[keep],
-                    highs=highs[keep],
-                    total=float(self._relation.num_tuples),
-                )
-        return self._profiles[key]
+        with self._cache_lock:
+            if key not in self._profiles:
+                if self._relation is None:
+                    assert self._source is not None
+                    self._profiles[key] = self._builder.build_profile(
+                        self._source,
+                        attribute,
+                        objective,
+                        presumptive=presumptive,
+                        bucketing=self.bucketing_for(attribute),
+                    )
+                elif presumptive is not None:
+                    self._profiles[key] = self._presumptive_profile_from_caches(
+                        attribute, objective, presumptive
+                    )
+                else:
+                    indices, sizes, lows, highs, keep = self._assignment_for(attribute)
+                    mask = self.condition_mask(objective)
+                    matched = np.bincount(
+                        indices[mask], minlength=sizes.shape[0]
+                    ).astype(np.int64)
+                    self._profiles[key] = BucketProfile(
+                        attribute=attribute,
+                        objective_label=str(objective),
+                        sizes=sizes[keep].astype(np.float64),
+                        values=matched[keep].astype(np.float64),
+                        lows=lows[keep],
+                        highs=highs[keep],
+                        total=float(self._relation.num_tuples),
+                    )
+            return self._profiles[key]
 
     def _presumptive_profile_from_caches(
         self,
@@ -447,33 +460,34 @@ class OptimizedRuleMiner:
     def average_profile_for(self, attribute: str, target: str) -> BucketProfile:
         """The (cached) average-operator profile of a grouping/target pair."""
         key = (attribute, ("avg", target), None)
-        if key not in self._profiles:
-            if self._relation is None:
-                assert self._source is not None
-                self._profiles[key] = self._builder.build_average_profile(
-                    self._source,
-                    attribute,
-                    target,
-                    bucketing=self.bucketing_for(attribute),
+        with self._cache_lock:
+            if key not in self._profiles:
+                if self._relation is None:
+                    assert self._source is not None
+                    self._profiles[key] = self._builder.build_average_profile(
+                        self._source,
+                        attribute,
+                        target,
+                        bucketing=self.bucketing_for(attribute),
+                    )
+                    return self._profiles[key]
+                indices, sizes, lows, highs, keep = self._assignment_for(attribute)
+                weights = np.asarray(
+                    self._relation.numeric_column(target), dtype=np.float64
                 )
-                return self._profiles[key]
-            indices, sizes, lows, highs, keep = self._assignment_for(attribute)
-            weights = np.asarray(
-                self._relation.numeric_column(target), dtype=np.float64
-            )
-            sums = np.bincount(
-                indices, weights=weights, minlength=sizes.shape[0]
-            ).astype(np.float64)
-            self._profiles[key] = BucketProfile(
-                attribute=attribute,
-                objective_label=f"avg({target})",
-                sizes=sizes[keep].astype(np.float64),
-                values=sums[keep],
-                lows=lows[keep],
-                highs=highs[keep],
-                total=float(self._relation.num_tuples),
-            )
-        return self._profiles[key]
+                sums = np.bincount(
+                    indices, weights=weights, minlength=sizes.shape[0]
+                ).astype(np.float64)
+                self._profiles[key] = BucketProfile(
+                    attribute=attribute,
+                    objective_label=f"avg({target})",
+                    sizes=sizes[keep].astype(np.float64),
+                    values=sums[keep],
+                    lows=lows[keep],
+                    highs=highs[keep],
+                    total=float(self._relation.num_tuples),
+                )
+            return self._profiles[key]
 
     @staticmethod
     def _as_condition(objective: Condition | str) -> Condition:
@@ -754,13 +768,21 @@ class OptimizedRuleMiner:
         task order, with ``None`` for infeasible tasks.  Over a streaming
         source the whole catalog's profiles are prefetched in one fused
         scan of the data before any solver runs.
+
+        Safe to call from several threads at once: cache population happens
+        under the miner's lock in task order (so the first caller fills the
+        caches exactly as a single-threaded run would — same rng draws, same
+        boundaries — and concurrent identical catalogs trigger **one**
+        physical scan, not one per thread), while the pure solvers run
+        outside the lock on the immutable profiles.
         """
         settings = settings if settings is not None else MiningSettings()
         tasks = list(tasks)
-        self._prefetch_streaming_profiles(tasks)
+        with self._cache_lock:
+            self._prefetch_streaming_profiles(tasks)
+            profiles = [self._task_profile(task) for task in tasks]
         selections: list[RangeSelection | None] = []
-        for task in tasks:
-            profile = self._task_profile(task)
+        for task, profile in zip(tasks, profiles):
             threshold = self._task_threshold(task, settings)
             if task.kind is RuleKind.OPTIMIZED_CONFIDENCE:
                 selection = solve_optimized_confidence(

@@ -128,6 +128,22 @@ class IngestError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The rule-mining HTTP service rejected a request.
+
+    Raised by the service plane's own validation — a malformed JSON body, an
+    unknown endpoint parameter, a missing bearer token — and carries the
+    HTTP ``status`` the typed error body maps to.  Library errors raised by
+    the layers below (``StoreError``, ``SourceChangedError``, solver errors)
+    pass through untouched; the service maps each to its status at the
+    response boundary instead of re-wrapping.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
 class ShardError(ReproError):
     """A shard of a distributed counting run failed.
 

@@ -11,7 +11,12 @@ from repro.mining.boolean_rules import (
     generate_rules,
     mine_boolean_rules,
 )
-from repro.mining.catalog import CatalogEntry, RuleCatalog, mine_rule_catalog
+from repro.mining.catalog import (
+    CatalogEntry,
+    RuleCatalog,
+    catalog_scan_plan,
+    mine_rule_catalog,
+)
 from repro.mining.itemsets import FrequentItemset, frequent_itemsets, itemset_support
 from repro.mining.partition_baselines import (
     FixedRangeRule,
@@ -31,5 +36,6 @@ __all__ = [
     "srikant_agrawal_best_range",
     "CatalogEntry",
     "RuleCatalog",
+    "catalog_scan_plan",
     "mine_rule_catalog",
 ]

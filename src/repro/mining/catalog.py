@@ -38,7 +38,35 @@ from repro.relation.relation import Relation
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store import ProfileStore
 
-__all__ = ["CatalogEntry", "RuleCatalog", "mine_rule_catalog"]
+__all__ = [
+    "CatalogEntry",
+    "RuleCatalog",
+    "catalog_scan_plan",
+    "mine_rule_catalog",
+]
+
+
+def catalog_scan_plan(schema):
+    """The catalog plan (every numeric x Boolean pair) as one ScanPlan.
+
+    Mirrors the fused prefetch of :func:`mine_rule_catalog`: one bucket
+    request per numeric attribute carrying every Boolean objective — the
+    profiles the confidence/support catalog solvers consume.  The bucket
+    count rides on the *builder* (the miner's prefetch leaves per-request
+    overrides unset), so the plan signature matches the snapshots
+    ``store build`` / ``catalog --store`` create, and ``shard``, ``ingest``,
+    and the service plane all interoperate with them.
+    """
+    from repro.pipeline.builder import ScanPlan
+    from repro.relation.schema import AttributeKind
+
+    numeric = [a.name for a in schema if a.kind == AttributeKind.NUMERIC]
+    boolean = [a.name for a in schema if a.kind == AttributeKind.BOOLEAN]
+    plan = ScanPlan()
+    objectives = [BooleanIs(attribute, True) for attribute in boolean]
+    for attribute in numeric:
+        plan.add_bucket(attribute, objectives=objectives)
+    return plan
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,7 @@ import hashlib
 import importlib.util
 import json
 import os
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
@@ -415,12 +416,74 @@ class ChunkedSource(DataSource):
         return self._fingerprint(prefix)
 
 
+class _DigestMemo:
+    """Bounded process-wide digest memo, safe under concurrent fingerprints.
+
+    The service plane fingerprints sources from many threads at once; a bare
+    dict here had two races: N cold threads all hashing the same span (a
+    stampede that multiplies the most expensive I/O in a request by the
+    thread count) and unlocked mutation of the dict itself.  This memo takes
+    one lock around all bookkeeping and runs per-key **single-flight**:
+    the first thread to miss becomes the leader and computes the digest
+    outside the lock, every other thread parks on a per-key event and reads
+    the leader's published token.  A leader that raises wakes the waiters,
+    and the first of them retries as the new leader — an I/O error never
+    wedges the key.  Eviction stays bounded FIFO.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        self._entries: dict[tuple, str] = {}
+        self._max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, threading.Event] = {}
+
+    def get_or_compute(self, key: tuple, compute: Callable[[], str]) -> str:
+        while True:
+            with self._lock:
+                token = self._entries.get(key)
+                if token is not None:
+                    return token
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                event.wait()
+                continue  # published, or the leader failed: re-check
+            try:
+                token = compute()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                event.set()
+                raise
+            with self._lock:
+                while len(self._entries) >= self._max_entries:
+                    self._entries.pop(next(iter(self._entries)))
+                self._entries[key] = token
+                self._inflight.pop(key, None)
+            event.set()
+            return token
+
+    def clear(self) -> None:
+        """Drop every memoized digest (test isolation only)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 #: Process-wide memo of CSV prefix digests keyed by (resolved path, size,
 #: mtime_ns, span).  Any in-place modification changes size or mtime, so a
 #: stale hit would need a same-length rewrite inside one mtime tick — the
-#: standard stat-cache tradeoff.  Bounded FIFO eviction.
-_CSV_DIGEST_CACHE: dict[tuple[str, int, int, int], str] = {}
-_CSV_DIGEST_CACHE_ENTRIES = 256
+#: standard stat-cache tradeoff.  Bounded FIFO eviction, thread-safe with
+#: per-key single-flight (see :class:`_DigestMemo`).
+_CSV_DIGEST_CACHE = _DigestMemo(max_entries=256)
 
 
 class CSVSource(DataSource):
@@ -592,8 +655,8 @@ class CSVSource(DataSource):
         size = stat.st_size
         span = size if prefix is None else min(int(prefix), size)
         key = (str(self._path.resolve()), size, stat.st_mtime_ns, span)
-        token = _CSV_DIGEST_CACHE.get(key)
-        if token is None:
+
+        def compute() -> str:
             digest = hashlib.sha256()
             with self._path.open("rb") as handle:
                 remaining = span
@@ -603,10 +666,9 @@ class CSVSource(DataSource):
                         break
                     digest.update(block)
                     remaining -= len(block)
-            token = digest.hexdigest()
-            while len(_CSV_DIGEST_CACHE) >= _CSV_DIGEST_CACHE_ENTRIES:
-                _CSV_DIGEST_CACHE.pop(next(iter(_CSV_DIGEST_CACHE)))
-            _CSV_DIGEST_CACHE[key] = token
+            return digest.hexdigest()
+
+        token = _CSV_DIGEST_CACHE.get_or_compute(key, compute)
         return SourceFingerprint(token=token, length=span)
 
     def scan_tail(
@@ -710,9 +772,8 @@ class CSVSource(DataSource):
 
 #: Process-wide memo of columnar prefix digests keyed by the source's pinned
 #: file identities plus the span.  Same stat-cache tradeoff (and the same
-#: bounded FIFO eviction) as the CSV digest cache above.
-_COLUMNAR_DIGEST_CACHE: dict[tuple, str] = {}
-_COLUMNAR_DIGEST_CACHE_ENTRIES = 256
+#: bounded FIFO eviction + per-key single-flight) as the CSV digest cache.
+_COLUMNAR_DIGEST_CACHE = _DigestMemo(max_entries=256)
 
 #: Manifest file naming the column order and kinds of a columnar directory.
 COLUMNAR_MANIFEST = "columns.json"
@@ -1055,8 +1116,8 @@ class NpyDirectorySource(DataSource):
             else min(int(prefix), self._num_rows)
         )
         key = (self._stat_key, span)
-        token = _COLUMNAR_DIGEST_CACHE.get(key)
-        if token is None:
+
+        def compute() -> str:
             digest = hashlib.sha256()
             for attribute in self._schema:
                 digest.update(
@@ -1068,10 +1129,9 @@ class NpyDirectorySource(DataSource):
                     digest.update(
                         np.ascontiguousarray(self._column(name, begin, end)).tobytes()
                     )
-            token = digest.hexdigest()
-            while len(_COLUMNAR_DIGEST_CACHE) >= _COLUMNAR_DIGEST_CACHE_ENTRIES:
-                _COLUMNAR_DIGEST_CACHE.pop(next(iter(_COLUMNAR_DIGEST_CACHE)))
-            _COLUMNAR_DIGEST_CACHE[key] = token
+            return digest.hexdigest()
+
+        token = _COLUMNAR_DIGEST_CACHE.get_or_compute(key, compute)
         return SourceFingerprint(token=token, length=span)
 
 
@@ -1244,8 +1304,8 @@ class ParquetSource(DataSource):
             else min(int(prefix), self._num_rows)
         )
         key = (self._stat_key, span)
-        token = _COLUMNAR_DIGEST_CACHE.get(key)
-        if token is None:
+
+        def compute() -> str:
             digest = hashlib.sha256()
             for attribute in self._schema:
                 digest.update(
@@ -1269,8 +1329,7 @@ class ParquetSource(DataSource):
                         remaining -= block.shape[0]
             finally:
                 handle.close()
-            token = digest.hexdigest()
-            while len(_COLUMNAR_DIGEST_CACHE) >= _COLUMNAR_DIGEST_CACHE_ENTRIES:
-                _COLUMNAR_DIGEST_CACHE.pop(next(iter(_COLUMNAR_DIGEST_CACHE)))
-            _COLUMNAR_DIGEST_CACHE[key] = token
+            return digest.hexdigest()
+
+        token = _COLUMNAR_DIGEST_CACHE.get_or_compute(key, compute)
         return SourceFingerprint(token=token, length=span)

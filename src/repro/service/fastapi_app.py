@@ -1,0 +1,83 @@
+"""Optional FastAPI front-end for :class:`~repro.service.RuleService`.
+
+Present for deployments that already run an ASGI stack: the adapter routes
+every request to the same synchronous ``RuleService.handle`` the stdlib
+tier uses, so the two tiers are behavior-identical by construction — auth,
+coalescing, caching, and the typed error bodies all live below the
+transport.  Import errors are confined to this module; environments
+without FastAPI (including this repository's own CI) never touch it.
+
+Serving it needs an ASGI server::
+
+    uvicorn --factory 'repro.service.fastapi_app:app_factory' ...
+
+with the service configuration supplied through ``REPRO_SERVICE_CONFIG``
+(a JSON object of :class:`~repro.service.ServiceConfig` fields).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.exceptions import ServiceError
+from repro.service.app import RuleService, ServiceConfig
+
+try:  # pragma: no cover - absent in the reference environment
+    import fastapi
+
+    HAVE_FASTAPI = True
+except ModuleNotFoundError:  # pragma: no cover - the tested branch
+    fastapi = None
+    HAVE_FASTAPI = False
+
+CONFIG_ENV = "REPRO_SERVICE_CONFIG"
+
+__all__ = ["CONFIG_ENV", "HAVE_FASTAPI", "app_factory", "build_fastapi_app"]
+
+
+def build_fastapi_app(service: RuleService):
+    """A FastAPI application wrapping the given service."""
+    if not HAVE_FASTAPI:
+        raise ServiceError(
+            "the fastapi service tier requires the optional 'fastapi' "
+            "dependency; install it or use the stdlib tier",
+            status=500,
+        )
+    from fastapi import Request
+    from fastapi.concurrency import run_in_threadpool
+    from fastapi.responses import JSONResponse
+
+    app = fastapi.FastAPI(title="repro rule-mining service", docs_url=None)
+
+    @app.api_route("/{path:path}", methods=["GET", "POST"])
+    async def route(path: str, request: Request):  # pragma: no cover - needs fastapi
+        body = await request.body()
+        status, payload = await run_in_threadpool(
+            service.handle,
+            request.method,
+            "/" + path,
+            dict(request.query_params),
+            dict(request.headers),
+            body,
+        )
+        return JSONResponse(payload, status_code=status)
+
+    return app
+
+
+def app_factory():  # pragma: no cover - needs fastapi
+    """Build the app from ``REPRO_SERVICE_CONFIG`` (for ``uvicorn --factory``)."""
+    raw = os.environ.get(CONFIG_ENV)
+    if not raw:
+        raise ServiceError(
+            f"set {CONFIG_ENV} to a JSON object of ServiceConfig fields",
+            status=500,
+        )
+    try:
+        fields = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"{CONFIG_ENV} is not valid JSON: {exc}", status=500) from exc
+    if not isinstance(fields, dict):
+        raise ServiceError(f"{CONFIG_ENV} must be a JSON object", status=500)
+    return build_fastapi_app(RuleService(ServiceConfig(**fields)))

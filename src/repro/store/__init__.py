@@ -36,6 +36,7 @@ source × executor matrix, and append-then-serve is bit-identical to
 rebuild-with-frozen-boundaries.
 """
 
+from repro.store.lock import StoreLock
 from repro.store.profile_store import (
     ProfileStore,
     ShardCheckpointStore,
@@ -54,6 +55,7 @@ __all__ = [
     "ProfileStore",
     "STORE_CRASH_POINTS",
     "ShardCheckpointStore",
+    "StoreLock",
     "crash_point",
     "plan_signature",
 ]

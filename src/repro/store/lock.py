@@ -1,0 +1,135 @@
+"""Cross-process advisory writer lock for a :class:`ProfileStore` directory.
+
+The store is a single-writer design: every mutation is one WAL transaction
+(journal record → payload swap → manifest swap → journal commit).  That
+transaction is crash-atomic but it was never *concurrency*-atomic — two
+writers (an ingest daemon and a service worker, say) could interleave reads
+and swaps and lose each other's updates, and a reader opening the store
+mid-transaction would see the live writer's intent journal and "recover" it,
+rolling the writer back under its feet.
+
+:class:`StoreLock` closes both holes with an advisory ``flock`` on a
+``.store.lock`` file inside the store directory:
+
+* writers hold it (blocking) for the whole read-manifest → swap → commit
+  sequence, so mutations serialize across processes **and** across threads —
+  every acquisition opens a fresh file descriptor, and ``flock`` conflicts
+  between two open file descriptions even inside one process;
+* readers try it (non-blocking) before resolving a leftover journal: if the
+  lock is busy, a live writer owns that intent and recovery must not run.
+
+The lock is re-entrant per (instance, thread), so a locked mutation can call
+the shared manifest-reading helpers without deadlocking on itself.  On
+platforms without ``fcntl`` the lock degrades to in-process-only exclusion
+(a process-wide mutex per resolved directory) — the cross-thread guarantees
+survive, only cross-process exclusion is lost.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+try:  # pragma: no cover - import probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["LOCK_FILE", "StoreLock"]
+
+#: The lock file's name inside the store directory.
+LOCK_FILE = ".store.lock"
+
+#: Fallback registry of in-process mutexes keyed by resolved directory, used
+#: when ``fcntl`` is unavailable.  Never pruned: one entry per distinct store
+#: directory the process ever locked.
+_FALLBACK_MUTEXES: dict[str, threading.Lock] = {}
+_FALLBACK_REGISTRY_LOCK = threading.Lock()
+
+
+def _fallback_mutex(directory: Path) -> threading.Lock:
+    key = str(directory.resolve())
+    with _FALLBACK_REGISTRY_LOCK:
+        mutex = _FALLBACK_MUTEXES.get(key)
+        if mutex is None:
+            mutex = threading.Lock()
+            _FALLBACK_MUTEXES[key] = mutex
+        return mutex
+
+
+class StoreLock:
+    """Advisory exclusive lock on one store directory.
+
+    Usable as a context manager (blocking acquire) or through
+    :meth:`acquire` / :meth:`release` with ``blocking=False`` for the
+    reader-side recovery probe.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+        self._local = threading.local()
+
+    @property
+    def path(self) -> Path:
+        """The lock file location."""
+        return self._directory / LOCK_FILE
+
+    def _state(self) -> dict:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = {"fd": None, "depth": 0, "mutex": None}
+            self._local.state = state
+        return state
+
+    @property
+    def held(self) -> bool:
+        """Whether the calling thread currently holds this lock."""
+        return self._state()["depth"] > 0
+
+    def acquire(self, blocking: bool = True) -> bool:
+        """Take the lock; returns ``False`` only for a failed non-blocking try."""
+        state = self._state()
+        if state["depth"] > 0:
+            state["depth"] += 1
+            return True
+        if fcntl is None:  # pragma: no cover - non-posix fallback
+            mutex = _fallback_mutex(self._directory)
+            if not mutex.acquire(blocking=blocking):
+                return False
+            state["mutex"] = mutex
+            state["depth"] = 1
+            return True
+        self._directory.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(self.path), os.O_RDWR | os.O_CREAT, 0o644)
+        flags = fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB)
+        try:
+            fcntl.flock(fd, flags)
+        except OSError:
+            os.close(fd)
+            return False
+        state["fd"] = fd
+        state["depth"] = 1
+        return True
+
+    def release(self) -> None:
+        """Release one acquisition (the outermost close drops the flock)."""
+        state = self._state()
+        if state["depth"] <= 0:
+            raise RuntimeError("StoreLock.release() without a matching acquire")
+        state["depth"] -= 1
+        if state["depth"] > 0:
+            return
+        if state["fd"] is not None:
+            os.close(state["fd"])  # closing the fd releases its flock
+            state["fd"] = None
+        if state["mutex"] is not None:  # pragma: no cover - non-posix fallback
+            state["mutex"].release()
+            state["mutex"] = None
+
+    def __enter__(self) -> "StoreLock":
+        self.acquire(blocking=True)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

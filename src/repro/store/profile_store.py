@@ -49,6 +49,7 @@ from repro.exceptions import (
 from repro.pipeline.builder import PlanResults, ProfileBuilder, ScanPlan
 from repro.pipeline.sources import DataSource, SourceFingerprint
 from repro.relation.schema import Schema
+from repro.store.lock import StoreLock
 from repro.store.wal import IntentJournal, crash_point
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -62,6 +63,14 @@ _MANIFEST_VERSION = 1
 #: Fraction of tuples counted after the boundary snapshot at which the
 #: almost-equi-depth guarantee is considered rotten enough to re-sample.
 DEFAULT_REBUILD_THRESHOLD = 0.25
+
+#: Seconds a replaced payload file stays on disk after the manifest stopped
+#: naming it.  A reader that loaded the manifest just before an append or
+#: rebuild swap still holds the old entry and must be able to open its
+#: payload; retired payloads therefore move to the manifest's ``garbage``
+#: list and are only unlinked by a later (locked) write once this grace
+#: period has passed — far longer than any reader holds a manifest.
+DEFAULT_GARBAGE_GRACE_SECONDS = 60.0
 
 
 def plan_signature(builder: ProfileBuilder, plan: ScanPlan) -> str:
@@ -132,6 +141,17 @@ class ProfileStore:
         over total tuples — past which an append triggers a full two-pass
         refresh (fresh reservoir boundaries) instead of another frozen-
         boundary merge.
+    garbage_grace_seconds:
+        How long a replaced payload file outlives the manifest swap that
+        retired it (see :data:`DEFAULT_GARBAGE_GRACE_SECONDS`).  ``0``
+        purges each retired payload at the next write.
+
+    Writers — :meth:`put`, :meth:`append`, :meth:`refresh`, and the
+    mutating paths of :meth:`serve` — serialize on a cross-process advisory
+    file lock (:class:`~repro.store.lock.StoreLock`), so concurrent daemons
+    and service workers over one directory never interleave transactions.
+    Readers never block: manifest swaps are atomic, and the garbage grace
+    period keeps every payload an already-read manifest names openable.
 
     Example
     -------
@@ -153,13 +173,18 @@ class ProfileStore:
         self,
         directory: str | Path,
         rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+        garbage_grace_seconds: float = DEFAULT_GARBAGE_GRACE_SECONDS,
     ) -> None:
         if not 0.0 < rebuild_threshold <= 1.0:
             raise StoreError("rebuild_threshold must be in (0, 1]")
+        if garbage_grace_seconds < 0.0:
+            raise StoreError("garbage_grace_seconds must be non-negative")
         self._directory = Path(directory)
         self._rebuild_threshold = float(rebuild_threshold)
+        self._garbage_grace = float(garbage_grace_seconds)
         self._last_status: str | None = None
         self._journal = IntentJournal(self._directory)
+        self._writer_lock = StoreLock(self._directory)
 
     # -- plumbing --------------------------------------------------------------
 
@@ -187,11 +212,40 @@ class ProfileStore:
     def _manifest_path(self) -> Path:
         return self._directory / _MANIFEST
 
+    def _recover_crashed_writes(self) -> None:
+        """Resolve a leftover journal — but never a *live* writer's intent.
+
+        A journal file on disk is ambiguous: either a writer crashed
+        mid-transaction (recovery must resolve it) or a writer in another
+        process/thread is mid-transaction right now (recovery would roll it
+        back under its feet, unlinking its payload and sweeping its tmp
+        files).  The writer lock disambiguates: a crashed writer's lock is
+        free, a live writer's is held.  Recovery therefore runs only when
+        this thread already owns the lock (it *is* the writer, so any
+        pending intent predates its transaction) or when a non-blocking
+        try-acquire succeeds.
+        """
+        if self._writer_lock.held:
+            self._journal.recover()
+            return
+        journal_path = self._journal.path
+        if (
+            not journal_path.exists()
+            and not journal_path.with_name(journal_path.name + ".tmp").exists()
+        ):
+            return  # the common clean case: no intent, nothing to heal
+        if not self._writer_lock.acquire(blocking=False):
+            return  # a live writer owns this intent; not ours to resolve
+        try:
+            self._journal.recover()
+        finally:
+            self._writer_lock.release()
+
     def _read_manifest(self) -> dict:
         # A crashed write leaves its intent in the journal; resolving it
         # here means merely *opening* the store heals it — every public
         # operation starts with a manifest read.
-        self._journal.recover()
+        self._recover_crashed_writes()
         path = self._manifest_path()
         if not path.exists():
             return {"version": _MANIFEST_VERSION, "entries": []}
@@ -379,6 +433,7 @@ class ProfileStore:
         schema: list[list[str]] | None = None,
         previous: dict | None = None,
     ) -> dict:
+        assert self._writer_lock.held, "store mutation outside the writer lock"
         entries = manifest["entries"]
         replaced = previous
         if replaced is None:
@@ -394,15 +449,22 @@ class ProfileStore:
                     break
         if replaced is not None and replaced.get("token") == fingerprint.token:
             # Same snapshot identity: the atomic tmp+replace below swaps
-            # equivalent content under the same name, safe at any crash point.
+            # equivalent content (same plan, seed, and data digest — the
+            # deterministic build reproduces it bit for bit) under the same
+            # name, safe at any crash point and safe under a concurrent
+            # reader, which sees either inode of the same logical snapshot.
             payload_name = replaced["payload"]
         else:
             # Derive a name from the snapshot identity, but never reuse a
             # file another entry owns: an appended entry keeps its original
             # file name while its token advances, so a later build for the
             # *original* token would otherwise derive that same name and
-            # clobber the appended snapshot.
-            taken = {existing.get("payload") for existing in entries}
+            # clobber the appended snapshot.  Retired-but-not-yet-purged
+            # garbage payloads count as taken too — a reader holding an old
+            # manifest may still be reading them.
+            taken = {existing.get("payload") for existing in entries} | {
+                item.get("payload") for item in manifest.get("garbage", [])
+            }
             stem = hashlib.sha256(
                 f"{signature}|{seed}|{fingerprint.token}".encode("utf-8")
             ).hexdigest()[:20]
@@ -465,17 +527,43 @@ class ProfileStore:
             entries[entries.index(replaced)] = entry
         else:
             entries.append(entry)
-        self._write_manifest(manifest)
-        crash_point("store.pre_commit")
-        self._journal.commit()
         # When the snapshot advanced to a new token, the payload went to a
         # *new* file: at every crash point above, the manifest still named a
         # payload that fully existed (old entry + old file before the
-        # manifest write, new entry + new file after).  Only now, with the
-        # manifest durably pointing at the new file, is the old one garbage.
+        # manifest write, new entry + new file after).  The old file is now
+        # garbage — but a reader that loaded the *previous* manifest may
+        # still be about to open it, so it is retired to the manifest's
+        # garbage list (same atomic swap) and only unlinked by a later
+        # locked write once the grace period has passed.
+        now = time.time()
+        garbage = [
+            dict(item)
+            for item in manifest.get("garbage", [])
+            if isinstance(item, dict) and isinstance(item.get("payload"), str)
+        ]
+        expired = [
+            item
+            for item in garbage
+            if now - float(item.get("retired_unix", now)) >= self._garbage_grace
+        ]
+        garbage = [item for item in garbage if item not in expired]
         if replaced is not None and replaced["payload"] != entry["payload"]:
+            garbage.append(
+                {"payload": replaced["payload"], "retired_unix": now}
+            )
+        if garbage:
+            manifest["garbage"] = garbage
+        else:
+            manifest.pop("garbage", None)
+        self._write_manifest(manifest)
+        crash_point("store.pre_commit")
+        self._journal.commit()
+        # Expired garbage left the manifest in the swap above; a crash
+        # before these unlinks merely leaves unreferenced files behind,
+        # which is harmless (and cheaper than another journal stage).
+        for item in expired:
             try:
-                (self._directory / replaced["payload"]).unlink()
+                (self._directory / item["payload"]).unlink()
             except OSError:  # pragma: no cover - cleanup is best-effort
                 pass
         return entry
@@ -501,6 +589,8 @@ class ProfileStore:
             return builder.execute_plan(source, plan), "unstored"
         signature = plan_signature(builder, plan)
         seed = builder.seed
+        # Optimistic read: the warm-hit path never takes the writer lock, so
+        # readers never queue behind an in-flight append or rebuild.
         manifest = self._read_manifest()
         for entry in self._find_candidates(manifest, signature, seed):
             if (
@@ -510,6 +600,33 @@ class ProfileStore:
                 results = self._serve_hit(entry, plan, signature, seed)
                 self._last_status = "hit"
                 return results, "hit"
+        # No exact hit: an append, rebuild, or fresh build will mutate the
+        # store.  Take the writer lock and re-read — a concurrent writer may
+        # have landed this very snapshot while we waited.
+        with self._writer_lock:
+            results, status = self._serve_slow(
+                builder, source, plan, signature, seed, fingerprint
+            )
+        self._last_status = status
+        return results, status
+
+    def _serve_slow(
+        self,
+        builder: ProfileBuilder,
+        source: DataSource,
+        plan: ScanPlan,
+        signature: str,
+        seed: int,
+        fingerprint: SourceFingerprint,
+    ) -> tuple[PlanResults, str]:
+        """The mutating half of :meth:`serve`, run under the writer lock."""
+        manifest = self._read_manifest()
+        for entry in self._find_candidates(manifest, signature, seed):
+            if (
+                entry.get("token") == fingerprint.token
+                and entry.get("length") == fingerprint.length
+            ):
+                return self._serve_hit(entry, plan, signature, seed), "hit"
         for entry in self._find_candidates(manifest, signature, seed):
             if fingerprint.length < int(entry.get("length", 0)):
                 continue
@@ -541,9 +658,7 @@ class ProfileStore:
                         schema=_schema_pairs(source),
                         previous=entry,
                     )
-                    self._last_status = "build"
                     return results, "build"
-                self._last_status = status
                 return results, status
         results = builder.execute_plan(source, plan)
         self._store_entry(
@@ -551,7 +666,6 @@ class ProfileStore:
             base_tuples=int(results.parts[0].num_tuples) if results.parts else 0,
             schema=_schema_pairs(source),
         )
-        self._last_status = "build"
         return results, "build"
 
     def _serve_hit(
@@ -634,13 +748,16 @@ class ProfileStore:
             raise StoreError(
                 "the source has no fingerprint; its results cannot be stored"
             )
-        manifest = self._read_manifest()
-        self._store_entry(
-            manifest, plan, results,
-            plan_signature(builder, plan), builder.seed, fingerprint,
-            base_tuples=int(results.parts[0].num_tuples) if results.parts else 0,
-            schema=_schema_pairs(source),
-        )
+        with self._writer_lock:
+            manifest = self._read_manifest()
+            self._store_entry(
+                manifest, plan, results,
+                plan_signature(builder, plan), builder.seed, fingerprint,
+                base_tuples=(
+                    int(results.parts[0].num_tuples) if results.parts else 0
+                ),
+                schema=_schema_pairs(source),
+            )
 
     def append(
         self, builder: ProfileBuilder, source: DataSource, plan: ScanPlan
@@ -667,41 +784,43 @@ class ProfileStore:
             raise StoreError("the source has no fingerprint; nothing to append to")
         signature = plan_signature(builder, plan)
         seed = builder.seed
-        manifest = self._read_manifest()
-        candidates = self._find_candidates(manifest, signature, seed)
-        if not candidates:
-            raise StoreError(
-                "no stored snapshot matches this plan and seed; "
-                "build the store first"
-            )
-        for entry in candidates:
-            if (
-                entry.get("token") == fingerprint.token
-                and entry.get("length") == fingerprint.length
-            ):
-                self._last_status = "hit"
-                return self._serve_hit(entry, plan, signature, seed)
-        for entry in candidates:
-            if fingerprint.length < int(entry.get("length", 0)):
-                continue
-            prefix = source.fingerprint(int(entry["length"]))
-            if (
-                prefix is not None
-                and prefix.length == entry["length"]
-                and prefix.token == entry["token"]
-            ):
-                try:
-                    results, status = self._serve_append(
-                        builder, source, plan, manifest, entry,
-                        signature, seed, fingerprint,
-                    )
-                except RelationError as exc:
-                    raise StoreError(
-                        "the stored snapshot cannot be extended: the source "
-                        f"tail does not resume on a clean row boundary ({exc})"
-                    ) from exc
-                self._last_status = status
-                return results
+        with self._writer_lock:
+            manifest = self._read_manifest()
+            candidates = self._find_candidates(manifest, signature, seed)
+            if not candidates:
+                raise StoreError(
+                    "no stored snapshot matches this plan and seed; "
+                    "build the store first"
+                )
+            for entry in candidates:
+                if (
+                    entry.get("token") == fingerprint.token
+                    and entry.get("length") == fingerprint.length
+                ):
+                    self._last_status = "hit"
+                    return self._serve_hit(entry, plan, signature, seed)
+            for entry in candidates:
+                if fingerprint.length < int(entry.get("length", 0)):
+                    continue
+                prefix = source.fingerprint(int(entry["length"]))
+                if (
+                    prefix is not None
+                    and prefix.length == entry["length"]
+                    and prefix.token == entry["token"]
+                ):
+                    try:
+                        results, status = self._serve_append(
+                            builder, source, plan, manifest, entry,
+                            signature, seed, fingerprint,
+                        )
+                    except RelationError as exc:
+                        raise StoreError(
+                            "the stored snapshot cannot be extended: the "
+                            "source tail does not resume on a clean row "
+                            f"boundary ({exc})"
+                        ) from exc
+                    self._last_status = status
+                    return results
         raise SourceChangedError(
             "source fingerprint has drifted from every stored snapshot "
             "(the data is not an append-only continuation); refusing to "
@@ -728,16 +847,19 @@ class ProfileStore:
             )
         signature = plan_signature(builder, plan)
         seed = builder.seed
-        manifest = self._read_manifest()
-        candidates = self._find_candidates(manifest, signature, seed)
-        previous = candidates[0] if candidates else None
-        results = builder.execute_plan(source, plan)
-        self._store_entry(
-            manifest, plan, results, signature, seed, fingerprint,
-            base_tuples=int(results.parts[0].num_tuples) if results.parts else 0,
-            schema=_schema_pairs(source),
-            previous=previous,
-        )
+        with self._writer_lock:
+            manifest = self._read_manifest()
+            candidates = self._find_candidates(manifest, signature, seed)
+            previous = candidates[0] if candidates else None
+            results = builder.execute_plan(source, plan)
+            self._store_entry(
+                manifest, plan, results, signature, seed, fingerprint,
+                base_tuples=(
+                    int(results.parts[0].num_tuples) if results.parts else 0
+                ),
+                schema=_schema_pairs(source),
+                previous=previous,
+            )
         self._last_status = "rebuild"
         return results
 

@@ -154,10 +154,16 @@ class IntentJournal:
             return None
         manifest_path = self._directory / "manifest.json"
         entries: list[dict] = []
+        garbage: list[dict] = []
         if manifest_path.exists():
             try:
                 manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
                 entries = list(manifest.get("entries") or [])
+                garbage = [
+                    item
+                    for item in (manifest.get("garbage") or [])
+                    if isinstance(item, dict)
+                ]
             except (OSError, ValueError) as exc:
                 raise StoreError(
                     f"store manifest {manifest_path} is unreadable during "
@@ -165,7 +171,12 @@ class IntentJournal:
                 ) from exc
 
         def referenced(name: str) -> bool:
-            return any(entry.get("payload") == name for entry in entries)
+            # Garbage-listed payloads are still referenced: a reader holding
+            # the previous manifest may be reading them through the grace
+            # period; the store's next locked write purges them instead.
+            return any(
+                entry.get("payload") == name for entry in entries
+            ) or any(item.get("payload") == name for item in garbage)
 
         committed = any(
             entry.get("payload") == record["payload"]

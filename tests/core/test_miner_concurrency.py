@@ -1,0 +1,215 @@
+"""Regression suite: one shared :class:`OptimizedRuleMiner`, many threads.
+
+The service plane hands a single miner's caches to concurrent request
+threads.  Before the miner grew its cache lock, two threads missing the
+same cache raced the dict insert and — worse — interleaved their draws
+from the shared bucketizer RNG, silently changing the bucket boundaries
+relative to a single-threaded run.  These tests pin the fixed contract:
+
+* T threads batch-mining on one shared miner produce rules **identical**
+  to a fresh serial miner (the parity oracle), in memory and streaming;
+* the shared caches never duplicate work — a streaming source is scanned
+  exactly as often as the serial run scans it, no matter how many threads
+  pile on.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.miner import MiningTask, OptimizedRuleMiner
+from repro.core.rules import RuleKind
+from repro.datasets import bank_customers
+from repro.pipeline import CSVSource
+from repro.relation import Relation, write_csv
+from repro.relation.conditions import BooleanIs
+
+THREADS = 8
+BUCKETS = 40
+
+
+@pytest.fixture(scope="module")
+def relation() -> Relation:
+    relation, _ = bank_customers(1_500, seed=23)
+    return relation
+
+
+@pytest.fixture(scope="module")
+def tasks(relation: Relation) -> list[MiningTask]:
+    """Every (numeric, Boolean) pair in both kinds — the catalog workload."""
+    items: list[MiningTask] = []
+    for boolean_name in relation.schema.boolean_names():
+        objective = BooleanIs(boolean_name, True)
+        for numeric_name in relation.schema.numeric_names():
+            items.append(
+                MiningTask(
+                    attribute=numeric_name,
+                    objective=objective,
+                    kind=RuleKind.OPTIMIZED_CONFIDENCE,
+                    threshold=0.05,
+                )
+            )
+            items.append(
+                MiningTask(
+                    attribute=numeric_name,
+                    objective=objective,
+                    kind=RuleKind.OPTIMIZED_SUPPORT,
+                    threshold=0.55,
+                )
+            )
+    return items
+
+
+def _miner(data, **kwargs) -> OptimizedRuleMiner:
+    return OptimizedRuleMiner(
+        data, num_buckets=BUCKETS, rng=np.random.default_rng(77), **kwargs
+    )
+
+
+def _comparable(rule) -> tuple | None:
+    if rule is None:
+        return None
+    return (
+        rule.attribute,
+        str(rule.objective),
+        str(rule.kind),
+        rule.low,
+        rule.high,
+        rule.support,
+        rule.confidence,
+    )
+
+
+def _mine_from_threads(miner: OptimizedRuleMiner, tasks, threads: int = THREADS):
+    """Run the full batch from every thread at once; return all results."""
+    barrier = threading.Barrier(threads)
+    results: list = [None] * threads
+    errors: list = []
+
+    def worker(slot: int) -> None:
+        try:
+            barrier.wait()
+            results[slot] = miner.mine_many(tasks)
+        except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(threads)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join(timeout=120)
+    assert not errors, errors
+    return results
+
+
+def test_threaded_mining_matches_serial_oracle_in_memory(relation, tasks):
+    oracle = [_comparable(rule) for rule in _miner(relation).mine_many(tasks)]
+    shared = _miner(relation)
+    for batch in _mine_from_threads(shared, tasks):
+        assert [_comparable(rule) for rule in batch] == oracle
+
+
+def test_threaded_mining_matches_serial_oracle_streaming(relation, tasks, tmp_path):
+    path = tmp_path / "bank.csv"
+    write_csv(relation, path)
+    oracle = [
+        _comparable(rule)
+        for rule in _miner(CSVSource(path)).mine_many(tasks)
+    ]
+    # Streaming and in-memory parity is already locked down elsewhere; here
+    # the point is that *threads over a shared streaming miner* agree with
+    # the serial streaming run.
+    shared = _miner(CSVSource(path))
+    for batch in _mine_from_threads(shared, tasks):
+        assert [_comparable(rule) for rule in batch] == oracle
+
+
+class _CountingCSVSource(CSVSource):
+    """A CSVSource that counts physical scan passes (thread-safe)."""
+
+    def __init__(self, path: Path, **kwargs) -> None:
+        super().__init__(path, **kwargs)
+        self.scans = 0
+        self._meter_lock = threading.Lock()
+
+    def scan(self, columns=None):
+        with self._meter_lock:
+            self.scans += 1
+        return super().scan(columns)
+
+    def scan_tail(self, start, columns=None):
+        with self._meter_lock:
+            self.scans += 1
+        return super().scan_tail(start, columns)
+
+
+def test_thread_herd_never_duplicates_scans(relation, tasks, tmp_path):
+    """T threads on one cold miner scan exactly as often as a serial run.
+
+    Pre-fix, every thread missing the cold profile cache launched its own
+    prefetch — T redundant physical scans and a cache-insert race.  With
+    the cache lock, the first thread in fills the caches and the herd
+    reads them.
+    """
+    path = tmp_path / "bank.csv"
+    write_csv(relation, path)
+
+    serial_source = _CountingCSVSource(path)
+    _miner(serial_source).mine_many(tasks)
+    serial_scans = serial_source.scans
+    assert serial_scans > 0
+
+    shared_source = _CountingCSVSource(path)
+    shared = _miner(shared_source)
+    _mine_from_threads(shared, tasks)
+    assert shared_source.scans == serial_scans
+
+    # Warm repeats — threaded or not — touch the source zero further times.
+    _mine_from_threads(shared, tasks)
+    shared.mine_many(tasks)
+    assert shared_source.scans == serial_scans
+
+
+def test_interleaved_partial_batches_are_self_consistent(relation, tasks):
+    """Threads mining different slices agree with the miner's warm state.
+
+    Which thread buckets an attribute first decides the shared-RNG draw
+    order, so the cold boundaries legitimately depend on arrival order —
+    but once cached they are *the* boundaries: every per-task answer any
+    thread produced must be bit-identical to re-mining the same task on
+    the (now warm) shared miner.  Pre-fix, racing inserts could cache two
+    different bucketings for one attribute and hand different threads
+    different answers for the same task.
+    """
+    shared = _miner(relation)
+    slices = [tasks[index::THREADS] for index in range(THREADS)]
+
+    barrier = threading.Barrier(THREADS)
+    results: list = [None] * THREADS
+    errors: list = []
+
+    def worker(slot: int) -> None:
+        try:
+            barrier.wait()
+            results[slot] = shared.mine_many(slices[slot])
+        except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(THREADS)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join(timeout=120)
+    assert not errors, errors
+
+    warm = [_comparable(rule) for rule in shared.mine_many(tasks)]
+    for slot in range(THREADS):
+        assert [_comparable(rule) for rule in results[slot]] == warm[slot::THREADS]

@@ -1,0 +1,193 @@
+"""Regression suite: the digest memo under thread contention.
+
+The service plane fingerprints the same source from many request threads
+at once.  Before the memo grew its lock and per-key single-flight, that
+thundering herd raced the unlocked dict — every thread missed the cache
+and hashed the whole file, and concurrent inserts could interleave with
+the eviction sweep.  These tests pin the fixed contract: T concurrent
+fingerprints of the same bytes cost exactly one digest computation, a
+failed leader never wedges the key, and the memo stays bounded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import types
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import bank_customers
+from repro.pipeline import CSVSource, NpyDirectorySource, write_columnar
+from repro.pipeline import sources as sources_module
+from repro.relation import write_csv
+
+THREADS = 16
+
+
+@pytest.fixture()
+def csv_path(tmp_path: Path) -> Path:
+    relation, _ = bank_customers(400, seed=5)
+    path = tmp_path / "bank.csv"
+    write_csv(relation, path)
+    return path
+
+
+class _CountingHashlib(types.SimpleNamespace):
+    """A stand-in for the ``hashlib`` module that counts sha256 streams."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def sha256(self):
+        with self._lock:
+            self.count += 1
+        return hashlib.sha256()
+
+
+def _fingerprint_from_threads(make_source, threads: int = THREADS) -> list:
+    """Fingerprint one source from ``threads`` barrier-released threads."""
+    barrier = threading.Barrier(threads)
+    results: list = [None] * threads
+    errors: list = []
+
+    def worker(slot: int) -> None:
+        try:
+            source = make_source()
+            barrier.wait()
+            results[slot] = source.fingerprint()
+        except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(threads)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join(timeout=30)
+    assert not errors, errors
+    return results
+
+
+def test_concurrent_csv_fingerprints_hash_once(csv_path, monkeypatch):
+    """T threads, one file, cold cache: exactly one sha256 computation."""
+    counting = _CountingHashlib()
+    monkeypatch.setattr(sources_module, "hashlib", counting)
+    sources_module._CSV_DIGEST_CACHE.clear()
+
+    results = _fingerprint_from_threads(lambda: CSVSource(csv_path))
+
+    assert counting.count == 1
+    tokens = {fingerprint.token for fingerprint in results}
+    assert len(tokens) == 1
+    # The memoized token is the real digest of the real bytes.
+    assert tokens == {hashlib.sha256(csv_path.read_bytes()).hexdigest()}
+
+
+def test_concurrent_columnar_fingerprints_hash_once(tmp_path, monkeypatch):
+    relation, _ = bank_customers(300, seed=9)
+    directory = tmp_path / "columns"
+    write_columnar(relation, directory)
+    counting = _CountingHashlib()
+    monkeypatch.setattr(sources_module, "hashlib", counting)
+    sources_module._COLUMNAR_DIGEST_CACHE.clear()
+
+    results = _fingerprint_from_threads(lambda: NpyDirectorySource(directory))
+
+    assert counting.count == 1
+    assert len({fingerprint.token for fingerprint in results}) == 1
+
+
+def test_distinct_spans_hash_independently(csv_path, monkeypatch):
+    """Prefix fingerprints are distinct keys, each hashed exactly once."""
+    counting = _CountingHashlib()
+    monkeypatch.setattr(sources_module, "hashlib", counting)
+    sources_module._CSV_DIGEST_CACHE.clear()
+
+    source = CSVSource(csv_path)
+    size = csv_path.stat().st_size
+    full = source.fingerprint()
+    half = source.fingerprint(size // 2)
+    assert counting.count == 2
+    # Warm repeats of either span cost nothing.
+    assert source.fingerprint() == full
+    assert source.fingerprint(size // 2) == half
+    assert counting.count == 2
+
+
+def test_failed_leader_does_not_wedge_the_key(csv_path, monkeypatch):
+    """A leader whose I/O fails wakes the waiters; one of them retries.
+
+    Pre-fix there was no in-flight tracking at all; with single-flight a
+    naive implementation could leave followers waiting forever on a key
+    whose leader died.  Exactly one caller sees the injected error, every
+    other caller gets the real token.
+    """
+    real_sha256 = hashlib.sha256
+    state = {"failures": 1}
+    state_lock = threading.Lock()
+
+    class FlakyHashlib(types.SimpleNamespace):
+        def sha256(self):
+            with state_lock:
+                if state["failures"] > 0:
+                    state["failures"] -= 1
+                    raise OSError("injected digest failure")
+            return real_sha256()
+
+    monkeypatch.setattr(sources_module, "hashlib", FlakyHashlib())
+    sources_module._CSV_DIGEST_CACHE.clear()
+
+    barrier = threading.Barrier(THREADS)
+    tokens: list = []
+    failures: list = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        source = CSVSource(csv_path)
+        barrier.wait()
+        try:
+            fingerprint = source.fingerprint()
+        except OSError as exc:
+            with lock:
+                failures.append(exc)
+        else:
+            with lock:
+                tokens.append(fingerprint.token)
+
+    workers = [threading.Thread(target=worker) for _ in range(THREADS)]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join(timeout=30)
+
+    assert len(failures) == 1
+    assert len(tokens) == THREADS - 1
+    assert set(tokens) == {real_sha256(csv_path.read_bytes()).hexdigest()}
+
+
+def test_memo_stays_bounded_under_churn(tmp_path):
+    """Eviction keeps the memo at its cap even with many distinct keys."""
+    memo = sources_module._DigestMemo(max_entries=8)
+    for index in range(100):
+        memo.get_or_compute(("key", index), lambda index=index: f"token-{index}")
+    assert len(memo) <= 8
+    # The newest key is still resident (LRU-ish: oldest inserted evicted).
+    assert memo.get_or_compute(("key", 99), lambda: "recomputed") == "token-99"
+
+
+def test_growing_file_invalidates_the_memo(csv_path):
+    """The memo key carries (size, mtime), so growth is never served stale."""
+    sources_module._CSV_DIGEST_CACHE.clear()
+    before = CSVSource(csv_path).fingerprint()
+    with csv_path.open("a", encoding="utf-8") as handle:
+        handle.write("x" * 64 + "\n")
+    after = CSVSource(csv_path).fingerprint()
+    assert after.length > before.length
+    assert after.token != before.token
+    # The old span is still derivable as a prefix fingerprint.
+    assert CSVSource(csv_path).fingerprint(before.length).token == before.token

@@ -1,0 +1,55 @@
+"""Fixtures of the service-plane suite (helpers in ``service_support.py``)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import bank_customers
+from repro.relation import Relation, write_csv
+from repro.service import BackgroundServer, RuleService, ServiceConfig
+
+from service_support import BUCKETS, Client, ROWS, SEED, TOKEN
+
+
+@pytest.fixture(scope="session")
+def service_relation() -> Relation:
+    relation, _ = bank_customers(ROWS, seed=31)
+    return relation
+
+
+@pytest.fixture()
+def service_csv(tmp_path: Path, service_relation: Relation) -> Path:
+    path = tmp_path / "bank.csv"
+    write_csv(service_relation, path)
+    return path
+
+
+@pytest.fixture()
+def service_config(tmp_path: Path, service_csv: Path) -> ServiceConfig:
+    return ServiceConfig(
+        data=str(service_csv),
+        store=str(tmp_path / "profiles"),
+        token=TOKEN,
+        num_buckets=BUCKETS,
+        seed=SEED,
+    )
+
+
+@pytest.fixture()
+def service(service_config: ServiceConfig) -> RuleService:
+    return RuleService(service_config)
+
+
+@pytest.fixture()
+def server(service: RuleService):
+    with BackgroundServer(service, workers=8) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    instance = Client(server.port)
+    yield instance
+    instance.close()

@@ -1,0 +1,38 @@
+"""Shared helpers of the service-plane suite."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+TOKEN = "test-secret-token"
+ROWS = 1_200
+BUCKETS = 48
+SEED = 11
+
+
+class Client:
+    """A minimal JSON client over one keep-alive HTTP connection."""
+
+    def __init__(self, port: int, token: str | None = TOKEN) -> None:
+        self.connection = http.client.HTTPConnection(
+            "127.0.0.1", port, timeout=60
+        )
+        self.token = token
+
+    def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        headers = {}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        self.connection.request(method, path, body=payload, headers=headers)
+        response = self.connection.getresponse()
+        return response.status, json.loads(response.read())
+
+    def close(self) -> None:
+        self.connection.close()

@@ -1,0 +1,159 @@
+"""CLI e2e: ``repro serve`` as a real subprocess on a real socket.
+
+The in-process suite (``test_service_e2e.py``) proves the handler; this
+one proves the packaging — argument parsing, token plumbing through the
+environment, store wiring, and a clean SIGTERM shutdown — by driving the
+installed entry point exactly the way the compose stack and the CI smoke
+job do.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import bank_customers
+from repro.relation import write_csv
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _wait_healthy(port: int, deadline_seconds: float = 30.0) -> None:
+    deadline = time.monotonic() + deadline_seconds
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=5
+            )
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            body = response.read()
+            connection.close()
+            if response.status == 200 and b"ok" in body:
+                return
+        except OSError as exc:
+            last_error = exc
+        time.sleep(0.05)
+    raise AssertionError(f"server never became healthy: {last_error}")
+
+
+@pytest.fixture()
+def serve_process(tmp_path: Path):
+    relation, _ = bank_customers(600, seed=19)
+    csv_path = tmp_path / "bank.csv"
+    write_csv(relation, csv_path)
+    port = _free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_SERVE_TOKEN"] = "cli-secret"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            str(csv_path),
+            "--store",
+            str(tmp_path / "profiles"),
+            "--token-env",
+            "REPRO_SERVE_TOKEN",
+            "--port",
+            str(port),
+            "--buckets",
+            "32",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    try:
+        yield process, port
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+
+
+def test_serve_cli_end_to_end(serve_process):
+    process, port = serve_process
+    _wait_healthy(port)
+    assert process.poll() is None
+
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        # Unauthenticated mining request: typed 401.
+        connection.request("GET", "/v1/catalog")
+        response = connection.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 401
+        assert body["error"]["type"] == "ServiceError"
+
+        # The env-var token opens the door; the catalog builds the store.
+        headers = {"Authorization": "Bearer cli-secret"}
+        connection.request("GET", "/v1/catalog?top=3", headers=headers)
+        response = connection.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 200
+        assert body["store_status"] == "build"
+        assert len(body["rules"]) == 3
+
+        # Warm repeat is a hit served from the cache.
+        connection.request("GET", "/v1/catalog?top=3", headers=headers)
+        response = connection.getresponse()
+        assert response.status == 200
+        assert json.loads(response.read())["store_status"] == "build"
+
+        connection.request("GET", "/v1/store/inspect", headers=headers)
+        response = connection.getresponse()
+        assert response.status == 200
+        assert len(json.loads(response.read())["snapshots"]) == 1
+    finally:
+        connection.close()
+
+
+def test_serve_cli_missing_token_env_is_an_error(tmp_path: Path):
+    relation, _ = bank_customers(50, seed=3)
+    csv_path = tmp_path / "tiny.csv"
+    write_csv(relation, csv_path)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_ABSENT_TOKEN", None)
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            str(csv_path),
+            "--token-env",
+            "REPRO_ABSENT_TOKEN",
+            "--port",
+            str(_free_port()),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 2
+    assert "REPRO_ABSENT_TOKEN" in completed.stderr

@@ -1,0 +1,333 @@
+"""Hermetic end-to-end suite for the HTTP service plane.
+
+Everything runs in-process: a :class:`BackgroundServer` on an ephemeral
+port over a tmp CSV and a tmp profile store, talked to with stdlib
+``http.client`` over real sockets.  In-process serving is what makes the
+two sharpest checks possible — the coalescing proof monkeypatches the
+miner's ``solve_many`` to count batches across request threads, and the
+parity check compares served rules against :func:`mine_rule_catalog` run
+directly on the same data.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import http.client
+
+import numpy as np
+import pytest
+
+from repro.core.miner import OptimizedRuleMiner
+from repro.mining import mine_rule_catalog
+from repro.pipeline import CSVSource
+
+from service_support import BUCKETS, Client, SEED, TOKEN
+
+
+# ----------------------------------------------------------------------
+# health, auth, and error shapes
+
+
+def test_healthz_and_readyz_need_no_token(server):
+    anonymous = Client(server.port, token=None)
+    try:
+        status, body = anonymous.request("GET", "/healthz")
+        assert (status, body["status"]) == (200, "ok")
+        status, body = anonymous.request("GET", "/readyz")
+        assert (status, body["status"]) == (200, "ready")
+        assert body["checks"]["source"] == "ok"
+        assert body["checks"]["store"].startswith("ok")
+    finally:
+        anonymous.close()
+
+
+@pytest.mark.parametrize("token", [None, "wrong-token", ""])
+def test_v1_endpoints_reject_bad_tokens(server, token):
+    client = Client(server.port, token=token)
+    try:
+        status, body = client.request("GET", "/v1/catalog")
+        assert status == 401
+        assert body["error"]["type"] == "ServiceError"
+        assert body["error"]["status"] == 401
+    finally:
+        client.close()
+
+
+def test_unknown_endpoint_and_bad_method_are_typed(client):
+    status, body = client.request("GET", "/v1/nope")
+    assert (status, body["error"]["status"]) == (404, 404)
+    status, body = client.request("POST", "/healthz", body={})
+    assert status == 405
+    status, body = client.request("GET", "/v1/mine")
+    assert status == 405
+
+
+def test_parameter_validation_is_typed_400(client):
+    for path in (
+        "/v1/catalog?min_support=2.0",
+        "/v1/catalog?top=0",
+        "/v1/catalog?rank_by=magic",
+        "/v1/catalog?unknown_flag=1",
+    ):
+        status, body = client.request("GET", path)
+        assert status == 400, path
+        assert body["error"]["type"] == "ServiceError"
+    status, body = client.request("POST", "/v1/mine", body={"attribute": "balance"})
+    assert status == 400  # objective missing
+
+
+def test_malformed_json_body_is_typed_400(server):
+    connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+    try:
+        connection.request(
+            "POST",
+            "/v1/mine",
+            body=b"{not json",
+            headers={"Authorization": f"Bearer {TOKEN}"},
+        )
+        response = connection.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 400
+        assert body["error"]["type"] == "ServiceError"
+        assert "JSON" in body["error"]["message"]
+    finally:
+        connection.close()
+
+
+def test_solver_error_maps_to_400(client):
+    status, body = client.request(
+        "POST",
+        "/v1/mine",
+        body={"attribute": "no_such_attribute", "objective": "card_loan"},
+    )
+    assert status == 400
+    assert body["error"]["type"] == "SchemaError"
+
+
+# ----------------------------------------------------------------------
+# mining parity
+
+
+def test_catalog_parity_with_direct_mining(client, service_csv):
+    status, served = client.request("GET", "/v1/catalog?top=50")
+    assert status == 200
+    direct = mine_rule_catalog(
+        CSVSource(service_csv),
+        num_buckets=BUCKETS,
+        rng=np.random.default_rng(SEED),
+    )
+    expected = [entry.as_row() for entry in direct.top(50, by="lift")]
+    assert served["num_pairs"] == direct.num_pairs
+    assert served["num_tuples"] == direct.num_tuples
+    assert served["rules"] == expected
+
+
+def test_mine_parity_with_direct_miner(client, service_csv):
+    status, served = client.request(
+        "POST",
+        "/v1/mine",
+        body={"attribute": "balance", "objective": "card_loan", "min_support": 0.1},
+    )
+    assert status == 200 and served["found"]
+    miner = OptimizedRuleMiner(
+        CSVSource(service_csv),
+        num_buckets=BUCKETS,
+        rng=np.random.default_rng(SEED),
+    )
+    rule = miner.optimized_confidence_rule("balance", "card_loan", min_support=0.1)
+    assert served["rule"]["low"] == rule.low
+    assert served["rule"]["high"] == rule.high
+    assert served["rule"]["confidence"] == rule.confidence
+
+
+def test_rules2d_round_trip(client):
+    status, served = client.request(
+        "POST",
+        "/v1/rules2d",
+        body={
+            "row_attribute": "age",
+            "column_attribute": "balance",
+            "objective": "card_loan",
+            "grid_rows": 10,
+            "grid_columns": 10,
+            "min_support": 0.02,
+        },
+    )
+    assert status == 200
+    assert served["found"]
+    rule = served["rule"]
+    assert rule["row_attribute"] == "age"
+    assert rule["row_low"] <= rule["row_high"]
+    assert 0.0 <= rule["support"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# store integration
+
+
+def test_store_warms_and_inspects_through_the_api(client, service):
+    status, first = client.request("GET", "/v1/catalog")
+    assert (status, first["store_status"]) == (200, "build")
+    status, entries = client.request("GET", "/v1/store/inspect")
+    assert status == 200
+    assert len(entries["snapshots"]) == 1
+    status, appended = client.request("POST", "/v1/store/append")
+    assert (status, appended["store_status"]) == (200, "hit")
+
+
+def test_append_before_build_is_a_typed_error(client):
+    status, body = client.request("POST", "/v1/store/append")
+    assert status == 500
+    assert body["error"]["type"] == "StoreError"
+    assert "build the store first" in body["error"]["message"]
+
+
+def test_append_endpoint_folds_the_tail(client, service_csv, service_relation):
+    client.request("GET", "/v1/catalog")  # build the snapshot
+    from repro.relation import write_csv
+
+    scratch = service_csv.parent / "tail.csv"
+    tail = service_relation.head(200)
+    write_csv(tail, scratch)
+    lines = scratch.read_text(encoding="utf-8").splitlines(keepends=True)[1:]
+    with service_csv.open("a", encoding="utf-8") as handle:
+        handle.writelines(lines)
+    status, body = client.request("POST", "/v1/store/append")
+    assert status == 200
+    assert body["store_status"] in ("append", "rebuild")
+    assert body["num_tuples"] == service_relation.num_tuples + 200
+
+
+# ----------------------------------------------------------------------
+# caching and coalescing
+
+
+def test_repeat_requests_hit_the_response_cache(client, service):
+    client.request("GET", "/v1/catalog")
+    before = service.metrics()
+    for _ in range(5):
+        status, _body = client.request("GET", "/v1/catalog")
+        assert status == 200
+    after = service.metrics()
+    assert after["cache_hits"] - before["cache_hits"] == 5
+    assert after["solve_batches"] == before["solve_batches"]
+
+
+def test_data_growth_invalidates_the_response_cache(client, service, service_csv):
+    _, cold = client.request("GET", "/v1/catalog")
+    _, warm = client.request("GET", "/v1/catalog")
+    assert warm == cold
+    # Append one real row by duplicating the file's last data line.
+    lines = service_csv.read_text(encoding="utf-8").splitlines(keepends=True)
+    with service_csv.open("a", encoding="utf-8") as handle:
+        handle.write(lines[-1])
+    status, regrown = client.request("GET", "/v1/catalog")
+    assert status == 200
+    assert regrown["num_tuples"] == cold["num_tuples"] + 1
+
+
+def test_concurrent_identical_requests_coalesce_to_one_batch(
+    server, service, monkeypatch
+):
+    """K cold identical requests → exactly one ``solve_many`` batch.
+
+    The single-flight must answer every caller from the one leader run;
+    without it, each request thread would run its own full mining batch.
+    """
+    calls = {"count": 0}
+    lock = threading.Lock()
+    original = OptimizedRuleMiner.solve_many
+
+    def counting(self, tasks, settings=None):
+        with lock:
+            calls["count"] += 1
+        return original(self, tasks, settings)
+
+    monkeypatch.setattr(OptimizedRuleMiner, "solve_many", counting)
+
+    clients = 8
+    barrier = threading.Barrier(clients)
+    responses: list = [None] * clients
+    errors: list = []
+
+    def worker(slot: int) -> None:
+        client = Client(server.port)
+        try:
+            barrier.wait()
+            responses[slot] = client.request("GET", "/v1/catalog")
+        except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+            errors.append(exc)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+
+    assert calls["count"] == 1
+    statuses = {status for status, _ in responses}
+    bodies = [body for _, body in responses]
+    assert statuses == {200}
+    assert all(body == bodies[0] for body in bodies)
+    assert service.metrics()["coalesced"] == clients - 1
+    assert service.metrics()["solve_batches"] == 1
+
+
+# ----------------------------------------------------------------------
+# failure modes through the full stack
+
+
+def test_corrupt_store_is_a_typed_500(client, service, service_config):
+    client.request("GET", "/v1/catalog")  # build the snapshot
+    from pathlib import Path
+
+    store_dir = Path(service_config.store)
+    (payload,) = store_dir.glob("*.npz")
+    payload.write_bytes(b"garbage that is not an npz archive")
+    status, body = client.request("GET", "/v1/catalog?top=3")
+    assert status == 500
+    assert body["error"]["type"] == "StoreError"
+    assert body["error"]["status"] == 500
+
+
+def test_shrunk_source_is_a_typed_409(client, service_csv):
+    """A source that shrank is not an append-only continuation: 409."""
+    client.request("GET", "/v1/catalog")  # warm snapshot of the full file
+    kept = service_csv.read_text(encoding="utf-8").splitlines(keepends=True)
+    service_csv.write_text("".join(kept[: len(kept) // 2]), encoding="utf-8")
+    status, body = client.request("POST", "/v1/store/append")
+    assert status == 409
+    assert body["error"]["type"] == "SourceChangedError"
+    assert body["error"]["status"] == 409
+
+
+def test_rewritten_source_is_a_typed_409(client, service_csv):
+    """Same length, different bytes — fingerprint drift is a 409 too."""
+    client.request("GET", "/v1/catalog")
+    lines = service_csv.read_text(encoding="utf-8").splitlines(keepends=True)
+    # Flip one digit of the last row's leading numeric field, preserving
+    # the file length and the CSV shape.
+    last = lines[-1]
+    digit = next(index for index, char in enumerate(last) if char.isdigit())
+    flipped = "9" if last[digit] != "9" else "1"
+    lines[-1] = last[:digit] + flipped + last[digit + 1 :]
+    service_csv.write_text("".join(lines), encoding="utf-8")
+    status, body = client.request("POST", "/v1/store/append")
+    assert status == 409
+    assert body["error"]["type"] == "SourceChangedError"
+
+
+def test_metrics_reports_counters(client):
+    client.request("GET", "/v1/catalog")
+    status, body = client.request("GET", "/metrics")
+    assert status == 200
+    metrics = body["metrics"]
+    assert metrics["requests"] >= 2
+    assert metrics["solve_batches"] >= 1
+    assert body["cache_entries"] >= 1
